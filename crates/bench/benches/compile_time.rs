@@ -1,0 +1,45 @@
+//! Criterion bench for the paper's Fig. 11: wall-clock compilation time
+//! of each kernel under O3 (cleanup only), LSLP, and SN-SLP.
+//!
+//! The paper's claim: "Super-Node SLP does not introduce any significant
+//! compilation-time overhead" — compare the `LSLP` and `SN-SLP` groups.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use snslp_core::{optimize_o3, run_slp, SlpConfig, SlpMode};
+use snslp_kernels::registry;
+
+fn bench_compile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compile_time");
+    group.sample_size(20);
+    for kernel in registry() {
+        group.bench_with_input(BenchmarkId::new("o3", kernel.name), &kernel, |b, k| {
+            b.iter_with_setup(
+                || k.build(),
+                |mut f| {
+                    optimize_o3(&mut f);
+                    f
+                },
+            )
+        });
+        for mode in [SlpMode::Lslp, SlpMode::SnSlp] {
+            group.bench_with_input(
+                BenchmarkId::new(mode.label(), kernel.name),
+                &kernel,
+                |b, k| {
+                    let cfg = SlpConfig::new(mode);
+                    b.iter_with_setup(
+                        || k.build(),
+                        |mut f| {
+                            run_slp(&mut f, &cfg);
+                            f
+                        },
+                    )
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compile);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion bench for the paper's Fig. 5: executing each kernel (on the
+//! reference interpreter) compiled under O3 versus SN-SLP.
+//!
+//! Wall time here tracks the dynamic instruction count of the compiled
+//! code, so the O3→SN-SLP ratio mirrors the simulated-cycle speedups the
+//! `figures` binary reports.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use snslp_bench::compile;
+use snslp_core::SlpMode;
+use snslp_cost::CostModel;
+use snslp_interp::{run_with_args, ExecOptions};
+use snslp_kernels::registry;
+
+const BENCH_ITERS: usize = 256;
+
+fn bench_kernels(c: &mut Criterion) {
+    let model = CostModel::default();
+    let opts = ExecOptions::default();
+    let mut group = c.benchmark_group("kernel_cycles");
+    group.sample_size(20);
+    for kernel in registry() {
+        let args = kernel.args(BENCH_ITERS);
+        for mode in [None, Some(SlpMode::SnSlp)] {
+            let mut f = kernel.build();
+            compile(&mut f, mode);
+            let label = snslp_bench::mode_label(mode);
+            group.bench_with_input(
+                BenchmarkId::new(label, kernel.name),
+                &(&f, &args),
+                |b, (f, args)| {
+                    b.iter(|| {
+                        run_with_args(f, args, &model, &opts).expect("kernel runs")
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Diagnostic tool: prints the SLP graph and cost breakdown that each
+//! vectorizer mode builds for a kernel's seed groups.
+//!
+//! Usage: `graphdump <kernel> [slp|lslp|snslp]...`
+
+use std::collections::HashSet;
+
+use snslp_core::{build_graph, evaluate, BlockCtx, NodeKind, SlpConfig, SlpMode};
+use snslp_kernels::kernel_by_name;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(name) = args.first() else {
+        eprintln!("usage: graphdump <kernel> [slp|lslp|snslp]...");
+        eprintln!("kernels: {:?}", snslp_kernels::registry().iter().map(|k| k.name).collect::<Vec<_>>());
+        std::process::exit(2);
+    };
+    let Some(kernel) = kernel_by_name(name) else {
+        eprintln!("unknown kernel `{name}`");
+        std::process::exit(2);
+    };
+    let modes: Vec<SlpMode> = if args.len() > 1 {
+        args[1..]
+            .iter()
+            .map(|m| match m.as_str() {
+                "slp" => SlpMode::Slp,
+                "lslp" => SlpMode::Lslp,
+                "snslp" => SlpMode::SnSlp,
+                other => {
+                    eprintln!("unknown mode `{other}`");
+                    std::process::exit(2);
+                }
+            })
+            .collect()
+    } else {
+        vec![SlpMode::Slp, SlpMode::Lslp, SlpMode::SnSlp]
+    };
+
+    for mode in modes {
+        println!("=== {} / {} ===", kernel.name, mode.label());
+        let mut f = kernel.build();
+        snslp_ir::opt::cleanup_pipeline(&mut f);
+        let cfg = SlpConfig::new(mode);
+        for b in f.block_ids().collect::<Vec<_>>() {
+            let ctx = BlockCtx::compute(&f, b);
+            let target = cfg.model.target().clone();
+            let seeds = snslp_core::collect_store_seeds(
+                &f,
+                &ctx,
+                |st| target.max_lanes(st),
+                &HashSet::new(),
+            );
+            for g in seeds {
+                let graph = build_graph(&f, &ctx, &cfg, &g.stores);
+                let cost = evaluate(&f, &ctx, &graph, &cfg.model);
+                println!(
+                    "seed group in {b} (width {}): total {:+}, extracts {:+} => {}",
+                    g.width(),
+                    cost.total,
+                    cost.extract_cost,
+                    if cost.total < 0 { "VECTORIZE" } else { "keep scalar" }
+                );
+                for (i, n) in graph.nodes.iter().enumerate() {
+                    println!(
+                        "  node {i:>2} {:+}  {:<24} lanes {:?} ops {:?}",
+                        cost.node_costs[i],
+                        kind_str(&n.kind),
+                        n.scalars,
+                        n.operands
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn kind_str(k: &NodeKind) -> String {
+    match k {
+        NodeKind::Super(i) => format!(
+            "Super(size {}, {} slots)",
+            i.size(),
+            i.slot_signs.len()
+        ),
+        NodeKind::Alt { ops } => format!("Alt{ops:?}"),
+        NodeKind::Permute { mask } => format!("Permute{mask:?}"),
+        other => format!("{other:?}"),
+    }
+}

@@ -1,0 +1,16 @@
+//! Prints Table I (the kernel inventory). Equivalent to
+//! `figures table1`, provided as its own binary for convenience.
+
+fn main() {
+    println!("Table I: kernels extracted from SPEC CPU2006 (+ motivating examples)");
+    println!(
+        "{:<18} {:<12} {:<44} {:<5} {:>8} description",
+        "kernel", "origin", "modelled construct", "elem", "iters"
+    );
+    for k in snslp_kernels::registry() {
+        println!(
+            "{:<18} {:<12} {:<44} {:<5} {:>8} {}",
+            k.name, k.origin, k.shape, k.elem, k.default_iters, k.description
+        );
+    }
+}

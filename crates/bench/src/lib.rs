@@ -1,0 +1,272 @@
+//! # snslp-bench
+//!
+//! The measurement harness that regenerates every table and figure of the
+//! SN-SLP paper's evaluation (§V). The `figures` binary prints the series;
+//! the criterion benches under `benches/` measure wall-clock compile time
+//! and kernel execution.
+//!
+//! All performance numbers are *simulated cycles* from the cost model's
+//! execution view (see `snslp-cost`); compile times are wall-clock over
+//! the actual pass implementation.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::time::Duration;
+
+use snslp_core::{optimize_o3, run_slp, FunctionReport, SlpConfig, SlpMode};
+use snslp_cost::CostModel;
+use snslp_interp::{run_with_args, ExecOptions};
+use snslp_ir::Function;
+use snslp_kernels::{Benchmark, Kernel};
+
+/// The three compiler configurations of the evaluation (§V): `O3` is all
+/// vectorizers disabled.
+pub const MODES: [Option<SlpMode>; 3] = [None, Some(SlpMode::Lslp), Some(SlpMode::SnSlp)];
+
+/// Label for a configuration.
+pub fn mode_label(mode: Option<SlpMode>) -> &'static str {
+    match mode {
+        None => "O3",
+        Some(m) => m.label(),
+    }
+}
+
+/// Per-configuration measurement of one kernel.
+#[derive(Debug, Clone)]
+pub struct ModeResult {
+    /// Configuration (`None` = O3 baseline).
+    pub mode: Option<SlpMode>,
+    /// Simulated execution cycles.
+    pub cycles: u64,
+    /// Dynamic instructions executed.
+    pub dyn_insts: u64,
+    /// Pass report (`None` for O3).
+    pub report: Option<FunctionReport>,
+    /// Wall-clock compile time (cleanup + vectorizer).
+    pub compile_time: Duration,
+}
+
+/// All configurations of one kernel.
+#[derive(Debug, Clone)]
+pub struct KernelRow {
+    /// Kernel descriptor.
+    pub kernel: Kernel,
+    /// One result per entry of [`MODES`].
+    pub results: Vec<ModeResult>,
+}
+
+impl KernelRow {
+    /// Result for a given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mode was not measured.
+    pub fn result(&self, mode: Option<SlpMode>) -> &ModeResult {
+        self.results
+            .iter()
+            .find(|r| r.mode == mode)
+            .expect("all MODES measured")
+    }
+
+    /// Speedup of `mode` over the O3 baseline (simulated cycles).
+    pub fn speedup(&self, mode: Option<SlpMode>) -> f64 {
+        self.result(None).cycles as f64 / self.result(mode).cycles as f64
+    }
+}
+
+/// Compiles `f` under `mode` (in place) and returns the pass report and
+/// compile time.
+pub fn compile(f: &mut Function, mode: Option<SlpMode>) -> (Option<FunctionReport>, Duration) {
+    match mode {
+        None => {
+            let t = optimize_o3(f);
+            (None, t)
+        }
+        Some(m) => {
+            let report = run_slp(f, &SlpConfig::new(m));
+            let t = report.elapsed;
+            (Some(report), t)
+        }
+    }
+}
+
+/// Runs one kernel under every configuration, on `iters` iterations.
+///
+/// # Panics
+///
+/// Panics if compilation or interpretation fails — both indicate a bug in
+/// the reproduction, not in inputs.
+pub fn measure_kernel(kernel: &Kernel, iters: usize) -> KernelRow {
+    let model = CostModel::default();
+    let args = kernel.args(iters);
+    let results = MODES
+        .iter()
+        .map(|&mode| {
+            let mut f = kernel.build();
+            let (report, compile_time) = compile(&mut f, mode);
+            let out = run_with_args(&f, &args, &model, &ExecOptions::default())
+                .unwrap_or_else(|e| panic!("{} [{}]: {e}", kernel.name, mode_label(mode)));
+            ModeResult {
+                mode,
+                cycles: out.exec.cycles,
+                dyn_insts: out.exec.dyn_insts,
+                report,
+                compile_time,
+            }
+        })
+        .collect();
+    KernelRow {
+        kernel: kernel.clone(),
+        results,
+    }
+}
+
+/// Per-configuration measurement of one whole-benchmark composite.
+#[derive(Debug, Clone)]
+pub struct BenchRow {
+    /// Benchmark descriptor.
+    pub bench: Benchmark,
+    /// One result per entry of [`MODES`] (cycles summed over all
+    /// functions of the composite; reports merged).
+    pub results: Vec<ModeResult>,
+}
+
+impl BenchRow {
+    /// Result for a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mode was not measured.
+    pub fn result(&self, mode: Option<SlpMode>) -> &ModeResult {
+        self.results
+            .iter()
+            .find(|r| r.mode == mode)
+            .expect("all MODES measured")
+    }
+
+    /// Speedup of `mode` over O3.
+    pub fn speedup(&self, mode: Option<SlpMode>) -> f64 {
+        self.result(None).cycles as f64 / self.result(mode).cycles as f64
+    }
+
+    /// Fraction of O3 cycles spent in the kernel function (dilution).
+    pub fn kernel_share(&self) -> f64 {
+        let model = CostModel::default();
+        let fns = self.bench.functions();
+        let mut kernel_cycles = 0u64;
+        let mut total = 0u64;
+        for (i, (mut f, args)) in fns.into_iter().enumerate() {
+            optimize_o3(&mut f);
+            let out = run_with_args(&f, &args, &model, &ExecOptions::default())
+                .expect("composite runs");
+            if i == 0 {
+                kernel_cycles = out.exec.cycles;
+            }
+            total += out.exec.cycles;
+        }
+        kernel_cycles as f64 / total as f64
+    }
+}
+
+/// Runs a whole-benchmark composite under every configuration.
+///
+/// # Panics
+///
+/// Panics if compilation or interpretation fails.
+pub fn measure_benchmark(bench: &Benchmark) -> BenchRow {
+    let model = CostModel::default();
+    let results = MODES
+        .iter()
+        .map(|&mode| {
+            let mut cycles = 0u64;
+            let mut dyn_insts = 0u64;
+            let mut compile_time = Duration::ZERO;
+            let mut merged: Option<FunctionReport> = None;
+            for (mut f, args) in bench.functions() {
+                let (report, t) = compile(&mut f, mode);
+                compile_time += t;
+                if let Some(r) = report {
+                    match &mut merged {
+                        None => merged = Some(r),
+                        Some(m) => m.merge(r),
+                    }
+                }
+                let out = run_with_args(&f, &args, &model, &ExecOptions::default())
+                    .unwrap_or_else(|e| {
+                        panic!("{} [{}] {}: {e}", bench.name, mode_label(mode), f.name())
+                    });
+                cycles += out.exec.cycles;
+                dyn_insts += out.exec.dyn_insts;
+            }
+            ModeResult {
+                mode,
+                cycles,
+                dyn_insts,
+                report: merged,
+                compile_time,
+            }
+        })
+        .collect();
+    BenchRow {
+        bench: bench.clone(),
+        results,
+    }
+}
+
+/// Mean and sample standard deviation of wall-clock compile times over
+/// `runs` runs (after one warm-up), mirroring the paper's "10 runs + 1
+/// warm-up" methodology (§V).
+pub fn timed_compiles(kernel: &Kernel, mode: Option<SlpMode>, runs: usize) -> (f64, f64) {
+    let mut f = kernel.build();
+    compile(&mut f, mode); // warm-up
+    let samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let mut f = kernel.build();
+            let (_, t) = compile(&mut f, mode);
+            t.as_secs_f64()
+        })
+        .collect();
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let var = samples
+        .iter()
+        .map(|s| (s - mean) * (s - mean))
+        .sum::<f64>()
+        / (samples.len().saturating_sub(1)).max(1) as f64;
+    (mean, var.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snslp_kernels::kernel_by_name;
+
+    #[test]
+    fn measure_kernel_produces_all_modes() {
+        let k = kernel_by_name("motiv_trunk").unwrap();
+        let row = measure_kernel(&k, 8);
+        assert_eq!(row.results.len(), 3);
+        assert!(row.speedup(Some(SlpMode::SnSlp)) > 1.0);
+        // LSLP does not vectorize the motivating kernels: same cycles as O3.
+        assert!((row.speedup(Some(SlpMode::Lslp)) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn benchmark_measurement_is_diluted() {
+        let mut b = snslp_kernels::benchmarks()[0].clone();
+        b.kernel_iters = 8;
+        b.neutral_iters = 64;
+        let row = measure_benchmark(&b);
+        let s = row.speedup(Some(SlpMode::SnSlp));
+        let k = measure_kernel(&b.kernel, 8).speedup(Some(SlpMode::SnSlp));
+        assert!(s > 1.0 && s < k, "diluted {s} vs kernel {k}");
+    }
+
+    #[test]
+    fn timed_compiles_returns_sane_stats() {
+        let k = kernel_by_name("motiv_leaf").unwrap();
+        let (mean, stdev) = timed_compiles(&k, Some(SlpMode::SnSlp), 3);
+        assert!(mean > 0.0);
+        assert!(stdev >= 0.0);
+    }
+}

@@ -1,0 +1,476 @@
+//! Trunk/leaf chain extraction and Accumulated Path Operation (APO)
+//! computation (paper §IV-C1).
+//!
+//! For a candidate Super-Node root (one SIMD lane), this module collects
+//! the *trunk* — the maximal single-use tree of same-family operations
+//! (`add`/`sub` or `mul`/`div`) hanging off the root — and its *leaves*,
+//! annotating each leaf with:
+//!
+//! * its **APO**: `+` if the number of right-hand-side-of-inverse-operator
+//!   edges on the root-to-leaf path is even, `-` otherwise;
+//! * its **trunk-sign class**: the accumulated sign at the trunk node that
+//!   owns the leaf position. Trunk reordering (paper §IV-C3) is only legal
+//!   between positions of equal class.
+
+use snslp_ir::{Direction, Function, InstId, InstKind, OpFamily, Type};
+
+use crate::ctx::BlockCtx;
+
+/// The unary operation accumulated along a path: identity (`+`) or
+/// inversion (`-`), i.e. negation for `add`/`sub` and reciprocal for
+/// `mul`/`div`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sign {
+    /// Even number of inverse edges.
+    Plus,
+    /// Odd number of inverse edges.
+    Minus,
+}
+
+impl Sign {
+    /// Flips the sign.
+    pub fn flip(self) -> Sign {
+        match self {
+            Sign::Plus => Sign::Minus,
+            Sign::Minus => Sign::Plus,
+        }
+    }
+
+    /// The direction corresponding to this sign within an op family.
+    pub fn direction(self) -> Direction {
+        match self {
+            Sign::Plus => Direction::Direct,
+            Sign::Minus => Direction::Inverse,
+        }
+    }
+
+    /// Display character (`+` / `-`).
+    pub fn symbol(self) -> char {
+        match self {
+            Sign::Plus => '+',
+            Sign::Minus => '-',
+        }
+    }
+}
+
+/// A leaf operand of a lane chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaneLeaf {
+    /// The leaf value (any value: load, constant, parameter, …).
+    pub value: InstId,
+    /// Accumulated Path Operation of the leaf.
+    pub apo: Sign,
+    /// Trunk-sign class of the leaf's position (accumulated sign at the
+    /// owning trunk node).
+    pub class: Sign,
+    /// Distance of the owning trunk node from the root (0 = root).
+    pub depth: u32,
+}
+
+/// One SIMD lane of a (candidate) Super-Node: the trunk instructions and
+/// the annotated leaves, sorted root-first (paper Listing 2 line 5).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LaneChain {
+    /// The root instruction of the lane.
+    pub root: InstId,
+    /// The operator family of the chain.
+    pub family: OpFamily,
+    /// All trunk instructions (including the root), in DFS order.
+    pub trunk: Vec<InstId>,
+    /// All leaves, sorted by `depth` ascending (stable).
+    pub leaves: Vec<LaneLeaf>,
+}
+
+impl LaneChain {
+    /// The chain "size" in the paper's node-depth sense (Figs. 6/7/9/10):
+    /// the number of trunk instructions.
+    pub fn size(&self) -> u32 {
+        self.trunk.len() as u32
+    }
+}
+
+/// Whether forming a chain of `family` over element type `ty` is legal for
+/// a function with the given fast-math setting.
+///
+/// Integer `add`/`sub` chains are always reassociable (wrapping arithmetic
+/// is associative and commutative). Floating-point chains require
+/// fast-math, exactly like the paper's `-ffast-math` evaluation setup.
+/// `mul`/`div` chains are float-only: integer division does not satisfy
+/// the inverse-element axioms (truncation).
+pub fn family_allowed(family: OpFamily, ty: Type, fast_math: bool) -> bool {
+    let Some(st) = ty.elem_scalar() else {
+        return false;
+    };
+    match family {
+        OpFamily::AddSub => st.is_int() || fast_math,
+        OpFamily::MulDiv => st.is_float() && fast_math,
+    }
+}
+
+/// Extracts the chain rooted at `root` for `family`.
+///
+/// `allow_inverse` selects Super-Node semantics (both family members may
+/// appear in the trunk) versus LSLP Multi-Node semantics (direct member
+/// only). `claimed` reports instructions already owned by another bundle
+/// or another lane's trunk; such instructions terminate the trunk.
+///
+/// Returns `None` when the root itself does not qualify.
+pub fn extract_chain(
+    f: &Function,
+    ctx: &BlockCtx,
+    root: InstId,
+    allow_inverse: bool,
+    max_leaves: usize,
+    claimed: &dyn Fn(InstId) -> bool,
+) -> Option<LaneChain> {
+    let root_ty = f.ty(root);
+    let (family, dir) = match f.kind(root) {
+        InstKind::Binary { op, .. } => op.family()?,
+        _ => return None,
+    };
+    if !allow_inverse && dir == Direction::Inverse {
+        return None;
+    }
+    if !family_allowed(family, root_ty, f.fast_math) {
+        return None;
+    }
+    if claimed(root) {
+        return None;
+    }
+
+    let mut chain = LaneChain {
+        root,
+        family,
+        trunk: Vec::new(),
+        leaves: Vec::new(),
+    };
+    grow(
+        f,
+        ctx,
+        &mut chain,
+        root,
+        Sign::Plus,
+        0,
+        allow_inverse,
+        max_leaves,
+        claimed,
+    );
+    // Root-first slot order.
+    chain.leaves.sort_by_key(|l| l.depth);
+    Some(chain)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn grow(
+    f: &Function,
+    ctx: &BlockCtx,
+    chain: &mut LaneChain,
+    t: InstId,
+    sign: Sign,
+    depth: u32,
+    allow_inverse: bool,
+    max_leaves: usize,
+    claimed: &dyn Fn(InstId) -> bool,
+) {
+    chain.trunk.push(t);
+    let (op, lhs, rhs) = match f.kind(t) {
+        InstKind::Binary { op, lhs, rhs } => (*op, *lhs, *rhs),
+        _ => unreachable!("trunk members are binary instructions"),
+    };
+    let (_, dir) = op.family().expect("trunk members belong to the family");
+    let rhs_sign = match dir {
+        Direction::Direct => sign,
+        Direction::Inverse => sign.flip(),
+    };
+    for (v, edge_sign) in [(lhs, sign), (rhs, rhs_sign)] {
+        if is_trunk_candidate(f, ctx, chain, v, allow_inverse, max_leaves, claimed) {
+            grow(
+                f,
+                ctx,
+                chain,
+                v,
+                edge_sign,
+                depth + 1,
+                allow_inverse,
+                max_leaves,
+                claimed,
+            );
+        } else {
+            chain.leaves.push(LaneLeaf {
+                value: v,
+                apo: edge_sign,
+                class: sign,
+                depth,
+            });
+        }
+    }
+}
+
+fn is_trunk_candidate(
+    f: &Function,
+    ctx: &BlockCtx,
+    chain: &LaneChain,
+    v: InstId,
+    allow_inverse: bool,
+    max_leaves: usize,
+    claimed: &dyn Fn(InstId) -> bool,
+) -> bool {
+    // Growing this trunk node adds one leaf net; respect the cap.
+    if chain.leaves.len() + chain.trunk.len() + 2 > max_leaves {
+        return false;
+    }
+    if !ctx.in_block(v) || claimed(v) || chain.trunk.contains(&v) {
+        return false;
+    }
+    if f.ty(v) != f.ty(chain.root) {
+        return false;
+    }
+    let InstKind::Binary { op, .. } = f.kind(v) else {
+        return false;
+    };
+    let Some((fam, dir)) = op.family() else {
+        return false;
+    };
+    if fam != chain.family {
+        return false;
+    }
+    if !allow_inverse && dir == Direction::Inverse {
+        return false;
+    }
+    // A trunk member must be used only by its trunk parent; otherwise its
+    // value escapes and flattening would change observable behaviour.
+    ctx.use_count(v) == 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snslp_ir::{FunctionBuilder, Param, ScalarType};
+
+    /// Builds `a - (b + c)` as i64 values loaded from one array.
+    fn nested_fn() -> (Function, InstId) {
+        let mut fb = FunctionBuilder::new("t", vec![Param::noalias_ptr("p")], Type::Void);
+        let p = fb.func().param(0);
+        let a = fb.load(ScalarType::I64, p);
+        let p1 = fb.ptradd_const(p, 8);
+        let b = fb.load(ScalarType::I64, p1);
+        let p2 = fb.ptradd_const(p, 16);
+        let c = fb.load(ScalarType::I64, p2);
+        let inner = fb.add(b, c);
+        let root = fb.sub(a, inner);
+        fb.store(p, root);
+        fb.ret(None);
+        (fb.finish(), root)
+    }
+
+    fn extract(f: &Function, root: InstId, allow_inverse: bool) -> Option<LaneChain> {
+        let ctx = BlockCtx::compute(f, f.entry());
+        extract_chain(f, &ctx, root, allow_inverse, 32, &|_| false)
+    }
+
+    #[test]
+    fn apo_of_nested_subtraction() {
+        // a - (b + c): APOs are a:+, b:-, c:- (paper §IV-C1 example).
+        let (f, root) = nested_fn();
+        let chain = extract(&f, root, true).unwrap();
+        assert_eq!(chain.trunk.len(), 2);
+        assert_eq!(chain.leaves.len(), 3);
+        let apos: Vec<(u32, Sign, Sign)> = chain
+            .leaves
+            .iter()
+            .map(|l| (l.depth, l.apo, l.class))
+            .collect();
+        // leaf a: owned by root (depth 0, class +, apo +);
+        // leaves b, c: owned by the inner add, which sits on the RHS of
+        // the subtraction → class -, apo -.
+        assert_eq!(
+            apos,
+            vec![
+                (0, Sign::Plus, Sign::Plus),
+                (1, Sign::Minus, Sign::Minus),
+                (1, Sign::Minus, Sign::Minus),
+            ]
+        );
+    }
+
+    #[test]
+    fn left_chain_apos_and_classes() {
+        // ((a - b) + c): all trunk nodes on the spine → classes all +.
+        let mut fb = FunctionBuilder::new("t", vec![Param::noalias_ptr("p")], Type::Void);
+        let p = fb.func().param(0);
+        let a = fb.load(ScalarType::I64, p);
+        let p1 = fb.ptradd_const(p, 8);
+        let b = fb.load(ScalarType::I64, p1);
+        let p2 = fb.ptradd_const(p, 16);
+        let c = fb.load(ScalarType::I64, p2);
+        let t = fb.sub(a, b);
+        let root = fb.add(t, c);
+        fb.store(p, root);
+        fb.ret(None);
+        let f = fb.finish();
+        let chain = extract(&f, root, true).unwrap();
+        assert_eq!(chain.size(), 2);
+        let by_value: Vec<(InstId, Sign, Sign)> = chain
+            .leaves
+            .iter()
+            .map(|l| (l.value, l.apo, l.class))
+            .collect();
+        assert!(by_value.contains(&(a, Sign::Plus, Sign::Plus)));
+        assert!(by_value.contains(&(b, Sign::Minus, Sign::Plus)));
+        assert!(by_value.contains(&(c, Sign::Plus, Sign::Plus)));
+        // Root-first ordering: c (depth 0) comes first.
+        assert_eq!(chain.leaves[0].value, c);
+    }
+
+    #[test]
+    fn lslp_mode_rejects_inverse_roots_and_trunks() {
+        let (f, root) = nested_fn();
+        // Root is a sub: not a Multi-Node root.
+        assert!(extract(&f, root, false).is_none());
+
+        // An add-rooted chain with a sub inside stops at the sub.
+        let mut fb = FunctionBuilder::new("t", vec![Param::noalias_ptr("p")], Type::Void);
+        let p = fb.func().param(0);
+        let a = fb.load(ScalarType::I64, p);
+        let p1 = fb.ptradd_const(p, 8);
+        let b = fb.load(ScalarType::I64, p1);
+        let p2 = fb.ptradd_const(p, 16);
+        let c = fb.load(ScalarType::I64, p2);
+        let t = fb.sub(a, b);
+        let root = fb.add(t, c);
+        fb.store(p, root);
+        fb.ret(None);
+        let f = fb.finish();
+        let chain = extract(&f, root, false).unwrap();
+        // The sub is a *leaf* of the Multi-Node, not a trunk member.
+        assert_eq!(chain.trunk.len(), 1);
+        assert!(chain.leaves.iter().any(|l| l.value == t));
+    }
+
+    #[test]
+    fn multi_use_values_terminate_the_trunk() {
+        // t = a + b is used twice → must stay a leaf.
+        let mut fb = FunctionBuilder::new("t", vec![Param::noalias_ptr("p")], Type::Void);
+        let p = fb.func().param(0);
+        let a = fb.load(ScalarType::I64, p);
+        let p1 = fb.ptradd_const(p, 8);
+        let b = fb.load(ScalarType::I64, p1);
+        let t = fb.add(a, b);
+        let root = fb.add(t, t);
+        fb.store(p, root);
+        fb.ret(None);
+        let f = fb.finish();
+        let chain = extract(&f, root, true).unwrap();
+        assert_eq!(chain.trunk, vec![root]);
+        assert_eq!(chain.leaves.len(), 2);
+        assert!(chain.leaves.iter().all(|l| l.value == t));
+    }
+
+    #[test]
+    fn float_chains_require_fast_math() {
+        let mut fb = FunctionBuilder::new("t", vec![Param::noalias_ptr("p")], Type::Void);
+        let p = fb.func().param(0);
+        let a = fb.load(ScalarType::F64, p);
+        let p1 = fb.ptradd_const(p, 8);
+        let b = fb.load(ScalarType::F64, p1);
+        let s = fb.sub(a, b);
+        fb.store(p, s);
+        fb.ret(None);
+        let f = fb.finish();
+        assert!(extract(&f, s, true).is_none(), "no fast-math, no fp chain");
+
+        let mut fb = FunctionBuilder::new("t", vec![Param::noalias_ptr("p")], Type::Void);
+        fb.set_fast_math(true);
+        let p = fb.func().param(0);
+        let a = fb.load(ScalarType::F64, p);
+        let p1 = fb.ptradd_const(p, 8);
+        let b = fb.load(ScalarType::F64, p1);
+        let s = fb.sub(a, b);
+        fb.store(p, s);
+        fb.ret(None);
+        let f = fb.finish();
+        assert!(extract(&f, s, true).is_some());
+    }
+
+    #[test]
+    fn muldiv_family_is_float_only() {
+        assert!(!family_allowed(
+            OpFamily::MulDiv,
+            Type::scalar(ScalarType::I64),
+            true
+        ));
+        assert!(family_allowed(
+            OpFamily::MulDiv,
+            Type::scalar(ScalarType::F32),
+            true
+        ));
+        assert!(!family_allowed(
+            OpFamily::MulDiv,
+            Type::scalar(ScalarType::F32),
+            false
+        ));
+        assert!(family_allowed(
+            OpFamily::AddSub,
+            Type::scalar(ScalarType::I32),
+            false
+        ));
+    }
+
+    #[test]
+    fn muldiv_chain_apos() {
+        // a * b / c → a:+, b:+, c:-  (paper §III-A).
+        let mut fb = FunctionBuilder::new("t", vec![Param::noalias_ptr("p")], Type::Void);
+        fb.set_fast_math(true);
+        let p = fb.func().param(0);
+        let a = fb.load(ScalarType::F64, p);
+        let p1 = fb.ptradd_const(p, 8);
+        let b = fb.load(ScalarType::F64, p1);
+        let p2 = fb.ptradd_const(p, 16);
+        let c = fb.load(ScalarType::F64, p2);
+        let m = fb.mul(a, b);
+        let root = fb.div(m, c);
+        fb.store(p, root);
+        fb.ret(None);
+        let f = fb.finish();
+        let chain = extract(&f, root, true).unwrap();
+        assert_eq!(chain.family, OpFamily::MulDiv);
+        let find = |v: InstId| chain.leaves.iter().find(|l| l.value == v).unwrap();
+        assert_eq!(find(a).apo, Sign::Plus);
+        assert_eq!(find(b).apo, Sign::Plus);
+        assert_eq!(find(c).apo, Sign::Minus);
+    }
+
+    #[test]
+    fn deeply_nested_rhs_apo_parity() {
+        // a - (b - (c - d)): APO counts right-hand-side-of-inverse edges:
+        // a:+ (0), b:- (1), c:+ (2), d:- (3).
+        let mut fb = FunctionBuilder::new("t", vec![Param::noalias_ptr("p")], Type::Void);
+        let p = fb.func().param(0);
+        let at = |k: i64, fb: &mut FunctionBuilder| {
+            let q = fb.ptradd_const(p, 8 * k);
+            fb.load(ScalarType::I64, q)
+        };
+        let a = at(0, &mut fb);
+        let b = at(1, &mut fb);
+        let c = at(2, &mut fb);
+        let d = at(3, &mut fb);
+        let inner2 = fb.sub(c, d);
+        let inner1 = fb.sub(b, inner2);
+        let root = fb.sub(a, inner1);
+        fb.store(p, root);
+        fb.ret(None);
+        let f = fb.finish();
+        let chain = extract(&f, root, true).unwrap();
+        assert_eq!(chain.size(), 3);
+        let find = |v: InstId| chain.leaves.iter().find(|l| l.value == v).unwrap();
+        assert_eq!(find(a).apo, Sign::Plus);
+        assert_eq!(find(b).apo, Sign::Minus);
+        assert_eq!(find(c).apo, Sign::Plus);
+        assert_eq!(find(d).apo, Sign::Minus);
+        // Trunk-sign classes alternate down the nesting.
+        assert_eq!(find(a).class, Sign::Plus);
+        assert_eq!(find(b).class, Sign::Minus);
+        assert_eq!(find(c).class, Sign::Plus);
+        assert_eq!(find(d).class, Sign::Plus);
+    }
+}

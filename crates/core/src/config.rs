@@ -1,0 +1,129 @@
+//! Vectorizer configuration.
+
+use snslp_cost::CostModel;
+
+/// Which member of the SLP algorithm family to run.
+///
+/// These are the three configurations evaluated by the paper (§V):
+/// *O3* (no SLP at all — simply do not run the pass), vanilla bottom-up
+/// [`SlpMode::Slp`], Look-Ahead SLP with Multi-Nodes [`SlpMode::Lslp`],
+/// and Super-Node SLP [`SlpMode::SnSlp`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SlpMode {
+    /// Vanilla bottom-up SLP (Rosen et al. / Rotem et al.): isomorphic
+    /// bundles, per-lane commutative operand reordering, alternating
+    /// add/sub bundles. No chain flattening.
+    Slp,
+    /// LSLP \[Porpodas et al., 2018\]: vanilla SLP plus Multi-Nodes
+    /// (uninterrupted single-opcode commutative chains) with look-ahead
+    /// operand reordering.
+    Lslp,
+    /// Super-Node SLP (this paper): Multi-Nodes generalized to include the
+    /// operator's inverse element, with APO-based leaf and trunk
+    /// reordering.
+    SnSlp,
+}
+
+impl SlpMode {
+    /// Whether chains are flattened into Multi/Super-Nodes at all.
+    pub fn flattens_chains(self) -> bool {
+        !matches!(self, SlpMode::Slp)
+    }
+
+    /// Whether inverse operators may join a flattened chain.
+    pub fn allows_inverse_ops(self) -> bool {
+        matches!(self, SlpMode::SnSlp)
+    }
+
+    /// Human-readable label used in reports and figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            SlpMode::Slp => "SLP",
+            SlpMode::Lslp => "LSLP",
+            SlpMode::SnSlp => "SN-SLP",
+        }
+    }
+}
+
+/// Tunable parameters of the vectorizer.
+#[derive(Debug, Clone)]
+pub struct SlpConfig {
+    /// Algorithm variant.
+    pub mode: SlpMode,
+    /// Cost model (target description + parameters).
+    pub model: CostModel,
+    /// Vectorize only if the total graph cost is strictly below this
+    /// threshold (paper: "usually 0"; lower = saving).
+    pub threshold: i32,
+    /// Maximum use-def recursion depth while growing the graph.
+    pub max_depth: u32,
+    /// Look-ahead recursion depth for LSLP operand scoring.
+    pub lookahead_depth: u32,
+    /// Maximum leaves per Super-Node (compile-time cap, paper §IV-C4:
+    /// "we need to cap compilation time for large Super-Nodes").
+    pub max_supernode_leaves: usize,
+    /// Allow trunk reordering in Super-Nodes (paper §IV-C3). Disabling
+    /// this leaves only the restrictive leaf-APO rule of §IV-C2 — the
+    /// ablation showing why trunk movement is needed (e.g. the Fig. 3
+    /// example stops vectorizing).
+    pub enable_trunk_reordering: bool,
+    /// Vectorize horizontal reduction trees (the paper's
+    /// `-slp-vectorize-hor`, enabled for all configurations in §V).
+    pub enable_reductions: bool,
+    /// Minimum reduction-tree leaves worth vectorizing.
+    pub min_reduction_leaves: usize,
+    /// Run the IR verifier after every rewrite (slower; tests enable it).
+    pub verify_after: bool,
+}
+
+impl SlpConfig {
+    /// Default configuration for a mode with the default (SSE2-like)
+    /// cost model.
+    pub fn new(mode: SlpMode) -> Self {
+        SlpConfig {
+            mode,
+            model: CostModel::default(),
+            threshold: 0,
+            max_depth: 12,
+            lookahead_depth: 2,
+            max_supernode_leaves: 32,
+            enable_trunk_reordering: true,
+            enable_reductions: true,
+            min_reduction_leaves: 4,
+            verify_after: false,
+        }
+    }
+
+    /// Replaces the cost model.
+    pub fn with_model(mut self, model: CostModel) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// Enables IR verification after every rewrite.
+    pub fn with_verification(mut self) -> Self {
+        self.verify_after = true;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_capabilities() {
+        assert!(!SlpMode::Slp.flattens_chains());
+        assert!(SlpMode::Lslp.flattens_chains());
+        assert!(SlpMode::SnSlp.flattens_chains());
+        assert!(!SlpMode::Slp.allows_inverse_ops());
+        assert!(!SlpMode::Lslp.allows_inverse_ops());
+        assert!(SlpMode::SnSlp.allows_inverse_ops());
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(SlpMode::SnSlp.label(), "SN-SLP");
+        assert_eq!(SlpMode::Lslp.label(), "LSLP");
+    }
+}

@@ -1,0 +1,201 @@
+//! Per-block analysis context shared by graph construction, cost
+//! evaluation, and code generation.
+
+use std::collections::HashMap;
+
+use snslp_ir::analysis::{may_alias, MemLoc};
+use snslp_ir::{BlockId, Function, InstId, InstKind};
+
+/// Cached per-block facts: instruction positions, use counts, users, and
+/// memory locations.
+#[derive(Debug)]
+pub struct BlockCtx {
+    /// The block under analysis.
+    pub block: BlockId,
+    /// Position of each instruction inside the block.
+    pub pos: HashMap<InstId, usize>,
+    /// Function-wide users of every value.
+    pub users: Vec<Vec<InstId>>,
+    /// Function-wide use counts.
+    pub use_counts: Vec<u32>,
+    /// Memory locations of the block's loads and stores.
+    pub memlocs: HashMap<InstId, MemLoc>,
+}
+
+impl BlockCtx {
+    /// Computes the context for `block` of `f`.
+    pub fn compute(f: &Function, block: BlockId) -> Self {
+        let mut pos = HashMap::new();
+        let mut memlocs = HashMap::new();
+        for (i, &id) in f.block(block).insts().iter().enumerate() {
+            pos.insert(id, i);
+            if let Some(loc) = MemLoc::of_inst(f, id) {
+                memlocs.insert(id, loc);
+            }
+        }
+        BlockCtx {
+            block,
+            pos,
+            users: f.users(),
+            use_counts: f.use_counts(),
+            memlocs,
+        }
+    }
+
+    /// Whether `id` is an instruction of this block.
+    pub fn in_block(&self, id: InstId) -> bool {
+        self.pos.contains_key(&id)
+    }
+
+    /// Number of uses of `id` (function-wide).
+    pub fn use_count(&self, id: InstId) -> u32 {
+        self.use_counts[id.index()]
+    }
+
+    /// Users of `id` (function-wide).
+    pub fn users_of(&self, id: InstId) -> &[InstId] {
+        &self.users[id.index()]
+    }
+
+    /// Whether `a` (transitively) depends on `b` through use-def edges
+    /// within this block. Used to reject bundles whose lanes depend on
+    /// each other.
+    pub fn depends_on(&self, f: &Function, a: InstId, b: InstId) -> bool {
+        if a == b {
+            return true;
+        }
+        let mut stack = vec![a];
+        let mut seen = vec![a];
+        while let Some(cur) = stack.pop() {
+            for op in f.kind(cur).operands() {
+                if op == b {
+                    return true;
+                }
+                if self.in_block(op) && !seen.contains(&op) {
+                    seen.push(op);
+                    stack.push(op);
+                }
+            }
+        }
+        false
+    }
+
+    /// Whether any *store* with a position strictly inside `(lo, hi)` may
+    /// alias `loc`. Used to check that a bundle of loads spanning
+    /// positions `lo..=hi` can be collapsed into one vector load.
+    pub fn aliasing_store_within(
+        &self,
+        f: &Function,
+        lo: usize,
+        hi: usize,
+        loc: &MemLoc,
+    ) -> bool {
+        for (&id, other) in &self.memlocs {
+            if !matches!(f.kind(id), InstKind::Store { .. }) {
+                continue;
+            }
+            let p = self.pos[&id];
+            if p > lo && p < hi && may_alias(f, loc, other) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Whether any memory operation *not in `exclude`* with a position
+    /// strictly inside `(lo, hi)` may alias `loc`. Used for store bundles.
+    pub fn aliasing_mem_within(
+        &self,
+        f: &Function,
+        lo: usize,
+        hi: usize,
+        loc: &MemLoc,
+        exclude: &[InstId],
+    ) -> bool {
+        for (&id, other) in &self.memlocs {
+            if exclude.contains(&id) {
+                continue;
+            }
+            let p = self.pos[&id];
+            if p > lo && p < hi && may_alias(f, loc, other) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// The position span `(min, max)` of a bundle of block instructions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bundle is empty or contains non-block values.
+    pub fn span(&self, bundle: &[InstId]) -> (usize, usize) {
+        let mut lo = usize::MAX;
+        let mut hi = 0;
+        for &id in bundle {
+            let p = self.pos[&id];
+            lo = lo.min(p);
+            hi = hi.max(p);
+        }
+        (lo, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snslp_ir::{FunctionBuilder, Param, ScalarType, Type};
+
+    #[test]
+    fn depends_on_tracks_transitive_deps() {
+        let mut fb = FunctionBuilder::new("t", vec![Param::noalias_ptr("p")], Type::Void);
+        let p = fb.func().param(0);
+        let a = fb.load(ScalarType::F64, p);
+        let b = fb.add(a, a);
+        let c = fb.mul(b, a);
+        fb.store(p, c);
+        fb.ret(None);
+        let f = fb.finish();
+        let ctx = BlockCtx::compute(&f, f.entry());
+        assert!(ctx.depends_on(&f, c, a));
+        assert!(ctx.depends_on(&f, b, a));
+        assert!(!ctx.depends_on(&f, a, b));
+        assert!(ctx.depends_on(&f, a, a));
+    }
+
+    #[test]
+    fn aliasing_store_detection() {
+        // load a[0]; store a[1]; load a[1] — collapsing the two loads
+        // would move the second load across the store it aliases.
+        let mut fb = FunctionBuilder::new("t", vec![Param::noalias_ptr("a")], Type::Void);
+        let a = fb.func().param(0);
+        let l0 = fb.load(ScalarType::F64, a);
+        let p1 = fb.ptradd_const(a, 8);
+        fb.store(p1, l0);
+        let l1 = fb.load(ScalarType::F64, p1);
+        fb.store(a, l1);
+        fb.ret(None);
+        let f = fb.finish();
+        let ctx = BlockCtx::compute(&f, f.entry());
+        let (lo, hi) = ctx.span(&[l0, l1]);
+        let loc1 = ctx.memlocs[&l1];
+        assert!(ctx.aliasing_store_within(&f, lo, hi, &loc1));
+        // The first load's location (a[0]) is not touched by the store.
+        let loc0 = ctx.memlocs[&l0];
+        assert!(!ctx.aliasing_store_within(&f, lo, hi, &loc0));
+    }
+
+    #[test]
+    fn use_counts_and_users() {
+        let mut fb = FunctionBuilder::new("t", vec![Param::noalias_ptr("p")], Type::Void);
+        let p = fb.func().param(0);
+        let a = fb.load(ScalarType::F64, p);
+        let b = fb.add(a, a);
+        fb.store(p, b);
+        fb.ret(None);
+        let f = fb.finish();
+        let ctx = BlockCtx::compute(&f, f.entry());
+        assert_eq!(ctx.use_count(a), 2);
+        assert_eq!(ctx.users_of(b).len(), 1);
+    }
+}

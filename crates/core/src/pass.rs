@@ -1,0 +1,479 @@
+//! The pass driver: the outer loop of Figure 1 (collect seeds, build the
+//! graph, estimate cost, vectorize if profitable, repeat), plus the
+//! statistics the paper's evaluation reports.
+
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+use snslp_ir::{opt, Function, Module};
+
+use crate::codegen;
+use crate::config::{SlpConfig, SlpMode};
+use crate::cost_eval;
+use crate::ctx::BlockCtx;
+use crate::graph::build_graph;
+use crate::seeds::collect_store_seeds;
+
+/// Statistics for one SLP graph (one seed bundle attempt).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphStats {
+    /// Vector width of the seed bundle.
+    pub width: u8,
+    /// Total graph cost (negative = saving).
+    pub cost: i32,
+    /// Whether the graph was profitable *and* successfully scheduled.
+    pub vectorized: bool,
+    /// Total nodes in the graph.
+    pub num_nodes: usize,
+    /// Nodes that become vector instructions.
+    pub num_vector_nodes: usize,
+    /// Gather (non-vectorizable) nodes.
+    pub num_gather_nodes: usize,
+    /// Sizes (chain depths) of the Multi/Super-Nodes in this graph.
+    pub super_node_sizes: Vec<u32>,
+    /// Leaf-only placements across the graph's Super-Nodes.
+    pub leaf_moves: usize,
+    /// Trunk-assisted placements across the graph's Super-Nodes.
+    pub trunk_assisted_moves: usize,
+}
+
+/// Report for one function run through the pass.
+#[derive(Debug, Clone)]
+pub struct FunctionReport {
+    /// Function name.
+    pub function: String,
+    /// Mode the pass ran in.
+    pub mode: SlpMode,
+    /// One entry per attempted seed group.
+    pub graphs: Vec<GraphStats>,
+    /// Wall-clock time spent in the pass (the paper's Fig. 11 metric).
+    pub elapsed: Duration,
+}
+
+impl FunctionReport {
+    /// Number of graphs actually vectorized.
+    pub fn vectorized_graphs(&self) -> usize {
+        self.graphs.iter().filter(|g| g.vectorized).count()
+    }
+
+    /// Total aggregate Multi/Super-Node size over *vectorized* graphs
+    /// (the paper's Fig. 6 / Fig. 9 metric).
+    pub fn aggregate_super_node_size(&self) -> u64 {
+        self.graphs
+            .iter()
+            .filter(|g| g.vectorized)
+            .flat_map(|g| g.super_node_sizes.iter())
+            .map(|&s| u64::from(s))
+            .sum()
+    }
+
+    /// Number of Multi/Super-Nodes in vectorized graphs (Fig. 9's "more
+    /// nodes" metric).
+    pub fn num_super_nodes(&self) -> usize {
+        self.graphs
+            .iter()
+            .filter(|g| g.vectorized)
+            .map(|g| g.super_node_sizes.len())
+            .sum()
+    }
+
+    /// Average Multi/Super-Node size over vectorized graphs (Fig. 7 /
+    /// Fig. 10 metric). `None` when no such node was formed.
+    pub fn avg_super_node_size(&self) -> Option<f64> {
+        let n = self.num_super_nodes();
+        if n == 0 {
+            None
+        } else {
+            Some(self.aggregate_super_node_size() as f64 / n as f64)
+        }
+    }
+
+    /// Merges another report's graphs into this one (used for module
+    /// aggregation).
+    pub fn merge(&mut self, other: FunctionReport) {
+        self.graphs.extend(other.graphs);
+        self.elapsed += other.elapsed;
+    }
+}
+
+impl std::fmt::Display for FunctionReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "@{} [{}]: {}/{} graphs vectorized in {:?}",
+            self.function,
+            self.mode.label(),
+            self.vectorized_graphs(),
+            self.graphs.len(),
+            self.elapsed,
+        )?;
+        for (i, g) in self.graphs.iter().enumerate() {
+            write!(
+                f,
+                "  graph {i}: width {} cost {:+} -> {}",
+                g.width,
+                g.cost,
+                if g.vectorized { "vectorized" } else { "scalar" },
+            )?;
+            if !g.super_node_sizes.is_empty() {
+                write!(
+                    f,
+                    " (Super-Nodes {:?}, {} leaf / {} trunk-assisted moves)",
+                    g.super_node_sizes, g.leaf_moves, g.trunk_assisted_moves
+                )?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Runs the scalar cleanup pipeline only — the paper's "O3" baseline
+/// configuration (all vectorizers disabled).
+pub fn optimize_o3(f: &mut Function) -> Duration {
+    let start = Instant::now();
+    opt::cleanup_pipeline(f);
+    start.elapsed()
+}
+
+/// Builds the SLP graph for a seed bundle under the configured mode; if
+/// the result is not profitable, retries under the weaker modes'
+/// bundle-formation rules (SN-SLP ⊇ LSLP ⊇ SLP): committing to a
+/// flattened Multi/Super-Node is a greedy choice, and occasionally the
+/// unflattened graph prices better. Returns the cheapest graph found.
+fn best_graph(
+    f: &Function,
+    ctx: &BlockCtx,
+    cfg: &SlpConfig,
+    seeds: &[snslp_ir::InstId],
+) -> (crate::graph::SlpGraph, cost_eval::CostBreakdown) {
+    let graph = build_graph(f, ctx, cfg, seeds);
+    let cost = cost_eval::evaluate(f, ctx, &graph, &cfg.model);
+    let mut best = (graph, cost);
+    if best.1.total < cfg.threshold {
+        return best;
+    }
+    let fallbacks: &[SlpMode] = match cfg.mode {
+        SlpMode::SnSlp => &[SlpMode::Lslp, SlpMode::Slp],
+        SlpMode::Lslp => &[SlpMode::Slp],
+        SlpMode::Slp => &[],
+    };
+    for &mode in fallbacks {
+        let mut sub = cfg.clone();
+        sub.mode = mode;
+        let g = build_graph(f, ctx, &sub, seeds);
+        let c = cost_eval::evaluate(f, ctx, &g, &cfg.model);
+        if c.total < best.1.total {
+            best = (g, c);
+            if best.1.total < cfg.threshold {
+                break;
+            }
+        }
+    }
+    best
+}
+
+/// Runs the SLP pass (in the configured mode) on `f`.
+///
+/// The function is first cleaned up (simplify + CSE + DCE, the scalar
+/// "O3" pipeline), then each block's seed worklist is processed to
+/// exhaustion.
+///
+/// # Panics
+///
+/// Panics if `cfg.verify_after` is set and a rewrite breaks the IR — that
+/// is a bug in the vectorizer, not in user input.
+pub fn run_slp(f: &mut Function, cfg: &SlpConfig) -> FunctionReport {
+    let start = Instant::now();
+    opt::cleanup_pipeline(f);
+
+    let mut graphs = Vec::new();
+    let blocks: Vec<_> = f.block_ids().collect();
+    for block in blocks {
+        let mut processed: HashSet<snslp_ir::InstId> = HashSet::new();
+        loop {
+            // Analyses are recomputed after every rewrite (paper Fig. 1
+            // loops back to step 2 after each seed group).
+            let ctx = BlockCtx::compute(f, block);
+            let target = cfg.model.target().clone();
+            let groups =
+                collect_store_seeds(f, &ctx, |st| target.max_lanes(st), &processed);
+            let Some(group) = groups.into_iter().next() else {
+                break;
+            };
+            let (mut graph, mut cost) = best_graph(f, &ctx, cfg, &group.stores);
+            if cost.total >= cfg.threshold && group.width() > 2 {
+                // Retry at half width (like LLVM): a narrower bundle may
+                // be profitable where the wide one gathers too much. Mark
+                // only the front half processed; the back half re-enters
+                // the worklist as its own group.
+                let half = group.stores.len() / 2;
+                for &s in &group.stores[..half] {
+                    processed.insert(s);
+                }
+                let narrow = &group.stores[..half];
+                let (g2, c2) = best_graph(f, &ctx, cfg, narrow);
+                if c2.total < cost.total {
+                    graph = g2;
+                    cost = c2;
+                }
+            } else {
+                for &s in &group.stores {
+                    processed.insert(s);
+                }
+            }
+            let mut stats = GraphStats {
+                width: graph.width,
+                cost: cost.total,
+                vectorized: false,
+                num_nodes: graph.nodes.len(),
+                num_vector_nodes: graph.num_vector_nodes(),
+                num_gather_nodes: graph.num_gather_nodes(),
+                super_node_sizes: graph.super_node_sizes(),
+                leaf_moves: graph
+                    .nodes
+                    .iter()
+                    .filter_map(|n| match &n.kind {
+                        crate::graph::NodeKind::Super(i) => Some(i.leaf_moves),
+                        _ => None,
+                    })
+                    .sum(),
+                trunk_assisted_moves: graph
+                    .nodes
+                    .iter()
+                    .filter_map(|n| match &n.kind {
+                        crate::graph::NodeKind::Super(i) => Some(i.trunk_assisted_moves),
+                        _ => None,
+                    })
+                    .sum(),
+            };
+            if cost.total < cfg.threshold {
+                match codegen::apply(f, block, &graph) {
+                    Ok(()) => {
+                        stats.vectorized = true;
+                        if cfg.verify_after {
+                            if let Err(e) = snslp_ir::verify(f) {
+                                panic!("vectorizer broke the IR:\n{e}\n{f}");
+                            }
+                        }
+                    }
+                    Err(_) => {
+                        // Scheduling failed; leave the scalar code alone.
+                    }
+                }
+            }
+            graphs.push(stats);
+        }
+
+        // Horizontal-reduction seeds (the paper's `-slp-vectorize-hor`).
+        if cfg.enable_reductions {
+            let mut processed_roots: HashSet<snslp_ir::InstId> = HashSet::new();
+            loop {
+                let ctx = BlockCtx::compute(f, block);
+                let seeds = crate::seeds::collect_reduction_seeds(
+                    f,
+                    &ctx,
+                    cfg.min_reduction_leaves,
+                    &processed_roots,
+                );
+                let Some(seed) = seeds.into_iter().next() else {
+                    break;
+                };
+                processed_roots.insert(seed.root);
+                let Some(elem) = f.ty(seed.root).as_scalar() else {
+                    continue;
+                };
+                let width = cfg.model.target().max_lanes(elem);
+                if width < 2 || seed.leaves.len() < width as usize {
+                    continue;
+                }
+                let graph = crate::graph::build_reduction_graph(f, &ctx, cfg, &seed, width);
+                let cost = cost_eval::evaluate(f, &ctx, &graph, &cfg.model);
+                let mut stats = GraphStats {
+                    width,
+                    cost: cost.total,
+                    vectorized: false,
+                    num_nodes: graph.nodes.len(),
+                    num_vector_nodes: graph.num_vector_nodes(),
+                    num_gather_nodes: graph.num_gather_nodes(),
+                    super_node_sizes: graph.super_node_sizes(),
+                    leaf_moves: 0,
+                    trunk_assisted_moves: 0,
+                };
+                if cost.total < cfg.threshold
+                    && codegen::apply(f, block, &graph).is_ok() {
+                        stats.vectorized = true;
+                        if cfg.verify_after {
+                            if let Err(e) = snslp_ir::verify(f) {
+                                panic!("vectorizer broke the IR (reduction):\n{e}\n{f}");
+                            }
+                        }
+                    }
+                graphs.push(stats);
+            }
+        }
+    }
+
+    FunctionReport {
+        function: f.name().to_string(),
+        mode: cfg.mode,
+        graphs,
+        elapsed: start.elapsed(),
+    }
+}
+
+/// Runs the pass over every function of a module, returning one merged
+/// report per function.
+pub fn run_slp_module(m: &mut Module, cfg: &SlpConfig) -> Vec<FunctionReport> {
+    m.functions_mut()
+        .iter_mut()
+        .map(|f| run_slp(f, cfg))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snslp_cost::{CostModel, TargetDesc};
+    use snslp_interp::{check_equivalent, ArgSpec};
+    use snslp_ir::{FunctionBuilder, InstId, Param, ScalarType, Type};
+
+    /// The Fig. 2-style kernel inside a loop over n iteration-pairs.
+    fn fig2_loop() -> Function {
+        let mut fb = FunctionBuilder::new(
+            "fig2_loop",
+            vec![
+                Param::noalias_ptr("a"),
+                Param::noalias_ptr("b"),
+                Param::noalias_ptr("c"),
+                Param::noalias_ptr("d"),
+                Param::new("n", Type::scalar(ScalarType::I64)),
+            ],
+            Type::Void,
+        );
+        let a = fb.func().param(0);
+        let b = fb.func().param(1);
+        let c = fb.func().param(2);
+        let d = fb.func().param(3);
+        let n = fb.func().param(4);
+        fb.counted_loop(n, |fb, i| {
+            let sixteen = fb.const_i64(16);
+            let base_off = fb.mul(i, sixteen);
+            let pa = fb.ptradd(a, base_off);
+            let pb = fb.ptradd(b, base_off);
+            let pc = fb.ptradd(c, base_off);
+            let pd = fb.ptradd(d, base_off);
+            let ld = |p: InstId, k: i64, fb: &mut FunctionBuilder| {
+                let q = fb.ptradd_const(p, 8 * k);
+                fb.load(ScalarType::I64, q)
+            };
+            // Lane 0: B[i] - C[i] + D[i+1]
+            let b0 = ld(pb, 0, fb);
+            let c0 = ld(pc, 0, fb);
+            let d1 = ld(pd, 1, fb);
+            let t0 = fb.sub(b0, c0);
+            let r0 = fb.add(t0, d1);
+            fb.store(pa, r0);
+            // Lane 1: D[i+2] - C[i+1] + B[i+1]
+            let d2 = ld(pd, 2, fb);
+            let c1 = ld(pc, 1, fb);
+            let b1 = ld(pb, 1, fb);
+            let t1 = fb.sub(d2, c1);
+            let r1 = fb.add(t1, b1);
+            let pa1 = fb.ptradd_const(pa, 8);
+            fb.store(pa1, r1);
+        });
+        fb.ret(None);
+        fb.finish()
+    }
+
+    fn model() -> CostModel {
+        CostModel::new(TargetDesc::sse2_like())
+    }
+
+    fn i64_array(len: usize, seed: i64) -> ArgSpec {
+        ArgSpec::I64Array((0..len as i64).map(|i| i * 13 + seed).collect())
+    }
+
+    fn args(n: usize) -> Vec<ArgSpec> {
+        let len = 2 * n + 2;
+        vec![
+            i64_array(len, 0),
+            i64_array(len, 3),
+            i64_array(len, 7),
+            i64_array(len, 11),
+            ArgSpec::I64(n as i64),
+        ]
+    }
+
+    #[test]
+    fn snslp_vectorizes_fig2_loop_and_preserves_semantics() {
+        let orig = fig2_loop();
+        let mut f = fig2_loop();
+        let cfg = SlpConfig::new(SlpMode::SnSlp).with_verification();
+        let report = run_slp(&mut f, &cfg);
+        assert_eq!(report.vectorized_graphs(), 1, "{report:?}\n{f}");
+        assert_eq!(report.aggregate_super_node_size(), 2);
+        check_equivalent(&orig, &f, &args(8), &model()).unwrap();
+    }
+
+    #[test]
+    fn slp_and_lslp_leave_fig2_scalar() {
+        for mode in [SlpMode::Slp, SlpMode::Lslp] {
+            let mut f = fig2_loop();
+            let report = run_slp(&mut f, &SlpConfig::new(mode).with_verification());
+            assert_eq!(report.vectorized_graphs(), 0, "{mode:?}");
+            assert_eq!(report.aggregate_super_node_size(), 0);
+        }
+    }
+
+    #[test]
+    fn snslp_is_faster_in_simulated_cycles() {
+        let orig = fig2_loop();
+        let mut f = fig2_loop();
+        run_slp(&mut f, &SlpConfig::new(SlpMode::SnSlp));
+        let (a, b) = check_equivalent(&orig, &f, &args(64), &model()).unwrap();
+        assert!(
+            b.exec.cycles < a.exec.cycles,
+            "vectorized {} !< scalar {}",
+            b.exec.cycles,
+            a.exec.cycles
+        );
+    }
+
+    #[test]
+    fn report_merging_accumulates() {
+        let mut f1 = fig2_loop();
+        let mut r1 = run_slp(&mut f1, &SlpConfig::new(SlpMode::SnSlp));
+        let mut f2 = fig2_loop();
+        let r2 = run_slp(&mut f2, &SlpConfig::new(SlpMode::SnSlp));
+        let v = r1.vectorized_graphs() + r2.vectorized_graphs();
+        r1.merge(r2);
+        assert_eq!(r1.vectorized_graphs(), v);
+    }
+
+    #[test]
+    fn o3_baseline_only_cleans_up() {
+        let mut f = fig2_loop();
+        let before = format!("{f}");
+        optimize_o3(&mut f);
+        // No vector types anywhere.
+        let has_vec = f
+            .block_ids()
+            .flat_map(|b| f.block(b).insts().to_vec())
+            .any(|i| f.ty(i).as_vector().is_some());
+        assert!(!has_vec);
+        let _ = before;
+        snslp_ir::verify(&f).unwrap();
+    }
+
+    #[test]
+    fn report_display_is_informative() {
+        let mut f = fig2_loop();
+        let report = run_slp(&mut f, &SlpConfig::new(SlpMode::SnSlp));
+        let text = report.to_string();
+        assert!(text.contains("SN-SLP"), "{text}");
+        assert!(text.contains("vectorized"), "{text}");
+        assert!(text.contains("Super-Nodes"), "{text}");
+    }
+}

@@ -1,0 +1,348 @@
+//! Seed collection (paper Fig. 1 step 1: "Find seeds & add to worklist").
+//!
+//! Adjacent store groups are "some of the most promising seeds and
+//! therefore most compilers look for these first" (§II-B); this module
+//! finds runs of stores to consecutive addresses of the same element type
+//! and chunks them into power-of-two bundles.
+
+use std::collections::{HashMap, HashSet};
+
+use snslp_ir::{Function, InstId, InstKind, ScalarType};
+
+use crate::ctx::BlockCtx;
+
+/// A bundle of adjacent stores to start graph construction from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeedGroup {
+    /// The stores, in ascending address order.
+    pub stores: Vec<InstId>,
+    /// Element type stored.
+    pub elem: ScalarType,
+}
+
+impl SeedGroup {
+    /// Vector width of the bundle.
+    pub fn width(&self) -> u8 {
+        self.stores.len() as u8
+    }
+}
+
+/// Collects store seed groups in `ctx.block`, skipping any store in
+/// `processed` (already attempted). `max_lanes` caps the group width by
+/// element type (from the target's register width).
+pub fn collect_store_seeds(
+    f: &Function,
+    ctx: &BlockCtx,
+    max_lanes: impl Fn(ScalarType) -> u8,
+    processed: &HashSet<InstId>,
+) -> Vec<SeedGroup> {
+    // Group stores by (address root, element type).
+    let mut buckets: HashMap<(InstId, ScalarType), Vec<(i64, InstId)>> = HashMap::new();
+    for &id in f.block(ctx.block).insts() {
+        if processed.contains(&id) {
+            continue;
+        }
+        let InstKind::Store { value, .. } = f.kind(id) else {
+            continue;
+        };
+        let Some(elem) = f.ty(*value).as_scalar() else {
+            continue; // vector stores are already vectorized
+        };
+        let Some(loc) = ctx.memlocs.get(&id) else {
+            continue;
+        };
+        buckets
+            .entry((loc.addr.root, elem))
+            .or_default()
+            .push((loc.addr.offset, id));
+    }
+
+    let mut groups = Vec::new();
+    let mut keys: Vec<(InstId, ScalarType)> = buckets.keys().copied().collect();
+    keys.sort_by_key(|(root, elem)| (root.0, elem.size_bytes()));
+    for key in keys {
+        let mut stores = buckets.remove(&key).expect("key from map");
+        let (_, elem) = key;
+        let size = i64::from(elem.size_bytes());
+        stores.sort_by_key(|&(off, _)| off);
+        stores.dedup_by_key(|&mut (off, _)| off); // duplicate offsets: keep first
+
+        // Split into maximal runs of consecutive offsets.
+        let mut run: Vec<InstId> = Vec::new();
+        let mut prev_off: Option<i64> = None;
+        let flush = |run: &mut Vec<InstId>, groups: &mut Vec<SeedGroup>| {
+            let max_vf = max_lanes(elem).max(1);
+            let mut rest: &[InstId] = run;
+            while rest.len() >= 2 {
+                // Largest power-of-two chunk ≤ min(max_vf, remaining).
+                let mut vf = max_vf.min(rest.len() as u8);
+                while !vf.is_power_of_two() {
+                    vf -= 1;
+                }
+                if vf < 2 {
+                    break;
+                }
+                let (chunk, tail) = rest.split_at(vf as usize);
+                groups.push(SeedGroup {
+                    stores: chunk.to_vec(),
+                    elem,
+                });
+                rest = tail;
+            }
+            run.clear();
+        };
+        for (off, id) in stores {
+            match prev_off {
+                Some(p) if off == p + size => run.push(id),
+                Some(_) | None => {
+                    flush(&mut run, &mut groups);
+                    run.push(id);
+                }
+            }
+            prev_off = Some(off);
+        }
+        flush(&mut run, &mut groups);
+    }
+    groups
+}
+
+/// A horizontal-reduction seed (paper §II-B: "instructions that form
+/// reduction trees", the `-slp-vectorize-hor` case): a maximal
+/// single-use tree of one commutative associative opcode whose leaves
+/// can be bundled into vectors and reduced with shuffles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReductionSeed {
+    /// The tree root (its value is replaced by the horizontal reduction).
+    pub root: InstId,
+    /// Interior tree instructions (including the root), all removed.
+    pub tree: Vec<InstId>,
+    /// The leaf values, in tree order.
+    pub leaves: Vec<InstId>,
+    /// The reduction opcode (`add`, `mul`, `min`, `max`, …).
+    pub op: snslp_ir::BinOp,
+}
+
+/// Collects horizontal-reduction seeds in `ctx.block`.
+///
+/// A root qualifies when it is a commutative associative binary op whose
+/// value is *not* consumed by another instruction of the same opcode
+/// (i.e. it is the top of the tree), the tree has at least `min_leaves`
+/// leaves, and — for floats — the function allows reassociation.
+pub fn collect_reduction_seeds(
+    f: &Function,
+    ctx: &BlockCtx,
+    min_leaves: usize,
+    processed: &HashSet<InstId>,
+) -> Vec<ReductionSeed> {
+    let mut out = Vec::new();
+    for &id in f.block(ctx.block).insts() {
+        if processed.contains(&id) {
+            continue;
+        }
+        let InstKind::Binary { op, .. } = f.kind(id) else {
+            continue;
+        };
+        let op = *op;
+        if !op.is_commutative() || !op.is_associative() {
+            continue;
+        }
+        if let Some(st) = f.ty(id).as_scalar() {
+            if st.is_float() && !f.fast_math {
+                continue;
+            }
+        } else {
+            continue;
+        }
+        // Must be the top of the tree: no user with the same opcode in
+        // this block (such a user would absorb this node into its own
+        // tree).
+        let absorbed = ctx.users_of(id).iter().any(|&u| {
+            ctx.in_block(u) && matches!(f.kind(u), InstKind::Binary { op: o, .. } if *o == op)
+        });
+        if absorbed {
+            continue;
+        }
+        let mut tree = Vec::new();
+        let mut leaves = Vec::new();
+        grow_reduction(f, ctx, id, op, &mut tree, &mut leaves);
+        if leaves.len() >= min_leaves {
+            out.push(ReductionSeed {
+                root: id,
+                tree,
+                leaves,
+                op,
+            });
+        }
+    }
+    out
+}
+
+fn grow_reduction(
+    f: &Function,
+    ctx: &BlockCtx,
+    t: InstId,
+    op: snslp_ir::BinOp,
+    tree: &mut Vec<InstId>,
+    leaves: &mut Vec<InstId>,
+) {
+    tree.push(t);
+    for v in f.kind(t).operands() {
+        let is_interior = ctx.in_block(v)
+            && ctx.use_count(v) == 1
+            && f.ty(v) == f.ty(t)
+            && matches!(f.kind(v), InstKind::Binary { op: o, .. } if *o == op);
+        if is_interior {
+            grow_reduction(f, ctx, v, op, tree, leaves);
+        } else {
+            leaves.push(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snslp_ir::{FunctionBuilder, Param, Type};
+
+    /// Stores x to a[k] for the given element offsets (in elements).
+    fn store_fn(elem_offsets: &[i64]) -> (Function, Vec<InstId>) {
+        let mut fb = FunctionBuilder::new("t", vec![Param::noalias_ptr("a")], Type::Void);
+        let a = fb.func().param(0);
+        let x = fb.load(ScalarType::F64, a);
+        let mut stores = Vec::new();
+        for &k in elem_offsets {
+            let p = fb.ptradd_const(a, 8 * k + 64); // avoid clobbering a[0]
+            stores.push(fb.store(p, x));
+        }
+        fb.ret(None);
+        (fb.finish(), stores)
+    }
+
+    fn seeds_of(f: &Function, max: u8) -> Vec<SeedGroup> {
+        let ctx = BlockCtx::compute(f, f.entry());
+        collect_store_seeds(f, &ctx, |_| max, &HashSet::new())
+    }
+
+    #[test]
+    fn consecutive_run_becomes_one_group() {
+        let (f, stores) = store_fn(&[0, 1]);
+        let groups = seeds_of(&f, 2);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].stores, stores);
+        assert_eq!(groups[0].width(), 2);
+    }
+
+    #[test]
+    fn gaps_split_runs() {
+        let (f, _) = store_fn(&[0, 1, 3, 4]);
+        let groups = seeds_of(&f, 2);
+        assert_eq!(groups.len(), 2);
+    }
+
+    #[test]
+    fn long_runs_chunked_to_max_lanes() {
+        let (f, _) = store_fn(&[0, 1, 2, 3, 4, 5, 6, 7]);
+        let groups = seeds_of(&f, 2);
+        assert_eq!(groups.len(), 4);
+        let groups = seeds_of(&f, 4);
+        assert_eq!(groups.len(), 2);
+        assert!(groups.iter().all(|g| g.width() == 4));
+    }
+
+    #[test]
+    fn leftovers_use_smaller_power_of_two() {
+        // Run of 3 with max 4: one pair, one leftover scalar.
+        let (f, _) = store_fn(&[0, 1, 2]);
+        let groups = seeds_of(&f, 4);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].width(), 2);
+    }
+
+    #[test]
+    fn unordered_stores_are_sorted() {
+        let (f, stores) = store_fn(&[1, 0]);
+        let groups = seeds_of(&f, 2);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].stores, vec![stores[1], stores[0]]);
+    }
+
+    #[test]
+    fn processed_stores_are_skipped() {
+        let (f, stores) = store_fn(&[0, 1]);
+        let ctx = BlockCtx::compute(&f, f.entry());
+        let mut processed = HashSet::new();
+        processed.insert(stores[0]);
+        let groups = collect_store_seeds(&f, &ctx, |_| 2, &processed);
+        assert!(groups.is_empty(), "a lone store cannot seed");
+    }
+
+    /// out[0] = sum of src[0..k] as a left chain of adds.
+    fn reduction_fn(k: usize) -> (Function, InstId) {
+        let mut fb = FunctionBuilder::new(
+            "r",
+            vec![Param::noalias_ptr("out"), Param::noalias_ptr("src")],
+            Type::Void,
+        );
+        let out = fb.func().param(0);
+        let src = fb.func().param(1);
+        let mut acc = fb.load(ScalarType::F64, src);
+        fb.set_fast_math(true);
+        for i in 1..k {
+            let p = fb.ptradd_const(src, 8 * i as i64);
+            let v = fb.load(ScalarType::F64, p);
+            acc = fb.add(acc, v);
+        }
+        fb.store(out, acc);
+        fb.ret(None);
+        (fb.finish(), acc)
+    }
+
+    #[test]
+    fn reduction_seed_detected() {
+        let (f, root) = reduction_fn(8);
+        let ctx = BlockCtx::compute(&f, f.entry());
+        let seeds = collect_reduction_seeds(&f, &ctx, 4, &HashSet::new());
+        assert_eq!(seeds.len(), 1);
+        assert_eq!(seeds[0].root, root);
+        assert_eq!(seeds[0].leaves.len(), 8);
+        assert_eq!(seeds[0].tree.len(), 7);
+    }
+
+    #[test]
+    fn short_reductions_skipped() {
+        let (f, _) = reduction_fn(3);
+        let ctx = BlockCtx::compute(&f, f.entry());
+        assert!(collect_reduction_seeds(&f, &ctx, 4, &HashSet::new()).is_empty());
+    }
+
+    #[test]
+    fn float_reduction_requires_fast_math() {
+        let mut fb = FunctionBuilder::new(
+            "r",
+            vec![Param::noalias_ptr("out"), Param::noalias_ptr("src")],
+            Type::Void,
+        );
+        let out = fb.func().param(0);
+        let src = fb.func().param(1);
+        let mut acc = fb.load(ScalarType::F64, src);
+        for i in 1..8 {
+            let p = fb.ptradd_const(src, 8 * i as i64);
+            let v = fb.load(ScalarType::F64, p);
+            acc = fb.add(acc, v);
+        }
+        fb.store(out, acc);
+        fb.ret(None);
+        let f = fb.finish(); // fast_math NOT set
+        let ctx = BlockCtx::compute(&f, f.entry());
+        assert!(collect_reduction_seeds(&f, &ctx, 4, &HashSet::new()).is_empty());
+    }
+
+    #[test]
+    fn interior_nodes_not_separate_seeds() {
+        // Every interior add is absorbed by the root's tree.
+        let (f, _) = reduction_fn(6);
+        let ctx = BlockCtx::compute(&f, f.entry());
+        let seeds = collect_reduction_seeds(&f, &ctx, 2, &HashSet::new());
+        assert_eq!(seeds.len(), 1);
+    }
+}

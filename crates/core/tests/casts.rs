@@ -1,0 +1,180 @@
+//! Vector cast bundles: conversions vectorize lane-wise and compose with
+//! Super-Nodes (e.g. integer samples converted to float then combined in
+//! an add/sub chain — the 482.sphinx3 front-end shape).
+
+use snslp_core::{run_slp, SlpConfig, SlpMode};
+use snslp_cost::CostModel;
+use snslp_interp::{check_equivalent, ArgSpec};
+use snslp_ir::{CastKind, FunctionBuilder, Function, InstKind, Param, ScalarType, Type};
+
+/// `out[i] = float(s[i]) * 0.5` over 4 unrolled f32 lanes.
+fn convert_scale() -> Function {
+    let mut fb = FunctionBuilder::new(
+        "cvt",
+        vec![Param::noalias_ptr("out"), Param::noalias_ptr("s")],
+        Type::Void,
+    );
+    let out = fb.func().param(0);
+    let s = fb.func().param(1);
+    for k in 0..4i64 {
+        let ps = fb.ptradd_const(s, 4 * k);
+        let po = fb.ptradd_const(out, 4 * k);
+        let x = fb.load(ScalarType::I32, ps);
+        let xf = fb.cast(CastKind::Sitofp, ScalarType::F32, x);
+        let half = fb.const_f32(0.5);
+        let r = fb.mul(xf, half);
+        fb.store(po, r);
+    }
+    fb.ret(None);
+    fb.finish()
+}
+
+#[test]
+fn cast_bundles_vectorize() {
+    let orig = convert_scale();
+    let mut f = convert_scale();
+    let report = run_slp(&mut f, &SlpConfig::new(SlpMode::Slp).with_verification());
+    assert_eq!(report.vectorized_graphs(), 1, "{f}");
+    // A vector sitofp exists.
+    let has_vec_cast = f
+        .block_ids()
+        .flat_map(|b| f.block(b).insts().to_vec())
+        .any(|i| {
+            matches!(
+                f.kind(i),
+                InstKind::Cast {
+                    kind: CastKind::Sitofp,
+                    ..
+                }
+            ) && f.ty(i).as_vector().is_some()
+        });
+    assert!(has_vec_cast, "{f}");
+
+    let args = vec![
+        ArgSpec::F32Array(vec![0.0; 4]),
+        ArgSpec::I32Array(vec![2, -4, 6, 100]),
+    ];
+    let (out, _) = check_equivalent(&orig, &f, &args, &CostModel::default()).unwrap();
+    assert_eq!(
+        out.arrays[0],
+        snslp_interp::ArrayData::F32(vec![1.0, -2.0, 3.0, 50.0])
+    );
+}
+
+#[test]
+fn casts_feed_super_nodes() {
+    // out[k] = float(s[k]) − m[k] + b[k], term order permuted per lane.
+    let build = || {
+        let mut fb = FunctionBuilder::new(
+            "cep",
+            vec![
+                Param::noalias_ptr("out"),
+                Param::noalias_ptr("s"),
+                Param::noalias_ptr("m"),
+                Param::noalias_ptr("b"),
+            ],
+            Type::Void,
+        );
+        fb.set_fast_math(true);
+        let out = fb.func().param(0);
+        let s = fb.func().param(1);
+        let m = fb.func().param(2);
+        let b = fb.func().param(3);
+        for k in 0..2i64 {
+            let ps = fb.ptradd_const(s, 4 * k);
+            let pm = fb.ptradd_const(m, 4 * k);
+            let pb = fb.ptradd_const(b, 4 * k);
+            let po = fb.ptradd_const(out, 4 * k);
+            let xi = fb.load(ScalarType::I32, ps);
+            let xf = fb.cast(CastKind::Sitofp, ScalarType::F32, xi);
+            let mv = fb.load(ScalarType::F32, pm);
+            let bv = fb.load(ScalarType::F32, pb);
+            let r = if k == 0 {
+                let t = fb.sub(xf, mv);
+                fb.add(t, bv)
+            } else {
+                let t = fb.add(bv, xf);
+                fb.sub(t, mv)
+            };
+            fb.store(po, r);
+        }
+        fb.ret(None);
+        fb.finish()
+    };
+    let orig = build();
+    let mut f = build();
+    let report = run_slp(&mut f, &SlpConfig::new(SlpMode::SnSlp).with_verification());
+    assert_eq!(report.vectorized_graphs(), 1, "{f}");
+    assert!(report.aggregate_super_node_size() >= 2);
+
+    let args = vec![
+        ArgSpec::F32Array(vec![0.0; 2]),
+        ArgSpec::I32Array(vec![100, 200]),
+        ArgSpec::F32Array(vec![0.25, 0.75]),
+        ArgSpec::F32Array(vec![10.0, 20.0]),
+    ];
+    let (out, _) = check_equivalent(&orig, &f, &args, &CostModel::default()).unwrap();
+    assert_eq!(
+        out.arrays[0],
+        snslp_interp::ArrayData::F32(vec![109.75, 219.25])
+    );
+}
+
+#[test]
+fn mixed_cast_kinds_gather() {
+    // Lane 0 sitofp, lane 1 fpext — not isomorphic.
+    let mut fb = FunctionBuilder::new(
+        "mix",
+        vec![
+            Param::noalias_ptr("out"),
+            Param::noalias_ptr("s"),
+            Param::noalias_ptr("t"),
+        ],
+        Type::Void,
+    );
+    let out = fb.func().param(0);
+    let s = fb.func().param(1);
+    let t = fb.func().param(2);
+    let x = fb.load(ScalarType::I32, s);
+    let a = fb.cast(CastKind::Sitofp, ScalarType::F64, x);
+    let y = fb.load(ScalarType::F32, t);
+    let b = fb.cast(CastKind::Fpext, ScalarType::F64, y);
+    fb.store(out, a);
+    let po = fb.ptradd_const(out, 8);
+    fb.store(po, b);
+    fb.ret(None);
+    let orig = fb.finish();
+    let mut f = orig.clone();
+    run_slp(&mut f, &SlpConfig::new(SlpMode::Slp).with_verification());
+    let args = vec![
+        ArgSpec::F64Array(vec![0.0; 2]),
+        ArgSpec::I32Array(vec![7]),
+        ArgSpec::F32Array(vec![2.5]),
+    ];
+    let (out, _) = check_equivalent(&orig, &f, &args, &CostModel::default()).unwrap();
+    assert_eq!(out.arrays[0], snslp_interp::ArrayData::F64(vec![7.0, 2.5]));
+}
+
+#[test]
+fn cast_text_round_trips() {
+    let f = convert_scale();
+    let text = f.to_string();
+    assert!(text.contains("cast sitofp f32"));
+    let f2 = snslp_ir::parse_function_str(&text).unwrap();
+    snslp_ir::verify(&f2).unwrap();
+    assert_eq!(f2.num_linked_insts(), f.num_linked_insts());
+}
+
+#[test]
+fn invalid_casts_rejected_by_verifier() {
+    let mut fb = FunctionBuilder::new("bad", vec![Param::noalias_ptr("p")], Type::Void);
+    let p = fb.func().param(0);
+    let x = fb.load(ScalarType::F64, p);
+    // fpext from f64 is invalid (must be f32 → f64).
+    let bad = fb.cast(CastKind::Fpext, ScalarType::F64, x);
+    fb.store(p, bad);
+    fb.ret(None);
+    let f = fb.finish();
+    let err = snslp_ir::verify(&f).unwrap_err();
+    assert!(err.to_string().contains("cast fpext invalid"));
+}

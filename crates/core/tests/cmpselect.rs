@@ -1,0 +1,198 @@
+//! Vector compare + select bundles: clamp/max patterns vectorize into a
+//! vector `cmp` (i32 mask) feeding a lane-wise `select`.
+
+use snslp_core::{run_slp, SlpConfig, SlpMode};
+use snslp_cost::CostModel;
+use snslp_interp::{check_equivalent, ArgSpec};
+use snslp_ir::{CmpPred, FunctionBuilder, Function, InstKind, Param, ScalarType, Type};
+
+/// `out[i] = max(a[i], b[i])` via cmp+select, two unrolled lanes.
+fn max_kernel() -> Function {
+    let mut fb = FunctionBuilder::new(
+        "vmax",
+        vec![
+            Param::noalias_ptr("out"),
+            Param::noalias_ptr("a"),
+            Param::noalias_ptr("b"),
+        ],
+        Type::Void,
+    );
+    let out = fb.func().param(0);
+    let a = fb.func().param(1);
+    let b = fb.func().param(2);
+    for k in 0..2i64 {
+        let pa = fb.ptradd_const(a, 8 * k);
+        let pb = fb.ptradd_const(b, 8 * k);
+        let po = fb.ptradd_const(out, 8 * k);
+        let x = fb.load(ScalarType::I64, pa);
+        let y = fb.load(ScalarType::I64, pb);
+        let c = fb.cmp(CmpPred::Gt, x, y);
+        let m = fb.select(c, x, y);
+        fb.store(po, m);
+    }
+    fb.ret(None);
+    fb.finish()
+}
+
+/// `out[i] = a[i] < 0 ? 0 : a[i]` (ReLU-style clamp) with a shared zero.
+fn relu_kernel() -> Function {
+    let mut fb = FunctionBuilder::new(
+        "relu",
+        vec![Param::noalias_ptr("out"), Param::noalias_ptr("a")],
+        Type::Void,
+    );
+    let out = fb.func().param(0);
+    let a = fb.func().param(1);
+    for k in 0..2i64 {
+        let pa = fb.ptradd_const(a, 8 * k);
+        let po = fb.ptradd_const(out, 8 * k);
+        let x = fb.load(ScalarType::I64, pa);
+        let zero = fb.const_i64(0);
+        let c = fb.cmp(CmpPred::Lt, x, zero);
+        let m = fb.select(c, zero, x);
+        fb.store(po, m);
+    }
+    fb.ret(None);
+    fb.finish()
+}
+
+#[test]
+fn max_pattern_vectorizes() {
+    let orig = max_kernel();
+    let mut f = max_kernel();
+    let report = run_slp(&mut f, &SlpConfig::new(SlpMode::Slp).with_verification());
+    assert_eq!(report.vectorized_graphs(), 1, "{f}");
+    // Vector cmp and vector select present.
+    let insts: Vec<_> = f
+        .block_ids()
+        .flat_map(|b| f.block(b).insts().to_vec())
+        .collect();
+    assert!(insts
+        .iter()
+        .any(|&i| matches!(f.kind(i), InstKind::Cmp { .. }) && f.ty(i).as_vector().is_some()));
+    assert!(insts
+        .iter()
+        .any(|&i| matches!(f.kind(i), InstKind::Select { .. }) && f.ty(i).as_vector().is_some()));
+
+    let args = vec![
+        ArgSpec::I64Array(vec![0, 0]),
+        ArgSpec::I64Array(vec![5, -7]),
+        ArgSpec::I64Array(vec![3, 12]),
+    ];
+    let (out, _) = check_equivalent(&orig, &f, &args, &CostModel::default()).unwrap();
+    assert_eq!(out.arrays[0], snslp_interp::ArrayData::I64(vec![5, 12]));
+}
+
+#[test]
+fn relu_pattern_vectorizes_with_constant_mask_arm() {
+    let orig = relu_kernel();
+    let mut f = relu_kernel();
+    let report = run_slp(&mut f, &SlpConfig::new(SlpMode::Slp).with_verification());
+    assert_eq!(report.vectorized_graphs(), 1, "{f}");
+    let args = vec![
+        ArgSpec::I64Array(vec![0, 0]),
+        ArgSpec::I64Array(vec![-4, 9]),
+    ];
+    let (out, _) = check_equivalent(&orig, &f, &args, &CostModel::default()).unwrap();
+    assert_eq!(out.arrays[0], snslp_interp::ArrayData::I64(vec![0, 9]));
+}
+
+#[test]
+fn mixed_predicates_gather() {
+    // One lane uses Gt, the other Lt — the cmp bundle cannot vectorize,
+    // and the whole graph should stay scalar (cost not beaten).
+    let mut fb = FunctionBuilder::new(
+        "mixed",
+        vec![
+            Param::noalias_ptr("out"),
+            Param::noalias_ptr("a"),
+            Param::noalias_ptr("b"),
+        ],
+        Type::Void,
+    );
+    let out = fb.func().param(0);
+    let a = fb.func().param(1);
+    let b = fb.func().param(2);
+    for k in 0..2i64 {
+        let pa = fb.ptradd_const(a, 8 * k);
+        let pb = fb.ptradd_const(b, 8 * k);
+        let po = fb.ptradd_const(out, 8 * k);
+        let x = fb.load(ScalarType::I64, pa);
+        let y = fb.load(ScalarType::I64, pb);
+        let c = if k == 0 {
+            fb.cmp(CmpPred::Gt, x, y)
+        } else {
+            fb.cmp(CmpPred::Lt, x, y)
+        };
+        let m = fb.select(c, x, y);
+        fb.store(po, m);
+    }
+    fb.ret(None);
+    let orig = fb.finish();
+    let mut f = orig.clone();
+    run_slp(&mut f, &SlpConfig::new(SlpMode::Slp).with_verification());
+    // Whatever happened, semantics hold (min on lane 1!).
+    let args = vec![
+        ArgSpec::I64Array(vec![0, 0]),
+        ArgSpec::I64Array(vec![5, -7]),
+        ArgSpec::I64Array(vec![3, 12]),
+    ];
+    let (out, _) = check_equivalent(&orig, &f, &args, &CostModel::default()).unwrap();
+    assert_eq!(out.arrays[0], snslp_interp::ArrayData::I64(vec![5, -7]));
+}
+
+#[test]
+fn float_clamp_under_snslp_stays_correct() {
+    // cmp/select feeding an add/sub Super-Node.
+    let build = || {
+        let mut fb = FunctionBuilder::new(
+            "clamped",
+            vec![
+                Param::noalias_ptr("out"),
+                Param::noalias_ptr("a"),
+                Param::noalias_ptr("b"),
+                Param::noalias_ptr("c"),
+            ],
+            Type::Void,
+        );
+        fb.set_fast_math(true);
+        let out = fb.func().param(0);
+        let a = fb.func().param(1);
+        let b = fb.func().param(2);
+        let c = fb.func().param(3);
+        for k in 0..2i64 {
+            let pa = fb.ptradd_const(a, 8 * k);
+            let pb = fb.ptradd_const(b, 8 * k);
+            let pc = fb.ptradd_const(c, 8 * k);
+            let po = fb.ptradd_const(out, 8 * k);
+            let x = fb.load(ScalarType::F64, pa);
+            let y = fb.load(ScalarType::F64, pb);
+            let z = fb.load(ScalarType::F64, pc);
+            let cond = fb.cmp(CmpPred::Gt, x, y);
+            let m = fb.select(cond, x, y);
+            // lane 0: m - y + z ; lane 1: m + z - y
+            let r = if k == 0 {
+                let t = fb.sub(m, y);
+                fb.add(t, z)
+            } else {
+                let t = fb.add(m, z);
+                fb.sub(t, y)
+            };
+            fb.store(po, r);
+        }
+        fb.ret(None);
+        fb.finish()
+    };
+    let orig = build();
+    let mut f = build();
+    let report = run_slp(&mut f, &SlpConfig::new(SlpMode::SnSlp).with_verification());
+    assert_eq!(report.vectorized_graphs(), 1, "{f}");
+    assert!(report.aggregate_super_node_size() >= 2);
+    let args = vec![
+        ArgSpec::F64Array(vec![0.0, 0.0]),
+        ArgSpec::F64Array(vec![1.5, -2.0]),
+        ArgSpec::F64Array(vec![0.5, 4.0]),
+        ArgSpec::F64Array(vec![10.0, 20.0]),
+    ];
+    check_equivalent(&orig, &f, &args, &CostModel::default()).unwrap();
+}

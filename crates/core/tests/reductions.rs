@@ -1,0 +1,211 @@
+//! End-to-end tests of horizontal-reduction vectorization (the paper's
+//! `-slp-vectorize-hor` seeds, §II-B).
+
+use snslp_core::{run_slp, SlpConfig, SlpMode};
+use snslp_cost::{CostModel, TargetDesc};
+use snslp_interp::{check_equivalent, ArgSpec};
+use snslp_ir::{FunctionBuilder, Function, InstId, Param, ScalarType, Type};
+
+/// `out[0] = Σ src[0..k]` as a straight-line left chain of adds.
+fn sum_chain(k: usize, fast_math: bool) -> Function {
+    let mut fb = FunctionBuilder::new(
+        "sum",
+        vec![Param::noalias_ptr("out"), Param::noalias_ptr("src")],
+        Type::Void,
+    );
+    fb.set_fast_math(fast_math);
+    let out = fb.func().param(0);
+    let src = fb.func().param(1);
+    let mut acc = fb.load(ScalarType::F64, src);
+    for i in 1..k {
+        let p = fb.ptradd_const(src, 8 * i as i64);
+        let v = fb.load(ScalarType::F64, p);
+        acc = fb.add(acc, v);
+    }
+    fb.store(out, acc);
+    fb.ret(None);
+    fb.finish()
+}
+
+/// `out[0] = Σ a[0..k]·b[0..k]` — a dot product (muls feed the tree).
+fn dot_chain(k: usize) -> Function {
+    let mut fb = FunctionBuilder::new(
+        "dot",
+        vec![
+            Param::noalias_ptr("out"),
+            Param::noalias_ptr("a"),
+            Param::noalias_ptr("b"),
+        ],
+        Type::Void,
+    );
+    fb.set_fast_math(true);
+    let out = fb.func().param(0);
+    let a = fb.func().param(1);
+    let b = fb.func().param(2);
+    let mut terms: Vec<InstId> = Vec::new();
+    for i in 0..k {
+        let pa = fb.ptradd_const(a, 8 * i as i64);
+        let pb = fb.ptradd_const(b, 8 * i as i64);
+        let x = fb.load(ScalarType::F64, pa);
+        let y = fb.load(ScalarType::F64, pb);
+        terms.push(fb.mul(x, y));
+    }
+    let mut acc = terms[0];
+    for &t in &terms[1..] {
+        acc = fb.add(acc, t);
+    }
+    fb.store(out, acc);
+    fb.ret(None);
+    fb.finish()
+}
+
+fn args_sum(k: usize) -> Vec<ArgSpec> {
+    vec![
+        ArgSpec::F64Array(vec![0.0]),
+        ArgSpec::F64Array((0..k).map(|i| 0.25 * i as f64 - 3.0).collect()),
+    ]
+}
+
+#[test]
+fn sum_reduction_vectorizes_and_matches() {
+    for k in [4, 8, 10, 16] {
+        let orig = sum_chain(k, true);
+        let mut f = sum_chain(k, true);
+        let report = run_slp(&mut f, &SlpConfig::new(SlpMode::SnSlp).with_verification());
+        assert_eq!(report.vectorized_graphs(), 1, "k={k}\n{f}");
+        // The vector code uses a horizontal shuffle reduce.
+        let has_shuffle = f
+            .block_ids()
+            .flat_map(|b| f.block(b).insts().to_vec())
+            .any(|i| matches!(f.kind(i), snslp_ir::InstKind::Shuffle { .. }));
+        assert!(has_shuffle, "k={k}\n{f}");
+        check_equivalent(&orig, &f, &args_sum(k), &CostModel::default())
+            .unwrap_or_else(|e| panic!("k={k}: {e}"));
+    }
+}
+
+#[test]
+fn dot_product_reduction_vectorizes_loads_and_muls() {
+    let orig = dot_chain(8);
+    let mut f = dot_chain(8);
+    let report = run_slp(&mut f, &SlpConfig::new(SlpMode::Slp).with_verification());
+    assert_eq!(report.vectorized_graphs(), 1, "{f}");
+    // No scalar multiplies remain.
+    let scalar_muls = f
+        .block_ids()
+        .flat_map(|b| f.block(b).insts().to_vec())
+        .filter(|&i| {
+            matches!(
+                f.kind(i),
+                snslp_ir::InstKind::Binary {
+                    op: snslp_ir::BinOp::Mul,
+                    ..
+                }
+            ) && f.ty(i).as_scalar().is_some()
+        })
+        .count();
+    assert_eq!(scalar_muls, 0, "{f}");
+    let args = vec![
+        ArgSpec::F64Array(vec![0.0]),
+        ArgSpec::F64Array((0..8).map(|i| i as f64).collect()),
+        ArgSpec::F64Array((0..8).map(|i| 2.0 - i as f64).collect()),
+    ];
+    let (out, _) = check_equivalent(&orig, &f, &args, &CostModel::default()).unwrap();
+    let expect: f64 = (0..8).map(|i| i as f64 * (2.0 - i as f64)).sum();
+    match &out.arrays[0] {
+        snslp_interp::ArrayData::F64(v) => assert!((v[0] - expect).abs() < 1e-9),
+        other => panic!("wrong array type {other:?}"),
+    }
+}
+
+#[test]
+fn reduction_speeds_up_execution() {
+    let orig = dot_chain(16);
+    let mut f = dot_chain(16);
+    run_slp(&mut f, &SlpConfig::new(SlpMode::SnSlp));
+    let args = vec![
+        ArgSpec::F64Array(vec![0.0]),
+        ArgSpec::F64Array((0..16).map(|i| i as f64 * 0.5).collect()),
+        ArgSpec::F64Array((0..16).map(|i| 1.0 / (1.0 + i as f64)).collect()),
+    ];
+    let (s, v) = check_equivalent(&orig, &f, &args, &CostModel::default()).unwrap();
+    assert!(
+        v.exec.cycles < s.exec.cycles,
+        "vectorized {} !< scalar {}",
+        v.exec.cycles,
+        s.exec.cycles
+    );
+}
+
+#[test]
+fn float_reduction_needs_fast_math() {
+    let mut f = sum_chain(8, false);
+    let report = run_slp(&mut f, &SlpConfig::new(SlpMode::SnSlp).with_verification());
+    assert_eq!(report.vectorized_graphs(), 0, "{f}");
+}
+
+#[test]
+fn leftover_leaves_handled() {
+    // k = 10 with VF 2 → 5 full groups; k = 11 → leftover of 1.
+    for k in [11, 13] {
+        let orig = sum_chain(k, true);
+        let mut f = sum_chain(k, true);
+        let report = run_slp(&mut f, &SlpConfig::new(SlpMode::SnSlp).with_verification());
+        assert_eq!(report.vectorized_graphs(), 1, "k={k}");
+        check_equivalent(&orig, &f, &args_sum(k), &CostModel::default())
+            .unwrap_or_else(|e| panic!("k={k}: {e}"));
+    }
+}
+
+#[test]
+fn avx2_reduces_at_width_four() {
+    let model = CostModel::new(TargetDesc::avx2_like());
+    let orig = sum_chain(16, true);
+    let mut f = sum_chain(16, true);
+    let cfg = SlpConfig::new(SlpMode::SnSlp)
+        .with_model(model.clone())
+        .with_verification();
+    let report = run_slp(&mut f, &cfg);
+    assert_eq!(report.vectorized_graphs(), 1);
+    // f64 at 256 bits → width 4 groups.
+    assert!(report.graphs.iter().any(|g| g.width == 4), "{report:?}");
+    check_equivalent(&orig, &f, &args_sum(16), &model).unwrap();
+}
+
+#[test]
+fn reductions_can_be_disabled() {
+    let mut f = sum_chain(8, true);
+    let mut cfg = SlpConfig::new(SlpMode::SnSlp);
+    cfg.enable_reductions = false;
+    let report = run_slp(&mut f, &cfg);
+    assert_eq!(report.vectorized_graphs(), 0);
+}
+
+#[test]
+fn integer_min_reduction_works_without_fast_math() {
+    let mut fb = FunctionBuilder::new(
+        "m",
+        vec![Param::noalias_ptr("out"), Param::noalias_ptr("src")],
+        Type::Void,
+    );
+    let out = fb.func().param(0);
+    let src = fb.func().param(1);
+    let mut acc = fb.load(ScalarType::I64, src);
+    for i in 1..8 {
+        let p = fb.ptradd_const(src, 8 * i as i64);
+        let v = fb.load(ScalarType::I64, p);
+        acc = fb.binary(snslp_ir::BinOp::Min, acc, v);
+    }
+    fb.store(out, acc);
+    fb.ret(None);
+    let orig = fb.finish();
+    let mut f = orig.clone();
+    let report = run_slp(&mut f, &SlpConfig::new(SlpMode::SnSlp).with_verification());
+    assert_eq!(report.vectorized_graphs(), 1, "{f}");
+    let args = vec![
+        ArgSpec::I64Array(vec![0]),
+        ArgSpec::I64Array(vec![5, -3, 9, 0, 7, -3, 12, 4]),
+    ];
+    let (out, _) = check_equivalent(&orig, &f, &args, &CostModel::default()).unwrap();
+    assert_eq!(out.arrays[0], snslp_interp::ArrayData::I64(vec![-3]));
+}

@@ -1,0 +1,98 @@
+//! Tests of the width-halving retry: when a wide seed bundle is not
+//! profitable, the pass retries the narrower half (and the remaining
+//! stores re-enter the worklist as their own group).
+
+use snslp_core::{run_slp, SlpConfig, SlpMode};
+use snslp_cost::CostModel;
+use snslp_interp::{check_equivalent, ArgSpec};
+use snslp_ir::{FunctionBuilder, Function, Param, ScalarType, Type};
+
+/// Four adjacent f32 stores where only the first two lanes are
+/// isomorphic: lanes 0/1 store `x + y`, lanes 2/3 store unrelated
+/// non-adjacent loads, so the width-4 bundle gathers everything but the
+/// width-2 prefix vectorizes cleanly.
+fn half_isomorphic() -> Function {
+    let mut fb = FunctionBuilder::new(
+        "half",
+        vec![
+            Param::noalias_ptr("out"),
+            Param::noalias_ptr("a"),
+            Param::noalias_ptr("b"),
+        ],
+        Type::Void,
+    );
+    let out = fb.func().param(0);
+    let a = fb.func().param(1);
+    let b = fb.func().param(2);
+    let at = |fb: &mut FunctionBuilder, base, k: i64| {
+        let p = fb.ptradd_const(base, 4 * k);
+        fb.load(ScalarType::F32, p)
+    };
+    // Lanes 0, 1: isomorphic adds over adjacent loads.
+    let r0 = {
+        let (x, y) = (at(&mut fb, a, 0), at(&mut fb, b, 0));
+        fb.add(x, y)
+    };
+    let r1 = {
+        let (x, y) = (at(&mut fb, a, 1), at(&mut fb, b, 1));
+        fb.add(x, y)
+    };
+    // Lanes 2, 3: scattered loads (stride 5), nothing to vectorize.
+    let r2 = at(&mut fb, a, 10);
+    let r3 = at(&mut fb, b, 15);
+    for (k, r) in [r0, r1, r2, r3].into_iter().enumerate() {
+        let p = fb.ptradd_const(out, 4 * k as i64);
+        fb.store(p, r);
+    }
+    fb.ret(None);
+    fb.finish()
+}
+
+#[test]
+fn narrow_retry_recovers_the_isomorphic_half() {
+    let orig = half_isomorphic();
+    let mut f = half_isomorphic();
+    let report = run_slp(&mut f, &SlpConfig::new(SlpMode::Slp).with_verification());
+    assert!(
+        report.graphs.iter().any(|g| g.vectorized && g.width == 2),
+        "the width-2 prefix should vectorize: {report:?}\n{f}"
+    );
+    // And it stays correct.
+    let args = vec![
+        ArgSpec::F32Array(vec![0.0; 4]),
+        ArgSpec::F32Array((0..16).map(|i| i as f32).collect()),
+        ArgSpec::F32Array((0..16).map(|i| 0.5 * i as f32).collect()),
+    ];
+    check_equivalent(&orig, &f, &args, &CostModel::default()).unwrap();
+}
+
+#[test]
+fn fully_isomorphic_four_wide_is_not_split() {
+    // Control: when all four lanes are isomorphic the wide bundle wins.
+    let mut fb = FunctionBuilder::new(
+        "full",
+        vec![
+            Param::noalias_ptr("out"),
+            Param::noalias_ptr("a"),
+            Param::noalias_ptr("b"),
+        ],
+        Type::Void,
+    );
+    let out = fb.func().param(0);
+    let a = fb.func().param(1);
+    let b = fb.func().param(2);
+    for k in 0..4i64 {
+        let pa = fb.ptradd_const(a, 4 * k);
+        let pb = fb.ptradd_const(b, 4 * k);
+        let po = fb.ptradd_const(out, 4 * k);
+        let x = fb.load(ScalarType::F32, pa);
+        let y = fb.load(ScalarType::F32, pb);
+        let s = fb.add(x, y);
+        fb.store(po, s);
+    }
+    fb.ret(None);
+    let mut f = fb.finish();
+    let report = run_slp(&mut f, &SlpConfig::new(SlpMode::Slp).with_verification());
+    assert_eq!(report.vectorized_graphs(), 1);
+    assert_eq!(report.graphs[0].width, 4, "{report:?}");
+}

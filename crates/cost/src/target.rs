@@ -1,0 +1,119 @@
+//! Target machine descriptions.
+
+use snslp_ir::ScalarType;
+
+/// A (simplified) SIMD target description: what the vectorizer is allowed
+/// to generate and how wide.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TargetDesc {
+    name: String,
+    register_bits: u32,
+    lanewise_altop: bool,
+}
+
+impl TargetDesc {
+    /// Creates a custom target.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `register_bits` is not a power of two ≥ 64.
+    pub fn new(name: impl Into<String>, register_bits: u32, lanewise_altop: bool) -> Self {
+        assert!(
+            register_bits >= 64 && register_bits.is_power_of_two(),
+            "register width must be a power of two ≥ 64"
+        );
+        TargetDesc {
+            name: name.into(),
+            register_bits,
+            lanewise_altop,
+        }
+    }
+
+    /// A 128-bit SSE2-class target with `addsub`-style lane-alternating
+    /// instructions (the paper's evaluation machine supports SSE3
+    /// `addsubps`/`addsubpd`).
+    pub fn sse2_like() -> Self {
+        TargetDesc::new("sse2-like", 128, true)
+    }
+
+    /// A 256-bit AVX2-class target.
+    pub fn avx2_like() -> Self {
+        TargetDesc::new("avx2-like", 256, true)
+    }
+
+    /// A 128-bit target *without* lane-alternating instructions; mixed
+    /// add/sub groups must be emulated with two ops and a shuffle.
+    pub fn no_altop_128() -> Self {
+        TargetDesc::new("no-altop-128", 128, false)
+    }
+
+    /// Target name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// SIMD register width in bits.
+    pub fn register_bits(&self) -> u32 {
+        self.register_bits
+    }
+
+    /// Whether the target has single-instruction lane-alternating binary
+    /// ops (x86 `addsub` family).
+    pub fn has_lanewise_altop(&self) -> bool {
+        self.lanewise_altop
+    }
+
+    /// The maximum number of lanes of `elem` that fit in one register.
+    pub fn max_lanes(&self, elem: ScalarType) -> u8 {
+        (self.register_bits / (elem.size_bytes() * 8)) as u8
+    }
+
+    /// All vector factors worth trying for `elem`, widest first
+    /// (e.g. `[2]` for `f64` at 128 bits, `[4, 2]` for `f32`).
+    pub fn vector_factors(&self, elem: ScalarType) -> Vec<u8> {
+        let mut out = Vec::new();
+        let mut vf = self.max_lanes(elem);
+        while vf >= 2 {
+            out.push(vf);
+            vf /= 2;
+        }
+        out
+    }
+}
+
+impl Default for TargetDesc {
+    fn default() -> Self {
+        TargetDesc::sse2_like()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lane_math() {
+        let t = TargetDesc::sse2_like();
+        assert_eq!(t.max_lanes(ScalarType::F64), 2);
+        assert_eq!(t.max_lanes(ScalarType::F32), 4);
+        assert_eq!(t.max_lanes(ScalarType::I32), 4);
+        let t = TargetDesc::avx2_like();
+        assert_eq!(t.max_lanes(ScalarType::F64), 4);
+        assert_eq!(t.max_lanes(ScalarType::I32), 8);
+    }
+
+    #[test]
+    fn vector_factors_widest_first() {
+        let t = TargetDesc::avx2_like();
+        assert_eq!(t.vector_factors(ScalarType::F32), vec![8, 4, 2]);
+        assert_eq!(t.vector_factors(ScalarType::F64), vec![4, 2]);
+        let t = TargetDesc::sse2_like();
+        assert_eq!(t.vector_factors(ScalarType::F64), vec![2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_odd_width() {
+        let _ = TargetDesc::new("bad", 96, false);
+    }
+}

@@ -1,0 +1,330 @@
+//! Flat byte-addressable memory for the interpreter.
+
+use snslp_ir::{ScalarType, Type};
+
+use crate::exec::ExecError;
+use crate::value::Value;
+
+/// A flat, bounds-checked byte memory. Address 0 is reserved (acts as a
+/// null page) so that valid allocations never start at 0.
+#[derive(Debug, Clone, Default)]
+pub struct Memory {
+    bytes: Vec<u8>,
+}
+
+const ALIGN: u64 = 64;
+
+impl Memory {
+    /// Creates an empty memory.
+    pub fn new() -> Self {
+        Memory {
+            bytes: vec![0; ALIGN as usize],
+        }
+    }
+
+    /// Total size in bytes.
+    pub fn size(&self) -> u64 {
+        self.bytes.len() as u64
+    }
+
+    /// Allocates `size` zeroed bytes, returning the base address
+    /// (64-byte aligned).
+    pub fn alloc(&mut self, size: u64) -> u64 {
+        let base = (self.bytes.len() as u64).next_multiple_of(ALIGN);
+        self.bytes.resize((base + size.max(1)) as usize, 0);
+        base
+    }
+
+    /// Allocates and initializes a typed array, returning its base address.
+    pub fn alloc_slice_f64(&mut self, data: &[f64]) -> u64 {
+        let base = self.alloc(8 * data.len() as u64);
+        for (i, &v) in data.iter().enumerate() {
+            self.write_bytes(base + 8 * i as u64, &v.to_le_bytes()).unwrap();
+        }
+        base
+    }
+
+    /// Allocates and initializes an `f32` array.
+    pub fn alloc_slice_f32(&mut self, data: &[f32]) -> u64 {
+        let base = self.alloc(4 * data.len() as u64);
+        for (i, &v) in data.iter().enumerate() {
+            self.write_bytes(base + 4 * i as u64, &v.to_le_bytes()).unwrap();
+        }
+        base
+    }
+
+    /// Allocates and initializes an `i32` array.
+    pub fn alloc_slice_i32(&mut self, data: &[i32]) -> u64 {
+        let base = self.alloc(4 * data.len() as u64);
+        for (i, &v) in data.iter().enumerate() {
+            self.write_bytes(base + 4 * i as u64, &v.to_le_bytes()).unwrap();
+        }
+        base
+    }
+
+    /// Allocates and initializes an `i64` array.
+    pub fn alloc_slice_i64(&mut self, data: &[i64]) -> u64 {
+        let base = self.alloc(8 * data.len() as u64);
+        for (i, &v) in data.iter().enumerate() {
+            self.write_bytes(base + 8 * i as u64, &v.to_le_bytes()).unwrap();
+        }
+        base
+    }
+
+    /// Reads back an `f64` array.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds access (test helper).
+    pub fn read_slice_f64(&self, base: u64, len: usize) -> Vec<f64> {
+        (0..len)
+            .map(|i| {
+                let mut b = [0u8; 8];
+                b.copy_from_slice(self.read_bytes(base + 8 * i as u64, 8).unwrap());
+                f64::from_le_bytes(b)
+            })
+            .collect()
+    }
+
+    /// Reads back an `f32` array.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds access (test helper).
+    pub fn read_slice_f32(&self, base: u64, len: usize) -> Vec<f32> {
+        (0..len)
+            .map(|i| {
+                let mut b = [0u8; 4];
+                b.copy_from_slice(self.read_bytes(base + 4 * i as u64, 4).unwrap());
+                f32::from_le_bytes(b)
+            })
+            .collect()
+    }
+
+    /// Reads back an `i32` array.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds access (test helper).
+    pub fn read_slice_i32(&self, base: u64, len: usize) -> Vec<i32> {
+        (0..len)
+            .map(|i| {
+                let mut b = [0u8; 4];
+                b.copy_from_slice(self.read_bytes(base + 4 * i as u64, 4).unwrap());
+                i32::from_le_bytes(b)
+            })
+            .collect()
+    }
+
+    /// Reads back an `i64` array.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds access (test helper).
+    pub fn read_slice_i64(&self, base: u64, len: usize) -> Vec<i64> {
+        (0..len)
+            .map(|i| {
+                let mut b = [0u8; 8];
+                b.copy_from_slice(self.read_bytes(base + 8 * i as u64, 8).unwrap());
+                i64::from_le_bytes(b)
+            })
+            .collect()
+    }
+
+    fn read_bytes(&self, addr: u64, len: u64) -> Result<&[u8], ExecError> {
+        let end = addr.checked_add(len).ok_or(ExecError::OutOfBounds(addr))?;
+        if addr < ALIGN || end > self.bytes.len() as u64 {
+            return Err(ExecError::OutOfBounds(addr));
+        }
+        Ok(&self.bytes[addr as usize..end as usize])
+    }
+
+    fn write_bytes(&mut self, addr: u64, data: &[u8]) -> Result<(), ExecError> {
+        let end = addr
+            .checked_add(data.len() as u64)
+            .ok_or(ExecError::OutOfBounds(addr))?;
+        if addr < ALIGN || end > self.bytes.len() as u64 {
+            return Err(ExecError::OutOfBounds(addr));
+        }
+        self.bytes[addr as usize..end as usize].copy_from_slice(data);
+        Ok(())
+    }
+
+    fn load_scalar(&self, st: ScalarType, addr: u64) -> Result<Value, ExecError> {
+        Ok(match st {
+            ScalarType::I32 => {
+                let mut b = [0u8; 4];
+                b.copy_from_slice(self.read_bytes(addr, 4)?);
+                Value::I32(i32::from_le_bytes(b))
+            }
+            ScalarType::I64 => {
+                let mut b = [0u8; 8];
+                b.copy_from_slice(self.read_bytes(addr, 8)?);
+                Value::I64(i64::from_le_bytes(b))
+            }
+            ScalarType::F32 => {
+                let mut b = [0u8; 4];
+                b.copy_from_slice(self.read_bytes(addr, 4)?);
+                Value::F32(f32::from_le_bytes(b))
+            }
+            ScalarType::F64 => {
+                let mut b = [0u8; 8];
+                b.copy_from_slice(self.read_bytes(addr, 8)?);
+                Value::F64(f64::from_le_bytes(b))
+            }
+        })
+    }
+
+    fn store_scalar(&mut self, v: &Value, addr: u64) -> Result<(), ExecError> {
+        match v {
+            Value::I32(x) => self.write_bytes(addr, &x.to_le_bytes()),
+            Value::I64(x) => self.write_bytes(addr, &x.to_le_bytes()),
+            Value::F32(x) => self.write_bytes(addr, &x.to_le_bytes()),
+            Value::F64(x) => self.write_bytes(addr, &x.to_le_bytes()),
+            Value::Ptr(x) => self.write_bytes(addr, &x.to_le_bytes()),
+            Value::Vector(_) => Err(ExecError::TypeMismatch(
+                "store_scalar on vector".into(),
+            )),
+        }
+    }
+
+    /// Typed load of `ty` from `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on out-of-bounds access or a `void` type.
+    pub fn load(&self, ty: Type, addr: u64) -> Result<Value, ExecError> {
+        match ty {
+            Type::Scalar(st) => self.load_scalar(st, addr),
+            Type::Vector(vt) => {
+                let step = u64::from(vt.elem.size_bytes());
+                let lanes: Result<Vec<Value>, ExecError> = (0..vt.lanes)
+                    .map(|i| self.load_scalar(vt.elem, addr + step * u64::from(i)))
+                    .collect();
+                Ok(Value::Vector(lanes?))
+            }
+            Type::Ptr => {
+                let mut b = [0u8; 8];
+                b.copy_from_slice(self.read_bytes(addr, 8)?);
+                Ok(Value::Ptr(u64::from_le_bytes(b)))
+            }
+            Type::Void => Err(ExecError::TypeMismatch("load of void".into())),
+        }
+    }
+
+    /// Typed store of `v` to `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on out-of-bounds access. Vector stores are atomic: the whole
+    /// range is bounds-checked before any lane is written, so a failed
+    /// store never leaves memory partially modified.
+    pub fn store(&mut self, v: &Value, addr: u64) -> Result<(), ExecError> {
+        match v {
+            Value::Vector(lanes) => {
+                let lane_size = |lane: &Value| {
+                    lane.scalar_type()
+                        .map(|s| u64::from(s.size_bytes()))
+                        .unwrap_or(8)
+                };
+                let total: u64 = lanes.iter().map(lane_size).sum();
+                let end = addr.checked_add(total).ok_or(ExecError::OutOfBounds(addr))?;
+                if addr < ALIGN || end > self.bytes.len() as u64 {
+                    return Err(ExecError::OutOfBounds(addr));
+                }
+                let mut a = addr;
+                for lane in lanes {
+                    let sz = lane_size(lane);
+                    self.store_scalar(lane, a)?;
+                    a += sz;
+                }
+                Ok(())
+            }
+            _ => self.store_scalar(v, addr),
+        }
+    }
+
+    /// A snapshot of the full memory contents (for differential testing).
+    pub fn snapshot(&self) -> Vec<u8> {
+        self.bytes.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_is_aligned_and_nonzero() {
+        let mut m = Memory::new();
+        let a = m.alloc(10);
+        let b = m.alloc(1);
+        assert!(a >= ALIGN);
+        assert_eq!(a % ALIGN, 0);
+        assert!(b > a);
+        assert_eq!(b % ALIGN, 0);
+    }
+
+    #[test]
+    fn slice_round_trip() {
+        let mut m = Memory::new();
+        let data = [1.5, -2.5, 1e10];
+        let base = m.alloc_slice_f64(&data);
+        assert_eq!(m.read_slice_f64(base, 3), data.to_vec());
+    }
+
+    #[test]
+    fn typed_load_store() {
+        let mut m = Memory::new();
+        let base = m.alloc(64);
+        m.store(&Value::I32(-7), base).unwrap();
+        assert_eq!(
+            m.load(Type::scalar(ScalarType::I32), base).unwrap(),
+            Value::I32(-7)
+        );
+        let v = Value::Vector(vec![Value::F32(1.0), Value::F32(2.0), Value::F32(3.0), Value::F32(4.0)]);
+        m.store(&v, base + 16).unwrap();
+        assert_eq!(
+            m.load(Type::vector(ScalarType::F32, 4), base + 16).unwrap(),
+            v
+        );
+        // Vector load overlaps the scalar lanes correctly.
+        assert_eq!(
+            m.load(Type::scalar(ScalarType::F32), base + 24).unwrap(),
+            Value::F32(3.0)
+        );
+    }
+
+    #[test]
+    fn oob_access_fails() {
+        let mut m = Memory::new();
+        let base = m.alloc(8);
+        assert!(m.load(Type::scalar(ScalarType::F64), base).is_ok());
+        assert!(m
+            .load(Type::scalar(ScalarType::F64), m.size())
+            .is_err());
+        // The null page is unmapped.
+        assert!(m.load(Type::scalar(ScalarType::I32), 0).is_err());
+        assert!(m.store(&Value::I32(0), 4).is_err());
+    }
+
+    #[test]
+    fn vector_store_is_atomic_on_oob() {
+        let mut m = Memory::new();
+        let base = m.alloc(16); // room for exactly 2 f64 lanes
+        m.store(&Value::F64(1.0), base).unwrap();
+        m.store(&Value::F64(2.0), base + 8).unwrap();
+        // A 4-lane store would run past the allocation end; it must fail
+        // without touching the first lanes.
+        let v = Value::Vector(vec![
+            Value::F64(9.0),
+            Value::F64(9.0),
+            Value::F64(9.0),
+            Value::F64(9.0),
+        ]);
+        let end_of_mem = m.size() - 16;
+        let res = m.store(&v, end_of_mem);
+        assert!(res.is_err());
+        assert_eq!(m.read_slice_f64(base, 2), vec![1.0, 2.0]);
+    }
+}

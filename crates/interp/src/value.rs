@@ -1,0 +1,409 @@
+//! Runtime values and scalar/vector operator semantics.
+
+use std::fmt;
+
+use snslp_ir::{BinOp, CastKind, CmpPred, Constant, ScalarType, UnOp};
+
+use crate::exec::ExecError;
+
+/// A dynamic value produced by interpreting the IR.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// 32-bit integer.
+    I32(i32),
+    /// 64-bit integer.
+    I64(i64),
+    /// 32-bit float.
+    F32(f32),
+    /// 64-bit float.
+    F64(f64),
+    /// Byte address into the interpreter [`Memory`](crate::Memory).
+    Ptr(u64),
+    /// Vector of scalar values (all of the same scalar type).
+    Vector(Vec<Value>),
+}
+
+impl Value {
+    /// Builds a constant value.
+    pub fn of_const(c: Constant) -> Value {
+        match c {
+            Constant::I32(v) => Value::I32(v),
+            Constant::I64(v) => Value::I64(v),
+            Constant::F32(v) => Value::F32(v),
+            Constant::F64(v) => Value::F64(v),
+        }
+    }
+
+    /// The scalar type of a scalar value.
+    pub fn scalar_type(&self) -> Option<ScalarType> {
+        Some(match self {
+            Value::I32(_) => ScalarType::I32,
+            Value::I64(_) => ScalarType::I64,
+            Value::F32(_) => ScalarType::F32,
+            Value::F64(_) => ScalarType::F64,
+            _ => return None,
+        })
+    }
+
+    /// Interprets the value as an address.
+    pub fn as_ptr(&self) -> Result<u64, ExecError> {
+        match self {
+            Value::Ptr(p) => Ok(*p),
+            v => Err(ExecError::TypeMismatch(format!("expected ptr, got {v:?}"))),
+        }
+    }
+
+    /// Interprets the value as `i64`.
+    pub fn as_i64(&self) -> Result<i64, ExecError> {
+        match self {
+            Value::I64(v) => Ok(*v),
+            Value::I32(v) => Ok(i64::from(*v)),
+            v => Err(ExecError::TypeMismatch(format!("expected int, got {v:?}"))),
+        }
+    }
+
+    /// Whether a scalar condition is "true" (non-zero).
+    pub fn is_truthy(&self) -> Result<bool, ExecError> {
+        Ok(self.as_i64()? != 0)
+    }
+
+    /// Vector lanes, if this is a vector.
+    pub fn lanes(&self) -> Result<&[Value], ExecError> {
+        match self {
+            Value::Vector(l) => Ok(l),
+            v => Err(ExecError::TypeMismatch(format!(
+                "expected vector, got {v:?}"
+            ))),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::I32(v) => write!(f, "{v}"),
+            Value::I64(v) => write!(f, "{v}"),
+            Value::F32(v) => write!(f, "{v}"),
+            Value::F64(v) => write!(f, "{v}"),
+            Value::Ptr(p) => write!(f, "ptr:{p:#x}"),
+            Value::Vector(l) => {
+                write!(f, "<")?;
+                for (i, v) in l.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    v.fmt(f)?;
+                }
+                write!(f, ">")
+            }
+        }
+    }
+}
+
+/// Applies a binary op to two scalar values of the same type.
+pub fn apply_binop_scalar(op: BinOp, a: &Value, b: &Value) -> Result<Value, ExecError> {
+    match (a, b) {
+        (Value::I32(x), Value::I32(y)) => int_binop(op, i64::from(*x), i64::from(*y))
+            .map(|v| Value::I32(v as i32)),
+        (Value::I64(x), Value::I64(y)) => int_binop(op, *x, *y).map(Value::I64),
+        (Value::F32(x), Value::F32(y)) => {
+            float_binop(op, f64::from(*x), f64::from(*y)).map(|v| Value::F32(v as f32))
+        }
+        (Value::F64(x), Value::F64(y)) => float_binop(op, *x, *y).map(Value::F64),
+        _ => Err(ExecError::TypeMismatch(format!(
+            "binop {op} on {a:?} / {b:?}"
+        ))),
+    }
+}
+
+fn int_binop(op: BinOp, x: i64, y: i64) -> Result<i64, ExecError> {
+    Ok(match op {
+        BinOp::Add => x.wrapping_add(y),
+        BinOp::Sub => x.wrapping_sub(y),
+        BinOp::Mul => x.wrapping_mul(y),
+        BinOp::Div => {
+            if y == 0 {
+                return Err(ExecError::DivisionByZero);
+            }
+            x.wrapping_div(y)
+        }
+        BinOp::Rem => {
+            if y == 0 {
+                return Err(ExecError::DivisionByZero);
+            }
+            x.wrapping_rem(y)
+        }
+        BinOp::Min => x.min(y),
+        BinOp::Max => x.max(y),
+        BinOp::And => x & y,
+        BinOp::Or => x | y,
+        BinOp::Xor => x ^ y,
+        BinOp::Shl => x.wrapping_shl(y as u32),
+        BinOp::Shr => x.wrapping_shr(y as u32),
+    })
+}
+
+fn float_binop(op: BinOp, x: f64, y: f64) -> Result<f64, ExecError> {
+    Ok(match op {
+        BinOp::Add => x + y,
+        BinOp::Sub => x - y,
+        BinOp::Mul => x * y,
+        BinOp::Div => x / y,
+        BinOp::Rem => x % y,
+        BinOp::Min => x.min(y),
+        BinOp::Max => x.max(y),
+        op => {
+            return Err(ExecError::TypeMismatch(format!(
+                "float operands for integer-only op {op}"
+            )))
+        }
+    })
+}
+
+/// Applies a binary op lane-wise on scalars or vectors.
+pub fn apply_binop(op: BinOp, a: &Value, b: &Value) -> Result<Value, ExecError> {
+    match (a, b) {
+        (Value::Vector(xs), Value::Vector(ys)) => {
+            if xs.len() != ys.len() {
+                return Err(ExecError::TypeMismatch("vector width mismatch".into()));
+            }
+            let lanes: Result<Vec<Value>, ExecError> = xs
+                .iter()
+                .zip(ys)
+                .map(|(x, y)| apply_binop_scalar(op, x, y))
+                .collect();
+            Ok(Value::Vector(lanes?))
+        }
+        _ => apply_binop_scalar(op, a, b),
+    }
+}
+
+/// Applies per-lane ops (`ops[i]` on lane `i`) to two vectors.
+pub fn apply_binop_lanewise(ops: &[BinOp], a: &Value, b: &Value) -> Result<Value, ExecError> {
+    let (xs, ys) = (a.lanes()?, b.lanes()?);
+    if xs.len() != ys.len() || xs.len() != ops.len() {
+        return Err(ExecError::TypeMismatch("lanewise width mismatch".into()));
+    }
+    let lanes: Result<Vec<Value>, ExecError> = ops
+        .iter()
+        .zip(xs.iter().zip(ys))
+        .map(|(&op, (x, y))| apply_binop_scalar(op, x, y))
+        .collect();
+    Ok(Value::Vector(lanes?))
+}
+
+/// Applies a unary op lane-wise on scalars or vectors.
+pub fn apply_unop(op: UnOp, a: &Value) -> Result<Value, ExecError> {
+    match a {
+        Value::Vector(xs) => {
+            let lanes: Result<Vec<Value>, ExecError> =
+                xs.iter().map(|x| apply_unop(op, x)).collect();
+            Ok(Value::Vector(lanes?))
+        }
+        Value::I32(x) => Ok(Value::I32(match op {
+            UnOp::Neg => x.wrapping_neg(),
+            UnOp::Not => !x,
+            UnOp::Abs => x.wrapping_abs(),
+            UnOp::Sqrt => {
+                return Err(ExecError::TypeMismatch("sqrt on integer".into()));
+            }
+        })),
+        Value::I64(x) => Ok(Value::I64(match op {
+            UnOp::Neg => x.wrapping_neg(),
+            UnOp::Not => !x,
+            UnOp::Abs => x.wrapping_abs(),
+            UnOp::Sqrt => {
+                return Err(ExecError::TypeMismatch("sqrt on integer".into()));
+            }
+        })),
+        Value::F32(x) => Ok(Value::F32(match op {
+            UnOp::Neg => -x,
+            UnOp::Abs => x.abs(),
+            UnOp::Sqrt => x.sqrt(),
+            UnOp::Not => return Err(ExecError::TypeMismatch("not on float".into())),
+        })),
+        Value::F64(x) => Ok(Value::F64(match op {
+            UnOp::Neg => -x,
+            UnOp::Abs => x.abs(),
+            UnOp::Sqrt => x.sqrt(),
+            UnOp::Not => return Err(ExecError::TypeMismatch("not on float".into())),
+        })),
+        Value::Ptr(_) => Err(ExecError::TypeMismatch("unary op on pointer".into())),
+    }
+}
+
+/// Applies a type conversion to target element type `to` (lane-wise on
+/// vectors). Float → int conversions saturate like Rust's `as`.
+pub fn apply_cast(kind: CastKind, to: ScalarType, v: &Value) -> Result<Value, ExecError> {
+    match v {
+        Value::Vector(xs) => {
+            let lanes: Result<Vec<Value>, ExecError> =
+                xs.iter().map(|x| apply_cast(kind, to, x)).collect();
+            Ok(Value::Vector(lanes?))
+        }
+        _ => {
+            let from = v
+                .scalar_type()
+                .ok_or_else(|| ExecError::TypeMismatch("cast on non-scalar".into()))?;
+            if !kind.valid_for(from, to) {
+                return Err(ExecError::TypeMismatch(format!(
+                    "cast {kind} invalid for {from} -> {to}"
+                )));
+            }
+            Ok(match (kind, v) {
+                (CastKind::Sitofp, Value::I32(x)) => float_of(to, f64::from(*x)),
+                (CastKind::Sitofp, Value::I64(x)) => float_of(to, *x as f64),
+                (CastKind::Fptosi, Value::F32(x)) => int_of(to, f64::from(*x)),
+                (CastKind::Fptosi, Value::F64(x)) => int_of(to, *x),
+                (CastKind::Fpext, Value::F32(x)) => Value::F64(f64::from(*x)),
+                (CastKind::Fptrunc, Value::F64(x)) => Value::F32(*x as f32),
+                (CastKind::Sext, Value::I32(x)) => Value::I64(i64::from(*x)),
+                (CastKind::Trunc, Value::I64(x)) => Value::I32(*x as i32),
+                _ => {
+                    return Err(ExecError::TypeMismatch(format!(
+                        "cast {kind} on {v:?}"
+                    )))
+                }
+            })
+        }
+    }
+}
+
+fn float_of(to: ScalarType, x: f64) -> Value {
+    match to {
+        ScalarType::F32 => Value::F32(x as f32),
+        _ => Value::F64(x),
+    }
+}
+
+fn int_of(to: ScalarType, x: f64) -> Value {
+    match to {
+        ScalarType::I32 => Value::I32(x as i32),
+        _ => Value::I64(x as i64),
+    }
+}
+
+/// Applies a comparison, producing `i32` 0/1 (lane-wise for vectors).
+pub fn apply_cmp(pred: CmpPred, a: &Value, b: &Value) -> Result<Value, ExecError> {
+    match (a, b) {
+        (Value::Vector(xs), Value::Vector(ys)) => {
+            if xs.len() != ys.len() {
+                return Err(ExecError::TypeMismatch("vector width mismatch".into()));
+            }
+            let lanes: Result<Vec<Value>, ExecError> = xs
+                .iter()
+                .zip(ys)
+                .map(|(x, y)| apply_cmp(pred, x, y))
+                .collect();
+            Ok(Value::Vector(lanes?))
+        }
+        _ => {
+            let ord = match (a, b) {
+                (Value::I32(x), Value::I32(y)) => x.partial_cmp(y),
+                (Value::I64(x), Value::I64(y)) => x.partial_cmp(y),
+                (Value::F32(x), Value::F32(y)) => x.partial_cmp(y),
+                (Value::F64(x), Value::F64(y)) => x.partial_cmp(y),
+                (Value::Ptr(x), Value::Ptr(y)) => x.partial_cmp(y),
+                _ => {
+                    return Err(ExecError::TypeMismatch(format!(
+                        "cmp on {a:?} / {b:?}"
+                    )))
+                }
+            };
+            let r = match (pred, ord) {
+                (CmpPred::Eq, Some(o)) => o == std::cmp::Ordering::Equal,
+                (CmpPred::Ne, Some(o)) => o != std::cmp::Ordering::Equal,
+                (CmpPred::Lt, Some(o)) => o == std::cmp::Ordering::Less,
+                (CmpPred::Le, Some(o)) => o != std::cmp::Ordering::Greater,
+                (CmpPred::Gt, Some(o)) => o == std::cmp::Ordering::Greater,
+                (CmpPred::Ge, Some(o)) => o != std::cmp::Ordering::Less,
+                // Unordered (NaN) comparisons are false except `ne`.
+                (CmpPred::Ne, None) => true,
+                (_, None) => false,
+            };
+            Ok(Value::I32(i32::from(r)))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_ops_wrap() {
+        let v = apply_binop(BinOp::Add, &Value::I32(i32::MAX), &Value::I32(1)).unwrap();
+        assert_eq!(v, Value::I32(i32::MIN));
+        let v = apply_binop(BinOp::Mul, &Value::I64(i64::MAX), &Value::I64(2)).unwrap();
+        assert_eq!(v, Value::I64(-2));
+    }
+
+    #[test]
+    fn int_div_by_zero_traps() {
+        let e = apply_binop(BinOp::Div, &Value::I32(1), &Value::I32(0)).unwrap_err();
+        assert!(matches!(e, ExecError::DivisionByZero));
+        let e = apply_binop(BinOp::Rem, &Value::I64(1), &Value::I64(0)).unwrap_err();
+        assert!(matches!(e, ExecError::DivisionByZero));
+    }
+
+    #[test]
+    fn float_div_by_zero_is_inf() {
+        let v = apply_binop(BinOp::Div, &Value::F64(1.0), &Value::F64(0.0)).unwrap();
+        assert_eq!(v, Value::F64(f64::INFINITY));
+    }
+
+    #[test]
+    fn vector_ops_are_lanewise() {
+        let a = Value::Vector(vec![Value::F64(1.0), Value::F64(2.0)]);
+        let b = Value::Vector(vec![Value::F64(10.0), Value::F64(20.0)]);
+        let v = apply_binop(BinOp::Add, &a, &b).unwrap();
+        assert_eq!(
+            v,
+            Value::Vector(vec![Value::F64(11.0), Value::F64(22.0)])
+        );
+        let v = apply_binop_lanewise(&[BinOp::Add, BinOp::Sub], &a, &b).unwrap();
+        assert_eq!(
+            v,
+            Value::Vector(vec![Value::F64(11.0), Value::F64(-18.0)])
+        );
+    }
+
+    #[test]
+    fn cmp_semantics() {
+        assert_eq!(
+            apply_cmp(CmpPred::Lt, &Value::I64(1), &Value::I64(2)).unwrap(),
+            Value::I32(1)
+        );
+        assert_eq!(
+            apply_cmp(CmpPred::Ge, &Value::F64(1.0), &Value::F64(2.0)).unwrap(),
+            Value::I32(0)
+        );
+        // NaN is unordered: only `ne` holds.
+        assert_eq!(
+            apply_cmp(CmpPred::Eq, &Value::F64(f64::NAN), &Value::F64(f64::NAN)).unwrap(),
+            Value::I32(0)
+        );
+        assert_eq!(
+            apply_cmp(CmpPred::Ne, &Value::F64(f64::NAN), &Value::F64(f64::NAN)).unwrap(),
+            Value::I32(1)
+        );
+    }
+
+    #[test]
+    fn unops() {
+        assert_eq!(
+            apply_unop(UnOp::Neg, &Value::F32(2.0)).unwrap(),
+            Value::F32(-2.0)
+        );
+        assert_eq!(
+            apply_unop(UnOp::Abs, &Value::I64(-5)).unwrap(),
+            Value::I64(5)
+        );
+        assert_eq!(
+            apply_unop(UnOp::Sqrt, &Value::F64(9.0)).unwrap(),
+            Value::F64(3.0)
+        );
+        assert!(apply_unop(UnOp::Sqrt, &Value::I32(9)).is_err());
+        assert!(apply_unop(UnOp::Not, &Value::F64(1.0)).is_err());
+    }
+}

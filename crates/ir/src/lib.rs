@@ -1,0 +1,71 @@
+//! # snslp-ir
+//!
+//! The typed SSA intermediate representation underlying the SN-SLP
+//! vectorizer — a from-scratch Rust reproduction of the compiler substrate
+//! used by *Super-Node SLP: Optimized Vectorization for Code Sequences
+//! Containing Operators and Their Inverse Elements* (CGO 2019).
+//!
+//! The IR mirrors the subset of LLVM IR that the SLP family of passes
+//! actually manipulates:
+//!
+//! * scalar types `i32`/`i64`/`f32`/`f64`, fixed-width vectors, and raw
+//!   pointers ([`types`]);
+//! * arithmetic, comparison, memory, and vector-shuffle instructions,
+//!   including a per-lane alternating binary op modelling the x86
+//!   `addsub` family ([`inst`]);
+//! * functions as instruction arenas with basic blocks and phis
+//!   ([`function`]), an ergonomic [`FunctionBuilder`], and a
+//!   round-trippable textual format ([`printer`], [`parser`]);
+//! * a [`verifier`] (types + SSA dominance), memory [`analysis`]
+//!   (address decomposition, adjacency, aliasing), and scalar cleanup
+//!   passes ([`opt`]).
+//!
+//! # Examples
+//!
+//! Build `a[0] = b[0] + b[1]` and print it:
+//!
+//! ```
+//! use snslp_ir::{FunctionBuilder, Param, ScalarType, Type};
+//!
+//! let mut fb = FunctionBuilder::new(
+//!     "sum2",
+//!     vec![Param::noalias_ptr("a"), Param::noalias_ptr("b")],
+//!     Type::Void,
+//! );
+//! let (a, b) = (fb.func().param(0), fb.func().param(1));
+//! let b0 = fb.load(ScalarType::F64, b);
+//! let p1 = fb.ptradd_const(b, 8);
+//! let b1 = fb.load(ScalarType::F64, p1);
+//! let s = fb.add(b0, b1);
+//! fb.store(a, s);
+//! fb.ret(None);
+//! let func = fb.finish();
+//! snslp_ir::verify(&func)?;
+//! println!("{func}");
+//! # Ok::<(), snslp_ir::VerifyError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod analysis;
+pub mod builder;
+pub mod function;
+pub mod inst;
+pub mod module;
+pub mod opt;
+pub mod parser;
+pub mod printer;
+pub mod types;
+pub mod verifier;
+
+pub use analysis::{decompose_address, is_consecutive, may_alias, AddrExpr, MemLoc};
+pub use builder::FunctionBuilder;
+pub use function::{BlockData, Function, InstData, Param};
+pub use inst::{
+    BinOp, BlockId, CastKind, CmpPred, Constant, Direction, InstId, InstKind, OpFamily, UnOp,
+};
+pub use module::Module;
+pub use parser::{parse_function_str, parse_module, ParseError};
+pub use types::{ScalarType, Type, VectorType};
+pub use verifier::{verify, VerifyError};

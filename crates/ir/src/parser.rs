@@ -1,0 +1,1008 @@
+//! Textual form of the IR (parsing side).
+//!
+//! The accepted grammar is exactly what [`crate::printer`] emits; see that
+//! module for an example. One restriction applies: only `phi` operands may
+//! reference values defined later in the text — every other instruction
+//! must use names already defined (which any verifier-clean function
+//! printed in creation order satisfies).
+//!
+//! # Examples
+//!
+//! ```
+//! use snslp_ir::parse_module;
+//!
+//! let m = parse_module(
+//!     "func @double(%p: ptr noalias) -> void {
+//!      entry:
+//!        %v = load f64, %p
+//!        %s = add f64 %v, %v
+//!        store %p, %s
+//!        ret
+//!      }",
+//! )?;
+//! assert_eq!(m.functions().len(), 1);
+//! # Ok::<(), snslp_ir::ParseError>(())
+//! ```
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::function::{Function, Param};
+use crate::inst::{BinOp, BlockId, CastKind, CmpPred, Constant, InstId, InstKind, UnOp};
+use crate::module::Module;
+use crate::types::{ScalarType, Type};
+
+/// Error produced when parsing textual IR fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line of the offending token.
+    pub line: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Value(String),
+    At(String),
+    Num(String),
+    Punct(char),
+    Arrow,
+}
+
+struct Lexer {
+    toks: Vec<(Tok, u32)>,
+    pos: usize,
+}
+
+fn lex(src: &str) -> Result<Lexer, ParseError> {
+    let mut toks = Vec::new();
+    let mut line: u32 = 1;
+    let mut chars = src.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            '\n' => {
+                line += 1;
+                chars.next();
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            ';' | '#' => {
+                // Comment to end of line.
+                for c in chars.by_ref() {
+                    if c == '\n' {
+                        line += 1;
+                        break;
+                    }
+                }
+            }
+            '%' | '@' => {
+                chars.next();
+                let mut s = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_alphanumeric() || c == '_' || c == '.' {
+                        s.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                if s.is_empty() {
+                    return Err(ParseError {
+                        line,
+                        message: format!("dangling `{c}`"),
+                    });
+                }
+                toks.push(if c == '%' { (Tok::Value(s), line) } else { (Tok::At(s), line) });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_alphanumeric() || c == '_' || c == '.' {
+                        s.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                toks.push((Tok::Ident(s), line));
+            }
+            c if c.is_ascii_digit() || c == '-' => {
+                let mut s = String::new();
+                s.push(c);
+                chars.next();
+                if c == '-' && chars.peek() == Some(&'>') {
+                    chars.next();
+                    toks.push((Tok::Arrow, line));
+                    continue;
+                }
+                let mut last_e = false;
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_digit()
+                        || c == '.'
+                        || c == 'e'
+                        || c == 'E'
+                        || ((c == '-' || c == '+') && last_e)
+                        || c == 'f' // allow `inf` via ident path; digits may not hit this
+                        || c == 'n'
+                        || c == 'a'
+                        || c == 'i'
+                    {
+                        last_e = c == 'e' || c == 'E';
+                        s.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                toks.push((Tok::Num(s), line));
+            }
+            '(' | ')' | '{' | '}' | '[' | ']' | ',' | ':' | '=' => {
+                chars.next();
+                toks.push((Tok::Punct(c), line));
+            }
+            other => {
+                return Err(ParseError {
+                    line,
+                    message: format!("unexpected character `{other}`"),
+                })
+            }
+        }
+    }
+    Ok(Lexer { toks, pos: 0 })
+}
+
+impl Lexer {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn peek2(&self) -> Option<&Tok> {
+        self.toks.get(self.pos + 1).map(|(t, _)| t)
+    }
+
+    fn line(&self) -> u32 {
+        self.toks
+            .get(self.pos.min(self.toks.len().saturating_sub(1)))
+            .map(|(_, l)| *l)
+            .unwrap_or(0)
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            line: self.line(),
+            message: message.into(),
+        }
+    }
+
+    fn next(&mut self) -> Result<Tok, ParseError> {
+        let t = self
+            .toks
+            .get(self.pos)
+            .map(|(t, _)| t.clone())
+            .ok_or_else(|| self.err("unexpected end of input"))?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn expect_punct(&mut self, c: char) -> Result<(), ParseError> {
+        match self.next()? {
+            Tok::Punct(p) if p == c => Ok(()),
+            t => Err(self.err(format!("expected `{c}`, found {t:?}"))),
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match self.next()? {
+            Tok::Ident(s) => Ok(s),
+            t => Err(self.err(format!("expected identifier, found {t:?}"))),
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        let s = self.expect_ident()?;
+        if s == kw {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{kw}`, found `{s}`")))
+        }
+    }
+
+    fn expect_value(&mut self) -> Result<String, ParseError> {
+        match self.next()? {
+            Tok::Value(s) => Ok(s),
+            t => Err(self.err(format!("expected %value, found {t:?}"))),
+        }
+    }
+
+    fn eat_punct(&mut self, c: char) -> bool {
+        if self.peek() == Some(&Tok::Punct(c)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_u8(&mut self) -> Result<u8, ParseError> {
+        match self.next()? {
+            Tok::Num(s) => s
+                .parse::<u8>()
+                .map_err(|_| self.err(format!("invalid lane index `{s}`"))),
+            t => Err(self.err(format!("expected lane index, found {t:?}"))),
+        }
+    }
+}
+
+fn snslp_kind_from(s: &str) -> Option<CastKind> {
+    CastKind::from_mnemonic(s)
+}
+
+fn parse_type(lex: &mut Lexer) -> Result<Type, ParseError> {
+    let s = lex.expect_ident()?;
+    type_from_str(&s).ok_or_else(|| lex.err(format!("unknown type `{s}`")))
+}
+
+/// Parses a type name like `f64`, `ptr`, `void`, or `i32x4`.
+pub fn type_from_str(s: &str) -> Option<Type> {
+    let scalar = |s: &str| -> Option<ScalarType> {
+        Some(match s {
+            "i32" => ScalarType::I32,
+            "i64" => ScalarType::I64,
+            "f32" => ScalarType::F32,
+            "f64" => ScalarType::F64,
+            _ => return None,
+        })
+    };
+    match s {
+        "void" => Some(Type::Void),
+        "ptr" => Some(Type::Ptr),
+        _ => {
+            if let Some(st) = scalar(s) {
+                return Some(Type::Scalar(st));
+            }
+            let (elem, lanes) = s.split_once('x')?;
+            let st = scalar(elem)?;
+            let n: u8 = lanes.parse().ok()?;
+            if n >= 2 {
+                Some(Type::vector(st, n))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+fn parse_const_literal(lex: &mut Lexer, ty: ScalarType) -> Result<Constant, ParseError> {
+    let tok = lex.next()?;
+    let text = match &tok {
+        Tok::Num(s) => s.clone(),
+        Tok::Ident(s) => s.clone(), // inf / nan
+        t => return Err(lex.err(format!("expected literal, found {t:?}"))),
+    };
+    let bad = |lex: &Lexer| lex.err(format!("invalid {ty} literal `{text}`"));
+    Ok(match ty {
+        ScalarType::I32 => Constant::I32(text.parse().map_err(|_| bad(lex))?),
+        ScalarType::I64 => Constant::I64(text.parse().map_err(|_| bad(lex))?),
+        ScalarType::F32 => Constant::F32(parse_float(&text).map_err(|_| bad(lex))? as f32),
+        ScalarType::F64 => Constant::F64(parse_float(&text).map_err(|_| bad(lex))?),
+    })
+}
+
+fn parse_float(s: &str) -> Result<f64, ()> {
+    match s {
+        "inf" => Ok(f64::INFINITY),
+        "-inf" => Ok(f64::NEG_INFINITY),
+        "nan" | "NaN" => Ok(f64::NAN),
+        _ => s.parse::<f64>().map_err(|_| ()),
+    }
+}
+
+struct FuncParser<'l> {
+    lex: &'l mut Lexer,
+    func: Function,
+    values: HashMap<String, InstId>,
+    pending: HashMap<String, InstId>,
+    blocks: HashMap<String, BlockId>,
+    cur: BlockId,
+    saw_first_label: bool,
+}
+
+impl FuncParser<'_> {
+    /// Resolves a value name that must already be defined.
+    fn value_strict(&mut self, name: &str) -> Result<InstId, ParseError> {
+        self.values
+            .get(name)
+            .copied()
+            .ok_or_else(|| self.lex.err(format!("use of undefined value `%{name}`")))
+    }
+
+    /// Resolves a value name, reserving a forward slot if unknown (phi
+    /// operands only).
+    fn value_lazy(&mut self, name: &str) -> InstId {
+        if let Some(&id) = self.values.get(name) {
+            return id;
+        }
+        if let Some(&id) = self.pending.get(name) {
+            return id;
+        }
+        let id = self
+            .func
+            .create_detached(InstKind::Const(Constant::I32(0)), Type::Void);
+        self.pending.insert(name.to_string(), id);
+        id
+    }
+
+    fn block_ref(&mut self, name: &str) -> BlockId {
+        if let Some(&b) = self.blocks.get(name) {
+            return b;
+        }
+        let b = self.func.add_block(name.to_string());
+        self.blocks.insert(name.to_string(), b);
+        b
+    }
+
+    fn define(&mut self, name: String, kind: InstKind, ty: Type) -> Result<(), ParseError> {
+        if self.values.contains_key(&name) {
+            return Err(self.lex.err(format!("redefinition of `%{name}`")));
+        }
+        let id = if let Some(slot) = self.pending.remove(&name) {
+            self.func.define_slot(slot, self.cur, kind, ty);
+            slot
+        } else {
+            self.func.append_inst(self.cur, kind, ty)
+        };
+        self.values.insert(name, id);
+        Ok(())
+    }
+
+    fn emit_effect(&mut self, kind: InstKind) {
+        self.func.append_inst(self.cur, kind, Type::Void);
+    }
+
+    fn parse_operand_list(&mut self) -> Result<Vec<InstId>, ParseError> {
+        let mut out = Vec::new();
+        loop {
+            let name = self.lex.expect_value()?;
+            out.push(self.value_strict(&name)?);
+            if !self.lex.eat_punct(',') {
+                return Ok(out);
+            }
+        }
+    }
+
+    fn parse_body(&mut self) -> Result<(), ParseError> {
+        loop {
+            match self.lex.peek() {
+                Some(Tok::Punct('}')) => {
+                    self.lex.next()?;
+                    if let Some(name) = self.pending.keys().next() {
+                        return Err(self
+                            .lex
+                            .err(format!("use of undefined value `%{name}` (phi operand)")));
+                    }
+                    return Ok(());
+                }
+                Some(Tok::Ident(_)) if self.lex.peek2() == Some(&Tok::Punct(':')) => {
+                    let label = self.lex.expect_ident()?;
+                    self.lex.expect_punct(':')?;
+                    if !self.saw_first_label {
+                        // First label names the entry block.
+                        self.saw_first_label = true;
+                        self.func.set_block_name(self.func.entry(), label.clone());
+                        self.blocks.insert(label, self.func.entry());
+                        self.cur = self.func.entry();
+                    } else {
+                        self.cur = self.block_ref(&label);
+                    }
+                }
+                Some(_) => self.parse_inst()?,
+                None => return Err(self.lex.err("unexpected end of input in function body")),
+            }
+        }
+    }
+
+    fn parse_inst(&mut self) -> Result<(), ParseError> {
+        match self.lex.next()? {
+            Tok::Value(result) => {
+                self.lex.expect_punct('=')?;
+                self.parse_value_inst(result)
+            }
+            Tok::Ident(op) => self.parse_effect_inst(&op),
+            t => Err(self.lex.err(format!("expected instruction, found {t:?}"))),
+        }
+    }
+
+    fn parse_value_inst(&mut self, result: String) -> Result<(), ParseError> {
+        let op = self.lex.expect_ident()?;
+        match op.as_str() {
+            "const" => {
+                let ty = parse_type(self.lex)?;
+                let st = ty
+                    .as_scalar()
+                    .ok_or_else(|| self.lex.err("const needs a scalar type"))?;
+                let c = parse_const_literal(self.lex, st)?;
+                self.define(result, InstKind::Const(c), ty)
+            }
+            "cast" => {
+                let m = self.lex.expect_ident()?;
+                let kind = snslp_kind_from(&m)
+                    .ok_or_else(|| self.lex.err(format!("unknown cast `{m}`")))?;
+                let ty = parse_type(self.lex)?;
+                let n = self.lex.expect_value()?;
+                let operand = self.value_strict(&n)?;
+                self.define(result, InstKind::Cast { kind, operand }, ty)
+            }
+            "lanewise" => {
+                self.lex.expect_punct('[')?;
+                let mut ops = Vec::new();
+                loop {
+                    let m = self.lex.expect_ident()?;
+                    let op = BinOp::from_mnemonic(&m)
+                        .ok_or_else(|| self.lex.err(format!("unknown binop `{m}`")))?;
+                    ops.push(op);
+                    if !self.lex.eat_punct(',') {
+                        break;
+                    }
+                }
+                self.lex.expect_punct(']')?;
+                let ty = parse_type(self.lex)?;
+                let lhs = {
+                    let n = self.lex.expect_value()?;
+                    self.value_strict(&n)?
+                };
+                self.lex.expect_punct(',')?;
+                let rhs = {
+                    let n = self.lex.expect_value()?;
+                    self.value_strict(&n)?
+                };
+                self.define(
+                    result,
+                    InstKind::BinaryLanewise {
+                        ops: ops.into_boxed_slice(),
+                        lhs,
+                        rhs,
+                    },
+                    ty,
+                )
+            }
+            "cmp" => {
+                let p = self.lex.expect_ident()?;
+                let pred = CmpPred::from_mnemonic(&p)
+                    .ok_or_else(|| self.lex.err(format!("unknown predicate `{p}`")))?;
+                let opty = parse_type(self.lex)?;
+                let lhs = {
+                    let n = self.lex.expect_value()?;
+                    self.value_strict(&n)?
+                };
+                self.lex.expect_punct(',')?;
+                let rhs = {
+                    let n = self.lex.expect_value()?;
+                    self.value_strict(&n)?
+                };
+                let ty = match opty {
+                    Type::Vector(v) => Type::vector(ScalarType::I32, v.lanes),
+                    _ => Type::scalar(ScalarType::I32),
+                };
+                self.define(result, InstKind::Cmp { pred, lhs, rhs }, ty)
+            }
+            "select" => {
+                let ops = self.parse_operand_list()?;
+                if ops.len() != 3 {
+                    return Err(self.lex.err("select takes 3 operands"));
+                }
+                let ty = self.func.ty(ops[1]);
+                self.define(
+                    result,
+                    InstKind::Select {
+                        cond: ops[0],
+                        on_true: ops[1],
+                        on_false: ops[2],
+                    },
+                    ty,
+                )
+            }
+            "load" => {
+                let ty = parse_type(self.lex)?;
+                self.lex.expect_punct(',')?;
+                let n = self.lex.expect_value()?;
+                let ptr = self.value_strict(&n)?;
+                self.define(result, InstKind::Load { ptr }, ty)
+            }
+            "ptradd" => {
+                let ops = self.parse_operand_list()?;
+                if ops.len() != 2 {
+                    return Err(self.lex.err("ptradd takes 2 operands"));
+                }
+                self.define(
+                    result,
+                    InstKind::PtrAdd {
+                        ptr: ops[0],
+                        offset: ops[1],
+                    },
+                    Type::Ptr,
+                )
+            }
+            "splat" => {
+                let lanes = self.lex.expect_u8()?;
+                let n = self.lex.expect_value()?;
+                let value = self.value_strict(&n)?;
+                let st = self
+                    .func
+                    .ty(value)
+                    .as_scalar()
+                    .ok_or_else(|| self.lex.err("splat needs a scalar operand"))?;
+                self.define(
+                    result,
+                    InstKind::Splat { value, lanes },
+                    Type::vector(st, lanes),
+                )
+            }
+            "buildvec" => {
+                let elems = self.parse_operand_list()?;
+                if elems.len() < 2 {
+                    return Err(self.lex.err("buildvec needs at least 2 elements"));
+                }
+                let st = self
+                    .func
+                    .ty(elems[0])
+                    .as_scalar()
+                    .ok_or_else(|| self.lex.err("buildvec needs scalar elements"))?;
+                let lanes = elems.len() as u8;
+                self.define(
+                    result,
+                    InstKind::BuildVector {
+                        elems: elems.into_boxed_slice(),
+                    },
+                    Type::vector(st, lanes),
+                )
+            }
+            "extract" => {
+                let n = self.lex.expect_value()?;
+                let vector = self.value_strict(&n)?;
+                self.lex.expect_punct(',')?;
+                let lane = self.lex.expect_u8()?;
+                let vt = self
+                    .func
+                    .ty(vector)
+                    .as_vector()
+                    .ok_or_else(|| self.lex.err("extract needs a vector operand"))?;
+                self.define(
+                    result,
+                    InstKind::ExtractElement { vector, lane },
+                    Type::Scalar(vt.elem),
+                )
+            }
+            "insert" => {
+                let n = self.lex.expect_value()?;
+                let vector = self.value_strict(&n)?;
+                self.lex.expect_punct(',')?;
+                let n = self.lex.expect_value()?;
+                let value = self.value_strict(&n)?;
+                self.lex.expect_punct(',')?;
+                let lane = self.lex.expect_u8()?;
+                let ty = self.func.ty(vector);
+                self.define(
+                    result,
+                    InstKind::InsertElement {
+                        vector,
+                        value,
+                        lane,
+                    },
+                    ty,
+                )
+            }
+            "shuffle" => {
+                let n = self.lex.expect_value()?;
+                let a = self.value_strict(&n)?;
+                self.lex.expect_punct(',')?;
+                let n = self.lex.expect_value()?;
+                let b = self.value_strict(&n)?;
+                self.lex.expect_punct(',')?;
+                self.lex.expect_punct('[')?;
+                let mut mask = Vec::new();
+                loop {
+                    mask.push(self.lex.expect_u8()?);
+                    if !self.lex.eat_punct(',') {
+                        break;
+                    }
+                }
+                self.lex.expect_punct(']')?;
+                let vt = self
+                    .func
+                    .ty(a)
+                    .as_vector()
+                    .ok_or_else(|| self.lex.err("shuffle needs vector operands"))?;
+                let lanes = mask.len() as u8;
+                self.define(
+                    result,
+                    InstKind::Shuffle {
+                        a,
+                        b,
+                        mask: mask.into_boxed_slice(),
+                    },
+                    Type::vector(vt.elem, lanes),
+                )
+            }
+            "phi" => {
+                let ty = parse_type(self.lex)?;
+                self.lex.expect_punct('[')?;
+                let mut incoming = Vec::new();
+                loop {
+                    let blk = self.lex.expect_ident()?;
+                    self.lex.expect_punct(':')?;
+                    let val = self.lex.expect_value()?;
+                    let b = self.block_ref(&blk);
+                    let v = self.value_lazy(&val);
+                    incoming.push((b, v));
+                    if !self.lex.eat_punct(',') {
+                        break;
+                    }
+                }
+                self.lex.expect_punct(']')?;
+                self.define(result, InstKind::Phi { incoming }, ty)
+            }
+            mnem => {
+                // Binary or unary arithmetic: `<op> <ty> %a[, %b]`.
+                if let Some(op) = BinOp::from_mnemonic(mnem) {
+                    let ty = parse_type(self.lex)?;
+                    let ops = self.parse_operand_list()?;
+                    if ops.len() != 2 {
+                        return Err(self.lex.err(format!("`{mnem}` takes 2 operands")));
+                    }
+                    self.define(
+                        result,
+                        InstKind::Binary {
+                            op,
+                            lhs: ops[0],
+                            rhs: ops[1],
+                        },
+                        ty,
+                    )
+                } else if let Some(op) = UnOp::from_mnemonic(mnem) {
+                    let ty = parse_type(self.lex)?;
+                    let n = self.lex.expect_value()?;
+                    let operand = self.value_strict(&n)?;
+                    self.define(result, InstKind::Unary { op, operand }, ty)
+                } else {
+                    Err(self.lex.err(format!("unknown instruction `{mnem}`")))
+                }
+            }
+        }
+    }
+
+    fn parse_effect_inst(&mut self, op: &str) -> Result<(), ParseError> {
+        match op {
+            "store" => {
+                let ops = self.parse_operand_list()?;
+                if ops.len() != 2 {
+                    return Err(self.lex.err("store takes 2 operands"));
+                }
+                self.emit_effect(InstKind::Store {
+                    ptr: ops[0],
+                    value: ops[1],
+                });
+                Ok(())
+            }
+            "jmp" => {
+                let label = self.lex.expect_ident()?;
+                let target = self.block_ref(&label);
+                self.emit_effect(InstKind::Jump { target });
+                Ok(())
+            }
+            "br" => {
+                let n = self.lex.expect_value()?;
+                let cond = self.value_strict(&n)?;
+                self.lex.expect_punct(',')?;
+                let t = self.lex.expect_ident()?;
+                self.lex.expect_punct(',')?;
+                let e = self.lex.expect_ident()?;
+                let on_true = self.block_ref(&t);
+                let on_false = self.block_ref(&e);
+                self.emit_effect(InstKind::Branch {
+                    cond,
+                    on_true,
+                    on_false,
+                });
+                Ok(())
+            }
+            "ret" => {
+                let value = if let Some(Tok::Value(_)) = self.lex.peek() {
+                    let n = self.lex.expect_value()?;
+                    Some(self.value_strict(&n)?)
+                } else {
+                    None
+                };
+                self.emit_effect(InstKind::Ret { value });
+                Ok(())
+            }
+            other => Err(self.lex.err(format!("unknown instruction `{other}`"))),
+        }
+    }
+}
+
+fn parse_function(lex: &mut Lexer) -> Result<Function, ParseError> {
+    lex.expect_keyword("func")?;
+    let name = match lex.next()? {
+        Tok::At(s) => s,
+        t => return Err(lex.err(format!("expected @name, found {t:?}"))),
+    };
+    lex.expect_punct('(')?;
+    let mut params = Vec::new();
+    if !lex.eat_punct(')') {
+        loop {
+            let pname = lex.expect_value()?;
+            lex.expect_punct(':')?;
+            let ty = parse_type(lex)?;
+            let noalias = if let Some(Tok::Ident(s)) = lex.peek() {
+                if s == "noalias" {
+                    lex.next()?;
+                    true
+                } else {
+                    false
+                }
+            } else {
+                false
+            };
+            params.push(Param {
+                name: pname,
+                ty,
+                noalias,
+            });
+            if lex.eat_punct(')') {
+                break;
+            }
+            lex.expect_punct(',')?;
+        }
+    }
+    match lex.next()? {
+        Tok::Arrow => {}
+        t => return Err(lex.err(format!("expected `->`, found {t:?}"))),
+    }
+    let ret_ty = parse_type(lex)?;
+    let mut fast_math = false;
+    if let Some(Tok::Ident(s)) = lex.peek() {
+        if s == "fastmath" {
+            lex.next()?;
+            fast_math = true;
+        }
+    }
+    lex.expect_punct('{')?;
+
+    let mut func = Function::new(name, params.clone(), ret_ty);
+    func.fast_math = fast_math;
+    let mut values = HashMap::new();
+    for (i, p) in params.iter().enumerate() {
+        values.insert(p.name.clone(), func.param(i));
+    }
+    let cur = func.entry();
+    let mut fp = FuncParser {
+        lex,
+        func,
+        values,
+        pending: HashMap::new(),
+        blocks: HashMap::new(),
+        cur,
+        saw_first_label: false,
+    };
+    fp.parse_body()?;
+    Ok(fp.func)
+}
+
+/// Parses a module containing zero or more functions.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with line information on malformed input.
+pub fn parse_module(src: &str) -> Result<Module, ParseError> {
+    let mut lex = lex(src)?;
+    let mut module = Module::new("parsed");
+    while lex.peek().is_some() {
+        module.add_function(parse_function(&mut lex)?);
+    }
+    Ok(module)
+}
+
+/// Parses exactly one function.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] if the input does not contain exactly one
+/// well-formed function.
+pub fn parse_function_str(src: &str) -> Result<Function, ParseError> {
+    let m = parse_module(src)?;
+    let n = m.functions().len();
+    if n != 1 {
+        return Err(ParseError {
+            line: 0,
+            message: format!("expected exactly 1 function, found {n}"),
+        });
+    }
+    Ok(m.functions()[0].clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::types::ScalarType;
+
+    #[test]
+    fn parse_simple() {
+        let f = parse_function_str(
+            "func @f(%p: ptr noalias, %n: i64) -> void fastmath {
+             entry:
+               %v = load f64, %p
+               %s = add f64 %v, %v
+               store %p, %s
+               ret
+             }",
+        )
+        .unwrap();
+        assert_eq!(f.name(), "f");
+        assert!(f.fast_math);
+        assert!(f.params()[0].noalias);
+        assert!(!f.params()[1].noalias);
+        assert_eq!(f.num_linked_insts(), 4);
+    }
+
+    #[test]
+    fn parse_loop_with_phi_forward_ref() {
+        let f = parse_function_str(
+            "func @g(%p: ptr noalias, %n: i64) -> void {
+             entry:
+               %z = const i64 0
+               jmp loop
+             loop:
+               %i = phi i64 [entry: %z, loop: %inext]
+               %one = const i64 1
+               %inext = add i64 %i, %one
+               %c = cmp lt i64 %inext, %n
+               br %c, loop, exit
+             exit:
+               ret
+             }",
+        )
+        .unwrap();
+        assert_eq!(f.num_blocks(), 3);
+        // Round trip: print and reparse.
+        let text = f.to_string();
+        let f2 = parse_function_str(&text).unwrap();
+        assert_eq!(f2.num_linked_insts(), f.num_linked_insts());
+        assert_eq!(f2.num_blocks(), f.num_blocks());
+    }
+
+    #[test]
+    fn parse_vector_ops() {
+        let f = parse_function_str(
+            "func @v(%p: ptr noalias) -> void {
+             entry:
+               %a = load f32x4, %p
+               %b = shuffle %a, %a, [3, 2, 1, 0]
+               %c = lanewise [add, sub, add, sub] f32x4 %a, %b
+               %x = extract %c, 2
+               %d = insert %c, %x, 0
+               %s = splat 4 %x
+               %bv = buildvec %x, %x
+               store %p, %d
+               ret
+             }",
+        )
+        .unwrap();
+        assert_eq!(f.ty(f.block(f.entry()).insts()[2]), Type::vector(ScalarType::F32, 4));
+        let text = f.to_string();
+        let f2 = parse_function_str(&text).unwrap();
+        assert_eq!(f2.num_linked_insts(), f.num_linked_insts());
+    }
+
+    #[test]
+    fn error_on_undefined_value() {
+        let e = parse_function_str(
+            "func @f() -> void {
+             entry:
+               %s = add f64 %v, %v
+               ret
+             }",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("undefined value"));
+        assert_eq!(e.line, 3);
+    }
+
+    #[test]
+    fn error_on_unresolved_phi_operand() {
+        let e = parse_function_str(
+            "func @f() -> void {
+             entry:
+               %x = phi i64 [entry: %nope]
+               ret
+             }",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("undefined value"));
+    }
+
+    #[test]
+    fn error_on_redefinition() {
+        let e = parse_function_str(
+            "func @f() -> void {
+             entry:
+               %x = const i64 1
+               %x = const i64 2
+               ret
+             }",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("redefinition"));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let f = parse_function_str(
+            "; leading comment
+             func @f() -> void { # trailing
+             entry: ; entry block
+               ret
+             }",
+        )
+        .unwrap();
+        assert_eq!(f.num_linked_insts(), 1);
+    }
+
+    #[test]
+    fn builder_output_round_trips() {
+        let mut fb = FunctionBuilder::new(
+            "k",
+            vec![
+                Param::noalias_ptr("a"),
+                Param::new("n", Type::scalar(ScalarType::I64)),
+            ],
+            Type::Void,
+        );
+        let a = fb.func().param(0);
+        let n = fb.func().param(1);
+        fb.counted_loop(n, |fb, i| {
+            let eight = fb.const_i64(8);
+            let off = fb.mul(i, eight);
+            let p = fb.ptradd(a, off);
+            let v = fb.load(ScalarType::F64, p);
+            let half = fb.const_f64(0.5);
+            let s = fb.mul(v, half);
+            fb.store(p, s);
+        });
+        fb.ret(None);
+        let f = fb.finish();
+        let f2 = parse_function_str(&f.to_string()).unwrap();
+        assert_eq!(f2.num_linked_insts(), f.num_linked_insts());
+        assert_eq!(f2.num_blocks(), f.num_blocks());
+        // Printing the reparsed function is stable modulo value numbering.
+        let f3 = parse_function_str(&f2.to_string()).unwrap();
+        assert_eq!(f3.num_linked_insts(), f2.num_linked_insts());
+    }
+
+    #[test]
+    fn negative_and_special_float_literals() {
+        let f = parse_function_str(
+            "func @c() -> void {
+             entry:
+               %a = const f64 -1.5
+               %b = const f64 1e-3
+               %c = const i32 -7
+               ret
+             }",
+        )
+        .unwrap();
+        assert_eq!(f.num_linked_insts(), 4);
+    }
+}

@@ -1,0 +1,315 @@
+//! Textual form of the IR (printing side).
+//!
+//! The format round-trips through [`crate::parser`]. Example:
+//!
+//! ```text
+//! func @axpy(%a: ptr noalias, %x: ptr noalias, %n: i64) -> void fastmath {
+//! entry:
+//!   %t3 = const i64 0
+//!   jmp loop
+//! loop:
+//!   %t5 = phi i64 [entry: %t3, loop: %t12]
+//!   ...
+//! }
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::function::Function;
+use crate::inst::{BlockId, InstId, InstKind};
+use crate::module::Module;
+
+/// Returns the display name of each block, deduplicated.
+pub(crate) fn block_names(f: &Function) -> Vec<String> {
+    let mut seen: HashMap<String, u32> = HashMap::new();
+    let mut names = Vec::with_capacity(f.num_blocks());
+    for b in f.block_ids() {
+        let raw = f.block(b).name.clone();
+        let base = if raw.is_empty() {
+            format!("bb{}", b.0)
+        } else {
+            raw
+        };
+        let n = seen.entry(base.clone()).or_insert(0);
+        let name = if *n == 0 {
+            base.clone()
+        } else {
+            format!("{base}.{n}")
+        };
+        *n += 1;
+        names.push(name);
+    }
+    names
+}
+
+/// Returns the display name of each value slot: `%<param-name>` for
+/// parameters, `%t<id>` for instructions.
+pub(crate) fn value_names(f: &Function) -> Vec<String> {
+    let mut names = vec![String::new(); f.num_inst_slots()];
+    for (i, &pid) in f.param_ids().iter().enumerate() {
+        names[pid.index()] = format!("%{}", f.params()[i].name);
+    }
+    for (i, name) in names.iter_mut().enumerate() {
+        if name.is_empty() {
+            *name = format!("%t{i}");
+        }
+    }
+    names
+}
+
+struct Printer<'a> {
+    f: &'a Function,
+    vnames: Vec<String>,
+    bnames: Vec<String>,
+}
+
+impl Printer<'_> {
+    fn v(&self, id: InstId) -> &str {
+        &self.vnames[id.index()]
+    }
+
+    fn b(&self, id: BlockId) -> &str {
+        &self.bnames[id.index()]
+    }
+
+    fn print_inst(&self, out: &mut fmt::Formatter<'_>, id: InstId) -> fmt::Result {
+        let data = self.f.inst(id);
+        let ty = data.ty;
+        match &data.kind {
+            InstKind::Param(_) => Ok(()),
+            InstKind::Const(c) => {
+                write!(out, "{} = const {} {}", self.v(id), c.scalar_type(), c)
+            }
+            InstKind::Binary { op, lhs, rhs } => write!(
+                out,
+                "{} = {} {} {}, {}",
+                self.v(id),
+                op,
+                ty,
+                self.v(*lhs),
+                self.v(*rhs)
+            ),
+            InstKind::BinaryLanewise { ops, lhs, rhs } => {
+                let names: Vec<&str> = ops.iter().map(|o| o.mnemonic()).collect();
+                write!(
+                    out,
+                    "{} = lanewise [{}] {} {}, {}",
+                    self.v(id),
+                    names.join(", "),
+                    ty,
+                    self.v(*lhs),
+                    self.v(*rhs)
+                )
+            }
+            InstKind::Unary { op, operand } => write!(
+                out,
+                "{} = {} {} {}",
+                self.v(id),
+                op,
+                ty,
+                self.v(*operand)
+            ),
+            InstKind::Cast { kind, operand } => write!(
+                out,
+                "{} = cast {} {} {}",
+                self.v(id),
+                kind,
+                ty,
+                self.v(*operand)
+            ),
+            InstKind::Cmp { pred, lhs, rhs } => write!(
+                out,
+                "{} = cmp {} {} {}, {}",
+                self.v(id),
+                pred,
+                self.f.ty(*lhs),
+                self.v(*lhs),
+                self.v(*rhs)
+            ),
+            InstKind::Select {
+                cond,
+                on_true,
+                on_false,
+            } => write!(
+                out,
+                "{} = select {}, {}, {}",
+                self.v(id),
+                self.v(*cond),
+                self.v(*on_true),
+                self.v(*on_false)
+            ),
+            InstKind::Load { ptr } => {
+                write!(out, "{} = load {}, {}", self.v(id), ty, self.v(*ptr))
+            }
+            InstKind::Store { ptr, value } => {
+                write!(out, "store {}, {}", self.v(*ptr), self.v(*value))
+            }
+            InstKind::PtrAdd { ptr, offset } => write!(
+                out,
+                "{} = ptradd {}, {}",
+                self.v(id),
+                self.v(*ptr),
+                self.v(*offset)
+            ),
+            InstKind::Splat { value, lanes } => {
+                write!(out, "{} = splat {} {}", self.v(id), lanes, self.v(*value))
+            }
+            InstKind::BuildVector { elems } => {
+                let names: Vec<&str> = elems.iter().map(|e| self.v(*e)).collect();
+                write!(out, "{} = buildvec {}", self.v(id), names.join(", "))
+            }
+            InstKind::ExtractElement { vector, lane } => write!(
+                out,
+                "{} = extract {}, {}",
+                self.v(id),
+                self.v(*vector),
+                lane
+            ),
+            InstKind::InsertElement {
+                vector,
+                value,
+                lane,
+            } => write!(
+                out,
+                "{} = insert {}, {}, {}",
+                self.v(id),
+                self.v(*vector),
+                self.v(*value),
+                lane
+            ),
+            InstKind::Shuffle { a, b, mask } => {
+                let m: Vec<String> = mask.iter().map(|x| x.to_string()).collect();
+                write!(
+                    out,
+                    "{} = shuffle {}, {}, [{}]",
+                    self.v(id),
+                    self.v(*a),
+                    self.v(*b),
+                    m.join(", ")
+                )
+            }
+            InstKind::Phi { incoming } => {
+                let edges: Vec<String> = incoming
+                    .iter()
+                    .map(|(b, v)| format!("{}: {}", self.b(*b), self.v(*v)))
+                    .collect();
+                write!(
+                    out,
+                    "{} = phi {} [{}]",
+                    self.v(id),
+                    ty,
+                    edges.join(", ")
+                )
+            }
+            InstKind::Jump { target } => write!(out, "jmp {}", self.b(*target)),
+            InstKind::Branch {
+                cond,
+                on_true,
+                on_false,
+            } => write!(
+                out,
+                "br {}, {}, {}",
+                self.v(*cond),
+                self.b(*on_true),
+                self.b(*on_false)
+            ),
+            InstKind::Ret { value } => match value {
+                Some(v) => write!(out, "ret {}", self.v(*v)),
+                None => write!(out, "ret"),
+            },
+        }
+    }
+}
+
+impl fmt::Display for Function {
+    fn fmt(&self, out: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let p = Printer {
+            f: self,
+            vnames: value_names(self),
+            bnames: block_names(self),
+        };
+        write!(out, "func @{}(", self.name())?;
+        for (i, param) in self.params().iter().enumerate() {
+            if i > 0 {
+                write!(out, ", ")?;
+            }
+            write!(out, "%{}: {}", param.name, param.ty)?;
+            if param.noalias {
+                write!(out, " noalias")?;
+            }
+        }
+        write!(out, ") -> {}", self.ret_ty())?;
+        if self.fast_math {
+            write!(out, " fastmath")?;
+        }
+        writeln!(out, " {{")?;
+        for b in self.block_ids() {
+            writeln!(out, "{}:", p.bnames[b.index()])?;
+            for &id in self.block(b).insts() {
+                write!(out, "  ")?;
+                p.print_inst(out, id)?;
+                writeln!(out)?;
+            }
+        }
+        writeln!(out, "}}")
+    }
+}
+
+impl fmt::Display for Module {
+    fn fmt(&self, out: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, f) in self.functions().iter().enumerate() {
+            if i > 0 {
+                writeln!(out)?;
+            }
+            f.fmt(out)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::FunctionBuilder;
+    use crate::function::Param;
+    use crate::types::{ScalarType, Type};
+
+    #[test]
+    fn prints_signature_and_body() {
+        let mut fb = FunctionBuilder::new(
+            "f",
+            vec![
+                Param::noalias_ptr("a"),
+                Param::new("n", Type::scalar(ScalarType::I64)),
+            ],
+            Type::Void,
+        );
+        fb.set_fast_math(true);
+        let a = fb.func().param(0);
+        let v = fb.load(ScalarType::F64, a);
+        let s = fb.add(v, v);
+        fb.store(a, s);
+        fb.ret(None);
+        let text = fb.finish().to_string();
+        assert!(text.contains("func @f(%a: ptr noalias, %n: i64) -> void fastmath {"));
+        assert!(text.contains("load f64, %a"));
+        assert!(text.contains("add f64"));
+        assert!(text.contains("store %a,"));
+        assert!(text.contains("ret"));
+    }
+
+    #[test]
+    fn duplicate_block_names_deduplicated() {
+        let mut fb = FunctionBuilder::new("g", vec![], Type::Void);
+        let b1 = fb.create_block("body");
+        let b2 = fb.create_block("body");
+        fb.jump(b1);
+        fb.switch_to(b1);
+        fb.jump(b2);
+        fb.switch_to(b2);
+        fb.ret(None);
+        let text = fb.finish().to_string();
+        assert!(text.contains("body:"));
+        assert!(text.contains("body.1:"));
+    }
+}

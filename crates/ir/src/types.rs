@@ -1,0 +1,256 @@
+//! Type system of the SN-SLP IR.
+//!
+//! The IR is deliberately small but covers everything the SLP family of
+//! vectorizers manipulates: the four scalar machine types used by the
+//! paper's kernels (`i32`, `i64`, `f32`, `f64`), fixed-width vectors of
+//! those, raw pointers, and `void` for instructions executed purely for
+//! effect.
+
+use std::fmt;
+
+/// A scalar machine type.
+///
+/// # Examples
+///
+/// ```
+/// use snslp_ir::ScalarType;
+/// assert_eq!(ScalarType::F64.size_bytes(), 8);
+/// assert!(ScalarType::F32.is_float());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ScalarType {
+    /// 32-bit signed integer.
+    I32,
+    /// 64-bit signed integer.
+    I64,
+    /// 32-bit IEEE-754 float.
+    F32,
+    /// 64-bit IEEE-754 float.
+    F64,
+}
+
+impl ScalarType {
+    /// Size of a value of this type in bytes.
+    pub fn size_bytes(self) -> u32 {
+        match self {
+            ScalarType::I32 | ScalarType::F32 => 4,
+            ScalarType::I64 | ScalarType::F64 => 8,
+        }
+    }
+
+    /// Whether this is a floating-point type.
+    pub fn is_float(self) -> bool {
+        matches!(self, ScalarType::F32 | ScalarType::F64)
+    }
+
+    /// Whether this is an integer type.
+    pub fn is_int(self) -> bool {
+        !self.is_float()
+    }
+
+    /// All scalar types, useful for exhaustive tests.
+    pub const ALL: [ScalarType; 4] = [
+        ScalarType::I32,
+        ScalarType::I64,
+        ScalarType::F32,
+        ScalarType::F64,
+    ];
+}
+
+impl fmt::Display for ScalarType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ScalarType::I32 => "i32",
+            ScalarType::I64 => "i64",
+            ScalarType::F32 => "f32",
+            ScalarType::F64 => "f64",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A fixed-width SIMD vector type, e.g. `f64x2`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VectorType {
+    /// Element type.
+    pub elem: ScalarType,
+    /// Number of lanes (at least 2).
+    pub lanes: u8,
+}
+
+impl VectorType {
+    /// Creates a vector type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes < 2`.
+    pub fn new(elem: ScalarType, lanes: u8) -> Self {
+        assert!(lanes >= 2, "vector types need at least 2 lanes");
+        VectorType { elem, lanes }
+    }
+
+    /// Total size of the vector in bytes.
+    pub fn size_bytes(self) -> u32 {
+        self.elem.size_bytes() * u32::from(self.lanes)
+    }
+
+    /// Total size of the vector in bits.
+    pub fn size_bits(self) -> u32 {
+        self.size_bytes() * 8
+    }
+}
+
+impl fmt::Display for VectorType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}", self.elem, self.lanes)
+    }
+}
+
+/// Any IR type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Type {
+    /// No value; the type of stores, branches, and `ret`.
+    Void,
+    /// A scalar value.
+    Scalar(ScalarType),
+    /// A SIMD vector value.
+    Vector(VectorType),
+    /// An untyped byte address.
+    Ptr,
+}
+
+impl Type {
+    /// Shorthand for a scalar type.
+    pub fn scalar(st: ScalarType) -> Self {
+        Type::Scalar(st)
+    }
+
+    /// Shorthand for a vector type.
+    pub fn vector(elem: ScalarType, lanes: u8) -> Self {
+        Type::Vector(VectorType::new(elem, lanes))
+    }
+
+    /// The scalar type if this is `Scalar`.
+    pub fn as_scalar(self) -> Option<ScalarType> {
+        match self {
+            Type::Scalar(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The vector type if this is `Vector`.
+    pub fn as_vector(self) -> Option<VectorType> {
+        match self {
+            Type::Vector(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The element type: itself for scalars, the lane type for vectors.
+    pub fn elem_scalar(self) -> Option<ScalarType> {
+        match self {
+            Type::Scalar(s) => Some(s),
+            Type::Vector(v) => Some(v.elem),
+            _ => None,
+        }
+    }
+
+    /// Whether the type carries a value (i.e. is not `Void`).
+    pub fn is_value(self) -> bool {
+        !matches!(self, Type::Void)
+    }
+
+    /// Size in bytes of a stored value of this type.
+    ///
+    /// # Panics
+    ///
+    /// Panics for `Void`, which has no storage size.
+    pub fn size_bytes(self) -> u32 {
+        match self {
+            Type::Void => panic!("void has no size"),
+            Type::Scalar(s) => s.size_bytes(),
+            Type::Vector(v) => v.size_bytes(),
+            Type::Ptr => 8,
+        }
+    }
+}
+
+impl From<ScalarType> for Type {
+    fn from(st: ScalarType) -> Self {
+        Type::Scalar(st)
+    }
+}
+
+impl From<VectorType> for Type {
+    fn from(vt: VectorType) -> Self {
+        Type::Vector(vt)
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Void => f.write_str("void"),
+            Type::Scalar(s) => s.fmt(f),
+            Type::Vector(v) => v.fmt(f),
+            Type::Ptr => f.write_str("ptr"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_sizes() {
+        assert_eq!(ScalarType::I32.size_bytes(), 4);
+        assert_eq!(ScalarType::I64.size_bytes(), 8);
+        assert_eq!(ScalarType::F32.size_bytes(), 4);
+        assert_eq!(ScalarType::F64.size_bytes(), 8);
+    }
+
+    #[test]
+    fn float_classification() {
+        assert!(ScalarType::F32.is_float());
+        assert!(ScalarType::F64.is_float());
+        assert!(ScalarType::I32.is_int());
+        assert!(ScalarType::I64.is_int());
+    }
+
+    #[test]
+    fn vector_type_sizes() {
+        let v = VectorType::new(ScalarType::F64, 2);
+        assert_eq!(v.size_bytes(), 16);
+        assert_eq!(v.size_bits(), 128);
+        let v = VectorType::new(ScalarType::I32, 8);
+        assert_eq!(v.size_bits(), 256);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 lanes")]
+    fn vector_needs_two_lanes() {
+        let _ = VectorType::new(ScalarType::I32, 1);
+    }
+
+    #[test]
+    fn display_round() {
+        assert_eq!(Type::vector(ScalarType::F32, 4).to_string(), "f32x4");
+        assert_eq!(Type::Ptr.to_string(), "ptr");
+        assert_eq!(Type::Void.to_string(), "void");
+        assert_eq!(Type::scalar(ScalarType::I64).to_string(), "i64");
+    }
+
+    #[test]
+    fn elem_scalar() {
+        assert_eq!(
+            Type::vector(ScalarType::F64, 2).elem_scalar(),
+            Some(ScalarType::F64)
+        );
+        assert_eq!(
+            Type::scalar(ScalarType::I32).elem_scalar(),
+            Some(ScalarType::I32)
+        );
+        assert_eq!(Type::Ptr.elem_scalar(), None);
+    }
+}

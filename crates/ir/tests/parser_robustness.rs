@@ -1,0 +1,112 @@
+//! Parser robustness: arbitrary input must produce a clean `ParseError`,
+//! never a panic; and anything the printer emits must reparse.
+
+use proptest::prelude::*;
+use snslp_ir::{parse_module, FunctionBuilder, Param, ScalarType, Type};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary byte soup never panics the lexer/parser.
+    #[test]
+    fn arbitrary_input_never_panics(src in ".{0,200}") {
+        let _ = parse_module(&src);
+    }
+
+    /// Arbitrary token-shaped soup never panics either.
+    #[test]
+    fn token_soup_never_panics(
+        toks in proptest::collection::vec(
+            prop_oneof![
+                Just("func".to_string()),
+                Just("@f".to_string()),
+                Just("(".to_string()),
+                Just(")".to_string()),
+                Just("{".to_string()),
+                Just("}".to_string()),
+                Just("->".to_string()),
+                Just("void".to_string()),
+                Just("entry:".to_string()),
+                Just("%x".to_string()),
+                Just("=".to_string()),
+                Just("add".to_string()),
+                Just("load".to_string()),
+                Just("store".to_string()),
+                Just("i64".to_string()),
+                Just("f64x2".to_string()),
+                Just("ret".to_string()),
+                Just(",".to_string()),
+                Just("[".to_string()),
+                Just("]".to_string()),
+                Just("1.5".to_string()),
+                Just("-3".to_string()),
+                Just("phi".to_string()),
+                Just("cast".to_string()),
+                Just("sitofp".to_string()),
+            ],
+            0..40,
+        )
+    ) {
+        let src = toks.join(" ");
+        let _ = parse_module(&src);
+    }
+
+    /// Printer output always reparses (round-trip totality for a family
+    /// of generated functions covering every instruction former).
+    #[test]
+    fn generated_functions_round_trip(ops in proptest::collection::vec(0u8..8, 1..20)) {
+        let mut fb = FunctionBuilder::new(
+            "gen",
+            vec![
+                Param::noalias_ptr("p"),
+                Param::new("n", Type::scalar(ScalarType::I64)),
+            ],
+            Type::Void,
+        );
+        let p = fb.func().param(0);
+        let mut vals = vec![fb.load(ScalarType::F32, p)];
+        for (i, &op) in ops.iter().enumerate() {
+            let last = *vals.last().unwrap();
+            let v = match op {
+                0 => fb.add(last, last),
+                1 => fb.sub(last, last),
+                2 => fb.mul(last, last),
+                3 => fb.neg(last),
+                4 => {
+                    let q = fb.ptradd_const(p, 4 * (i as i64 + 1));
+                    fb.load(ScalarType::F32, q)
+                }
+                5 => {
+                    let s = fb.splat(last, 4);
+                    fb.extract(s, 3)
+                }
+                6 => {
+                    let c = fb.cmp(snslp_ir::CmpPred::Lt, last, last);
+                    fb.select(c, last, last)
+                }
+                _ => fb.cast(
+                    snslp_ir::CastKind::Fptosi,
+                    ScalarType::I32,
+                    last,
+                ),
+            };
+            // Keep types uniform: convert back to f32 after a cast.
+            let v = if fb.func().ty(v) == Type::scalar(ScalarType::I32) {
+                fb.cast(snslp_ir::CastKind::Sitofp, ScalarType::F32, v)
+            } else {
+                v
+            };
+            vals.push(v);
+        }
+        let last = *vals.last().unwrap();
+        fb.store(p, last);
+        fb.ret(None);
+        let f = fb.finish();
+        snslp_ir::verify(&f).unwrap();
+        let text = f.to_string();
+        let f2 = snslp_ir::parse_function_str(&text)
+            .map_err(|e| TestCaseError::fail(format!("{e}\n{text}")))?;
+        prop_assert_eq!(f2.num_linked_insts(), f.num_linked_insts());
+        snslp_ir::verify(&f2).unwrap();
+    }
+}

@@ -1,0 +1,127 @@
+//! Kernel modeled on 447.dealII's local finite-element assembly: a 2×2
+//! local matrix (column-major) applied to a 2-vector with a source-term
+//! correction, with the term order scrambled between the two output
+//! lanes.
+
+use snslp_interp::ArgSpec;
+use snslp_ir::{FunctionBuilder, Function, Param, ScalarType, Type};
+
+use crate::kernel::Kernel;
+use crate::util::{elem_ptr, f64_inputs, f64_zeros, load_at};
+
+const ST: ScalarType = ScalarType::F64;
+
+/// Returns the kernel descriptor.
+pub fn dealii_assembly() -> Kernel {
+    Kernel::new(
+        "dealii_assembly",
+        "447.dealII",
+        "local FE matrix apply (2×2, column-major)",
+        "matrix·vector with source correction, per-lane term orders",
+        "f64",
+        4096,
+        build,
+        args,
+    )
+}
+
+fn build() -> Function {
+    let mut fb = FunctionBuilder::new(
+        "dealii_assembly",
+        vec![
+            Param::noalias_ptr("out"),
+            Param::noalias_ptr("m"), // column-major 2×2 per iteration
+            Param::noalias_ptr("v"),
+            Param::noalias_ptr("s"),
+            Param::new("n", Type::scalar(ScalarType::I64)),
+        ],
+        Type::Void,
+    );
+    fb.set_fast_math(true);
+    let out = fb.func().param(0);
+    let m = fb.func().param(1);
+    let v = fb.func().param(2);
+    let s = fb.func().param(3);
+    let n = fb.func().param(4);
+    fb.counted_loop(n, |fb, i| {
+        let two = fb.const_i64(2);
+        let four = fb.const_i64(4);
+        let base2 = fb.mul(i, two);
+        let base4 = fb.mul(i, four);
+        // Column-major: column 0 = m[4i], m[4i+1]; column 1 = m[4i+2], m[4i+3].
+        let m00 = load_at(fb, m, ST, base4, 0);
+        let m10 = load_at(fb, m, ST, base4, 1);
+        let m01 = load_at(fb, m, ST, base4, 2);
+        let m11 = load_at(fb, m, ST, base4, 3);
+        let v0 = load_at(fb, v, ST, base2, 0);
+        let v1 = load_at(fb, v, ST, base2, 1);
+        let s0 = load_at(fb, s, ST, base2, 0);
+        let s1 = load_at(fb, s, ST, base2, 1);
+        // Lane 0: m00·v0 − m01·v1 + s0
+        let p00 = fb.mul(m00, v0);
+        let p01 = fb.mul(m01, v1);
+        let t0 = fb.sub(p00, p01);
+        let r0 = fb.add(t0, s0);
+        // Lane 1: s1 + m10·v0 − m11·v1
+        let p10 = fb.mul(m10, v0);
+        let p11 = fb.mul(m11, v1);
+        let t1 = fb.add(s1, p10);
+        let r1 = fb.sub(t1, p11);
+        let q0 = elem_ptr(fb, out, ST, base2, 0);
+        let q1 = elem_ptr(fb, out, ST, base2, 1);
+        fb.store(q0, r0);
+        fb.store(q1, r1);
+    });
+    fb.ret(None);
+    fb.finish()
+}
+
+fn args(iters: usize) -> Vec<ArgSpec> {
+    vec![
+        f64_zeros(2 * iters + 2),
+        f64_inputs(4 * iters + 4, 0x44, -2.0, 2.0),
+        f64_inputs(2 * iters + 2, 0x45, -2.0, 2.0),
+        f64_inputs(2 * iters + 2, 0x46, -2.0, 2.0),
+        ArgSpec::I64(iters as i64),
+    ]
+}
+
+/// Reference implementation in plain Rust (used by tests).
+pub fn reference(out: &mut [f64], m: &[f64], v: &[f64], s: &[f64], n: usize) {
+    for i in 0..n {
+        let (m00, m10, m01, m11) = (m[4 * i], m[4 * i + 1], m[4 * i + 2], m[4 * i + 3]);
+        let (v0, v1) = (v[2 * i], v[2 * i + 1]);
+        out[2 * i] = m00 * v0 - m01 * v1 + s[2 * i];
+        out[2 * i + 1] = s[2 * i + 1] + m10 * v0 - m11 * v1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snslp_cost::CostModel;
+    use snslp_interp::{run_with_args, ArrayData, ExecOptions};
+
+    #[test]
+    fn matches_reference() {
+        let k = dealii_assembly();
+        let f = k.build();
+        snslp_ir::verify(&f).unwrap();
+        let n = 6;
+        let out = run_with_args(&f, &k.args(n), &CostModel::default(), &ExecOptions::default())
+            .unwrap();
+        let (ArrayData::F64(got), ArrayData::F64(m), ArrayData::F64(v), ArrayData::F64(s)) = (
+            &out.arrays[0],
+            &out.arrays[1],
+            &out.arrays[2],
+            &out.arrays[3],
+        ) else {
+            panic!("wrong array types")
+        };
+        let mut want = vec![0.0; got.len()];
+        reference(&mut want, m, v, s, n);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() < 1e-12, "{g} vs {w}");
+        }
+    }
+}

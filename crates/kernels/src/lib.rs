@@ -1,0 +1,44 @@
+//! # snslp-kernels
+//!
+//! The evaluation workload suite of the SN-SLP reproduction: IR kernels
+//! whose algebraic shapes match the SPEC CPU2006 code the paper's
+//! Table I extracts (complex multiply-accumulate from 433.milc, force
+//! combinations from 444.namd, FE assembly from 447.dealII, simplex
+//! vector updates from 450.soplex, shading from 453.povray, feature
+//! scaling from 482.sphinx3), plus the paper's two motivating examples
+//! and whole-benchmark composites for the Figure 8–10 experiments.
+//!
+//! # Examples
+//!
+//! ```
+//! use snslp_kernels::registry;
+//!
+//! for k in registry() {
+//!     let f = k.build();
+//!     snslp_ir::verify(&f).unwrap();
+//!     println!("{}: {} ({})", k.name, k.shape, k.origin);
+//! }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod composite;
+pub mod dealii;
+pub mod kernel;
+pub mod milc;
+pub mod motivating;
+pub mod namd;
+pub mod namd_sum;
+pub mod povray;
+pub mod povray_clamp;
+pub mod registry;
+pub mod soplex;
+pub mod sphinx;
+pub mod sphinx_cep;
+pub mod sphinx_dist;
+pub mod util;
+
+pub use composite::{benchmarks, Benchmark};
+pub use kernel::Kernel;
+pub use registry::{kernel_by_name, registry};

@@ -1,0 +1,145 @@
+//! Kernel modeled on 433.milc's `su3` complex arithmetic (the paper's
+//! best whole-benchmark result, §V-B: ≈2% over LSLP).
+//!
+//! Per iteration, one complex dot product of a 3-element SU(3) matrix row
+//! with a 3-vector, over interleaved re/im `f64` arrays:
+//!
+//! ```text
+//! out[2i]   = Σ_k a_re[k]·b_re[k] − a_im[k]·b_im[k]   (real part)
+//! out[2i+1] = Σ_k a_re[k]·b_im[k] + a_im[k]·b_re[k]   (imaginary part)
+//! ```
+//!
+//! The real-part lane mixes `+`/`−` with the all-`+` imaginary lane: the
+//! exact shape that needs a Super-Node (and the x86 `addsub` family) to
+//! vectorize.
+
+use snslp_interp::ArgSpec;
+use snslp_ir::{FunctionBuilder, Function, Param, ScalarType, Type};
+
+use crate::kernel::Kernel;
+use crate::util::{f64_inputs, f64_zeros, load_at};
+
+const ST: ScalarType = ScalarType::F64;
+
+/// Returns the kernel descriptor.
+pub fn milc_su3() -> Kernel {
+    Kernel::new(
+        "milc_su3",
+        "433.milc",
+        "mult_su3_mat_vec (complex dot product row)",
+        "interleaved complex multiply-accumulate, 3 terms per lane",
+        "f64",
+        2048,
+        build,
+        args,
+    )
+}
+
+fn build() -> Function {
+    let mut fb = FunctionBuilder::new(
+        "milc_su3",
+        vec![
+            Param::noalias_ptr("out"),
+            Param::noalias_ptr("a"),
+            Param::noalias_ptr("b"),
+            Param::new("n", Type::scalar(ScalarType::I64)),
+        ],
+        Type::Void,
+    );
+    fb.set_fast_math(true);
+    let out = fb.func().param(0);
+    let a = fb.func().param(1);
+    let b = fb.func().param(2);
+    let n = fb.func().param(3);
+    fb.counted_loop(n, |fb, i| {
+        let two = fb.const_i64(2);
+        let six = fb.const_i64(6);
+        let base2 = fb.mul(i, two);
+        let base6 = fb.mul(i, six);
+        // Three complex terms.
+        let mut re_terms = Vec::new();
+        let mut im_terms = Vec::new();
+        for k in 0..3 {
+            let ar = load_at(fb, a, ST, base6, 2 * k);
+            let ai = load_at(fb, a, ST, base6, 2 * k + 1);
+            let br = load_at(fb, b, ST, base6, 2 * k);
+            let bi = load_at(fb, b, ST, base6, 2 * k + 1);
+            re_terms.push(fb.mul(ar, br)); // +
+            re_terms.push(fb.mul(ai, bi)); // −
+            im_terms.push(fb.mul(ar, bi)); // +
+            im_terms.push(fb.mul(ai, br)); // +
+        }
+        // re = ((((m0 − m1) + m2) − m3) + m4) − m5
+        let mut re = fb.sub(re_terms[0], re_terms[1]);
+        re = fb.add(re, re_terms[2]);
+        re = fb.sub(re, re_terms[3]);
+        re = fb.add(re, re_terms[4]);
+        re = fb.sub(re, re_terms[5]);
+        // im = ((p0 + p1) + (p2 + p3)) + (p4 + p5) — the imaginary part is
+        // written as a balanced tree (pairwise-grouped complex terms),
+        // so its shape differs from the real part's left-leaning chain.
+        let s01 = fb.add(im_terms[0], im_terms[1]);
+        let s23 = fb.add(im_terms[2], im_terms[3]);
+        let s45 = fb.add(im_terms[4], im_terms[5]);
+        let s = fb.add(s01, s23);
+        let im = fb.add(s, s45);
+        let pre = crate::util::elem_ptr(fb, out, ST, base2, 0);
+        let pim = crate::util::elem_ptr(fb, out, ST, base2, 1);
+        fb.store(pre, re);
+        fb.store(pim, im);
+    });
+    fb.ret(None);
+    fb.finish()
+}
+
+fn args(iters: usize) -> Vec<ArgSpec> {
+    vec![
+        f64_zeros(2 * iters + 2),
+        f64_inputs(6 * iters + 6, 0xA1, -1.0, 1.0),
+        f64_inputs(6 * iters + 6, 0xB1, -1.0, 1.0),
+        ArgSpec::I64(iters as i64),
+    ]
+}
+
+/// Reference implementation in plain Rust (used by tests).
+pub fn reference(out: &mut [f64], a: &[f64], b: &[f64], n: usize) {
+    for i in 0..n {
+        let (mut re, mut im) = (0.0, 0.0);
+        for k in 0..3 {
+            let (ar, ai) = (a[6 * i + 2 * k], a[6 * i + 2 * k + 1]);
+            let (br, bi) = (b[6 * i + 2 * k], b[6 * i + 2 * k + 1]);
+            re += ar * br - ai * bi;
+            im += ar * bi + ai * br;
+        }
+        out[2 * i] = re;
+        out[2 * i + 1] = im;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snslp_cost::CostModel;
+    use snslp_interp::{run_with_args, ArrayData, ExecOptions};
+
+    #[test]
+    fn matches_reference() {
+        let k = milc_su3();
+        let f = k.build();
+        snslp_ir::verify(&f).unwrap();
+        let n = 5;
+        let spec = k.args(n);
+        let out = run_with_args(&f, &spec, &CostModel::default(), &ExecOptions::default())
+            .unwrap();
+        let (ArrayData::F64(got), ArrayData::F64(a), ArrayData::F64(b)) =
+            (&out.arrays[0], &out.arrays[1], &out.arrays[2])
+        else {
+            panic!("wrong array types")
+        };
+        let mut want = vec![0.0; got.len()];
+        reference(&mut want, a, b, n);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() < 1e-12, "{g} vs {w}");
+        }
+    }
+}

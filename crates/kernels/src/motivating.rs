@@ -1,0 +1,174 @@
+//! The paper's two motivating examples (§III), as loops over `long`
+//! arrays — "We also included the motivating examples of Section III to
+//! the list of kernels for completeness" (§V).
+
+use snslp_interp::ArgSpec;
+use snslp_ir::{FunctionBuilder, Function, Param, ScalarType, Type};
+
+use crate::kernel::Kernel;
+use crate::util::{i64_inputs, i64_zeros, load_at, store_at};
+
+const ST: ScalarType = ScalarType::I64;
+
+/// Figure 2: leaf reordering only. Per iteration pair:
+/// `A[2i] = B[2i] - C[2i] + D[2i+1];  A[2i+1] = D[2i+2] - C[2i+1] + B[2i+1]`.
+pub fn motiv_leaf() -> Kernel {
+    Kernel::new(
+        "motiv_leaf",
+        "motivating",
+        "paper Fig. 2",
+        "add/sub expression whose leaves are swapped across lanes",
+        "i64",
+        4096,
+        build_leaf,
+        args,
+    )
+}
+
+/// Figure 3: leaf *and trunk* reordering. Per iteration pair:
+/// `A[2i] = B[2i] - C[2i] + D[2i];  A[2i+1] = B[2i+1] + D[2i+1] - C[2i+1]`.
+pub fn motiv_trunk() -> Kernel {
+    Kernel::new(
+        "motiv_trunk",
+        "motivating",
+        "paper Fig. 3",
+        "add/sub expression needing trunk reordering for isomorphism",
+        "i64",
+        4096,
+        build_trunk,
+        args,
+    )
+}
+
+fn params() -> Vec<Param> {
+    vec![
+        Param::noalias_ptr("a"),
+        Param::noalias_ptr("b"),
+        Param::noalias_ptr("c"),
+        Param::noalias_ptr("d"),
+        Param::new("n", Type::scalar(ScalarType::I64)),
+    ]
+}
+
+fn build_leaf() -> Function {
+    let mut fb = FunctionBuilder::new("motiv_leaf", params(), Type::Void);
+    let a = fb.func().param(0);
+    let b = fb.func().param(1);
+    let c = fb.func().param(2);
+    let d = fb.func().param(3);
+    let n = fb.func().param(4);
+    fb.counted_loop(n, |fb, i| {
+        let two = fb.const_i64(2);
+        let base = fb.mul(i, two);
+        // Lane 0: B[2i] - C[2i] + D[2i+1]
+        let b0 = load_at(fb, b, ST, base, 0);
+        let c0 = load_at(fb, c, ST, base, 0);
+        let d1 = load_at(fb, d, ST, base, 1);
+        let t0 = fb.sub(b0, c0);
+        let r0 = fb.add(t0, d1);
+        // Lane 1: D[2i+2] - C[2i+1] + B[2i+1]
+        let d2 = load_at(fb, d, ST, base, 2);
+        let c1 = load_at(fb, c, ST, base, 1);
+        let b1 = load_at(fb, b, ST, base, 1);
+        let t1 = fb.sub(d2, c1);
+        let r1 = fb.add(t1, b1);
+        store_at(fb, a, ST, base, 0, r0);
+        store_at(fb, a, ST, base, 1, r1);
+    });
+    fb.ret(None);
+    fb.finish()
+}
+
+fn build_trunk() -> Function {
+    let mut fb = FunctionBuilder::new("motiv_trunk", params(), Type::Void);
+    let a = fb.func().param(0);
+    let b = fb.func().param(1);
+    let c = fb.func().param(2);
+    let d = fb.func().param(3);
+    let n = fb.func().param(4);
+    fb.counted_loop(n, |fb, i| {
+        let two = fb.const_i64(2);
+        let base = fb.mul(i, two);
+        // Lane 0: B[2i] - C[2i] + D[2i]
+        let b0 = load_at(fb, b, ST, base, 0);
+        let c0 = load_at(fb, c, ST, base, 0);
+        let d0 = load_at(fb, d, ST, base, 0);
+        let t0 = fb.sub(b0, c0);
+        let r0 = fb.add(t0, d0);
+        // Lane 1: B[2i+1] + D[2i+1] - C[2i+1]
+        let b1 = load_at(fb, b, ST, base, 1);
+        let d1 = load_at(fb, d, ST, base, 1);
+        let c1 = load_at(fb, c, ST, base, 1);
+        let t1 = fb.add(b1, d1);
+        let r1 = fb.sub(t1, c1);
+        store_at(fb, a, ST, base, 0, r0);
+        store_at(fb, a, ST, base, 1, r1);
+    });
+    fb.ret(None);
+    fb.finish()
+}
+
+fn args(iters: usize) -> Vec<ArgSpec> {
+    let len = 2 * iters + 3;
+    vec![
+        i64_zeros(len),
+        i64_inputs(len, 0xB0, -1_000_000, 1_000_000),
+        i64_inputs(len, 0xC0, -1_000_000, 1_000_000),
+        i64_inputs(len, 0xD0, -1_000_000, 1_000_000),
+        ArgSpec::I64(iters as i64),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernels_build_and_verify() {
+        for k in [motiv_leaf(), motiv_trunk()] {
+            let f = k.build();
+            snslp_ir::verify(&f).unwrap_or_else(|e| panic!("{}: {e}", k.name));
+            assert_eq!(f.params().len(), k.args(4).len());
+        }
+    }
+
+    #[test]
+    fn reference_semantics_leaf() {
+        use snslp_cost::CostModel;
+        use snslp_interp::{run_with_args, ArrayData, ExecOptions};
+        let k = motiv_leaf();
+        let f = k.build();
+        let n = 3;
+        let out = run_with_args(&f, &k.args(n), &CostModel::default(), &ExecOptions::default())
+            .unwrap();
+        let (ArrayData::I64(a), ArrayData::I64(b), ArrayData::I64(c), ArrayData::I64(d)) =
+            (&out.arrays[0], &out.arrays[1], &out.arrays[2], &out.arrays[3])
+        else {
+            panic!("wrong array types")
+        };
+        for i in 0..n {
+            assert_eq!(a[2 * i], b[2 * i] - c[2 * i] + d[2 * i + 1]);
+            assert_eq!(a[2 * i + 1], d[2 * i + 2] - c[2 * i + 1] + b[2 * i + 1]);
+        }
+    }
+
+    #[test]
+    fn reference_semantics_trunk() {
+        use snslp_cost::CostModel;
+        use snslp_interp::{run_with_args, ArrayData, ExecOptions};
+        let k = motiv_trunk();
+        let f = k.build();
+        let n = 3;
+        let out = run_with_args(&f, &k.args(n), &CostModel::default(), &ExecOptions::default())
+            .unwrap();
+        let (ArrayData::I64(a), ArrayData::I64(b), ArrayData::I64(c), ArrayData::I64(d)) =
+            (&out.arrays[0], &out.arrays[1], &out.arrays[2], &out.arrays[3])
+        else {
+            panic!("wrong array types")
+        };
+        for i in 0..n {
+            assert_eq!(a[2 * i], b[2 * i] - c[2 * i] + d[2 * i]);
+            assert_eq!(a[2 * i + 1], b[2 * i + 1] + d[2 * i + 1] - c[2 * i + 1]);
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Kernel modeled on 444.namd's pairwise force computation: an energy
+//! combination `(e1 − e2 + e3) · q` whose term order differs between the
+//! unrolled lanes, with the chain feeding a multiplication (the
+//! Super-Node sits *below* the root of the SLP graph).
+
+use snslp_interp::ArgSpec;
+use snslp_ir::{FunctionBuilder, Function, Param, ScalarType, Type};
+
+use crate::kernel::Kernel;
+use crate::util::{elem_ptr, f64_inputs, f64_zeros, load_at};
+
+const ST: ScalarType = ScalarType::F64;
+
+/// Returns the kernel descriptor.
+pub fn namd_force() -> Kernel {
+    Kernel::new(
+        "namd_force",
+        "444.namd",
+        "calc_pair_energy force combination",
+        "scaled add/sub energy combination with per-lane term orders",
+        "f64",
+        4096,
+        build,
+        args,
+    )
+}
+
+fn build() -> Function {
+    let mut fb = FunctionBuilder::new(
+        "namd_force",
+        vec![
+            Param::noalias_ptr("f"),
+            Param::noalias_ptr("e1"),
+            Param::noalias_ptr("e2"),
+            Param::noalias_ptr("e3"),
+            Param::noalias_ptr("q"),
+            Param::new("n", Type::scalar(ScalarType::I64)),
+        ],
+        Type::Void,
+    );
+    fb.set_fast_math(true);
+    let f = fb.func().param(0);
+    let e1 = fb.func().param(1);
+    let e2 = fb.func().param(2);
+    let e3 = fb.func().param(3);
+    let q = fb.func().param(4);
+    let n = fb.func().param(5);
+    fb.counted_loop(n, |fb, i| {
+        let two = fb.const_i64(2);
+        let base = fb.mul(i, two);
+        let qv = load_at(fb, q, ST, i, 0);
+        // Lane 0: (e1 − e2 + e3) · q
+        let a0 = load_at(fb, e1, ST, base, 0);
+        let b0 = load_at(fb, e2, ST, base, 0);
+        let c0 = load_at(fb, e3, ST, base, 0);
+        let t0 = fb.sub(a0, b0);
+        let u0 = fb.add(t0, c0);
+        let r0 = fb.mul(u0, qv);
+        // Lane 1: (e3 + e1 − e2) · q
+        let c1 = load_at(fb, e3, ST, base, 1);
+        let a1 = load_at(fb, e1, ST, base, 1);
+        let b1 = load_at(fb, e2, ST, base, 1);
+        let t1 = fb.add(c1, a1);
+        let u1 = fb.sub(t1, b1);
+        let r1 = fb.mul(u1, qv);
+        let p0 = elem_ptr(fb, f, ST, base, 0);
+        let p1 = elem_ptr(fb, f, ST, base, 1);
+        fb.store(p0, r0);
+        fb.store(p1, r1);
+    });
+    fb.ret(None);
+    fb.finish()
+}
+
+fn args(iters: usize) -> Vec<ArgSpec> {
+    let len = 2 * iters + 2;
+    vec![
+        f64_zeros(len),
+        f64_inputs(len, 0xE1, -10.0, 10.0),
+        f64_inputs(len, 0xE2, -10.0, 10.0),
+        f64_inputs(len, 0xE3, -10.0, 10.0),
+        f64_inputs(iters + 1, 0x09, 0.5, 1.5),
+        ArgSpec::I64(iters as i64),
+    ]
+}
+
+/// Reference implementation in plain Rust (used by tests).
+pub fn reference(f: &mut [f64], e1: &[f64], e2: &[f64], e3: &[f64], q: &[f64], n: usize) {
+    for i in 0..n {
+        let qv = q[i];
+        f[2 * i] = (e1[2 * i] - e2[2 * i] + e3[2 * i]) * qv;
+        f[2 * i + 1] = (e3[2 * i + 1] + e1[2 * i + 1] - e2[2 * i + 1]) * qv;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snslp_cost::CostModel;
+    use snslp_interp::{run_with_args, ArrayData, ExecOptions};
+
+    #[test]
+    fn matches_reference() {
+        let k = namd_force();
+        let f = k.build();
+        snslp_ir::verify(&f).unwrap();
+        let n = 7;
+        let out = run_with_args(&f, &k.args(n), &CostModel::default(), &ExecOptions::default())
+            .unwrap();
+        let (
+            ArrayData::F64(got),
+            ArrayData::F64(e1),
+            ArrayData::F64(e2),
+            ArrayData::F64(e3),
+            ArrayData::F64(q),
+        ) = (
+            &out.arrays[0],
+            &out.arrays[1],
+            &out.arrays[2],
+            &out.arrays[3],
+            &out.arrays[4],
+        )
+        else {
+            panic!("wrong array types")
+        };
+        let mut want = vec![0.0; got.len()];
+        reference(&mut want, e1, e2, e3, q, n);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() < 1e-12, "{g} vs {w}");
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Kernel modeled on 444.namd's energy accumulation: a *pure-add* chain
+//! whose leaf order is scrambled across lanes. This is the case LSLP's
+//! Multi-Node already handles (no inverse operators), included so the
+//! evaluation shows the Multi-Node baseline forming nodes at all
+//! (paper Fig. 6's non-zero LSLP bars) and LSLP matching SN-SLP when no
+//! inverse element is involved.
+
+use snslp_interp::ArgSpec;
+use snslp_ir::{FunctionBuilder, Function, Param, ScalarType, Type};
+
+use crate::kernel::Kernel;
+use crate::util::{elem_ptr, f64_inputs, f64_zeros, load_at};
+
+const ST: ScalarType = ScalarType::F64;
+
+/// Returns the kernel descriptor.
+pub fn namd_energy_sum() -> Kernel {
+    Kernel::new(
+        "namd_energy_sum",
+        "444.namd",
+        "pairlist energy accumulation (pure adds)",
+        "commutative-only chain with scrambled leaves (Multi-Node case)",
+        "f64",
+        4096,
+        build,
+        args,
+    )
+}
+
+fn build() -> Function {
+    let mut fb = FunctionBuilder::new(
+        "namd_energy_sum",
+        vec![
+            Param::noalias_ptr("out"),
+            Param::noalias_ptr("ev"), // van der Waals
+            Param::noalias_ptr("ee"), // electrostatic
+            Param::noalias_ptr("es"), // slow/long-range
+            Param::new("n", Type::scalar(ScalarType::I64)),
+        ],
+        Type::Void,
+    );
+    fb.set_fast_math(true);
+    let out = fb.func().param(0);
+    let ev = fb.func().param(1);
+    let ee = fb.func().param(2);
+    let es = fb.func().param(3);
+    let n = fb.func().param(4);
+    fb.counted_loop(n, |fb, i| {
+        let two = fb.const_i64(2);
+        let base = fb.mul(i, two);
+        // Lane 0: (ev + ee) + es
+        let v0 = load_at(fb, ev, ST, base, 0);
+        let e0 = load_at(fb, ee, ST, base, 0);
+        let s0 = load_at(fb, es, ST, base, 0);
+        let t0 = fb.add(v0, e0);
+        let r0 = fb.add(t0, s0);
+        // Lane 1: (ev + es) + ee — leaf order scrambled across the chain.
+        let v1 = load_at(fb, ev, ST, base, 1);
+        let s1 = load_at(fb, es, ST, base, 1);
+        let e1 = load_at(fb, ee, ST, base, 1);
+        let t1 = fb.add(v1, s1);
+        let r1 = fb.add(t1, e1);
+        let p0 = elem_ptr(fb, out, ST, base, 0);
+        let p1 = elem_ptr(fb, out, ST, base, 1);
+        fb.store(p0, r0);
+        fb.store(p1, r1);
+    });
+    fb.ret(None);
+    fb.finish()
+}
+
+fn args(iters: usize) -> Vec<ArgSpec> {
+    let len = 2 * iters + 2;
+    vec![
+        f64_zeros(len),
+        f64_inputs(len, 0x61, -10.0, 10.0),
+        f64_inputs(len, 0x62, -10.0, 10.0),
+        f64_inputs(len, 0x63, -10.0, 10.0),
+        ArgSpec::I64(iters as i64),
+    ]
+}
+
+/// Reference implementation in plain Rust (used by tests).
+pub fn reference(out: &mut [f64], ev: &[f64], ee: &[f64], es: &[f64], n: usize) {
+    for i in 0..n {
+        out[2 * i] = (ev[2 * i] + ee[2 * i]) + es[2 * i];
+        out[2 * i + 1] = (ev[2 * i + 1] + es[2 * i + 1]) + ee[2 * i + 1];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snslp_cost::CostModel;
+    use snslp_interp::{run_with_args, ArrayData, ExecOptions};
+
+    #[test]
+    fn matches_reference() {
+        let k = namd_energy_sum();
+        let f = k.build();
+        snslp_ir::verify(&f).unwrap();
+        let n = 6;
+        let out = run_with_args(&f, &k.args(n), &CostModel::default(), &ExecOptions::default())
+            .unwrap();
+        let (ArrayData::F64(got), ArrayData::F64(ev), ArrayData::F64(ee), ArrayData::F64(es)) = (
+            &out.arrays[0],
+            &out.arrays[1],
+            &out.arrays[2],
+            &out.arrays[3],
+        ) else {
+            panic!("wrong array types")
+        };
+        let mut want = vec![0.0; got.len()];
+        reference(&mut want, ev, ee, es, n);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() < 1e-12, "{g} vs {w}");
+        }
+    }
+}

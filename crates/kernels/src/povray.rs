@@ -1,0 +1,140 @@
+//! Kernel modeled on 453.povray's shading accumulation: four unrolled
+//! `f32` lanes (VF = 4 on a 128-bit target) computing
+//! `ambient + diffuse·kd − attenuation` with a different association and
+//! term order in every lane — including one lane whose chain is a *tree*
+//! rather than a left-leaning spine.
+
+use snslp_interp::ArgSpec;
+use snslp_ir::{FunctionBuilder, Function, Param, ScalarType, Type};
+
+use crate::kernel::Kernel;
+use crate::util::{elem_ptr, f32_inputs, f32_zeros, load_at};
+
+const ST: ScalarType = ScalarType::F32;
+
+/// Returns the kernel descriptor.
+pub fn povray_shade() -> Kernel {
+    Kernel::new(
+        "povray_shade",
+        "453.povray",
+        "Diffuse_Colour shading accumulation",
+        "amb + dif·kd − att over 4 f32 lanes with permuted chains",
+        "f32",
+        4096,
+        build,
+        args,
+    )
+}
+
+fn build() -> Function {
+    let mut fb = FunctionBuilder::new(
+        "povray_shade",
+        vec![
+            Param::noalias_ptr("c"),
+            Param::noalias_ptr("amb"),
+            Param::noalias_ptr("dif"),
+            Param::noalias_ptr("att"),
+            Param::new("kd", Type::scalar(ST)),
+            Param::new("n", Type::scalar(ScalarType::I64)),
+        ],
+        Type::Void,
+    );
+    fb.set_fast_math(true);
+    let c = fb.func().param(0);
+    let amb = fb.func().param(1);
+    let dif = fb.func().param(2);
+    let att = fb.func().param(3);
+    let kd = fb.func().param(4);
+    let n = fb.func().param(5);
+    fb.counted_loop(n, |fb, i| {
+        let four = fb.const_i64(4);
+        let base = fb.mul(i, four);
+        let a: Vec<_> = (0..4).map(|l| load_at(fb, amb, ST, base, l)).collect();
+        let d: Vec<_> = (0..4).map(|l| load_at(fb, dif, ST, base, l)).collect();
+        let t: Vec<_> = (0..4).map(|l| load_at(fb, att, ST, base, l)).collect();
+        let m: Vec<_> = d.iter().map(|&dl| fb.mul(dl, kd)).collect();
+        // Lane 0: (amb + m) − att
+        let r0 = {
+            let u = fb.add(a[0], m[0]);
+            fb.sub(u, t[0])
+        };
+        // Lane 1: (m − att) + amb
+        let r1 = {
+            let u = fb.sub(m[1], t[1]);
+            fb.add(u, a[1])
+        };
+        // Lane 2: (amb − att) + m
+        let r2 = {
+            let u = fb.sub(a[2], t[2]);
+            fb.add(u, m[2])
+        };
+        // Lane 3: amb + (m − att)   — a tree, not a left chain.
+        let r3 = {
+            let u = fb.sub(m[3], t[3]);
+            fb.add(a[3], u)
+        };
+        for (l, r) in [r0, r1, r2, r3].into_iter().enumerate() {
+            let p = elem_ptr(fb, c, ST, base, l as i64);
+            fb.store(p, r);
+        }
+    });
+    fb.ret(None);
+    fb.finish()
+}
+
+fn args(iters: usize) -> Vec<ArgSpec> {
+    let len = 4 * iters + 4;
+    vec![
+        f32_zeros(len),
+        f32_inputs(len, 0x71, 0.0, 1.0),
+        f32_inputs(len, 0x72, 0.0, 1.0),
+        f32_inputs(len, 0x73, 0.0, 0.5),
+        ArgSpec::F32(0.8),
+        ArgSpec::I64(iters as i64),
+    ]
+}
+
+/// Reference implementation in plain Rust (used by tests).
+pub fn reference(c: &mut [f32], amb: &[f32], dif: &[f32], att: &[f32], kd: f32, n: usize) {
+    for i in 0..n {
+        for l in 0..4 {
+            let j = 4 * i + l;
+            c[j] = match l {
+                0 => (amb[j] + dif[j] * kd) - att[j],
+                1 => (dif[j] * kd - att[j]) + amb[j],
+                2 => (amb[j] - att[j]) + dif[j] * kd,
+                _ => amb[j] + (dif[j] * kd - att[j]),
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snslp_cost::CostModel;
+    use snslp_interp::{run_with_args, ArrayData, ExecOptions};
+
+    #[test]
+    fn matches_reference() {
+        let k = povray_shade();
+        let f = k.build();
+        snslp_ir::verify(&f).unwrap();
+        let n = 5;
+        let out = run_with_args(&f, &k.args(n), &CostModel::default(), &ExecOptions::default())
+            .unwrap();
+        let (ArrayData::F32(got), ArrayData::F32(amb), ArrayData::F32(dif), ArrayData::F32(att)) = (
+            &out.arrays[0],
+            &out.arrays[1],
+            &out.arrays[2],
+            &out.arrays[3],
+        ) else {
+            panic!("wrong array types")
+        };
+        let mut want = vec![0.0f32; got.len()];
+        reference(&mut want, amb, dif, att, 0.8, n);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() < 1e-5, "{g} vs {w}");
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Kernel modeled on 453.povray's colour clamping: the shading chain
+//! `amb + dif − att` (per-lane permuted, a Super-Node case) fed through
+//! a saturate-to-one `clamp` written as compare + select. Exercises the
+//! composition of vector `cmp`/`select` bundles with the Super-Node.
+
+use snslp_interp::ArgSpec;
+use snslp_ir::{CmpPred, FunctionBuilder, Function, Param, ScalarType, Type};
+
+use crate::kernel::Kernel;
+use crate::util::{elem_ptr, f32_inputs, f32_zeros, load_at};
+
+const ST: ScalarType = ScalarType::F32;
+
+/// Returns the kernel descriptor.
+pub fn povray_clamp() -> Kernel {
+    Kernel::new(
+        "povray_clamp",
+        "453.povray",
+        "Clip_Colour saturation of shaded components",
+        "clamped add/sub shading chain: cmp+select over a Super-Node",
+        "f32",
+        4096,
+        build,
+        args,
+    )
+}
+
+fn build() -> Function {
+    let mut fb = FunctionBuilder::new(
+        "povray_clamp",
+        vec![
+            Param::noalias_ptr("c"),
+            Param::noalias_ptr("amb"),
+            Param::noalias_ptr("dif"),
+            Param::noalias_ptr("att"),
+            Param::new("n", Type::scalar(ScalarType::I64)),
+        ],
+        Type::Void,
+    );
+    fb.set_fast_math(true);
+    let c = fb.func().param(0);
+    let amb = fb.func().param(1);
+    let dif = fb.func().param(2);
+    let att = fb.func().param(3);
+    let n = fb.func().param(4);
+    fb.counted_loop(n, |fb, i| {
+        let four = fb.const_i64(4);
+        let base = fb.mul(i, four);
+        let a: Vec<_> = (0..4).map(|l| load_at(fb, amb, ST, base, l)).collect();
+        let d: Vec<_> = (0..4).map(|l| load_at(fb, dif, ST, base, l)).collect();
+        let t: Vec<_> = (0..4).map(|l| load_at(fb, att, ST, base, l)).collect();
+        // Per-lane permuted shading chains (the Super-Node part).
+        let x0 = {
+            let u = fb.add(a[0], d[0]);
+            fb.sub(u, t[0])
+        };
+        let x1 = {
+            let u = fb.sub(d[1], t[1]);
+            fb.add(u, a[1])
+        };
+        let x2 = {
+            let u = fb.sub(a[2], t[2]);
+            fb.add(u, d[2])
+        };
+        let x3 = {
+            let u = fb.sub(d[3], t[3]);
+            fb.add(a[3], u)
+        };
+        // Saturate each component at 1.0 (the cmp+select part).
+        for (l, x) in [x0, x1, x2, x3].into_iter().enumerate() {
+            let one = fb.const_f32(1.0);
+            let over = fb.cmp(CmpPred::Gt, x, one);
+            let clamped = fb.select(over, one, x);
+            let p = elem_ptr(fb, c, ST, base, l as i64);
+            fb.store(p, clamped);
+        }
+    });
+    fb.ret(None);
+    fb.finish()
+}
+
+fn args(iters: usize) -> Vec<ArgSpec> {
+    let len = 4 * iters + 4;
+    vec![
+        f32_zeros(len),
+        f32_inputs(len, 0x81, 0.0, 1.0),
+        f32_inputs(len, 0x82, 0.0, 1.0),
+        f32_inputs(len, 0x83, 0.0, 0.5),
+        ArgSpec::I64(iters as i64),
+    ]
+}
+
+/// Reference implementation in plain Rust (used by tests).
+pub fn reference(c: &mut [f32], amb: &[f32], dif: &[f32], att: &[f32], n: usize) {
+    for i in 0..n {
+        for l in 0..4 {
+            let j = 4 * i + l;
+            let x = match l {
+                0 => (amb[j] + dif[j]) - att[j],
+                1 => (dif[j] - att[j]) + amb[j],
+                2 => (amb[j] - att[j]) + dif[j],
+                _ => amb[j] + (dif[j] - att[j]),
+            };
+            c[j] = if x > 1.0 { 1.0 } else { x };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snslp_cost::CostModel;
+    use snslp_interp::{run_with_args, ArrayData, ExecOptions};
+
+    #[test]
+    fn matches_reference() {
+        let k = povray_clamp();
+        let f = k.build();
+        snslp_ir::verify(&f).unwrap();
+        let n = 6;
+        let out = run_with_args(&f, &k.args(n), &CostModel::default(), &ExecOptions::default())
+            .unwrap();
+        let (ArrayData::F32(got), ArrayData::F32(amb), ArrayData::F32(dif), ArrayData::F32(att)) = (
+            &out.arrays[0],
+            &out.arrays[1],
+            &out.arrays[2],
+            &out.arrays[3],
+        ) else {
+            panic!("wrong array types")
+        };
+        let mut want = vec![0.0f32; got.len()];
+        reference(&mut want, amb, dif, att, n);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() < 1e-5, "{g} vs {w}");
+        }
+    }
+}

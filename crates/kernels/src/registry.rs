@@ -1,0 +1,76 @@
+//! The kernel registry — the reproduction of the paper's **Table I**
+//! ("kernels extracted from SPEC CPU2006 where Super-Node SLP was
+//! activated", plus the two motivating examples of §III).
+
+use crate::dealii::dealii_assembly;
+use crate::kernel::Kernel;
+use crate::milc::milc_su3;
+use crate::motivating::{motiv_leaf, motiv_trunk};
+use crate::namd::namd_force;
+use crate::namd_sum::namd_energy_sum;
+use crate::povray::povray_shade;
+use crate::povray_clamp::povray_clamp;
+use crate::soplex::soplex_update;
+use crate::sphinx::sphinx_norm;
+use crate::sphinx_cep::sphinx_cep;
+use crate::sphinx_dist::sphinx_dist;
+
+/// All kernels, in Table I order (motivating examples last, as in
+/// Fig. 5's bar groups).
+pub fn registry() -> Vec<Kernel> {
+    vec![
+        milc_su3(),
+        namd_force(),
+        namd_energy_sum(),
+        dealii_assembly(),
+        soplex_update(),
+        povray_shade(),
+        povray_clamp(),
+        sphinx_norm(),
+        sphinx_dist(),
+        sphinx_cep(),
+        motiv_leaf(),
+        motiv_trunk(),
+    ]
+}
+
+/// Looks a kernel up by name.
+pub fn kernel_by_name(name: &str) -> Option<Kernel> {
+    registry().into_iter().find(|k| k.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_complete_and_unique() {
+        let ks = registry();
+        assert_eq!(ks.len(), 12);
+        let mut names: Vec<&str> = ks.iter().map(|k| k.name).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 12, "duplicate kernel names");
+    }
+
+    #[test]
+    fn all_kernels_build_verified_ir() {
+        for k in registry() {
+            let f = k.build();
+            snslp_ir::verify(&f).unwrap_or_else(|e| panic!("{}: {e}", k.name));
+            assert_eq!(
+                f.params().len(),
+                k.args(2).len(),
+                "{}: args/params mismatch",
+                k.name
+            );
+            assert!(f.fast_math || k.elem == "i64", "{}: fp needs fast-math", k.name);
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(kernel_by_name("milc_su3").is_some());
+        assert!(kernel_by_name("nope").is_none());
+    }
+}

@@ -1,0 +1,127 @@
+//! Kernel modeled on 450.soplex's dense vector updates inside the
+//! simplex solver: `x ← x − α·p + β·q` with the term order differing
+//! between the unrolled lanes. The update is in-place (`x` is both read
+//! and written), exercising the vectorizer's memory-dependence checks.
+
+use snslp_interp::ArgSpec;
+use snslp_ir::{FunctionBuilder, Function, Param, ScalarType, Type};
+
+use crate::kernel::Kernel;
+use crate::util::{elem_ptr, f64_inputs, load_at};
+
+const ST: ScalarType = ScalarType::F64;
+
+/// Returns the kernel descriptor.
+pub fn soplex_update() -> Kernel {
+    Kernel::new(
+        "soplex_update",
+        "450.soplex",
+        "SSVector update x ← x − α·p + β·q",
+        "in-place scaled vector update with per-lane term orders",
+        "f64",
+        4096,
+        build,
+        args,
+    )
+}
+
+fn build() -> Function {
+    let mut fb = FunctionBuilder::new(
+        "soplex_update",
+        vec![
+            Param::noalias_ptr("x"),
+            Param::noalias_ptr("p"),
+            Param::noalias_ptr("q"),
+            Param::new("alpha", Type::scalar(ST)),
+            Param::new("beta", Type::scalar(ST)),
+            Param::new("n", Type::scalar(ScalarType::I64)),
+        ],
+        Type::Void,
+    );
+    fb.set_fast_math(true);
+    let x = fb.func().param(0);
+    let p = fb.func().param(1);
+    let q = fb.func().param(2);
+    let alpha = fb.func().param(3);
+    let beta = fb.func().param(4);
+    let n = fb.func().param(5);
+    fb.counted_loop(n, |fb, i| {
+        let two = fb.const_i64(2);
+        let base = fb.mul(i, two);
+        let x0 = load_at(fb, x, ST, base, 0);
+        let x1 = load_at(fb, x, ST, base, 1);
+        let p0 = load_at(fb, p, ST, base, 0);
+        let p1 = load_at(fb, p, ST, base, 1);
+        let q0 = load_at(fb, q, ST, base, 0);
+        let q1 = load_at(fb, q, ST, base, 1);
+        // Lane 0: x0 − α·p0 + β·q0
+        let ap0 = fb.mul(alpha, p0);
+        let bq0 = fb.mul(beta, q0);
+        let t0 = fb.sub(x0, ap0);
+        let r0 = fb.add(t0, bq0);
+        // Lane 1: β·q1 + x1 − α·p1
+        let bq1 = fb.mul(beta, q1);
+        let ap1 = fb.mul(alpha, p1);
+        let t1 = fb.add(bq1, x1);
+        let r1 = fb.sub(t1, ap1);
+        let w0 = elem_ptr(fb, x, ST, base, 0);
+        let w1 = elem_ptr(fb, x, ST, base, 1);
+        fb.store(w0, r0);
+        fb.store(w1, r1);
+    });
+    fb.ret(None);
+    fb.finish()
+}
+
+fn args(iters: usize) -> Vec<ArgSpec> {
+    let len = 2 * iters + 2;
+    vec![
+        f64_inputs(len, 0x50, -5.0, 5.0),
+        f64_inputs(len, 0x51, -5.0, 5.0),
+        f64_inputs(len, 0x52, -5.0, 5.0),
+        ArgSpec::F64(0.75),
+        ArgSpec::F64(1.25),
+        ArgSpec::I64(iters as i64),
+    ]
+}
+
+/// Reference implementation in plain Rust (used by tests).
+pub fn reference(x: &mut [f64], p: &[f64], q: &[f64], alpha: f64, beta: f64, n: usize) {
+    for i in 0..n {
+        let r0 = x[2 * i] - alpha * p[2 * i] + beta * q[2 * i];
+        let r1 = beta * q[2 * i + 1] + x[2 * i + 1] - alpha * p[2 * i + 1];
+        x[2 * i] = r0;
+        x[2 * i + 1] = r1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snslp_cost::CostModel;
+    use snslp_interp::{run_with_args, ArrayData, ExecOptions};
+
+    #[test]
+    fn matches_reference() {
+        let k = soplex_update();
+        let f = k.build();
+        snslp_ir::verify(&f).unwrap();
+        let n = 9;
+        let spec = k.args(n);
+        let ArgSpec::F64Array(x0) = spec[0].clone() else {
+            panic!()
+        };
+        let out = run_with_args(&f, &spec, &CostModel::default(), &ExecOptions::default())
+            .unwrap();
+        let (ArrayData::F64(got), ArrayData::F64(p), ArrayData::F64(q)) =
+            (&out.arrays[0], &out.arrays[1], &out.arrays[2])
+        else {
+            panic!("wrong array types")
+        };
+        let mut want = x0;
+        reference(&mut want, p, q, 0.75, 1.25, n);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() < 1e-12, "{g} vs {w}");
+        }
+    }
+}

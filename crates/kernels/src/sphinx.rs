@@ -1,0 +1,133 @@
+//! Kernel modeled on 482.sphinx3's feature normalization: `x·g / v`
+//! over four unrolled `f32` lanes with permuted association — the
+//! *multiplicative* operator family (`mul`/`div`), exercising the
+//! reciprocal inverse element of the Super-Node (paper §III-A:
+//! `A * B / C` ≡ `A * B * (1/C)`).
+
+use snslp_interp::ArgSpec;
+use snslp_ir::{FunctionBuilder, Function, Param, ScalarType, Type};
+
+use crate::kernel::Kernel;
+use crate::util::{elem_ptr, f32_inputs, f32_zeros, load_at};
+
+const ST: ScalarType = ScalarType::F32;
+
+/// Returns the kernel descriptor.
+pub fn sphinx_norm() -> Kernel {
+    Kernel::new(
+        "sphinx_norm",
+        "482.sphinx3",
+        "feature scaling x·g / v",
+        "mul/div chains with permuted association over 4 f32 lanes",
+        "f32",
+        4096,
+        build,
+        args,
+    )
+}
+
+fn build() -> Function {
+    let mut fb = FunctionBuilder::new(
+        "sphinx_norm",
+        vec![
+            Param::noalias_ptr("out"),
+            Param::noalias_ptr("x"),
+            Param::noalias_ptr("v"),
+            Param::new("g", Type::scalar(ST)),
+            Param::new("n", Type::scalar(ScalarType::I64)),
+        ],
+        Type::Void,
+    );
+    fb.set_fast_math(true);
+    let out = fb.func().param(0);
+    let x = fb.func().param(1);
+    let v = fb.func().param(2);
+    let g = fb.func().param(3);
+    let n = fb.func().param(4);
+    fb.counted_loop(n, |fb, i| {
+        let four = fb.const_i64(4);
+        let base = fb.mul(i, four);
+        let xs: Vec<_> = (0..4).map(|l| load_at(fb, x, ST, base, l)).collect();
+        let vs: Vec<_> = (0..4).map(|l| load_at(fb, v, ST, base, l)).collect();
+        // Lane 0: (x·g) / v
+        let r0 = {
+            let m = fb.mul(xs[0], g);
+            fb.div(m, vs[0])
+        };
+        // Lane 1: x / (v / g)  — a nested right-hand-side division
+        // (≡ x·g/v by the reciprocal inverse-element rule).
+        let r1 = {
+            let d = fb.div(vs[1], g);
+            fb.div(xs[1], d)
+        };
+        // Lane 2: (g·x) / v
+        let r2 = {
+            let m = fb.mul(g, xs[2]);
+            fb.div(m, vs[2])
+        };
+        // Lane 3: g · (x / v)  — a tree, not a left chain.
+        let r3 = {
+            let d = fb.div(xs[3], vs[3]);
+            fb.mul(g, d)
+        };
+        for (l, r) in [r0, r1, r2, r3].into_iter().enumerate() {
+            let p = elem_ptr(fb, out, ST, base, l as i64);
+            fb.store(p, r);
+        }
+    });
+    fb.ret(None);
+    fb.finish()
+}
+
+fn args(iters: usize) -> Vec<ArgSpec> {
+    let len = 4 * iters + 4;
+    vec![
+        f32_zeros(len),
+        f32_inputs(len, 0x91, 0.5, 2.0),
+        f32_inputs(len, 0x92, 0.5, 2.0), // bounded away from zero
+        ArgSpec::F32(1.5),
+        ArgSpec::I64(iters as i64),
+    ]
+}
+
+/// Reference implementation in plain Rust (used by tests).
+pub fn reference(out: &mut [f32], x: &[f32], v: &[f32], g: f32, n: usize) {
+    for i in 0..n {
+        for l in 0..4 {
+            let j = 4 * i + l;
+            out[j] = match l {
+                0 => (x[j] * g) / v[j],
+                1 => x[j] / (v[j] / g),
+                2 => (g * x[j]) / v[j],
+                _ => g * (x[j] / v[j]),
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snslp_cost::CostModel;
+    use snslp_interp::{run_with_args, ArrayData, ExecOptions};
+
+    #[test]
+    fn matches_reference() {
+        let k = sphinx_norm();
+        let f = k.build();
+        snslp_ir::verify(&f).unwrap();
+        let n = 5;
+        let out = run_with_args(&f, &k.args(n), &CostModel::default(), &ExecOptions::default())
+            .unwrap();
+        let (ArrayData::F32(got), ArrayData::F32(x), ArrayData::F32(v)) =
+            (&out.arrays[0], &out.arrays[1], &out.arrays[2])
+        else {
+            panic!("wrong array types")
+        };
+        let mut want = vec![0.0f32; got.len()];
+        reference(&mut want, x, v, 1.5, n);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() < 1e-4, "{g} vs {w}");
+        }
+    }
+}

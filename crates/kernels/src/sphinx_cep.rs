@@ -1,0 +1,150 @@
+//! Kernel modeled on 482.sphinx3's acoustic front end: integer audio
+//! samples are converted to float (`sitofp`) and combined with
+//! mean-normalization and bias terms in per-lane-permuted add/sub chains.
+//! Exercises vector cast bundles feeding a Super-Node.
+
+use snslp_interp::ArgSpec;
+use snslp_ir::{CastKind, FunctionBuilder, Function, Param, ScalarType, Type};
+
+use crate::kernel::Kernel;
+use crate::util::{elem_ptr, f32_inputs, f32_zeros, load_at};
+
+const ST: ScalarType = ScalarType::F32;
+
+/// Returns the kernel descriptor.
+pub fn sphinx_cep() -> Kernel {
+    Kernel::new(
+        "sphinx_cep",
+        "482.sphinx3",
+        "front-end sample conversion + mean normalization",
+        "sitofp(sample) − mean + bias with per-lane term orders",
+        "f32",
+        4096,
+        build,
+        args,
+    )
+}
+
+fn build() -> Function {
+    let mut fb = FunctionBuilder::new(
+        "sphinx_cep",
+        vec![
+            Param::noalias_ptr("out"),
+            Param::noalias_ptr("s"), // i32 samples
+            Param::noalias_ptr("m"), // f32 means
+            Param::noalias_ptr("b"), // f32 biases
+            Param::new("n", Type::scalar(ScalarType::I64)),
+        ],
+        Type::Void,
+    );
+    fb.set_fast_math(true);
+    let out = fb.func().param(0);
+    let s = fb.func().param(1);
+    let m = fb.func().param(2);
+    let b = fb.func().param(3);
+    let n = fb.func().param(4);
+    fb.counted_loop(n, |fb, i| {
+        let four = fb.const_i64(4);
+        let base = fb.mul(i, four);
+        let xs: Vec<_> = (0..4)
+            .map(|l| {
+                let v = load_at(fb, s, ScalarType::I32, base, l);
+                fb.cast(CastKind::Sitofp, ST, v)
+            })
+            .collect();
+        let ms: Vec<_> = (0..4).map(|l| load_at(fb, m, ST, base, l)).collect();
+        let bs: Vec<_> = (0..4).map(|l| load_at(fb, b, ST, base, l)).collect();
+        // Per-lane permuted chains over {x(+), m(−), b(+)}.
+        let r0 = {
+            let t = fb.sub(xs[0], ms[0]);
+            fb.add(t, bs[0])
+        };
+        let r1 = {
+            let t = fb.add(bs[1], xs[1]);
+            fb.sub(t, ms[1])
+        };
+        let r2 = {
+            let t = fb.sub(bs[2], ms[2]);
+            fb.add(t, xs[2])
+        };
+        let r3 = {
+            let t = fb.sub(xs[3], ms[3]);
+            fb.add(bs[3], t)
+        };
+        for (l, r) in [r0, r1, r2, r3].into_iter().enumerate() {
+            let p = elem_ptr(fb, out, ST, base, l as i64);
+            fb.store(p, r);
+        }
+    });
+    fb.ret(None);
+    fb.finish()
+}
+
+fn args(iters: usize) -> Vec<ArgSpec> {
+    let len = 4 * iters + 4;
+    let samples: Vec<i32> = {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0xCE);
+        (0..len).map(|_| rng.gen_range(-32768..32768)).collect()
+    };
+    vec![
+        f32_zeros(len),
+        ArgSpec::I32Array(samples),
+        f32_inputs(len, 0xCF, -100.0, 100.0),
+        f32_inputs(len, 0xD0, -10.0, 10.0),
+        ArgSpec::I64(iters as i64),
+    ]
+}
+
+/// Reference implementation in plain Rust (used by tests).
+pub fn reference(out: &mut [f32], s: &[i32], m: &[f32], b: &[f32], n: usize) {
+    for i in 0..n {
+        for l in 0..4 {
+            let j = 4 * i + l;
+            let x = s[j] as f32;
+            out[j] = match l {
+                0 => (x - m[j]) + b[j],
+                1 => (b[j] + x) - m[j],
+                2 => (b[j] - m[j]) + x,
+                _ => b[j] + (x - m[j]),
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snslp_cost::CostModel;
+    use snslp_interp::{run_with_args, ArrayData, ExecOptions};
+
+    #[test]
+    fn matches_reference() {
+        let k = sphinx_cep();
+        let f = k.build();
+        snslp_ir::verify(&f).unwrap();
+        let n = 5;
+        let out = run_with_args(&f, &k.args(n), &CostModel::default(), &ExecOptions::default())
+            .unwrap();
+        let (
+            ArrayData::F32(got),
+            ArrayData::I32(s),
+            ArrayData::F32(m),
+            ArrayData::F32(b),
+        ) = (
+            &out.arrays[0],
+            &out.arrays[1],
+            &out.arrays[2],
+            &out.arrays[3],
+        )
+        else {
+            panic!("wrong array types")
+        };
+        let mut want = vec![0.0f32; got.len()];
+        reference(&mut want, s, m, b, n);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() < 1e-2, "{g} vs {w}");
+        }
+    }
+}

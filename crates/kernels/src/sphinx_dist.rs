@@ -1,0 +1,114 @@
+//! Kernel modeled on 482.sphinx3's Gaussian distance evaluation:
+//! `out[i] = Σ_k (x[k] − m[k])²` over an unrolled 8-term block — a
+//! horizontal reduction (the paper enables `-slp-vectorize-hor` for all
+//! configurations, §V). Every vectorizer mode handles this one; it
+//! exercises the reduction-seed path rather than the Super-Node.
+
+use snslp_interp::ArgSpec;
+use snslp_ir::{FunctionBuilder, Function, InstId, Param, ScalarType, Type};
+
+use crate::kernel::Kernel;
+use crate::util::{elem_ptr, f32_inputs, f32_zeros, load_at};
+
+const ST: ScalarType = ScalarType::F32;
+const TERMS: usize = 8;
+
+/// Returns the kernel descriptor.
+pub fn sphinx_dist() -> Kernel {
+    Kernel::new(
+        "sphinx_dist",
+        "482.sphinx3",
+        "vector_dist squared-distance accumulation",
+        "horizontal reduction of 8 squared differences (f32)",
+        "f32",
+        2048,
+        build,
+        args,
+    )
+}
+
+fn build() -> Function {
+    let mut fb = FunctionBuilder::new(
+        "sphinx_dist",
+        vec![
+            Param::noalias_ptr("out"),
+            Param::noalias_ptr("x"),
+            Param::noalias_ptr("m"),
+            Param::new("n", Type::scalar(ScalarType::I64)),
+        ],
+        Type::Void,
+    );
+    fb.set_fast_math(true);
+    let out = fb.func().param(0);
+    let x = fb.func().param(1);
+    let m = fb.func().param(2);
+    let n = fb.func().param(3);
+    fb.counted_loop(n, |fb, i| {
+        let eight = fb.const_i64(TERMS as i64);
+        let base = fb.mul(i, eight);
+        let mut terms: Vec<InstId> = Vec::with_capacity(TERMS);
+        for k in 0..TERMS {
+            let xv = load_at(fb, x, ST, base, k as i64);
+            let mv = load_at(fb, m, ST, base, k as i64);
+            let d = fb.sub(xv, mv);
+            terms.push(fb.mul(d, d));
+        }
+        let mut acc = terms[0];
+        for &t in &terms[1..] {
+            acc = fb.add(acc, t);
+        }
+        let p = elem_ptr(fb, out, ST, i, 0);
+        fb.store(p, acc);
+    });
+    fb.ret(None);
+    fb.finish()
+}
+
+fn args(iters: usize) -> Vec<ArgSpec> {
+    let len = TERMS * iters + TERMS;
+    vec![
+        f32_zeros(iters + 1),
+        f32_inputs(len, 0xD1, -2.0, 2.0),
+        f32_inputs(len, 0xD2, -2.0, 2.0),
+        ArgSpec::I64(iters as i64),
+    ]
+}
+
+/// Reference implementation in plain Rust (used by tests).
+pub fn reference(out: &mut [f32], x: &[f32], m: &[f32], n: usize) {
+    for i in 0..n {
+        out[i] = (0..TERMS)
+            .map(|k| {
+                let d = x[TERMS * i + k] - m[TERMS * i + k];
+                d * d
+            })
+            .sum();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snslp_cost::CostModel;
+    use snslp_interp::{run_with_args, ArrayData, ExecOptions};
+
+    #[test]
+    fn matches_reference() {
+        let k = sphinx_dist();
+        let f = k.build();
+        snslp_ir::verify(&f).unwrap();
+        let n = 5;
+        let out = run_with_args(&f, &k.args(n), &CostModel::default(), &ExecOptions::default())
+            .unwrap();
+        let (ArrayData::F32(got), ArrayData::F32(x), ArrayData::F32(m)) =
+            (&out.arrays[0], &out.arrays[1], &out.arrays[2])
+        else {
+            panic!("wrong array types")
+        };
+        let mut want = vec![0.0f32; got.len()];
+        reference(&mut want, x, m, n);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() < 1e-3, "{g} vs {w}");
+        }
+    }
+}

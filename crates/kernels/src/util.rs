@@ -1,0 +1,128 @@
+//! Shared helpers for kernel construction and input generation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use snslp_interp::ArgSpec;
+use snslp_ir::{FunctionBuilder, InstId, ScalarType};
+
+/// Loads `base[elem_index]` of scalar type `st` (element-indexed, not
+/// byte-indexed).
+pub fn load_elem(
+    fb: &mut FunctionBuilder,
+    base: InstId,
+    st: ScalarType,
+    elem_index: i64,
+) -> InstId {
+    let p = fb.ptradd_const(base, elem_index * i64::from(st.size_bytes()));
+    fb.load(st, p)
+}
+
+/// Stores `value` to `base[elem_index]`.
+pub fn store_elem(
+    fb: &mut FunctionBuilder,
+    base: InstId,
+    st: ScalarType,
+    elem_index: i64,
+    value: InstId,
+) -> InstId {
+    let p = fb.ptradd_const(base, elem_index * i64::from(st.size_bytes()));
+    fb.store(p, value)
+}
+
+/// Loads `base[dyn_base + elem_index]` where `dyn_base` is an `i64` value
+/// counted in elements.
+pub fn load_at(
+    fb: &mut FunctionBuilder,
+    base: InstId,
+    st: ScalarType,
+    dyn_elem: InstId,
+    elem_index: i64,
+) -> InstId {
+    let p = elem_ptr(fb, base, st, dyn_elem, elem_index);
+    fb.load(st, p)
+}
+
+/// Stores to `base[dyn_base + elem_index]`.
+pub fn store_at(
+    fb: &mut FunctionBuilder,
+    base: InstId,
+    st: ScalarType,
+    dyn_elem: InstId,
+    elem_index: i64,
+    value: InstId,
+) -> InstId {
+    let p = elem_ptr(fb, base, st, dyn_elem, elem_index);
+    fb.store(p, value)
+}
+
+/// `base + size*(dyn_elem) + size*elem_index` as a pointer value.
+pub fn elem_ptr(
+    fb: &mut FunctionBuilder,
+    base: InstId,
+    st: ScalarType,
+    dyn_elem: InstId,
+    elem_index: i64,
+) -> InstId {
+    let size = fb.const_i64(i64::from(st.size_bytes()));
+    let byte_off = fb.mul(dyn_elem, size);
+    let p = fb.ptradd(base, byte_off);
+    if elem_index == 0 {
+        p
+    } else {
+        fb.ptradd_const(p, elem_index * i64::from(st.size_bytes()))
+    }
+}
+
+/// Deterministic `f64` inputs in `[lo, hi)`.
+pub fn f64_inputs(len: usize, seed: u64, lo: f64, hi: f64) -> ArgSpec {
+    let mut rng = StdRng::seed_from_u64(seed);
+    ArgSpec::F64Array((0..len).map(|_| rng.gen_range(lo..hi)).collect())
+}
+
+/// Deterministic `f32` inputs in `[lo, hi)`.
+pub fn f32_inputs(len: usize, seed: u64, lo: f32, hi: f32) -> ArgSpec {
+    let mut rng = StdRng::seed_from_u64(seed);
+    ArgSpec::F32Array((0..len).map(|_| rng.gen_range(lo..hi)).collect())
+}
+
+/// Deterministic `i64` inputs in `[lo, hi)`.
+pub fn i64_inputs(len: usize, seed: u64, lo: i64, hi: i64) -> ArgSpec {
+    let mut rng = StdRng::seed_from_u64(seed);
+    ArgSpec::I64Array((0..len).map(|_| rng.gen_range(lo..hi)).collect())
+}
+
+/// A zeroed `f64` output array.
+pub fn f64_zeros(len: usize) -> ArgSpec {
+    ArgSpec::F64Array(vec![0.0; len])
+}
+
+/// A zeroed `f32` output array.
+pub fn f32_zeros(len: usize) -> ArgSpec {
+    ArgSpec::F32Array(vec![0.0; len])
+}
+
+/// A zeroed `i64` output array.
+pub fn i64_zeros(len: usize) -> ArgSpec {
+    ArgSpec::I64Array(vec![0; len])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inputs_are_deterministic() {
+        assert_eq!(f64_inputs(8, 1, 0.0, 1.0), f64_inputs(8, 1, 0.0, 1.0));
+        assert_ne!(f64_inputs(8, 1, 0.0, 1.0), f64_inputs(8, 2, 0.0, 1.0));
+        assert_eq!(i64_inputs(4, 9, -5, 5), i64_inputs(4, 9, -5, 5));
+    }
+
+    #[test]
+    fn ranges_respected() {
+        if let ArgSpec::F64Array(v) = f64_inputs(100, 3, 1.0, 2.0) {
+            assert!(v.iter().all(|&x| (1.0..2.0).contains(&x)));
+        } else {
+            panic!("wrong variant");
+        }
+    }
+}

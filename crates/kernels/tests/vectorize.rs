@@ -1,0 +1,115 @@
+//! Every kernel of the suite, through every vectorizer mode, checked for
+//! (a) semantic preservation against the scalar original and (b) the
+//! activation pattern the paper reports (SN-SLP fires on all kernels;
+//! LSLP/SLP cannot vectorize the inverse-operator chains).
+
+use snslp_core::{run_slp, SlpConfig, SlpMode};
+use snslp_cost::CostModel;
+use snslp_interp::check_equivalent;
+use snslp_kernels::registry;
+
+const TEST_ITERS: usize = 16;
+
+#[test]
+fn snslp_vectorizes_every_kernel() {
+    for k in registry() {
+        let mut f = k.build();
+        let report = run_slp(&mut f, &SlpConfig::new(SlpMode::SnSlp).with_verification());
+        assert!(
+            report.vectorized_graphs() > 0,
+            "{}: SN-SLP should activate (Table I)\n{f}",
+            k.name
+        );
+        if k.name != "sphinx_dist" {
+            assert!(
+                report.aggregate_super_node_size() >= 2,
+                "{}: a Super-Node of size ≥ 2 should form",
+                k.name
+            );
+        }
+    }
+}
+
+#[test]
+fn snslp_preserves_semantics_on_every_kernel() {
+    let model = CostModel::default();
+    for k in registry() {
+        let orig = k.build();
+        let mut f = k.build();
+        run_slp(&mut f, &SlpConfig::new(SlpMode::SnSlp).with_verification());
+        check_equivalent(&orig, &f, &k.args(TEST_ITERS), &model)
+            .unwrap_or_else(|e| panic!("{}: {e}", k.name));
+    }
+}
+
+#[test]
+fn lslp_preserves_semantics_on_every_kernel() {
+    let model = CostModel::default();
+    for k in registry() {
+        let orig = k.build();
+        let mut f = k.build();
+        run_slp(&mut f, &SlpConfig::new(SlpMode::Lslp).with_verification());
+        check_equivalent(&orig, &f, &k.args(TEST_ITERS), &model)
+            .unwrap_or_else(|e| panic!("{}: {e}", k.name));
+    }
+}
+
+#[test]
+fn slp_preserves_semantics_on_every_kernel() {
+    let model = CostModel::default();
+    for k in registry() {
+        let orig = k.build();
+        let mut f = k.build();
+        run_slp(&mut f, &SlpConfig::new(SlpMode::Slp).with_verification());
+        check_equivalent(&orig, &f, &k.args(TEST_ITERS), &model)
+            .unwrap_or_else(|e| panic!("{}: {e}", k.name));
+    }
+}
+
+#[test]
+fn lslp_forms_chains_only_on_pure_commutative_kernels() {
+    // Multi-Nodes cannot include subtractions/divisions: on every kernel
+    // whose chains mix in an inverse op LSLP's aggregate size stays 0
+    // (the Fig. 6 contrast). The one pure-add kernel is the exception —
+    // there the Multi-Node fires.
+    for k in registry() {
+        let mut f = k.build();
+        let report = run_slp(&mut f, &SlpConfig::new(SlpMode::Lslp).with_verification());
+        if k.name == "namd_energy_sum" {
+            assert!(
+                report.aggregate_super_node_size() >= 2,
+                "{}: LSLP should form a Multi-Node on pure adds",
+                k.name
+            );
+        } else {
+            assert_eq!(
+                report.aggregate_super_node_size(),
+                0,
+                "{}: LSLP should not flatten inverse-op chains",
+                k.name
+            );
+        }
+    }
+}
+
+#[test]
+fn snslp_wins_simulated_cycles_on_every_kernel() {
+    let model = CostModel::default();
+    for k in registry() {
+        let orig = k.build();
+        let mut f = k.build();
+        let report = run_slp(&mut f, &SlpConfig::new(SlpMode::SnSlp));
+        assert!(report.vectorized_graphs() > 0, "{}", k.name);
+        let (scalar, vectorized) =
+            check_equivalent(&orig, &f, &k.args(64), &model).unwrap_or_else(|e| {
+                panic!("{}: {e}", k.name);
+            });
+        assert!(
+            vectorized.exec.cycles < scalar.exec.cycles,
+            "{}: vectorized {} !< scalar {}",
+            k.name,
+            vectorized.exec.cycles,
+            scalar.exec.cycles
+        );
+    }
+}

@@ -1,0 +1,59 @@
+//! Using the textual IR: write a kernel as `.snir` text, parse it,
+//! vectorize it, and print the result — no builder code required.
+//!
+//! Run with: `cargo run --example textual_ir`
+
+use snslp::core::{run_slp, SlpConfig, SlpMode};
+use snslp::ir::parse_function_str;
+
+/// `x[0..2] ← x − α·p + β·q` written by hand (one unrolled pair,
+/// straight-line, the 450.soplex update shape).
+const SOURCE: &str = r#"
+func @soplex_pair(%x: ptr noalias, %p: ptr noalias, %q: ptr noalias,
+                  %alpha: f64, %beta: f64) -> void fastmath {
+entry:
+  %x0 = load f64, %x
+  %k8 = const i64 8
+  %x1p = ptradd %x, %k8
+  %x1 = load f64, %x1p
+  %p0 = load f64, %p
+  %p1p = ptradd %p, %k8
+  %p1 = load f64, %p1p
+  %q0 = load f64, %q
+  %q1p = ptradd %q, %k8
+  %q1 = load f64, %q1p
+  ; lane 0: x0 - alpha*p0 + beta*q0
+  %ap0 = mul f64 %alpha, %p0
+  %bq0 = mul f64 %beta, %q0
+  %t0 = sub f64 %x0, %ap0
+  %r0 = add f64 %t0, %bq0
+  ; lane 1: beta*q1 + x1 - alpha*p1   (scrambled term order)
+  %bq1 = mul f64 %beta, %q1
+  %ap1 = mul f64 %alpha, %p1
+  %t1 = add f64 %bq1, %x1
+  %r1 = sub f64 %t1, %ap1
+  store %x, %r0
+  store %x1p, %r1
+  ret
+}
+"#;
+
+fn main() {
+    let mut f = parse_function_str(SOURCE).expect("valid .snir text");
+    snslp::ir::verify(&f).expect("well-formed");
+    println!("--- parsed ---\n{f}");
+
+    let report = run_slp(&mut f, &SlpConfig::new(SlpMode::SnSlp));
+    println!(
+        "--- SN-SLP: vectorized {} graph(s), cost {:?} ---\n",
+        report.vectorized_graphs(),
+        report.graphs.iter().map(|g| g.cost).collect::<Vec<_>>()
+    );
+    println!("{f}");
+
+    // Round-trip: the output prints and reparses.
+    let text = f.to_string();
+    let reparsed = parse_function_str(&text).expect("output reparses");
+    assert_eq!(reparsed.num_linked_insts(), f.num_linked_insts());
+    println!("(output round-trips through the parser)");
+}

@@ -1,0 +1,161 @@
+//! `snslpc` — the SN-SLP textual-IR compiler driver.
+//!
+//! Reads a `.snir` module (or stdin with `-`), runs scalar cleanup and
+//! the selected vectorizer, and prints the transformed module.
+//!
+//! ```text
+//! usage: snslpc [options] <file.snir | ->
+//!   --mode o3|slp|lslp|snslp   vectorizer (default snslp)
+//!   --target sse2|avx2|noaltop target description (default sse2)
+//!   --stats                    print per-function pass statistics to stderr
+//!   --report                   print the full per-graph report to stderr
+//!   --no-reductions            disable horizontal-reduction seeds
+//!   --verify                   verify the IR after every rewrite
+//! ```
+
+use std::io::Read;
+use std::process::ExitCode;
+
+use snslp::core::{optimize_o3, run_slp, SlpConfig, SlpMode};
+use snslp::cost::{CostModel, TargetDesc};
+use snslp::ir::parse_module;
+
+struct Options {
+    mode: Option<SlpMode>,
+    target: TargetDesc,
+    stats: bool,
+    report: bool,
+    reductions: bool,
+    verify: bool,
+    input: String,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: snslpc [--mode o3|slp|lslp|snslp] [--target sse2|avx2|noaltop] \
+         [--stats] [--report] [--no-reductions] [--verify] <file.snir | ->"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Options, ExitCode> {
+    let mut opts = Options {
+        mode: Some(SlpMode::SnSlp),
+        target: TargetDesc::sse2_like(),
+        stats: false,
+        report: false,
+        reductions: true,
+        verify: false,
+        input: String::new(),
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--mode" => {
+                i += 1;
+                opts.mode = match args.get(i).map(String::as_str) {
+                    Some("o3") => None,
+                    Some("slp") => Some(SlpMode::Slp),
+                    Some("lslp") => Some(SlpMode::Lslp),
+                    Some("snslp") => Some(SlpMode::SnSlp),
+                    _ => return Err(usage()),
+                };
+            }
+            "--target" => {
+                i += 1;
+                opts.target = match args.get(i).map(String::as_str) {
+                    Some("sse2") => TargetDesc::sse2_like(),
+                    Some("avx2") => TargetDesc::avx2_like(),
+                    Some("noaltop") => TargetDesc::no_altop_128(),
+                    _ => return Err(usage()),
+                };
+            }
+            "--stats" => opts.stats = true,
+            "--report" => opts.report = true,
+            "--no-reductions" => opts.reductions = false,
+            "--verify" => opts.verify = true,
+            "--help" | "-h" => return Err(usage()),
+            arg if opts.input.is_empty() => opts.input = arg.to_string(),
+            _ => return Err(usage()),
+        }
+        i += 1;
+    }
+    if opts.input.is_empty() {
+        return Err(usage());
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(code) => return code,
+    };
+
+    let source = if opts.input == "-" {
+        let mut buf = String::new();
+        if std::io::stdin().read_to_string(&mut buf).is_err() {
+            eprintln!("snslpc: failed to read stdin");
+            return ExitCode::FAILURE;
+        }
+        buf
+    } else {
+        match std::fs::read_to_string(&opts.input) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("snslpc: cannot read `{}`: {e}", opts.input);
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
+    let mut module = match parse_module(&source) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("snslpc: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for f in module.functions() {
+        if let Err(e) = snslp::ir::verify(f) {
+            eprintln!("snslpc: input function @{} is malformed:\n{e}", f.name());
+            return ExitCode::FAILURE;
+        }
+    }
+
+    for f in module.functions_mut() {
+        match opts.mode {
+            None => {
+                let t = optimize_o3(f);
+                if opts.stats {
+                    eprintln!("@{}: O3 cleanup in {t:?}", f.name());
+                }
+            }
+            Some(mode) => {
+                let mut cfg = SlpConfig::new(mode)
+                    .with_model(CostModel::new(opts.target.clone()));
+                cfg.enable_reductions = opts.reductions;
+                cfg.verify_after = opts.verify;
+                let report = run_slp(f, &cfg);
+                if opts.report {
+                    eprint!("{report}");
+                }
+                if opts.stats {
+                    eprintln!(
+                        "@{}: {} — vectorized {}/{} graphs, aggregate Super-Node size {}, in {:?}",
+                        f.name(),
+                        mode.label(),
+                        report.vectorized_graphs(),
+                        report.graphs.len(),
+                        report.aggregate_super_node_size(),
+                        report.elapsed,
+                    );
+                }
+            }
+        }
+    }
+
+    print!("{module}");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,34 @@
+//! # snslp
+//!
+//! Facade crate for the Super-Node SLP (CGO 2019) reproduction: a
+//! from-scratch Rust implementation of the SLP / LSLP / SN-SLP
+//! auto-vectorizer family on a custom SSA IR, together with the paper's
+//! evaluation workloads.
+//!
+//! The individual crates are re-exported as modules:
+//!
+//! * [`ir`] — the SSA intermediate representation (`snslp-ir`);
+//! * [`cost`] — target descriptions and the cost model (`snslp-cost`);
+//! * [`interp`] — the reference interpreter (`snslp-interp`);
+//! * [`core`] — the vectorizer passes (`snslp-core`);
+//! * [`kernels`] — the Table I kernel suite (`snslp-kernels`).
+//!
+//! # Examples
+//!
+//! ```
+//! use snslp::core::{run_slp, SlpConfig, SlpMode};
+//! use snslp::kernels::kernel_by_name;
+//!
+//! let kernel = kernel_by_name("motiv_trunk").unwrap();
+//! let mut f = kernel.build();
+//! let report = run_slp(&mut f, &SlpConfig::new(SlpMode::SnSlp));
+//! assert_eq!(report.vectorized_graphs(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use snslp_core as core;
+pub use snslp_cost as cost;
+pub use snslp_interp as interp;
+pub use snslp_ir as ir;
+pub use snslp_kernels as kernels;

@@ -1,0 +1,81 @@
+//! Ablation tests: each legality relaxation of the Super-Node is
+//! load-bearing exactly where the paper says it is.
+
+use snslp::core::{run_slp, SlpConfig, SlpMode};
+use snslp::cost::CostModel;
+use snslp::interp::check_equivalent;
+use snslp::kernels::{kernel_by_name, registry};
+
+fn no_trunk() -> SlpConfig {
+    let mut c = SlpConfig::new(SlpMode::SnSlp).with_verification();
+    c.enable_trunk_reordering = false;
+    c
+}
+
+#[test]
+fn fig2_needs_only_leaf_moves() {
+    // The Fig. 2 kernel vectorizes even with trunk reordering disabled
+    // (§III-B: "reordering the leaf nodes").
+    let k = kernel_by_name("motiv_leaf").unwrap();
+    let mut f = k.build();
+    let report = run_slp(&mut f, &no_trunk());
+    assert_eq!(report.vectorized_graphs(), 1, "{f}");
+}
+
+#[test]
+fn fig3_requires_trunk_reordering() {
+    // The Fig. 3 kernel does NOT vectorize with leaf-only legality
+    // (§III-C: "a simple leaf reordering will break the semantics...
+    // Super-Node SLP is able to legally form the groups of vectorizable
+    // loads by also reordering the trunk nodes themselves").
+    let k = kernel_by_name("motiv_trunk").unwrap();
+    let mut f = k.build();
+    let report = run_slp(&mut f, &no_trunk());
+    assert_eq!(report.vectorized_graphs(), 0, "{f}");
+
+    // With the full algorithm it vectorizes.
+    let mut f = k.build();
+    let report = run_slp(&mut f, &SlpConfig::new(SlpMode::SnSlp).with_verification());
+    assert_eq!(report.vectorized_graphs(), 1);
+}
+
+#[test]
+fn leaf_only_variant_is_still_sound() {
+    // Whatever the restricted variant vectorizes must stay correct.
+    let model = CostModel::default();
+    for k in registry() {
+        let orig = k.build();
+        let mut f = k.build();
+        run_slp(&mut f, &no_trunk());
+        check_equivalent(&orig, &f, &k.args(16), &model)
+            .unwrap_or_else(|e| panic!("{}: {e}", k.name));
+    }
+}
+
+#[test]
+fn no_lookahead_variant_is_still_sound() {
+    let model = CostModel::default();
+    for k in registry() {
+        let orig = k.build();
+        let mut f = k.build();
+        let mut cfg = SlpConfig::new(SlpMode::SnSlp).with_verification();
+        cfg.lookahead_depth = 0;
+        run_slp(&mut f, &cfg);
+        check_equivalent(&orig, &f, &k.args(16), &model)
+            .unwrap_or_else(|e| panic!("{}: {e}", k.name));
+    }
+}
+
+#[test]
+fn trunk_assisted_moves_reported_only_when_enabled() {
+    let k = kernel_by_name("motiv_trunk").unwrap();
+    let mut f = k.build();
+    let report = run_slp(&mut f, &SlpConfig::new(SlpMode::SnSlp));
+    let trunk_moves: usize = report.graphs.iter().map(|g| g.trunk_assisted_moves).sum();
+    assert!(trunk_moves > 0, "Fig. 3 uses trunk moves: {report:?}");
+
+    let mut f = k.build();
+    let report = run_slp(&mut f, &no_trunk());
+    let trunk_moves: usize = report.graphs.iter().map(|g| g.trunk_assisted_moves).sum();
+    assert_eq!(trunk_moves, 0);
+}

@@ -1,0 +1,163 @@
+//! Cross-crate integration tests: parse → optimize → vectorize →
+//! schedule → interpret, plus the paper's headline behaviours.
+
+use snslp::core::{run_slp, SlpConfig, SlpMode};
+use snslp::cost::{CostModel, TargetDesc};
+use snslp::interp::{check_equivalent, ArgSpec};
+use snslp::ir::parse_function_str;
+use snslp::kernels::{kernel_by_name, registry};
+
+#[test]
+fn textual_kernel_roundtrip_vectorize_execute() {
+    let src = r#"
+func @pair(%o: ptr noalias, %b: ptr noalias, %c: ptr noalias) -> void {
+entry:
+  %k8 = const i64 8
+  %b0 = load i64, %b
+  %b1p = ptradd %b, %k8
+  %b1 = load i64, %b1p
+  %c0 = load i64, %c
+  %c1p = ptradd %c, %k8
+  %c1 = load i64, %c1p
+  %r0 = sub i64 %b0, %c0
+  %r1 = sub i64 %b1, %c1
+  store %o, %r0
+  %o1p = ptradd %o, %k8
+  store %o1p, %r1
+  ret
+}
+"#;
+    let orig = parse_function_str(src).unwrap();
+    let mut f = orig.clone();
+    let report = run_slp(&mut f, &SlpConfig::new(SlpMode::Slp).with_verification());
+    assert_eq!(report.vectorized_graphs(), 1, "{f}");
+    // The output prints and reparses.
+    let f2 = parse_function_str(&f.to_string()).unwrap();
+    assert_eq!(f2.num_linked_insts(), f.num_linked_insts());
+    // And behaves like the original.
+    let args = vec![
+        ArgSpec::I64Array(vec![0, 0]),
+        ArgSpec::I64Array(vec![100, 250]),
+        ArgSpec::I64Array(vec![1, 2]),
+    ];
+    let (out, _) = check_equivalent(&orig, &f, &args, &CostModel::default()).unwrap();
+    assert_eq!(out.arrays[0], snslp::interp::ArrayData::I64(vec![99, 248]));
+}
+
+#[test]
+fn pass_is_idempotent_after_vectorization() {
+    for k in registry() {
+        let mut f = k.build();
+        let cfg = SlpConfig::new(SlpMode::SnSlp).with_verification();
+        let first = run_slp(&mut f, &cfg);
+        assert!(first.vectorized_graphs() > 0, "{}", k.name);
+        let second = run_slp(&mut f, &cfg);
+        assert_eq!(
+            second.vectorized_graphs(),
+            0,
+            "{}: nothing left to vectorize on the second run",
+            k.name
+        );
+    }
+}
+
+#[test]
+fn avx2_target_vectorizes_f64_kernels_at_width_four() {
+    // On a 256-bit target the f32 kernels get VF=8 seeds chunked at
+    // their unroll factor (4) and the paired f64 kernels stay at 2;
+    // what we check: the pass still works and preserves semantics.
+    let model = CostModel::new(TargetDesc::avx2_like());
+    for name in ["povray_shade", "sphinx_norm", "motiv_trunk"] {
+        let k = kernel_by_name(name).unwrap();
+        let orig = k.build();
+        let mut f = k.build();
+        let cfg = SlpConfig::new(SlpMode::SnSlp)
+            .with_model(model.clone())
+            .with_verification();
+        run_slp(&mut f, &cfg);
+        check_equivalent(&orig, &f, &k.args(16), &model)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+    }
+}
+
+#[test]
+fn no_altop_target_still_correct() {
+    // Without native addsub the alternating ops are emulated; the cost
+    // model penalizes them more, but whatever vectorizes must stay
+    // correct.
+    let model = CostModel::new(TargetDesc::no_altop_128());
+    for k in registry() {
+        let orig = k.build();
+        let mut f = k.build();
+        let cfg = SlpConfig::new(SlpMode::SnSlp)
+            .with_model(model.clone())
+            .with_verification();
+        run_slp(&mut f, &cfg);
+        check_equivalent(&orig, &f, &k.args(8), &model)
+            .unwrap_or_else(|e| panic!("{}: {e}", k.name));
+    }
+}
+
+#[test]
+fn threshold_gates_vectorization() {
+    let k = kernel_by_name("motiv_trunk").unwrap();
+    // An impossible threshold keeps everything scalar.
+    let mut f = k.build();
+    let mut cfg = SlpConfig::new(SlpMode::SnSlp);
+    cfg.threshold = -100;
+    let report = run_slp(&mut f, &cfg);
+    assert_eq!(report.vectorized_graphs(), 0);
+    // The graphs were still analyzed (cost recorded).
+    assert!(!report.graphs.is_empty());
+    assert!(report.graphs.iter().all(|g| g.cost > -100));
+}
+
+#[test]
+fn whole_module_compilation() {
+    let mut module = snslp::ir::Module::new("suite");
+    for k in registry() {
+        module.add_function(k.build());
+    }
+    let reports =
+        snslp::core::run_slp_module(&mut module, &SlpConfig::new(SlpMode::SnSlp).with_verification());
+    assert_eq!(reports.len(), registry().len());
+    assert!(reports.iter().all(|r| r.vectorized_graphs() > 0));
+}
+
+#[test]
+fn kernel_suite_shape_matches_paper_fig5() {
+    // SN-SLP ≥ LSLP ≥ ~O3 on every kernel (simulated cycles); SN-SLP
+    // strictly better wherever an inverse operator is involved.
+    let model = CostModel::default();
+    for k in registry() {
+        let orig = k.build();
+        let mut lslp = k.build();
+        run_slp(&mut lslp, &SlpConfig::new(SlpMode::Lslp));
+        let mut sn = k.build();
+        run_slp(&mut sn, &SlpConfig::new(SlpMode::SnSlp));
+        let args = k.args(32);
+        let (o3_out, lslp_out) = check_equivalent(&orig, &lslp, &args, &model).unwrap();
+        let (_, sn_out) = check_equivalent(&orig, &sn, &args, &model).unwrap();
+        assert!(
+            sn_out.exec.cycles <= lslp_out.exec.cycles,
+            "{}: SN {} > LSLP {}",
+            k.name,
+            sn_out.exec.cycles,
+            lslp_out.exec.cycles
+        );
+        assert!(
+            lslp_out.exec.cycles <= o3_out.exec.cycles,
+            "{}: LSLP {} > O3 {}",
+            k.name,
+            lslp_out.exec.cycles,
+            o3_out.exec.cycles
+        );
+        if k.name != "namd_energy_sum" {
+            assert!(
+                sn_out.exec.cycles < o3_out.exec.cycles,
+                "{}: SN-SLP must beat O3",
+                k.name
+            );
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Property tests for the *multiplicative* operator family (`mul`/`div`,
+//! the reciprocal inverse element of §III-A) and for 4-lane `f32`
+//! kernels: random association shapes and sign (exponent) patterns must
+//! survive vectorization within floating-point reassociation tolerance.
+
+use proptest::prelude::*;
+
+use snslp::core::{run_slp, SlpConfig, SlpMode};
+use snslp::cost::CostModel;
+use snslp::interp::{check_equivalent, ArgSpec};
+use snslp::ir::{FunctionBuilder, Function, InstId, Param, ScalarType, Type};
+
+const ARRAY_LEN: usize = 8;
+const LANES: usize = 4;
+
+/// One lane: a chain of muls/divs over random `f32` array elements.
+#[derive(Debug, Clone)]
+struct LaneSpec {
+    /// `true` = div at this chain position.
+    divs: Vec<bool>,
+    /// `k+1` leaves: (input array 0..2, element index).
+    leaves: Vec<(usize, usize)>,
+    right_assoc: bool,
+}
+
+fn lane_strategy() -> impl Strategy<Value = LaneSpec> {
+    (2usize..=3)
+        .prop_flat_map(|k| {
+            (
+                proptest::collection::vec(any::<bool>(), k),
+                proptest::collection::vec((0usize..2, 0usize..ARRAY_LEN), k + 1),
+                any::<bool>(),
+            )
+        })
+        .prop_map(|(divs, leaves, right_assoc)| LaneSpec {
+            divs,
+            leaves,
+            right_assoc,
+        })
+}
+
+fn build_lane(fb: &mut FunctionBuilder, arrays: &[InstId], spec: &LaneSpec) -> InstId {
+    let load = |fb: &mut FunctionBuilder, (arr, idx): (usize, usize)| {
+        let p = fb.ptradd_const(arrays[arr], 4 * idx as i64);
+        fb.load(ScalarType::F32, p)
+    };
+    let leaves: Vec<InstId> = spec.leaves.iter().map(|&l| load(fb, l)).collect();
+    if spec.right_assoc {
+        let mut acc = leaves[spec.leaves.len() - 1];
+        for j in (0..spec.divs.len()).rev() {
+            acc = if spec.divs[j] {
+                fb.div(leaves[j], acc)
+            } else {
+                fb.mul(leaves[j], acc)
+            };
+        }
+        acc
+    } else {
+        let mut acc = leaves[0];
+        for j in 0..spec.divs.len() {
+            acc = if spec.divs[j] {
+                fb.div(acc, leaves[j + 1])
+            } else {
+                fb.mul(acc, leaves[j + 1])
+            };
+        }
+        acc
+    }
+}
+
+/// Builds a 4-lane straight-line `f32` kernel.
+fn build_kernel(specs: &[LaneSpec; LANES]) -> Function {
+    let mut fb = FunctionBuilder::new(
+        "random_muldiv",
+        vec![
+            Param::noalias_ptr("out"),
+            Param::noalias_ptr("a0"),
+            Param::noalias_ptr("a1"),
+        ],
+        Type::Void,
+    );
+    fb.set_fast_math(true);
+    let out = fb.func().param(0);
+    let arrays = [fb.func().param(1), fb.func().param(2)];
+    let results: Vec<InstId> = specs
+        .iter()
+        .map(|s| build_lane(&mut fb, &arrays, s))
+        .collect();
+    for (k, r) in results.into_iter().enumerate() {
+        let p = fb.ptradd_const(out, 4 * k as i64);
+        fb.store(p, r);
+    }
+    fb.ret(None);
+    fb.finish()
+}
+
+fn args_from(data: &[Vec<f32>; 2]) -> Vec<ArgSpec> {
+    vec![
+        ArgSpec::F32Array(vec![0.0; LANES]),
+        ArgSpec::F32Array(data[0].clone()),
+        ArgSpec::F32Array(data[1].clone()),
+    ]
+}
+
+fn input_strategy() -> impl Strategy<Value = [Vec<f32>; 2]> {
+    // Bounded away from zero so reciprocals stay tame and the relative
+    // tolerance of the differential harness applies.
+    let arr = proptest::collection::vec(0.5f32..2.0, ARRAY_LEN);
+    [arr.clone(), arr].prop_map(|[a, b]| [a, b])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// SN-SLP preserves semantics on arbitrary mul/div expression lanes.
+    #[test]
+    fn snslp_preserves_random_muldiv_kernels(
+        s0 in lane_strategy(),
+        s1 in lane_strategy(),
+        s2 in lane_strategy(),
+        s3 in lane_strategy(),
+        data in input_strategy(),
+    ) {
+        let specs = [s0, s1, s2, s3];
+        let orig = build_kernel(&specs);
+        snslp::ir::verify(&orig).unwrap();
+        let mut f = orig.clone();
+        run_slp(&mut f, &SlpConfig::new(SlpMode::SnSlp).with_verification());
+        check_equivalent(&orig, &f, &args_from(&data), &CostModel::default())
+            .map_err(|e| TestCaseError::fail(format!("{e}\norig:\n{orig}\nvec:\n{f}")))?;
+    }
+
+    /// So do vanilla SLP and LSLP (whatever they choose to vectorize).
+    #[test]
+    fn slp_lslp_preserve_random_muldiv_kernels(
+        s0 in lane_strategy(),
+        s1 in lane_strategy(),
+        s2 in lane_strategy(),
+        s3 in lane_strategy(),
+        data in input_strategy(),
+    ) {
+        let specs = [s0, s1, s2, s3];
+        for mode in [SlpMode::Slp, SlpMode::Lslp] {
+            let orig = build_kernel(&specs);
+            let mut f = orig.clone();
+            run_slp(&mut f, &SlpConfig::new(mode).with_verification());
+            check_equivalent(&orig, &f, &args_from(&data), &CostModel::default())
+                .map_err(|e| TestCaseError::fail(format!("[{mode:?}] {e}")))?;
+        }
+    }
+
+    /// Leaf-only legality (trunk reordering disabled) is also sound on
+    /// the multiplicative family.
+    #[test]
+    fn leaf_only_muldiv_is_sound(
+        s0 in lane_strategy(),
+        s1 in lane_strategy(),
+        s2 in lane_strategy(),
+        s3 in lane_strategy(),
+        data in input_strategy(),
+    ) {
+        let specs = [s0, s1, s2, s3];
+        let orig = build_kernel(&specs);
+        let mut f = orig.clone();
+        let mut cfg = SlpConfig::new(SlpMode::SnSlp).with_verification();
+        cfg.enable_trunk_reordering = false;
+        run_slp(&mut f, &cfg);
+        check_equivalent(&orig, &f, &args_from(&data), &CostModel::default())
+            .map_err(TestCaseError::fail)?;
+    }
+}

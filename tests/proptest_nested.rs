@@ -1,0 +1,179 @@
+//! Property tests composing *both* operator families: random add/sub
+//! chains whose leaves are themselves random mul/div chains. This
+//! stresses nested Super-Node formation (an additive Super-Node whose
+//! slot bundles contain multiplicative Super-Nodes) and the interaction
+//! of chain claiming across families.
+
+use proptest::prelude::*;
+
+use snslp::core::{run_slp, SlpConfig, SlpMode};
+use snslp::cost::CostModel;
+use snslp::interp::{check_equivalent, ArgSpec};
+use snslp::ir::{FunctionBuilder, Function, InstId, Param, ScalarType, Type};
+
+const ARRAY_LEN: usize = 8;
+
+/// A multiplicative term: product/quotient over 1–3 loads.
+#[derive(Debug, Clone)]
+struct Term {
+    divs: Vec<bool>,
+    leaves: Vec<(usize, usize)>,
+}
+
+/// A lane: additive chain over 2–3 terms with per-position signs.
+#[derive(Debug, Clone)]
+struct Lane {
+    subs: Vec<bool>,
+    terms: Vec<Term>,
+}
+
+fn term_strategy() -> impl Strategy<Value = Term> {
+    (0usize..=2)
+        .prop_flat_map(|k| {
+            (
+                proptest::collection::vec(any::<bool>(), k),
+                proptest::collection::vec((0usize..2, 0usize..ARRAY_LEN), k + 1),
+            )
+        })
+        .prop_map(|(divs, leaves)| Term { divs, leaves })
+}
+
+fn lane_strategy() -> impl Strategy<Value = Lane> {
+    (1usize..=2)
+        .prop_flat_map(|k| {
+            (
+                proptest::collection::vec(any::<bool>(), k),
+                proptest::collection::vec(term_strategy(), k + 1),
+            )
+        })
+        .prop_map(|(subs, terms)| Lane { subs, terms })
+}
+
+fn build_term(fb: &mut FunctionBuilder, arrays: &[InstId], t: &Term) -> InstId {
+    let load = |fb: &mut FunctionBuilder, (arr, idx): (usize, usize)| {
+        let p = fb.ptradd_const(arrays[arr], 8 * idx as i64);
+        fb.load(ScalarType::F64, p)
+    };
+    let mut acc = load(fb, t.leaves[0]);
+    for (j, &is_div) in t.divs.iter().enumerate() {
+        let rhs = load(fb, t.leaves[j + 1]);
+        acc = if is_div {
+            fb.div(acc, rhs)
+        } else {
+            fb.mul(acc, rhs)
+        };
+    }
+    acc
+}
+
+fn build_kernel(l0: &Lane, l1: &Lane) -> Function {
+    let mut fb = FunctionBuilder::new(
+        "nested",
+        vec![
+            Param::noalias_ptr("out"),
+            Param::noalias_ptr("a0"),
+            Param::noalias_ptr("a1"),
+        ],
+        Type::Void,
+    );
+    fb.set_fast_math(true);
+    let out = fb.func().param(0);
+    let arrays = [fb.func().param(1), fb.func().param(2)];
+    let mut results = Vec::new();
+    for lane in [l0, l1] {
+        let terms: Vec<InstId> = lane
+            .terms
+            .iter()
+            .map(|t| build_term(&mut fb, &arrays, t))
+            .collect();
+        let mut acc = terms[0];
+        for (j, &is_sub) in lane.subs.iter().enumerate() {
+            acc = if is_sub {
+                fb.sub(acc, terms[j + 1])
+            } else {
+                fb.add(acc, terms[j + 1])
+            };
+        }
+        results.push(acc);
+    }
+    fb.store(out, results[0]);
+    let p1 = fb.ptradd_const(out, 8);
+    fb.store(p1, results[1]);
+    fb.ret(None);
+    fb.finish()
+}
+
+fn input_strategy() -> impl Strategy<Value = [Vec<f64>; 2]> {
+    let arr = proptest::collection::vec(0.5f64..2.0, ARRAY_LEN);
+    [arr.clone(), arr].prop_map(|[a, b]| [a, b])
+}
+
+fn args_from(data: &[Vec<f64>; 2]) -> Vec<ArgSpec> {
+    vec![
+        ArgSpec::F64Array(vec![0.0; 2]),
+        ArgSpec::F64Array(data[0].clone()),
+        ArgSpec::F64Array(data[1].clone()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every mode preserves semantics on nested-family kernels.
+    #[test]
+    fn nested_families_preserved(
+        l0 in lane_strategy(),
+        l1 in lane_strategy(),
+        data in input_strategy(),
+    ) {
+        for mode in [SlpMode::Slp, SlpMode::Lslp, SlpMode::SnSlp] {
+            let orig = build_kernel(&l0, &l1);
+            snslp::ir::verify(&orig).unwrap();
+            let mut f = orig.clone();
+            run_slp(&mut f, &SlpConfig::new(mode).with_verification());
+            check_equivalent(&orig, &f, &args_from(&data), &CostModel::default())
+                .map_err(|e| {
+                    TestCaseError::fail(format!("[{mode:?}] {e}\norig:\n{orig}\nvec:\n{f}"))
+                })?;
+        }
+    }
+
+    /// SN-SLP's *static* cost estimate is never worse than LSLP's on the
+    /// graphs it chooses to vectorize, and whatever it vectorizes stays
+    /// semantically intact. (Strict *cycle* dominance is NOT an invariant:
+    /// the paper itself notes the static model can mispredict real
+    /// execution — §V-A "the cost model's static predictions ... is not
+    /// guaranteed to be correct" — and greedy slot choices on nested
+    /// mul/div shapes occasionally trade a few cycles.)
+    #[test]
+    fn nested_families_static_cost_dominance(
+        l0 in lane_strategy(),
+        l1 in lane_strategy(),
+        data in input_strategy(),
+    ) {
+        let model = CostModel::default();
+        let orig = build_kernel(&l0, &l1);
+        let mut lslp = orig.clone();
+        let l_report = run_slp(&mut lslp, &SlpConfig::new(SlpMode::Lslp));
+        let mut sn = orig.clone();
+        let s_report = run_slp(&mut sn, &SlpConfig::new(SlpMode::SnSlp));
+        // Both stay correct.
+        let args = args_from(&data);
+        check_equivalent(&orig, &lslp, &args, &model).map_err(TestCaseError::fail)?;
+        check_equivalent(&orig, &sn, &args, &model).map_err(TestCaseError::fail)?;
+        // SN-SLP never vectorizes *fewer* graphs than LSLP (it falls back
+        // to Multi-Node growth when Super-Node chains are incompatible).
+        prop_assert!(
+            s_report.vectorized_graphs() >= l_report.vectorized_graphs()
+                || s_report
+                    .graphs
+                    .iter()
+                    .map(|g| g.cost)
+                    .sum::<i32>()
+                    <= l_report.graphs.iter().map(|g| g.cost).sum::<i32>(),
+            "SN {:?} vs LSLP {:?}\n{orig}",
+            s_report,
+            l_report
+        );
+    }
+}

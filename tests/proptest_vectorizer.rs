@@ -1,0 +1,207 @@
+//! Property-based tests: on *randomly generated* add/sub expression
+//! programs — random sign patterns, random leaf placements, random
+//! association shapes — every vectorizer mode must preserve semantics
+//! exactly (integer arithmetic, so equality is bit-exact).
+//!
+//! This is the mechanized version of the paper's legality argument
+//! (§IV-C): APO-respecting leaf and trunk reordering never changes the
+//! computed value.
+
+use proptest::prelude::*;
+
+use snslp::core::{run_slp, SlpConfig, SlpMode};
+use snslp::cost::CostModel;
+use snslp::interp::{check_equivalent, ArgSpec};
+use snslp::ir::{FunctionBuilder, Function, InstId, Param, ScalarType, Type};
+
+const ARRAY_LEN: usize = 8;
+
+/// One SIMD lane of a random kernel: a chain/tree of adds and subs over
+/// random array elements.
+#[derive(Debug, Clone)]
+struct LaneSpec {
+    /// One op per internal node: `true` = sub, `false` = add.
+    subs: Vec<bool>,
+    /// `k+1` leaves: (input array 0..3, element 0..ARRAY_LEN).
+    leaves: Vec<(usize, usize)>,
+    /// Right-associated instead of the usual left chain (creates nested
+    /// right-hand-side subtrees, exercising trunk-sign classes).
+    right_assoc: bool,
+}
+
+fn lane_strategy() -> impl Strategy<Value = LaneSpec> {
+    (2usize..=4)
+        .prop_flat_map(|k| {
+            (
+                proptest::collection::vec(any::<bool>(), k),
+                proptest::collection::vec((0usize..3, 0usize..ARRAY_LEN), k + 1),
+                any::<bool>(),
+            )
+        })
+        .prop_map(|(subs, leaves, right_assoc)| LaneSpec {
+            subs,
+            leaves,
+            right_assoc,
+        })
+}
+
+fn build_lane(fb: &mut FunctionBuilder, arrays: &[InstId], spec: &LaneSpec) -> InstId {
+    let load = |fb: &mut FunctionBuilder, (arr, idx): (usize, usize)| {
+        let p = fb.ptradd_const(arrays[arr], 8 * idx as i64);
+        fb.load(ScalarType::I64, p)
+    };
+    let leaves: Vec<InstId> = spec.leaves.iter().map(|&l| load(fb, l)).collect();
+    if spec.right_assoc {
+        // leaf0 op0 (leaf1 op1 (leaf2 ...))
+        let mut acc = leaves[spec.leaves.len() - 1];
+        for j in (0..spec.subs.len()).rev() {
+            acc = if spec.subs[j] {
+                fb.sub(leaves[j], acc)
+            } else {
+                fb.add(leaves[j], acc)
+            };
+        }
+        acc
+    } else {
+        // ((leaf0 op0 leaf1) op1 leaf2) ...
+        let mut acc = leaves[0];
+        for j in 0..spec.subs.len() {
+            acc = if spec.subs[j] {
+                fb.sub(acc, leaves[j + 1])
+            } else {
+                fb.add(acc, leaves[j + 1])
+            };
+        }
+        acc
+    }
+}
+
+/// Builds a 2-lane straight-line kernel from two lane specs.
+fn build_kernel(l0: &LaneSpec, l1: &LaneSpec) -> Function {
+    let mut fb = FunctionBuilder::new(
+        "random",
+        vec![
+            Param::noalias_ptr("out"),
+            Param::noalias_ptr("a0"),
+            Param::noalias_ptr("a1"),
+            Param::noalias_ptr("a2"),
+        ],
+        Type::Void,
+    );
+    let out = fb.func().param(0);
+    let arrays = [fb.func().param(1), fb.func().param(2), fb.func().param(3)];
+    let r0 = build_lane(&mut fb, &arrays, l0);
+    let r1 = build_lane(&mut fb, &arrays, l1);
+    fb.store(out, r0);
+    let p1 = fb.ptradd_const(out, 8);
+    fb.store(p1, r1);
+    fb.ret(None);
+    fb.finish()
+}
+
+fn args_from(data: &[Vec<i64>; 3]) -> Vec<ArgSpec> {
+    vec![
+        ArgSpec::I64Array(vec![0, 0]),
+        ArgSpec::I64Array(data[0].clone()),
+        ArgSpec::I64Array(data[1].clone()),
+        ArgSpec::I64Array(data[2].clone()),
+    ]
+}
+
+fn input_strategy() -> impl Strategy<Value = [Vec<i64>; 3]> {
+    let arr = proptest::collection::vec(-1_000_000i64..1_000_000, ARRAY_LEN);
+    [arr.clone(), arr.clone(), arr]
+        .prop_map(|[a, b, c]| [a, b, c])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// SN-SLP preserves semantics on arbitrary add/sub expression pairs.
+    #[test]
+    fn snslp_preserves_random_addsub_kernels(
+        l0 in lane_strategy(),
+        l1 in lane_strategy(),
+        data in input_strategy(),
+    ) {
+        let orig = build_kernel(&l0, &l1);
+        snslp::ir::verify(&orig).unwrap();
+        let mut f = orig.clone();
+        run_slp(&mut f, &SlpConfig::new(SlpMode::SnSlp).with_verification());
+        check_equivalent(&orig, &f, &args_from(&data), &CostModel::default())
+            .map_err(|e| TestCaseError::fail(format!("{e}\norig:\n{orig}\nvec:\n{f}")))?;
+    }
+
+    /// So do vanilla SLP and LSLP.
+    #[test]
+    fn slp_and_lslp_preserve_random_addsub_kernels(
+        l0 in lane_strategy(),
+        l1 in lane_strategy(),
+        data in input_strategy(),
+    ) {
+        for mode in [SlpMode::Slp, SlpMode::Lslp] {
+            let orig = build_kernel(&l0, &l1);
+            let mut f = orig.clone();
+            run_slp(&mut f, &SlpConfig::new(mode).with_verification());
+            check_equivalent(&orig, &f, &args_from(&data), &CostModel::default())
+                .map_err(|e| TestCaseError::fail(format!("[{mode:?}] {e}")))?;
+        }
+    }
+
+    /// Whatever SN-SLP vectorizes never executes more simulated cycles
+    /// than the LSLP version of the same code (the Fig. 5 dominance).
+    #[test]
+    fn snslp_never_slower_than_lslp_on_random_kernels(
+        l0 in lane_strategy(),
+        l1 in lane_strategy(),
+        data in input_strategy(),
+    ) {
+        let model = CostModel::default();
+        let orig = build_kernel(&l0, &l1);
+        let mut lslp = orig.clone();
+        run_slp(&mut lslp, &SlpConfig::new(SlpMode::Lslp));
+        let mut sn = orig.clone();
+        run_slp(&mut sn, &SlpConfig::new(SlpMode::SnSlp));
+        let args = args_from(&data);
+        let (_, l_out) = check_equivalent(&orig, &lslp, &args, &model)
+            .map_err(TestCaseError::fail)?;
+        let (_, s_out) = check_equivalent(&orig, &sn, &args, &model)
+            .map_err(TestCaseError::fail)?;
+        prop_assert!(
+            s_out.exec.cycles <= l_out.exec.cycles,
+            "SN {} > LSLP {}\n{orig}",
+            s_out.exec.cycles,
+            l_out.exec.cycles
+        );
+    }
+
+    /// The printer/parser round-trips random kernels.
+    #[test]
+    fn textual_ir_round_trips_random_kernels(
+        l0 in lane_strategy(),
+        l1 in lane_strategy(),
+    ) {
+        let f = build_kernel(&l0, &l1);
+        let text = f.to_string();
+        let f2 = snslp::ir::parse_function_str(&text)
+            .map_err(|e| TestCaseError::fail(format!("{e}\n{text}")))?;
+        prop_assert_eq!(f2.num_linked_insts(), f.num_linked_insts());
+        prop_assert_eq!(f2.to_string(), f2.to_string());
+        snslp::ir::verify(&f2).unwrap();
+    }
+
+    /// Scalar cleanup (CSE/fold/DCE) is also semantics-preserving.
+    #[test]
+    fn cleanup_preserves_random_kernels(
+        l0 in lane_strategy(),
+        l1 in lane_strategy(),
+        data in input_strategy(),
+    ) {
+        let orig = build_kernel(&l0, &l1);
+        let mut f = orig.clone();
+        snslp::ir::opt::cleanup_pipeline(&mut f);
+        snslp::ir::verify(&f).unwrap();
+        check_equivalent(&orig, &f, &args_from(&data), &CostModel::default())
+            .map_err(TestCaseError::fail)?;
+    }
+}
