@@ -1,45 +1,77 @@
-//! Criterion bench for the paper's Fig. 11: wall-clock compilation time
-//! of each kernel under O3 (cleanup only), LSLP, and SN-SLP.
+//! Bench for the paper's Fig. 11: wall-clock compilation time of each
+//! kernel under O3 (cleanup only), LSLP, and SN-SLP.
 //!
 //! The paper's claim: "Super-Node SLP does not introduce any significant
-//! compilation-time overhead" — compare the `LSLP` and `SN-SLP` groups.
+//! compilation-time overhead" — compare the `LSLP` and `SN-SLP` columns.
+//!
+//! Plain `fn main()` harness (no external bench framework) so the
+//! workspace builds offline; run with `cargo bench --bench compile_time`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
+
 use snslp_core::{optimize_o3, run_slp, SlpConfig, SlpMode};
 use snslp_kernels::registry;
 
-fn bench_compile(c: &mut Criterion) {
-    let mut group = c.benchmark_group("compile_time");
-    group.sample_size(20);
-    for kernel in registry() {
-        group.bench_with_input(BenchmarkId::new("o3", kernel.name), &kernel, |b, k| {
-            b.iter_with_setup(
-                || k.build(),
-                |mut f| {
-                    optimize_o3(&mut f);
-                    f
-                },
-            )
-        });
-        for mode in [SlpMode::Lslp, SlpMode::SnSlp] {
-            group.bench_with_input(
-                BenchmarkId::new(mode.label(), kernel.name),
-                &kernel,
-                |b, k| {
-                    let cfg = SlpConfig::new(mode);
-                    b.iter_with_setup(
-                        || k.build(),
-                        |mut f| {
-                            run_slp(&mut f, &cfg);
-                            f
-                        },
-                    )
-                },
-            );
-        }
-    }
-    group.finish();
+const WARMUP_RUNS: usize = 3;
+const TIMED_RUNS: usize = 20;
+
+/// Mean and sample standard deviation of per-run times, in microseconds.
+fn stats(samples: &[f64]) -> (f64, f64) {
+    let n = samples.len() as f64;
+    let mean = samples.iter().sum::<f64>() / n;
+    let var = if samples.len() > 1 {
+        samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / (n - 1.0)
+    } else {
+        0.0
+    };
+    (mean, var.sqrt())
 }
 
-criterion_group!(benches, bench_compile);
-criterion_main!(benches);
+/// Time `pipeline` over fresh builds of the kernel; returns (mean, sd) in µs.
+fn time_pipeline(
+    build: &dyn Fn() -> snslp_ir::Function,
+    pipeline: &dyn Fn(&mut snslp_ir::Function),
+) -> (f64, f64) {
+    for _ in 0..WARMUP_RUNS {
+        let mut f = build();
+        pipeline(&mut f);
+        std::hint::black_box(&f);
+    }
+    let mut samples = Vec::with_capacity(TIMED_RUNS);
+    for _ in 0..TIMED_RUNS {
+        let mut f = build();
+        let start = Instant::now();
+        pipeline(&mut f);
+        samples.push(start.elapsed().as_secs_f64() * 1e6);
+        std::hint::black_box(&f);
+    }
+    stats(&samples)
+}
+
+fn main() {
+    // Cargo passes `--bench` (and possibly filter args) to the harness;
+    // this simple harness runs everything regardless.
+    println!("compile_time: {TIMED_RUNS} timed runs per entry, mean ± sd (µs)");
+    println!(
+        "{:<24} {:>16} {:>16} {:>16}",
+        "kernel", "o3", "lslp", "sn-slp"
+    );
+    for kernel in registry() {
+        let build = || kernel.build();
+        let (o3_mean, o3_sd) = time_pipeline(&build, &|f| {
+            optimize_o3(f);
+        });
+        let mut cells = vec![format!("{o3_mean:.1}±{o3_sd:.1}")];
+        for mode in [SlpMode::Lslp, SlpMode::SnSlp] {
+            let cfg = SlpConfig::new(mode);
+            let (mean, sd) = time_pipeline(&build, &|f| {
+                run_slp(f, &cfg);
+            });
+            cells.push(format!("{mean:.1}±{sd:.1}"));
+        }
+        println!(
+            "{:<24} {:>16} {:>16} {:>16}",
+            kernel.name, cells[0], cells[1], cells[2]
+        );
+    }
+}

@@ -11,8 +11,13 @@ use std::collections::HashSet;
 use snslp_bench::{measure_benchmark, measure_kernel, mode_label, timed_compiles, KernelRow};
 use snslp_core::{build_graph, evaluate, BlockCtx, SlpConfig, SlpMode};
 use snslp_kernels::{benchmarks, kernel_by_name, registry};
+use snslp_trace::{MetricsSnapshot, Record, RecordKind};
 
 fn main() {
+    if let Err(e) = snslp_trace::init_from_env() {
+        snslp_trace::emit_record(Record::new(RecordKind::Event, "cli.error").with("msg", e));
+        std::process::exit(2);
+    }
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut wanted: Vec<String> = Vec::new();
     let mut iters_override: Option<usize> = None;
@@ -35,9 +40,10 @@ fn main() {
         .collect();
     }
 
-    let kernel_rows: Vec<KernelRow> = if wanted.iter().any(|w| {
-        ["fig5", "fig6", "fig7", "fig11"].contains(&w.as_str())
-    }) {
+    let kernel_rows: Vec<KernelRow> = if wanted
+        .iter()
+        .any(|w| ["fig5", "fig6", "fig7", "fig11"].contains(&w.as_str()))
+    {
         registry()
             .iter()
             .map(|k| measure_kernel(k, iters_override.unwrap_or(k.default_iters)))
@@ -47,6 +53,7 @@ fn main() {
     };
 
     for w in &wanted {
+        let before = MetricsSnapshot::current();
         match w.as_str() {
             "table1" => table1(),
             "fig2" => cost_table("fig2", "motiv_leaf"),
@@ -60,9 +67,24 @@ fn main() {
             "fig11" => fig11(),
             "ablation" => ablation(),
             "widths" => widths(),
-            other => eprintln!("unknown figure `{other}`"),
+            other => {
+                snslp_trace::emit_record(
+                    Record::new(RecordKind::Event, "cli.error")
+                        .with("msg", format!("unknown figure `{other}`")),
+                );
+                continue;
+            }
+        }
+        // Pipeline activity behind this figure, from the metrics registry.
+        let delta = MetricsSnapshot::current().delta_since(&before);
+        if delta != MetricsSnapshot::default() {
+            println!("  [metrics] {}", delta.machine());
         }
     }
+
+    println!();
+    println!("== Metrics registry (whole run) ==");
+    print!("{}", MetricsSnapshot::current());
 }
 
 fn header(title: &str) {
@@ -403,12 +425,8 @@ fn fig11() {
             s / l,
         );
     }
-    println!(
-        "(the O3 baseline is only the scalar cleanup pipeline — a tiny fraction of a"
-    );
-    println!(
-        " real -O3 pipeline — so absolute normalized values are not comparable to the"
-    );
+    println!("(the O3 baseline is only the scalar cleanup pipeline — a tiny fraction of a");
+    println!(" real -O3 pipeline — so absolute normalized values are not comparable to the");
     println!(" paper's; the SN-SLP/LSLP ratio is the paper's no-overhead claim)");
     let _ = mode_label(None);
 }

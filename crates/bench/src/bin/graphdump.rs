@@ -1,88 +1,105 @@
-//! Diagnostic tool: prints the SLP graph and cost breakdown that each
-//! vectorizer mode builds for a kernel's seed groups.
+//! Diagnostic tool: runs the vectorizer over a kernel and streams the
+//! structured trace — optimization remarks, metrics counters and Graphviz
+//! DOT dumps of the SLP graph at the pre-reorder/post-reorder/final
+//! stages — through the `snslp-trace` sinks.
 //!
-//! Usage: `graphdump <kernel> [slp|lslp|snslp]...`
+//! Usage: `graphdump <kernel> [slp|lslp|snslp]... [--dot DIR] [--json]`
+//!
+//! By default every trace facet is enabled and records go to stderr as
+//! text; `--json` switches to JSON lines, `--dot DIR` writes the DOT
+//! graphs as files under `DIR` instead of inline records. Setting
+//! `SNSLP_TRACE` overrides the defaults entirely.
 
-use std::collections::HashSet;
+use std::path::PathBuf;
 
-use snslp_core::{build_graph, evaluate, BlockCtx, NodeKind, SlpConfig, SlpMode};
-use snslp_kernels::kernel_by_name;
+use snslp_core::{run_slp, SlpConfig, SlpMode};
+use snslp_trace::{Facet, Record, RecordKind, TraceSpec};
+
+/// Reports a CLI error through the trace sink and exits.
+fn fail(msg: String) -> ! {
+    snslp_trace::emit_record(Record::new(RecordKind::Event, "cli.error").with("msg", msg));
+    std::process::exit(2);
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some(name) = args.first() else {
-        eprintln!("usage: graphdump <kernel> [slp|lslp|snslp]...");
-        eprintln!("kernels: {:?}", snslp_kernels::registry().iter().map(|k| k.name).collect::<Vec<_>>());
-        std::process::exit(2);
+    let mut kernel_name: Option<String> = None;
+    let mut modes: Vec<SlpMode> = Vec::new();
+    let mut dot_dir: Option<PathBuf> = None;
+    let mut json = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--dot" => {
+                let Some(dir) = args.get(i + 1) else {
+                    fail("--dot needs a directory argument".to_string());
+                };
+                dot_dir = Some(PathBuf::from(dir));
+                i += 2;
+            }
+            "--json" => {
+                json = true;
+                i += 1;
+            }
+            "slp" => {
+                modes.push(SlpMode::Slp);
+                i += 1;
+            }
+            "lslp" => {
+                modes.push(SlpMode::Lslp);
+                i += 1;
+            }
+            "snslp" => {
+                modes.push(SlpMode::SnSlp);
+                i += 1;
+            }
+            other if kernel_name.is_none() => {
+                kernel_name = Some(other.to_string());
+                i += 1;
+            }
+            other => fail(format!("unknown argument `{other}`")),
+        }
+    }
+    let Some(name) = kernel_name else {
+        fail(format!(
+            "usage: graphdump <kernel> [slp|lslp|snslp]... [--dot DIR] [--json]; kernels: {:?}",
+            snslp_kernels::registry()
+                .iter()
+                .map(|k| k.name)
+                .collect::<Vec<_>>()
+        ));
     };
-    let Some(kernel) = kernel_by_name(name) else {
-        eprintln!("unknown kernel `{name}`");
-        std::process::exit(2);
+    let Some(kernel) = snslp_kernels::kernel_by_name(&name) else {
+        fail(format!("unknown kernel `{name}`"));
     };
-    let modes: Vec<SlpMode> = if args.len() > 1 {
-        args[1..]
-            .iter()
-            .map(|m| match m.as_str() {
-                "slp" => SlpMode::Slp,
-                "lslp" => SlpMode::Lslp,
-                "snslp" => SlpMode::SnSlp,
-                other => {
-                    eprintln!("unknown mode `{other}`");
-                    std::process::exit(2);
-                }
-            })
-            .collect()
+    if modes.is_empty() {
+        modes = vec![SlpMode::Slp, SlpMode::Lslp, SlpMode::SnSlp];
+    }
+
+    // `SNSLP_TRACE` takes full control when set; otherwise this is a
+    // diagnostic tool, so default to everything on.
+    if std::env::var_os("SNSLP_TRACE").is_some() {
+        if let Err(e) = snslp_trace::init_from_env() {
+            fail(e);
+        }
     } else {
-        vec![SlpMode::Slp, SlpMode::Lslp, SlpMode::SnSlp]
-    };
+        snslp_trace::apply_spec(&TraceSpec {
+            facets: Facet::Events as u32
+                | Facet::Remarks as u32
+                | Facet::Metrics as u32
+                | Facet::Dot as u32,
+            json,
+            dot_dir,
+        });
+    }
 
     for mode in modes {
         println!("=== {} / {} ===", kernel.name, mode.label());
         let mut f = kernel.build();
-        snslp_ir::opt::cleanup_pipeline(&mut f);
-        let cfg = SlpConfig::new(mode);
-        for b in f.block_ids().collect::<Vec<_>>() {
-            let ctx = BlockCtx::compute(&f, b);
-            let target = cfg.model.target().clone();
-            let seeds = snslp_core::collect_store_seeds(
-                &f,
-                &ctx,
-                |st| target.max_lanes(st),
-                &HashSet::new(),
-            );
-            for g in seeds {
-                let graph = build_graph(&f, &ctx, &cfg, &g.stores);
-                let cost = evaluate(&f, &ctx, &graph, &cfg.model);
-                println!(
-                    "seed group in {b} (width {}): total {:+}, extracts {:+} => {}",
-                    g.width(),
-                    cost.total,
-                    cost.extract_cost,
-                    if cost.total < 0 { "VECTORIZE" } else { "keep scalar" }
-                );
-                for (i, n) in graph.nodes.iter().enumerate() {
-                    println!(
-                        "  node {i:>2} {:+}  {:<24} lanes {:?} ops {:?}",
-                        cost.node_costs[i],
-                        kind_str(&n.kind),
-                        n.scalars,
-                        n.operands
-                    );
-                }
-            }
-        }
-    }
-}
-
-fn kind_str(k: &NodeKind) -> String {
-    match k {
-        NodeKind::Super(i) => format!(
-            "Super(size {}, {} slots)",
-            i.size(),
-            i.slot_signs.len()
-        ),
-        NodeKind::Alt { ops } => format!("Alt{ops:?}"),
-        NodeKind::Permute { mask } => format!("Permute{mask:?}"),
-        other => format!("{other:?}"),
+        let report = run_slp(&mut f, &SlpConfig::new(mode));
+        // The report carries the remarks and the metrics delta of this
+        // run; the DOT graphs were already streamed by the pass hooks.
+        print!("{report}");
+        println!("  metrics: {}", report.metrics.machine());
     }
 }

@@ -158,8 +158,8 @@ impl BenchRow {
         let mut total = 0u64;
         for (i, (mut f, args)) in fns.into_iter().enumerate() {
             optimize_o3(&mut f);
-            let out = run_with_args(&f, &args, &model, &ExecOptions::default())
-                .expect("composite runs");
+            let out =
+                run_with_args(&f, &args, &model, &ExecOptions::default()).expect("composite runs");
             if i == 0 {
                 kernel_cycles = out.exec.cycles;
             }
@@ -192,8 +192,8 @@ pub fn measure_benchmark(bench: &Benchmark) -> BenchRow {
                         Some(m) => m.merge(r),
                     }
                 }
-                let out = run_with_args(&f, &args, &model, &ExecOptions::default())
-                    .unwrap_or_else(|e| {
+                let out =
+                    run_with_args(&f, &args, &model, &ExecOptions::default()).unwrap_or_else(|e| {
                         panic!("{} [{}] {}: {e}", bench.name, mode_label(mode), f.name())
                     });
                 cycles += out.exec.cycles;
@@ -228,10 +228,7 @@ pub fn timed_compiles(kernel: &Kernel, mode: Option<SlpMode>, runs: usize) -> (f
         })
         .collect();
     let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-    let var = samples
-        .iter()
-        .map(|s| (s - mean) * (s - mean))
-        .sum::<f64>()
+    let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>()
         / (samples.len().saturating_sub(1)).max(1) as f64;
     (mean, var.sqrt())
 }

@@ -13,9 +13,7 @@ use std::error::Error;
 use std::fmt;
 
 use snslp_ir::analysis::{may_alias, MemLoc};
-use snslp_ir::{
-    BinOp, BlockId, Constant, Function, InstId, InstKind, OpFamily, Type,
-};
+use snslp_ir::{BinOp, BlockId, Constant, Function, InstId, InstKind, OpFamily, Type};
 
 use crate::chain::Sign;
 use crate::graph::{GatherKind, NodeId, NodeKind, SlpGraph};
@@ -197,11 +195,21 @@ impl Emitter<'_> {
         let vty = self.vector_ty(node.scalars[0], width);
 
         let id = match &node.kind {
-            NodeKind::Gather(GatherKind::Splat) => {
+            NodeKind::Gather {
+                kind: GatherKind::Splat,
+                ..
+            } => {
                 let v = self.resolve_scalar(node.scalars[0])?;
-                self.create(InstKind::Splat { value: v, lanes: width }, vty, key)
+                self.create(
+                    InstKind::Splat {
+                        value: v,
+                        lanes: width,
+                    },
+                    vty,
+                    key,
+                )
             }
-            NodeKind::Gather(_) => {
+            NodeKind::Gather { .. } => {
                 let mut elems = Vec::with_capacity(node.scalars.len());
                 for &s in &node.scalars {
                     elems.push(self.resolve_scalar(s)?);
@@ -288,7 +296,15 @@ impl Emitter<'_> {
                 InstKind::Cmp { pred, .. } => {
                     let l = self.emit_node(node.operands[0])?;
                     let r = self.emit_node(node.operands[1])?;
-                    self.create(InstKind::Cmp { pred, lhs: l, rhs: r }, vty, key)
+                    self.create(
+                        InstKind::Cmp {
+                            pred,
+                            lhs: l,
+                            rhs: r,
+                        },
+                        vty,
+                        key,
+                    )
                 }
                 InstKind::Cast { kind, .. } => {
                     let o = self.emit_node(node.operands[0])?;
@@ -647,8 +663,7 @@ mod tests {
             .insts()
             .iter()
             .filter(|&&i| {
-                matches!(f.kind(i), InstKind::Load { .. })
-                    && f.ty(i).as_vector().is_some()
+                matches!(f.kind(i), InstKind::Load { .. }) && f.ty(i).as_vector().is_some()
             })
             .count();
         assert_eq!(n_vec_loads, 2, "{f}");

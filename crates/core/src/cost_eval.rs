@@ -55,9 +55,10 @@ pub fn evaluate(
             .any(|u| !graph.covered.contains_key(u));
         // A value feeding a gather bundle is also external: the gather
         // builds a vector from *scalars*, so the lane must be extracted.
-        let feeds_gather = graph.nodes.iter().any(|n| {
-            matches!(n.kind, NodeKind::Gather(_)) && n.scalars.contains(&inst)
-        });
+        let feeds_gather = graph
+            .nodes
+            .iter()
+            .any(|n| matches!(n.kind, NodeKind::Gather { .. }) && n.scalars.contains(&inst));
         if external || feeds_gather {
             extract_cost += model.extract_cost();
         }
@@ -72,10 +73,17 @@ pub fn evaluate(
 }
 
 fn node_cost(f: &Function, node: &Node, width: u8, model: &CostModel) -> i32 {
+    snslp_trace::bump(snslp_trace::Counter::CostModelQueries);
     let w = i32::from(width);
     match &node.kind {
-        NodeKind::Gather(GatherKind::Constants) => 0,
-        NodeKind::Gather(GatherKind::Splat) => {
+        NodeKind::Gather {
+            kind: GatherKind::Constants,
+            ..
+        } => 0,
+        NodeKind::Gather {
+            kind: GatherKind::Splat,
+            ..
+        } => {
             // Splatting a loaded value folds into a broadcast load
             // (`movddup`/`vbroadcasts*`); other splats pay one shuffle.
             if matches!(f.kind(node.scalars[0]), InstKind::Load { .. }) {
@@ -84,7 +92,10 @@ fn node_cost(f: &Function, node: &Node, width: u8, model: &CostModel) -> i32 {
                 model.params().shuffle
             }
         }
-        NodeKind::Gather(GatherKind::Generic) => model.gather_cost(width),
+        NodeKind::Gather {
+            kind: GatherKind::Generic,
+            ..
+        } => model.gather_cost(width),
         NodeKind::Permute { .. } => model.params().shuffle,
         NodeKind::Load => {
             let scalar: i32 = w * model.params().load;
@@ -99,11 +110,7 @@ fn node_cost(f: &Function, node: &Node, width: u8, model: &CostModel) -> i32 {
             model.params().store - scalar
         }
         NodeKind::Vector => {
-            let scalar: i32 = node
-                .scalars
-                .iter()
-                .map(|&s| model.compile_cost(f, s))
-                .sum();
+            let scalar: i32 = node.scalars.iter().map(|&s| model.compile_cost(f, s)).sum();
             let vec_cost = model.compile_cost_of(
                 f,
                 f.kind(node.scalars[0]),
@@ -112,27 +119,18 @@ fn node_cost(f: &Function, node: &Node, width: u8, model: &CostModel) -> i32 {
             vec_cost - scalar
         }
         NodeKind::Alt { ops } => {
-            let scalar: i32 = node
-                .scalars
-                .iter()
-                .map(|&s| model.compile_cost(f, s))
-                .sum();
+            let scalar: i32 = node.scalars.iter().map(|&s| model.compile_cost(f, s)).sum();
             let kind = InstKind::BinaryLanewise {
                 ops: ops.clone().into_boxed_slice(),
                 lhs: node.scalars[0],
                 rhs: node.scalars[0],
             };
-            let vec_cost =
-                model.compile_cost_of(f, &kind, vector_ty(f, node.scalars[0], width));
+            let vec_cost = model.compile_cost_of(f, &kind, vector_ty(f, node.scalars[0], width));
             vec_cost - scalar
         }
         NodeKind::Reduction(info) => {
             // Scalar side: the whole tree of (leaves−1) ops disappears.
-            let scalar: i32 = info
-                .tree
-                .iter()
-                .map(|&t| model.compile_cost(f, t))
-                .sum();
+            let scalar: i32 = info.tree.iter().map(|&t| model.compile_cost(f, t)).sum();
             // Vector side: combine the partial-sum groups, then log2(VF)
             // shuffle+op steps, one extract, and any leftover scalar ops.
             let op_cost = {
@@ -165,11 +163,10 @@ fn node_cost(f: &Function, node: &Node, width: u8, model: &CostModel) -> i32 {
             let mut vec_cost = 0;
             for (j, signs) in info.slot_signs.iter().enumerate() {
                 let uniform = signs.iter().all(|&s| s == signs[0]);
-                if j == 0
-                    && signs.iter().all(|&s| s == Sign::Plus) {
-                        continue; // slot 0 feeds through for free
-                    }
-                    // identity ∘ slot0 with sub/div (uniform) or addsub.
+                if j == 0 && signs.iter().all(|&s| s == Sign::Plus) {
+                    continue; // slot 0 feeds through for free
+                }
+                // identity ∘ slot0 with sub/div (uniform) or addsub.
                 let cost = if uniform {
                     let op = match signs[0] {
                         Sign::Plus => info.family.direct(),

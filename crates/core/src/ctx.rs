@@ -83,13 +83,7 @@ impl BlockCtx {
     /// Whether any *store* with a position strictly inside `(lo, hi)` may
     /// alias `loc`. Used to check that a bundle of loads spanning
     /// positions `lo..=hi` can be collapsed into one vector load.
-    pub fn aliasing_store_within(
-        &self,
-        f: &Function,
-        lo: usize,
-        hi: usize,
-        loc: &MemLoc,
-    ) -> bool {
+    pub fn aliasing_store_within(&self, f: &Function, lo: usize, hi: usize, loc: &MemLoc) -> bool {
         for (&id, other) in &self.memlocs {
             if !matches!(f.kind(id), InstKind::Store { .. }) {
                 continue;

@@ -14,7 +14,7 @@ use crate::supernode::{plan_supernode_with, SuperNodePlan};
 /// Index of a node within an [`SlpGraph`].
 pub type NodeId = usize;
 
-/// Why a gather node could not be vectorized (also selects its cost).
+/// *How* a gather node is materialized (selects its cost).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum GatherKind {
     /// All lanes are constants — materialized as a constant vector.
@@ -23,6 +23,71 @@ pub enum GatherKind {
     Splat,
     /// Arbitrary scalars — one insert per lane.
     Generic,
+}
+
+/// *Why* a bundle had to gather instead of vectorizing. Recorded on every
+/// gather node so optimization remarks can report the dominant cause of a
+/// missed vectorization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum GatherWhy {
+    /// Recursion hit the configured depth limit.
+    DepthLimit,
+    /// Lanes have different types (or operand types disagree).
+    TypeMismatch,
+    /// A lane is not an instruction of the seed block (param, const,
+    /// other-block value).
+    NotInBlock,
+    /// The same value appears in several lanes.
+    DuplicateLanes,
+    /// A lane is already claimed by another vector bundle (and the bundle
+    /// is not a pure permutation of it).
+    Claimed,
+    /// Two lanes depend on each other.
+    Dependence,
+    /// Lanes mix opcodes that cannot form a Vector/Alt/Super bundle.
+    OpcodeMismatch,
+    /// The opcode itself is not vectorizable (call, ptradd, ...).
+    UnsupportedOpcode,
+    /// Loads are not consecutive in either lane order.
+    NonConsecutiveLoads,
+    /// Stores are not adjacent.
+    NonConsecutiveStores,
+    /// A may-aliasing memory operation sits between the bundled accesses.
+    Aliasing,
+}
+
+impl GatherWhy {
+    /// Stable kebab-case code used in trace records and remark details.
+    pub fn code(self) -> &'static str {
+        match self {
+            GatherWhy::DepthLimit => "depth-limit",
+            GatherWhy::TypeMismatch => "type-mismatch",
+            GatherWhy::NotInBlock => "not-in-block",
+            GatherWhy::DuplicateLanes => "duplicate-lanes",
+            GatherWhy::Claimed => "claimed",
+            GatherWhy::Dependence => "dependence",
+            GatherWhy::OpcodeMismatch => "opcode-mismatch",
+            GatherWhy::UnsupportedOpcode => "unsupported-opcode",
+            GatherWhy::NonConsecutiveLoads => "non-consecutive-loads",
+            GatherWhy::NonConsecutiveStores => "non-consecutive-stores",
+            GatherWhy::Aliasing => "aliasing",
+        }
+    }
+
+    /// Severity when selecting the *dominant* cause for a missed-remark:
+    /// higher wins. Structural reasons (aliasing, unsupported opcodes,
+    /// broken memory shapes) outrank benign leaf gathers (constants,
+    /// values defined elsewhere) that appear in profitable graphs too.
+    pub fn severity(self) -> u8 {
+        match self {
+            GatherWhy::Aliasing => 5,
+            GatherWhy::UnsupportedOpcode => 4,
+            GatherWhy::NonConsecutiveLoads | GatherWhy::NonConsecutiveStores => 3,
+            GatherWhy::OpcodeMismatch => 2,
+            GatherWhy::Dependence | GatherWhy::DuplicateLanes | GatherWhy::Claimed => 1,
+            GatherWhy::DepthLimit | GatherWhy::TypeMismatch | GatherWhy::NotInBlock => 0,
+        }
+    }
 }
 
 /// What a node packs.
@@ -59,7 +124,12 @@ pub enum NodeKind {
     /// replacing the scalar tree.
     Reduction(ReductionInfo),
     /// Non-vectorizable group, gathered from scalars.
-    Gather(GatherKind),
+    Gather {
+        /// How the gather is materialized (drives the cost model).
+        kind: GatherKind,
+        /// Why the group could not be vectorized (drives remarks).
+        why: GatherWhy,
+    },
 }
 
 /// Super-Node payload retained for cost evaluation, code generation, and
@@ -114,7 +184,7 @@ impl Node {
     /// Whether this node becomes a vector instruction (anything but a
     /// gather).
     pub fn is_vectorizable(&self) -> bool {
-        !matches!(self.kind, NodeKind::Gather(_))
+        !matches!(self.kind, NodeKind::Gather { .. })
     }
 }
 
@@ -155,6 +225,18 @@ impl SlpGraph {
                 _ => None,
             })
             .collect()
+    }
+
+    /// The most severe cause among this graph's gather nodes, if any —
+    /// the reason an optimization remark reports for a missed bundle.
+    pub fn dominant_gather_why(&self) -> Option<GatherWhy> {
+        self.nodes
+            .iter()
+            .filter_map(|n| match n.kind {
+                NodeKind::Gather { why, .. } => Some(why),
+                _ => None,
+            })
+            .max_by_key(|w| (w.severity(), *w))
     }
 
     /// The lane of `inst` within its covering node, if covered.
@@ -263,7 +345,7 @@ impl GraphBuilder<'_> {
         id
     }
 
-    fn gather(&mut self, bundle: Vec<InstId>) -> NodeId {
+    fn gather(&mut self, bundle: Vec<InstId>, why: GatherWhy) -> NodeId {
         let all_const = bundle
             .iter()
             .all(|&v| matches!(self.f.kind(v), InstKind::Const(_)));
@@ -275,9 +357,15 @@ impl GraphBuilder<'_> {
         } else {
             GatherKind::Generic
         };
+        snslp_trace::bump(snslp_trace::Counter::GathersEmitted);
+        snslp_trace::trace_event!(
+            "graph.gather",
+            "why" => why.code(),
+            "width" => bundle.len(),
+        );
         self.add_node(Node {
             scalars: bundle,
-            kind: NodeKind::Gather(kind),
+            kind: NodeKind::Gather { kind, why },
             operands: Vec::new(),
         })
     }
@@ -302,13 +390,14 @@ impl GraphBuilder<'_> {
         if let Some(&n) = self.bundle_map.get(&bundle) {
             return n;
         }
+        snslp_trace::bump(snslp_trace::Counter::BundlesAttempted);
         if depth > self.cfg.max_depth {
-            return self.gather(bundle);
+            return self.gather(bundle, GatherWhy::DepthLimit);
         }
         // Uniform type?
         let ty = self.f.ty(bundle[0]);
         if bundle.iter().any(|&v| self.f.ty(v) != ty) {
-            return self.gather(bundle);
+            return self.gather(bundle, GatherWhy::TypeMismatch);
         }
         // Every lane must be a distinct instruction of this block that is
         // not already claimed by another vector bundle.
@@ -324,13 +413,20 @@ impl GraphBuilder<'_> {
             if let Some(node) = self.try_permute(&bundle) {
                 return node;
             }
-            return self.gather(bundle);
+            let why = if !all_block_insts {
+                GatherWhy::NotInBlock
+            } else if !distinct {
+                GatherWhy::DuplicateLanes
+            } else {
+                GatherWhy::Claimed
+            };
+            return self.gather(bundle, why);
         }
         // Lanes must be mutually independent.
         for (i, &a) in bundle.iter().enumerate() {
             for &b in &bundle[..i] {
                 if self.ctx.depends_on(self.f, a, b) || self.ctx.depends_on(self.f, b, a) {
-                    return self.gather(bundle);
+                    return self.gather(bundle, GatherWhy::Dependence);
                 }
             }
         }
@@ -341,11 +437,11 @@ impl GraphBuilder<'_> {
             InstKind::Binary { .. } => self.build_binary_bundle(bundle, depth),
             InstKind::Unary { op, .. } => {
                 let op = *op;
-                let same = bundle.iter().all(
-                    |&v| matches!(self.f.kind(v), InstKind::Unary { op: o, .. } if *o == op),
-                );
+                let same = bundle
+                    .iter()
+                    .all(|&v| matches!(self.f.kind(v), InstKind::Unary { op: o, .. } if *o == op));
                 if !same {
-                    return self.gather(bundle);
+                    return self.gather(bundle, GatherWhy::OpcodeMismatch);
                 }
                 let operands: Vec<InstId> = bundle
                     .iter()
@@ -367,7 +463,7 @@ impl GraphBuilder<'_> {
                     |&v| matches!(self.f.kind(v), InstKind::Cast { kind: k, .. } if *k == kind),
                 );
                 if !same {
-                    return self.gather(bundle);
+                    return self.gather(bundle, GatherWhy::OpcodeMismatch);
                 }
                 let operands: Vec<InstId> = bundle
                     .iter()
@@ -375,7 +471,7 @@ impl GraphBuilder<'_> {
                     .collect();
                 let opty = self.f.ty(operands[0]);
                 if operands.iter().any(|&v| self.f.ty(v) != opty) {
-                    return self.gather(bundle);
+                    return self.gather(bundle, GatherWhy::TypeMismatch);
                 }
                 let node = self.add_node(Node {
                     scalars: bundle.clone(),
@@ -392,7 +488,7 @@ impl GraphBuilder<'_> {
                     .iter()
                     .all(|&v| matches!(self.f.kind(v), InstKind::Select { .. }));
                 if !same {
-                    return self.gather(bundle);
+                    return self.gather(bundle, GatherWhy::OpcodeMismatch);
                 }
                 // The per-lane conditions become an i32 mask vector (a
                 // splat when all lanes share one condition).
@@ -422,7 +518,7 @@ impl GraphBuilder<'_> {
                     |&v| matches!(self.f.kind(v), InstKind::Cmp { pred: p, .. } if *p == pred),
                 );
                 if !same {
-                    return self.gather(bundle);
+                    return self.gather(bundle, GatherWhy::OpcodeMismatch);
                 }
                 // Operand types must agree across lanes (the uniform-type
                 // check above only saw the i32 outputs).
@@ -436,7 +532,7 @@ impl GraphBuilder<'_> {
                     .collect();
                 let opty = self.f.ty(lhs[0]);
                 if lhs.iter().chain(&rhs).any(|&v| self.f.ty(v) != opty) {
-                    return self.gather(bundle);
+                    return self.gather(bundle, GatherWhy::TypeMismatch);
                 }
                 let node = self.add_node(Node {
                     scalars: bundle.clone(),
@@ -450,7 +546,7 @@ impl GraphBuilder<'_> {
                 self.nodes[node].operands.push(r);
                 node
             }
-            _ => self.gather(bundle),
+            _ => self.gather(bundle, GatherWhy::UnsupportedOpcode),
         }
     }
 
@@ -459,7 +555,7 @@ impl GraphBuilder<'_> {
             .iter()
             .all(|&v| matches!(self.f.kind(v), InstKind::Load { .. }));
         if !all_loads {
-            return self.gather(bundle);
+            return self.gather(bundle, GatherWhy::OpcodeMismatch);
         }
         // Adjacent in lane order, or in exactly reversed lane order?
         let direction = |fwd: bool| -> bool {
@@ -476,14 +572,14 @@ impl GraphBuilder<'_> {
         } else if direction(false) {
             NodeKind::LoadReversed
         } else {
-            return self.gather(bundle);
+            return self.gather(bundle, GatherWhy::NonConsecutiveLoads);
         };
         // Collapsing the loads must not cross an aliasing store.
         let (lo, hi) = self.ctx.span(&bundle);
         for &l in &bundle {
             let loc = self.ctx.memlocs[&l];
             if self.ctx.aliasing_store_within(self.f, lo, hi, &loc) {
-                return self.gather(bundle);
+                return self.gather(bundle, GatherWhy::Aliasing);
             }
         }
         let node = self.add_node(Node {
@@ -500,7 +596,7 @@ impl GraphBuilder<'_> {
         for w in bundle.windows(2) {
             let (a, b) = (self.ctx.memlocs[&w[0]], self.ctx.memlocs[&w[1]]);
             if !snslp_ir::is_consecutive(self.f, &a, &b) {
-                return self.gather(bundle);
+                return self.gather(bundle, GatherWhy::NonConsecutiveStores);
             }
         }
         // Collapsing the stores must not cross an aliasing memory op.
@@ -508,7 +604,7 @@ impl GraphBuilder<'_> {
         for &s in &bundle {
             let loc = self.ctx.memlocs[&s];
             if self.ctx.aliasing_mem_within(self.f, lo, hi, &loc, &bundle) {
-                return self.gather(bundle);
+                return self.gather(bundle, GatherWhy::Aliasing);
             }
         }
         let values: Vec<InstId> = bundle
@@ -534,7 +630,7 @@ impl GraphBuilder<'_> {
             .iter()
             .all(|&v| matches!(self.f.kind(v), InstKind::Binary { .. }));
         if !all_binary {
-            return self.gather(bundle);
+            return self.gather(bundle, GatherWhy::OpcodeMismatch);
         }
         let ops: Vec<BinOp> = bundle
             .iter()
@@ -587,7 +683,7 @@ impl GraphBuilder<'_> {
             self.nodes[node].operands.push(r);
             node
         } else {
-            self.gather(bundle)
+            self.gather(bundle, GatherWhy::OpcodeMismatch)
         }
     }
 
@@ -630,10 +726,8 @@ impl GraphBuilder<'_> {
             if lane > 0 && ops[lane].is_commutative() {
                 let pl = lefts[lane - 1];
                 let pr = rights[lane - 1];
-                let straight =
-                    score_pair(self.f, pl, l, depth) + score_pair(self.f, pr, r, depth);
-                let swapped =
-                    score_pair(self.f, pl, r, depth) + score_pair(self.f, pr, l, depth);
+                let straight = score_pair(self.f, pl, l, depth) + score_pair(self.f, pr, r, depth);
+                let swapped = score_pair(self.f, pl, r, depth) + score_pair(self.f, pr, l, depth);
                 if swapped > straight {
                     std::mem::swap(&mut l, &mut r);
                 }
@@ -877,10 +971,15 @@ mod tests {
         fb.ret(None);
         let f = fb.finish();
         let g = graph_for(&f, &[s0, s1], SlpMode::Slp);
-        let has_const_gather = g
-            .nodes
-            .iter()
-            .any(|n| matches!(n.kind, NodeKind::Gather(GatherKind::Constants)));
+        let has_const_gather = g.nodes.iter().any(|n| {
+            matches!(
+                n.kind,
+                NodeKind::Gather {
+                    kind: GatherKind::Constants,
+                    ..
+                }
+            )
+        });
         assert!(has_const_gather, "{g:#?}");
     }
 
@@ -904,7 +1003,7 @@ mod tests {
         assert!(matches!(root.kind, NodeKind::Store));
         let val = &g.nodes[root.operands[0]];
         assert!(
-            matches!(val.kind, NodeKind::Gather(_)),
+            matches!(val.kind, NodeKind::Gather { .. }),
             "dependent lanes must gather: {g:#?}"
         );
     }
@@ -914,7 +1013,11 @@ mod tests {
         // lane0: x0 + y0 ; lane1: x1 - y1 (no chains: single ops).
         let mut fb = FunctionBuilder::new(
             "t",
-            vec![Param::noalias_ptr("a"), Param::noalias_ptr("x"), Param::noalias_ptr("y")],
+            vec![
+                Param::noalias_ptr("a"),
+                Param::noalias_ptr("x"),
+                Param::noalias_ptr("y"),
+            ],
             Type::Void,
         );
         let a = fb.func().param(0);

@@ -53,6 +53,7 @@ pub mod codegen;
 pub mod config;
 pub mod cost_eval;
 pub mod ctx;
+pub mod dot;
 pub mod graph;
 pub mod lookahead;
 pub mod pass;
@@ -64,9 +65,10 @@ pub use codegen::CodegenError;
 pub use config::{SlpConfig, SlpMode};
 pub use cost_eval::{evaluate, CostBreakdown};
 pub use ctx::BlockCtx;
+pub use dot::graph_to_dot;
 pub use graph::{
-    build_graph, build_reduction_graph, GatherKind, Node, NodeKind, ReductionInfo, SlpGraph,
-    SuperInfo,
+    build_graph, build_reduction_graph, GatherKind, GatherWhy, Node, NodeKind, ReductionInfo,
+    SlpGraph, SuperInfo,
 };
 pub use pass::{optimize_o3, run_slp, run_slp_module, FunctionReport, GraphStats};
 pub use seeds::{collect_reduction_seeds, collect_store_seeds, ReductionSeed, SeedGroup};

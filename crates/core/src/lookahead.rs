@@ -32,6 +32,7 @@ pub mod score {
 /// Scores packing `a` (lane *i*) with `b` (lane *i+1*), looking `depth`
 /// levels down the use-def chains.
 pub fn score_pair(f: &Function, a: InstId, b: InstId, depth: u32) -> i32 {
+    snslp_trace::bump(snslp_trace::Counter::LookaheadScoreEvals);
     if a == b {
         return score::SPLAT;
     }
@@ -56,10 +57,7 @@ pub fn score_pair(f: &Function, a: InstId, b: InstId, depth: u32) -> i32 {
             }
         }
         (InstKind::Const(_), InstKind::Const(_)) => score::CONSTANTS,
-        (
-            InstKind::Binary { op: opa, .. },
-            InstKind::Binary { op: opb, .. },
-        ) => {
+        (InstKind::Binary { op: opa, .. }, InstKind::Binary { op: opb, .. }) => {
             if f.ty(a) != f.ty(b) {
                 return score::FAIL;
             }

@@ -5,14 +5,50 @@
 use std::collections::HashSet;
 use std::time::{Duration, Instant};
 
+use snslp_ir::printer::{block_name, value_name};
 use snslp_ir::{opt, Function, Module};
+use snslp_trace::{Counter, MetricsSnapshot, ReasonCode, Remark, Stage, StageTimer};
 
 use crate::codegen;
 use crate::config::{SlpConfig, SlpMode};
 use crate::cost_eval;
 use crate::ctx::BlockCtx;
-use crate::graph::build_graph;
+use crate::dot::graph_to_dot;
+use crate::graph::{build_graph, GatherWhy, SlpGraph};
 use crate::seeds::collect_store_seeds;
+
+/// Stable lowercase pass code used in remarks and trace records.
+fn pass_code(mode: SlpMode) -> &'static str {
+    match mode {
+        SlpMode::Slp => "slp",
+        SlpMode::Lslp => "lslp",
+        SlpMode::SnSlp => "snslp",
+    }
+}
+
+/// Maps the dominant gather cause of a rejected graph to the remark
+/// reason code. Structural blockers get their own codes; benign gathers
+/// (constants, out-of-block leaves) mean the graph simply priced too
+/// high, which is a cost rejection.
+fn missed_reason(graph: &SlpGraph) -> (ReasonCode, String) {
+    match graph.dominant_gather_why() {
+        Some(why) => {
+            let reason = match why {
+                GatherWhy::Aliasing => ReasonCode::Aliasing,
+                GatherWhy::UnsupportedOpcode => ReasonCode::UnsupportedOpcode,
+                GatherWhy::NonConsecutiveLoads | GatherWhy::NonConsecutiveStores => {
+                    ReasonCode::NonConsecutive
+                }
+                _ => ReasonCode::Cost,
+            };
+            (
+                reason,
+                format!("gathers={} why={}", graph.num_gather_nodes(), why.code()),
+            )
+        }
+        None => (ReasonCode::Cost, String::new()),
+    }
+}
 
 /// Statistics for one SLP graph (one seed bundle attempt).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -48,6 +84,12 @@ pub struct FunctionReport {
     pub graphs: Vec<GraphStats>,
     /// Wall-clock time spent in the pass (the paper's Fig. 11 metric).
     pub elapsed: Duration,
+    /// One optimization remark per seed bundle considered (also streamed
+    /// to the trace sink when the `remarks` facet is on).
+    pub remarks: Vec<Remark>,
+    /// Metrics-registry delta attributed to this run: counters (seeds,
+    /// bundles, moves, gathers, ...) and per-stage wall time.
+    pub metrics: MetricsSnapshot,
 }
 
 impl FunctionReport {
@@ -93,6 +135,8 @@ impl FunctionReport {
     pub fn merge(&mut self, other: FunctionReport) {
         self.graphs.extend(other.graphs);
         self.elapsed += other.elapsed;
+        self.remarks.extend(other.remarks);
+        self.metrics.merge(&other.metrics);
     }
 }
 
@@ -124,6 +168,9 @@ impl std::fmt::Display for FunctionReport {
             }
             writeln!(f)?;
         }
+        for r in &self.remarks {
+            writeln!(f, "  remark: {}", r.human())?;
+        }
         Ok(())
     }
 }
@@ -132,6 +179,7 @@ impl std::fmt::Display for FunctionReport {
 /// configuration (all vectorizers disabled).
 pub fn optimize_o3(f: &mut Function) -> Duration {
     let start = Instant::now();
+    let _t = StageTimer::start(Stage::Cleanup);
     opt::cleanup_pipeline(f);
     start.elapsed()
 }
@@ -147,8 +195,14 @@ fn best_graph(
     cfg: &SlpConfig,
     seeds: &[snslp_ir::InstId],
 ) -> (crate::graph::SlpGraph, cost_eval::CostBreakdown) {
-    let graph = build_graph(f, ctx, cfg, seeds);
-    let cost = cost_eval::evaluate(f, ctx, &graph, &cfg.model);
+    let graph = {
+        let _t = StageTimer::start(Stage::GraphBuild);
+        build_graph(f, ctx, cfg, seeds)
+    };
+    let cost = {
+        let _t = StageTimer::start(Stage::CostEval);
+        cost_eval::evaluate(f, ctx, &graph, &cfg.model)
+    };
     let mut best = (graph, cost);
     if best.1.total < cfg.threshold {
         return best;
@@ -161,8 +215,14 @@ fn best_graph(
     for &mode in fallbacks {
         let mut sub = cfg.clone();
         sub.mode = mode;
-        let g = build_graph(f, ctx, &sub, seeds);
-        let c = cost_eval::evaluate(f, ctx, &g, &cfg.model);
+        let g = {
+            let _t = StageTimer::start(Stage::GraphBuild);
+            build_graph(f, ctx, &sub, seeds)
+        };
+        let c = {
+            let _t = StageTimer::start(Stage::CostEval);
+            cost_eval::evaluate(f, ctx, &g, &cfg.model)
+        };
         if c.total < best.1.total {
             best = (g, c);
             if best.1.total < cfg.threshold {
@@ -185,23 +245,44 @@ fn best_graph(
 /// is a bug in the vectorizer, not in user input.
 pub fn run_slp(f: &mut Function, cfg: &SlpConfig) -> FunctionReport {
     let start = Instant::now();
-    opt::cleanup_pipeline(f);
+    let metrics_before = MetricsSnapshot::current();
+    let span = snslp_trace::Span::enter("pass.run_slp");
+    span.note("fn", f.name());
+    span.note("mode", pass_code(cfg.mode));
+    {
+        let _t = StageTimer::start(Stage::Cleanup);
+        opt::cleanup_pipeline(f);
+    }
 
     let mut graphs = Vec::new();
+    let mut remarks: Vec<Remark> = Vec::new();
     let blocks: Vec<_> = f.block_ids().collect();
     for block in blocks {
+        let bname = block_name(f, block);
         let mut processed: HashSet<snslp_ir::InstId> = HashSet::new();
         loop {
             // Analyses are recomputed after every rewrite (paper Fig. 1
             // loops back to step 2 after each seed group).
             let ctx = BlockCtx::compute(f, block);
             let target = cfg.model.target().clone();
-            let groups =
-                collect_store_seeds(f, &ctx, |st| target.max_lanes(st), &processed);
+            let groups = {
+                let _t = StageTimer::start(Stage::Seeds);
+                collect_store_seeds(f, &ctx, |st| target.max_lanes(st), &processed)
+            };
             let Some(group) = groups.into_iter().next() else {
                 break;
             };
+            let site = value_name(f, group.stores[0]);
+            // Pre-reorder DOT: the graph vanilla SLP would build for this
+            // seed (no chain flattening, no Super-Node reordering).
+            if snslp_trace::enabled(snslp_trace::Facet::Dot) && cfg.mode != SlpMode::Slp {
+                let mut sub = cfg.clone();
+                sub.mode = SlpMode::Slp;
+                let pre = build_graph(f, &ctx, &sub, &group.stores);
+                dot_hook(f, &pre, "pre_reorder", f.name(), &bname, &site);
+            }
             let (mut graph, mut cost) = best_graph(f, &ctx, cfg, &group.stores);
+            dot_hook(f, &graph, "post_reorder", f.name(), &bname, &site);
             if cost.total >= cfg.threshold && group.width() > 2 {
                 // Retry at half width (like LLVM): a narrower bundle may
                 // be profitable where the wide one gathers too much. Mark
@@ -222,6 +303,7 @@ pub fn run_slp(f: &mut Function, cfg: &SlpConfig) -> FunctionReport {
                     processed.insert(s);
                 }
             }
+            dot_hook(f, &graph, "final", f.name(), &bname, &site);
             let mut stats = GraphStats {
                 width: graph.width,
                 cost: cost.total,
@@ -247,21 +329,50 @@ pub fn run_slp(f: &mut Function, cfg: &SlpConfig) -> FunctionReport {
                     })
                     .sum(),
             };
+            let mut sched_detail: Option<String> = None;
             if cost.total < cfg.threshold {
-                match codegen::apply(f, block, &graph) {
+                let result = {
+                    let _t = StageTimer::start(Stage::Codegen);
+                    codegen::apply(f, block, &graph)
+                };
+                match result {
                     Ok(()) => {
                         stats.vectorized = true;
+                        snslp_trace::bump(Counter::GraphsVectorized);
                         if cfg.verify_after {
                             if let Err(e) = snslp_ir::verify(f) {
                                 panic!("vectorizer broke the IR:\n{e}\n{f}");
                             }
                         }
                     }
-                    Err(_) => {
+                    Err(e) => {
                         // Scheduling failed; leave the scalar code alone.
+                        sched_detail = Some(format!("{e:?}"));
                     }
                 }
             }
+            let (reason, detail) = if stats.vectorized {
+                (ReasonCode::Profitable, String::new())
+            } else if let Some(d) = sched_detail {
+                (ReasonCode::SchedulingFailure, d)
+            } else {
+                missed_reason(&graph)
+            };
+            push_remark(
+                &mut remarks,
+                Remark {
+                    pass: pass_code(cfg.mode).to_string(),
+                    function: format!("@{}", f.name()),
+                    block: bname.clone(),
+                    site: site.clone(),
+                    seed_kind: "store".to_string(),
+                    width: graph.width as usize,
+                    vectorized: stats.vectorized,
+                    reason,
+                    cost: Some(i64::from(cost.total)),
+                    detail,
+                },
+            );
             graphs.push(stats);
         }
 
@@ -270,25 +381,51 @@ pub fn run_slp(f: &mut Function, cfg: &SlpConfig) -> FunctionReport {
             let mut processed_roots: HashSet<snslp_ir::InstId> = HashSet::new();
             loop {
                 let ctx = BlockCtx::compute(f, block);
-                let seeds = crate::seeds::collect_reduction_seeds(
-                    f,
-                    &ctx,
-                    cfg.min_reduction_leaves,
-                    &processed_roots,
-                );
+                let seeds = {
+                    let _t = StageTimer::start(Stage::Seeds);
+                    crate::seeds::collect_reduction_seeds(
+                        f,
+                        &ctx,
+                        cfg.min_reduction_leaves,
+                        &processed_roots,
+                    )
+                };
                 let Some(seed) = seeds.into_iter().next() else {
                     break;
                 };
                 processed_roots.insert(seed.root);
+                let site = value_name(f, seed.root);
                 let Some(elem) = f.ty(seed.root).as_scalar() else {
                     continue;
                 };
                 let width = cfg.model.target().max_lanes(elem);
                 if width < 2 || seed.leaves.len() < width as usize {
+                    push_remark(
+                        &mut remarks,
+                        Remark {
+                            pass: pass_code(cfg.mode).to_string(),
+                            function: format!("@{}", f.name()),
+                            block: bname.clone(),
+                            site,
+                            seed_kind: "reduction".to_string(),
+                            width: seed.leaves.len(),
+                            vectorized: false,
+                            reason: ReasonCode::TooNarrow,
+                            cost: None,
+                            detail: format!("leaves={} vf={width}", seed.leaves.len()),
+                        },
+                    );
                     continue;
                 }
-                let graph = crate::graph::build_reduction_graph(f, &ctx, cfg, &seed, width);
-                let cost = cost_eval::evaluate(f, &ctx, &graph, &cfg.model);
+                let graph = {
+                    let _t = StageTimer::start(Stage::GraphBuild);
+                    crate::graph::build_reduction_graph(f, &ctx, cfg, &seed, width)
+                };
+                let cost = {
+                    let _t = StageTimer::start(Stage::CostEval);
+                    cost_eval::evaluate(f, &ctx, &graph, &cfg.model)
+                };
+                dot_hook(f, &graph, "final", f.name(), &bname, &site);
                 let mut stats = GraphStats {
                     width,
                     cost: cost.total,
@@ -300,26 +437,99 @@ pub fn run_slp(f: &mut Function, cfg: &SlpConfig) -> FunctionReport {
                     leaf_moves: 0,
                     trunk_assisted_moves: 0,
                 };
-                if cost.total < cfg.threshold
-                    && codegen::apply(f, block, &graph).is_ok() {
-                        stats.vectorized = true;
-                        if cfg.verify_after {
-                            if let Err(e) = snslp_ir::verify(f) {
-                                panic!("vectorizer broke the IR (reduction):\n{e}\n{f}");
+                let mut sched_detail: Option<String> = None;
+                if cost.total < cfg.threshold {
+                    let result = {
+                        let _t = StageTimer::start(Stage::Codegen);
+                        codegen::apply(f, block, &graph)
+                    };
+                    match result {
+                        Ok(()) => {
+                            stats.vectorized = true;
+                            snslp_trace::bump(Counter::GraphsVectorized);
+                            if cfg.verify_after {
+                                if let Err(e) = snslp_ir::verify(f) {
+                                    panic!("vectorizer broke the IR (reduction):\n{e}\n{f}");
+                                }
                             }
                         }
+                        Err(e) => {
+                            sched_detail = Some(format!("{e:?}"));
+                        }
                     }
+                }
+                let (reason, detail) = if stats.vectorized {
+                    (ReasonCode::Profitable, String::new())
+                } else if let Some(d) = sched_detail {
+                    (ReasonCode::SchedulingFailure, d)
+                } else {
+                    missed_reason(&graph)
+                };
+                push_remark(
+                    &mut remarks,
+                    Remark {
+                        pass: pass_code(cfg.mode).to_string(),
+                        function: format!("@{}", f.name()),
+                        block: bname.clone(),
+                        site,
+                        seed_kind: "reduction".to_string(),
+                        width: width as usize,
+                        vectorized: stats.vectorized,
+                        reason,
+                        cost: Some(i64::from(cost.total)),
+                        detail,
+                    },
+                );
                 graphs.push(stats);
             }
         }
     }
 
+    let metrics = MetricsSnapshot::current().delta_since(&metrics_before);
+    metrics.emit(f.name());
+    drop(span);
     FunctionReport {
         function: f.name().to_string(),
         mode: cfg.mode,
         graphs,
         elapsed: start.elapsed(),
+        remarks,
+        metrics,
     }
+}
+
+/// Records a remark: counts it, streams it to the trace sink (when the
+/// `remarks` facet is on) and retains it on the report.
+fn push_remark(remarks: &mut Vec<Remark>, remark: Remark) {
+    snslp_trace::bump(Counter::RemarksEmitted);
+    remark.emit();
+    remarks.push(remark);
+}
+
+/// Dumps `graph` as a DOT artifact for one pipeline stage, when the `dot`
+/// facet is enabled.
+fn dot_hook(f: &Function, graph: &SlpGraph, stage: &str, fn_name: &str, block: &str, site: &str) {
+    if !snslp_trace::enabled(snslp_trace::Facet::Dot) {
+        return;
+    }
+    let title = format!("@{fn_name}/{block}/{site} {stage}");
+    let dot = graph_to_dot(f, graph, &title);
+    let file = format!(
+        "{}_{}_{}_{stage}.dot",
+        sanitize(fn_name),
+        sanitize(block),
+        sanitize(site),
+    );
+    snslp_trace::artifact(&format!("dot.{stage}"), &file, &dot);
+}
+
+/// Filesystem-safe version of an IR name (`%t12` → `t12`).
+fn sanitize(s: &str) -> String {
+    s.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect::<String>()
+        .trim_matches('_')
+        .to_string()
 }
 
 /// Runs the pass over every function of a module, returning one merged

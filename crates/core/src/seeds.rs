@@ -103,6 +103,11 @@ pub fn collect_store_seeds(
         }
         flush(&mut run, &mut groups);
     }
+    snslp_trace::add(snslp_trace::Counter::SeedsCollected, groups.len() as u64);
+    snslp_trace::trace_event!(
+        "seeds.stores",
+        "count" => groups.len(),
+    );
     groups
 }
 
@@ -174,6 +179,11 @@ pub fn collect_reduction_seeds(
             });
         }
     }
+    snslp_trace::add(snslp_trace::Counter::SeedsCollected, out.len() as u64);
+    snslp_trace::trace_event!(
+        "seeds.reductions",
+        "count" => out.len(),
+    );
     out
 }
 

@@ -223,8 +223,10 @@ pub fn plan_supernode_with(
             states[lane].consume(pos.class, leaf.apo);
             if leaf.apo == pos.apo {
                 leaf_moves += 1;
+                snslp_trace::bump(snslp_trace::Counter::LeafMoves);
             } else {
                 trunk_assisted += 1;
+                snslp_trace::bump(snslp_trace::Counter::TrunkAssistedMoves);
             }
             slot.push(SlotChoice {
                 value: leaf.value,
@@ -429,7 +431,10 @@ mod tests {
             .map(|&r| extract_chain(&f, &ctx, r, false, 32, &|_| false).unwrap())
             .collect();
         let plan = plan_supernode(&f, chains, 2);
-        assert_eq!(plan.trunk_assisted_moves, 0, "all-plus labels: no swaps needed");
+        assert_eq!(
+            plan.trunk_assisted_moves, 0,
+            "all-plus labels: no swaps needed"
+        );
         // y0 is grouped with y1 (consecutive), and x-loads pair up too.
         let has_y_slot = (0..3).any(|j| {
             let vals = plan.slot_values(j);
@@ -446,11 +451,10 @@ mod tests {
         let chains = chains_of(&f, &[r0, r1]);
         let plan = plan_supernode_with(&f, chains.clone(), 2, false);
         assert_eq!(plan.trunk_assisted_moves, 0);
-        for lane in 0..2 {
+        for (lane, chain) in chains.iter().enumerate() {
             for j in 0..plan.num_slots() {
                 assert_eq!(
-                    plan.slots[j][lane].sign,
-                    chains[lane].leaves[j].apo,
+                    plan.slots[j][lane].sign, chain.leaves[j].apo,
                     "lane {lane} slot {j}"
                 );
             }

@@ -5,7 +5,7 @@
 use snslp_core::{run_slp, SlpConfig, SlpMode};
 use snslp_cost::CostModel;
 use snslp_interp::{check_equivalent, ArgSpec};
-use snslp_ir::{CastKind, FunctionBuilder, Function, InstKind, Param, ScalarType, Type};
+use snslp_ir::{CastKind, Function, FunctionBuilder, InstKind, Param, ScalarType, Type};
 
 /// `out[i] = float(s[i]) * 0.5` over 4 unrolled f32 lanes.
 fn convert_scale() -> Function {

@@ -4,7 +4,7 @@
 use snslp_core::{run_slp, SlpConfig, SlpMode};
 use snslp_cost::CostModel;
 use snslp_interp::{check_equivalent, ArgSpec};
-use snslp_ir::{CmpPred, FunctionBuilder, Function, InstKind, Param, ScalarType, Type};
+use snslp_ir::{CmpPred, Function, FunctionBuilder, InstKind, Param, ScalarType, Type};
 
 /// `out[i] = max(a[i], b[i])` via cmp+select, two unrolled lanes.
 fn max_kernel() -> Function {

@@ -63,18 +63,18 @@ fn parse_inputs(spec: &str) -> Vec<ArgSpec> {
             if let Some((ty, rest)) = tok.split_once('[') {
                 let items = rest.trim_end_matches(']');
                 match ty {
-                    "i64" => ArgSpec::I64Array(
-                        items.split(',').map(|v| v.parse().unwrap()).collect(),
-                    ),
-                    "i32" => ArgSpec::I32Array(
-                        items.split(',').map(|v| v.parse().unwrap()).collect(),
-                    ),
-                    "f64" => ArgSpec::F64Array(
-                        items.split(',').map(|v| v.parse().unwrap()).collect(),
-                    ),
-                    "f32" => ArgSpec::F32Array(
-                        items.split(',').map(|v| v.parse().unwrap()).collect(),
-                    ),
+                    "i64" => {
+                        ArgSpec::I64Array(items.split(',').map(|v| v.parse().unwrap()).collect())
+                    }
+                    "i32" => {
+                        ArgSpec::I32Array(items.split(',').map(|v| v.parse().unwrap()).collect())
+                    }
+                    "f64" => {
+                        ArgSpec::F64Array(items.split(',').map(|v| v.parse().unwrap()).collect())
+                    }
+                    "f32" => {
+                        ArgSpec::F32Array(items.split(',').map(|v| v.parse().unwrap()).collect())
+                    }
                     other => panic!("unknown input array type `{other}`"),
                 }
             } else if let Some((ty, v)) = tok.split_once(':') {
@@ -129,8 +129,7 @@ fn run_fixture(path: &std::path::Path) {
     let text = std::fs::read_to_string(path).expect("fixture readable");
     let fx = parse_fixture(&text);
     let name = path.file_name().unwrap().to_string_lossy();
-    let orig = parse_function_str(&text)
-        .unwrap_or_else(|e| panic!("{name}: parse failed: {e}"));
+    let orig = parse_function_str(&text).unwrap_or_else(|e| panic!("{name}: parse failed: {e}"));
     snslp_ir::verify(&orig).unwrap_or_else(|e| panic!("{name}: invalid fixture IR: {e}"));
 
     for &mode in &fx.runs {

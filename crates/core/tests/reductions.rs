@@ -4,7 +4,7 @@
 use snslp_core::{run_slp, SlpConfig, SlpMode};
 use snslp_cost::{CostModel, TargetDesc};
 use snslp_interp::{check_equivalent, ArgSpec};
-use snslp_ir::{FunctionBuilder, Function, InstId, Param, ScalarType, Type};
+use snslp_ir::{Function, FunctionBuilder, InstId, Param, ScalarType, Type};
 
 /// `out[0] = Σ src[0..k]` as a straight-line left chain of adds.
 fn sum_chain(k: usize, fast_math: bool) -> Function {

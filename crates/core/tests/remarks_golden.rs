@@ -1,0 +1,129 @@
+//! Golden-file tests for the optimization-remark stream.
+//!
+//! Each `.snir` fixture is compiled under SN-SLP while the `remarks`
+//! trace facet is captured; the rendered record lines must match the
+//! checked-in golden file byte for byte. Regenerate after an intentional
+//! change with:
+//!
+//! ```text
+//! SNSLP_BLESS=1 cargo test -p snslp-core --test remarks_golden
+//! ```
+
+use std::path::PathBuf;
+
+use snslp_core::{run_slp, FunctionReport, SlpConfig, SlpMode};
+use snslp_ir::parse_function_str;
+use snslp_trace::{Counter, Facet};
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/snir")
+        .join(format!("{name}.snir"))
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.remarks"))
+}
+
+/// Runs SN-SLP over a fixture, capturing the remark stream, and checks it
+/// against the golden file. Returns the report for extra assertions.
+fn check_golden(name: &str) -> FunctionReport {
+    let src = std::fs::read_to_string(fixture_path(name)).expect("fixture exists");
+    let mut f = parse_function_str(&src).expect("fixture parses");
+    let mut report = None;
+    let lines = snslp_trace::capture(Facet::Remarks as u32, || {
+        report = Some(run_slp(&mut f, &SlpConfig::new(SlpMode::SnSlp)));
+    });
+    let report = report.unwrap();
+
+    // The emitted stream and the remarks retained on the report are the
+    // same records.
+    assert_eq!(
+        lines.len(),
+        report.remarks.len(),
+        "one sink record per report remark"
+    );
+    assert_eq!(
+        report.metrics.get(Counter::RemarksEmitted),
+        report.remarks.len() as u64,
+    );
+
+    let actual = lines.join("\n") + "\n";
+    let path = golden_path(name);
+    if std::env::var_os("SNSLP_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &actual).unwrap();
+        return report;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden file {path:?} ({e}); run with SNSLP_BLESS=1"));
+    assert_eq!(
+        actual, expected,
+        "remark stream for `{name}` diverged from {path:?}; \
+         rerun with SNSLP_BLESS=1 if intentional"
+    );
+    report
+}
+
+#[test]
+fn fig3_trunk_reorder_remarks() {
+    let report = check_golden("fig3_trunk_reorder");
+    let r = &report.remarks[0];
+    assert!(r.vectorized);
+    assert_eq!(r.reason, snslp_trace::ReasonCode::Profitable);
+    assert_eq!(r.cost, Some(-6));
+
+    // Metrics registry agrees with the per-graph stats: this fixture
+    // vectorizes on the first (SN-SLP) attempt, so the counters match the
+    // chosen graphs exactly — and both kinds of reordering moves fired.
+    let stat_leaf: usize = report.graphs.iter().map(|g| g.leaf_moves).sum();
+    let stat_trunk: usize = report.graphs.iter().map(|g| g.trunk_assisted_moves).sum();
+    assert!(stat_leaf > 0 && stat_trunk > 0, "{:?}", report.graphs);
+    assert_eq!(report.metrics.get(Counter::LeafMoves), stat_leaf as u64);
+    assert_eq!(
+        report.metrics.get(Counter::TrunkAssistedMoves),
+        stat_trunk as u64
+    );
+    assert_eq!(report.metrics.get(Counter::GraphsVectorized), 1);
+    assert!(report.metrics.get(Counter::SeedsCollected) >= 1);
+}
+
+#[test]
+fn muldiv_supernode_remarks() {
+    let report = check_golden("muldiv_supernode");
+    assert!(
+        report.remarks.iter().any(|r| r.vectorized),
+        "{:#?}",
+        report.remarks
+    );
+    assert_eq!(
+        report.metrics.get(Counter::GraphsVectorized),
+        report.vectorized_graphs() as u64
+    );
+}
+
+#[test]
+fn aliasing_blocks_vectorization_remarks() {
+    let report = check_golden("aliasing_blocks_vectorization");
+    let r = &report.remarks[0];
+    assert!(!r.vectorized);
+    assert_eq!(r.reason, snslp_trace::ReasonCode::Aliasing);
+    assert_eq!(report.metrics.get(Counter::GraphsVectorized), 0);
+}
+
+#[test]
+fn remarks_silent_when_facet_disabled() {
+    let src = std::fs::read_to_string(fixture_path("fig3_trunk_reorder")).unwrap();
+    let mut f = parse_function_str(&src).unwrap();
+    let mut report = None;
+    let lines = snslp_trace::capture(0, || {
+        report = Some(run_slp(&mut f, &SlpConfig::new(SlpMode::SnSlp)));
+    });
+    assert!(lines.is_empty(), "no facet, no records: {lines:?}");
+    // ... but the report still carries the remarks and metrics.
+    let report = report.unwrap();
+    assert!(!report.remarks.is_empty());
+    assert!(report.metrics.get(Counter::BundlesAttempted) > 0);
+}

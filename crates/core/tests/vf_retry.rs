@@ -5,7 +5,7 @@
 use snslp_core::{run_slp, SlpConfig, SlpMode};
 use snslp_cost::CostModel;
 use snslp_interp::{check_equivalent, ArgSpec};
-use snslp_ir::{FunctionBuilder, Function, Param, ScalarType, Type};
+use snslp_ir::{Function, FunctionBuilder, Param, ScalarType, Type};
 
 /// Four adjacent f32 stores where only the first two lanes are
 /// isomorphic: lanes 0/1 store `x + y`, lanes 2/3 store unrelated

@@ -104,10 +104,7 @@ impl CostModel {
     /// Whether a lane-wise op pattern maps onto the target's `addsub`
     /// instruction family (add/sub lanes only).
     fn lanewise_is_native(&self, ops: &[BinOp]) -> bool {
-        self.target.has_lanewise_altop()
-            && ops
-                .iter()
-                .all(|o| matches!(o, BinOp::Add | BinOp::Sub))
+        self.target.has_lanewise_altop() && ops.iter().all(|o| matches!(o, BinOp::Add | BinOp::Sub))
     }
 
     /// Compile-time cost of one instruction (scalar or vector).
@@ -349,11 +346,14 @@ mod tests {
         fb.ret(None);
         let f = fb.finish();
         assert_eq!(CostModel::new(TargetDesc::sse2_like()).exec_cost(&f, a), 1);
-        assert_eq!(CostModel::new(TargetDesc::no_altop_128()).exec_cost(&f, a), 3);
+        assert_eq!(
+            CostModel::new(TargetDesc::no_altop_128()).exec_cost(&f, a),
+            3
+        );
     }
 
     #[test]
-    fn cast_costs_are_modest(){
+    fn cast_costs_are_modest() {
         let mut fb = FunctionBuilder::new("t", vec![Param::noalias_ptr("p")], Type::Void);
         let p = fb.func().param(0);
         let x = fb.load(ScalarType::I32, p);

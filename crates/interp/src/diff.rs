@@ -150,9 +150,7 @@ pub fn outcomes_match(a: &RunOutcome, b: &RunOutcome) -> Result<(), String> {
         (Some(x), Some(y)) => {
             let ok = match (x, y) {
                 (Value::F64(p), Value::F64(q)) => f64_close(*p, *q, 1e-9),
-                (Value::F32(p), Value::F32(q)) => {
-                    f64_close(f64::from(*p), f64::from(*q), 1e-4)
-                }
+                (Value::F32(p), Value::F32(q)) => f64_close(f64::from(*p), f64::from(*q), 1e-4),
                 _ => x == y,
             };
             if !ok {
@@ -178,7 +176,9 @@ pub fn outcomes_match(a: &RunOutcome, b: &RunOutcome) -> Result<(), String> {
             (x, y) => x == y,
         };
         if !ok {
-            return Err(format!("array argument {i} differs:\n  a = {x:?}\n  b = {y:?}"));
+            return Err(format!(
+                "array argument {i} differs:\n  a = {x:?}\n  b = {y:?}"
+            ));
         }
     }
     Ok(())
@@ -197,8 +197,8 @@ pub fn check_equivalent(
     model: &CostModel,
 ) -> Result<(RunOutcome, RunOutcome), String> {
     let opts = ExecOptions::default();
-    let a = run_with_args(original, args, model, &opts)
-        .map_err(|e| format!("original failed: {e}"))?;
+    let a =
+        run_with_args(original, args, model, &opts).map_err(|e| format!("original failed: {e}"))?;
     let b = run_with_args(transformed, args, model, &opts)
         .map_err(|e| format!("transformed failed: {e}"))?;
     outcomes_match(&a, &b)?;

@@ -8,9 +8,7 @@ use snslp_cost::CostModel;
 use snslp_ir::{Function, InstId, InstKind, Type};
 
 use crate::memory::Memory;
-use crate::value::{
-    apply_binop, apply_binop_lanewise, apply_cast, apply_cmp, apply_unop, Value,
-};
+use crate::value::{apply_binop, apply_binop_lanewise, apply_cast, apply_cmp, apply_unop, Value};
 
 /// Errors raised during interpretation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -121,17 +119,11 @@ pub fn run(
         for &id in insts {
             match f.kind(id) {
                 InstKind::Phi { incoming } => {
-                    let pred = prev_block.ok_or_else(|| {
-                        ExecError::TypeMismatch("phi in entry block".into())
+                    let pred = prev_block
+                        .ok_or_else(|| ExecError::TypeMismatch("phi in entry block".into()))?;
+                    let (_, v) = incoming.iter().find(|(b, _)| *b == pred).ok_or_else(|| {
+                        ExecError::TypeMismatch(format!("phi {id} has no edge from {pred}"))
                     })?;
-                    let (_, v) = incoming
-                        .iter()
-                        .find(|(b, _)| *b == pred)
-                        .ok_or_else(|| {
-                            ExecError::TypeMismatch(format!(
-                                "phi {id} has no edge from {pred}"
-                            ))
-                        })?;
                     let val = values[v.index()]
                         .clone()
                         .ok_or(ExecError::UndefinedValue(*v))?;
@@ -180,9 +172,7 @@ pub fn run(
                         .ok_or_else(|| ExecError::TypeMismatch("cast to non-numeric".into()))?;
                     Some(apply_cast(*kind, to, &get(operand)?)?)
                 }
-                InstKind::Cmp { pred, lhs, rhs } => {
-                    Some(apply_cmp(*pred, &get(lhs)?, &get(rhs)?)?)
-                }
+                InstKind::Cmp { pred, lhs, rhs } => Some(apply_cmp(*pred, &get(lhs)?, &get(rhs)?)?),
                 InstKind::Select {
                     cond,
                     on_true,
@@ -432,14 +422,7 @@ mod tests {
         fb.jump(body);
         let f = fb.finish();
         let mut mem = Memory::new();
-        let e = run(
-            &f,
-            &[],
-            &mut mem,
-            &model(),
-            &ExecOptions { fuel: 1000 },
-        )
-        .unwrap_err();
+        let e = run(&f, &[], &mut mem, &model(), &ExecOptions { fuel: 1000 }).unwrap_err();
         assert_eq!(e, ExecError::FuelExhausted);
     }
 
@@ -502,7 +485,9 @@ mod tests {
         assert!(ExecError::OutOfBounds(0x40).to_string().contains("0x40"));
         assert!(ExecError::DivisionByZero.to_string().contains("division"));
         assert!(ExecError::FuelExhausted.to_string().contains("budget"));
-        assert!(ExecError::BadArguments("x".into()).to_string().contains("x"));
+        assert!(ExecError::BadArguments("x".into())
+            .to_string()
+            .contains("x"));
         assert!(ExecError::UndefinedValue(snslp_ir::InstId(3))
             .to_string()
             .contains("%3"));
@@ -525,7 +510,14 @@ mod tests {
         snslp_ir::verify(&f).unwrap();
         let mut mem = Memory::new();
         let base = mem.alloc_slice_i64(&[5, -7, 3, 12, 0, 0]);
-        run(&f, &[Value::Ptr(base)], &mut mem, &model(), &ExecOptions::default()).unwrap();
+        run(
+            &f,
+            &[Value::Ptr(base)],
+            &mut mem,
+            &model(),
+            &ExecOptions::default(),
+        )
+        .unwrap();
         assert_eq!(mem.read_slice_i64(base + 32, 2), vec![5, 12]);
     }
 
@@ -541,8 +533,14 @@ mod tests {
         let f = fb.finish();
         let mut mem = Memory::new();
         let base = mem.alloc_slice_i64(&[9]);
-        let e = run(&f, &[Value::Ptr(base)], &mut mem, &model(), &ExecOptions::default())
-            .unwrap_err();
+        let e = run(
+            &f,
+            &[Value::Ptr(base)],
+            &mut mem,
+            &model(),
+            &ExecOptions::default(),
+        )
+        .unwrap_err();
         assert_eq!(e, ExecError::DivisionByZero);
         // Memory untouched.
         assert_eq!(mem.read_slice_i64(base, 1), vec![9]);

@@ -39,7 +39,8 @@ impl Memory {
     pub fn alloc_slice_f64(&mut self, data: &[f64]) -> u64 {
         let base = self.alloc(8 * data.len() as u64);
         for (i, &v) in data.iter().enumerate() {
-            self.write_bytes(base + 8 * i as u64, &v.to_le_bytes()).unwrap();
+            self.write_bytes(base + 8 * i as u64, &v.to_le_bytes())
+                .unwrap();
         }
         base
     }
@@ -48,7 +49,8 @@ impl Memory {
     pub fn alloc_slice_f32(&mut self, data: &[f32]) -> u64 {
         let base = self.alloc(4 * data.len() as u64);
         for (i, &v) in data.iter().enumerate() {
-            self.write_bytes(base + 4 * i as u64, &v.to_le_bytes()).unwrap();
+            self.write_bytes(base + 4 * i as u64, &v.to_le_bytes())
+                .unwrap();
         }
         base
     }
@@ -57,7 +59,8 @@ impl Memory {
     pub fn alloc_slice_i32(&mut self, data: &[i32]) -> u64 {
         let base = self.alloc(4 * data.len() as u64);
         for (i, &v) in data.iter().enumerate() {
-            self.write_bytes(base + 4 * i as u64, &v.to_le_bytes()).unwrap();
+            self.write_bytes(base + 4 * i as u64, &v.to_le_bytes())
+                .unwrap();
         }
         base
     }
@@ -66,7 +69,8 @@ impl Memory {
     pub fn alloc_slice_i64(&mut self, data: &[i64]) -> u64 {
         let base = self.alloc(8 * data.len() as u64);
         for (i, &v) in data.iter().enumerate() {
-            self.write_bytes(base + 8 * i as u64, &v.to_le_bytes()).unwrap();
+            self.write_bytes(base + 8 * i as u64, &v.to_le_bytes())
+                .unwrap();
         }
         base
     }
@@ -182,9 +186,7 @@ impl Memory {
             Value::F32(x) => self.write_bytes(addr, &x.to_le_bytes()),
             Value::F64(x) => self.write_bytes(addr, &x.to_le_bytes()),
             Value::Ptr(x) => self.write_bytes(addr, &x.to_le_bytes()),
-            Value::Vector(_) => Err(ExecError::TypeMismatch(
-                "store_scalar on vector".into(),
-            )),
+            Value::Vector(_) => Err(ExecError::TypeMismatch("store_scalar on vector".into())),
         }
     }
 
@@ -228,7 +230,9 @@ impl Memory {
                         .unwrap_or(8)
                 };
                 let total: u64 = lanes.iter().map(lane_size).sum();
-                let end = addr.checked_add(total).ok_or(ExecError::OutOfBounds(addr))?;
+                let end = addr
+                    .checked_add(total)
+                    .ok_or(ExecError::OutOfBounds(addr))?;
                 if addr < ALIGN || end > self.bytes.len() as u64 {
                     return Err(ExecError::OutOfBounds(addr));
                 }
@@ -282,7 +286,12 @@ mod tests {
             m.load(Type::scalar(ScalarType::I32), base).unwrap(),
             Value::I32(-7)
         );
-        let v = Value::Vector(vec![Value::F32(1.0), Value::F32(2.0), Value::F32(3.0), Value::F32(4.0)]);
+        let v = Value::Vector(vec![
+            Value::F32(1.0),
+            Value::F32(2.0),
+            Value::F32(3.0),
+            Value::F32(4.0),
+        ]);
         m.store(&v, base + 16).unwrap();
         assert_eq!(
             m.load(Type::vector(ScalarType::F32, 4), base + 16).unwrap(),
@@ -300,9 +309,7 @@ mod tests {
         let mut m = Memory::new();
         let base = m.alloc(8);
         assert!(m.load(Type::scalar(ScalarType::F64), base).is_ok());
-        assert!(m
-            .load(Type::scalar(ScalarType::F64), m.size())
-            .is_err());
+        assert!(m.load(Type::scalar(ScalarType::F64), m.size()).is_err());
         // The null page is unmapped.
         assert!(m.load(Type::scalar(ScalarType::I32), 0).is_err());
         assert!(m.store(&Value::I32(0), 4).is_err());

@@ -103,8 +103,9 @@ impl fmt::Display for Value {
 /// Applies a binary op to two scalar values of the same type.
 pub fn apply_binop_scalar(op: BinOp, a: &Value, b: &Value) -> Result<Value, ExecError> {
     match (a, b) {
-        (Value::I32(x), Value::I32(y)) => int_binop(op, i64::from(*x), i64::from(*y))
-            .map(|v| Value::I32(v as i32)),
+        (Value::I32(x), Value::I32(y)) => {
+            int_binop(op, i64::from(*x), i64::from(*y)).map(|v| Value::I32(v as i32))
+        }
         (Value::I64(x), Value::I64(y)) => int_binop(op, *x, *y).map(Value::I64),
         (Value::F32(x), Value::F32(y)) => {
             float_binop(op, f64::from(*x), f64::from(*y)).map(|v| Value::F32(v as f32))
@@ -259,11 +260,7 @@ pub fn apply_cast(kind: CastKind, to: ScalarType, v: &Value) -> Result<Value, Ex
                 (CastKind::Fptrunc, Value::F64(x)) => Value::F32(*x as f32),
                 (CastKind::Sext, Value::I32(x)) => Value::I64(i64::from(*x)),
                 (CastKind::Trunc, Value::I64(x)) => Value::I32(*x as i32),
-                _ => {
-                    return Err(ExecError::TypeMismatch(format!(
-                        "cast {kind} on {v:?}"
-                    )))
-                }
+                _ => return Err(ExecError::TypeMismatch(format!("cast {kind} on {v:?}"))),
             })
         }
     }
@@ -304,11 +301,7 @@ pub fn apply_cmp(pred: CmpPred, a: &Value, b: &Value) -> Result<Value, ExecError
                 (Value::F32(x), Value::F32(y)) => x.partial_cmp(y),
                 (Value::F64(x), Value::F64(y)) => x.partial_cmp(y),
                 (Value::Ptr(x), Value::Ptr(y)) => x.partial_cmp(y),
-                _ => {
-                    return Err(ExecError::TypeMismatch(format!(
-                        "cmp on {a:?} / {b:?}"
-                    )))
-                }
+                _ => return Err(ExecError::TypeMismatch(format!("cmp on {a:?} / {b:?}"))),
             };
             let r = match (pred, ord) {
                 (CmpPred::Eq, Some(o)) => o == std::cmp::Ordering::Equal,
@@ -357,15 +350,9 @@ mod tests {
         let a = Value::Vector(vec![Value::F64(1.0), Value::F64(2.0)]);
         let b = Value::Vector(vec![Value::F64(10.0), Value::F64(20.0)]);
         let v = apply_binop(BinOp::Add, &a, &b).unwrap();
-        assert_eq!(
-            v,
-            Value::Vector(vec![Value::F64(11.0), Value::F64(22.0)])
-        );
+        assert_eq!(v, Value::Vector(vec![Value::F64(11.0), Value::F64(22.0)]));
         let v = apply_binop_lanewise(&[BinOp::Add, BinOp::Sub], &a, &b).unwrap();
-        assert_eq!(
-            v,
-            Value::Vector(vec![Value::F64(11.0), Value::F64(-18.0)])
-        );
+        assert_eq!(v, Value::Vector(vec![Value::F64(11.0), Value::F64(-18.0)]));
     }
 
     #[test]

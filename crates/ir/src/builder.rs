@@ -226,10 +226,7 @@ impl FunctionBuilder {
             .ty(value)
             .as_scalar()
             .expect("splat needs a scalar");
-        self.emit(
-            InstKind::Splat { value, lanes },
-            Type::vector(st, lanes),
-        )
+        self.emit(InstKind::Splat { value, lanes }, Type::vector(st, lanes))
     }
 
     /// Emits a build-vector from scalar elements.
@@ -273,7 +270,14 @@ impl FunctionBuilder {
     /// Emits an element insert.
     pub fn insert(&mut self, vector: InstId, value: InstId, lane: u8) -> InstId {
         let ty = self.func.ty(vector);
-        self.emit(InstKind::InsertElement { vector, value, lane }, ty)
+        self.emit(
+            InstKind::InsertElement {
+                vector,
+                value,
+                lane,
+            },
+            ty,
+        )
     }
 
     /// Emits a shuffle of `a` and `b` with the given mask.

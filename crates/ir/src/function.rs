@@ -264,7 +264,8 @@ impl Function {
     /// The block containing `id`, or `None` for parameters, detached
     /// instructions, and tombstones.
     pub fn block_of(&self, id: InstId) -> Option<BlockId> {
-        self.block_ids().find(|&b| self.blocks[b.index()].insts.contains(&id))
+        self.block_ids()
+            .find(|&b| self.blocks[b.index()].insts.contains(&id))
     }
 
     /// Map from instruction id to `(block, index-in-block)` for all linked

@@ -77,13 +77,7 @@ impl BinOp {
     pub fn is_commutative(self) -> bool {
         matches!(
             self,
-            BinOp::Add
-                | BinOp::Mul
-                | BinOp::Min
-                | BinOp::Max
-                | BinOp::And
-                | BinOp::Or
-                | BinOp::Xor
+            BinOp::Add | BinOp::Mul | BinOp::Min | BinOp::Max | BinOp::And | BinOp::Or | BinOp::Xor
         )
     }
 

@@ -74,7 +74,11 @@ mod tests {
     #[test]
     fn lookup_by_name() {
         let mut m = Module::new("m");
-        m.add_function(Function::new("a", vec![Param::noalias_ptr("p")], Type::Void));
+        m.add_function(Function::new(
+            "a",
+            vec![Param::noalias_ptr("p")],
+            Type::Void,
+        ));
         m.add_function(Function::new("b", vec![], Type::Void));
         assert!(m.function("a").is_some());
         assert!(m.function("b").is_some());

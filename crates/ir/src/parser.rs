@@ -104,7 +104,11 @@ fn lex(src: &str) -> Result<Lexer, ParseError> {
                         message: format!("dangling `{c}`"),
                     });
                 }
-                toks.push(if c == '%' { (Tok::Value(s), line) } else { (Tok::At(s), line) });
+                toks.push(if c == '%' {
+                    (Tok::Value(s), line)
+                } else {
+                    (Tok::At(s), line)
+                });
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let mut s = String::new();
@@ -900,7 +904,10 @@ mod tests {
              }",
         )
         .unwrap();
-        assert_eq!(f.ty(f.block(f.entry()).insts()[2]), Type::vector(ScalarType::F32, 4));
+        assert_eq!(
+            f.ty(f.block(f.entry()).insts()[2]),
+            Type::vector(ScalarType::F32, 4)
+        );
         let text = f.to_string();
         let f2 = parse_function_str(&text).unwrap();
         assert_eq!(f2.num_linked_insts(), f.num_linked_insts());

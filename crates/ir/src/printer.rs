@@ -58,6 +58,27 @@ pub(crate) fn value_names(f: &Function) -> Vec<String> {
     names
 }
 
+/// The display name of one value, matching the printed form: `%<name>`
+/// for parameters, `%t<id>` for instructions. Used by diagnostics
+/// (optimization remarks, DOT dumps) to refer to sites the same way the
+/// printed IR does.
+pub fn value_name(f: &Function, id: InstId) -> String {
+    if let Some(pos) = f.param_ids().iter().position(|&p| p == id) {
+        format!("%{}", f.params()[pos].name)
+    } else {
+        format!("%t{}", id.index())
+    }
+}
+
+/// The display name of one block, matching the printed form. Note: when
+/// two blocks share a raw name the printer deduplicates with `.N`
+/// suffixes; this helper applies the same rule.
+pub fn block_name(f: &Function, b: BlockId) -> String {
+    let names = block_names(f);
+    let idx = f.block_ids().position(|x| x == b).unwrap_or(0);
+    names[idx].clone()
+}
+
 struct Printer<'a> {
     f: &'a Function,
     vnames: Vec<String>,
@@ -102,14 +123,9 @@ impl Printer<'_> {
                     self.v(*rhs)
                 )
             }
-            InstKind::Unary { op, operand } => write!(
-                out,
-                "{} = {} {} {}",
-                self.v(id),
-                op,
-                ty,
-                self.v(*operand)
-            ),
+            InstKind::Unary { op, operand } => {
+                write!(out, "{} = {} {} {}", self.v(id), op, ty, self.v(*operand))
+            }
             InstKind::Cast { kind, operand } => write!(
                 out,
                 "{} = cast {} {} {}",
@@ -194,13 +210,7 @@ impl Printer<'_> {
                     .iter()
                     .map(|(b, v)| format!("{}: {}", self.b(*b), self.v(*v)))
                     .collect();
-                write!(
-                    out,
-                    "{} = phi {} [{}]",
-                    self.v(id),
-                    ty,
-                    edges.join(", ")
-                )
+                write!(out, "{} = phi {} [{}]", self.v(id), ty, edges.join(", "))
             }
             InstKind::Jump { target } => write!(out, "jmp {}", self.b(*target)),
             InstKind::Branch {

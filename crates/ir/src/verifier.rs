@@ -5,9 +5,9 @@ use std::error::Error;
 use std::fmt;
 
 use crate::function::Function;
-use crate::inst::{BlockId, InstId, InstKind, UnOp};
 #[cfg(test)]
 use crate::inst::BinOp;
+use crate::inst::{BlockId, InstId, InstKind, UnOp};
 use crate::types::Type;
 
 /// The list of violations found by [`verify`].
@@ -470,7 +470,9 @@ pub fn verify(f: &Function) -> Result<(), VerifyError> {
                     for &(pred, v) in incoming {
                         let end = f.block(pred).insts().len();
                         if !dominates(v, pred, end) {
-                            c.err(format!("{id}: phi operand {v} does not dominate edge from {pred}"));
+                            c.err(format!(
+                                "{id}: phi operand {v} does not dominate edge from {pred}"
+                            ));
                         }
                     }
                 } else {
@@ -605,7 +607,12 @@ mod tests {
             },
             Type::scalar(ScalarType::I64),
         );
-        f.define_slot(c, entry, InstKind::Const(Constant::I64(1)), Type::scalar(ScalarType::I64));
+        f.define_slot(
+            c,
+            entry,
+            InstKind::Const(Constant::I64(1)),
+            Type::scalar(ScalarType::I64),
+        );
         let _ = s;
         f.append_inst(entry, InstKind::Ret { value: None }, Type::Void);
         let err = verify(&f).unwrap_err();
@@ -696,7 +703,10 @@ mod tests {
         );
         let mask4 = f.append_inst(
             entry,
-            InstKind::Splat { value: ci, lanes: 4 },
+            InstKind::Splat {
+                value: ci,
+                lanes: 4,
+            },
             Type::vector(ScalarType::I32, 4),
         );
         f.append_inst(

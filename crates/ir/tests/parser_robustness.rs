@@ -1,5 +1,9 @@
 //! Parser robustness: arbitrary input must produce a clean `ParseError`,
 //! never a panic; and anything the printer emits must reparse.
+//!
+//! Compiled only with `--features proptest` (and `proptest = "1"` added to
+//! `[dev-dependencies]`) so the default workspace builds offline.
+#![cfg(feature = "proptest")]
 
 use proptest::prelude::*;
 use snslp_ir::{parse_module, FunctionBuilder, Param, ScalarType, Type};

@@ -9,7 +9,7 @@
 //! the largest kernel share, matching its ≈2% whole-benchmark speedup.
 
 use snslp_interp::ArgSpec;
-use snslp_ir::{CmpPred, FunctionBuilder, Function, Param, ScalarType, Type};
+use snslp_ir::{CmpPred, Function, FunctionBuilder, Param, ScalarType, Type};
 
 use crate::kernel::Kernel;
 use crate::registry::kernel_by_name;
@@ -212,8 +212,7 @@ mod tests {
         for f in [stream_copy(), stride_scale(), reduce_sum()] {
             for b in f.block_ids() {
                 let ctx = snslp_core::BlockCtx::compute(&f, b);
-                let seeds =
-                    snslp_core::collect_store_seeds(&f, &ctx, |_| 4, &HashSet::new());
+                let seeds = snslp_core::collect_store_seeds(&f, &ctx, |_| 4, &HashSet::new());
                 assert!(seeds.is_empty(), "{} has seeds in {b}", f.name());
             }
         }

@@ -4,7 +4,7 @@
 //! lanes.
 
 use snslp_interp::ArgSpec;
-use snslp_ir::{FunctionBuilder, Function, Param, ScalarType, Type};
+use snslp_ir::{Function, FunctionBuilder, Param, ScalarType, Type};
 
 use crate::kernel::Kernel;
 use crate::util::{elem_ptr, f64_inputs, f64_zeros, load_at};
@@ -108,8 +108,13 @@ mod tests {
         let f = k.build();
         snslp_ir::verify(&f).unwrap();
         let n = 6;
-        let out = run_with_args(&f, &k.args(n), &CostModel::default(), &ExecOptions::default())
-            .unwrap();
+        let out = run_with_args(
+            &f,
+            &k.args(n),
+            &CostModel::default(),
+            &ExecOptions::default(),
+        )
+        .unwrap();
         let (ArrayData::F64(got), ArrayData::F64(m), ArrayData::F64(v), ArrayData::F64(s)) = (
             &out.arrays[0],
             &out.arrays[1],

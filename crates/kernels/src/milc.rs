@@ -14,7 +14,7 @@
 //! vectorize.
 
 use snslp_interp::ArgSpec;
-use snslp_ir::{FunctionBuilder, Function, Param, ScalarType, Type};
+use snslp_ir::{Function, FunctionBuilder, Param, ScalarType, Type};
 
 use crate::kernel::Kernel;
 use crate::util::{f64_inputs, f64_zeros, load_at};
@@ -129,8 +129,7 @@ mod tests {
         snslp_ir::verify(&f).unwrap();
         let n = 5;
         let spec = k.args(n);
-        let out = run_with_args(&f, &spec, &CostModel::default(), &ExecOptions::default())
-            .unwrap();
+        let out = run_with_args(&f, &spec, &CostModel::default(), &ExecOptions::default()).unwrap();
         let (ArrayData::F64(got), ArrayData::F64(a), ArrayData::F64(b)) =
             (&out.arrays[0], &out.arrays[1], &out.arrays[2])
         else {

@@ -3,7 +3,7 @@
 //! the list of kernels for completeness" (§V).
 
 use snslp_interp::ArgSpec;
-use snslp_ir::{FunctionBuilder, Function, Param, ScalarType, Type};
+use snslp_ir::{Function, FunctionBuilder, Param, ScalarType, Type};
 
 use crate::kernel::Kernel;
 use crate::util::{i64_inputs, i64_zeros, load_at, store_at};
@@ -139,11 +139,19 @@ mod tests {
         let k = motiv_leaf();
         let f = k.build();
         let n = 3;
-        let out = run_with_args(&f, &k.args(n), &CostModel::default(), &ExecOptions::default())
-            .unwrap();
-        let (ArrayData::I64(a), ArrayData::I64(b), ArrayData::I64(c), ArrayData::I64(d)) =
-            (&out.arrays[0], &out.arrays[1], &out.arrays[2], &out.arrays[3])
-        else {
+        let out = run_with_args(
+            &f,
+            &k.args(n),
+            &CostModel::default(),
+            &ExecOptions::default(),
+        )
+        .unwrap();
+        let (ArrayData::I64(a), ArrayData::I64(b), ArrayData::I64(c), ArrayData::I64(d)) = (
+            &out.arrays[0],
+            &out.arrays[1],
+            &out.arrays[2],
+            &out.arrays[3],
+        ) else {
             panic!("wrong array types")
         };
         for i in 0..n {
@@ -159,11 +167,19 @@ mod tests {
         let k = motiv_trunk();
         let f = k.build();
         let n = 3;
-        let out = run_with_args(&f, &k.args(n), &CostModel::default(), &ExecOptions::default())
-            .unwrap();
-        let (ArrayData::I64(a), ArrayData::I64(b), ArrayData::I64(c), ArrayData::I64(d)) =
-            (&out.arrays[0], &out.arrays[1], &out.arrays[2], &out.arrays[3])
-        else {
+        let out = run_with_args(
+            &f,
+            &k.args(n),
+            &CostModel::default(),
+            &ExecOptions::default(),
+        )
+        .unwrap();
+        let (ArrayData::I64(a), ArrayData::I64(b), ArrayData::I64(c), ArrayData::I64(d)) = (
+            &out.arrays[0],
+            &out.arrays[1],
+            &out.arrays[2],
+            &out.arrays[3],
+        ) else {
             panic!("wrong array types")
         };
         for i in 0..n {

@@ -6,7 +6,7 @@
 //! inverse element is involved.
 
 use snslp_interp::ArgSpec;
-use snslp_ir::{FunctionBuilder, Function, Param, ScalarType, Type};
+use snslp_ir::{Function, FunctionBuilder, Param, ScalarType, Type};
 
 use crate::kernel::Kernel;
 use crate::util::{elem_ptr, f64_inputs, f64_zeros, load_at};
@@ -100,8 +100,13 @@ mod tests {
         let f = k.build();
         snslp_ir::verify(&f).unwrap();
         let n = 6;
-        let out = run_with_args(&f, &k.args(n), &CostModel::default(), &ExecOptions::default())
-            .unwrap();
+        let out = run_with_args(
+            &f,
+            &k.args(n),
+            &CostModel::default(),
+            &ExecOptions::default(),
+        )
+        .unwrap();
         let (ArrayData::F64(got), ArrayData::F64(ev), ArrayData::F64(ee), ArrayData::F64(es)) = (
             &out.arrays[0],
             &out.arrays[1],

@@ -5,7 +5,7 @@
 //! rather than a left-leaning spine.
 
 use snslp_interp::ArgSpec;
-use snslp_ir::{FunctionBuilder, Function, Param, ScalarType, Type};
+use snslp_ir::{Function, FunctionBuilder, Param, ScalarType, Type};
 
 use crate::kernel::Kernel;
 use crate::util::{elem_ptr, f32_inputs, f32_zeros, load_at};
@@ -121,8 +121,13 @@ mod tests {
         let f = k.build();
         snslp_ir::verify(&f).unwrap();
         let n = 5;
-        let out = run_with_args(&f, &k.args(n), &CostModel::default(), &ExecOptions::default())
-            .unwrap();
+        let out = run_with_args(
+            &f,
+            &k.args(n),
+            &CostModel::default(),
+            &ExecOptions::default(),
+        )
+        .unwrap();
         let (ArrayData::F32(got), ArrayData::F32(amb), ArrayData::F32(dif), ArrayData::F32(att)) = (
             &out.arrays[0],
             &out.arrays[1],

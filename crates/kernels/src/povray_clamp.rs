@@ -4,7 +4,7 @@
 //! composition of vector `cmp`/`select` bundles with the Super-Node.
 
 use snslp_interp::ArgSpec;
-use snslp_ir::{CmpPred, FunctionBuilder, Function, Param, ScalarType, Type};
+use snslp_ir::{CmpPred, Function, FunctionBuilder, Param, ScalarType, Type};
 
 use crate::kernel::Kernel;
 use crate::util::{elem_ptr, f32_inputs, f32_zeros, load_at};
@@ -118,8 +118,13 @@ mod tests {
         let f = k.build();
         snslp_ir::verify(&f).unwrap();
         let n = 6;
-        let out = run_with_args(&f, &k.args(n), &CostModel::default(), &ExecOptions::default())
-            .unwrap();
+        let out = run_with_args(
+            &f,
+            &k.args(n),
+            &CostModel::default(),
+            &ExecOptions::default(),
+        )
+        .unwrap();
         let (ArrayData::F32(got), ArrayData::F32(amb), ArrayData::F32(dif), ArrayData::F32(att)) = (
             &out.arrays[0],
             &out.arrays[1],

@@ -64,7 +64,11 @@ mod tests {
                 "{}: args/params mismatch",
                 k.name
             );
-            assert!(f.fast_math || k.elem == "i64", "{}: fp needs fast-math", k.name);
+            assert!(
+                f.fast_math || k.elem == "i64",
+                "{}: fp needs fast-math",
+                k.name
+            );
         }
     }
 

@@ -4,7 +4,7 @@
 //! and written), exercising the vectorizer's memory-dependence checks.
 
 use snslp_interp::ArgSpec;
-use snslp_ir::{FunctionBuilder, Function, Param, ScalarType, Type};
+use snslp_ir::{Function, FunctionBuilder, Param, ScalarType, Type};
 
 use crate::kernel::Kernel;
 use crate::util::{elem_ptr, f64_inputs, load_at};
@@ -111,8 +111,7 @@ mod tests {
         let ArgSpec::F64Array(x0) = spec[0].clone() else {
             panic!()
         };
-        let out = run_with_args(&f, &spec, &CostModel::default(), &ExecOptions::default())
-            .unwrap();
+        let out = run_with_args(&f, &spec, &CostModel::default(), &ExecOptions::default()).unwrap();
         let (ArrayData::F64(got), ArrayData::F64(p), ArrayData::F64(q)) =
             (&out.arrays[0], &out.arrays[1], &out.arrays[2])
         else {

@@ -4,7 +4,7 @@
 //! Exercises vector cast bundles feeding a Super-Node.
 
 use snslp_interp::ArgSpec;
-use snslp_ir::{CastKind, FunctionBuilder, Function, Param, ScalarType, Type};
+use snslp_ir::{CastKind, Function, FunctionBuilder, Param, ScalarType, Type};
 
 use crate::kernel::Kernel;
 use crate::util::{elem_ptr, f32_inputs, f32_zeros, load_at};
@@ -83,10 +83,8 @@ fn build() -> Function {
 fn args(iters: usize) -> Vec<ArgSpec> {
     let len = 4 * iters + 4;
     let samples: Vec<i32> = {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(0xCE);
-        (0..len).map(|_| rng.gen_range(-32768..32768)).collect()
+        let mut rng = crate::util::SplitMix64::new(0xCE);
+        (0..len).map(|_| rng.range_i32(-32768, 32768)).collect()
     };
     vec![
         f32_zeros(len),
@@ -125,20 +123,19 @@ mod tests {
         let f = k.build();
         snslp_ir::verify(&f).unwrap();
         let n = 5;
-        let out = run_with_args(&f, &k.args(n), &CostModel::default(), &ExecOptions::default())
-            .unwrap();
-        let (
-            ArrayData::F32(got),
-            ArrayData::I32(s),
-            ArrayData::F32(m),
-            ArrayData::F32(b),
-        ) = (
+        let out = run_with_args(
+            &f,
+            &k.args(n),
+            &CostModel::default(),
+            &ExecOptions::default(),
+        )
+        .unwrap();
+        let (ArrayData::F32(got), ArrayData::I32(s), ArrayData::F32(m), ArrayData::F32(b)) = (
             &out.arrays[0],
             &out.arrays[1],
             &out.arrays[2],
             &out.arrays[3],
-        )
-        else {
+        ) else {
             panic!("wrong array types")
         };
         let mut want = vec![0.0f32; got.len()];

@@ -5,7 +5,7 @@
 //! exercises the reduction-seed path rather than the Super-Node.
 
 use snslp_interp::ArgSpec;
-use snslp_ir::{FunctionBuilder, Function, InstId, Param, ScalarType, Type};
+use snslp_ir::{Function, FunctionBuilder, InstId, Param, ScalarType, Type};
 
 use crate::kernel::Kernel;
 use crate::util::{elem_ptr, f32_inputs, f32_zeros, load_at};
@@ -98,8 +98,13 @@ mod tests {
         let f = k.build();
         snslp_ir::verify(&f).unwrap();
         let n = 5;
-        let out = run_with_args(&f, &k.args(n), &CostModel::default(), &ExecOptions::default())
-            .unwrap();
+        let out = run_with_args(
+            &f,
+            &k.args(n),
+            &CostModel::default(),
+            &ExecOptions::default(),
+        )
+        .unwrap();
         let (ArrayData::F32(got), ArrayData::F32(x), ArrayData::F32(m)) =
             (&out.arrays[0], &out.arrays[1], &out.arrays[2])
         else {

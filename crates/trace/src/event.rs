@@ -1,0 +1,100 @@
+//! Point events and RAII spans.
+//!
+//! Use the [`trace_event!`](crate::trace_event) macro rather than calling
+//! [`emit_event`] directly: the macro checks the facet *before* evaluating
+//! any field expressions, so a disabled trace costs one relaxed atomic
+//! load and nothing else — no allocation, no formatting.
+
+use std::time::Instant;
+
+use crate::sink::{Record, RecordKind, Value};
+use crate::{enabled, Facet};
+
+/// Emit a point event. Prefer [`trace_event!`](crate::trace_event); this
+/// is the macro's runtime half and assumes the facet check already passed.
+pub fn emit_event(name: &str, fields: &[(&'static str, Value)]) {
+    let mut rec = Record::new(RecordKind::Event, name);
+    rec.fields.extend_from_slice(fields);
+    crate::emit_record(rec);
+}
+
+/// RAII span: records `span-begin` on creation and `span-end` (with
+/// `elapsed_us`) on drop. Inert — no allocation, no clock read — when the
+/// `events` facet is disabled at creation time.
+#[must_use = "a span records its end on drop"]
+pub struct Span {
+    /// `Some` only while the span is live *and* tracing was enabled at
+    /// entry; holds the name and entry timestamp.
+    live: Option<(String, Instant)>,
+}
+
+impl Span {
+    pub fn enter(name: &str) -> Span {
+        if !enabled(Facet::Events) {
+            return Span { live: None };
+        }
+        crate::emit_record(Record::new(RecordKind::SpanBegin, name));
+        Span {
+            live: Some((name.to_string(), Instant::now())),
+        }
+    }
+
+    /// Attach context to a live span as a point event (spans themselves
+    /// stay field-free so begin/end pairs are trivially matchable).
+    pub fn note(&self, key: &'static str, value: impl Into<Value>) {
+        if let Some((name, _)) = &self.live {
+            emit_event(name, &[(key, value.into())]);
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some((name, start)) = self.live.take() {
+            crate::emit_record(
+                Record::new(RecordKind::SpanEnd, name)
+                    .with("elapsed_us", start.elapsed().as_micros() as u64),
+            );
+        }
+    }
+}
+
+/// Emit a structured point event if the `events` facet is enabled.
+///
+/// ```ignore
+/// trace_event!("seeds.collect", "block" => block_name, "count" => seeds.len());
+/// ```
+///
+/// Field expressions are not evaluated when tracing is disabled.
+#[macro_export]
+macro_rules! trace_event {
+    ($name:expr $(, $key:literal => $val:expr)* $(,)?) => {
+        if $crate::enabled($crate::Facet::Events) {
+            $crate::emit_event(
+                $name,
+                &[$(($key, $crate::Value::from($val))),*],
+            );
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_is_inert_when_disabled() {
+        // Tests run with facets defaulted to off.
+        let span = Span::enter("test.span");
+        assert!(span.live.is_none());
+        span.note("k", 1u64);
+        drop(span);
+    }
+
+    #[test]
+    fn trace_event_skips_field_evaluation_when_disabled() {
+        let mut evaluated = false;
+        trace_event!("test.event", "v" => { evaluated = true; 1u64 });
+        assert!(!evaluated);
+    }
+}

@@ -1,0 +1,309 @@
+//! `snslp-trace`: structured pass tracing, optimization remarks and a
+//! metrics registry for the SN-SLP vectorization pipeline.
+//!
+//! The crate has three layers, all off by default and enabled per *facet*
+//! through the `SNSLP_TRACE` environment variable (or programmatically via
+//! [`set_facets`]):
+//!
+//! - **Events** ([`trace_event!`], [`Span`]): structured point events and
+//!   timed spans from inside the pipeline. Zero-cost when disabled — one
+//!   relaxed atomic load, no allocation, field expressions not evaluated.
+//! - **Remarks** ([`Remark`], [`ReasonCode`]): one machine-readable record
+//!   per seed bundle the vectorizer considered — vectorized or rejected,
+//!   with a stable reason code — in the spirit of LLVM's `-Rpass`.
+//! - **Metrics** ([`Counter`], [`Stage`], [`MetricsSnapshot`]): named
+//!   counters and stage wall timers. Collection is always on (thread-local
+//!   `Cell` increments); the facet gates emission only.
+//!
+//! A fourth facet, **Dot**, makes the pass dump SLP graphs as Graphviz
+//! DOT artifacts at fixed pipeline points (pre-reorder, post-reorder,
+//! final), either inline to the sink or as files under `dot=DIR`.
+//!
+//! # `SNSLP_TRACE` syntax
+//!
+//! Comma-separated facet list, e.g.:
+//!
+//! ```text
+//! SNSLP_TRACE=remarks            # remarks to stderr, text
+//! SNSLP_TRACE=events,metrics     # span/event stream plus counters
+//! SNSLP_TRACE=all,json           # everything, one JSON object per line
+//! SNSLP_TRACE=dot=/tmp/slpdot    # write DOT files under /tmp/slpdot
+//! ```
+//!
+//! `json` is a modifier, not a facet: it switches the sink to JSON lines.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Mutex;
+
+mod event;
+pub mod metrics;
+pub mod remark;
+pub mod sink;
+
+pub use event::{emit_event, Span};
+pub use metrics::{add, bump, Counter, MetricsSnapshot, Stage, StageTimer};
+pub use remark::{ReasonCode, Remark};
+pub use sink::{BufferSink, JsonSink, Record, RecordKind, Sink, TextSink, Value};
+
+/// A trace facet: an independently switchable slice of instrumentation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u32)]
+pub enum Facet {
+    /// Structured point events and spans.
+    Events = 1 << 0,
+    /// Per-seed-bundle optimization remarks.
+    Remarks = 1 << 1,
+    /// Metrics registry emission.
+    Metrics = 1 << 2,
+    /// Graphviz DOT dumps of SLP graphs.
+    Dot = 1 << 3,
+}
+
+const ALL_FACETS: u32 =
+    Facet::Events as u32 | Facet::Remarks as u32 | Facet::Metrics as u32 | Facet::Dot as u32;
+
+/// Enabled-facet bitmask. Zero (everything off) until [`init_from_env`]
+/// or [`set_facets`] runs, so library users who never opt in pay one
+/// relaxed load per instrumentation site and nothing more.
+static FACETS: AtomicU32 = AtomicU32::new(0);
+
+/// The global sink. `None` means "default text sink" (constructed lazily
+/// so the common disabled path never touches this mutex).
+static SINK: Mutex<Option<Box<dyn Sink>>> = Mutex::new(None);
+
+/// Directory for DOT artifacts (`SNSLP_TRACE=dot=DIR`). When unset, DOT
+/// content is emitted inline to the sink.
+static DOT_DIR: Mutex<Option<PathBuf>> = Mutex::new(None);
+
+/// Is this facet enabled? One relaxed atomic load; safe to call on the
+/// hottest paths.
+#[inline]
+pub fn enabled(facet: Facet) -> bool {
+    FACETS.load(Ordering::Relaxed) & facet as u32 != 0
+}
+
+/// Replace the enabled-facet set, returning the previous mask. The mask is
+/// a bitwise OR of [`Facet`] values.
+pub fn set_facets(mask: u32) -> u32 {
+    FACETS.swap(mask & ALL_FACETS, Ordering::Relaxed)
+}
+
+/// Current facet mask.
+pub fn facets() -> u32 {
+    FACETS.load(Ordering::Relaxed)
+}
+
+/// Install a sink, returning the previous one (`None` = default text).
+pub fn set_sink(sink: Option<Box<dyn Sink>>) -> Option<Box<dyn Sink>> {
+    std::mem::replace(&mut *SINK.lock().unwrap_or_else(|e| e.into_inner()), sink)
+}
+
+/// Directory DOT artifacts are written to, if configured.
+pub fn dot_dir() -> Option<PathBuf> {
+    DOT_DIR.lock().unwrap_or_else(|e| e.into_inner()).clone()
+}
+
+/// Set (or clear) the DOT artifact directory.
+pub fn set_dot_dir(dir: Option<PathBuf>) {
+    *DOT_DIR.lock().unwrap_or_else(|e| e.into_inner()) = dir;
+}
+
+/// Route a record to the global sink. Callers are expected to have
+/// checked the relevant facet already.
+pub fn emit_record(rec: Record) {
+    let mut slot = SINK.lock().unwrap_or_else(|e| e.into_inner());
+    match slot.as_mut() {
+        Some(sink) => sink.record(&rec),
+        None => TextSink.record(&rec),
+    }
+}
+
+/// Parsed form of an `SNSLP_TRACE` value.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TraceSpec {
+    pub facets: u32,
+    pub json: bool,
+    pub dot_dir: Option<PathBuf>,
+}
+
+/// Parse an `SNSLP_TRACE` value. Unknown tokens are errors so typos fail
+/// loudly instead of silently tracing nothing.
+pub fn parse_spec(spec: &str) -> Result<TraceSpec, String> {
+    let mut out = TraceSpec::default();
+    for token in spec.split(',') {
+        let token = token.trim();
+        if token.is_empty() {
+            continue;
+        }
+        match token {
+            "events" => out.facets |= Facet::Events as u32,
+            "remarks" => out.facets |= Facet::Remarks as u32,
+            "metrics" => out.facets |= Facet::Metrics as u32,
+            "dot" => out.facets |= Facet::Dot as u32,
+            "all" => out.facets |= ALL_FACETS,
+            "json" => out.json = true,
+            _ => {
+                if let Some(dir) = token.strip_prefix("dot=") {
+                    out.facets |= Facet::Dot as u32;
+                    out.dot_dir = Some(PathBuf::from(dir));
+                } else {
+                    return Err(format!(
+                        "unknown SNSLP_TRACE token `{token}` \
+                         (expected events, remarks, metrics, dot[=DIR], all, json)"
+                    ));
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Apply a parsed spec to the global configuration.
+pub fn apply_spec(spec: &TraceSpec) {
+    set_facets(spec.facets);
+    set_dot_dir(spec.dot_dir.clone());
+    set_sink(if spec.json {
+        Some(Box::new(JsonSink))
+    } else {
+        None
+    });
+}
+
+/// Configure tracing from the `SNSLP_TRACE` environment variable. Call
+/// once at binary startup; a missing variable leaves everything off.
+/// Returns an error (and leaves the configuration untouched) on a
+/// malformed value.
+pub fn init_from_env() -> Result<(), String> {
+    match std::env::var("SNSLP_TRACE") {
+        Ok(value) => {
+            let spec = parse_spec(&value)?;
+            apply_spec(&spec);
+            Ok(())
+        }
+        Err(_) => Ok(()),
+    }
+}
+
+/// Emit (or write) a named artifact — e.g. a DOT graph. If a `dot=DIR`
+/// directory is configured the content is written to `DIR/<filename>` and
+/// an `artifact` record notes the path; otherwise the content itself is
+/// carried on the record. Returns the path written, if any.
+pub fn artifact(name: &str, filename: &str, content: &str) -> Option<PathBuf> {
+    if !enabled(Facet::Dot) {
+        return None;
+    }
+    if let Some(dir) = dot_dir() {
+        let path = dir.join(filename);
+        let write = std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, content));
+        match write {
+            Ok(()) => {
+                emit_record(
+                    Record::new(RecordKind::Artifact, name)
+                        .with("path", path.display().to_string()),
+                );
+                return Some(path);
+            }
+            Err(err) => {
+                emit_record(Record::new(RecordKind::Artifact, name).with("error", err.to_string()));
+                return None;
+            }
+        }
+    }
+    emit_record(
+        Record::new(RecordKind::Artifact, name)
+            .with("filename", filename)
+            .with("content", content),
+    );
+    None
+}
+
+/// Serializes tests (and tools) that reconfigure the global facets/sink.
+static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+/// Test support: run `f` with the given facet mask and a buffer sink
+/// installed, then restore the previous configuration and return the
+/// rendered text lines emitted during `f`.
+///
+/// Takes a global lock so concurrent tests cannot interleave records.
+pub fn capture<F: FnOnce()>(facet_mask: u32, f: F) -> Vec<String> {
+    let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let buffer = BufferSink::new();
+    let lines = buffer.lines();
+    let prev_sink = set_sink(Some(Box::new(buffer)));
+    let prev_facets = set_facets(facet_mask);
+    f();
+    set_facets(prev_facets);
+    set_sink(prev_sink);
+    let mut out = lines.lock().unwrap_or_else(|e| e.into_inner());
+    std::mem::take(&mut *out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_spec_handles_facets_and_modifiers() {
+        let spec = parse_spec("events, remarks").unwrap();
+        assert_eq!(spec.facets, Facet::Events as u32 | Facet::Remarks as u32);
+        assert!(!spec.json);
+
+        let spec = parse_spec("all,json").unwrap();
+        assert_eq!(spec.facets, ALL_FACETS);
+        assert!(spec.json);
+
+        let spec = parse_spec("dot=/tmp/x").unwrap();
+        assert_eq!(spec.facets, Facet::Dot as u32);
+        assert_eq!(spec.dot_dir, Some(PathBuf::from("/tmp/x")));
+
+        assert!(parse_spec("remark").is_err());
+        assert!(parse_spec("").unwrap().facets == 0);
+    }
+
+    #[test]
+    fn capture_records_and_restores() {
+        let lines = capture(Facet::Events as u32, || {
+            crate::trace_event!("test.captured", "n" => 7u64);
+        });
+        assert_eq!(lines, vec!["[snslp] event test.captured n=7".to_string()]);
+        // Restored: facet off again, event macro is inert.
+        let lines = capture(0, || {
+            crate::trace_event!("test.not_captured");
+        });
+        assert!(lines.is_empty());
+    }
+
+    #[test]
+    fn capture_remark_stream() {
+        let remark = Remark {
+            pass: "snslp".to_string(),
+            function: "@f".to_string(),
+            block: "entry".to_string(),
+            site: "%t1".to_string(),
+            seed_kind: "store".to_string(),
+            width: 4,
+            vectorized: false,
+            reason: ReasonCode::Cost,
+            cost: Some(2),
+            detail: String::new(),
+        };
+        let lines = capture(Facet::Remarks as u32, || remark.emit());
+        assert_eq!(lines.len(), 1);
+        assert!(lines[0].contains("reason=cost"));
+        assert!(lines[0].contains("cost=2"));
+        // With the facet off, emit is a no-op.
+        let lines = capture(0, || remark.emit());
+        assert!(lines.is_empty());
+    }
+
+    #[test]
+    fn artifact_inline_when_no_dir() {
+        let lines = capture(Facet::Dot as u32, || {
+            artifact("dot.final", "g.dot", "digraph g {}");
+        });
+        assert_eq!(lines.len(), 1);
+        assert!(lines[0].contains("artifact dot.final"));
+        assert!(lines[0].contains("digraph g {}"));
+    }
+}

@@ -1,0 +1,318 @@
+//! Per-pass metrics registry: named counters and stage wall-clock timers.
+//!
+//! Counters are *always on*: they are plain thread-local `Cell<u64>`
+//! increments (one predictable add on the hot path, no allocation, no
+//! atomics), so the pipeline can unconditionally bump them and the pass
+//! driver snapshots them around each function. The `metrics` trace facet
+//! only gates *emission* to the sink, never collection.
+//!
+//! Thread-locality is deliberate: `cargo test` runs tests on many threads,
+//! and a process-global registry would make exact-value assertions flaky.
+//! A pass run is single-threaded, so a snapshot delta taken on the running
+//! thread is exact.
+
+use std::cell::Cell;
+use std::fmt;
+use std::time::Instant;
+
+use crate::sink::{Record, RecordKind};
+
+/// Named pipeline counters. Keep in sync with [`Counter::ALL`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Counter {
+    /// Store/reduction seed bundles collected.
+    SeedsCollected,
+    /// Bundles the graph builder attempted to vectorize.
+    BundlesAttempted,
+    /// Pairwise look-ahead score evaluations.
+    LookaheadScoreEvals,
+    /// Commutative leaf reorderings applied by Super-Node planning.
+    LeafMoves,
+    /// Trunk-assisted (inverse-element) moves applied by Super-Node planning.
+    TrunkAssistedMoves,
+    /// Gather nodes emitted into SLP graphs.
+    GathersEmitted,
+    /// Cost-model queries (per-node cost evaluations).
+    CostModelQueries,
+    /// SLP graphs actually vectorized by codegen.
+    GraphsVectorized,
+    /// Optimization remarks produced.
+    RemarksEmitted,
+}
+
+impl Counter {
+    pub const ALL: [Counter; 9] = [
+        Counter::SeedsCollected,
+        Counter::BundlesAttempted,
+        Counter::LookaheadScoreEvals,
+        Counter::LeafMoves,
+        Counter::TrunkAssistedMoves,
+        Counter::GathersEmitted,
+        Counter::CostModelQueries,
+        Counter::GraphsVectorized,
+        Counter::RemarksEmitted,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::SeedsCollected => "seeds_collected",
+            Counter::BundlesAttempted => "bundles_attempted",
+            Counter::LookaheadScoreEvals => "lookahead_score_evals",
+            Counter::LeafMoves => "leaf_moves",
+            Counter::TrunkAssistedMoves => "trunk_assisted_moves",
+            Counter::GathersEmitted => "gathers_emitted",
+            Counter::CostModelQueries => "cost_model_queries",
+            Counter::GraphsVectorized => "graphs_vectorized",
+            Counter::RemarksEmitted => "remarks_emitted",
+        }
+    }
+}
+
+/// Pipeline stages timed by [`StageTimer`]. Keep in sync with [`Stage::ALL`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// O3-style cleanup pipeline before SLP.
+    Cleanup,
+    /// Seed collection (stores + reductions).
+    Seeds,
+    /// SLP graph construction (including Super-Node planning).
+    GraphBuild,
+    /// Cost-model evaluation of built graphs.
+    CostEval,
+    /// Vector code emission and scheduling.
+    Codegen,
+}
+
+impl Stage {
+    pub const ALL: [Stage; 5] = [
+        Stage::Cleanup,
+        Stage::Seeds,
+        Stage::GraphBuild,
+        Stage::CostEval,
+        Stage::Codegen,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Cleanup => "cleanup",
+            Stage::Seeds => "seeds",
+            Stage::GraphBuild => "graph_build",
+            Stage::CostEval => "cost_eval",
+            Stage::Codegen => "codegen",
+        }
+    }
+}
+
+const NUM_COUNTERS: usize = Counter::ALL.len();
+const NUM_STAGES: usize = Stage::ALL.len();
+
+thread_local! {
+    static COUNTERS: [Cell<u64>; NUM_COUNTERS] =
+        const { [const { Cell::new(0) }; NUM_COUNTERS] };
+    static STAGE_NANOS: [Cell<u64>; NUM_STAGES] =
+        const { [const { Cell::new(0) }; NUM_STAGES] };
+}
+
+/// Increment a counter by one. Always on; see module docs.
+#[inline]
+pub fn bump(counter: Counter) {
+    add(counter, 1);
+}
+
+/// Increment a counter by `n`.
+#[inline]
+pub fn add(counter: Counter, n: u64) {
+    COUNTERS.with(|c| {
+        let cell = &c[counter as usize];
+        cell.set(cell.get().wrapping_add(n));
+    });
+}
+
+/// RAII wall-clock timer attributing elapsed time to a pipeline stage.
+#[must_use = "the timer records on drop"]
+pub struct StageTimer {
+    stage: Stage,
+    start: Instant,
+}
+
+impl StageTimer {
+    pub fn start(stage: Stage) -> Self {
+        StageTimer {
+            stage,
+            start: Instant::now(),
+        }
+    }
+}
+
+impl Drop for StageTimer {
+    fn drop(&mut self) {
+        let nanos = self.start.elapsed().as_nanos() as u64;
+        STAGE_NANOS.with(|s| {
+            let cell = &s[self.stage as usize];
+            cell.set(cell.get().wrapping_add(nanos));
+        });
+    }
+}
+
+/// Point-in-time copy of this thread's registry. Subtract two snapshots
+/// (via [`MetricsSnapshot::delta_since`]) to attribute work to one
+/// function or one pass invocation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    counters: [u64; NUM_COUNTERS],
+    stage_nanos: [u64; NUM_STAGES],
+}
+
+impl MetricsSnapshot {
+    /// Snapshot the calling thread's registry.
+    pub fn current() -> Self {
+        let counters = COUNTERS.with(|c| std::array::from_fn(|i| c[i].get()));
+        let stage_nanos = STAGE_NANOS.with(|s| std::array::from_fn(|i| s[i].get()));
+        MetricsSnapshot {
+            counters,
+            stage_nanos,
+        }
+    }
+
+    /// The work done between `earlier` and `self`.
+    pub fn delta_since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: std::array::from_fn(|i| self.counters[i].wrapping_sub(earlier.counters[i])),
+            stage_nanos: std::array::from_fn(|i| {
+                self.stage_nanos[i].wrapping_sub(earlier.stage_nanos[i])
+            }),
+        }
+    }
+
+    /// Accumulate another snapshot's deltas into this one.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for i in 0..NUM_COUNTERS {
+            self.counters[i] = self.counters[i].wrapping_add(other.counters[i]);
+        }
+        for i in 0..NUM_STAGES {
+            self.stage_nanos[i] = self.stage_nanos[i].wrapping_add(other.stage_nanos[i]);
+        }
+    }
+
+    pub fn get(&self, counter: Counter) -> u64 {
+        self.counters[counter as usize]
+    }
+
+    pub fn stage_nanos(&self, stage: Stage) -> u64 {
+        self.stage_nanos[stage as usize]
+    }
+
+    /// Deterministic machine rendering: counters only, stable order, no
+    /// timing (suitable for golden tests).
+    pub fn machine(&self) -> String {
+        let mut out = String::new();
+        for (i, counter) in Counter::ALL.iter().enumerate() {
+            if i > 0 {
+                out.push(' ');
+            }
+            out.push_str(counter.name());
+            out.push('=');
+            out.push_str(&self.get(*counter).to_string());
+        }
+        out
+    }
+
+    /// Emit one `metric` record per counter plus one per nonzero stage
+    /// timer, if the `metrics` facet is enabled.
+    pub fn emit(&self, scope: &str) {
+        if !crate::enabled(crate::Facet::Metrics) {
+            return;
+        }
+        for counter in Counter::ALL {
+            crate::emit_record(
+                Record::new(RecordKind::Metric, format!("metrics.{}", counter.name()))
+                    .with("scope", scope)
+                    .with("value", self.get(counter)),
+            );
+        }
+        for stage in Stage::ALL {
+            let nanos = self.stage_nanos(stage);
+            if nanos == 0 {
+                continue;
+            }
+            crate::emit_record(
+                Record::new(
+                    RecordKind::Metric,
+                    format!("metrics.stage.{}", stage.name()),
+                )
+                .with("scope", scope)
+                .with("micros", nanos / 1_000),
+            );
+        }
+    }
+}
+
+impl fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "metrics:")?;
+        for counter in Counter::ALL {
+            writeln!(f, "  {:<24} {}", counter.name(), self.get(counter))?;
+        }
+        for stage in Stage::ALL {
+            let nanos = self.stage_nanos(stage);
+            if nanos != 0 {
+                writeln!(
+                    f,
+                    "  stage.{:<18} {:.1}us",
+                    stage.name(),
+                    nanos as f64 / 1e3
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_and_delta() {
+        let before = MetricsSnapshot::current();
+        bump(Counter::LeafMoves);
+        add(Counter::GathersEmitted, 3);
+        let delta = MetricsSnapshot::current().delta_since(&before);
+        assert_eq!(delta.get(Counter::LeafMoves), 1);
+        assert_eq!(delta.get(Counter::GathersEmitted), 3);
+        assert_eq!(delta.get(Counter::SeedsCollected), 0);
+    }
+
+    #[test]
+    fn stage_timer_records_on_drop() {
+        let before = MetricsSnapshot::current();
+        {
+            let _t = StageTimer::start(Stage::Seeds);
+            std::hint::black_box(());
+        }
+        let delta = MetricsSnapshot::current().delta_since(&before);
+        // Elapsed time is nonzero on any real clock, but allow zero on
+        // coarse clocks; the key property is no panic and correct slot.
+        assert_eq!(delta.stage_nanos(Stage::Codegen), 0);
+    }
+
+    #[test]
+    fn machine_rendering_is_stable_order() {
+        let snap = MetricsSnapshot::default();
+        let text = snap.machine();
+        assert!(text.starts_with("seeds_collected=0"));
+        assert!(text.contains("leaf_moves=0"));
+        assert!(text.ends_with("remarks_emitted=0"));
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = MetricsSnapshot::default();
+        let before = MetricsSnapshot::current();
+        bump(Counter::SeedsCollected);
+        let d = MetricsSnapshot::current().delta_since(&before);
+        a.merge(&d);
+        a.merge(&d);
+        assert_eq!(a.get(Counter::SeedsCollected), 2);
+    }
+}

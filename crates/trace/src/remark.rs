@@ -1,0 +1,252 @@
+//! Optimization remarks, in the spirit of LLVM's `-Rpass=...` /
+//! `-Rpass-missed=...`: exactly one machine-readable record per seed
+//! bundle the vectorizer considered, saying whether it was vectorized and
+//! why not otherwise.
+//!
+//! Remarks are *returned* on the pass report (so tests can assert exact
+//! streams without global sink state) and additionally emitted to the
+//! trace sink when the `remarks` facet is enabled.
+
+use std::fmt;
+
+use crate::sink::{Record, RecordKind};
+
+/// Why a seed bundle was vectorized or rejected. `code()` strings are a
+/// stable machine interface — golden tests assert them verbatim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReasonCode {
+    /// Vectorized: the cost model reported a net win.
+    Profitable,
+    /// Rejected: the graph built but the cost model said it is not a win.
+    Cost,
+    /// Rejected: a lane contained an opcode the vectorizer cannot bundle.
+    UnsupportedOpcode,
+    /// Rejected: a may-aliasing memory access blocked a load/store bundle.
+    Aliasing,
+    /// Rejected: codegen could not schedule the vector graph (dependence
+    /// cycle between bundles).
+    SchedulingFailure,
+    /// Rejected: loads/stores in the bundle are not consecutive.
+    NonConsecutive,
+    /// Rejected: the seed was too narrow to form a vector (width < 2).
+    TooNarrow,
+}
+
+impl ReasonCode {
+    pub const ALL: [ReasonCode; 7] = [
+        ReasonCode::Profitable,
+        ReasonCode::Cost,
+        ReasonCode::UnsupportedOpcode,
+        ReasonCode::Aliasing,
+        ReasonCode::SchedulingFailure,
+        ReasonCode::NonConsecutive,
+        ReasonCode::TooNarrow,
+    ];
+
+    /// Stable kebab-case code used in machine remark lines.
+    pub fn code(self) -> &'static str {
+        match self {
+            ReasonCode::Profitable => "profitable",
+            ReasonCode::Cost => "cost",
+            ReasonCode::UnsupportedOpcode => "unsupported-opcode",
+            ReasonCode::Aliasing => "aliasing",
+            ReasonCode::SchedulingFailure => "scheduling-failure",
+            ReasonCode::NonConsecutive => "non-consecutive",
+            ReasonCode::TooNarrow => "too-narrow",
+        }
+    }
+
+    /// Human phrasing used by [`Remark::human`].
+    fn phrase(self) -> &'static str {
+        match self {
+            ReasonCode::Profitable => "vectorized",
+            ReasonCode::Cost => "not profitable",
+            ReasonCode::UnsupportedOpcode => "unsupported opcode in bundle",
+            ReasonCode::Aliasing => "blocked by may-aliasing access",
+            ReasonCode::SchedulingFailure => "vector schedule has a dependence cycle",
+            ReasonCode::NonConsecutive => "non-consecutive memory accesses",
+            ReasonCode::TooNarrow => "seed too narrow",
+        }
+    }
+}
+
+impl fmt::Display for ReasonCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// One remark: the outcome for one seed bundle in one function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Remark {
+    /// Pass label, e.g. `slp`, `lslp`, `snslp`.
+    pub pass: String,
+    /// Function name, `@`-prefixed.
+    pub function: String,
+    /// Basic-block label the seed lives in.
+    pub block: String,
+    /// Site of the seed: the printed name of the first seed value
+    /// (e.g. `%t12`), or a reduction root.
+    pub site: String,
+    /// Kind of seed: `store` or `reduction`.
+    pub seed_kind: String,
+    /// Lanes in the seed bundle.
+    pub width: usize,
+    /// Whether the bundle was vectorized.
+    pub vectorized: bool,
+    pub reason: ReasonCode,
+    /// Saved cycles as reported by the cost model (negative = profit),
+    /// when a graph was built; `None` when the seed never produced a
+    /// costable graph.
+    pub cost: Option<i64>,
+    /// Free-form extra context, e.g. `gathers=2` or the rejecting opcode.
+    pub detail: String,
+}
+
+impl Remark {
+    /// The stable machine rendering asserted by golden tests:
+    /// one line, fixed field order, no timing.
+    pub fn machine(&self) -> String {
+        let mut out = format!(
+            "remark pass={} fn={} block={} site={} seed={} width={} action={} reason={}",
+            self.pass,
+            self.function,
+            self.block,
+            self.site,
+            self.seed_kind,
+            self.width,
+            if self.vectorized {
+                "vectorized"
+            } else {
+                "missed"
+            },
+            self.reason.code(),
+        );
+        if let Some(cost) = self.cost {
+            out.push_str(&format!(" cost={cost}"));
+        }
+        if !self.detail.is_empty() {
+            out.push_str(&format!(" detail={}", self.detail));
+        }
+        out
+    }
+
+    /// A prose rendering for humans, in the spirit of clang's
+    /// `-Rpass` console output.
+    pub fn human(&self) -> String {
+        let mut out = format!(
+            "{}/{}: {} seed at {} (width {}): {}",
+            self.function,
+            self.block,
+            self.seed_kind,
+            self.site,
+            self.width,
+            self.reason.phrase(),
+        );
+        if self.vectorized {
+            out.push_str(&format!(" by {}", self.pass));
+        }
+        if let Some(cost) = self.cost {
+            out.push_str(&format!(" (cost {cost})"));
+        }
+        if !self.detail.is_empty() {
+            out.push_str(&format!(" [{}]", self.detail));
+        }
+        out
+    }
+
+    /// Emit to the global sink if the `remarks` facet is enabled.
+    pub fn emit(&self) {
+        if !crate::enabled(crate::Facet::Remarks) {
+            return;
+        }
+        let mut rec = Record::new(RecordKind::Remark, "slp.remark")
+            .with("pass", self.pass.as_str())
+            .with("fn", self.function.as_str())
+            .with("block", self.block.as_str())
+            .with("site", self.site.as_str())
+            .with("seed", self.seed_kind.as_str())
+            .with("width", self.width)
+            .with(
+                "action",
+                if self.vectorized {
+                    "vectorized"
+                } else {
+                    "missed"
+                },
+            )
+            .with("reason", self.reason.code());
+        if let Some(cost) = self.cost {
+            rec = rec.with("cost", cost);
+        }
+        if !self.detail.is_empty() {
+            rec = rec.with("detail", self.detail.as_str());
+        }
+        crate::emit_record(rec);
+    }
+}
+
+impl fmt::Display for Remark {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.human())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Remark {
+        Remark {
+            pass: "snslp".to_string(),
+            function: "@fig3".to_string(),
+            block: "entry".to_string(),
+            site: "%t9".to_string(),
+            seed_kind: "store".to_string(),
+            width: 2,
+            vectorized: true,
+            reason: ReasonCode::Profitable,
+            cost: Some(-6),
+            detail: String::new(),
+        }
+    }
+
+    #[test]
+    fn machine_format_is_stable() {
+        assert_eq!(
+            sample().machine(),
+            "remark pass=snslp fn=@fig3 block=entry site=%t9 seed=store \
+             width=2 action=vectorized reason=profitable cost=-6"
+        );
+    }
+
+    #[test]
+    fn human_format_mentions_outcome() {
+        let text = sample().human();
+        assert!(text.contains("@fig3/entry"));
+        assert!(text.contains("vectorized by snslp"));
+        assert!(text.contains("(cost -6)"));
+    }
+
+    #[test]
+    fn missed_remark_carries_reason_code() {
+        let mut r = sample();
+        r.vectorized = false;
+        r.reason = ReasonCode::Aliasing;
+        r.cost = None;
+        r.detail = "store %t4 may alias".to_string();
+        let line = r.machine();
+        assert!(line.contains("action=missed"));
+        assert!(line.contains("reason=aliasing"));
+        assert!(line.contains("detail=store %t4 may alias"));
+        assert!(!line.contains("cost="));
+    }
+
+    #[test]
+    fn reason_codes_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for code in ReasonCode::ALL {
+            assert!(seen.insert(code.code()), "duplicate code {}", code.code());
+        }
+    }
+}

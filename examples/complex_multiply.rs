@@ -11,7 +11,10 @@ use snslp::kernels::kernel_by_name;
 
 fn main() {
     let kernel = kernel_by_name("milc_su3").expect("registered kernel");
-    println!("kernel: {} ({} — {})", kernel.name, kernel.origin, kernel.shape);
+    println!(
+        "kernel: {} ({} — {})",
+        kernel.name, kernel.origin, kernel.shape
+    );
 
     let iters = 2048usize;
     let args = kernel.args(iters);
@@ -19,7 +22,12 @@ fn main() {
     let opts = ExecOptions::default();
 
     let mut baseline_cycles = 0u64;
-    for mode in [None, Some(SlpMode::Slp), Some(SlpMode::Lslp), Some(SlpMode::SnSlp)] {
+    for mode in [
+        None,
+        Some(SlpMode::Slp),
+        Some(SlpMode::Lslp),
+        Some(SlpMode::SnSlp),
+    ] {
         let mut f = kernel.build();
         let label = match mode {
             None => "O3",

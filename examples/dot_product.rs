@@ -7,7 +7,7 @@
 use snslp::core::{run_slp, SlpConfig, SlpMode};
 use snslp::cost::{CostModel, TargetDesc};
 use snslp::interp::{run_with_args, ArgSpec, ExecOptions};
-use snslp::ir::{FunctionBuilder, Function, Param, ScalarType, Type};
+use snslp::ir::{Function, FunctionBuilder, Param, ScalarType, Type};
 
 const TERMS: usize = 8;
 

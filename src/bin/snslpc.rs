@@ -12,6 +12,10 @@
 //!   --no-reductions            disable horizontal-reduction seeds
 //!   --verify                   verify the IR after every rewrite
 //! ```
+//!
+//! Tracing: set `SNSLP_TRACE=events,remarks,metrics,dot[=DIR][,json]`
+//! (or `all`) to stream structured records from the pass to stderr —
+//! see the `snslp_trace` crate docs.
 
 use std::io::Read;
 use std::process::ExitCode;
@@ -88,6 +92,10 @@ fn parse_args() -> Result<Options, ExitCode> {
 }
 
 fn main() -> ExitCode {
+    if let Err(e) = snslp::trace::init_from_env() {
+        eprintln!("snslpc: {e}");
+        return ExitCode::from(2);
+    }
     let opts = match parse_args() {
         Ok(o) => o,
         Err(code) => return code,
@@ -133,8 +141,7 @@ fn main() -> ExitCode {
                 }
             }
             Some(mode) => {
-                let mut cfg = SlpConfig::new(mode)
-                    .with_model(CostModel::new(opts.target.clone()));
+                let mut cfg = SlpConfig::new(mode).with_model(CostModel::new(opts.target.clone()));
                 cfg.enable_reductions = opts.reductions;
                 cfg.verify_after = opts.verify;
                 let report = run_slp(f, &cfg);

@@ -11,7 +11,8 @@
 //! * [`cost`] — target descriptions and the cost model (`snslp-cost`);
 //! * [`interp`] — the reference interpreter (`snslp-interp`);
 //! * [`core`] — the vectorizer passes (`snslp-core`);
-//! * [`kernels`] — the Table I kernel suite (`snslp-kernels`).
+//! * [`kernels`] — the Table I kernel suite (`snslp-kernels`);
+//! * [`trace`] — structured tracing, remarks and metrics (`snslp-trace`).
 //!
 //! # Examples
 //!
@@ -32,3 +33,4 @@ pub use snslp_cost as cost;
 pub use snslp_interp as interp;
 pub use snslp_ir as ir;
 pub use snslp_kernels as kernels;
+pub use snslp_trace as trace;

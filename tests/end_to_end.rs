@@ -75,8 +75,7 @@ fn avx2_target_vectorizes_f64_kernels_at_width_four() {
             .with_model(model.clone())
             .with_verification();
         run_slp(&mut f, &cfg);
-        check_equivalent(&orig, &f, &k.args(16), &model)
-            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        check_equivalent(&orig, &f, &k.args(16), &model).unwrap_or_else(|e| panic!("{name}: {e}"));
     }
 }
 
@@ -118,8 +117,10 @@ fn whole_module_compilation() {
     for k in registry() {
         module.add_function(k.build());
     }
-    let reports =
-        snslp::core::run_slp_module(&mut module, &SlpConfig::new(SlpMode::SnSlp).with_verification());
+    let reports = snslp::core::run_slp_module(
+        &mut module,
+        &SlpConfig::new(SlpMode::SnSlp).with_verification(),
+    );
     assert_eq!(reports.len(), registry().len());
     assert!(reports.iter().all(|r| r.vectorized_graphs() > 0));
 }

@@ -2,13 +2,17 @@
 //! the reciprocal inverse element of §III-A) and for 4-lane `f32`
 //! kernels: random association shapes and sign (exponent) patterns must
 //! survive vectorization within floating-point reassociation tolerance.
+//!
+//! Compiled only with `--features proptest` (and `proptest = "1"` added to
+//! `[dev-dependencies]`) so the default workspace builds offline.
+#![cfg(feature = "proptest")]
 
 use proptest::prelude::*;
 
 use snslp::core::{run_slp, SlpConfig, SlpMode};
 use snslp::cost::CostModel;
 use snslp::interp::{check_equivalent, ArgSpec};
-use snslp::ir::{FunctionBuilder, Function, InstId, Param, ScalarType, Type};
+use snslp::ir::{Function, FunctionBuilder, InstId, Param, ScalarType, Type};
 
 const ARRAY_LEN: usize = 8;
 const LANES: usize = 4;

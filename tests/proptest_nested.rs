@@ -3,13 +3,17 @@
 //! stresses nested Super-Node formation (an additive Super-Node whose
 //! slot bundles contain multiplicative Super-Nodes) and the interaction
 //! of chain claiming across families.
+//!
+//! Compiled only with `--features proptest` (and `proptest = "1"` added to
+//! `[dev-dependencies]`) so the default workspace builds offline.
+#![cfg(feature = "proptest")]
 
 use proptest::prelude::*;
 
 use snslp::core::{run_slp, SlpConfig, SlpMode};
 use snslp::cost::CostModel;
 use snslp::interp::{check_equivalent, ArgSpec};
-use snslp::ir::{FunctionBuilder, Function, InstId, Param, ScalarType, Type};
+use snslp::ir::{Function, FunctionBuilder, InstId, Param, ScalarType, Type};
 
 const ARRAY_LEN: usize = 8;
 

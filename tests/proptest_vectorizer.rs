@@ -6,13 +6,17 @@
 //! This is the mechanized version of the paper's legality argument
 //! (§IV-C): APO-respecting leaf and trunk reordering never changes the
 //! computed value.
+//!
+//! Compiled only with `--features proptest` (and `proptest = "1"` added to
+//! `[dev-dependencies]`) so the default workspace builds offline.
+#![cfg(feature = "proptest")]
 
 use proptest::prelude::*;
 
 use snslp::core::{run_slp, SlpConfig, SlpMode};
 use snslp::cost::CostModel;
 use snslp::interp::{check_equivalent, ArgSpec};
-use snslp::ir::{FunctionBuilder, Function, InstId, Param, ScalarType, Type};
+use snslp::ir::{Function, FunctionBuilder, InstId, Param, ScalarType, Type};
 
 const ARRAY_LEN: usize = 8;
 
@@ -110,8 +114,7 @@ fn args_from(data: &[Vec<i64>; 3]) -> Vec<ArgSpec> {
 
 fn input_strategy() -> impl Strategy<Value = [Vec<i64>; 3]> {
     let arr = proptest::collection::vec(-1_000_000i64..1_000_000, ARRAY_LEN);
-    [arr.clone(), arr.clone(), arr]
-        .prop_map(|[a, b, c]| [a, b, c])
+    [arr.clone(), arr.clone(), arr].prop_map(|[a, b, c]| [a, b, c])
 }
 
 proptest! {
