@@ -59,7 +59,10 @@ pub fn collect_store_seeds(
 
     let mut groups = Vec::new();
     let mut keys: Vec<(InstId, ScalarType)> = buckets.keys().copied().collect();
-    keys.sort_by_key(|(root, elem)| (root.0, elem.size_bytes()));
+    // Full deterministic order: size alone ties I32/F32 and I64/F64 under
+    // the same root, which would leak HashMap iteration order into the
+    // seed order (and hence remarks, DOT dumps and fuzz runs).
+    keys.sort_by_key(|(root, elem)| (root.0, elem.size_bytes(), *elem as u8));
     for key in keys {
         let mut stores = buckets.remove(&key).expect("key from map");
         let (_, elem) = key;
@@ -284,6 +287,36 @@ mod tests {
         processed.insert(stores[0]);
         let groups = collect_store_seeds(&f, &ctx, |_| 2, &processed);
         assert!(groups.is_empty(), "a lone store cannot seed");
+    }
+
+    #[test]
+    fn same_size_elem_types_order_deterministically() {
+        // I32 and F32 stores share the root and have equal element size;
+        // the bucket sort must not fall back to HashMap iteration order.
+        // Rebuild everything each iteration so each HashMap gets a fresh
+        // random hash state.
+        let build = || {
+            let mut fb = FunctionBuilder::new("t", vec![Param::noalias_ptr("a")], Type::Void);
+            let a = fb.func().param(0);
+            let xf = fb.load(ScalarType::F32, a);
+            let xi = fb.load(ScalarType::I32, a);
+            for k in 0..2 {
+                let p = fb.ptradd_const(a, 4 * k + 64);
+                fb.store(p, xf);
+            }
+            for k in 0..2 {
+                let p = fb.ptradd_const(a, 4 * k + 128);
+                fb.store(p, xi);
+            }
+            fb.ret(None);
+            fb.finish()
+        };
+        for _ in 0..32 {
+            let f = build();
+            let groups = seeds_of(&f, 4);
+            let elems: Vec<ScalarType> = groups.iter().map(|g| g.elem).collect();
+            assert_eq!(elems, vec![ScalarType::I32, ScalarType::F32]);
+        }
     }
 
     /// out[0] = sum of src[0..k] as a left chain of adds.

@@ -163,14 +163,22 @@ fn run_fixture(path: &std::path::Path) {
     }
 }
 
+fn collect_snir(dir: &std::path::Path, out: &mut Vec<PathBuf>) {
+    for entry in std::fs::read_dir(dir).unwrap_or_else(|e| panic!("{dir:?}: {e}")) {
+        let path = entry.unwrap().path();
+        if path.is_dir() {
+            collect_snir(&path, out);
+        } else if path.extension().map(|e| e == "snir").unwrap_or(false) {
+            out.push(path);
+        }
+    }
+}
+
 #[test]
 fn all_snir_fixtures() {
     let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/snir");
-    let mut paths: Vec<PathBuf> = std::fs::read_dir(&dir)
-        .expect("tests/snir exists")
-        .map(|e| e.unwrap().path())
-        .filter(|p| p.extension().map(|e| e == "snir").unwrap_or(false))
-        .collect();
+    let mut paths = Vec::new();
+    collect_snir(&dir, &mut paths);
     paths.sort();
     assert!(!paths.is_empty(), "no fixtures found in {dir:?}");
     for p in paths {

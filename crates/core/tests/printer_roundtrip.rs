@@ -1,0 +1,51 @@
+//! Printer ↔ parser round-trip over every checked-in `.snir` fixture.
+//!
+//! Each fixture is parsed, printed, and re-parsed; the printed normal
+//! form must be a fixpoint (printing the re-parse reproduces it exactly)
+//! and must still verify. The *first* print of a freshly parsed function
+//! is the normal form by construction — the parser numbers values
+//! densely in textual order — so one parse⇄print cycle must already be
+//! stable. This guards both directions: a printer that emits something
+//! the parser rejects, and a parser that loses information the printer
+//! would surface.
+
+use std::path::PathBuf;
+
+use snslp_ir::{parse_function_str, verify};
+
+fn collect_snir(dir: &std::path::Path, out: &mut Vec<PathBuf>) {
+    for entry in std::fs::read_dir(dir).unwrap_or_else(|e| panic!("{dir:?}: {e}")) {
+        let path = entry.unwrap().path();
+        if path.is_dir() {
+            collect_snir(&path, out);
+        } else if path.extension().map(|e| e == "snir").unwrap_or(false) {
+            out.push(path);
+        }
+    }
+}
+
+#[test]
+fn every_fixture_round_trips() {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/snir");
+    let mut paths = Vec::new();
+    collect_snir(&dir, &mut paths);
+    paths.sort();
+    assert!(!paths.is_empty(), "no fixtures found in {dir:?}");
+
+    for path in paths {
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let text = std::fs::read_to_string(&path).expect("fixture readable");
+        let f = parse_function_str(&text).unwrap_or_else(|e| panic!("{name}: parse failed: {e}"));
+        verify(&f).unwrap_or_else(|e| panic!("{name}: fixture does not verify: {e}"));
+
+        let printed = f.to_string();
+        let re = parse_function_str(&printed)
+            .unwrap_or_else(|e| panic!("{name}: printed form does not re-parse: {e}\n{printed}"));
+        verify(&re).unwrap_or_else(|e| panic!("{name}: re-parse does not verify: {e}"));
+        let reprinted = re.to_string();
+        assert_eq!(
+            printed, reprinted,
+            "{name}: printed form is not a parse⇄print fixpoint"
+        );
+    }
+}

@@ -1,0 +1,132 @@
+//! Corpus management: failing cases are written out as self-contained
+//! `.snir` fixtures in the filecheck dialect used by
+//! `crates/core/tests/snir/`, so a reproducer dropped into
+//! `crates/core/tests/snir/fuzz/` immediately becomes a regression test
+//! (the harness re-runs every mode and, when an `INPUTS:` line is
+//! present, the differential equivalence check as well).
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use snslp_interp::ArgSpec;
+
+use crate::gen::Case;
+use crate::oracle::Divergence;
+
+/// Renders one argument in the harness `INPUTS:` dialect
+/// (`ty[v,v,...]` for arrays, `ty:v` for scalars).
+fn render_arg(a: &ArgSpec) -> String {
+    fn join<T: std::fmt::Debug>(xs: &[T]) -> String {
+        let mut s = String::new();
+        for (i, x) in xs.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "{x:?}");
+        }
+        s
+    }
+    match a {
+        ArgSpec::F64Array(v) => format!("f64[{}]", join(v)),
+        ArgSpec::F32Array(v) => format!("f32[{}]", join(v)),
+        ArgSpec::I32Array(v) => format!("i32[{}]", join(v)),
+        ArgSpec::I64Array(v) => format!("i64[{}]", join(v)),
+        ArgSpec::I64(v) => format!("i64:{v}"),
+        ArgSpec::I32(v) => format!("i32:{v}"),
+        ArgSpec::F64(v) => format!("f64:{v:?}"),
+        ArgSpec::F32(v) => format!("f32:{v:?}"),
+    }
+}
+
+/// The `INPUTS:` payload for a case's arguments.
+pub fn inputs_line(args: &[ArgSpec]) -> String {
+    args.iter().map(render_arg).collect::<Vec<_>>().join(" ")
+}
+
+/// Stable fixture file name for a case.
+pub fn fixture_name(case: &Case, reduced: bool) -> String {
+    let suffix = if reduced { "_min" } else { "" };
+    format!("fuzz_s{:x}_i{}{suffix}.snir", case.seed, case.index)
+}
+
+/// Renders a case as a filecheck fixture.
+///
+/// `include_inputs` must be `false` for cases whose baseline execution
+/// traps: the harness treats a failing original run as a test error, so
+/// trap reproducers are checked in as compile-and-verify-only fixtures.
+pub fn render_fixture(
+    case: &Case,
+    divergence: Option<&Divergence>,
+    include_inputs: bool,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "; Reproducer found by snslp-fuzz (seed={:#x}, index={}).",
+        case.seed, case.index
+    );
+    if let Some(d) = divergence {
+        let first = d.detail.lines().next().unwrap_or("");
+        let _ = writeln!(out, "; stage: {} — {}", d.stage, first);
+    }
+    let _ = writeln!(out, "; RUN: slp lslp snslp");
+    if include_inputs {
+        let _ = writeln!(out, "; INPUTS: {}", inputs_line(&case.args));
+    }
+    let _ = write!(out, "{}", case.function);
+    out
+}
+
+/// Writes the fixture into `dir` (created if needed); returns the path.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_fixture(
+    dir: &Path,
+    case: &Case,
+    divergence: Option<&Divergence>,
+    include_inputs: bool,
+    reduced: bool,
+) -> io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let path = dir.join(fixture_name(case, reduced));
+    fs::write(&path, render_fixture(case, divergence, include_inputs))?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::generate;
+    use snslp_ir::parse_function_str;
+
+    #[test]
+    fn rendered_fixture_reparses() {
+        for i in 0..25 {
+            let case = generate(11, i);
+            let text = render_fixture(&case, None, true);
+            // `;` lines are comments to the parser; the function must
+            // survive the round trip.
+            let stripped: String = text
+                .lines()
+                .filter(|l| !l.trim_start().starts_with(';'))
+                .collect::<Vec<_>>()
+                .join("\n");
+            parse_function_str(&stripped)
+                .unwrap_or_else(|e| panic!("fixture {i} does not reparse: {e}\n{text}"));
+        }
+    }
+
+    #[test]
+    fn inputs_line_uses_harness_dialect() {
+        let args = vec![
+            ArgSpec::F64Array(vec![1.0, -0.25]),
+            ArgSpec::I32Array(vec![3, -4]),
+            ArgSpec::I64(7),
+        ];
+        assert_eq!(inputs_line(&args), "f64[1.0,-0.25] i32[3,-4] i64:7");
+    }
+}

@@ -1,0 +1,884 @@
+//! Deterministic typed-IR generator biased toward SLP-rich shapes.
+//!
+//! Each `(seed, index)` pair maps to one verifier-clean function plus
+//! matching interpreter arguments. The generator leans on the shapes the
+//! paper cares about: consecutive store runs feeding isomorphic (or
+//! alternating add/sub, mul/div) expression trees with randomized
+//! association and leaf placement, reduction chains, casts, cmp/select,
+//! aliasing and `noalias` pointer setups, and counted loops / diamonds
+//! for phi coverage.
+//!
+//! Numeric ranges are chosen so fast-math reassociation noise stays well
+//! inside the differential oracle's float tolerance: float pools exclude
+//! zero (no inf/NaN from division) and bound magnitudes, and value-
+//! changing casts are applied only to raw loads (never to reassociated
+//! intermediates).
+
+use snslp_interp::ArgSpec;
+use snslp_ir::{
+    BinOp, CastKind, CmpPred, Constant, Function, FunctionBuilder, InstId, Param, ScalarType, Type,
+    UnOp,
+};
+
+use crate::rng::Rng;
+
+/// One generated fuzz case: a verifier-clean function and arguments that
+/// match its parameter list.
+#[derive(Debug, Clone)]
+pub struct Case {
+    /// The generated function.
+    pub function: Function,
+    /// Interpreter arguments (one per parameter, arrays for pointers).
+    pub args: Vec<ArgSpec>,
+    /// Batch seed this case came from.
+    pub seed: u64,
+    /// Case index within the batch.
+    pub index: u64,
+}
+
+/// Per-lane addressing pattern of a load leaf.
+#[derive(Debug, Clone, Copy)]
+enum AddrPat {
+    /// `base + lane` — consecutive, the vectorizer's favourite.
+    Consec,
+    /// `base + (lanes-1-lane)` — reversed run.
+    Rev,
+    /// `base` — same element in every lane (broadcast).
+    Broadcast,
+    /// `base + 2*lane` — strided gather.
+    Stride2,
+}
+
+/// How the binary opcode varies across lanes.
+#[derive(Debug, Clone)]
+enum OpPat {
+    /// Same opcode in every lane (isomorphic).
+    Same(BinOp),
+    /// Even lanes use the first opcode, odd lanes its inverse partner
+    /// (the Super-Node alternating add/sub, mul/div case).
+    Alt(BinOp, BinOp),
+    /// Arbitrary per-lane opcode from one family.
+    PerLane(Vec<BinOp>),
+}
+
+impl OpPat {
+    fn at(&self, lane: usize) -> BinOp {
+        match self {
+            OpPat::Same(op) => *op,
+            OpPat::Alt(a, b) => {
+                if lane.is_multiple_of(2) {
+                    *a
+                } else {
+                    *b
+                }
+            }
+            OpPat::PerLane(ops) => ops[lane % ops.len()],
+        }
+    }
+}
+
+/// Expression template, instantiated once per lane of the store run.
+#[derive(Debug, Clone)]
+enum Shape {
+    /// Load from source param `src` (cast to the case element type when
+    /// the source array has a different element type).
+    Load { src: usize, base: i64, pat: AddrPat },
+    /// Constant; `lane_delta` makes the value lane-dependent.
+    Const { slot: usize, lane_delta: bool },
+    /// The diamond join phi, broadcast across lanes (diamond layout only).
+    PhiVal,
+    /// Binary node; opcode may vary per lane (see [`OpPat`]).
+    Bin {
+        ops: OpPat,
+        lhs: Box<Shape>,
+        rhs: Box<Shape>,
+    },
+    /// Unary node.
+    Un(UnOp, Box<Shape>),
+    /// `select(cmp(pred, a, b), t, e)`.
+    Select {
+        pred: CmpPred,
+        a: Box<Shape>,
+        b: Box<Shape>,
+        t: Box<Shape>,
+        e: Box<Shape>,
+    },
+}
+
+/// Top-level control-flow layout of a case.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Layout {
+    /// Single block.
+    Straight,
+    /// Store run inside a counted loop.
+    Loop,
+    /// Branch + join phi feeding the store run.
+    Diamond,
+}
+
+/// Reduction plan: fold `leaves` loads of `src` with `op` (random
+/// association), store the result to `dst[dst_idx]`.
+#[derive(Debug, Clone)]
+struct RedPlan {
+    op: BinOp,
+    leaves: usize,
+    src: usize,
+    base: i64,
+    dst_idx: i64,
+}
+
+struct Plan {
+    elem: ScalarType,
+    fast_math: bool,
+    lanes: usize,
+    layout: Layout,
+    trip: i64,
+    src_types: Vec<ScalarType>,
+    dst_noalias: bool,
+    src_noalias: Vec<bool>,
+    oob: bool,
+    d0: i64,
+    shape: Shape,
+    extra_store: Option<(i64, Shape)>,
+    reduction: Option<RedPlan>,
+    ret_scalar: bool,
+    const_ints: [i64; 4],
+    const_floats: [f64; 4],
+}
+
+const F64_POOL: &[f64] = &[
+    -4.0, -2.5, -2.0, -1.5, -1.0, -0.5, -0.25, 0.25, 0.5, 1.0, 1.5, 2.0, 2.5, 4.0,
+];
+const F32_POOL: &[f32] = &[
+    -1.5, -1.25, -1.0, -0.75, -0.5, -0.25, 0.25, 0.5, 0.75, 1.0, 1.25, 1.5,
+];
+
+struct Planner<'a> {
+    rng: &'a mut Rng,
+    elem: ScalarType,
+    fast_math: bool,
+    allow_div: bool,
+    num_srcs: usize,
+    lanes: usize,
+    layout: Layout,
+    /// Remaining multiplicative nesting budget (overflow control).
+    mul_budget: u32,
+}
+
+impl Planner<'_> {
+    fn leaf(&mut self) -> Shape {
+        let r = self.rng.below(10);
+        if r < 7 {
+            let src = self.rng.below(self.num_srcs as u64) as usize;
+            let base = self.rng.range_i64(0, 3);
+            let pat = match self.rng.below(8) {
+                0 => AddrPat::Rev,
+                1 => AddrPat::Broadcast,
+                2 => AddrPat::Stride2,
+                _ => AddrPat::Consec,
+            };
+            Shape::Load { src, base, pat }
+        } else if r < 9 || self.layout != Layout::Diamond {
+            Shape::Const {
+                slot: self.rng.below(4) as usize,
+                lane_delta: self.rng.chance(1, 2),
+            }
+        } else {
+            Shape::PhiVal
+        }
+    }
+
+    /// Opcode pool for plain (non-chain) binary nodes.
+    fn plain_ops(&self) -> Vec<BinOp> {
+        if self.elem.is_float() {
+            // Div only as a chain op (its rhs there is a leaf, which the
+            // value pools keep away from zero).
+            vec![BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::Min, BinOp::Max]
+        } else {
+            let mut ops = vec![
+                BinOp::Add,
+                BinOp::Sub,
+                BinOp::Mul,
+                BinOp::Min,
+                BinOp::Max,
+                BinOp::And,
+                BinOp::Or,
+                BinOp::Xor,
+                BinOp::Shl,
+                BinOp::Shr,
+            ];
+            if self.allow_div {
+                ops.push(BinOp::Div);
+                ops.push(BinOp::Rem);
+            }
+            ops
+        }
+    }
+
+    fn op_pat(&mut self, family: (BinOp, BinOp)) -> OpPat {
+        match self.rng.below(3) {
+            0 => OpPat::Same(if self.rng.chance(1, 2) {
+                family.0
+            } else {
+                family.1
+            }),
+            1 => OpPat::Alt(family.0, family.1),
+            _ => {
+                let ops = (0..self.lanes)
+                    .map(|_| {
+                        if self.rng.chance(1, 2) {
+                            family.0
+                        } else {
+                            family.1
+                        }
+                    })
+                    .collect();
+                OpPat::PerLane(ops)
+            }
+        }
+    }
+
+    /// Random-association fold of `k` leaves with opcodes from one
+    /// operator family — the paper's operator/inverse chains.
+    ///
+    /// `leaf_only` keeps the fold's leaves to raw loads/constants. It is
+    /// set for mul/div chains so a float division never sees a
+    /// reassociated subtree as its denominator: a subtree that cancels
+    /// to an exact zero in one association can leave rounding residue in
+    /// another, turning `x/0 = inf` against `x/eps = huge` into a false
+    /// divergence.
+    fn chain(&mut self, family: (BinOp, BinOp), k: usize, depth: u32, leaf_only: bool) -> Shape {
+        if k == 1 {
+            return if leaf_only {
+                self.leaf()
+            } else {
+                self.shape(depth.saturating_sub(1))
+            };
+        }
+        let split = 1 + self.rng.below(k as u64 - 1) as usize;
+        let lhs = self.chain(family, split, depth, leaf_only);
+        let rhs = self.chain(family, k - split, depth, leaf_only);
+        Shape::Bin {
+            ops: self.op_pat(family),
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        }
+    }
+
+    fn shape(&mut self, depth: u32) -> Shape {
+        if depth == 0 || self.rng.chance(1, 5) {
+            return self.leaf();
+        }
+        let muldiv_ok = self.mul_budget > 0
+            && (self.elem.is_int() && self.allow_div || self.elem.is_float() && self.fast_math);
+        match self.rng.below(10) {
+            0..=3 => {
+                // Operator/inverse chain.
+                let family = if muldiv_ok && self.rng.chance(1, 3) {
+                    self.mul_budget -= 1;
+                    (BinOp::Mul, BinOp::Div)
+                } else {
+                    (BinOp::Add, BinOp::Sub)
+                };
+                let k = 2 + self.rng.below(5) as usize; // 2..=6 leaves
+                let leaf_only = family.0 == BinOp::Mul && self.elem.is_float();
+                let sh = self.chain(family, k, depth, leaf_only);
+                if family.0 == BinOp::Mul {
+                    self.mul_budget += 1;
+                }
+                sh
+            }
+            4..=6 => {
+                let ops = self.plain_ops();
+                let op = *self.rng.pick(&ops);
+                let budget_hit = matches!(op, BinOp::Mul | BinOp::Div) && self.elem.is_float();
+                if budget_hit && self.mul_budget == 0 {
+                    return self.leaf();
+                }
+                if budget_hit {
+                    self.mul_budget -= 1;
+                }
+                let sh = Shape::Bin {
+                    ops: OpPat::Same(op),
+                    lhs: Box::new(self.shape(depth - 1)),
+                    rhs: Box::new(self.shape(depth - 1)),
+                };
+                if budget_hit {
+                    self.mul_budget += 1;
+                }
+                sh
+            }
+            7 => {
+                let op = if self.elem.is_float() && self.rng.chance(1, 3) {
+                    if self.rng.chance(1, 2) {
+                        UnOp::Abs
+                    } else {
+                        UnOp::Sqrt
+                    }
+                } else if self.elem.is_int() && self.rng.chance(1, 4) {
+                    UnOp::Not
+                } else {
+                    UnOp::Neg
+                };
+                Shape::Un(op, Box::new(self.shape(depth - 1)))
+            }
+            8 => {
+                // cmp operands must be exact (not reassociated) for
+                // floats under fast-math, or a hair of rounding noise
+                // could flip the select and blow past the tolerance.
+                let exact_only = self.elem.is_float() && self.fast_math;
+                let (a, b) = if exact_only {
+                    (self.leaf(), self.leaf())
+                } else {
+                    (self.shape(depth - 1), self.shape(depth - 1))
+                };
+                let pred = *self.rng.pick(&[
+                    CmpPred::Eq,
+                    CmpPred::Ne,
+                    CmpPred::Lt,
+                    CmpPred::Le,
+                    CmpPred::Gt,
+                    CmpPred::Ge,
+                ]);
+                Shape::Select {
+                    pred,
+                    a: Box::new(a),
+                    b: Box::new(b),
+                    t: Box::new(self.shape(depth - 1)),
+                    e: Box::new(self.shape(depth - 1)),
+                }
+            }
+            _ => self.leaf(),
+        }
+    }
+}
+
+fn plan(rng: &mut Rng) -> Plan {
+    let elem = *rng.pick(&[
+        ScalarType::F64,
+        ScalarType::F64,
+        ScalarType::F32,
+        ScalarType::I32,
+        ScalarType::I64,
+    ]);
+    let fast_math = if elem.is_float() {
+        rng.chance(3, 4)
+    } else {
+        rng.chance(1, 4)
+    };
+    let layout = match rng.below(20) {
+        0..=10 => Layout::Straight,
+        11..=15 => Layout::Loop,
+        _ => Layout::Diamond,
+    };
+    let oob = layout == Layout::Straight && rng.chance(1, 32);
+    // Int division traps; keep it out of deliberate-OOB cases so the
+    // oracle can compare trap kinds strictly.
+    let allow_div = elem.is_int() && !oob && rng.chance(1, 2);
+    let lanes = *rng.pick(&[2usize, 2, 3, 4, 4, 6, 8]);
+    let num_srcs = 1 + rng.below(3) as usize;
+    let src_types = (0..num_srcs)
+        .map(|_| {
+            if rng.chance(7, 10) {
+                elem
+            } else {
+                *rng.pick(&[
+                    ScalarType::I32,
+                    ScalarType::I64,
+                    ScalarType::F32,
+                    ScalarType::F64,
+                ])
+            }
+        })
+        .collect();
+    let mul_budget = if elem == ScalarType::F32 { 1 } else { 2 };
+    let mut planner = Planner {
+        rng,
+        elem,
+        fast_math,
+        allow_div,
+        num_srcs,
+        lanes,
+        layout,
+        mul_budget,
+    };
+    let depth = 2 + planner.rng.below(2) as u32;
+    let shape = planner.shape(depth);
+    let extra_store = if layout != Layout::Loop && planner.rng.chance(1, 5) {
+        let idx = planner.rng.range_i64(0, lanes as i64 + 3);
+        let sh = planner.shape(1);
+        Some((idx, sh))
+    } else {
+        None
+    };
+    let reduction = if layout == Layout::Straight && planner.rng.chance(3, 10) {
+        let op = if elem.is_float() {
+            if fast_math {
+                *planner
+                    .rng
+                    .pick(&[BinOp::Add, BinOp::Add, BinOp::Mul, BinOp::Min, BinOp::Max])
+            } else {
+                // Without fast-math only exact (min/max) reductions keep
+                // the seed collector interested; still worth generating.
+                *planner.rng.pick(&[BinOp::Min, BinOp::Max])
+            }
+        } else {
+            *planner
+                .rng
+                .pick(&[BinOp::Add, BinOp::Mul, BinOp::Min, BinOp::Max])
+        };
+        Some(RedPlan {
+            op,
+            leaves: 4 + planner.rng.below(5) as usize,
+            src: planner.rng.below(num_srcs as u64) as usize,
+            base: planner.rng.range_i64(0, 2),
+            dst_idx: lanes as i64 + 4 + planner.rng.range_i64(0, 2),
+        })
+    } else {
+        None
+    };
+    let d0 = rng.range_i64(0, 2);
+    let trip = rng.range_i64(2, 4);
+    let dst_noalias = rng.chance(3, 4);
+    let src_noalias = (0..num_srcs).map(|_| rng.chance(3, 4)).collect();
+    let ret_scalar = layout != Layout::Loop && rng.chance(1, 5);
+    let const_ints = [
+        rng.range_i64(-4, 6),
+        rng.range_i64(-4, 6),
+        rng.range_i64(-4, 6),
+        rng.range_i64(-4, 6),
+    ];
+    let const_floats = if elem == ScalarType::F32 {
+        [
+            f64::from(*rng.pick(F32_POOL)),
+            f64::from(*rng.pick(F32_POOL)),
+            f64::from(*rng.pick(F32_POOL)),
+            f64::from(*rng.pick(F32_POOL)),
+        ]
+    } else {
+        [
+            *rng.pick(F64_POOL),
+            *rng.pick(F64_POOL),
+            *rng.pick(F64_POOL),
+            *rng.pick(F64_POOL),
+        ]
+    };
+    Plan {
+        elem,
+        fast_math,
+        lanes,
+        layout,
+        trip,
+        src_types,
+        dst_noalias,
+        src_noalias,
+        oob,
+        d0,
+        shape,
+        extra_store,
+        reduction,
+        ret_scalar,
+        const_ints,
+        const_floats,
+    }
+}
+
+/// Instantiates the plan: emits IR and tracks the maximum element index
+/// touched per pointer parameter (for array sizing).
+struct Emitter<'a> {
+    fb: &'a mut FunctionBuilder,
+    plan: &'a Plan,
+    /// Base pointer to address from, per pointer param (param itself in
+    /// straight-line layouts, the per-iteration pointer inside loops).
+    bases: Vec<InstId>,
+    /// Extra element offset already applied to `bases` (loop iteration
+    /// window), in elements.
+    window: i64,
+    phi_val: Option<InstId>,
+    max_idx: &'a mut Vec<i64>,
+}
+
+impl Emitter<'_> {
+    /// dst is pointer param 0; sources are params 1..  (`src` is a
+    /// source index, so param `src + 1`).
+    fn load_leaf(&mut self, src: usize, base: i64, pat: AddrPat, lane: usize) -> InstId {
+        let plan = self.plan;
+        let local = base
+            + match pat {
+                AddrPat::Consec => lane as i64,
+                AddrPat::Rev => (plan.lanes - 1 - lane) as i64,
+                AddrPat::Broadcast => 0,
+                AddrPat::Stride2 => 2 * lane as i64,
+            };
+        let pidx = src + 1;
+        let st = plan.src_types[src];
+        let worst = self.window
+            + base
+            + match pat {
+                AddrPat::Stride2 => 2 * (plan.lanes as i64 - 1),
+                _ => plan.lanes as i64 - 1,
+            };
+        self.max_idx[pidx] = self.max_idx[pidx].max(worst);
+        let p = self
+            .fb
+            .ptradd_const(self.bases[pidx], local * i64::from(st.size_bytes()));
+        let raw = self.fb.load(st, p);
+        if st == plan.elem {
+            raw
+        } else {
+            let kind = [
+                CastKind::Sitofp,
+                CastKind::Fptosi,
+                CastKind::Fpext,
+                CastKind::Fptrunc,
+                CastKind::Sext,
+                CastKind::Trunc,
+            ]
+            .into_iter()
+            .find(|k| k.valid_for(st, plan.elem))
+            .expect("every scalar type pair has a cast");
+            self.fb.cast(kind, plan.elem, raw)
+        }
+    }
+
+    fn const_leaf(&mut self, slot: usize, lane_delta: bool, lane: usize) -> InstId {
+        let plan = self.plan;
+        let d = if lane_delta { lane as i64 } else { 0 };
+        let c = match plan.elem {
+            ScalarType::I32 => Constant::I32((plan.const_ints[slot] + d) as i32),
+            ScalarType::I64 => Constant::I64(plan.const_ints[slot] + d),
+            ScalarType::F32 => Constant::F32((plan.const_floats[slot] + 0.25 * d as f64) as f32),
+            ScalarType::F64 => Constant::F64(plan.const_floats[slot] + 0.25 * d as f64),
+        };
+        self.fb.constant(c)
+    }
+
+    fn emit(&mut self, sh: &Shape, lane: usize) -> InstId {
+        match sh {
+            Shape::Load { src, base, pat } => self.load_leaf(*src, *base, *pat, lane),
+            Shape::Const { slot, lane_delta } => self.const_leaf(*slot, *lane_delta, lane),
+            Shape::PhiVal => self
+                .phi_val
+                .expect("PhiVal shapes only occur in diamond layouts"),
+            Shape::Bin { ops, lhs, rhs } => {
+                let l = self.emit(lhs, lane);
+                let r = self.emit(rhs, lane);
+                self.fb.binary(ops.at(lane), l, r)
+            }
+            Shape::Un(op, inner) => {
+                let v = self.emit(inner, lane);
+                self.fb.unary(*op, v)
+            }
+            Shape::Select { pred, a, b, t, e } => {
+                let av = self.emit(a, lane);
+                let bv = self.emit(b, lane);
+                let c = self.fb.cmp(*pred, av, bv);
+                let tv = self.emit(t, lane);
+                let ev = self.emit(e, lane);
+                self.fb.select(c, tv, ev)
+            }
+        }
+    }
+
+    /// Emits the consecutive store run, returning the last stored value.
+    fn store_run(&mut self) -> InstId {
+        let plan = self.plan;
+        let esz = i64::from(plan.elem.size_bytes());
+        let mut last = InstId(0);
+        if let Some((idx, sh)) = &plan.extra_store {
+            if matches!(plan.layout, Layout::Straight | Layout::Diamond) {
+                let v = self.emit(&sh.clone(), 0);
+                let p = self.fb.ptradd_const(self.bases[0], idx * esz);
+                self.max_idx[0] = self.max_idx[0].max(*idx);
+                self.fb.store(p, v);
+            }
+        }
+        for lane in 0..plan.lanes {
+            let v = self.emit(&plan.shape.clone(), lane);
+            let off = plan.d0 + lane as i64;
+            let p = self.fb.ptradd_const(self.bases[0], off * esz);
+            self.max_idx[0] = self.max_idx[0].max(self.window + plan.d0 + plan.lanes as i64 - 1);
+            self.fb.store(p, v);
+            last = v;
+        }
+        last
+    }
+
+    fn reduction(&mut self) {
+        let Some(red) = &self.plan.reduction else {
+            return;
+        };
+        let red = red.clone();
+        let leaves: Vec<InstId> = (0..red.leaves)
+            .map(|i| self.load_leaf(red.src, red.base + i as i64, AddrPat::Broadcast, 0))
+            .collect();
+        // Left-fold; the pass re-associates it into a tree itself.
+        let mut acc = leaves[0];
+        for &v in &leaves[1..] {
+            acc = self.fb.binary(red.op, acc, v);
+        }
+        let esz = i64::from(self.plan.elem.size_bytes());
+        let p = self.fb.ptradd_const(self.bases[0], red.dst_idx * esz);
+        self.max_idx[0] = self.max_idx[0].max(red.dst_idx);
+        // Account for the non-broadcast worst index of the leaf loads.
+        let pidx = red.src + 1;
+        self.max_idx[pidx] = self.max_idx[pidx].max(red.base + red.leaves as i64 - 1);
+        self.fb.store(p, acc);
+    }
+}
+
+/// Generates case `index` of the batch with the given `seed`.
+pub fn generate(seed: u64, index: u64) -> Case {
+    let mut rng = Rng::for_case(seed, index);
+    let plan = plan(&mut rng);
+    let num_params = 1 + plan.src_types.len();
+
+    let mut params = Vec::new();
+    params.push(if plan.dst_noalias {
+        Param::noalias_ptr("dst")
+    } else {
+        Param::new("dst", Type::Ptr)
+    });
+    for (i, &na) in plan.src_noalias.iter().enumerate() {
+        let name = format!("s{i}");
+        params.push(if na {
+            Param::noalias_ptr(&name)
+        } else {
+            Param::new(&name, Type::Ptr)
+        });
+    }
+    if plan.layout == Layout::Loop {
+        params.push(Param::new("n", Type::scalar(ScalarType::I64)));
+    }
+    let ret_ty = if plan.ret_scalar {
+        Type::scalar(plan.elem)
+    } else {
+        Type::Void
+    };
+    let mut fb = FunctionBuilder::new(format!("fuzz_{seed:x}_{index}"), params, ret_ty);
+    fb.set_fast_math(plan.fast_math);
+
+    let param_ids: Vec<InstId> = (0..num_params).map(|i| fb.func().param(i)).collect();
+    let mut max_idx = vec![-1i64; num_params];
+
+    let ret_val = match plan.layout {
+        Layout::Straight => {
+            let mut em = Emitter {
+                fb: &mut fb,
+                plan: &plan,
+                bases: param_ids.clone(),
+                window: 0,
+                phi_val: None,
+                max_idx: &mut max_idx,
+            };
+            let last = em.store_run();
+            em.reduction();
+            Some(last)
+        }
+        Layout::Loop => {
+            let n = fb.func().param(num_params);
+            fb.counted_loop(n, |fb, i| {
+                // Per-iteration window: each pointer advances by
+                // `lanes` elements of its own type per iteration.
+                let mut bases = Vec::with_capacity(num_params);
+                for (pi, &pid) in param_ids.iter().enumerate() {
+                    let esz = if pi == 0 {
+                        i64::from(plan.elem.size_bytes())
+                    } else {
+                        i64::from(plan.src_types[pi - 1].size_bytes())
+                    };
+                    let step = fb.const_i64(plan.lanes as i64 * esz);
+                    let byte = fb.mul(i, step);
+                    bases.push(fb.ptradd(pid, byte));
+                }
+                let mut em = Emitter {
+                    fb,
+                    plan: &plan,
+                    bases,
+                    window: (plan.trip - 1) * plan.lanes as i64,
+                    phi_val: None,
+                    max_idx: &mut max_idx,
+                };
+                em.store_run();
+            });
+            None
+        }
+        Layout::Diamond => {
+            // cond on an exact (non-reassociated) value: a raw load vs a
+            // constant.
+            let then_b = fb.create_block("then");
+            let else_b = fb.create_block("else");
+            let join_b = fb.create_block("join");
+            let mut em = Emitter {
+                fb: &mut fb,
+                plan: &plan,
+                bases: param_ids.clone(),
+                window: 0,
+                phi_val: None,
+                max_idx: &mut max_idx,
+            };
+            let x = em.load_leaf(0, 0, AddrPat::Broadcast, 0);
+            let c = em.const_leaf(0, false, 0);
+            let pred = *Rng::for_case(seed ^ 0x5EED, index).pick(&[
+                CmpPred::Lt,
+                CmpPred::Gt,
+                CmpPred::Le,
+                CmpPred::Ne,
+            ]);
+            let cond = fb.cmp(pred, x, c);
+            fb.branch(cond, then_b, else_b);
+
+            fb.switch_to(then_b);
+            let mut em = Emitter {
+                fb: &mut fb,
+                plan: &plan,
+                bases: param_ids.clone(),
+                window: 0,
+                phi_val: None,
+                max_idx: &mut max_idx,
+            };
+            let v1 = em.load_leaf(0, 1, AddrPat::Broadcast, 0);
+            fb.jump(join_b);
+
+            fb.switch_to(else_b);
+            let mut em = Emitter {
+                fb: &mut fb,
+                plan: &plan,
+                bases: param_ids.clone(),
+                window: 0,
+                phi_val: None,
+                max_idx: &mut max_idx,
+            };
+            let v2 = em.const_leaf(1, false, 0);
+            fb.jump(join_b);
+
+            fb.switch_to(join_b);
+            let phi = fb.phi(Type::scalar(plan.elem));
+            fb.add_phi_incoming(phi, then_b, v1);
+            fb.add_phi_incoming(phi, else_b, v2);
+            let mut em = Emitter {
+                fb: &mut fb,
+                plan: &plan,
+                bases: param_ids,
+                window: 0,
+                phi_val: Some(phi),
+                max_idx: &mut max_idx,
+            };
+            let last = em.store_run();
+            Some(last)
+        }
+    };
+
+    if plan.ret_scalar {
+        fb.ret(ret_val);
+    } else {
+        fb.ret(None);
+    }
+    let function = fb.finish();
+
+    // Materialize arguments. Array lengths cover every tracked access,
+    // with a little slack — except in deliberate-OOB cases, where one
+    // array is truncated so the highest-index access faults.
+    let mut rng_vals = Rng::for_case(seed ^ 0xA11, index);
+    let mut lens: Vec<usize> = max_idx
+        .iter()
+        .map(|&m| (m.max(0) as usize) + 1 + rng_vals.below(3) as usize)
+        .collect();
+    if plan.oob {
+        let victim = rng_vals.below(num_params as u64) as usize;
+        let cut = 1 + rng_vals.below(2) as usize;
+        // Only a real fault if the function actually reaches past the
+        // new length; the case just runs clean otherwise.
+        lens[victim] = lens[victim].saturating_sub(cut).max(1);
+    }
+    let mut args: Vec<ArgSpec> = Vec::with_capacity(num_params + 1);
+    for (pi, &len) in lens.iter().enumerate() {
+        let st = if pi == 0 {
+            plan.elem
+        } else {
+            plan.src_types[pi - 1]
+        };
+        args.push(random_array(&mut rng_vals, st, len));
+    }
+    if plan.layout == Layout::Loop {
+        args.push(ArgSpec::I64(plan.trip));
+    }
+
+    Case {
+        function,
+        args,
+        seed,
+        index,
+    }
+}
+
+fn random_array(rng: &mut Rng, st: ScalarType, len: usize) -> ArgSpec {
+    match st {
+        ScalarType::F64 => ArgSpec::F64Array((0..len).map(|_| *rng.pick(F64_POOL)).collect()),
+        ScalarType::F32 => ArgSpec::F32Array((0..len).map(|_| *rng.pick(F32_POOL)).collect()),
+        ScalarType::I32 => {
+            ArgSpec::I32Array((0..len).map(|_| rng.range_i64(-5, 8) as i32).collect())
+        }
+        ScalarType::I64 => ArgSpec::I64Array((0..len).map(|_| rng.range_i64(-5, 8)).collect()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snslp_ir::{parse_function_str, verify};
+
+    #[test]
+    fn generated_functions_are_verifier_clean() {
+        for i in 0..300 {
+            let case = generate(0xC60, i);
+            verify(&case.function)
+                .unwrap_or_else(|e| panic!("case {i} fails verification: {e}\n{}", case.function));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        for i in 0..20 {
+            let a = generate(42, i);
+            let b = generate(42, i);
+            assert_eq!(a.function.to_string(), b.function.to_string());
+            assert_eq!(a.args, b.args);
+        }
+    }
+
+    #[test]
+    fn generated_functions_round_trip_through_the_printer() {
+        for i in 0..100 {
+            let case = generate(7, i);
+            let text = case.function.to_string();
+            let re = parse_function_str(&text)
+                .unwrap_or_else(|e| panic!("case {i} does not re-parse: {e}\n{text}"));
+            // The first print may use non-textual-order value names (the
+            // loop builder links a pre-created increment late), so the
+            // fixpoint is only required after one parse→print
+            // normalization.
+            let normal = re.to_string();
+            let re2 = parse_function_str(&normal).unwrap_or_else(|e| {
+                panic!("case {i} normal form does not re-parse: {e}\n{normal}")
+            });
+            assert_eq!(re2.to_string(), normal, "case {i} print is not a fixpoint");
+            verify(&re2).unwrap_or_else(|e| panic!("case {i} reparse fails verification: {e}"));
+        }
+    }
+
+    #[test]
+    fn args_match_parameters() {
+        for i in 0..100 {
+            let case = generate(3, i);
+            assert_eq!(case.args.len(), case.function.params().len());
+        }
+    }
+
+    #[test]
+    fn distinct_cases_differ() {
+        let a = generate(1, 0);
+        let b = generate(1, 1);
+        assert_ne!(a.function.to_string(), b.function.to_string());
+    }
+}

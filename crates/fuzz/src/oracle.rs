@@ -1,0 +1,268 @@
+//! Differential execution oracle.
+//!
+//! For one generated case, the oracle runs the original function as the
+//! ground truth, then pushes clones through the scalar O3 cleanup
+//! pipeline and through [`run_slp`] at each requested mode, executing
+//! every variant on identical inputs. Results must agree bit-for-bit
+//! (floats within the reassociation tolerance of
+//! [`snslp_interp::outcomes_match`]); traps count as comparable outcomes
+//! and must agree in kind. On top of execution equivalence, a set of
+//! structural invariants is cross-checked on every [`FunctionReport`].
+
+use snslp_core::{optimize_o3, run_slp, FunctionReport, SlpConfig, SlpMode};
+use snslp_cost::CostModel;
+use snslp_interp::{outcomes_match, run_with_args, ExecOptions, RunOutcome, Trap};
+use snslp_ir::{verify, Function};
+use snslp_trace::Counter;
+
+use crate::gen::Case;
+
+/// The observable result of one execution: either it ran to completion
+/// or it trapped. Non-trap interpreter errors (type mismatches, undefined
+/// values) never occur on verifier-clean IR and are reported as
+/// divergences by the oracle.
+#[derive(Debug, Clone)]
+pub enum Outcome {
+    /// Ran to completion.
+    Ran(Box<RunOutcome>),
+    /// Trapped (out-of-bounds access, division by zero, fuel).
+    Trapped(Trap),
+}
+
+impl Outcome {
+    fn describe(&self) -> String {
+        match self {
+            Outcome::Ran(_) => "completed".to_string(),
+            Outcome::Trapped(t) => format!("trap:{}", t.kind()),
+        }
+    }
+}
+
+/// One confirmed disagreement between the original function and a
+/// transformed variant (or a broken pass invariant).
+#[derive(Debug, Clone)]
+pub struct Divergence {
+    /// Batch seed of the failing case.
+    pub seed: u64,
+    /// Case index within the batch.
+    pub index: u64,
+    /// Stage that failed: `o3`, a mode label (`slp`, `lslp`, `snslp`),
+    /// or `<stage>-verify` / `<stage>-invariant` variants.
+    pub stage: String,
+    /// Human-readable description of the mismatch.
+    pub detail: String,
+    /// Printed IR of the (original) failing function.
+    pub function: String,
+}
+
+impl std::fmt::Display for Divergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "divergence at seed={:#x} index={} stage={}: {}",
+            self.seed, self.index, self.stage, self.detail
+        )
+    }
+}
+
+/// Runs `f` on `args` and classifies the result.
+///
+/// # Errors
+///
+/// Returns a description for non-trap interpreter errors, which indicate
+/// a bug somewhere (the IR is verifier-clean by construction).
+pub fn execute(
+    f: &Function,
+    args: &[snslp_interp::ArgSpec],
+    model: &CostModel,
+) -> Result<Outcome, String> {
+    match run_with_args(f, args, model, &ExecOptions::default()) {
+        Ok(o) => Ok(Outcome::Ran(Box::new(o))),
+        Err(e) => match e.as_trap() {
+            Some(t) => Ok(Outcome::Trapped(t)),
+            None => Err(format!("non-trap interpreter error: {e}")),
+        },
+    }
+}
+
+/// Compares two outcomes: completed runs via [`outcomes_match`], traps by
+/// kind (the trapping address may legitimately differ once stores are
+/// widened). Memory is not compared across traps — the vectorizer may
+/// reorder a trapping operation relative to neighbouring stores.
+pub fn compare(a: &Outcome, b: &Outcome) -> Result<(), String> {
+    match (a, b) {
+        (Outcome::Ran(x), Outcome::Ran(y)) => outcomes_match(x, y),
+        (Outcome::Trapped(x), Outcome::Trapped(y)) => {
+            if x.kind() == y.kind() {
+                Ok(())
+            } else {
+                Err(format!("trap kinds differ: {} vs {}", x.kind(), y.kind()))
+            }
+        }
+        (x, y) => Err(format!(
+            "outcome shapes differ: {} vs {}",
+            x.describe(),
+            y.describe()
+        )),
+    }
+}
+
+/// Structural cross-checks on a pass report, independent of execution.
+fn check_invariants(report: &FunctionReport, threshold: i32) -> Result<(), String> {
+    let v = report.vectorized_graphs();
+    let counted = report.metrics.get(Counter::GraphsVectorized);
+    if counted != v as u64 {
+        return Err(format!(
+            "metrics claim {counted} vectorized graphs, report has {v}"
+        ));
+    }
+    let emitted = report.metrics.get(Counter::RemarksEmitted);
+    if emitted != report.remarks.len() as u64 {
+        return Err(format!(
+            "metrics claim {emitted} remarks, report has {}",
+            report.remarks.len()
+        ));
+    }
+    let remark_v = report.remarks.iter().filter(|r| r.vectorized).count();
+    if remark_v != v {
+        return Err(format!(
+            "{remark_v} remarks claim vectorization, report has {v} vectorized graphs"
+        ));
+    }
+    for (i, g) in report.graphs.iter().enumerate() {
+        if g.vectorized && g.cost >= threshold {
+            return Err(format!(
+                "graph {i} vectorized with cost {} >= threshold {threshold}",
+                g.cost
+            ));
+        }
+        if g.num_vector_nodes + g.num_gather_nodes > g.num_nodes {
+            return Err(format!(
+                "graph {i} node counts inconsistent: {} vector + {} gather > {} total",
+                g.num_vector_nodes, g.num_gather_nodes, g.num_nodes
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Lower-case stage label for a mode.
+pub fn mode_key(mode: SlpMode) -> &'static str {
+    match mode {
+        SlpMode::Slp => "slp",
+        SlpMode::Lslp => "lslp",
+        SlpMode::SnSlp => "snslp",
+    }
+}
+
+/// Everything learned from a clean (non-diverging) case.
+#[derive(Debug, Clone)]
+pub struct CaseOutcome {
+    /// One pass report per requested mode, in request order.
+    pub reports: Vec<FunctionReport>,
+    /// The trap the baseline run hit, if any (all variants then trapped
+    /// with the same kind).
+    pub baseline_trap: Option<Trap>,
+}
+
+/// Checks one case at every requested mode. Returns the per-mode pass
+/// reports on success (for metrics aggregation).
+///
+/// # Errors
+///
+/// Returns the first [`Divergence`] found.
+pub fn check_case(
+    case: &Case,
+    model: &CostModel,
+    modes: &[SlpMode],
+) -> Result<CaseOutcome, Box<Divergence>> {
+    let fail = |stage: &str, detail: String| {
+        Box::new(Divergence {
+            seed: case.seed,
+            index: case.index,
+            stage: stage.to_string(),
+            detail,
+            function: case.function.to_string(),
+        })
+    };
+
+    if let Err(e) = verify(&case.function) {
+        return Err(fail(
+            "generator",
+            format!("original fails verification: {e}"),
+        ));
+    }
+    let baseline = execute(&case.function, &case.args, model).map_err(|e| fail("baseline", e))?;
+
+    // Scalar O3 cleanup alone must already be semantics-preserving.
+    let mut o3 = case.function.clone();
+    optimize_o3(&mut o3);
+    if let Err(e) = verify(&o3) {
+        return Err(fail("o3-verify", format!("{e}\n{o3}")));
+    }
+    let after_o3 = execute(&o3, &case.args, model).map_err(|e| fail("o3", e))?;
+    compare(&baseline, &after_o3).map_err(|e| fail("o3", e))?;
+
+    let mut reports = Vec::with_capacity(modes.len());
+    for &mode in modes {
+        let key = mode_key(mode);
+        let mut f = case.function.clone();
+        // verify_after stays off: the pass would panic on broken IR,
+        // while the oracle wants to report it as a divergence instead.
+        let cfg = SlpConfig::new(mode).with_model(model.clone());
+        let report = run_slp(&mut f, &cfg);
+        if let Err(e) = verify(&f) {
+            return Err(fail(&format!("{key}-verify"), format!("{e}\n{f}")));
+        }
+        if let Err(e) = check_invariants(&report, cfg.threshold) {
+            return Err(fail(&format!("{key}-invariant"), e));
+        }
+        let after = execute(&f, &case.args, model).map_err(|e| fail(key, e))?;
+        compare(&baseline, &after).map_err(|e| {
+            fail(
+                key,
+                format!(
+                    "{e}\n--- after {key} ({} graphs vectorized) ---\n{f}",
+                    report.vectorized_graphs()
+                ),
+            )
+        })?;
+        reports.push(report);
+    }
+    let baseline_trap = match baseline {
+        Outcome::Trapped(t) => Some(t),
+        Outcome::Ran(_) => None,
+    };
+    Ok(CaseOutcome {
+        reports,
+        baseline_trap,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::generate;
+
+    const ALL_MODES: [SlpMode; 3] = [SlpMode::Slp, SlpMode::Lslp, SlpMode::SnSlp];
+
+    #[test]
+    fn small_batch_has_no_divergences() {
+        let model = CostModel::default();
+        for i in 0..150 {
+            let case = generate(0xFA22, i);
+            if let Err(d) = check_case(&case, &model, &ALL_MODES) {
+                panic!("unexpected divergence: {d}\n{}", d.function);
+            }
+        }
+    }
+
+    #[test]
+    fn trap_kinds_compare_strictly() {
+        let a = Outcome::Trapped(Trap::DivisionByZero);
+        let b = Outcome::Trapped(Trap::OutOfBounds(64));
+        assert!(compare(&a, &b).is_err());
+        let c = Outcome::Trapped(Trap::OutOfBounds(128));
+        assert!(compare(&b, &c).is_ok());
+    }
+}

@@ -1,0 +1,268 @@
+//! ddmin-style test-case reducer.
+//!
+//! Given a failing [`Case`] and a predicate that re-checks failure, the
+//! reducer greedily applies shrinking mutations — dropping stores,
+//! short-circuiting instructions to one of their operands, degrading
+//! loads and constants to simple immediates — keeping a mutation only if
+//! the result (a) still verifies, (b) still round-trips through the
+//! printer and parser, and (c) still fails the predicate. Iterates to a
+//! fixpoint, so the survivor is 1-minimal with respect to the mutation
+//! set: no single remaining mutation can be applied without losing the
+//! failure.
+
+use snslp_ir::{parse_function_str, verify, Constant, Function, InstId, InstKind, Type};
+
+use crate::gen::Case;
+
+/// Statistics from one reduction run.
+#[derive(Debug, Clone, Default)]
+pub struct ReduceStats {
+    /// Fixpoint rounds executed.
+    pub rounds: usize,
+    /// Candidate mutations tried.
+    pub attempts: usize,
+    /// Mutations accepted.
+    pub accepted: usize,
+    /// Linked instructions before reduction.
+    pub insts_before: usize,
+    /// Linked instructions after reduction.
+    pub insts_after: usize,
+}
+
+/// One shrinking mutation candidate.
+#[derive(Debug, Clone, Copy)]
+enum Mutation {
+    /// Unlink a store (dead code behind it goes too).
+    DropStore(InstId),
+    /// Replace all uses of an instruction with one same-typed operand.
+    ShortCircuit(InstId, InstId),
+    /// Replace all uses of a load with a constant of its type.
+    LoadToConst(InstId),
+    /// Degrade a constant to `0` (ints) / `1.0` (floats).
+    SimplifyConst(InstId),
+}
+
+fn candidates(f: &Function) -> Vec<Mutation> {
+    let mut out = Vec::new();
+    // Stores first (largest cuts), then value short-circuits, then
+    // constant degradation (cosmetic, helps readability of survivors).
+    let mut shorts = Vec::new();
+    let mut consts = Vec::new();
+    for b in f.block_ids() {
+        for &id in f.block(b).insts() {
+            match f.kind(id) {
+                InstKind::Store { .. } => out.push(Mutation::DropStore(id)),
+                InstKind::Binary { lhs, .. } => shorts.push(Mutation::ShortCircuit(id, *lhs)),
+                InstKind::BinaryLanewise { lhs, .. } => {
+                    shorts.push(Mutation::ShortCircuit(id, *lhs))
+                }
+                InstKind::Unary { operand, .. } => {
+                    shorts.push(Mutation::ShortCircuit(id, *operand))
+                }
+                InstKind::Select { on_true, .. } => {
+                    shorts.push(Mutation::ShortCircuit(id, *on_true))
+                }
+                InstKind::Load { .. } => {
+                    if matches!(f.ty(id), Type::Scalar(_)) {
+                        shorts.push(Mutation::LoadToConst(id));
+                    }
+                }
+                InstKind::Const(c) => {
+                    let already = match c {
+                        Constant::I32(v) => *v == 0,
+                        Constant::I64(v) => *v == 0,
+                        Constant::F32(v) => *v == 1.0,
+                        Constant::F64(v) => *v == 1.0,
+                    };
+                    if !already {
+                        consts.push(Mutation::SimplifyConst(id));
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    out.extend(shorts);
+    out.extend(consts);
+    out
+}
+
+fn default_const(ty: Type) -> Option<Constant> {
+    match ty {
+        Type::Scalar(st) => Some(match st {
+            snslp_ir::ScalarType::I32 => Constant::I32(0),
+            snslp_ir::ScalarType::I64 => Constant::I64(0),
+            snslp_ir::ScalarType::F32 => Constant::F32(1.0),
+            snslp_ir::ScalarType::F64 => Constant::F64(1.0),
+        }),
+        _ => None,
+    }
+}
+
+/// Applies `m` to a clone of `f`; returns `None` when the mutation does
+/// not apply (e.g. the instruction is already unlinked).
+fn apply(f: &Function, m: Mutation) -> Option<Function> {
+    let mut g = f.clone();
+    match m {
+        Mutation::DropStore(id) => {
+            let b = g.block_of(id)?;
+            g.unlink_inst(b, id);
+        }
+        Mutation::ShortCircuit(id, operand) => {
+            g.block_of(id)?;
+            g.replace_all_uses(id, operand);
+        }
+        Mutation::LoadToConst(id) => {
+            let b = g.block_of(id)?;
+            let c = default_const(g.ty(id))?;
+            let pos = g.block(b).insts().iter().position(|&i| i == id)?;
+            let k = g.insert_inst(b, pos, InstKind::Const(c), g.ty(id));
+            g.replace_all_uses(id, k);
+        }
+        Mutation::SimplifyConst(id) => {
+            let c = default_const(g.ty(id))?;
+            *g.kind_mut(id) = InstKind::Const(c);
+        }
+    }
+    g.remove_dead_code();
+    Some(g)
+}
+
+/// Checks the mutated function is still a well-formed, re-parseable
+/// reproducer.
+fn well_formed(f: &Function) -> bool {
+    if verify(f).is_err() {
+        return false;
+    }
+    match parse_function_str(&f.to_string()) {
+        Ok(re) => verify(&re).is_ok(),
+        Err(_) => false,
+    }
+}
+
+/// Re-prints and re-parses so value names are dense and textual again
+/// (mutations leave arena gaps; the survivor should read cleanly).
+fn normalize(f: &Function) -> Function {
+    parse_function_str(&f.to_string()).unwrap_or_else(|_| f.clone())
+}
+
+/// Shrinks `case` while `still_fails` keeps returning `true` for the
+/// shrunk variants. Returns the minimal case and reduction statistics.
+///
+/// `still_fails` must return `true` for `case` itself; if it does not,
+/// the case is returned unchanged.
+pub fn reduce(case: &Case, mut still_fails: impl FnMut(&Case) -> bool) -> (Case, ReduceStats) {
+    let mut stats = ReduceStats {
+        insts_before: case.function.num_linked_insts(),
+        ..ReduceStats::default()
+    };
+    let mut current = case.clone();
+    if !still_fails(&current) {
+        stats.insts_after = stats.insts_before;
+        return (current, stats);
+    }
+    loop {
+        stats.rounds += 1;
+        let mut changed = false;
+        for m in candidates(&current.function) {
+            stats.attempts += 1;
+            let Some(g) = apply(&current.function, m) else {
+                continue;
+            };
+            if g.num_linked_insts() >= current.function.num_linked_insts()
+                && !matches!(m, Mutation::SimplifyConst(_))
+            {
+                continue;
+            }
+            if !well_formed(&g) {
+                continue;
+            }
+            let candidate = Case {
+                function: g,
+                ..current.clone()
+            };
+            if still_fails(&candidate) {
+                current = candidate;
+                stats.accepted += 1;
+                changed = true;
+            }
+        }
+        // Renumber between rounds: accepted mutations leave arena gaps,
+        // and candidate ids must be regenerated against the new arena.
+        current.function = normalize(&current.function);
+        if !changed {
+            break;
+        }
+    }
+    stats.insts_after = current.function.num_linked_insts();
+    (current, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snslp_interp::ArgSpec;
+    use snslp_ir::{FunctionBuilder, Param, ScalarType};
+
+    /// A function with two store runs and a div buried in one of them.
+    fn sample_case() -> Case {
+        let mut fb = FunctionBuilder::new(
+            "red",
+            vec![Param::noalias_ptr("dst"), Param::noalias_ptr("s0")],
+            Type::Void,
+        );
+        let dst = fb.func().param(0);
+        let s0 = fb.func().param(1);
+        for lane in 0..4 {
+            let p = fb.ptradd_const(s0, lane * 8);
+            let x = fb.load(ScalarType::F64, p);
+            let c = fb.const_f64(2.5);
+            let m = fb.mul(x, c);
+            let d = fb.binary(snslp_ir::BinOp::Div, m, c);
+            let q = fb.ptradd_const(dst, lane * 8);
+            fb.store(q, d);
+        }
+        for lane in 0..4 {
+            let p = fb.ptradd_const(s0, lane * 8);
+            let x = fb.load(ScalarType::F64, p);
+            let q = fb.ptradd_const(dst, (8 + lane) * 8);
+            fb.store(q, x);
+        }
+        fb.ret(None);
+        Case {
+            function: fb.finish(),
+            args: vec![
+                ArgSpec::F64Array(vec![0.0; 16]),
+                ArgSpec::F64Array(vec![1.0; 8]),
+            ],
+            seed: 0,
+            index: 0,
+        }
+    }
+
+    #[test]
+    fn shrinks_to_minimal_div_reproducer() {
+        let case = sample_case();
+        let before = case.function.num_linked_insts();
+        let (min, stats) = reduce(&case, |c| c.function.to_string().contains("div"));
+        assert!(min.function.to_string().contains("div"));
+        assert!(stats.insts_after < before, "reducer made no progress");
+        // Everything not needed to keep a div alive (the whole second
+        // store run, the mul, the loads) must be gone: one store of one
+        // div of constants, plus addressing and ret.
+        assert!(
+            min.function.num_linked_insts() <= 8,
+            "survivor not minimal:\n{}",
+            min.function
+        );
+        verify(&min.function).unwrap();
+    }
+
+    #[test]
+    fn unreproducible_case_is_returned_unchanged() {
+        let case = sample_case();
+        let (same, stats) = reduce(&case, |_| false);
+        assert_eq!(same.function.to_string(), case.function.to_string());
+        assert_eq!(stats.accepted, 0);
+    }
+}

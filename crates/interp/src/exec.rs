@@ -10,31 +10,79 @@ use snslp_ir::{Function, InstId, InstKind, Type};
 use crate::memory::Memory;
 use crate::value::{apply_binop, apply_binop_lanewise, apply_cast, apply_cmp, apply_unop, Value};
 
-/// Errors raised during interpretation.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum ExecError {
+/// A well-defined runtime trap: a deterministic outcome of executing
+/// verifier-clean IR on particular inputs. Traps are *comparable* across
+/// differential runs (trap-vs-trap), unlike the malformed-IR errors on
+/// [`ExecError`], which indicate a bug in whatever produced the IR.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Trap {
     /// Memory access outside any allocation.
     OutOfBounds(u64),
     /// Integer division or remainder by zero.
     DivisionByZero,
+    /// The dynamic instruction budget was exhausted.
+    FuelExhausted,
+}
+
+impl Trap {
+    /// Stable trap-kind label, ignoring any address payload. Differential
+    /// oracles compare traps by kind because a vectorized function may
+    /// legitimately fault at a different lane address than the scalar one.
+    pub fn kind(self) -> &'static str {
+        match self {
+            Trap::OutOfBounds(_) => "out_of_bounds",
+            Trap::DivisionByZero => "division_by_zero",
+            Trap::FuelExhausted => "fuel_exhausted",
+        }
+    }
+}
+
+impl fmt::Display for Trap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Trap::OutOfBounds(a) => write!(f, "out-of-bounds memory access at {a:#x}"),
+            Trap::DivisionByZero => write!(f, "integer division by zero"),
+            Trap::FuelExhausted => write!(f, "dynamic instruction budget exhausted"),
+        }
+    }
+}
+
+/// Errors raised during interpretation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// A well-defined runtime trap (see [`Trap`]).
+    Trap(Trap),
     /// A value had the wrong runtime type (indicates malformed IR).
     TypeMismatch(String),
     /// An operand was read before being defined (malformed IR).
     UndefinedValue(InstId),
-    /// The dynamic instruction budget was exhausted.
-    FuelExhausted,
     /// Wrong number or type of arguments supplied to [`run`].
     BadArguments(String),
+}
+
+impl ExecError {
+    /// The trap, if this error is a well-defined runtime trap rather than
+    /// a malformed-IR/argument error.
+    pub fn as_trap(&self) -> Option<Trap> {
+        match self {
+            ExecError::Trap(t) => Some(*t),
+            _ => None,
+        }
+    }
+}
+
+impl From<Trap> for ExecError {
+    fn from(t: Trap) -> Self {
+        ExecError::Trap(t)
+    }
 }
 
 impl fmt::Display for ExecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ExecError::OutOfBounds(a) => write!(f, "out-of-bounds memory access at {a:#x}"),
-            ExecError::DivisionByZero => write!(f, "integer division by zero"),
+            ExecError::Trap(t) => t.fmt(f),
             ExecError::TypeMismatch(m) => write!(f, "type mismatch: {m}"),
             ExecError::UndefinedValue(v) => write!(f, "use of undefined value {v}"),
-            ExecError::FuelExhausted => write!(f, "dynamic instruction budget exhausted"),
             ExecError::BadArguments(m) => write!(f, "bad arguments: {m}"),
         }
     }
@@ -143,7 +191,7 @@ pub fn run(
                 continue;
             }
             if fuel == 0 {
-                return Err(ExecError::FuelExhausted);
+                return Err(Trap::FuelExhausted.into());
             }
             fuel -= 1;
             dyn_insts += 1;
@@ -423,7 +471,8 @@ mod tests {
         let f = fb.finish();
         let mut mem = Memory::new();
         let e = run(&f, &[], &mut mem, &model(), &ExecOptions { fuel: 1000 }).unwrap_err();
-        assert_eq!(e, ExecError::FuelExhausted);
+        assert_eq!(e, ExecError::Trap(Trap::FuelExhausted));
+        assert_eq!(e.as_trap(), Some(Trap::FuelExhausted));
     }
 
     #[test]
@@ -482,9 +531,18 @@ mod tests {
 
     #[test]
     fn error_messages_are_informative() {
-        assert!(ExecError::OutOfBounds(0x40).to_string().contains("0x40"));
-        assert!(ExecError::DivisionByZero.to_string().contains("division"));
-        assert!(ExecError::FuelExhausted.to_string().contains("budget"));
+        assert!(ExecError::Trap(Trap::OutOfBounds(0x40))
+            .to_string()
+            .contains("0x40"));
+        assert!(ExecError::Trap(Trap::DivisionByZero)
+            .to_string()
+            .contains("division"));
+        assert!(ExecError::Trap(Trap::FuelExhausted)
+            .to_string()
+            .contains("budget"));
+        assert_eq!(Trap::OutOfBounds(0x40).kind(), "out_of_bounds");
+        assert_eq!(Trap::DivisionByZero.kind(), "division_by_zero");
+        assert_eq!(Trap::FuelExhausted.kind(), "fuel_exhausted");
         assert!(ExecError::BadArguments("x".into())
             .to_string()
             .contains("x"));
@@ -541,7 +599,7 @@ mod tests {
             &ExecOptions::default(),
         )
         .unwrap_err();
-        assert_eq!(e, ExecError::DivisionByZero);
+        assert_eq!(e, ExecError::Trap(Trap::DivisionByZero));
         // Memory untouched.
         assert_eq!(mem.read_slice_i64(base, 1), vec![9]);
     }

@@ -40,6 +40,6 @@ pub mod memory;
 pub mod value;
 
 pub use diff::{check_equivalent, outcomes_match, run_with_args, ArgSpec, ArrayData, RunOutcome};
-pub use exec::{run, ExecError, ExecOptions, ExecResult};
+pub use exec::{run, ExecError, ExecOptions, ExecResult, Trap};
 pub use memory::Memory;
 pub use value::Value;

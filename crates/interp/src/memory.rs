@@ -2,7 +2,7 @@
 
 use snslp_ir::{ScalarType, Type};
 
-use crate::exec::ExecError;
+use crate::exec::{ExecError, Trap};
 use crate::value::Value;
 
 /// A flat, bounds-checked byte memory. Address 0 is reserved (acts as a
@@ -136,9 +136,11 @@ impl Memory {
     }
 
     fn read_bytes(&self, addr: u64, len: u64) -> Result<&[u8], ExecError> {
-        let end = addr.checked_add(len).ok_or(ExecError::OutOfBounds(addr))?;
+        let end = addr
+            .checked_add(len)
+            .ok_or(ExecError::Trap(Trap::OutOfBounds(addr)))?;
         if addr < ALIGN || end > self.bytes.len() as u64 {
-            return Err(ExecError::OutOfBounds(addr));
+            return Err(Trap::OutOfBounds(addr).into());
         }
         Ok(&self.bytes[addr as usize..end as usize])
     }
@@ -146,9 +148,9 @@ impl Memory {
     fn write_bytes(&mut self, addr: u64, data: &[u8]) -> Result<(), ExecError> {
         let end = addr
             .checked_add(data.len() as u64)
-            .ok_or(ExecError::OutOfBounds(addr))?;
+            .ok_or(ExecError::Trap(Trap::OutOfBounds(addr)))?;
         if addr < ALIGN || end > self.bytes.len() as u64 {
-            return Err(ExecError::OutOfBounds(addr));
+            return Err(Trap::OutOfBounds(addr).into());
         }
         self.bytes[addr as usize..end as usize].copy_from_slice(data);
         Ok(())
@@ -232,9 +234,9 @@ impl Memory {
                 let total: u64 = lanes.iter().map(lane_size).sum();
                 let end = addr
                     .checked_add(total)
-                    .ok_or(ExecError::OutOfBounds(addr))?;
+                    .ok_or(ExecError::Trap(Trap::OutOfBounds(addr)))?;
                 if addr < ALIGN || end > self.bytes.len() as u64 {
-                    return Err(ExecError::OutOfBounds(addr));
+                    return Err(Trap::OutOfBounds(addr).into());
                 }
                 let mut a = addr;
                 for lane in lanes {

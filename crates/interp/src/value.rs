@@ -4,7 +4,7 @@ use std::fmt;
 
 use snslp_ir::{BinOp, CastKind, CmpPred, Constant, ScalarType, UnOp};
 
-use crate::exec::ExecError;
+use crate::exec::{ExecError, Trap};
 
 /// A dynamic value produced by interpreting the IR.
 #[derive(Debug, Clone, PartialEq)]
@@ -124,13 +124,13 @@ fn int_binop(op: BinOp, x: i64, y: i64) -> Result<i64, ExecError> {
         BinOp::Mul => x.wrapping_mul(y),
         BinOp::Div => {
             if y == 0 {
-                return Err(ExecError::DivisionByZero);
+                return Err(Trap::DivisionByZero.into());
             }
             x.wrapping_div(y)
         }
         BinOp::Rem => {
             if y == 0 {
-                return Err(ExecError::DivisionByZero);
+                return Err(Trap::DivisionByZero.into());
             }
             x.wrapping_rem(y)
         }
@@ -334,9 +334,9 @@ mod tests {
     #[test]
     fn int_div_by_zero_traps() {
         let e = apply_binop(BinOp::Div, &Value::I32(1), &Value::I32(0)).unwrap_err();
-        assert!(matches!(e, ExecError::DivisionByZero));
+        assert!(matches!(e, ExecError::Trap(Trap::DivisionByZero)));
         let e = apply_binop(BinOp::Rem, &Value::I64(1), &Value::I64(0)).unwrap_err();
-        assert!(matches!(e, ExecError::DivisionByZero));
+        assert!(matches!(e, ExecError::Trap(Trap::DivisionByZero)));
     }
 
     #[test]

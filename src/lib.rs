@@ -12,7 +12,9 @@
 //! * [`interp`] — the reference interpreter (`snslp-interp`);
 //! * [`core`] — the vectorizer passes (`snslp-core`);
 //! * [`kernels`] — the Table I kernel suite (`snslp-kernels`);
-//! * [`trace`] — structured tracing, remarks and metrics (`snslp-trace`).
+//! * [`trace`] — structured tracing, remarks and metrics (`snslp-trace`);
+//! * [`fuzz`] — offline differential fuzzing: generator, oracle and
+//!   reducer (`snslp-fuzz`).
 //!
 //! # Examples
 //!
@@ -30,6 +32,7 @@
 
 pub use snslp_core as core;
 pub use snslp_cost as cost;
+pub use snslp_fuzz as fuzz;
 pub use snslp_interp as interp;
 pub use snslp_ir as ir;
 pub use snslp_kernels as kernels;
