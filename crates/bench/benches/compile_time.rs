@@ -1,77 +1,69 @@
 //! Bench for the paper's Fig. 11: wall-clock compilation time of each
-//! kernel under O3 (cleanup only), LSLP, and SN-SLP.
+//! kernel under O3 (cleanup only), SLP, LSLP, and SN-SLP.
 //!
 //! The paper's claim: "Super-Node SLP does not introduce any significant
 //! compilation-time overhead" — compare the `LSLP` and `SN-SLP` columns.
 //!
 //! Plain `fn main()` harness (no external bench framework) so the
 //! workspace builds offline; run with `cargo bench --bench compile_time`.
+//!
+//! Pass `--report <path>` to also emit the machine-readable JSON report
+//! (schema `snslp-bench-compile-time/v1`). The checked-in
+//! `BENCH_compile_time.json` at the repository root is a snapshot of this
+//! output and the baseline the CI `bench-smoke` job (`bench_check`)
+//! compares against.
 
-use std::time::Instant;
-
-use snslp_core::{optimize_o3, run_slp, SlpConfig, SlpMode};
-use snslp_kernels::registry;
+use snslp_bench::measure_compile_times;
 
 const WARMUP_RUNS: usize = 3;
 const TIMED_RUNS: usize = 20;
 
-/// Mean and sample standard deviation of per-run times, in microseconds.
-fn stats(samples: &[f64]) -> (f64, f64) {
-    let n = samples.len() as f64;
-    let mean = samples.iter().sum::<f64>() / n;
-    let var = if samples.len() > 1 {
-        samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / (n - 1.0)
-    } else {
-        0.0
-    };
-    (mean, var.sqrt())
-}
-
-/// Time `pipeline` over fresh builds of the kernel; returns (mean, sd) in µs.
-fn time_pipeline(
-    build: &dyn Fn() -> snslp_ir::Function,
-    pipeline: &dyn Fn(&mut snslp_ir::Function),
-) -> (f64, f64) {
-    for _ in 0..WARMUP_RUNS {
-        let mut f = build();
-        pipeline(&mut f);
-        std::hint::black_box(&f);
-    }
-    let mut samples = Vec::with_capacity(TIMED_RUNS);
-    for _ in 0..TIMED_RUNS {
-        let mut f = build();
-        let start = Instant::now();
-        pipeline(&mut f);
-        samples.push(start.elapsed().as_secs_f64() * 1e6);
-        std::hint::black_box(&f);
-    }
-    stats(&samples)
-}
-
 fn main() {
     // Cargo passes `--bench` (and possibly filter args) to the harness;
-    // this simple harness runs everything regardless.
+    // only `--report <path>` is meaningful here.
+    let mut args = std::env::args().skip(1);
+    let mut report_path = None;
+    while let Some(arg) = args.next() {
+        if arg == "--report" {
+            report_path = Some(args.next().unwrap_or_else(|| {
+                eprintln!("--report needs a path");
+                std::process::exit(2);
+            }));
+        }
+    }
+
+    let report = measure_compile_times(WARMUP_RUNS, TIMED_RUNS);
+
     println!("compile_time: {TIMED_RUNS} timed runs per entry, mean ± sd (µs)");
     println!(
-        "{:<24} {:>16} {:>16} {:>16}",
-        "kernel", "o3", "lslp", "sn-slp"
+        "{:<24} {:>14} {:>14} {:>14} {:>14} {:>6}",
+        "kernel", "o3", "slp", "lslp", "sn-slp", "cache"
     );
-    for kernel in registry() {
-        let build = || kernel.build();
-        let (o3_mean, o3_sd) = time_pipeline(&build, &|f| {
-            optimize_o3(f);
-        });
-        let mut cells = vec![format!("{o3_mean:.1}±{o3_sd:.1}")];
-        for mode in [SlpMode::Lslp, SlpMode::SnSlp] {
-            let cfg = SlpConfig::new(mode);
-            let (mean, sd) = time_pipeline(&build, &|f| {
-                run_slp(f, &cfg);
-            });
-            cells.push(format!("{mean:.1}±{sd:.1}"));
-        }
+    for k in &report.kernels {
+        let cell = |label: &str| {
+            let t = k.mode(label).expect("all pipelines measured");
+            format!("{:.1}±{:.1}", t.mean_us, t.sd_us)
+        };
+        let cache = match k.cache_hit_rate {
+            Some(r) => format!("{:.0}%", 100.0 * r),
+            None => "-".to_string(),
+        };
         println!(
-            "{:<24} {:>16} {:>16} {:>16}",
-            kernel.name, cells[0], cells[1], cells[2]
+            "{:<24} {:>14} {:>14} {:>14} {:>14} {:>6}",
+            k.name,
+            cell("o3"),
+            cell("slp"),
+            cell("lslp"),
+            cell("snslp"),
+            cache
         );
+    }
+
+    if let Some(path) = report_path {
+        std::fs::write(&path, report.to_json()).unwrap_or_else(|e| {
+            eprintln!("writing {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("report written to {path}");
     }
 }

@@ -1,0 +1,81 @@
+//! CI gate for the compile-time benchmark trajectory: re-measures every
+//! registry kernel and compares against the checked-in baseline
+//! (`BENCH_compile_time.json` by default).
+//!
+//! Exit status is non-zero when
+//! * the baseline file is missing or malformed (schema tag, structure,
+//!   implausible timings), or
+//! * a baseline kernel is missing from the fresh run, or
+//! * any kernel's fresh SN-SLP *minimum* run time exceeds
+//!   `REGRESSION_FACTOR` (2×) the baseline minimum — a sign of an
+//!   algorithmic regression. Minima rather than means: scheduler blips
+//!   only ever inflate individual samples, so the min is stable on noisy
+//!   single-core CI hosts where the mean of a 40µs kernel swings freely,
+//!   while a real complexity regression raises every sample.
+//!
+//! Fresh kernels absent from the baseline are reported but do not fail:
+//! a new kernel lands before its trajectory point does.
+//!
+//! Usage: `bench_check [baseline.json]`
+
+use snslp_bench::measure_compile_times;
+use snslp_bench::report::{CompileTimeReport, REGRESSION_FACTOR};
+
+/// Fewer runs than the full bench: CI wants a smoke signal, and the 2×
+/// gate leaves plenty of room for the extra variance.
+const WARMUP_RUNS: usize = 2;
+const TIMED_RUNS: usize = 10;
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_compile_time.json".to_string());
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        eprintln!("bench_check: cannot read baseline {path}: {e}");
+        std::process::exit(1);
+    });
+    let baseline = CompileTimeReport::from_json(&text).unwrap_or_else(|e| {
+        eprintln!("bench_check: baseline {path} is malformed: {e}");
+        std::process::exit(1);
+    });
+
+    let fresh = measure_compile_times(WARMUP_RUNS, TIMED_RUNS);
+    let mut failures = 0usize;
+    println!(
+        "bench_check: {} baseline kernels, gate {REGRESSION_FACTOR}x on sn-slp min",
+        baseline.kernels.len()
+    );
+    for base in &baseline.kernels {
+        let Some(now) = fresh.kernels.iter().find(|k| k.name == base.name) else {
+            eprintln!("  {}: MISSING from fresh measurement", base.name);
+            failures += 1;
+            continue;
+        };
+        let (Some(base_t), Some(now_t)) = (base.mode("snslp"), now.mode("snslp")) else {
+            eprintln!("  {}: missing snslp timing", base.name);
+            failures += 1;
+            continue;
+        };
+        let ratio = now_t.min_us / base_t.min_us;
+        let verdict = if ratio > REGRESSION_FACTOR {
+            failures += 1;
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!(
+            "  {:<24} baseline min {:>8.1}µs now min {:>8.1}µs ({:>5.2}x) {}",
+            base.name, base_t.min_us, now_t.min_us, ratio, verdict
+        );
+    }
+    for now in &fresh.kernels {
+        if !baseline.kernels.iter().any(|k| k.name == now.name) {
+            println!("  {:<24} new kernel (no baseline yet)", now.name);
+        }
+    }
+    if failures > 0 {
+        eprintln!("bench_check: {failures} failure(s)");
+        std::process::exit(1);
+    }
+    println!("bench_check: all kernels within the gate");
+}

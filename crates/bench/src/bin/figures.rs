@@ -6,8 +6,6 @@
 //! scales kernel iteration counts (default: each kernel's
 //! `default_iters`).
 
-use std::collections::HashSet;
-
 use snslp_bench::{measure_benchmark, measure_kernel, mode_label, timed_compiles, KernelRow};
 use snslp_core::{build_graph, evaluate, BlockCtx, SlpConfig, SlpMode};
 use snslp_kernels::{benchmarks, kernel_by_name, registry};
@@ -226,7 +224,7 @@ fn cost_table(fig: &str, kernel: &str) {
                 &f,
                 &ctx,
                 |st| target.max_lanes(st),
-                &HashSet::new(),
+                &snslp_ir::FxHashSet::default(),
             );
             for g in seeds {
                 let graph = build_graph(&f, &ctx, &cfg, &g.stores);

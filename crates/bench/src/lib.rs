@@ -12,13 +12,18 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
-use std::time::Duration;
+pub mod report;
+
+use std::time::{Duration, Instant};
 
 use snslp_core::{optimize_o3, run_slp, FunctionReport, SlpConfig, SlpMode};
 use snslp_cost::CostModel;
 use snslp_interp::{run_with_args, ExecOptions};
 use snslp_ir::Function;
 use snslp_kernels::{Benchmark, Kernel};
+use snslp_trace::{Counter, MetricsSnapshot};
+
+use report::{CompileTimeReport, KernelTiming, Timing};
 
 /// The three compiler configurations of the evaluation (§V): `O3` is all
 /// vectorizers disabled.
@@ -211,6 +216,91 @@ pub fn measure_benchmark(bench: &Benchmark) -> BenchRow {
     BenchRow {
         bench: bench.clone(),
         results,
+    }
+}
+
+/// The four compile pipelines of the compile-time benchmark, as
+/// `(report label, configuration)` pairs.
+pub const COMPILE_PIPELINES: [(&str, Option<SlpMode>); 4] = [
+    ("o3", None),
+    ("slp", Some(SlpMode::Slp)),
+    ("lslp", Some(SlpMode::Lslp)),
+    ("snslp", Some(SlpMode::SnSlp)),
+];
+
+/// Mean and sample standard deviation of `samples`, in their own unit.
+fn mean_sd(samples: &[f64]) -> (f64, f64) {
+    let n = samples.len() as f64;
+    let mean = samples.iter().sum::<f64>() / n;
+    let var = if samples.len() > 1 {
+        samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / (n - 1.0)
+    } else {
+        0.0
+    };
+    (mean, var.sqrt())
+}
+
+/// Times one pipeline over fresh builds of a kernel: `warmup` discarded
+/// runs, then `runs` timed ones. Microseconds.
+fn time_pipeline(kernel: &Kernel, mode: Option<SlpMode>, warmup: usize, runs: usize) -> Timing {
+    for _ in 0..warmup {
+        let mut f = kernel.build();
+        compile(&mut f, mode);
+        std::hint::black_box(&f);
+    }
+    let mut samples = Vec::with_capacity(runs);
+    for _ in 0..runs {
+        let mut f = kernel.build();
+        let start = Instant::now();
+        compile(&mut f, mode);
+        samples.push(start.elapsed().as_secs_f64() * 1e6);
+        std::hint::black_box(&f);
+    }
+    let (mean_us, sd_us) = mean_sd(&samples);
+    let min_us = samples.iter().copied().fold(f64::INFINITY, f64::min);
+    Timing {
+        mean_us,
+        sd_us,
+        min_us,
+    }
+}
+
+/// Look-ahead score cache hit rate of one SN-SLP compile of the kernel
+/// (`hits / (hits + misses)`), from the thread-local metrics registry.
+fn snslp_cache_hit_rate(kernel: &Kernel) -> Option<f64> {
+    let before = MetricsSnapshot::current();
+    let mut f = kernel.build();
+    run_slp(&mut f, &SlpConfig::new(SlpMode::SnSlp));
+    let delta = MetricsSnapshot::current().delta_since(&before);
+    let hits = delta.get(Counter::LookaheadCacheHits) as f64;
+    let misses = delta.get(Counter::LookaheadCacheMisses) as f64;
+    if hits + misses == 0.0 {
+        None
+    } else {
+        Some(hits / (hits + misses))
+    }
+}
+
+/// Measures compile time of every registry kernel under every pipeline
+/// of [`COMPILE_PIPELINES`], producing the machine-readable report the
+/// `compile_time` bench emits and `bench_check` re-measures.
+pub fn measure_compile_times(warmup: usize, runs: usize) -> CompileTimeReport {
+    let kernels = snslp_kernels::registry()
+        .iter()
+        .map(|kernel| KernelTiming {
+            name: kernel.name.to_string(),
+            modes: COMPILE_PIPELINES
+                .iter()
+                .map(|&(label, mode)| {
+                    (label.to_string(), time_pipeline(kernel, mode, warmup, runs))
+                })
+                .collect(),
+            cache_hit_rate: snslp_cache_hit_rate(kernel),
+        })
+        .collect();
+    CompileTimeReport {
+        timed_runs: runs,
+        kernels,
     }
 }
 

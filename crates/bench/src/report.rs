@@ -1,0 +1,587 @@
+//! Machine-readable bench reports: a tiny JSON value type (emitter *and*
+//! parser, so the workspace stays free of external crates), plus the
+//! schema for the compile-time benchmark trajectory file
+//! `BENCH_compile_time.json` checked in at the repository root.
+//!
+//! The checked-in file is the baseline the CI `bench-smoke` job compares
+//! fresh measurements against (see `src/bin/bench_check.rs`): a kernel
+//! whose fresh SN-SLP mean exceeds `REGRESSION_FACTOR` times the
+//! baseline mean fails the job.
+
+use std::fmt::Write as _;
+
+/// The schema tag every compile-time report carries; bump on breaking
+/// format changes.
+pub const COMPILE_TIME_SCHEMA: &str = "snslp-bench-compile-time/v1";
+
+/// A fresh per-kernel mean may exceed the checked-in baseline by up to
+/// this factor before `bench_check` fails. Generous on purpose: CI
+/// machines are noisy, and the job exists to catch algorithmic
+/// regressions (quadratic blowups), not jitter.
+pub const REGRESSION_FACTOR: f64 = 2.0;
+
+// ---------------------------------------------------------------------
+// Minimal JSON value: just enough for the bench reports.
+// ---------------------------------------------------------------------
+
+/// A JSON value. Numbers are `f64` (the reports only carry timings and
+/// rates); object keys keep insertion order so emitted files are stable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Member lookup on an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a number, if it is one.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a string, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array, if it is one.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Pretty-prints with two-space indentation and a trailing newline
+    /// (so the checked-in file diffs cleanly).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn render_into(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => {
+                // Integral values print without a fraction; everything
+                // else gets enough digits to round-trip timings.
+                if n.fract() == 0.0 && n.abs() < 1e15 {
+                    let _ = write!(out, "{}", *n as i64);
+                } else {
+                    let _ = write!(out, "{n}");
+                }
+            }
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\t' => out.push_str("\\t"),
+                        '\r' => out.push_str("\\r"),
+                        c if (c as u32) < 0x20 => {
+                            let _ = write!(out, "\\u{:04x}", c as u32);
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    pad(out, indent + 1);
+                    item.render_into(out, indent + 1);
+                }
+                out.push('\n');
+                pad(out, indent);
+                out.push(']');
+            }
+            Json::Obj(members) => {
+                if members.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    pad(out, indent + 1);
+                    Json::Str(k.clone()).render_into(out, indent + 1);
+                    out.push_str(": ");
+                    v.render_into(out, indent + 1);
+                }
+                out.push('\n');
+                pad(out, indent);
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses a JSON document. Errors carry the byte offset they were
+    /// detected at.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing content at byte {pos}"));
+        }
+        Ok(value)
+    }
+}
+
+fn pad(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), String> {
+    if *pos < bytes.len() && bytes[*pos] == b {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {}", b as char, *pos))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    let Some(&b) = bytes.get(*pos) else {
+        return Err("unexpected end of input".to_string());
+    };
+    match b {
+        b'{' => {
+            *pos += 1;
+            let mut members = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(members));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                expect(bytes, pos, b':')?;
+                let value = parse_value(bytes, pos)?;
+                members.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(members));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+                }
+            }
+        }
+        b'[' => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+                }
+            }
+        }
+        b'"' => Ok(Json::Str(parse_string(bytes, pos)?)),
+        b't' => parse_lit(bytes, pos, "true", Json::Bool(true)),
+        b'f' => parse_lit(bytes, pos, "false", Json::Bool(false)),
+        b'n' => parse_lit(bytes, pos, "null", Json::Null),
+        _ => parse_number(bytes, pos),
+    }
+}
+
+fn parse_lit(bytes: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {}", *pos))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+    text.parse::<f64>()
+        .map(Json::Num)
+        .map_err(|_| format!("invalid number {text:?} at byte {start}"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        let Some(&b) = bytes.get(*pos) else {
+            return Err("unterminated string".to_string());
+        };
+        *pos += 1;
+        match b {
+            b'"' => return Ok(out),
+            b'\\' => {
+                let Some(&esc) = bytes.get(*pos) else {
+                    return Err("unterminated escape".to_string());
+                };
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b't' => out.push('\t'),
+                    b'r' => out.push('\r'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        let hex = bytes
+                            .get(*pos..*pos + 4)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or_else(|| format!("bad \\u escape at byte {}", *pos))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| format!("bad \\u escape at byte {}", *pos))?;
+                        *pos += 4;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    _ => return Err(format!("bad escape at byte {}", *pos - 1)),
+                }
+            }
+            _ => {
+                // Re-sync to char boundary for multi-byte UTF-8.
+                let s = &bytes[*pos - 1..];
+                let ch_len = utf8_len(b);
+                let chunk =
+                    std::str::from_utf8(&s[..ch_len.min(s.len())]).map_err(|e| e.to_string())?;
+                out.push_str(chunk);
+                *pos += ch_len - 1;
+            }
+        }
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Compile-time report schema.
+// ---------------------------------------------------------------------
+
+/// Statistics of a timing series, microseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Timing {
+    /// Mean over the timed runs.
+    pub mean_us: f64,
+    /// Sample standard deviation.
+    pub sd_us: f64,
+    /// Fastest run. The regression gate compares minima: the minimum is
+    /// a stable lower bound on the true cost (scheduler blips only ever
+    /// inflate samples), so it stays meaningful on noisy CI hosts where
+    /// the mean of a 40µs kernel can swing well past 2x.
+    pub min_us: f64,
+}
+
+/// One kernel's row of the compile-time report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelTiming {
+    /// Kernel name (registry name).
+    pub name: String,
+    /// One timing per pipeline: `("o3" | "slp" | "lslp" | "snslp", t)`.
+    pub modes: Vec<(String, Timing)>,
+    /// Look-ahead score cache hit rate under SN-SLP
+    /// (`hits / (hits + misses)`), `None` when no scores were requested.
+    pub cache_hit_rate: Option<f64>,
+}
+
+impl KernelTiming {
+    /// Timing for a pipeline label.
+    pub fn mode(&self, label: &str) -> Option<Timing> {
+        self.modes.iter().find(|(l, _)| l == label).map(|&(_, t)| t)
+    }
+}
+
+/// The whole compile-time report: the benchmark trajectory point that is
+/// checked in and that CI re-measures against.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompileTimeReport {
+    /// Number of timed runs behind every mean.
+    pub timed_runs: usize,
+    /// One row per kernel, registry order.
+    pub kernels: Vec<KernelTiming>,
+}
+
+impl CompileTimeReport {
+    /// Renders the report as pretty JSON.
+    pub fn to_json(&self) -> String {
+        let kernels = self
+            .kernels
+            .iter()
+            .map(|k| {
+                let modes = k
+                    .modes
+                    .iter()
+                    .map(|(label, t)| {
+                        (
+                            label.clone(),
+                            Json::Obj(vec![
+                                ("mean_us".to_string(), Json::Num(round3(t.mean_us))),
+                                ("sd_us".to_string(), Json::Num(round3(t.sd_us))),
+                                ("min_us".to_string(), Json::Num(round3(t.min_us))),
+                            ]),
+                        )
+                    })
+                    .collect();
+                let mut row = vec![
+                    ("name".to_string(), Json::Str(k.name.clone())),
+                    ("modes".to_string(), Json::Obj(modes)),
+                ];
+                row.push((
+                    "cache_hit_rate".to_string(),
+                    match k.cache_hit_rate {
+                        Some(r) => Json::Num(round3(r)),
+                        None => Json::Null,
+                    },
+                ));
+                Json::Obj(row)
+            })
+            .collect();
+        Json::Obj(vec![
+            (
+                "schema".to_string(),
+                Json::Str(COMPILE_TIME_SCHEMA.to_string()),
+            ),
+            ("timed_runs".to_string(), Json::Num(self.timed_runs as f64)),
+            ("kernels".to_string(), Json::Arr(kernels)),
+        ])
+        .render()
+    }
+
+    /// Parses and validates a report document.
+    pub fn from_json(text: &str) -> Result<CompileTimeReport, String> {
+        let doc = Json::parse(text)?;
+        let schema = doc
+            .get("schema")
+            .and_then(Json::as_str)
+            .ok_or("missing schema tag")?;
+        if schema != COMPILE_TIME_SCHEMA {
+            return Err(format!(
+                "schema mismatch: {schema:?} != {COMPILE_TIME_SCHEMA:?}"
+            ));
+        }
+        let timed_runs = doc
+            .get("timed_runs")
+            .and_then(Json::as_num)
+            .ok_or("missing timed_runs")? as usize;
+        let mut kernels = Vec::new();
+        for row in doc
+            .get("kernels")
+            .and_then(Json::as_arr)
+            .ok_or("missing kernels")?
+        {
+            let name = row
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or("kernel row missing name")?
+                .to_string();
+            let Some(Json::Obj(mode_members)) = row.get("modes") else {
+                return Err(format!("kernel {name}: missing modes object"));
+            };
+            let mut modes = Vec::new();
+            for (label, t) in mode_members {
+                let mean_us = t
+                    .get("mean_us")
+                    .and_then(Json::as_num)
+                    .ok_or_else(|| format!("kernel {name}/{label}: missing mean_us"))?;
+                let sd_us = t
+                    .get("sd_us")
+                    .and_then(Json::as_num)
+                    .ok_or_else(|| format!("kernel {name}/{label}: missing sd_us"))?;
+                let min_us = t
+                    .get("min_us")
+                    .and_then(Json::as_num)
+                    .ok_or_else(|| format!("kernel {name}/{label}: missing min_us"))?;
+                if !(mean_us.is_finite() && mean_us > 0.0 && sd_us.is_finite() && sd_us >= 0.0) {
+                    return Err(format!("kernel {name}/{label}: implausible timing"));
+                }
+                if !(min_us.is_finite() && min_us > 0.0 && min_us <= mean_us + 1e-9) {
+                    return Err(format!("kernel {name}/{label}: implausible min_us"));
+                }
+                modes.push((
+                    label.clone(),
+                    Timing {
+                        mean_us,
+                        sd_us,
+                        min_us,
+                    },
+                ));
+            }
+            let cache_hit_rate = match row.get("cache_hit_rate") {
+                Some(Json::Null) | None => None,
+                Some(v) => {
+                    let r = v
+                        .as_num()
+                        .ok_or_else(|| format!("kernel {name}: bad cache_hit_rate"))?;
+                    if !(0.0..=1.0).contains(&r) {
+                        return Err(format!("kernel {name}: cache_hit_rate {r} out of range"));
+                    }
+                    Some(r)
+                }
+            };
+            kernels.push(KernelTiming {
+                name,
+                modes,
+                cache_hit_rate,
+            });
+        }
+        if kernels.is_empty() {
+            return Err("report has no kernels".to_string());
+        }
+        Ok(CompileTimeReport {
+            timed_runs,
+            kernels,
+        })
+    }
+}
+
+fn round3(v: f64) -> f64 {
+    (v * 1000.0).round() / 1000.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CompileTimeReport {
+        CompileTimeReport {
+            timed_runs: 20,
+            kernels: vec![KernelTiming {
+                name: "milc_su3".to_string(),
+                modes: vec![
+                    (
+                        "o3".to_string(),
+                        Timing {
+                            mean_us: 91.25,
+                            sd_us: 2.0,
+                            min_us: 88.5,
+                        },
+                    ),
+                    (
+                        "snslp".to_string(),
+                        Timing {
+                            mean_us: 120.5,
+                            sd_us: 4.125,
+                            min_us: 112.0,
+                        },
+                    ),
+                ],
+                cache_hit_rate: Some(0.75),
+            }],
+        }
+    }
+
+    #[test]
+    fn report_round_trips() {
+        let r = sample();
+        let text = r.to_json();
+        let back = CompileTimeReport::from_json(&text).unwrap();
+        assert_eq!(r, back);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        assert!(CompileTimeReport::from_json("{").is_err());
+        assert!(CompileTimeReport::from_json("{}").is_err());
+        assert!(CompileTimeReport::from_json(r#"{"schema": "other/v9"}"#).is_err());
+        // Negative timing is implausible.
+        let bad = sample().to_json().replace("91.25", "-1.0");
+        assert!(CompileTimeReport::from_json(&bad).is_err());
+    }
+
+    #[test]
+    fn json_values_round_trip() {
+        let text =
+            r#"{"a": [1, 2.5, -3e2], "b": "x\"\né", "c": null, "d": [true, false], "e": {}}"#;
+        let v = Json::parse(text).unwrap();
+        assert_eq!(v.get("b").and_then(Json::as_str), Some("x\"\né"));
+        let again = Json::parse(&v.render()).unwrap();
+        assert_eq!(v, again);
+    }
+
+    #[test]
+    fn parser_rejects_trailing_garbage() {
+        assert!(Json::parse("{} extra").is_err());
+        assert!(Json::parse("[1,]").is_err());
+    }
+}

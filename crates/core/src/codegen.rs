@@ -8,11 +8,11 @@
 //! possible when an extract would have to cross an aliasing memory
 //! operation) leaves the function untouched.
 
-use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 
 use snslp_ir::analysis::{may_alias, MemLoc};
+use snslp_ir::FxHashMap;
 use snslp_ir::{BinOp, BlockId, Constant, Function, InstId, InstKind, OpFamily, Type};
 
 use crate::chain::Sign;
@@ -47,7 +47,7 @@ impl Error for CodegenError {}
 /// the function is then left semantically unchanged (only unreferenced
 /// detached arena slots may remain).
 pub fn apply(f: &mut Function, block: BlockId, graph: &SlpGraph) -> Result<(), CodegenError> {
-    let positions: HashMap<InstId, usize> = f
+    let positions: FxHashMap<InstId, usize> = f
         .block(block)
         .insts()
         .iter()
@@ -61,9 +61,9 @@ pub fn apply(f: &mut Function, block: BlockId, graph: &SlpGraph) -> Result<(), C
         positions: &positions,
         state: vec![EmitState::Todo; graph.nodes.len()],
         new_insts: Vec::new(),
-        new_keys: HashMap::new(),
-        extracts: HashMap::new(),
-        reduction_values: HashMap::new(),
+        new_keys: FxHashMap::default(),
+        extracts: FxHashMap::default(),
+        reduction_values: FxHashMap::default(),
     };
     em.emit_node(graph.root())?;
 
@@ -112,14 +112,14 @@ enum EmitState {
 struct Emitter<'a> {
     f: &'a mut Function,
     graph: &'a SlpGraph,
-    positions: &'a HashMap<InstId, usize>,
+    positions: &'a FxHashMap<InstId, usize>,
     state: Vec<EmitState>,
     new_insts: Vec<InstId>,
     /// Scheduling key (inherited block position) of each new instruction.
-    new_keys: HashMap<InstId, usize>,
-    extracts: HashMap<InstId, InstId>,
+    new_keys: FxHashMap<InstId, usize>,
+    extracts: FxHashMap<InstId, InstId>,
     /// Scalar results of reduction roots (replace the root directly).
-    reduction_values: HashMap<InstId, InstId>,
+    reduction_values: FxHashMap<InstId, InstId>,
 }
 
 impl Emitter<'_> {
@@ -498,9 +498,9 @@ fn schedule(
     f: &mut Function,
     block: BlockId,
     graph: &SlpGraph,
-    positions: &HashMap<InstId, usize>,
+    positions: &FxHashMap<InstId, usize>,
     new_insts: &[InstId],
-    new_keys: &HashMap<InstId, usize>,
+    new_keys: &FxHashMap<InstId, usize>,
 ) -> Result<(), CodegenError> {
     let old: Vec<InstId> = f.block(block).insts().to_vec();
     let terminator = *old.last().expect("non-empty block");
@@ -532,7 +532,7 @@ fn schedule(
         }
     };
 
-    let index: HashMap<InstId, usize> = items.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+    let index: FxHashMap<InstId, usize> = items.iter().enumerate().map(|(i, &v)| (v, i)).collect();
     let n = items.len();
     let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
     let mut indeg: Vec<usize> = vec![0; n];

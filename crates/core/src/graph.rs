@@ -1,15 +1,15 @@
 //! The SLP graph: bundles of isomorphic scalars and their operand
 //! relations (paper Fig. 1, step 3 — the part SN-SLP modifies).
 
-use std::collections::HashMap;
-
+use snslp_ir::FxHashMap;
 use snslp_ir::{BinOp, Function, InstId, InstKind, OpFamily};
 
 use crate::chain::{extract_chain, LaneChain, Sign};
 use crate::config::{SlpConfig, SlpMode};
 use crate::ctx::BlockCtx;
-use crate::lookahead::score_pair;
-use crate::supernode::{plan_supernode_with, SuperNodePlan};
+use crate::lookahead::score_pair_with;
+use crate::score_cache::LruScoreCache;
+use crate::supernode::{plan_supernode_cached, SuperNodePlan};
 
 /// Index of a node within an [`SlpGraph`].
 pub type NodeId = usize;
@@ -197,7 +197,7 @@ pub struct SlpGraph {
     pub width: u8,
     /// Scalar instruction → node covering it as a vector lane (includes
     /// Super-Node trunk instructions).
-    pub covered: HashMap<InstId, NodeId>,
+    pub covered: FxHashMap<InstId, NodeId>,
 }
 
 impl SlpGraph {
@@ -265,13 +265,27 @@ impl SlpGraph {
 
 /// Builds the SLP graph for `seeds` (a bundle of adjacent stores).
 pub fn build_graph(f: &Function, ctx: &BlockCtx, cfg: &SlpConfig, seeds: &[InstId]) -> SlpGraph {
+    build_graph_cached(f, ctx, cfg, seeds, None)
+}
+
+/// [`build_graph`] with an optional memoized look-ahead score cache,
+/// shared across the graphs the pass builds over one unchanged function
+/// (mode fallbacks and half-width retries re-score the same pairs).
+pub fn build_graph_cached(
+    f: &Function,
+    ctx: &BlockCtx,
+    cfg: &SlpConfig,
+    seeds: &[InstId],
+    cache: Option<&LruScoreCache>,
+) -> SlpGraph {
     let mut b = GraphBuilder {
         f,
         ctx,
         cfg,
+        cache,
         nodes: Vec::new(),
-        bundle_map: HashMap::new(),
-        covered: HashMap::new(),
+        bundle_map: FxHashMap::default(),
+        covered: FxHashMap::default(),
     };
     let root = b.build_bundle(seeds.to_vec(), 0);
     debug_assert_eq!(root, 0);
@@ -292,13 +306,27 @@ pub fn build_reduction_graph(
     seed: &crate::seeds::ReductionSeed,
     width: u8,
 ) -> SlpGraph {
+    build_reduction_graph_cached(f, ctx, cfg, seed, width, None)
+}
+
+/// [`build_reduction_graph`] with an optional memoized look-ahead score
+/// cache (see [`build_graph_cached`]).
+pub fn build_reduction_graph_cached(
+    f: &Function,
+    ctx: &BlockCtx,
+    cfg: &SlpConfig,
+    seed: &crate::seeds::ReductionSeed,
+    width: u8,
+    cache: Option<&LruScoreCache>,
+) -> SlpGraph {
     let mut b = GraphBuilder {
         f,
         ctx,
         cfg,
+        cache,
         nodes: Vec::new(),
-        bundle_map: HashMap::new(),
-        covered: HashMap::new(),
+        bundle_map: FxHashMap::default(),
+        covered: FxHashMap::default(),
     };
     let full_groups = seed.leaves.len() / width as usize;
     let leftover: Vec<InstId> = seed.leaves[full_groups * width as usize..].to_vec();
@@ -332,9 +360,10 @@ struct GraphBuilder<'a> {
     f: &'a Function,
     ctx: &'a BlockCtx,
     cfg: &'a SlpConfig,
+    cache: Option<&'a LruScoreCache>,
     nodes: Vec<Node>,
-    bundle_map: HashMap<Vec<InstId>, NodeId>,
-    covered: HashMap<InstId, NodeId>,
+    bundle_map: FxHashMap<Vec<InstId>, NodeId>,
+    covered: FxHashMap<InstId, NodeId>,
 }
 
 impl GraphBuilder<'_> {
@@ -561,7 +590,7 @@ impl GraphBuilder<'_> {
         let direction = |fwd: bool| -> bool {
             bundle.windows(2).all(|w| {
                 let (a, b) = if fwd { (w[0], w[1]) } else { (w[1], w[0]) };
-                match (self.ctx.memlocs.get(&a), self.ctx.memlocs.get(&b)) {
+                match (self.ctx.memloc(a), self.ctx.memloc(b)) {
                     (Some(la), Some(lb)) => snslp_ir::is_consecutive(self.f, la, lb),
                     _ => false,
                 }
@@ -577,7 +606,7 @@ impl GraphBuilder<'_> {
         // Collapsing the loads must not cross an aliasing store.
         let (lo, hi) = self.ctx.span(&bundle);
         for &l in &bundle {
-            let loc = self.ctx.memlocs[&l];
+            let loc = *self.ctx.memloc(l).expect("load has a memloc");
             if self.ctx.aliasing_store_within(self.f, lo, hi, &loc) {
                 return self.gather(bundle, GatherWhy::Aliasing);
             }
@@ -594,7 +623,10 @@ impl GraphBuilder<'_> {
     fn build_store_bundle(&mut self, bundle: Vec<InstId>, depth: u32) -> NodeId {
         // Seed collection guarantees adjacency; re-check for safety.
         for w in bundle.windows(2) {
-            let (a, b) = (self.ctx.memlocs[&w[0]], self.ctx.memlocs[&w[1]]);
+            let (a, b) = (
+                *self.ctx.memloc(w[0]).expect("store has a memloc"),
+                *self.ctx.memloc(w[1]).expect("store has a memloc"),
+            );
             if !snslp_ir::is_consecutive(self.f, &a, &b) {
                 return self.gather(bundle, GatherWhy::NonConsecutiveStores);
             }
@@ -602,7 +634,7 @@ impl GraphBuilder<'_> {
         // Collapsing the stores must not cross an aliasing memory op.
         let (lo, hi) = self.ctx.span(&bundle);
         for &s in &bundle {
-            let loc = self.ctx.memlocs[&s];
+            let loc = *self.ctx.memloc(s).expect("store has a memloc");
             if self.ctx.aliasing_mem_within(self.f, lo, hi, &loc, &bundle) {
                 return self.gather(bundle, GatherWhy::Aliasing);
             }
@@ -726,8 +758,10 @@ impl GraphBuilder<'_> {
             if lane > 0 && ops[lane].is_commutative() {
                 let pl = lefts[lane - 1];
                 let pr = rights[lane - 1];
-                let straight = score_pair(self.f, pl, l, depth) + score_pair(self.f, pr, r, depth);
-                let swapped = score_pair(self.f, pl, r, depth) + score_pair(self.f, pr, l, depth);
+                let straight = score_pair_with(self.f, self.cache, pl, l, depth)
+                    + score_pair_with(self.f, self.cache, pr, r, depth);
+                let swapped = score_pair_with(self.f, self.cache, pl, r, depth)
+                    + score_pair_with(self.f, self.cache, pr, l, depth);
                 if swapped > straight {
                     std::mem::swap(&mut l, &mut r);
                 }
@@ -814,11 +848,12 @@ impl GraphBuilder<'_> {
     /// Plans the reordering and creates the Super-Node and its operand
     /// slot bundles.
     fn commit_super(&mut self, bundle: &[InstId], chains: Vec<LaneChain>, depth: u32) -> NodeId {
-        let plan: SuperNodePlan = plan_supernode_with(
+        let plan: SuperNodePlan = plan_supernode_cached(
             self.f,
             chains,
             self.cfg.lookahead_depth,
             self.cfg.enable_trunk_reordering,
+            self.cache,
         );
 
         let info = SuperInfo {

@@ -9,6 +9,8 @@
 use snslp_ir::analysis::{is_consecutive, MemLoc};
 use snslp_ir::{Function, InstId, InstKind};
 
+use crate::score_cache::LruScoreCache;
+
 /// Score constants, mirroring LLVM's `LookAheadHeuristics`.
 pub mod score {
     /// Identical values (splat candidates).
@@ -30,9 +32,49 @@ pub mod score {
 }
 
 /// Scores packing `a` (lane *i*) with `b` (lane *i+1*), looking `depth`
-/// levels down the use-def chains.
+/// levels down the use-def chains. Uncached: every call (including the
+/// recursive ones) recomputes from the IR. The pass pipeline uses
+/// [`score_pair_with`]; this entry point is the reference baseline the
+/// property tests compare the memoized path against.
 pub fn score_pair(f: &Function, a: InstId, b: InstId, depth: u32) -> i32 {
+    score_pair_with(f, None, a, b, depth)
+}
+
+/// Memoizing variant of [`score_pair`]. Every request — top-level or
+/// recursive — counts one `LookaheadScoreEvals` plus exactly one of
+/// `LookaheadCacheHits`/`LookaheadCacheMisses` when a cache is supplied
+/// (the fuzz oracle checks `hits + misses == evals` over a pass run), and
+/// computed scores are memoized at every recursion level.
+pub fn score_pair_with(
+    f: &Function,
+    cache: Option<&LruScoreCache>,
+    a: InstId,
+    b: InstId,
+    depth: u32,
+) -> i32 {
     snslp_trace::bump(snslp_trace::Counter::LookaheadScoreEvals);
+    match cache {
+        Some(c) => {
+            if let Some(s) = c.get(a, b, depth) {
+                snslp_trace::bump(snslp_trace::Counter::LookaheadCacheHits);
+                return s;
+            }
+            snslp_trace::bump(snslp_trace::Counter::LookaheadCacheMisses);
+            let s = compute_score_pair(f, cache, a, b, depth);
+            c.insert(a, b, depth, s);
+            s
+        }
+        None => compute_score_pair(f, None, a, b, depth),
+    }
+}
+
+fn compute_score_pair(
+    f: &Function,
+    cache: Option<&LruScoreCache>,
+    a: InstId,
+    b: InstId,
+    depth: u32,
+) -> i32 {
     if a == b {
         return score::SPLAT;
     }
@@ -66,7 +108,7 @@ pub fn score_pair(f: &Function, a: InstId, b: InstId, depth: u32) -> i32 {
             }
             let mut s = score::SAME_OPCODE;
             if depth > 0 {
-                s += best_operand_match(f, a, b, depth - 1);
+                s += best_operand_match(f, cache, a, b, depth - 1);
             }
             s
         }
@@ -76,7 +118,7 @@ pub fn score_pair(f: &Function, a: InstId, b: InstId, depth: u32) -> i32 {
             }
             let mut s = score::SAME_OPCODE;
             if depth > 0 {
-                s += best_operand_match(f, a, b, depth - 1);
+                s += best_operand_match(f, cache, a, b, depth - 1);
             }
             s
         }
@@ -92,7 +134,13 @@ pub fn score_pair(f: &Function, a: InstId, b: InstId, depth: u32) -> i32 {
 
 /// Sum of the best pairwise operand scores of two same-opcode
 /// instructions, trying the swapped pairing too when the op commutes.
-fn best_operand_match(f: &Function, a: InstId, b: InstId, depth: u32) -> i32 {
+fn best_operand_match(
+    f: &Function,
+    cache: Option<&LruScoreCache>,
+    a: InstId,
+    b: InstId,
+    depth: u32,
+) -> i32 {
     let oa = f.kind(a).operands();
     let ob = f.kind(b).operands();
     if oa.len() != ob.len() || oa.is_empty() {
@@ -101,14 +149,15 @@ fn best_operand_match(f: &Function, a: InstId, b: InstId, depth: u32) -> i32 {
     let straight: i32 = oa
         .iter()
         .zip(&ob)
-        .map(|(&x, &y)| score_pair(f, x, y, depth))
+        .map(|(&x, &y)| score_pair_with(f, cache, x, y, depth))
         .sum();
     let commutes = match f.kind(a) {
         InstKind::Binary { op, .. } => op.is_commutative(),
         _ => false,
     };
     if commutes && oa.len() == 2 {
-        let crossed = score_pair(f, oa[0], ob[1], depth) + score_pair(f, oa[1], ob[0], depth);
+        let crossed = score_pair_with(f, cache, oa[0], ob[1], depth)
+            + score_pair_with(f, cache, oa[1], ob[0], depth);
         straight.max(crossed)
     } else {
         straight
@@ -116,11 +165,22 @@ fn best_operand_match(f: &Function, a: InstId, b: InstId, depth: u32) -> i32 {
 }
 
 /// Total score of a whole candidate group: the sum of adjacent-lane pair
-/// scores (paper Listing 2, line 14).
+/// scores (paper Listing 2, line 14). Uncached reference entry point,
+/// like [`score_pair`].
 pub fn score_group(f: &Function, group: &[InstId], depth: u32) -> i32 {
+    score_group_with(f, None, group, depth)
+}
+
+/// Memoizing variant of [`score_group`].
+pub fn score_group_with(
+    f: &Function,
+    cache: Option<&LruScoreCache>,
+    group: &[InstId],
+    depth: u32,
+) -> i32 {
     group
         .windows(2)
-        .map(|w| score_pair(f, w[0], w[1], depth))
+        .map(|w| score_pair_with(f, cache, w[0], w[1], depth))
         .sum()
 }
 
@@ -223,5 +283,45 @@ mod tests {
             g,
             score_pair(&fx.f, fx.b0, fx.b1, 2) + score_pair(&fx.f, fx.b1, fx.c0, 2)
         );
+    }
+
+    #[test]
+    fn cached_scores_match_uncached() {
+        let fx = fixture();
+        let cache = LruScoreCache::default();
+        let all = [fx.b0, fx.b1, fx.c0, fx.k1, fx.k2, fx.add_bb, fx.add_bc];
+        for depth in 0..4 {
+            for &a in &all {
+                for &b in &all {
+                    let plain = score_pair(&fx.f, a, b, depth);
+                    // Twice: first fills the cache, second hits it.
+                    assert_eq!(score_pair_with(&fx.f, Some(&cache), a, b, depth), plain);
+                    assert_eq!(score_pair_with(&fx.f, Some(&cache), a, b, depth), plain);
+                }
+            }
+        }
+        assert_eq!(
+            score_group(&fx.f, &all, 3),
+            score_group_with(&fx.f, Some(&cache), &all, 3)
+        );
+    }
+
+    #[test]
+    fn cache_accounting_covers_every_eval() {
+        use snslp_trace::{Counter, MetricsSnapshot};
+        let fx = fixture();
+        let cache = LruScoreCache::default();
+        let before = MetricsSnapshot::current();
+        score_pair_with(&fx.f, Some(&cache), fx.add_bb, fx.add_bc, 3);
+        // Re-scoring the same pair and a group over it must be all hits.
+        score_pair_with(&fx.f, Some(&cache), fx.add_bb, fx.add_bc, 3);
+        score_group_with(&fx.f, Some(&cache), &[fx.add_bb, fx.add_bc], 3);
+        let d = MetricsSnapshot::current().delta_since(&before);
+        let evals = d.get(Counter::LookaheadScoreEvals);
+        let hits = d.get(Counter::LookaheadCacheHits);
+        let misses = d.get(Counter::LookaheadCacheMisses);
+        assert!(evals > 0);
+        assert_eq!(hits + misses, evals, "every request is a hit or a miss");
+        assert!(hits > 0, "repeated subtree scoring must hit the cache");
     }
 }

@@ -2,10 +2,10 @@
 //! graph, estimate cost, vectorize if profitable, repeat), plus the
 //! statistics the paper's evaluation reports.
 
-use std::collections::HashSet;
 use std::time::{Duration, Instant};
 
 use snslp_ir::printer::{block_name, value_name};
+use snslp_ir::FxHashSet;
 use snslp_ir::{opt, Function, Module};
 use snslp_trace::{Counter, MetricsSnapshot, ReasonCode, Remark, Stage, StageTimer};
 
@@ -14,7 +14,8 @@ use crate::config::{SlpConfig, SlpMode};
 use crate::cost_eval;
 use crate::ctx::BlockCtx;
 use crate::dot::graph_to_dot;
-use crate::graph::{build_graph, GatherWhy, SlpGraph};
+use crate::graph::{build_graph_cached, GatherWhy, SlpGraph};
+use crate::score_cache::LruScoreCache;
 use crate::seeds::collect_store_seeds;
 
 /// Stable lowercase pass code used in remarks and trace records.
@@ -194,10 +195,11 @@ fn best_graph(
     ctx: &BlockCtx,
     cfg: &SlpConfig,
     seeds: &[snslp_ir::InstId],
+    cache: &LruScoreCache,
 ) -> (crate::graph::SlpGraph, cost_eval::CostBreakdown) {
     let graph = {
         let _t = StageTimer::start(Stage::GraphBuild);
-        build_graph(f, ctx, cfg, seeds)
+        build_graph_cached(f, ctx, cfg, seeds, Some(cache))
     };
     let cost = {
         let _t = StageTimer::start(Stage::CostEval);
@@ -217,7 +219,10 @@ fn best_graph(
         sub.mode = mode;
         let g = {
             let _t = StageTimer::start(Stage::GraphBuild);
-            build_graph(f, ctx, &sub, seeds)
+            // The look-ahead score of a pair is mode-independent, so the
+            // fallback rebuilds share the cache: most pair scores the
+            // weaker-mode graph needs were already computed.
+            build_graph_cached(f, ctx, &sub, seeds, Some(cache))
         };
         let c = {
             let _t = StageTimer::start(Stage::CostEval);
@@ -256,14 +261,17 @@ pub fn run_slp(f: &mut Function, cfg: &SlpConfig) -> FunctionReport {
 
     let mut graphs = Vec::new();
     let mut remarks: Vec<Remark> = Vec::new();
+    // Look-ahead scores stay valid while the function is unchanged, so
+    // one memo cache serves the whole function; it is cleared after
+    // every committed rewrite (and block analyses recomputed) — paper
+    // Fig. 1 loops back to step 2 after each vectorized seed group.
+    let cache = LruScoreCache::default();
     let blocks: Vec<_> = f.block_ids().collect();
     for block in blocks {
         let bname = block_name(f, block);
-        let mut processed: HashSet<snslp_ir::InstId> = HashSet::new();
+        let mut processed: FxHashSet<snslp_ir::InstId> = FxHashSet::default();
+        let mut ctx = BlockCtx::compute(f, block);
         loop {
-            // Analyses are recomputed after every rewrite (paper Fig. 1
-            // loops back to step 2 after each seed group).
-            let ctx = BlockCtx::compute(f, block);
             let target = cfg.model.target().clone();
             let groups = {
                 let _t = StageTimer::start(Stage::Seeds);
@@ -278,10 +286,10 @@ pub fn run_slp(f: &mut Function, cfg: &SlpConfig) -> FunctionReport {
             if snslp_trace::enabled(snslp_trace::Facet::Dot) && cfg.mode != SlpMode::Slp {
                 let mut sub = cfg.clone();
                 sub.mode = SlpMode::Slp;
-                let pre = build_graph(f, &ctx, &sub, &group.stores);
+                let pre = build_graph_cached(f, &ctx, &sub, &group.stores, Some(&cache));
                 dot_hook(f, &pre, "pre_reorder", f.name(), &bname, &site);
             }
-            let (mut graph, mut cost) = best_graph(f, &ctx, cfg, &group.stores);
+            let (mut graph, mut cost) = best_graph(f, &ctx, cfg, &group.stores, &cache);
             dot_hook(f, &graph, "post_reorder", f.name(), &bname, &site);
             if cost.total >= cfg.threshold && group.width() > 2 {
                 // Retry at half width (like LLVM): a narrower bundle may
@@ -293,7 +301,7 @@ pub fn run_slp(f: &mut Function, cfg: &SlpConfig) -> FunctionReport {
                     processed.insert(s);
                 }
                 let narrow = &group.stores[..half];
-                let (g2, c2) = best_graph(f, &ctx, cfg, narrow);
+                let (g2, c2) = best_graph(f, &ctx, cfg, narrow, &cache);
                 if c2.total < cost.total {
                     graph = g2;
                     cost = c2;
@@ -344,6 +352,10 @@ pub fn run_slp(f: &mut Function, cfg: &SlpConfig) -> FunctionReport {
                                 panic!("vectorizer broke the IR:\n{e}\n{f}");
                             }
                         }
+                        // The rewrite invalidated both the block analyses
+                        // and the memoized scores.
+                        cache.clear();
+                        ctx = BlockCtx::compute(f, block);
                     }
                     Err(e) => {
                         // Scheduling failed; leave the scalar code alone.
@@ -378,9 +390,10 @@ pub fn run_slp(f: &mut Function, cfg: &SlpConfig) -> FunctionReport {
 
         // Horizontal-reduction seeds (the paper's `-slp-vectorize-hor`).
         if cfg.enable_reductions {
-            let mut processed_roots: HashSet<snslp_ir::InstId> = HashSet::new();
+            let mut processed_roots: FxHashSet<snslp_ir::InstId> = FxHashSet::default();
             loop {
-                let ctx = BlockCtx::compute(f, block);
+                // `ctx` is still fresh here: the store loop recomputes it
+                // after every rewrite, and this loop does the same below.
                 let seeds = {
                     let _t = StageTimer::start(Stage::Seeds);
                     crate::seeds::collect_reduction_seeds(
@@ -419,7 +432,14 @@ pub fn run_slp(f: &mut Function, cfg: &SlpConfig) -> FunctionReport {
                 }
                 let graph = {
                     let _t = StageTimer::start(Stage::GraphBuild);
-                    crate::graph::build_reduction_graph(f, &ctx, cfg, &seed, width)
+                    crate::graph::build_reduction_graph_cached(
+                        f,
+                        &ctx,
+                        cfg,
+                        &seed,
+                        width,
+                        Some(&cache),
+                    )
                 };
                 let cost = {
                     let _t = StageTimer::start(Stage::CostEval);
@@ -452,6 +472,8 @@ pub fn run_slp(f: &mut Function, cfg: &SlpConfig) -> FunctionReport {
                                     panic!("vectorizer broke the IR (reduction):\n{e}\n{f}");
                                 }
                             }
+                            cache.clear();
+                            ctx = BlockCtx::compute(f, block);
                         }
                         Err(e) => {
                             sched_detail = Some(format!("{e:?}"));
@@ -532,12 +554,76 @@ fn sanitize(s: &str) -> String {
         .to_string()
 }
 
-/// Runs the pass over every function of a module, returning one merged
-/// report per function.
+/// Runs the pass over every function of a module, returning one report
+/// per function, in module order.
+///
+/// Functions are independent rewrite units, so they are distributed over
+/// `min(num_functions, available_parallelism)` scoped worker threads.
+/// The result is deterministic and byte-identical to a serial run:
+///
+/// * reports come back in module function order regardless of which
+///   worker finished first;
+/// * trace output is buffered per function ([`snslp_trace::RecordCapture`])
+///   and replayed to the session sink in function order, never
+///   interleaved;
+/// * metrics counters and stage timers are thread-local, so each
+///   report's [`MetricsSnapshot`] delta covers exactly its own function.
+///
+/// Modules with at most one function (and hosts reporting a single CPU)
+/// take the plain serial path. Set `SNSLP_THREADS` to override the worker
+/// count, or call [`run_slp_module_with_threads`] directly.
 pub fn run_slp_module(m: &mut Module, cfg: &SlpConfig) -> Vec<FunctionReport> {
-    m.functions_mut()
-        .iter_mut()
-        .map(|f| run_slp(f, cfg))
+    let threads = std::env::var("SNSLP_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&t| t > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        });
+    run_slp_module_with_threads(m, cfg, threads)
+}
+
+/// [`run_slp_module`] with an explicit worker-thread count (`threads = 1`
+/// forces the serial path; higher counts are clamped to the number of
+/// functions).
+pub fn run_slp_module_with_threads(
+    m: &mut Module,
+    cfg: &SlpConfig,
+    threads: usize,
+) -> Vec<FunctionReport> {
+    let funcs: Vec<&mut Function> = m.functions_mut().iter_mut().collect();
+    let workers = threads.max(1).min(funcs.len());
+    if workers <= 1 {
+        return funcs.into_iter().map(|f| run_slp(f, cfg)).collect();
+    }
+
+    let queue = std::sync::Mutex::new(funcs.into_iter().enumerate());
+    let done = std::sync::Mutex::new(Vec::new());
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                // Hold the queue lock only for the pop, not the run.
+                let job = queue.lock().unwrap_or_else(|e| e.into_inner()).next();
+                let Some((idx, f)) = job else { break };
+                let capture = snslp_trace::RecordCapture::begin();
+                let report = run_slp(f, cfg);
+                let records = capture.finish();
+                done.lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .push((idx, report, records));
+            });
+        }
+    });
+
+    let mut done = done.into_inner().unwrap_or_else(|e| e.into_inner());
+    done.sort_by_key(|&(idx, ..)| idx);
+    done.into_iter()
+        .map(|(_, report, records)| {
+            snslp_trace::replay_records(records);
+            report
+        })
         .collect()
 }
 

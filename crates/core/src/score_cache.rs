@@ -1,0 +1,222 @@
+//! Memoization cache for look-ahead pair scores.
+//!
+//! [`score_pair`](crate::lookahead::score_pair) is pure in the function
+//! body: for a fixed `Function`, the score of `(a, b, depth)` never
+//! changes. The pass re-scores the same pairs many times — operand
+//! reordering re-walks shared subtrees, Super-Node leaf grouping scores
+//! every candidate leaf against every slot anchor, and mode fallbacks /
+//! half-width retries rebuild graphs over the same values — so a small
+//! cache keyed on `(a, b, depth)` removes most of the recursive
+//! re-evaluation.
+//!
+//! The cache uses interior mutability (`RefCell`) because scoring call
+//! sites hold `&Function` and thread the cache as a shared reference
+//! through recursion. Eviction is segmented ("generational") LRU: a hot
+//! and a cold `HashMap` generation. Lookups hit the hot generation first,
+//! promote from cold on a hit there, and inserts go to hot; when hot
+//! fills up, it becomes the new cold generation and the old cold is
+//! dropped. Every operation is O(1) amortized, and a recently used entry
+//! always survives at least one full generation turnover.
+//!
+//! **Invalidation is the caller's job**: any rewrite of the function
+//! (vectorization, cleanup) invalidates the keys, so the pass driver
+//! clears the cache whenever a graph is committed.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+use snslp_ir::InstId;
+
+/// Default per-generation capacity. Two generations are live at once, so
+/// the worst-case footprint is twice this many entries (12 bytes of
+/// payload each plus map overhead) — small enough to be per-function
+/// throwaway state.
+pub const DEFAULT_SCORE_CACHE_CAPACITY: usize = 1 << 14;
+
+/// A fast, non-cryptographic hasher for the packed score key. The
+/// standard `SipHash` costs more than the memoized computation it guards
+/// on small subtrees; this is a single multiply-xor mix (fxhash-style),
+/// which is plenty for arena indexes.
+#[derive(Debug, Default)]
+pub struct ScoreKeyHasher(u64);
+
+const SEED: u64 = 0x9E37_79B9_7F4A_7C15;
+
+impl Hasher for ScoreKeyHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(SEED).rotate_left(5);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.0 = (self.0 ^ v).wrapping_mul(SEED).rotate_left(26);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, v: u128) {
+        self.write_u64(v as u64);
+        self.write_u64((v >> 64) as u64);
+    }
+}
+
+type ScoreMap = HashMap<u128, i32, BuildHasherDefault<ScoreKeyHasher>>;
+
+/// Packs `(a, b, depth)` into one exact (collision-free) key: the two
+/// 32-bit arena ids and the depth each get their own field.
+#[inline]
+fn key(a: InstId, b: InstId, depth: u32) -> u128 {
+    (u128::from(a.0) << 64) | (u128::from(b.0) << 32) | u128::from(depth)
+}
+
+#[derive(Debug, Default)]
+struct Generations {
+    hot: ScoreMap,
+    cold: ScoreMap,
+}
+
+/// Segmented-LRU memo table for `(a, b, depth) → score`. See the module
+/// docs for the eviction scheme and the invalidation contract.
+#[derive(Debug)]
+pub struct LruScoreCache {
+    gens: RefCell<Generations>,
+    capacity: usize,
+}
+
+impl Default for LruScoreCache {
+    fn default() -> Self {
+        Self::new(DEFAULT_SCORE_CACHE_CAPACITY)
+    }
+}
+
+impl LruScoreCache {
+    /// Creates a cache holding up to `capacity` entries per generation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "score cache capacity must be nonzero");
+        LruScoreCache {
+            gens: RefCell::new(Generations::default()),
+            capacity,
+        }
+    }
+
+    /// Looks up a memoized score, promoting cold-generation hits.
+    pub fn get(&self, a: InstId, b: InstId, depth: u32) -> Option<i32> {
+        let k = key(a, b, depth);
+        let mut gens = self.gens.borrow_mut();
+        if let Some(&s) = gens.hot.get(&k) {
+            return Some(s);
+        }
+        if let Some(s) = gens.cold.remove(&k) {
+            Self::insert_hot(&mut gens, self.capacity, k, s);
+            return Some(s);
+        }
+        None
+    }
+
+    /// Memoizes a score.
+    pub fn insert(&self, a: InstId, b: InstId, depth: u32, score: i32) {
+        let mut gens = self.gens.borrow_mut();
+        let k = key(a, b, depth);
+        Self::insert_hot(&mut gens, self.capacity, k, score);
+    }
+
+    fn insert_hot(gens: &mut Generations, capacity: usize, k: u128, score: i32) {
+        if gens.hot.len() >= capacity && !gens.hot.contains_key(&k) {
+            // Generation turnover: hot becomes cold, old cold is dropped.
+            let retired = std::mem::take(&mut gens.hot);
+            gens.cold = retired;
+        }
+        gens.hot.insert(k, score);
+    }
+
+    /// Number of live entries across both generations.
+    pub fn len(&self) -> usize {
+        let gens = self.gens.borrow();
+        gens.hot.len() + gens.cold.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every entry. Call after any rewrite of the function the
+    /// cached scores were computed over.
+    pub fn clear(&self) {
+        let mut gens = self.gens.borrow_mut();
+        gens.hot.clear();
+        gens.cold.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(n: u32) -> InstId {
+        InstId(n)
+    }
+
+    #[test]
+    fn get_after_insert() {
+        let c = LruScoreCache::new(8);
+        assert_eq!(c.get(id(1), id(2), 3), None);
+        c.insert(id(1), id(2), 3, 42);
+        assert_eq!(c.get(id(1), id(2), 3), Some(42));
+        // Key fields are not interchangeable.
+        assert_eq!(c.get(id(2), id(1), 3), None);
+        assert_eq!(c.get(id(1), id(2), 2), None);
+    }
+
+    #[test]
+    fn generation_turnover_keeps_recent_entries() {
+        let c = LruScoreCache::new(4);
+        for i in 0..4 {
+            c.insert(id(i), id(i), 0, i as i32);
+        }
+        // Turnover: 0..4 retire to the cold generation.
+        c.insert(id(100), id(100), 0, -1);
+        // A cold hit survives by promotion into the hot generation.
+        assert_eq!(c.get(id(3), id(3), 0), Some(3));
+        // Fill hot again; the next turnover drops the unpromoted rest.
+        for i in 200..203 {
+            c.insert(id(i), id(i), 0, 9);
+        }
+        c.insert(id(300), id(300), 0, 9);
+        assert_eq!(c.get(id(3), id(3), 0), Some(3), "promoted entry survives");
+        assert_eq!(c.get(id(0), id(0), 0), None, "unpromoted entry evicted");
+    }
+
+    #[test]
+    fn clear_empties_both_generations() {
+        let c = LruScoreCache::new(2);
+        c.insert(id(1), id(1), 0, 1);
+        c.insert(id(2), id(2), 0, 2);
+        c.insert(id(3), id(3), 0, 3);
+        assert!(!c.is_empty());
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.get(id(1), id(1), 0), None);
+    }
+
+    #[test]
+    fn bounded_footprint() {
+        let c = LruScoreCache::new(16);
+        for i in 0..10_000 {
+            c.insert(id(i), id(i + 1), 2, i as i32);
+        }
+        assert!(c.len() <= 32, "two generations of 16: {}", c.len());
+    }
+}

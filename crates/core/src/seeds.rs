@@ -5,9 +5,8 @@
 //! finds runs of stores to consecutive addresses of the same element type
 //! and chunks them into power-of-two bundles.
 
-use std::collections::{HashMap, HashSet};
-
 use snslp_ir::{Function, InstId, InstKind, ScalarType};
+use snslp_ir::{FxHashMap, FxHashSet};
 
 use crate::ctx::BlockCtx;
 
@@ -34,10 +33,10 @@ pub fn collect_store_seeds(
     f: &Function,
     ctx: &BlockCtx,
     max_lanes: impl Fn(ScalarType) -> u8,
-    processed: &HashSet<InstId>,
+    processed: &FxHashSet<InstId>,
 ) -> Vec<SeedGroup> {
     // Group stores by (address root, element type).
-    let mut buckets: HashMap<(InstId, ScalarType), Vec<(i64, InstId)>> = HashMap::new();
+    let mut buckets: FxHashMap<(InstId, ScalarType), Vec<(i64, InstId)>> = FxHashMap::default();
     for &id in f.block(ctx.block).insts() {
         if processed.contains(&id) {
             continue;
@@ -48,7 +47,7 @@ pub fn collect_store_seeds(
         let Some(elem) = f.ty(*value).as_scalar() else {
             continue; // vector stores are already vectorized
         };
-        let Some(loc) = ctx.memlocs.get(&id) else {
+        let Some(loc) = ctx.memloc(id) else {
             continue;
         };
         buckets
@@ -140,7 +139,7 @@ pub fn collect_reduction_seeds(
     f: &Function,
     ctx: &BlockCtx,
     min_leaves: usize,
-    processed: &HashSet<InstId>,
+    processed: &FxHashSet<InstId>,
 ) -> Vec<ReductionSeed> {
     let mut out = Vec::new();
     for &id in f.block(ctx.block).insts() {
@@ -233,7 +232,7 @@ mod tests {
 
     fn seeds_of(f: &Function, max: u8) -> Vec<SeedGroup> {
         let ctx = BlockCtx::compute(f, f.entry());
-        collect_store_seeds(f, &ctx, |_| max, &HashSet::new())
+        collect_store_seeds(f, &ctx, |_| max, &FxHashSet::default())
     }
 
     #[test]
@@ -283,7 +282,7 @@ mod tests {
     fn processed_stores_are_skipped() {
         let (f, stores) = store_fn(&[0, 1]);
         let ctx = BlockCtx::compute(&f, f.entry());
-        let mut processed = HashSet::new();
+        let mut processed = FxHashSet::default();
         processed.insert(stores[0]);
         let groups = collect_store_seeds(&f, &ctx, |_| 2, &processed);
         assert!(groups.is_empty(), "a lone store cannot seed");
@@ -344,7 +343,7 @@ mod tests {
     fn reduction_seed_detected() {
         let (f, root) = reduction_fn(8);
         let ctx = BlockCtx::compute(&f, f.entry());
-        let seeds = collect_reduction_seeds(&f, &ctx, 4, &HashSet::new());
+        let seeds = collect_reduction_seeds(&f, &ctx, 4, &FxHashSet::default());
         assert_eq!(seeds.len(), 1);
         assert_eq!(seeds[0].root, root);
         assert_eq!(seeds[0].leaves.len(), 8);
@@ -355,7 +354,7 @@ mod tests {
     fn short_reductions_skipped() {
         let (f, _) = reduction_fn(3);
         let ctx = BlockCtx::compute(&f, f.entry());
-        assert!(collect_reduction_seeds(&f, &ctx, 4, &HashSet::new()).is_empty());
+        assert!(collect_reduction_seeds(&f, &ctx, 4, &FxHashSet::default()).is_empty());
     }
 
     #[test]
@@ -377,7 +376,7 @@ mod tests {
         fb.ret(None);
         let f = fb.finish(); // fast_math NOT set
         let ctx = BlockCtx::compute(&f, f.entry());
-        assert!(collect_reduction_seeds(&f, &ctx, 4, &HashSet::new()).is_empty());
+        assert!(collect_reduction_seeds(&f, &ctx, 4, &FxHashSet::default()).is_empty());
     }
 
     #[test]
@@ -385,7 +384,7 @@ mod tests {
         // Every interior add is absorbed by the root's tree.
         let (f, _) = reduction_fn(6);
         let ctx = BlockCtx::compute(&f, f.entry());
-        let seeds = collect_reduction_seeds(&f, &ctx, 2, &HashSet::new());
+        let seeds = collect_reduction_seeds(&f, &ctx, 2, &FxHashSet::default());
         assert_eq!(seeds.len(), 1);
     }
 }

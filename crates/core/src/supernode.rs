@@ -25,7 +25,8 @@
 use snslp_ir::{Function, InstId, OpFamily};
 
 use crate::chain::{LaneChain, Sign};
-use crate::lookahead::score_pair;
+use crate::lookahead::score_pair_with;
+use crate::score_cache::LruScoreCache;
 
 /// One lane's contribution to one operand slot of the Super-Node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -142,6 +143,20 @@ pub fn plan_supernode_with(
     lookahead_depth: u32,
     allow_trunk_swaps: bool,
 ) -> SuperNodePlan {
+    plan_supernode_cached(f, chains, lookahead_depth, allow_trunk_swaps, None)
+}
+
+/// [`plan_supernode_with`] with an optional memoized look-ahead score
+/// cache (the pass pipeline threads its per-function cache through here;
+/// leaf grouping scores every candidate leaf against every slot anchor,
+/// so it re-requests the same pairs heavily).
+pub fn plan_supernode_cached(
+    f: &Function,
+    chains: Vec<LaneChain>,
+    lookahead_depth: u32,
+    allow_trunk_swaps: bool,
+    cache: Option<&LruScoreCache>,
+) -> SuperNodePlan {
     assert!(!chains.is_empty(), "need at least one lane");
     let n_slots = chains[0].leaves.len();
     assert!(
@@ -193,7 +208,7 @@ pub fn plan_supernode_with(
                     if states[lane].used[li] || !slot_legal(&states, lane, op_i, leaf.apo) {
                         continue;
                     }
-                    let s = score_pair(f, prev_val, leaf.value, lookahead_depth);
+                    let s = score_pair_with(f, cache, prev_val, leaf.value, lookahead_depth);
                     if best_leaf.map(|(_, bs)| s > bs).unwrap_or(true) {
                         best_leaf = Some((li, s));
                     }

@@ -1,0 +1,148 @@
+//! The parallel module driver must be observably identical to a serial
+//! run: same rewritten IR, same reports in module order, and the same
+//! trace record stream (captured per worker and replayed in function
+//! order — never interleaved).
+//!
+//! This file holds a single `#[test]` because it flips the global trace
+//! facet mask; keeping it alone in its own integration binary (its own
+//! process) means no other test can observe the change.
+
+use snslp_core::{run_slp_module_with_threads, FunctionReport, SlpConfig, SlpMode};
+use snslp_ir::{FunctionBuilder, InstId, Module, Param, ScalarType, Type};
+use snslp_trace::{Facet, RecordCapture};
+
+/// The paper's Fig. 2 kernel (vectorizable under SN-SLP only), with a
+/// per-function constant twist so every function's IR and remarks are
+/// distinguishable in the trace stream.
+fn fig2_like(name: &str, twist: i64) -> snslp_ir::Function {
+    let mut fb = FunctionBuilder::new(
+        name,
+        vec![
+            Param::noalias_ptr("a"),
+            Param::noalias_ptr("b"),
+            Param::noalias_ptr("c"),
+            Param::noalias_ptr("d"),
+        ],
+        Type::Void,
+    );
+    let a = fb.func().param(0);
+    let b = fb.func().param(1);
+    let c = fb.func().param(2);
+    let d = fb.func().param(3);
+    let ld = |p: InstId, k: i64, fb: &mut FunctionBuilder| {
+        let q = fb.ptradd_const(p, 8 * k);
+        fb.load(ScalarType::I64, q)
+    };
+    // Lane 0: (B[0] - C[0]) + D[1 + twist]
+    let b0 = ld(b, 0, &mut fb);
+    let c0 = ld(c, 0, &mut fb);
+    let d1 = ld(d, 1 + twist, &mut fb);
+    let t0 = fb.sub(b0, c0);
+    let r0 = fb.add(t0, d1);
+    fb.store(a, r0);
+    // Lane 1: (D[2 + twist] - C[1]) + B[1]  (commuted operand order)
+    let d2 = ld(d, 2 + twist, &mut fb);
+    let c1 = ld(c, 1, &mut fb);
+    let b1 = ld(b, 1, &mut fb);
+    let t1 = fb.sub(d2, c1);
+    let r1 = fb.add(t1, b1);
+    let a1 = fb.ptradd_const(a, 8);
+    fb.store(a1, r1);
+    fb.ret(None);
+    fb.finish()
+}
+
+/// A function with nothing to vectorize (scattered strides).
+fn scalar_only(name: &str) -> snslp_ir::Function {
+    let mut fb = FunctionBuilder::new(
+        name,
+        vec![Param::noalias_ptr("out"), Param::noalias_ptr("x")],
+        Type::Void,
+    );
+    let out = fb.func().param(0);
+    let x = fb.func().param(1);
+    for k in 0..2i64 {
+        let p = fb.ptradd_const(x, 40 * k);
+        let v = fb.load(ScalarType::I64, p);
+        let w = fb.add(v, v);
+        let q = fb.ptradd_const(out, 8 * k);
+        fb.store(q, w);
+    }
+    fb.ret(None);
+    fb.finish()
+}
+
+fn module() -> Module {
+    let mut m = Module::new("par_det");
+    for i in 0..4 {
+        m.add_function(fig2_like(&format!("vec{i}"), i));
+        m.add_function(scalar_only(&format!("sca{i}")));
+    }
+    m
+}
+
+/// Everything about a report that a deterministic driver must reproduce
+/// (wall-clock `elapsed` and stage timings are inherently run-specific
+/// and excluded).
+fn fingerprint(r: &FunctionReport) -> String {
+    use std::fmt::Write;
+    let mut s = format!("@{} mode={:?} graphs={:?}", r.function, r.mode, r.graphs);
+    for remark in &r.remarks {
+        let _ = write!(s, "\n  {}", remark.machine());
+    }
+    s
+}
+
+#[test]
+fn parallel_run_is_byte_identical_to_serial() {
+    // Remarks only: metric records carry wall times, which legitimately
+    // differ run to run.
+    let old = snslp_trace::set_facets(Facet::Remarks as u32);
+
+    let mut serial = module();
+    let cap = RecordCapture::begin();
+    let serial_reports =
+        run_slp_module_with_threads(&mut serial, &SlpConfig::new(SlpMode::SnSlp), 1);
+    let serial_records = cap.finish();
+
+    let mut parallel = module();
+    let cap = RecordCapture::begin();
+    let parallel_reports =
+        run_slp_module_with_threads(&mut parallel, &SlpConfig::new(SlpMode::SnSlp), 4);
+    let parallel_records = cap.finish();
+
+    snslp_trace::set_facets(old);
+
+    // The rewritten module is byte-identical.
+    assert_eq!(serial.to_string(), parallel.to_string());
+
+    // Reports come back in module order with identical contents.
+    let serial_fp: Vec<_> = serial_reports.iter().map(fingerprint).collect();
+    let parallel_fp: Vec<_> = parallel_reports.iter().map(fingerprint).collect();
+    assert_eq!(serial_fp, parallel_fp);
+    let names: Vec<_> = parallel_reports
+        .iter()
+        .map(|r| r.function.as_str())
+        .collect();
+    assert_eq!(
+        names,
+        ["vec0", "sca0", "vec1", "sca1", "vec2", "sca2", "vec3", "sca3"]
+    );
+    // The work actually happened: every fig2-like function vectorized.
+    assert_eq!(
+        parallel_reports
+            .iter()
+            .map(FunctionReport::vectorized_graphs)
+            .sum::<usize>(),
+        4
+    );
+
+    // The replayed trace stream is byte-identical to the serial stream.
+    let serial_text: Vec<_> = serial_records.iter().map(|r| r.render_text()).collect();
+    let parallel_text: Vec<_> = parallel_records.iter().map(|r| r.render_text()).collect();
+    assert_eq!(serial_text, parallel_text);
+    assert!(
+        !serial_text.is_empty(),
+        "remark records should have been captured"
+    );
+}

@@ -129,6 +129,18 @@ fn check_invariants(report: &FunctionReport, threshold: i32) -> Result<(), Strin
             "{remark_v} remarks claim vectorization, report has {v} vectorized graphs"
         ));
     }
+    // Cache accounting: the pass scores exclusively through the memoized
+    // path, which bumps the eval counter and then exactly one of
+    // hits/misses per request. A gap means a scoring call site bypassed
+    // the cache (or double-counted).
+    let evals = report.metrics.get(Counter::LookaheadScoreEvals);
+    let hits = report.metrics.get(Counter::LookaheadCacheHits);
+    let misses = report.metrics.get(Counter::LookaheadCacheMisses);
+    if hits + misses != evals {
+        return Err(format!(
+            "cache accounting broken: {hits} hits + {misses} misses != {evals} score evals"
+        ));
+    }
     for (i, g) in report.graphs.iter().enumerate() {
         if g.vectorized && g.cost >= threshold {
             return Err(format!(

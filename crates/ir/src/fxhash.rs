@@ -1,0 +1,138 @@
+//! A minimal multiply-rotate hasher for the compiler's internal maps.
+//!
+//! The pass pipeline keys almost every map by `InstId` (a `u32` newtype)
+//! or by short tuples of ids; the standard library's SipHash is built for
+//! HashDoS resistance the compiler does not need and profiles as one of
+//! the hottest functions in a compile. This is the classic FxHash
+//! recipe — rotate, xor, multiply by a golden-ratio-derived constant per
+//! word — implemented here directly so the workspace stays free of
+//! external crates. All inputs come from the compiler itself, never from
+//! untrusted users, so the lack of DoS resistance is irrelevant.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplier: 2^64 / φ, forced odd (the fxhash constant).
+const K: u64 = 0x517c_c1b7_2722_0a95;
+
+/// The hasher state. Create through `BuildHasherDefault` (see
+/// [`FxHashMap`] / [`FxHashSet`]).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.add(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            // Length in the top byte so "ab" and "ab\0" differ.
+            tail[7] = rest.len() as u8;
+            self.add(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, v: u128) {
+        self.add(v as u64);
+        self.add((v >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using [`FxHasher`]. Drop-in for `std::collections::HashMap`
+/// in compiler-internal code (`FxHashMap::default()`, not `new()`).
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_and_set_round_trip() {
+        let mut m: FxHashMap<u32, &str> = FxHashMap::default();
+        for i in 0..1000u32 {
+            m.insert(i, "x");
+        }
+        assert_eq!(m.len(), 1000);
+        assert!(m.contains_key(&999));
+        let s: FxHashSet<u64> = (0..1000u64).collect();
+        assert_eq!(s.len(), 1000);
+    }
+
+    #[test]
+    fn byte_slices_with_distinct_tails_differ() {
+        fn h(bytes: &[u8]) -> u64 {
+            let mut hasher = FxHasher::default();
+            hasher.write(bytes);
+            hasher.finish()
+        }
+        assert_ne!(h(b"ab"), h(b"ab\0"));
+        assert_ne!(h(b"abcdefgh"), h(b"abcdefg"));
+        assert_eq!(h(b"abcdefgh"), h(b"abcdefgh"));
+    }
+
+    #[test]
+    fn distinct_small_keys_spread() {
+        // Sanity: the low bits of consecutive u32 keys must not collide
+        // wholesale (hashbrown uses the high bits too, but a constant
+        // hash would degenerate the table to a linked list).
+        let hashes: FxHashSet<u64> = (0..64u32)
+            .map(|i| {
+                let mut h = FxHasher::default();
+                h.write_u32(i);
+                h.finish()
+            })
+            .collect();
+        assert_eq!(hashes.len(), 64);
+    }
+}

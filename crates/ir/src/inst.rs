@@ -665,6 +665,65 @@ impl InstKind {
         }
     }
 
+    /// Applies `f` to every value operand, in the same fixed order as
+    /// [`InstKind::operands`], without allocating.
+    pub fn for_each_operand(&self, mut f: impl FnMut(InstId)) {
+        match self {
+            InstKind::Param(_) | InstKind::Const(_) | InstKind::Jump { .. } => {}
+            InstKind::Binary { lhs, rhs, .. }
+            | InstKind::BinaryLanewise { lhs, rhs, .. }
+            | InstKind::Cmp { lhs, rhs, .. } => {
+                f(*lhs);
+                f(*rhs);
+            }
+            InstKind::Unary { operand, .. } | InstKind::Cast { operand, .. } => f(*operand),
+            InstKind::Select {
+                cond,
+                on_true,
+                on_false,
+            } => {
+                f(*cond);
+                f(*on_true);
+                f(*on_false);
+            }
+            InstKind::Load { ptr } => f(*ptr),
+            InstKind::Store { ptr, value } => {
+                f(*ptr);
+                f(*value);
+            }
+            InstKind::PtrAdd { ptr, offset } => {
+                f(*ptr);
+                f(*offset);
+            }
+            InstKind::Splat { value, .. } => f(*value),
+            InstKind::BuildVector { elems } => {
+                for &e in elems {
+                    f(e);
+                }
+            }
+            InstKind::ExtractElement { vector, .. } => f(*vector),
+            InstKind::InsertElement { vector, value, .. } => {
+                f(*vector);
+                f(*value);
+            }
+            InstKind::Shuffle { a, b, .. } => {
+                f(*a);
+                f(*b);
+            }
+            InstKind::Phi { incoming } => {
+                for &(_, v) in incoming {
+                    f(v);
+                }
+            }
+            InstKind::Branch { cond, .. } => f(*cond),
+            InstKind::Ret { value } => {
+                if let Some(v) = value {
+                    f(*v);
+                }
+            }
+        }
+    }
+
     /// Applies `f` to every value-operand slot.
     pub fn for_each_operand_mut(&mut self, mut f: impl FnMut(&mut InstId)) {
         match self {

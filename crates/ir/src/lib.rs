@@ -51,6 +51,7 @@
 pub mod analysis;
 pub mod builder;
 pub mod function;
+pub mod fxhash;
 pub mod inst;
 pub mod module;
 pub mod opt;
@@ -62,6 +63,7 @@ pub mod verifier;
 pub use analysis::{decompose_address, is_consecutive, may_alias, AddrExpr, MemLoc};
 pub use builder::FunctionBuilder;
 pub use function::{BlockData, Function, InstData, Param};
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use inst::{
     BinOp, BlockId, CastKind, CmpPred, Constant, Direction, InstId, InstKind, OpFamily, UnOp,
 };

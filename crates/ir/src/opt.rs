@@ -6,9 +6,8 @@
 //! computations so that [`crate::analysis::decompose_address`] assigns the
 //! same root to equal addresses.
 
-use std::collections::HashMap;
-
 use crate::function::Function;
+use crate::fxhash::FxHashMap;
 use crate::inst::{BinOp, CastKind, Constant, InstId, InstKind, UnOp};
 
 /// A structural key identifying a pure instruction for CSE.
@@ -22,33 +21,62 @@ enum CseKey {
     Cmp(crate::inst::CmpPred, InstId, InstId),
 }
 
-fn cse_key(f: &Function, id: InstId) -> Option<CseKey> {
+/// Resolves `id` through the remap table (path-compressing as it goes),
+/// following chains created when a CSE representative is itself merged.
+fn resolve(remap: &mut [InstId], id: InstId) -> InstId {
+    let mut root = id;
+    while remap[root.index()] != root {
+        root = remap[root.index()];
+    }
+    let mut cur = id;
+    while remap[cur.index()] != root {
+        let next = remap[cur.index()];
+        remap[cur.index()] = root;
+        cur = next;
+    }
+    root
+}
+
+fn cse_key(f: &Function, id: InstId, remap: &mut [InstId]) -> Option<CseKey> {
+    // Keys are built over *resolved* operands so that merging `a` with
+    // `a'` immediately unifies the keys of their users within the same
+    // sweep — value numbering instead of repeated rescans.
     Some(match f.kind(id) {
         InstKind::Const(c) => CseKey::Const(*c),
         InstKind::Binary { op, lhs, rhs } => {
+            let (lhs, rhs) = (resolve(remap, *lhs), resolve(remap, *rhs));
             // Canonicalize commutative operand order for better hits.
             let (a, b) = if op.is_commutative() && rhs < lhs {
-                (*rhs, *lhs)
+                (rhs, lhs)
             } else {
-                (*lhs, *rhs)
+                (lhs, rhs)
             };
             CseKey::Binary(*op, a, b)
         }
-        InstKind::Unary { op, operand } => CseKey::Unary(*op, *operand),
-        InstKind::Cast { kind, operand } => CseKey::Cast(*kind, *operand),
-        InstKind::PtrAdd { ptr, offset } => CseKey::PtrAdd(*ptr, *offset),
-        InstKind::Cmp { pred, lhs, rhs } => CseKey::Cmp(*pred, *lhs, *rhs),
+        InstKind::Unary { op, operand } => CseKey::Unary(*op, resolve(remap, *operand)),
+        InstKind::Cast { kind, operand } => CseKey::Cast(*kind, resolve(remap, *operand)),
+        InstKind::PtrAdd { ptr, offset } => {
+            CseKey::PtrAdd(resolve(remap, *ptr), resolve(remap, *offset))
+        }
+        InstKind::Cmp { pred, lhs, rhs } => {
+            CseKey::Cmp(*pred, resolve(remap, *lhs), resolve(remap, *rhs))
+        }
         _ => return None,
     })
 }
 
-/// Per-block common-subexpression elimination, iterated to a fixed point
-/// (one merge can expose another once operands become equal). Returns the
-/// number of instructions eliminated.
+/// Per-block common-subexpression elimination, iterated to a fixed point.
+/// Each sweep is a value-numbering pass: operands are resolved through a
+/// remap table while keying, so a merge exposes downstream duplicates
+/// within the same sweep, and all operand rewrites are applied in one
+/// batched pass at the end instead of one `replace_all_uses` walk per
+/// elimination. The outer loop only re-runs for cross-block forward
+/// references (defs in later blocks); straight-line code converges in one
+/// sweep. Returns the number of instructions eliminated.
 pub fn local_cse(f: &mut Function) -> usize {
     let mut total = 0;
     loop {
-        let n = local_cse_once(f);
+        let n = local_cse_sweep(f);
         total += n;
         if n == 0 {
             return total;
@@ -56,28 +84,46 @@ pub fn local_cse(f: &mut Function) -> usize {
     }
 }
 
-fn local_cse_once(f: &mut Function) -> usize {
-    let mut eliminated = 0;
+fn local_cse_sweep(f: &mut Function) -> usize {
+    let slots = f.num_inst_slots();
+    let mut remap: Vec<InstId> = (0..slots as u32).map(InstId).collect();
+    let mut dead: Vec<bool> = vec![false; slots];
+    let mut eliminated = 0usize;
     for b in f.block_ids().collect::<Vec<_>>() {
-        let mut seen: HashMap<CseKey, InstId> = HashMap::new();
-        let mut replace: Vec<(InstId, InstId)> = Vec::new();
-        for &id in f.block(b).insts() {
-            if let Some(key) = cse_key(f, id) {
+        let mut seen: FxHashMap<CseKey, InstId> = FxHashMap::default();
+        let ids: Vec<InstId> = f.block(b).insts().to_vec();
+        for id in ids {
+            if let Some(key) = cse_key(f, id, &mut remap) {
                 match seen.get(&key) {
-                    Some(&prev) => replace.push((id, prev)),
+                    Some(&prev) => {
+                        remap[id.index()] = prev;
+                        dead[id.index()] = true;
+                        eliminated += 1;
+                    }
                     None => {
                         seen.insert(key, id);
                     }
                 }
             }
         }
-        eliminated += replace.len();
-        for (from, to) in replace {
-            f.replace_all_uses(from, to);
-            f.unlink_inst(b, from);
+    }
+    if eliminated == 0 {
+        return 0;
+    }
+    for b in f.block_ids().collect::<Vec<_>>() {
+        let ids: Vec<InstId> = f.block(b).insts().to_vec();
+        for id in ids {
+            f.kind_mut(id)
+                .for_each_operand_mut(|o| *o = resolve(&mut remap, *o));
         }
-        // Replacements may expose further duplicates (operands now equal);
-        // a single extra iteration per block is enough in practice.
+        let keep: Vec<InstId> = f
+            .block(b)
+            .insts()
+            .iter()
+            .copied()
+            .filter(|id| !dead[id.index()])
+            .collect();
+        f.set_block_insts(b, keep);
     }
     eliminated
 }

@@ -208,11 +208,15 @@ mod tests {
     #[test]
     fn neutral_functions_have_no_seed_pairs() {
         // The neutral fillers must be invisible to the vectorizer.
-        use std::collections::HashSet;
         for f in [stream_copy(), stride_scale(), reduce_sum()] {
             for b in f.block_ids() {
                 let ctx = snslp_core::BlockCtx::compute(&f, b);
-                let seeds = snslp_core::collect_store_seeds(&f, &ctx, |_| 4, &HashSet::new());
+                let seeds = snslp_core::collect_store_seeds(
+                    &f,
+                    &ctx,
+                    |_| 4,
+                    &snslp_ir::FxHashSet::default(),
+                );
                 assert!(seeds.is_empty(), "{} has seeds in {b}", f.name());
             }
         }

@@ -32,6 +32,7 @@
 //!
 //! `json` is a modifier, not a facet: it switches the sink to JSON lines.
 
+use std::cell::RefCell;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Mutex;
@@ -109,9 +110,83 @@ pub fn set_dot_dir(dir: Option<PathBuf>) {
     *DOT_DIR.lock().unwrap_or_else(|e| e.into_inner()) = dir;
 }
 
-/// Route a record to the global sink. Callers are expected to have
-/// checked the relevant facet already.
+thread_local! {
+    /// Per-thread capture buffer. `Some` while a [`RecordCapture`] guard
+    /// is live on this thread; records are diverted here instead of the
+    /// global sink so parallel workers never interleave their streams.
+    static CAPTURE: RefCell<Option<Vec<Record>>> = const { RefCell::new(None) };
+}
+
+/// RAII guard diverting this thread's records into a private buffer.
+///
+/// While the guard is live, every [`emit_record`] on the calling thread
+/// appends to the buffer instead of reaching the global sink. Call
+/// [`RecordCapture::finish`] to take the buffered records; the parallel
+/// module driver replays them with [`replay_records`] in deterministic
+/// function order, making the parallel trace stream byte-identical to a
+/// serial run. Guards do not nest: creating a second guard on the same
+/// thread would lose the first buffer, so `begin` panics instead.
+#[must_use = "dropping the guard discards captured records"]
+pub struct RecordCapture {
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl RecordCapture {
+    /// Start diverting this thread's records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a capture is already active on this thread.
+    pub fn begin() -> Self {
+        CAPTURE.with(|c| {
+            let mut slot = c.borrow_mut();
+            assert!(slot.is_none(), "record capture already active on thread");
+            *slot = Some(Vec::new());
+        });
+        RecordCapture {
+            _not_send: std::marker::PhantomData,
+        }
+    }
+
+    /// Stop capturing and return the buffered records in emission order.
+    pub fn finish(self) -> Vec<Record> {
+        CAPTURE.with(|c| c.borrow_mut().take()).unwrap_or_default()
+    }
+}
+
+impl Drop for RecordCapture {
+    fn drop(&mut self) {
+        // `finish` already cleared the slot; this handles early drops
+        // (panics) so the thread is reusable.
+        CAPTURE.with(|c| c.borrow_mut().take());
+    }
+}
+
+/// Replay previously captured records to the global sink, preserving
+/// order. Used by the parallel driver after sorting worker output.
+pub fn replay_records(records: Vec<Record>) {
+    for rec in records {
+        emit_record(rec);
+    }
+}
+
+/// Route a record to the active thread-local capture buffer if one is
+/// live, else to the global sink. Callers are expected to have checked
+/// the relevant facet already.
 pub fn emit_record(rec: Record) {
+    let rec = match CAPTURE.with(|c| {
+        let mut slot = c.borrow_mut();
+        match slot.as_mut() {
+            Some(buf) => {
+                buf.push(rec);
+                None
+            }
+            None => Some(rec),
+        }
+    }) {
+        Some(rec) => rec,
+        None => return,
+    };
     let mut slot = SINK.lock().unwrap_or_else(|e| e.into_inner());
     match slot.as_mut() {
         Some(sink) => sink.record(&rec),
@@ -295,6 +370,42 @@ mod tests {
         // With the facet off, emit is a no-op.
         let lines = capture(0, || remark.emit());
         assert!(lines.is_empty());
+    }
+
+    #[test]
+    fn record_capture_diverts_and_replays() {
+        let lines = capture(Facet::Events as u32, || {
+            let guard = RecordCapture::begin();
+            crate::trace_event!("test.buffered", "n" => 1u64);
+            crate::trace_event!("test.buffered", "n" => 2u64);
+            let records = guard.finish();
+            // Nothing reached the sink while the guard was live.
+            assert_eq!(records.len(), 2);
+            replay_records(records);
+        });
+        assert_eq!(
+            lines,
+            vec![
+                "[snslp] event test.buffered n=1".to_string(),
+                "[snslp] event test.buffered n=2".to_string(),
+            ]
+        );
+    }
+
+    #[test]
+    fn record_capture_clears_on_drop() {
+        let lines = capture(Facet::Events as u32, || {
+            {
+                let _guard = RecordCapture::begin();
+                crate::trace_event!("test.dropped");
+            }
+            // Guard dropped without finish: records discarded, thread
+            // reusable for a fresh capture.
+            let guard = RecordCapture::begin();
+            guard.finish();
+            crate::trace_event!("test.direct");
+        });
+        assert_eq!(lines, vec!["[snslp] event test.direct".to_string()]);
     }
 
     #[test]

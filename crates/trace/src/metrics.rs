@@ -26,6 +26,10 @@ pub enum Counter {
     BundlesAttempted,
     /// Pairwise look-ahead score evaluations.
     LookaheadScoreEvals,
+    /// Look-ahead score requests answered from the memo cache.
+    LookaheadCacheHits,
+    /// Look-ahead score requests that had to be computed (cache misses).
+    LookaheadCacheMisses,
     /// Commutative leaf reorderings applied by Super-Node planning.
     LeafMoves,
     /// Trunk-assisted (inverse-element) moves applied by Super-Node planning.
@@ -41,10 +45,12 @@ pub enum Counter {
 }
 
 impl Counter {
-    pub const ALL: [Counter; 9] = [
+    pub const ALL: [Counter; 11] = [
         Counter::SeedsCollected,
         Counter::BundlesAttempted,
         Counter::LookaheadScoreEvals,
+        Counter::LookaheadCacheHits,
+        Counter::LookaheadCacheMisses,
         Counter::LeafMoves,
         Counter::TrunkAssistedMoves,
         Counter::GathersEmitted,
@@ -58,6 +64,8 @@ impl Counter {
             Counter::SeedsCollected => "seeds_collected",
             Counter::BundlesAttempted => "bundles_attempted",
             Counter::LookaheadScoreEvals => "lookahead_score_evals",
+            Counter::LookaheadCacheHits => "lookahead_cache_hits",
+            Counter::LookaheadCacheMisses => "lookahead_cache_misses",
             Counter::LeafMoves => "leaf_moves",
             Counter::TrunkAssistedMoves => "trunk_assisted_moves",
             Counter::GathersEmitted => "gathers_emitted",

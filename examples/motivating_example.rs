@@ -5,8 +5,6 @@
 //!
 //! Run with: `cargo run --example motivating_example`
 
-use std::collections::HashSet;
-
 use snslp::core::{build_graph, evaluate, BlockCtx, NodeKind, SlpConfig, SlpMode};
 use snslp::kernels::kernel_by_name;
 
@@ -25,7 +23,7 @@ fn main() {
                     &f,
                     &ctx,
                     |st| target.max_lanes(st),
-                    &HashSet::new(),
+                    &snslp::ir::FxHashSet::default(),
                 );
                 for g in seeds {
                     let graph = build_graph(&f, &ctx, &cfg, &g.stores);
