@@ -12,6 +12,10 @@
 //! `BENCH_compile_time.json` at the repository root is a snapshot of this
 //! output and the baseline the CI `bench-smoke` job (`bench_check`)
 //! compares against.
+//!
+//! Pass `--profile <path>` to also write a Chrome-trace/Perfetto profile
+//! of the measured compilations (spans from the `snslp-prof` layer) —
+//! handy for seeing *where* a compile-time regression lives.
 
 use snslp_bench::measure_compile_times;
 
@@ -19,17 +23,30 @@ const WARMUP_RUNS: usize = 3;
 const TIMED_RUNS: usize = 20;
 
 fn main() {
+    if let Err(e) = snslp_trace::init_from_env() {
+        eprintln!("compile_time: {e}");
+        std::process::exit(2);
+    }
     // Cargo passes `--bench` (and possibly filter args) to the harness;
-    // only `--report <path>` is meaningful here.
+    // only `--report <path>` and `--profile <path>` are meaningful here.
     let mut args = std::env::args().skip(1);
     let mut report_path = None;
+    let mut profile_path = None;
     while let Some(arg) = args.next() {
         if arg == "--report" {
             report_path = Some(args.next().unwrap_or_else(|| {
                 eprintln!("--report needs a path");
                 std::process::exit(2);
             }));
+        } else if arg == "--profile" {
+            profile_path = Some(args.next().unwrap_or_else(|| {
+                eprintln!("--profile needs a path");
+                std::process::exit(2);
+            }));
         }
+    }
+    if profile_path.is_some() {
+        snslp_trace::set_facets(snslp_trace::facets() | snslp_trace::Facet::Prof as u32);
     }
 
     let report = measure_compile_times(WARMUP_RUNS, TIMED_RUNS);
@@ -65,5 +82,13 @@ fn main() {
             std::process::exit(1);
         });
         println!("report written to {path}");
+    }
+    if let Some(path) = profile_path {
+        let profile = snslp_trace::prof::take_profile();
+        std::fs::write(&path, profile.to_chrome_json()).unwrap_or_else(|e| {
+            eprintln!("writing {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("profile written to {path}");
     }
 }

@@ -13,6 +13,10 @@
 //!   single-core CI hosts where the mean of a 40µs kernel swings freely,
 //!   while a real complexity regression raises every sample.
 //!
+//! On failure, the full per-kernel delta table has already been printed
+//! and a ranked summary (worst ratio first) follows, so a CI log is
+//! actionable without rerunning locally.
+//!
 //! Fresh kernels absent from the baseline are reported but do not fail:
 //! a new kernel lands before its trajectory point does.
 //!
@@ -25,6 +29,23 @@ use snslp_bench::report::{CompileTimeReport, REGRESSION_FACTOR};
 /// gate leaves plenty of room for the extra variance.
 const WARMUP_RUNS: usize = 2;
 const TIMED_RUNS: usize = 10;
+
+/// One comparable kernel: baseline vs fresh SN-SLP minimum.
+struct DeltaRow {
+    name: String,
+    base_min_us: f64,
+    now_min_us: f64,
+}
+
+impl DeltaRow {
+    fn ratio(&self) -> f64 {
+        self.now_min_us / self.base_min_us
+    }
+
+    fn regressed(&self) -> bool {
+        self.ratio() > REGRESSION_FACTOR
+    }
+}
 
 fn main() {
     let path = std::env::args()
@@ -40,32 +61,45 @@ fn main() {
     });
 
     let fresh = measure_compile_times(WARMUP_RUNS, TIMED_RUNS);
-    let mut failures = 0usize;
-    println!(
-        "bench_check: {} baseline kernels, gate {REGRESSION_FACTOR}x on sn-slp min",
-        baseline.kernels.len()
-    );
+    let mut rows: Vec<DeltaRow> = Vec::new();
+    let mut structural_failures = 0usize;
     for base in &baseline.kernels {
         let Some(now) = fresh.kernels.iter().find(|k| k.name == base.name) else {
             eprintln!("  {}: MISSING from fresh measurement", base.name);
-            failures += 1;
+            structural_failures += 1;
             continue;
         };
         let (Some(base_t), Some(now_t)) = (base.mode("snslp"), now.mode("snslp")) else {
             eprintln!("  {}: missing snslp timing", base.name);
-            failures += 1;
+            structural_failures += 1;
             continue;
         };
-        let ratio = now_t.min_us / base_t.min_us;
-        let verdict = if ratio > REGRESSION_FACTOR {
-            failures += 1;
-            "REGRESSED"
-        } else {
-            "ok"
-        };
+        rows.push(DeltaRow {
+            name: base.name.clone(),
+            base_min_us: base_t.min_us,
+            now_min_us: now_t.min_us,
+        });
+    }
+
+    // The full delta table, pass or fail: every kernel, baseline vs
+    // current minimum, delta, ratio, verdict.
+    println!(
+        "bench_check: {} baseline kernels, gate {REGRESSION_FACTOR}x on sn-slp min",
+        baseline.kernels.len()
+    );
+    println!(
+        "  {:<24} {:>12} {:>12} {:>10} {:>7}  verdict",
+        "kernel", "baseline µs", "now µs", "delta µs", "ratio"
+    );
+    for row in &rows {
         println!(
-            "  {:<24} baseline min {:>8.1}µs now min {:>8.1}µs ({:>5.2}x) {}",
-            base.name, base_t.min_us, now_t.min_us, ratio, verdict
+            "  {:<24} {:>12.1} {:>12.1} {:>+10.1} {:>6.2}x  {}",
+            row.name,
+            row.base_min_us,
+            row.now_min_us,
+            row.now_min_us - row.base_min_us,
+            row.ratio(),
+            if row.regressed() { "REGRESSED" } else { "ok" }
         );
     }
     for now in &fresh.kernels {
@@ -73,7 +107,27 @@ fn main() {
             println!("  {:<24} new kernel (no baseline yet)", now.name);
         }
     }
+
+    let mut regressions: Vec<&DeltaRow> = rows.iter().filter(|r| r.regressed()).collect();
+    let failures = structural_failures + regressions.len();
     if failures > 0 {
+        if !regressions.is_empty() {
+            regressions.sort_by(|a, b| {
+                b.ratio()
+                    .partial_cmp(&a.ratio())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            eprintln!("bench_check: regressions, worst first:");
+            for row in &regressions {
+                eprintln!(
+                    "  {:<24} {:>6.2}x ({:.1}µs -> {:.1}µs)",
+                    row.name,
+                    row.ratio(),
+                    row.base_min_us,
+                    row.now_min_us
+                );
+            }
+        }
         eprintln!("bench_check: {failures} failure(s)");
         std::process::exit(1);
     }

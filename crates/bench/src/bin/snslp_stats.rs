@@ -1,0 +1,232 @@
+//! `snslp-stats` — corpus-wide pass-statistics aggregation and diffing.
+//!
+//! ```text
+//! usage: snslp-stats <command> [args]
+//!   collect [--mode slp|lslp|snslp] [--out FILE] [FILE.snir ...]
+//!       Run the pass over a corpus (the kernel registry when no files
+//!       are given) and write a snslp-stats/v1 JSON report to --out
+//!       (stdout by default).
+//!   diff BASE.json NEW.json [--top N]
+//!       Compare two reports; exit 1 when regressions are found.
+//!   validate-trace TRACE.json
+//!       Structurally validate a profiler Chrome-trace file.
+//!   emit-corpus FILE.snir
+//!       Write the kernel-registry corpus as one .snir module.
+//! ```
+
+use std::process::ExitCode;
+
+use snslp_bench::stats::{
+    collect_kernel_stats, diff, kernel_corpus_module, mode_code, DiffGates, FunctionStats,
+    StatsReport,
+};
+use snslp_bench::tracecheck::validate_chrome_trace;
+use snslp_core::{run_slp_module, SlpConfig, SlpMode};
+use snslp_ir::parser::parse_module;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: snslp-stats collect [--mode slp|lslp|snslp] [--out FILE] [FILE.snir ...]\n\
+         \x20      snslp-stats diff BASE.json NEW.json [--top N]\n\
+         \x20      snslp-stats validate-trace TRACE.json\n\
+         \x20      snslp-stats emit-corpus FILE.snir"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    if let Err(e) = snslp_trace::init_from_env() {
+        eprintln!("snslp-stats: {e}");
+        return ExitCode::from(2);
+    }
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("collect") => collect(&args[1..]),
+        Some("diff") => run_diff(&args[1..]),
+        Some("validate-trace") => validate(&args[1..]),
+        Some("emit-corpus") => emit_corpus(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn collect(args: &[String]) -> ExitCode {
+    let mut mode = SlpMode::SnSlp;
+    let mut out: Option<String> = None;
+    let mut files: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--mode" => {
+                i += 1;
+                mode = match args.get(i).map(String::as_str) {
+                    Some("slp") => SlpMode::Slp,
+                    Some("lslp") => SlpMode::Lslp,
+                    Some("snslp") => SlpMode::SnSlp,
+                    _ => return usage(),
+                };
+            }
+            "--out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(path) => out = Some(path.clone()),
+                    None => return usage(),
+                }
+            }
+            arg if arg.starts_with("--") => return usage(),
+            arg => files.push(arg.to_string()),
+        }
+        i += 1;
+    }
+
+    let report = if files.is_empty() {
+        collect_kernel_stats(mode)
+    } else {
+        let cfg = SlpConfig::new(mode);
+        let mut functions: Vec<FunctionStats> = Vec::new();
+        for path in &files {
+            let source = match std::fs::read_to_string(path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("snslp-stats: cannot read `{path}`: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let mut module = match parse_module(&source) {
+                Ok(m) => m,
+                Err(e) => {
+                    eprintln!("snslp-stats: {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let unit = std::path::Path::new(path)
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or_else(|| path.clone());
+            for fr in run_slp_module(&mut module, &cfg) {
+                functions.push(FunctionStats::from_report(&unit, &fr));
+            }
+        }
+        StatsReport {
+            mode: mode_code(mode).to_string(),
+            functions,
+        }
+    };
+
+    let json = report.to_json();
+    match out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, &json) {
+                eprintln!("snslp-stats: cannot write `{path}`: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprint!("{}", report.summary());
+        }
+        None => print!("{json}"),
+    }
+    ExitCode::SUCCESS
+}
+
+fn run_diff(args: &[String]) -> ExitCode {
+    let mut paths: Vec<&String> = Vec::new();
+    let mut top_n = 10usize;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--top" => {
+                i += 1;
+                top_n = match args.get(i).and_then(|v| v.parse().ok()) {
+                    Some(n) => n,
+                    None => return usage(),
+                };
+            }
+            arg if arg.starts_with("--") => return usage(),
+            _ => paths.push(&args[i]),
+        }
+        i += 1;
+    }
+    let [base_path, new_path] = paths[..] else {
+        return usage();
+    };
+    let load = |path: &String| -> Result<StatsReport, String> {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+        StatsReport::from_json(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let (base, new) = match (load(base_path), load(new_path)) {
+        (Ok(b), Ok(n)) => (b, n),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("snslp-stats: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if base.mode != new.mode {
+        eprintln!(
+            "snslp-stats: mode mismatch: baseline is `{}`, new run is `{}`",
+            base.mode, new.mode
+        );
+        return ExitCode::FAILURE;
+    }
+    let d = diff(&base, &new, DiffGates::default());
+    if d.has_regressions() {
+        print!("{}", d.render(top_n));
+        println!("snslp-stats: regressions found");
+        ExitCode::FAILURE
+    } else {
+        println!(
+            "snslp-stats: no regressions across {} functions",
+            new.functions.len()
+        );
+        ExitCode::SUCCESS
+    }
+}
+
+fn validate(args: &[String]) -> ExitCode {
+    let [path] = args else {
+        return usage();
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("snslp-stats: cannot read `{path}`: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match validate_chrome_trace(&text) {
+        Ok(summary) => {
+            let spans: usize = summary.spans_per_track.values().sum();
+            println!(
+                "{path}: OK — {} tracks, {spans} spans, {} span names, {} counters",
+                summary.tracks.len(),
+                summary.span_names.len(),
+                summary.counter_names.len(),
+            );
+            for (tid, label) in &summary.tracks {
+                println!(
+                    "  tid {tid} ({label}): {} spans",
+                    summary.spans_per_track.get(tid).copied().unwrap_or(0)
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("snslp-stats: {path}: invalid trace: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn emit_corpus(args: &[String]) -> ExitCode {
+    let [path] = args else {
+        return usage();
+    };
+    let module = kernel_corpus_module();
+    if let Err(e) = std::fs::write(path, module.to_string()) {
+        eprintln!("snslp-stats: cannot write `{path}`: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "snslp-stats: wrote {} kernel functions to {path}",
+        module.functions().len()
+    );
+    ExitCode::SUCCESS
+}

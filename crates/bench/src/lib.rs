@@ -13,6 +13,8 @@
 #![warn(missing_debug_implementations)]
 
 pub mod report;
+pub mod stats;
+pub mod tracecheck;
 
 use std::time::{Duration, Instant};
 

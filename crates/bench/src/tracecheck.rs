@@ -1,0 +1,206 @@
+//! Structural validator for the Chrome Trace Event / Perfetto JSON the
+//! profiler emits ([`snslp_trace::Profile::to_chrome_json`]).
+//!
+//! Used by the `snslp-stats validate-trace` subcommand and the test
+//! suite: a trace must parse with the hand-rolled JSON parser, every
+//! event must carry the fields the format requires, and the complete
+//! (`ph:"X"`) events of each track must be monotone in `ts` and properly
+//! nested — a child span never extends past the span enclosing it.
+
+use std::collections::BTreeMap;
+
+use crate::report::Json;
+
+/// What [`validate_chrome_trace`] learned about a well-formed trace.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceSummary {
+    /// `tid -> thread_name` metadata labels, e.g. `main`, `worker-0`.
+    pub tracks: BTreeMap<i64, String>,
+    /// Complete-span count per tid.
+    pub spans_per_track: BTreeMap<i64, usize>,
+    /// Distinct span names across the whole trace, sorted.
+    pub span_names: Vec<String>,
+    /// Distinct counter names across the whole trace, sorted.
+    pub counter_names: Vec<String>,
+}
+
+/// Half a microsecond of slack for fractional-`ts` rounding.
+const EPS: f64 = 0.5e-3;
+
+/// Validates trace JSON end to end. Returns a summary on success and the
+/// first structural violation otherwise.
+pub fn validate_chrome_trace(text: &str) -> Result<TraceSummary, String> {
+    let json = Json::parse(text).map_err(|e| format!("trace does not parse: {e}"))?;
+    let events = json
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or("missing `traceEvents` array")?;
+
+    let mut summary = TraceSummary::default();
+    // Per-tid complete events as (ts, dur, name).
+    let mut spans: BTreeMap<i64, Vec<(f64, f64, String)>> = BTreeMap::new();
+    let mut names: Vec<String> = Vec::new();
+    let mut counters: Vec<String> = Vec::new();
+
+    for (i, ev) in events.iter().enumerate() {
+        let field = |key: &str| ev.get(key).ok_or(format!("event {i} missing `{key}`"));
+        let name = field("name")?
+            .as_str()
+            .ok_or(format!("event {i}: `name` is not a string"))?
+            .to_string();
+        let ph = field("ph")?
+            .as_str()
+            .ok_or(format!("event {i}: `ph` is not a string"))?;
+        field("pid")?
+            .as_num()
+            .ok_or(format!("event {i}: `pid` is not a number"))?;
+        let tid = field("tid")?
+            .as_num()
+            .ok_or(format!("event {i}: `tid` is not a number"))? as i64;
+        match ph {
+            "M" => {
+                if name == "thread_name" {
+                    let label = ev
+                        .get("args")
+                        .and_then(|a| a.get("name"))
+                        .and_then(Json::as_str)
+                        .ok_or(format!("event {i}: thread_name without args.name"))?;
+                    summary.tracks.insert(tid, label.to_string());
+                }
+            }
+            "X" => {
+                let ts = field("ts")?
+                    .as_num()
+                    .ok_or(format!("event {i}: `ts` is not a number"))?;
+                let dur = field("dur")?
+                    .as_num()
+                    .ok_or(format!("event {i}: `dur` is not a number"))?;
+                if ts < 0.0 || dur < 0.0 {
+                    return Err(format!("event {i} (`{name}`): negative ts/dur"));
+                }
+                spans.entry(tid).or_default().push((ts, dur, name.clone()));
+                names.push(name);
+            }
+            "C" => {
+                ev.get("args")
+                    .and_then(|a| a.get("value"))
+                    .and_then(Json::as_num)
+                    .ok_or(format!("event {i} (`{name}`): counter without args.value"))?;
+                counters.push(name);
+            }
+            other => return Err(format!("event {i} (`{name}`): unsupported ph `{other}`")),
+        }
+    }
+
+    // Per-track: events must already be in monotone non-decreasing ts
+    // order, and spans must nest (a span starting inside an enclosing
+    // span must also end inside it).
+    for (tid, track_spans) in &spans {
+        let mut stack: Vec<(f64, String)> = Vec::new(); // (end, name)
+        let mut prev_ts = f64::NEG_INFINITY;
+        for (ts, dur, name) in track_spans {
+            if *ts < prev_ts - EPS {
+                return Err(format!(
+                    "tid {tid}: span `{name}` at ts={ts} goes backwards (previous ts={prev_ts})"
+                ));
+            }
+            prev_ts = *ts;
+            while let Some((end, _)) = stack.last() {
+                if *end <= *ts + EPS {
+                    stack.pop();
+                } else {
+                    break;
+                }
+            }
+            if let Some((enclosing_end, enclosing)) = stack.last() {
+                if ts + dur > enclosing_end + EPS {
+                    return Err(format!(
+                        "tid {tid}: span `{name}` [{ts}, {}] overlaps the end of \
+                         enclosing `{enclosing}` (ends at {enclosing_end})",
+                        ts + dur
+                    ));
+                }
+            }
+            stack.push((ts + dur, name.clone()));
+        }
+        summary.spans_per_track.insert(*tid, track_spans.len());
+    }
+
+    names.sort();
+    names.dedup();
+    summary.span_names = names;
+    counters.sort();
+    counters.dedup();
+    summary.counter_names = counters;
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(name: &str, ph: &str, tid: i64, ts: f64, dur: f64) -> String {
+        format!(
+            "{{\"name\":\"{name}\",\"ph\":\"{ph}\",\"pid\":1,\"tid\":{tid},\
+             \"ts\":{ts},\"dur\":{dur}}}"
+        )
+    }
+
+    fn trace(events: &[String]) -> String {
+        format!("{{\"traceEvents\":[{}]}}", events.join(","))
+    }
+
+    #[test]
+    fn accepts_nested_spans() {
+        let t = trace(&[
+            event("parent", "X", 0, 0.0, 100.0),
+            event("child", "X", 0, 10.0, 20.0),
+            event("sibling", "X", 0, 40.0, 60.0),
+        ]);
+        let s = validate_chrome_trace(&t).unwrap();
+        assert_eq!(s.spans_per_track[&0], 3);
+        assert_eq!(s.span_names, vec!["child", "parent", "sibling"]);
+    }
+
+    #[test]
+    fn rejects_backwards_ts() {
+        let t = trace(&[
+            event("a", "X", 0, 50.0, 10.0),
+            event("b", "X", 0, 10.0, 10.0),
+        ]);
+        let err = validate_chrome_trace(&t).unwrap_err();
+        assert!(err.contains("goes backwards"), "{err}");
+    }
+
+    #[test]
+    fn rejects_partial_overlap() {
+        let t = trace(&[
+            event("parent", "X", 0, 0.0, 50.0),
+            event("straddler", "X", 0, 40.0, 30.0),
+        ]);
+        let err = validate_chrome_trace(&t).unwrap_err();
+        assert!(err.contains("overlaps"), "{err}");
+    }
+
+    #[test]
+    fn rejects_unknown_phase_and_malformed_counter() {
+        let t = trace(&[event("weird", "B", 0, 0.0, 0.0)]);
+        assert!(validate_chrome_trace(&t).unwrap_err().contains("ph `B`"));
+        let t = trace(&["{\"name\":\"c\",\"ph\":\"C\",\"pid\":1,\"tid\":0,\"ts\":1}".to_string()]);
+        assert!(validate_chrome_trace(&t)
+            .unwrap_err()
+            .contains("counter without args.value"));
+    }
+
+    #[test]
+    fn collects_track_labels() {
+        let t = trace(&[
+            "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":3,\
+             \"args\":{\"name\":\"worker-3\"}}"
+                .to_string(),
+            event("s", "X", 3, 0.0, 1.0),
+        ]);
+        let s = validate_chrome_trace(&t).unwrap();
+        assert_eq!(s.tracks[&3], "worker-3");
+    }
+}

@@ -47,6 +47,7 @@ impl Error for CodegenError {}
 /// the function is then left semantically unchanged (only unreferenced
 /// detached arena slots may remain).
 pub fn apply(f: &mut Function, block: BlockId, graph: &SlpGraph) -> Result<(), CodegenError> {
+    let _p = snslp_trace::ProfSpan::enter("codegen.emit");
     let positions: FxHashMap<InstId, usize> = f
         .block(block)
         .insts()

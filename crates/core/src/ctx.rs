@@ -75,6 +75,7 @@ pub struct BlockCtx {
 impl BlockCtx {
     /// Computes the context for `block` of `f`.
     pub fn compute(f: &Function, block: BlockId) -> Self {
+        let _p = snslp_trace::ProfSpan::enter("ctx.compute");
         let slots = f.num_inst_slots();
         let insts = f.block(block).insts();
         let n = insts.len();
@@ -314,6 +315,7 @@ impl BlockCtx {
         loc: &MemLoc,
         exclude: &[InstId],
     ) -> bool {
+        let _p = snslp_trace::ProfSpan::enter("ctx.aliasing_mem_within");
         self.mem_ops_between(lo, hi)
             .iter()
             .any(|m| !exclude.contains(&m.id) && may_alias(f, loc, &m.loc))

@@ -6,10 +6,40 @@
 //! pack them together, recursively peeking `depth` levels into their
 //! use-def subtrees.
 
+use std::cell::Cell;
+
 use snslp_ir::analysis::{is_consecutive, MemLoc};
 use snslp_ir::{Function, InstId, InstKind};
 
 use crate::score_cache::LruScoreCache;
+
+thread_local! {
+    /// Set while a [`score_pair_with`] invocation is on the stack, so the
+    /// profiler span covers only the outermost request of each recursion.
+    static IN_SCORE: Cell<bool> = const { Cell::new(false) };
+}
+
+/// RAII pair: the profiler span for a top-level score request plus the
+/// recursion flag reset. `None` when profiling is off or when already
+/// inside a score recursion.
+struct TopScoreSpan {
+    _span: snslp_trace::ProfSpan,
+}
+
+impl Drop for TopScoreSpan {
+    fn drop(&mut self) {
+        IN_SCORE.with(|c| c.set(false));
+    }
+}
+
+fn top_level_score_span() -> Option<TopScoreSpan> {
+    if !snslp_trace::prof::profiling() || IN_SCORE.with(|c| c.replace(true)) {
+        return None;
+    }
+    Some(TopScoreSpan {
+        _span: snslp_trace::ProfSpan::enter("lookahead.score_pair"),
+    })
+}
 
 /// Score constants, mirroring LLVM's `LookAheadHeuristics`.
 pub mod score {
@@ -52,6 +82,9 @@ pub fn score_pair_with(
     b: InstId,
     depth: u32,
 ) -> i32 {
+    // Profile top-level score requests only: recursive calls re-enter this
+    // function, and one span per recursion step would swamp the trace.
+    let _p = top_level_score_span();
     snslp_trace::bump(snslp_trace::Counter::LookaheadScoreEvals);
     match cache {
         Some(c) => {

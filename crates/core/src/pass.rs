@@ -7,7 +7,7 @@ use std::time::{Duration, Instant};
 use snslp_ir::printer::{block_name, value_name};
 use snslp_ir::FxHashSet;
 use snslp_ir::{opt, Function, Module};
-use snslp_trace::{Counter, MetricsSnapshot, ReasonCode, Remark, Stage, StageTimer};
+use snslp_trace::{Counter, MetricsSnapshot, ProfSpan, ReasonCode, Remark, Stage, StageTimer};
 
 use crate::codegen;
 use crate::config::{SlpConfig, SlpMode};
@@ -199,10 +199,12 @@ fn best_graph(
 ) -> (crate::graph::SlpGraph, cost_eval::CostBreakdown) {
     let graph = {
         let _t = StageTimer::start(Stage::GraphBuild);
+        let _p = ProfSpan::enter("graph.build");
         build_graph_cached(f, ctx, cfg, seeds, Some(cache))
     };
     let cost = {
         let _t = StageTimer::start(Stage::CostEval);
+        let _p = ProfSpan::enter("cost.evaluate");
         cost_eval::evaluate(f, ctx, &graph, &cfg.model)
     };
     let mut best = (graph, cost);
@@ -219,6 +221,7 @@ fn best_graph(
         sub.mode = mode;
         let g = {
             let _t = StageTimer::start(Stage::GraphBuild);
+            let _p = ProfSpan::enter("graph.build");
             // The look-ahead score of a pair is mode-independent, so the
             // fallback rebuilds share the cache: most pair scores the
             // weaker-mode graph needs were already computed.
@@ -226,6 +229,7 @@ fn best_graph(
         };
         let c = {
             let _t = StageTimer::start(Stage::CostEval);
+            let _p = ProfSpan::enter("cost.evaluate");
             cost_eval::evaluate(f, ctx, &g, &cfg.model)
         };
         if c.total < best.1.total {
@@ -254,8 +258,10 @@ pub fn run_slp(f: &mut Function, cfg: &SlpConfig) -> FunctionReport {
     let span = snslp_trace::Span::enter("pass.run_slp");
     span.note("fn", f.name());
     span.note("mode", pass_code(cfg.mode));
+    let prof = ProfSpan::enter_with("pass.run_slp", || f.name().to_string());
     {
         let _t = StageTimer::start(Stage::Cleanup);
+        let _p = ProfSpan::enter("stage.cleanup");
         opt::cleanup_pipeline(f);
     }
 
@@ -275,6 +281,7 @@ pub fn run_slp(f: &mut Function, cfg: &SlpConfig) -> FunctionReport {
             let target = cfg.model.target().clone();
             let groups = {
                 let _t = StageTimer::start(Stage::Seeds);
+                let _p = ProfSpan::enter("seeds.collect_stores");
                 collect_store_seeds(f, &ctx, |st| target.max_lanes(st), &processed)
             };
             let Some(group) = groups.into_iter().next() else {
@@ -396,6 +403,7 @@ pub fn run_slp(f: &mut Function, cfg: &SlpConfig) -> FunctionReport {
                 // after every rewrite, and this loop does the same below.
                 let seeds = {
                     let _t = StageTimer::start(Stage::Seeds);
+                    let _p = ProfSpan::enter("seeds.collect_reductions");
                     crate::seeds::collect_reduction_seeds(
                         f,
                         &ctx,
@@ -432,6 +440,7 @@ pub fn run_slp(f: &mut Function, cfg: &SlpConfig) -> FunctionReport {
                 }
                 let graph = {
                     let _t = StageTimer::start(Stage::GraphBuild);
+                    let _p = ProfSpan::enter("graph.build_reduction");
                     crate::graph::build_reduction_graph_cached(
                         f,
                         &ctx,
@@ -443,6 +452,7 @@ pub fn run_slp(f: &mut Function, cfg: &SlpConfig) -> FunctionReport {
                 };
                 let cost = {
                     let _t = StageTimer::start(Stage::CostEval);
+                    let _p = ProfSpan::enter("cost.evaluate");
                     cost_eval::evaluate(f, &ctx, &graph, &cfg.model)
                 };
                 dot_hook(f, &graph, "final", f.name(), &bname, &site);
@@ -509,6 +519,21 @@ pub fn run_slp(f: &mut Function, cfg: &SlpConfig) -> FunctionReport {
 
     let metrics = MetricsSnapshot::current().delta_since(&metrics_before);
     metrics.emit(f.name());
+    if snslp_trace::prof::profiling() {
+        let hits = metrics.get(Counter::LookaheadCacheHits);
+        let misses = metrics.get(Counter::LookaheadCacheMisses);
+        if hits + misses > 0 {
+            snslp_trace::prof_counter(
+                "lookahead_cache_hit_rate",
+                hits as f64 / (hits + misses) as f64,
+            );
+        }
+        snslp_trace::prof_counter(
+            "gathers_emitted",
+            metrics.get(Counter::GathersEmitted) as f64,
+        );
+    }
+    drop(prof);
     drop(span);
     FunctionReport {
         function: f.name().to_string(),
@@ -602,17 +627,24 @@ pub fn run_slp_module_with_threads(
     let queue = std::sync::Mutex::new(funcs.into_iter().enumerate());
     let done = std::sync::Mutex::new(Vec::new());
     std::thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|| loop {
-                // Hold the queue lock only for the pop, not the run.
-                let job = queue.lock().unwrap_or_else(|e| e.into_inner()).next();
-                let Some((idx, f)) = job else { break };
-                let capture = snslp_trace::RecordCapture::begin();
-                let report = run_slp(f, cfg);
-                let records = capture.finish();
-                done.lock()
-                    .unwrap_or_else(|e| e.into_inner())
-                    .push((idx, report, records));
+        for w in 0..workers {
+            let queue = &queue;
+            let done = &done;
+            s.spawn(move || {
+                loop {
+                    // Hold the queue lock only for the pop, not the run.
+                    let job = queue.lock().unwrap_or_else(|e| e.into_inner()).next();
+                    let Some((idx, f)) = job else { break };
+                    let capture = snslp_trace::RecordCapture::begin();
+                    let report = run_slp(f, cfg);
+                    let records = capture.finish();
+                    done.lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .push((idx, report, records));
+                }
+                // One profiler track per worker thread; a no-op when
+                // profiling is off or this worker never got a job.
+                snslp_trace::prof::flush_thread(&format!("worker-{w}"));
             });
         }
     });

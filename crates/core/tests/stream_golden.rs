@@ -1,0 +1,73 @@
+//! One full-stream golden: every sink-visible trace facet (events,
+//! remarks, metrics, DOT artifacts) captured over a single fixture
+//! compilation under the deterministic virtual clock, compared byte for
+//! byte. The Prof facet does not emit sink records — its byte-stable
+//! golden lives in the trace crate's `tests/prof.rs` (Chrome JSON).
+//!
+//! The virtual clock is process-global, so this binary holds exactly one
+//! test. Regenerate with:
+//!
+//! ```text
+//! SNSLP_BLESS=1 cargo test -p snslp-core --test stream_golden
+//! ```
+
+use std::path::PathBuf;
+
+use snslp_core::{run_slp, SlpConfig, SlpMode};
+use snslp_ir::parse_function_str;
+use snslp_trace::Facet;
+
+const ALL_SINK_FACETS: u32 =
+    Facet::Events as u32 | Facet::Remarks as u32 | Facet::Metrics as u32 | Facet::Dot as u32;
+
+fn compile_stream(src: &str) -> Vec<String> {
+    // Reset the virtual timeline so both runs (and every blessing
+    // machine) see identical timestamps.
+    snslp_trace::clock::set_virtual(true);
+    let mut f = parse_function_str(src).expect("fixture parses");
+    let lines = snslp_trace::capture(ALL_SINK_FACETS, || {
+        run_slp(&mut f, &SlpConfig::new(SlpMode::SnSlp));
+    });
+    snslp_trace::clock::set_virtual(false);
+    lines
+}
+
+#[test]
+fn full_stream_golden() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let src = std::fs::read_to_string(root.join("tests/snir/fig3_trunk_reorder.snir")).unwrap();
+
+    let lines = compile_stream(&src);
+    // Deterministic: an identical second compilation yields identical
+    // bytes, timestamps included.
+    assert_eq!(compile_stream(&src), lines);
+
+    // Every sink record kind appears: the stream exercises all four
+    // stream facets at once.
+    for marker in [
+        "] event ",
+        "] remark ",
+        "] metric ",
+        "] artifact ",
+        "] span-end ",
+    ] {
+        assert!(
+            lines.iter().any(|l| l.contains(marker)),
+            "no `{marker}` record in the captured stream:\n{}",
+            lines.join("\n")
+        );
+    }
+
+    let actual = lines.join("\n") + "\n";
+    let path = root.join("tests/golden/fig3_trunk_reorder.stream");
+    if std::env::var_os("SNSLP_BLESS").is_some() {
+        std::fs::write(&path, &actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden file {path:?} ({e}); run with SNSLP_BLESS=1"));
+    assert_eq!(
+        actual, expected,
+        "trace stream diverged from {path:?}; rerun with SNSLP_BLESS=1 if intentional"
+    );
+}

@@ -76,6 +76,7 @@ pub fn execute(
     args: &[snslp_interp::ArgSpec],
     model: &CostModel,
 ) -> Result<Outcome, String> {
+    let _p = snslp_trace::ProfSpan::enter("oracle.execute");
     match run_with_args(f, args, model, &ExecOptions::default()) {
         Ok(o) => Ok(Outcome::Ran(Box::new(o))),
         Err(e) => match e.as_trap() {
@@ -188,6 +189,9 @@ pub fn check_case(
     model: &CostModel,
     modes: &[SlpMode],
 ) -> Result<CaseOutcome, Box<Divergence>> {
+    let _p = snslp_trace::ProfSpan::enter_with("oracle.check_case", || {
+        format!("seed={:#x} index={}", case.seed, case.index)
+    });
     let fail = |stage: &str, detail: String| {
         Box::new(Divergence {
             seed: case.seed,

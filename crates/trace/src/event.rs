@@ -5,8 +5,7 @@
 //! any field expressions, so a disabled trace costs one relaxed atomic
 //! load and nothing else — no allocation, no formatting.
 
-use std::time::Instant;
-
+use crate::clock;
 use crate::sink::{Record, RecordKind, Value};
 use crate::{enabled, Facet};
 
@@ -24,8 +23,10 @@ pub fn emit_event(name: &str, fields: &[(&'static str, Value)]) {
 #[must_use = "a span records its end on drop"]
 pub struct Span {
     /// `Some` only while the span is live *and* tracing was enabled at
-    /// entry; holds the name and entry timestamp.
-    live: Option<(String, Instant)>,
+    /// entry; holds the name and entry timestamp (nanoseconds on the
+    /// [`clock`] timeline, so the virtual clock makes span output
+    /// deterministic).
+    live: Option<(String, u64)>,
 }
 
 impl Span {
@@ -35,7 +36,7 @@ impl Span {
         }
         crate::emit_record(Record::new(RecordKind::SpanBegin, name));
         Span {
-            live: Some((name.to_string(), Instant::now())),
+            live: Some((name.to_string(), clock::now_ns())),
         }
     }
 
@@ -50,10 +51,10 @@ impl Span {
 
 impl Drop for Span {
     fn drop(&mut self) {
-        if let Some((name, start)) = self.live.take() {
+        if let Some((name, start_ns)) = self.live.take() {
+            let elapsed_us = clock::now_ns().saturating_sub(start_ns) / 1_000;
             crate::emit_record(
-                Record::new(RecordKind::SpanEnd, name)
-                    .with("elapsed_us", start.elapsed().as_micros() as u64),
+                Record::new(RecordKind::SpanEnd, name).with("elapsed_us", elapsed_us),
             );
         }
     }

@@ -19,6 +19,13 @@
 //! DOT artifacts at fixed pipeline points (pre-reorder, post-reorder,
 //! final), either inline to the sink or as files under `dot=DIR`.
 //!
+//! A fifth facet, **Prof**, drives the hierarchical self-profiler in
+//! [`prof`]: nested timed spans per thread, exported as Chrome
+//! trace/Perfetto JSON, folded flamegraph stacks, or a `--time-passes`
+//! table. Timing everywhere in the crate goes through the injectable
+//! [`clock`], whose deterministic virtual mode makes timed golden tests
+//! byte-stable.
+//!
 //! # `SNSLP_TRACE` syntax
 //!
 //! Comma-separated facet list, e.g.:
@@ -37,13 +44,16 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Mutex;
 
+pub mod clock;
 mod event;
 pub mod metrics;
+pub mod prof;
 pub mod remark;
 pub mod sink;
 
 pub use event::{emit_event, Span};
 pub use metrics::{add, bump, Counter, MetricsSnapshot, Stage, StageTimer};
+pub use prof::{counter as prof_counter, ProfSpan, Profile};
 pub use remark::{ReasonCode, Remark};
 pub use sink::{BufferSink, JsonSink, Record, RecordKind, Sink, TextSink, Value};
 
@@ -59,10 +69,15 @@ pub enum Facet {
     Metrics = 1 << 2,
     /// Graphviz DOT dumps of SLP graphs.
     Dot = 1 << 3,
+    /// Hierarchical self-profiler spans and counter tracks ([`prof`]).
+    Prof = 1 << 4,
 }
 
-const ALL_FACETS: u32 =
-    Facet::Events as u32 | Facet::Remarks as u32 | Facet::Metrics as u32 | Facet::Dot as u32;
+const ALL_FACETS: u32 = Facet::Events as u32
+    | Facet::Remarks as u32
+    | Facet::Metrics as u32
+    | Facet::Dot as u32
+    | Facet::Prof as u32;
 
 /// Enabled-facet bitmask. Zero (everything off) until [`init_from_env`]
 /// or [`set_facets`] runs, so library users who never opt in pay one
@@ -216,6 +231,7 @@ pub fn parse_spec(spec: &str) -> Result<TraceSpec, String> {
             "remarks" => out.facets |= Facet::Remarks as u32,
             "metrics" => out.facets |= Facet::Metrics as u32,
             "dot" => out.facets |= Facet::Dot as u32,
+            "prof" => out.facets |= Facet::Prof as u32,
             "all" => out.facets |= ALL_FACETS,
             "json" => out.json = true,
             _ => {
@@ -224,8 +240,10 @@ pub fn parse_spec(spec: &str) -> Result<TraceSpec, String> {
                     out.dot_dir = Some(PathBuf::from(dir));
                 } else {
                     return Err(format!(
-                        "unknown SNSLP_TRACE token `{token}` \
-                         (expected events, remarks, metrics, dot[=DIR], all, json)"
+                        "unknown SNSLP_TRACE token `{token}`\n  \
+                         valid facets: events, remarks, metrics, dot, dot=DIR, \
+                         prof, all\n  \
+                         valid sinks:  json (JSON lines; default is text to stderr)"
                     ));
                 }
             }
@@ -332,7 +350,13 @@ mod tests {
         assert_eq!(spec.facets, Facet::Dot as u32);
         assert_eq!(spec.dot_dir, Some(PathBuf::from("/tmp/x")));
 
-        assert!(parse_spec("remark").is_err());
+        let spec = parse_spec("prof").unwrap();
+        assert_eq!(spec.facets, Facet::Prof as u32);
+
+        let err = parse_spec("remark").unwrap_err();
+        assert!(err.contains("unknown SNSLP_TRACE token `remark`"));
+        assert!(err.contains("valid facets: events, remarks, metrics, dot, dot=DIR, prof, all"));
+        assert!(err.contains("valid sinks:  json"));
         assert!(parse_spec("").unwrap().facets == 0);
     }
 

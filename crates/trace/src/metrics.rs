@@ -13,8 +13,8 @@
 
 use std::cell::Cell;
 use std::fmt;
-use std::time::Instant;
 
+use crate::clock;
 use crate::sink::{Record, RecordKind};
 
 /// Named pipeline counters. Keep in sync with [`Counter::ALL`].
@@ -140,21 +140,21 @@ pub fn add(counter: Counter, n: u64) {
 #[must_use = "the timer records on drop"]
 pub struct StageTimer {
     stage: Stage,
-    start: Instant,
+    start_ns: u64,
 }
 
 impl StageTimer {
     pub fn start(stage: Stage) -> Self {
         StageTimer {
             stage,
-            start: Instant::now(),
+            start_ns: clock::now_ns(),
         }
     }
 }
 
 impl Drop for StageTimer {
     fn drop(&mut self) {
-        let nanos = self.start.elapsed().as_nanos() as u64;
+        let nanos = clock::now_ns().saturating_sub(self.start_ns);
         STAGE_NANOS.with(|s| {
             let cell = &s[self.stage as usize];
             cell.set(cell.get().wrapping_add(nanos));

@@ -1,0 +1,561 @@
+//! `snslp-prof`: a hierarchical self-profiler in the spirit of clang's
+//! `-ftime-trace`.
+//!
+//! Nested [`ProfSpan`]s record `(name, start, duration, depth)` into
+//! per-thread buffers; each thread's buffer is flushed into a global
+//! profile store as a named *track* (the parallel module driver flushes
+//! one track per worker). [`take_profile`] drains the store into a
+//! [`Profile`], which exports as
+//!
+//! - Chrome Trace Event / Perfetto JSON ([`Profile::to_chrome_json`]) —
+//!   load in `chrome://tracing` or <https://ui.perfetto.dev>;
+//! - folded-stack text ([`Profile::to_folded`]) — pipe to
+//!   `flamegraph.pl`;
+//! - an LLVM-`-time-passes`-style terminal table
+//!   ([`Profile::time_passes`]).
+//!
+//! Collection is gated on the [`Prof`](crate::Facet::Prof) facet and is
+//! zero-cost when disabled: one relaxed atomic load per span site, no
+//! clock read, no allocation (proven by the counting-allocator test in
+//! `tests/zero_cost.rs`). Timestamps come from [`crate::clock`], so
+//! golden tests switch to the deterministic virtual clock.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Mutex;
+
+use crate::clock;
+use crate::{enabled, Facet};
+
+/// What a profile event records.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProfEventKind {
+    /// A timed span (`ph:"X"` in Chrome trace terms).
+    Span,
+    /// A point sample of a named counter (`ph:"C"`).
+    Counter(f64),
+}
+
+/// One recorded profiler event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfEvent {
+    /// Static span/counter name, e.g. `graph.build`.
+    pub name: &'static str,
+    /// Optional dynamic context (e.g. the function being compiled).
+    /// Only materialized while profiling is enabled.
+    pub label: Option<Box<str>>,
+    /// Start timestamp, nanoseconds on the [`crate::clock`] timeline.
+    pub start_ns: u64,
+    /// Duration in nanoseconds (zero for counter samples).
+    pub dur_ns: u64,
+    /// Nesting depth at entry (0 = top level on its thread).
+    pub depth: u32,
+    /// Span or counter sample.
+    pub kind: ProfEventKind,
+}
+
+struct ThreadBuf {
+    events: Vec<ProfEvent>,
+    depth: u32,
+}
+
+thread_local! {
+    static BUF: RefCell<ThreadBuf> = const {
+        RefCell::new(ThreadBuf { events: Vec::new(), depth: 0 })
+    };
+}
+
+/// One named event track of a profile (usually one per thread).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Track {
+    /// Track label, e.g. `main` or `worker-2`.
+    pub label: String,
+    /// Events in recording (span-end) order.
+    pub events: Vec<ProfEvent>,
+}
+
+/// Global store of flushed tracks, drained by [`take_profile`].
+static TRACKS: Mutex<Vec<Track>> = Mutex::new(Vec::new());
+
+/// Is profiling enabled? One relaxed atomic load.
+#[inline]
+pub fn profiling() -> bool {
+    enabled(Facet::Prof)
+}
+
+/// RAII profiler span. Inert (no clock read, no allocation) when the
+/// `prof` facet is disabled at entry.
+#[must_use = "a profiler span records its duration on drop"]
+pub struct ProfSpan {
+    live: Option<LiveSpan>,
+}
+
+struct LiveSpan {
+    name: &'static str,
+    label: Option<Box<str>>,
+    start_ns: u64,
+    depth: u32,
+}
+
+impl ProfSpan {
+    /// Enter a span.
+    #[inline]
+    pub fn enter(name: &'static str) -> ProfSpan {
+        if !profiling() {
+            return ProfSpan { live: None };
+        }
+        Self::enter_live(name, None)
+    }
+
+    /// Enter a span with a lazily-built label; the closure only runs when
+    /// profiling is enabled.
+    #[inline]
+    pub fn enter_with<F: FnOnce() -> String>(name: &'static str, label: F) -> ProfSpan {
+        if !profiling() {
+            return ProfSpan { live: None };
+        }
+        Self::enter_live(name, Some(label().into_boxed_str()))
+    }
+
+    fn enter_live(name: &'static str, label: Option<Box<str>>) -> ProfSpan {
+        let depth = BUF.with(|b| {
+            let mut b = b.borrow_mut();
+            let d = b.depth;
+            b.depth += 1;
+            d
+        });
+        ProfSpan {
+            live: Some(LiveSpan {
+                name,
+                label,
+                start_ns: clock::now_ns(),
+                depth,
+            }),
+        }
+    }
+}
+
+impl Drop for ProfSpan {
+    fn drop(&mut self) {
+        if let Some(live) = self.live.take() {
+            let end = clock::now_ns();
+            BUF.with(|b| {
+                let mut b = b.borrow_mut();
+                b.depth = b.depth.saturating_sub(1);
+                b.events.push(ProfEvent {
+                    name: live.name,
+                    label: live.label,
+                    start_ns: live.start_ns,
+                    dur_ns: end.saturating_sub(live.start_ns),
+                    depth: live.depth,
+                    kind: ProfEventKind::Span,
+                });
+            });
+        }
+    }
+}
+
+/// Record a point sample of a named counter (rendered as a Perfetto
+/// counter track). No-op when profiling is disabled.
+#[inline]
+pub fn counter(name: &'static str, value: f64) {
+    if !profiling() {
+        return;
+    }
+    BUF.with(|b| {
+        let mut b = b.borrow_mut();
+        let depth = b.depth;
+        b.events.push(ProfEvent {
+            name,
+            label: None,
+            start_ns: clock::now_ns(),
+            dur_ns: 0,
+            depth,
+            kind: ProfEventKind::Counter(value),
+        });
+    });
+}
+
+/// Move this thread's buffered events into the global store under
+/// `label`. Repeated flushes to the same label append (the worker loop of
+/// the parallel driver flushes once per worker at exit). While profiling
+/// is enabled an empty buffer still materializes its (empty) track — so a
+/// profile shows every parallel worker, including starved ones; with
+/// profiling disabled an empty flush is a no-op.
+pub fn flush_thread(label: &str) {
+    let events = BUF.with(|b| std::mem::take(&mut b.borrow_mut().events));
+    if events.is_empty() && !profiling() {
+        return;
+    }
+    let mut tracks = TRACKS.lock().unwrap_or_else(|e| e.into_inner());
+    match tracks.iter_mut().find(|t| t.label == label) {
+        Some(t) => t.events.extend(events),
+        None => tracks.push(Track {
+            label: label.to_string(),
+            events,
+        }),
+    }
+}
+
+/// Flush the calling thread (as `main`) and drain every flushed track
+/// into a [`Profile`]. Tracks come back sorted by label so output is
+/// deterministic regardless of which worker finished first.
+pub fn take_profile() -> Profile {
+    flush_thread("main");
+    let mut tracks = std::mem::take(&mut *TRACKS.lock().unwrap_or_else(|e| e.into_inner()));
+    tracks.sort_by(|a, b| a.label.cmp(&b.label));
+    Profile { tracks }
+}
+
+/// Discard this thread's buffer and every flushed track. Test support.
+pub fn clear() {
+    BUF.with(|b| {
+        let mut b = b.borrow_mut();
+        b.events.clear();
+        b.depth = 0;
+    });
+    TRACKS.lock().unwrap_or_else(|e| e.into_inner()).clear();
+}
+
+/// A drained profile: one or more named tracks of hierarchical events.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Profile {
+    /// Tracks sorted by label.
+    pub tracks: Vec<Track>,
+}
+
+/// Per-name aggregate used by the `--time-passes` table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SpanTotals {
+    /// Number of span instances.
+    pub count: u64,
+    /// Inclusive wall time, nanoseconds.
+    pub total_ns: u64,
+    /// Self time (inclusive minus direct children), nanoseconds.
+    pub self_ns: u64,
+}
+
+impl Profile {
+    /// No events at all?
+    pub fn is_empty(&self) -> bool {
+        self.tracks.iter().all(|t| t.events.is_empty())
+    }
+
+    /// Distinct span names across every track, sorted.
+    pub fn span_names(&self) -> Vec<&'static str> {
+        let mut names: Vec<&'static str> = self
+            .tracks
+            .iter()
+            .flat_map(|t| &t.events)
+            .filter(|e| e.kind == ProfEventKind::Span)
+            .map(|e| e.name)
+            .collect();
+        names.sort_unstable();
+        names.dedup();
+        names
+    }
+
+    /// Spans of one track sorted so parents precede their children:
+    /// by start time, ties broken longest-duration-first.
+    fn sorted_spans(track: &Track) -> Vec<&ProfEvent> {
+        let mut spans: Vec<&ProfEvent> = track
+            .events
+            .iter()
+            .filter(|e| e.kind == ProfEventKind::Span)
+            .collect();
+        spans.sort_by(|a, b| {
+            a.start_ns
+                .cmp(&b.start_ns)
+                .then(b.dur_ns.cmp(&a.dur_ns))
+                .then(a.depth.cmp(&b.depth))
+        });
+        spans
+    }
+
+    /// Chrome Trace Event / Perfetto JSON: one `thread_name` metadata
+    /// record plus one complete (`ph:"X"`) event per span per track, and
+    /// one counter (`ph:"C"`) event per sample. Timestamps are
+    /// microseconds, as the format requires.
+    pub fn to_chrome_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+        let mut first = true;
+        let push = |out: &mut String, first: &mut bool, ev: String| {
+            if !*first {
+                out.push(',');
+            }
+            *first = false;
+            out.push('\n');
+            out.push_str(&ev);
+        };
+        for (tid, track) in self.tracks.iter().enumerate() {
+            push(
+                &mut out,
+                &mut first,
+                format!(
+                    "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\
+                     \"args\":{{\"name\":{}}}}}",
+                    json_str(&track.label)
+                ),
+            );
+            for ev in Self::sorted_spans(track) {
+                let mut rec = format!(
+                    "{{\"name\":{},\"cat\":\"snslp\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+                     \"pid\":1,\"tid\":{tid}",
+                    json_str(ev.name),
+                    us(ev.start_ns),
+                    us(ev.dur_ns),
+                );
+                if let Some(label) = &ev.label {
+                    let _ = write!(rec, ",\"args\":{{\"label\":{}}}", json_str(label));
+                }
+                rec.push('}');
+                push(&mut out, &mut first, rec);
+            }
+            let mut counters: Vec<&ProfEvent> = track
+                .events
+                .iter()
+                .filter(|e| matches!(e.kind, ProfEventKind::Counter(_)))
+                .collect();
+            counters.sort_by_key(|e| e.start_ns);
+            for ev in counters {
+                let ProfEventKind::Counter(v) = ev.kind else {
+                    unreachable!()
+                };
+                push(
+                    &mut out,
+                    &mut first,
+                    format!(
+                        "{{\"name\":{},\"ph\":\"C\",\"ts\":{},\"pid\":1,\"tid\":{tid},\
+                         \"args\":{{\"value\":{}}}}}",
+                        json_str(ev.name),
+                        us(ev.start_ns),
+                        json_num(v),
+                    ),
+                );
+            }
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+
+    /// Folded-stack text (`track;parent;child self_ns` per line), the
+    /// input format of Brendan Gregg's `flamegraph.pl`. Values are
+    /// nanoseconds of *self* time; identical stacks are merged. Lines are
+    /// sorted for deterministic output.
+    pub fn to_folded(&self) -> String {
+        let mut folded: BTreeMap<String, u64> = BTreeMap::new();
+        for track in &self.tracks {
+            // Reconstruct nesting by interval containment over the
+            // parent-before-child sort. Each stack entry is
+            // (name, end_ns, direct-children nanoseconds).
+            let mut stack: Vec<(&str, u64, u64, u64)> = Vec::new(); // name, end, dur, child_ns
+            let close = |stack: &mut Vec<(&str, u64, u64, u64)>,
+                         folded: &mut BTreeMap<String, u64>,
+                         label: &str,
+                         upto: u64| {
+                while let Some(&(_, end, _, _)) = stack.last() {
+                    if end > upto {
+                        break;
+                    }
+                    let (name, _, dur, child_ns) = stack.pop().unwrap();
+                    if let Some(top) = stack.last_mut() {
+                        top.3 += dur;
+                    }
+                    let mut path = String::with_capacity(64);
+                    path.push_str(label);
+                    for (n, ..) in stack.iter() {
+                        path.push(';');
+                        path.push_str(n);
+                    }
+                    path.push(';');
+                    path.push_str(name);
+                    *folded.entry(path).or_insert(0) += dur.saturating_sub(child_ns);
+                }
+            };
+            for ev in Self::sorted_spans(track) {
+                close(&mut stack, &mut folded, &track.label, ev.start_ns);
+                stack.push((ev.name, ev.start_ns + ev.dur_ns, ev.dur_ns, 0));
+            }
+            close(&mut stack, &mut folded, &track.label, u64::MAX);
+        }
+        let mut out = String::new();
+        for (path, ns) in folded {
+            let _ = writeln!(out, "{path} {ns}");
+        }
+        out
+    }
+
+    /// Aggregate totals per span name across every track.
+    pub fn totals(&self) -> BTreeMap<&'static str, SpanTotals> {
+        let mut totals: BTreeMap<&'static str, SpanTotals> = BTreeMap::new();
+        for track in &self.tracks {
+            let mut stack: Vec<(&'static str, u64, u64, u64)> = Vec::new();
+            let close = |stack: &mut Vec<(&'static str, u64, u64, u64)>,
+                         totals: &mut BTreeMap<&'static str, SpanTotals>,
+                         upto: u64| {
+                while let Some(&(_, end, _, _)) = stack.last() {
+                    if end > upto {
+                        break;
+                    }
+                    let (name, _, dur, child_ns) = stack.pop().unwrap();
+                    if let Some(top) = stack.last_mut() {
+                        top.3 += dur;
+                    }
+                    let entry = totals.entry(name).or_default();
+                    entry.count += 1;
+                    entry.total_ns += dur;
+                    entry.self_ns += dur.saturating_sub(child_ns);
+                }
+            };
+            for ev in Self::sorted_spans(track) {
+                close(&mut stack, &mut totals, ev.start_ns);
+                stack.push((ev.name, ev.start_ns + ev.dur_ns, ev.dur_ns, 0));
+            }
+            close(&mut stack, &mut totals, u64::MAX);
+        }
+        totals
+    }
+
+    /// The `--time-passes` terminal summary: one row per span name,
+    /// sorted by total time (descending, name as tie-break).
+    pub fn time_passes(&self) -> String {
+        let totals = self.totals();
+        let wall: u64 = totals.values().map(|t| t.self_ns).sum();
+        let mut rows: Vec<(&str, SpanTotals)> = totals.into_iter().collect();
+        rows.sort_by(|a, b| b.1.total_ns.cmp(&a.1.total_ns).then(a.0.cmp(b.0)));
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "===-------------------------------------------------------------===\n\
+             {:>12} {:>12} {:>7}  span\n\
+             ===-------------------------------------------------------------===",
+            "total", "self", "count"
+        );
+        for (name, t) in rows {
+            let _ = writeln!(
+                out,
+                "{:>12} {:>12} {:>7}  {name}",
+                fmt_ns(t.total_ns),
+                fmt_ns(t.self_ns),
+                t.count
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{:>12} {:>12} {:>7}  (wall, sum of self)",
+            fmt_ns(wall),
+            "",
+            ""
+        );
+        out
+    }
+}
+
+/// Nanoseconds → microseconds for the Chrome JSON, exact when the value
+/// is a whole microsecond (always true under the virtual clock).
+fn us(ns: u64) -> String {
+    if ns.is_multiple_of(1_000) {
+        (ns / 1_000).to_string()
+    } else {
+        format!("{}.{:03}", ns / 1_000, ns % 1_000)
+    }
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.1}us", ns as f64 / 1e3)
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_is_inert_when_disabled() {
+        // Unit tests run with facets defaulted to off.
+        let span = ProfSpan::enter("test.prof");
+        assert!(span.live.is_none());
+        drop(span);
+        counter("test.counter", 1.0);
+        BUF.with(|b| assert!(b.borrow().events.is_empty()));
+    }
+
+    #[test]
+    fn enter_with_skips_label_when_disabled() {
+        let mut built = false;
+        let span = ProfSpan::enter_with("test.prof", || {
+            built = true;
+            "label".to_string()
+        });
+        drop(span);
+        assert!(!built, "label closure must not run while disabled");
+    }
+
+    #[test]
+    fn folded_subtracts_child_time() {
+        let profile = Profile {
+            tracks: vec![Track {
+                label: "t".to_string(),
+                events: vec![
+                    ProfEvent {
+                        name: "child",
+                        label: None,
+                        start_ns: 2_000,
+                        dur_ns: 3_000,
+                        depth: 1,
+                        kind: ProfEventKind::Span,
+                    },
+                    ProfEvent {
+                        name: "parent",
+                        label: None,
+                        start_ns: 1_000,
+                        dur_ns: 9_000,
+                        depth: 0,
+                        kind: ProfEventKind::Span,
+                    },
+                ],
+            }],
+        };
+        let folded = profile.to_folded();
+        assert_eq!(folded, "t;parent 6000\nt;parent;child 3000\n");
+        let totals = profile.totals();
+        assert_eq!(totals["parent"].total_ns, 9_000);
+        assert_eq!(totals["parent"].self_ns, 6_000);
+        assert_eq!(totals["child"].self_ns, 3_000);
+    }
+}

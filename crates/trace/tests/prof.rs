@@ -1,0 +1,169 @@
+//! Golden tests for the `snslp-prof` exporters under the deterministic
+//! virtual clock: every `clock::now_ns()` read advances exactly one tick
+//! (1µs), so span timestamps — and therefore the rendered Chrome-trace
+//! JSON, folded stacks and `--time-passes` table — are byte-stable.
+//!
+//! The profiler's facet mask, track store and clock are process-global,
+//! so every test takes one lock and restores the world on exit (also on
+//! panic, via the RAII guard).
+
+use std::sync::Mutex;
+
+use snslp_trace::{clock, prof, Facet, ProfSpan};
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+/// Guard that owns the global profiler state for one test: clears the
+/// buffers, switches to the virtual clock and enables the Prof facet on
+/// entry; undoes all three on drop (including unwinds).
+struct ProfWorld {
+    _guard: std::sync::MutexGuard<'static, ()>,
+    prev_facets: u32,
+}
+
+impl ProfWorld {
+    fn enter() -> ProfWorld {
+        let guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        prof::clear();
+        clock::set_virtual(true);
+        let prev_facets = snslp_trace::set_facets(Facet::Prof as u32);
+        ProfWorld {
+            _guard: guard,
+            prev_facets,
+        }
+    }
+}
+
+impl Drop for ProfWorld {
+    fn drop(&mut self) {
+        snslp_trace::set_facets(self.prev_facets);
+        clock::set_virtual(false);
+        prof::clear();
+    }
+}
+
+/// One fixed span tree: outer(1µs..5µs) wrapping inner(2µs..4µs) with a
+/// counter sample at 3µs. Five clock reads, each one tick.
+fn record_fixture() -> snslp_trace::Profile {
+    let outer = ProfSpan::enter("outer"); // t=1µs
+    let inner = ProfSpan::enter_with("inner", || "fn @f".to_string()); // t=2µs
+    snslp_trace::prof_counter("rate", 0.5); // t=3µs
+    drop(inner); // t=4µs, dur=2µs
+    drop(outer); // t=5µs, dur=4µs
+    prof::take_profile()
+}
+
+#[test]
+fn chrome_json_is_byte_stable_under_virtual_clock() {
+    let expected = concat!(
+        "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n",
+        "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\"args\":{\"name\":\"main\"}},\n",
+        "{\"name\":\"outer\",\"cat\":\"snslp\",\"ph\":\"X\",\"ts\":1,\"dur\":4,\"pid\":1,\"tid\":0},\n",
+        "{\"name\":\"inner\",\"cat\":\"snslp\",\"ph\":\"X\",\"ts\":2,\"dur\":2,\"pid\":1,\"tid\":0,",
+        "\"args\":{\"label\":\"fn @f\"}},\n",
+        "{\"name\":\"rate\",\"ph\":\"C\",\"ts\":3,\"pid\":1,\"tid\":0,\"args\":{\"value\":0.5}}\n",
+        "]}\n",
+    );
+
+    let first = {
+        let _world = ProfWorld::enter();
+        record_fixture().to_chrome_json()
+    };
+    assert_eq!(first, expected);
+
+    // Determinism: a fresh virtual-clock run reproduces the bytes.
+    let second = {
+        let _world = ProfWorld::enter();
+        record_fixture().to_chrome_json()
+    };
+    assert_eq!(second, first);
+}
+
+#[test]
+fn folded_and_time_passes_match_the_span_tree() {
+    let _world = ProfWorld::enter();
+    let profile = record_fixture();
+
+    // Self time: outer 4µs - 2µs child = 2µs; inner keeps its 2µs.
+    assert_eq!(
+        profile.to_folded(),
+        "main;outer 2000\nmain;outer;inner 2000\n"
+    );
+
+    let totals = profile.totals();
+    assert_eq!(totals["outer"].total_ns, 4_000);
+    assert_eq!(totals["outer"].self_ns, 2_000);
+    assert_eq!(totals["inner"].total_ns, 2_000);
+    assert_eq!(totals["inner"].count, 1);
+
+    let table = profile.time_passes();
+    let lines: Vec<&str> = table.lines().collect();
+    assert_eq!(lines.len(), 6, "{table}");
+    // Sorted by total time descending: outer before inner.
+    assert!(
+        lines[3].ends_with("outer") && lines[3].contains("4.0us"),
+        "{table}"
+    );
+    assert!(
+        lines[4].ends_with("inner") && lines[4].contains("2.0us"),
+        "{table}"
+    );
+    assert!(
+        lines[5].contains("(wall, sum of self)") && lines[5].contains("4.0us"),
+        "{table}"
+    );
+
+    assert_eq!(profile.span_names(), vec!["inner", "outer"]);
+}
+
+#[test]
+fn every_worker_gets_a_track_even_when_starved() {
+    let _world = ProfWorld::enter();
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            let span = ProfSpan::enter("work");
+            drop(span);
+            prof::flush_thread("worker-0");
+        });
+        s.spawn(|| {
+            // This worker never recorded anything; its track must still
+            // materialize so the trace shows the whole pool.
+            prof::flush_thread("worker-1");
+        });
+    });
+    let profile = prof::take_profile();
+    let labels: Vec<&str> = profile.tracks.iter().map(|t| t.label.as_str()).collect();
+    assert_eq!(labels, vec!["main", "worker-0", "worker-1"]);
+    assert_eq!(profile.tracks[1].events.len(), 1);
+    assert!(profile.tracks[2].events.is_empty());
+}
+
+#[test]
+fn repeated_flushes_to_one_label_append() {
+    let _world = ProfWorld::enter();
+    drop(ProfSpan::enter("a"));
+    prof::flush_thread("w");
+    drop(ProfSpan::enter("b"));
+    prof::flush_thread("w");
+    let profile = prof::take_profile();
+    let w = profile.tracks.iter().find(|t| t.label == "w").unwrap();
+    assert_eq!(w.events.len(), 2);
+}
+
+#[test]
+fn disabled_profiler_produces_an_empty_profile() {
+    let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    prof::clear();
+    assert!(!prof::profiling());
+    drop(ProfSpan::enter("ignored"));
+    snslp_trace::prof_counter("ignored", 1.0);
+    prof::flush_thread("worker-9");
+    let profile = prof::take_profile();
+    assert!(profile.is_empty());
+    assert!(profile.tracks.is_empty(), "{:?}", profile.tracks);
+    assert_eq!(
+        profile.to_chrome_json(),
+        "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n]}\n"
+    );
+    assert_eq!(profile.to_folded(), "");
+}

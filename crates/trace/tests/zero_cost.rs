@@ -59,6 +59,14 @@ fn disabled_tracing_emits_nothing_and_allocates_nothing() {
         snslp_trace::bump(snslp_trace::Counter::BundlesAttempted);
         snslp_trace::add(snslp_trace::Counter::LookaheadScoreEvals, 3);
         remark.emit();
+        // Profiler entry points are inert too: no clock read is
+        // observable here, but the allocation count proves no event was
+        // buffered and no label was built.
+        let p = snslp_trace::ProfSpan::enter("hot.prof");
+        drop(p);
+        let p = snslp_trace::ProfSpan::enter_with("hot.prof", || format!("label {i}"));
+        drop(p);
+        snslp_trace::prof_counter("hot.counter", i as f64);
     }
     let after = ALLOCS.load(Ordering::Relaxed);
     assert_eq!(

@@ -7,20 +7,31 @@
 //! usage: snslpc [options] <file.snir | ->
 //!   --mode o3|slp|lslp|snslp   vectorizer (default snslp)
 //!   --target sse2|avx2|noaltop target description (default sse2)
-//!   --stats                    print per-function pass statistics to stderr
+//!   --stats[=FILE]             per-function pass statistics to stderr,
+//!                              or a snslp-stats/v1 JSON report to FILE
 //!   --report                   print the full per-graph report to stderr
+//!   --profile[=FILE]           write a Chrome-trace/Perfetto profile
+//!                              (default snslp-prof.json); load it in
+//!                              chrome://tracing or ui.perfetto.dev
+//!   --profile-folded=FILE      write folded flamegraph stacks to FILE
+//!   --time-passes              print a per-span timing table to stderr
 //!   --no-reductions            disable horizontal-reduction seeds
 //!   --verify                   verify the IR after every rewrite
 //! ```
 //!
-//! Tracing: set `SNSLP_TRACE=events,remarks,metrics,dot[=DIR][,json]`
+//! Functions are compiled by the parallel module driver (worker count
+//! from `SNSLP_THREADS` or the host CPU count); with `--profile`, each
+//! worker contributes its own named track to the trace.
+//!
+//! Tracing: set `SNSLP_TRACE=events,remarks,metrics,dot[=DIR],prof[,json]`
 //! (or `all`) to stream structured records from the pass to stderr —
 //! see the `snslp_trace` crate docs.
 
 use std::io::Read;
 use std::process::ExitCode;
 
-use snslp::core::{optimize_o3, run_slp, SlpConfig, SlpMode};
+use snslp::bench::stats::{mode_code, StatsReport};
+use snslp::core::{optimize_o3, run_slp_module, SlpConfig, SlpMode};
 use snslp::cost::{CostModel, TargetDesc};
 use snslp::ir::parse_module;
 
@@ -28,7 +39,11 @@ struct Options {
     mode: Option<SlpMode>,
     target: TargetDesc,
     stats: bool,
+    stats_out: Option<String>,
     report: bool,
+    profile_out: Option<String>,
+    folded_out: Option<String>,
+    time_passes: bool,
     reductions: bool,
     verify: bool,
     input: String,
@@ -37,7 +52,8 @@ struct Options {
 fn usage() -> ExitCode {
     eprintln!(
         "usage: snslpc [--mode o3|slp|lslp|snslp] [--target sse2|avx2|noaltop] \
-         [--stats] [--report] [--no-reductions] [--verify] <file.snir | ->"
+         [--stats[=FILE]] [--report] [--profile[=FILE]] [--profile-folded=FILE] \
+         [--time-passes] [--no-reductions] [--verify] <file.snir | ->"
     );
     ExitCode::from(2)
 }
@@ -47,7 +63,11 @@ fn parse_args() -> Result<Options, ExitCode> {
         mode: Some(SlpMode::SnSlp),
         target: TargetDesc::sse2_like(),
         stats: false,
+        stats_out: None,
         report: false,
+        profile_out: None,
+        folded_out: None,
+        time_passes: false,
         reductions: true,
         verify: false,
         input: String::new(),
@@ -77,11 +97,24 @@ fn parse_args() -> Result<Options, ExitCode> {
             }
             "--stats" => opts.stats = true,
             "--report" => opts.report = true,
+            "--profile" => opts.profile_out = Some("snslp-prof.json".to_string()),
+            "--time-passes" => opts.time_passes = true,
             "--no-reductions" => opts.reductions = false,
             "--verify" => opts.verify = true,
             "--help" | "-h" => return Err(usage()),
-            arg if opts.input.is_empty() => opts.input = arg.to_string(),
-            _ => return Err(usage()),
+            arg => {
+                if let Some(path) = arg.strip_prefix("--stats=") {
+                    opts.stats_out = Some(path.to_string());
+                } else if let Some(path) = arg.strip_prefix("--profile=") {
+                    opts.profile_out = Some(path.to_string());
+                } else if let Some(path) = arg.strip_prefix("--profile-folded=") {
+                    opts.folded_out = Some(path.to_string());
+                } else if opts.input.is_empty() && !arg.starts_with("--") {
+                    opts.input = arg.to_string();
+                } else {
+                    return Err(usage());
+                }
+            }
         }
         i += 1;
     }
@@ -100,6 +133,10 @@ fn main() -> ExitCode {
         Ok(o) => o,
         Err(code) => return code,
     };
+    let profiling = opts.profile_out.is_some() || opts.folded_out.is_some() || opts.time_passes;
+    if profiling {
+        snslp::trace::set_facets(snslp::trace::facets() | snslp::trace::Facet::Prof as u32);
+    }
 
     let source = if opts.input == "-" {
         let mut buf = String::new();
@@ -132,26 +169,32 @@ fn main() -> ExitCode {
         }
     }
 
-    for f in module.functions_mut() {
-        match opts.mode {
-            None => {
+    match opts.mode {
+        None => {
+            for f in module.functions_mut() {
                 let t = optimize_o3(f);
                 if opts.stats {
                     eprintln!("@{}: O3 cleanup in {t:?}", f.name());
                 }
             }
-            Some(mode) => {
-                let mut cfg = SlpConfig::new(mode).with_model(CostModel::new(opts.target.clone()));
-                cfg.enable_reductions = opts.reductions;
-                cfg.verify_after = opts.verify;
-                let report = run_slp(f, &cfg);
+            if opts.stats_out.is_some() {
+                eprintln!("snslpc: --stats=FILE needs a vectorizer mode (not o3)");
+                return ExitCode::FAILURE;
+            }
+        }
+        Some(mode) => {
+            let mut cfg = SlpConfig::new(mode).with_model(CostModel::new(opts.target.clone()));
+            cfg.enable_reductions = opts.reductions;
+            cfg.verify_after = opts.verify;
+            let reports = run_slp_module(&mut module, &cfg);
+            for report in &reports {
                 if opts.report {
                     eprint!("{report}");
                 }
                 if opts.stats {
                     eprintln!(
                         "@{}: {} — vectorized {}/{} graphs, aggregate Super-Node size {}, in {:?}",
-                        f.name(),
+                        report.function,
                         mode.label(),
                         report.vectorized_graphs(),
                         report.graphs.len(),
@@ -160,6 +203,44 @@ fn main() -> ExitCode {
                     );
                 }
             }
+            if let Some(path) = &opts.stats_out {
+                let unit = if opts.input == "-" {
+                    "stdin".to_string()
+                } else {
+                    std::path::Path::new(&opts.input)
+                        .file_stem()
+                        .map(|s| s.to_string_lossy().into_owned())
+                        .unwrap_or_else(|| opts.input.clone())
+                };
+                let stats = StatsReport::from_reports(
+                    mode_code(mode),
+                    reports.iter().map(|r| (unit.as_str(), r)),
+                );
+                if let Err(e) = std::fs::write(path, stats.to_json()) {
+                    eprintln!("snslpc: cannot write `{path}`: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+
+    if profiling {
+        let profile = snslp::trace::prof::take_profile();
+        if let Some(path) = &opts.profile_out {
+            if let Err(e) = std::fs::write(path, profile.to_chrome_json()) {
+                eprintln!("snslpc: cannot write `{path}`: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("snslpc: profile written to {path}");
+        }
+        if let Some(path) = &opts.folded_out {
+            if let Err(e) = std::fs::write(path, profile.to_folded()) {
+                eprintln!("snslpc: cannot write `{path}`: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        if opts.time_passes {
+            eprint!("{}", profile.time_passes());
         }
     }
 

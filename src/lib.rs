@@ -30,6 +30,7 @@
 
 #![warn(missing_docs)]
 
+pub use snslp_bench as bench;
 pub use snslp_core as core;
 pub use snslp_cost as cost;
 pub use snslp_fuzz as fuzz;
