@@ -20,10 +20,23 @@
 //! Fresh kernels absent from the baseline are reported but do not fail:
 //! a new kernel lands before its trajectory point does.
 //!
-//! Usage: `bench_check [baseline.json]`
+//! The `dyn` subcommand gates the *dynamic* trajectory instead: it
+//! re-collects the `snslp-dynstats/v1` report (simulated cycles + dynamic
+//! profiles for every kernel under o3/slp/lslp/snslp), validates the
+//! checked-in `BENCH_dyn.json` baseline, and fails on any simulated-cycle
+//! increase (the pipeline is deterministic, so any increase is a real
+//! regression, not jitter) or on a predicted-vs-achieved calibration sign
+//! disagreement. Mispredictions beyond the calibration ratio band are
+//! printed as `cost-misprediction` remarks.
+//!
+//! Usage:
+//!   `bench_check [baseline.json]`
+//!   `bench_check dyn [--bless] [--out FILE] [baseline.json]`
 
+use snslp_bench::dynstats::{calibrate, collect_kernel_dyn, misprediction_remarks, DynReport};
 use snslp_bench::measure_compile_times;
 use snslp_bench::report::{CompileTimeReport, REGRESSION_FACTOR};
+use snslp_trace::Facet;
 
 /// Fewer runs than the full bench: CI wants a smoke signal, and the 2×
 /// gate leaves plenty of room for the extra variance.
@@ -47,9 +60,119 @@ impl DeltaRow {
     }
 }
 
+/// `bench_check dyn`: deterministic dynamic-cycle gate + calibration.
+fn dyn_main(args: &[String]) -> ! {
+    let mut bless = false;
+    let mut out: Option<String> = None;
+    let mut baseline_path = "BENCH_dyn.json".to_string();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--bless" {
+            bless = true;
+        } else if arg == "--out" {
+            out = Some(
+                it.next()
+                    .unwrap_or_else(|| {
+                        eprintln!("bench_check dyn: --out needs a file argument");
+                        std::process::exit(2);
+                    })
+                    .clone(),
+            );
+        } else if let Some(v) = arg.strip_prefix("--out=") {
+            out = Some(v.to_string());
+        } else if arg.starts_with('-') {
+            eprintln!("bench_check dyn: unknown flag {arg}");
+            std::process::exit(2);
+        } else {
+            baseline_path = arg.clone();
+        }
+    }
+
+    let fresh = collect_kernel_dyn();
+    let json = fresh.to_json();
+    // The emitted document must survive its own strict reader — a
+    // render/parse asymmetry would silently rot the checked-in baseline.
+    if let Err(e) = DynReport::from_json(&json) {
+        eprintln!("bench_check dyn: fresh report fails validation: {e}");
+        std::process::exit(1);
+    }
+    if let Some(out) = &out {
+        std::fs::write(out, &json).unwrap_or_else(|e| {
+            eprintln!("bench_check dyn: cannot write {out}: {e}");
+            std::process::exit(1);
+        });
+        println!("bench_check dyn: wrote fresh report to {out}");
+    }
+    if bless {
+        std::fs::write(&baseline_path, &json).unwrap_or_else(|e| {
+            eprintln!("bench_check dyn: cannot write {baseline_path}: {e}");
+            std::process::exit(1);
+        });
+        println!("bench_check dyn: blessed baseline {baseline_path}");
+        std::process::exit(0);
+    }
+
+    let text = std::fs::read_to_string(&baseline_path).unwrap_or_else(|e| {
+        eprintln!(
+            "bench_check dyn: cannot read baseline {baseline_path}: {e} \
+             (run `bench_check dyn --bless` to create it)"
+        );
+        std::process::exit(1);
+    });
+    let baseline = DynReport::from_json(&text).unwrap_or_else(|e| {
+        eprintln!("bench_check dyn: baseline {baseline_path} is malformed: {e}");
+        std::process::exit(1);
+    });
+
+    println!(
+        "bench_check dyn: {} baseline kernels, deterministic cycle gate",
+        baseline.kernels.len()
+    );
+    print!("{}", fresh.calibration_table());
+    let rows = calibrate(&fresh);
+    let lines = snslp_trace::capture(Facet::Remarks as u32, || {
+        misprediction_remarks(&rows);
+    });
+    for line in &lines {
+        println!("{line}");
+    }
+    match snslp_bench::dynstats::check_dyn(&baseline, &fresh) {
+        Ok(table) => {
+            print!("{table}");
+            let improved = baseline.kernels.iter().any(|bk| {
+                fresh.kernels.iter().any(|fk| {
+                    fk.name == bk.name
+                        && bk
+                            .modes
+                            .iter()
+                            .any(|bm| fk.mode(&bm.label).is_some_and(|fm| fm.cycles < bm.cycles))
+                })
+            });
+            if improved {
+                println!(
+                    "bench_check dyn: cycles improved over baseline; \
+                     re-bless {baseline_path} to lock in the gain"
+                );
+            }
+            println!("bench_check dyn: all kernels within the gate");
+            std::process::exit(0);
+        }
+        Err(failures) => {
+            eprintln!("{failures}");
+            eprintln!("bench_check dyn: gate failed");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
-    let path = std::env::args()
-        .nth(1)
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("dyn") {
+        dyn_main(&argv[1..]);
+    }
+    let path = argv
+        .first()
+        .cloned()
         .unwrap_or_else(|| "BENCH_compile_time.json".to_string());
     let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
         eprintln!("bench_check: cannot read baseline {path}: {e}");

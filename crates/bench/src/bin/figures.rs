@@ -1,11 +1,12 @@
 //! Regenerates every table and figure of the paper's evaluation.
 //!
 //! Usage: `figures [table1 fig2 fig3 fig5 fig6 fig7 fig8 fig9 fig10 fig11
-//! ablation widths | all]` (default: `all` = the paper's tables/figures;
-//! `ablation` and `widths` are extra studies). Optionally `--iters N`
-//! scales kernel iteration counts (default: each kernel's
-//! `default_iters`).
+//! dyn ablation widths | all]` (default: `all` = the paper's
+//! tables/figures plus the dynamic-profile tables; `ablation` and
+//! `widths` are extra studies). Optionally `--iters N` scales kernel
+//! iteration counts (default: each kernel's `default_iters`).
 
+use snslp_bench::dynstats::collect_kernel_dyn;
 use snslp_bench::{measure_benchmark, measure_kernel, mode_label, timed_compiles, KernelRow};
 use snslp_core::{build_graph, evaluate, BlockCtx, SlpConfig, SlpMode};
 use snslp_kernels::{benchmarks, kernel_by_name, registry};
@@ -32,6 +33,7 @@ fn main() {
     if wanted.is_empty() || wanted.iter().any(|w| w == "all") {
         wanted = [
             "table1", "fig2", "fig3", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+            "dyn",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -63,6 +65,7 @@ fn main() {
             "fig9" => fig9(),
             "fig10" => fig10(),
             "fig11" => fig11(),
+            "dyn" => dyn_tables(),
             "ablation" => ablation(),
             "widths" => widths(),
             other => {
@@ -88,6 +91,19 @@ fn main() {
 fn header(title: &str) {
     println!();
     println!("== {title} ==");
+}
+
+/// Dynamic-profile tables: per-kernel dynamic-cycle speedups across all
+/// four pipelines (incl. vanilla SLP), lane utilization / packing
+/// overhead, and the predicted-vs-achieved cost calibration report.
+fn dyn_tables() {
+    let report = collect_kernel_dyn();
+    header("Dynamic speedup over O3 per kernel (all four pipelines, simulated cycles)");
+    print!("{}", report.speedup_table());
+    header("Lane utilization and packing overhead per kernel/mode");
+    print!("{}", report.lane_table());
+    header("Cost calibration: predicted (static model) vs achieved (dynamic) saving per iteration");
+    print!("{}", report.calibration_table());
 }
 
 /// Ablation (beyond the paper): SN-SLP with trunk reordering disabled

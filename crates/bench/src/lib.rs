@@ -12,6 +12,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod dynstats;
 pub mod report;
 pub mod stats;
 pub mod tracecheck;
@@ -20,7 +21,7 @@ use std::time::{Duration, Instant};
 
 use snslp_core::{optimize_o3, run_slp, FunctionReport, SlpConfig, SlpMode};
 use snslp_cost::CostModel;
-use snslp_interp::{run_with_args, ExecOptions};
+use snslp_interp::{run_with_args, DynProfile, ExecOptions};
 use snslp_ir::Function;
 use snslp_kernels::{Benchmark, Kernel};
 use snslp_trace::{Counter, MetricsSnapshot};
@@ -30,6 +31,16 @@ use report::{CompileTimeReport, KernelTiming, Timing};
 /// The three compiler configurations of the evaluation (§V): `O3` is all
 /// vectorizers disabled.
 pub const MODES: [Option<SlpMode>; 3] = [None, Some(SlpMode::Lslp), Some(SlpMode::SnSlp)];
+
+/// All four pipelines of the dynamic-profile tables (Fig. 9/10
+/// reproduction): the evaluation modes of [`MODES`] plus vanilla SLP, so
+/// the dynstats report can show where plain SLP falls back to gathers.
+pub const DYN_MODES: [Option<SlpMode>; 4] = [
+    None,
+    Some(SlpMode::Slp),
+    Some(SlpMode::Lslp),
+    Some(SlpMode::SnSlp),
+];
 
 /// Label for a configuration.
 pub fn mode_label(mode: Option<SlpMode>) -> &'static str {
@@ -52,6 +63,8 @@ pub struct ModeResult {
     pub report: Option<FunctionReport>,
     /// Wall-clock compile time (cleanup + vectorizer).
     pub compile_time: Duration,
+    /// Dynamic execution profile of the measured run.
+    pub profile: DynProfile,
 }
 
 /// All configurations of one kernel.
@@ -105,9 +118,19 @@ pub fn compile(f: &mut Function, mode: Option<SlpMode>) -> (Option<FunctionRepor
 /// Panics if compilation or interpretation fails — both indicate a bug in
 /// the reproduction, not in inputs.
 pub fn measure_kernel(kernel: &Kernel, iters: usize) -> KernelRow {
+    measure_kernel_modes(kernel, iters, &MODES)
+}
+
+/// [`measure_kernel`] over an explicit set of configurations (the
+/// dynstats report measures all four of [`DYN_MODES`]).
+///
+/// # Panics
+///
+/// Panics if compilation or interpretation fails.
+pub fn measure_kernel_modes(kernel: &Kernel, iters: usize, modes: &[Option<SlpMode>]) -> KernelRow {
     let model = CostModel::default();
     let args = kernel.args(iters);
-    let results = MODES
+    let results = modes
         .iter()
         .map(|&mode| {
             let mut f = kernel.build();
@@ -120,6 +143,7 @@ pub fn measure_kernel(kernel: &Kernel, iters: usize) -> KernelRow {
                 dyn_insts: out.exec.dyn_insts,
                 report,
                 compile_time,
+                profile: out.exec.profile,
             }
         })
         .collect();
@@ -190,6 +214,7 @@ pub fn measure_benchmark(bench: &Benchmark) -> BenchRow {
             let mut dyn_insts = 0u64;
             let mut compile_time = Duration::ZERO;
             let mut merged: Option<FunctionReport> = None;
+            let mut profile = DynProfile::new();
             for (mut f, args) in bench.functions() {
                 let (report, t) = compile(&mut f, mode);
                 compile_time += t;
@@ -205,6 +230,7 @@ pub fn measure_benchmark(bench: &Benchmark) -> BenchRow {
                     });
                 cycles += out.exec.cycles;
                 dyn_insts += out.exec.dyn_insts;
+                profile.merge(&out.exec.profile);
             }
             ModeResult {
                 mode,
@@ -212,6 +238,7 @@ pub fn measure_benchmark(bench: &Benchmark) -> BenchRow {
                 dyn_insts,
                 report: merged,
                 compile_time,
+                profile,
             }
         })
         .collect();

@@ -515,7 +515,7 @@ impl CompileTimeReport {
     }
 }
 
-fn round3(v: f64) -> f64 {
+pub(crate) fn round3(v: f64) -> f64 {
     (v * 1000.0).round() / 1000.0
 }
 

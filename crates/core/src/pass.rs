@@ -110,6 +110,20 @@ impl FunctionReport {
             .sum()
     }
 
+    /// Predicted cost delta of the *committed* rewrites: the sum of the
+    /// cost model's totals over vectorized graphs (negative = predicted
+    /// saving per execution of the rewritten region). Rejected graphs do
+    /// not contribute — their cost was never taken. This is the static
+    /// side the dynamic calibration report (`snslp-bench`) joins against
+    /// achieved per-run cycle deltas.
+    pub fn predicted_cost(&self) -> i64 {
+        self.graphs
+            .iter()
+            .filter(|g| g.vectorized)
+            .map(|g| i64::from(g.cost))
+            .sum()
+    }
+
     /// Number of Multi/Super-Nodes in vectorized graphs (Fig. 9's "more
     /// nodes" metric).
     pub fn num_super_nodes(&self) -> usize {

@@ -56,42 +56,6 @@ fn mode_key(m: SlpMode) -> &'static str {
     }
 }
 
-fn parse_inputs(spec: &str) -> Vec<ArgSpec> {
-    // e.g. `i64[0,0] i64[1,2] i64:3 f64[1.5,2.5] f32:0.5`
-    spec.split_whitespace()
-        .map(|tok| {
-            if let Some((ty, rest)) = tok.split_once('[') {
-                let items = rest.trim_end_matches(']');
-                match ty {
-                    "i64" => {
-                        ArgSpec::I64Array(items.split(',').map(|v| v.parse().unwrap()).collect())
-                    }
-                    "i32" => {
-                        ArgSpec::I32Array(items.split(',').map(|v| v.parse().unwrap()).collect())
-                    }
-                    "f64" => {
-                        ArgSpec::F64Array(items.split(',').map(|v| v.parse().unwrap()).collect())
-                    }
-                    "f32" => {
-                        ArgSpec::F32Array(items.split(',').map(|v| v.parse().unwrap()).collect())
-                    }
-                    other => panic!("unknown input array type `{other}`"),
-                }
-            } else if let Some((ty, v)) = tok.split_once(':') {
-                match ty {
-                    "i64" => ArgSpec::I64(v.parse().unwrap()),
-                    "i32" => ArgSpec::I32(v.parse().unwrap()),
-                    "f64" => ArgSpec::F64(v.parse().unwrap()),
-                    "f32" => ArgSpec::F32(v.parse().unwrap()),
-                    other => panic!("unknown input scalar type `{other}`"),
-                }
-            } else {
-                panic!("bad input token `{tok}`")
-            }
-        })
-        .collect()
-}
-
 fn parse_fixture(text: &str) -> Fixture {
     let mut fx = Fixture::default();
     for line in text.lines() {
@@ -118,7 +82,8 @@ fn parse_fixture(text: &str) -> Fixture {
             };
             fx.checks.entry(key).or_default().push(parsed);
         } else if let Some(spec) = comment.strip_prefix("INPUTS:") {
-            fx.inputs = parse_inputs(spec);
+            fx.inputs = snslp_interp::parse_inputs_line(spec)
+                .unwrap_or_else(|e| panic!("bad INPUTS line: {e}"));
         }
     }
     assert!(!fx.runs.is_empty(), "fixture has no RUN line");

@@ -185,6 +185,29 @@ fn scheduling_failure_remark_renders() {
 }
 
 #[test]
+fn cost_misprediction_remark_renders() {
+    // Cost-misprediction remarks are emitted by the dynamic calibration
+    // layer in `snslp-bench` (predicted vs achieved savings joined per
+    // kernel), not by the pass over IR, so the golden for this reason
+    // code renders a representatively-constructed remark through the
+    // same sink path the calibration uses.
+    let remark = snslp_trace::Remark {
+        pass: "snslp".to_string(),
+        function: "@milc_su3".to_string(),
+        block: "-".to_string(),
+        site: "-".to_string(),
+        seed_kind: "calibration".to_string(),
+        width: 2,
+        vectorized: true,
+        reason: snslp_trace::ReasonCode::CostMisprediction,
+        cost: Some(-7),
+        detail: "achieved=1.2/iter ratio=0.17".to_string(),
+    };
+    let lines = snslp_trace::capture(Facet::Remarks as u32, || remark.emit());
+    compare_golden("cost_misprediction_synthetic", &(lines.join("\n") + "\n"));
+}
+
+#[test]
 fn every_reason_code_appears_in_a_golden_stream() {
     // Exhaustiveness: each ReasonCode must be exercised by at least one
     // checked-in golden remark stream, so a renderer or classifier change

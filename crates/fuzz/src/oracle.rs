@@ -159,6 +159,63 @@ fn check_invariants(report: &FunctionReport, threshold: i32) -> Result<(), Strin
     Ok(())
 }
 
+/// Dynamic-profile self-consistency: every executed instruction lands in
+/// exactly one opcode class, so the profile's category totals must
+/// reproduce the interpreter's own `dyn_insts`/`cycles` counters exactly.
+/// Trapped runs carry no profile and pass vacuously.
+fn check_profile_totals(out: &Outcome) -> Result<(), String> {
+    let Outcome::Ran(run) = out else {
+        return Ok(());
+    };
+    let p = &run.exec.profile;
+    if p.total_ops() != run.exec.dyn_insts {
+        return Err(format!(
+            "profile op classes sum to {} but the interpreter executed {} instructions",
+            p.total_ops(),
+            run.exec.dyn_insts
+        ));
+    }
+    if p.total_cycles() != run.exec.cycles {
+        return Err(format!(
+            "profile class cycles sum to {} but the interpreter charged {}",
+            p.total_cycles(),
+            run.exec.cycles
+        ));
+    }
+    Ok(())
+}
+
+/// A run of never-vectorized IR must report zero dynamic vector ops: the
+/// baseline and the scalar O3 pipeline cannot touch a vector type.
+fn check_scalar_profile(out: &Outcome) -> Result<(), String> {
+    let Outcome::Ran(run) = out else {
+        return Ok(());
+    };
+    let p = &run.exec.profile;
+    if p.vector_ops != 0 {
+        return Err(format!(
+            "scalar pipeline executed {} dynamic vector ops",
+            p.vector_ops
+        ));
+    }
+    Ok(())
+}
+
+/// Vectorization packs memory accesses — it must never *add* dynamic
+/// memory operations over the scalar baseline on the same inputs (a
+/// gathered graph keeps the scalar loads; a widened one merges them).
+fn check_mem_traffic(baseline: &Outcome, after: &Outcome) -> Result<(), String> {
+    if let (Outcome::Ran(b), Outcome::Ran(a)) = (baseline, after) {
+        let (bm, am) = (b.exec.profile.mem_ops(), a.exec.profile.mem_ops());
+        if am > bm {
+            return Err(format!(
+                "vectorized variant executes {am} dynamic memory ops, scalar baseline only {bm}"
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// Lower-case stage label for a mode.
 pub fn mode_key(mode: SlpMode) -> &'static str {
     match mode {
@@ -209,6 +266,9 @@ pub fn check_case(
         ));
     }
     let baseline = execute(&case.function, &case.args, model).map_err(|e| fail("baseline", e))?;
+    check_profile_totals(&baseline)
+        .and_then(|()| check_scalar_profile(&baseline))
+        .map_err(|e| fail("baseline-dyn-invariant", e))?;
 
     // Scalar O3 cleanup alone must already be semantics-preserving.
     let mut o3 = case.function.clone();
@@ -218,6 +278,9 @@ pub fn check_case(
     }
     let after_o3 = execute(&o3, &case.args, model).map_err(|e| fail("o3", e))?;
     compare(&baseline, &after_o3).map_err(|e| fail("o3", e))?;
+    check_profile_totals(&after_o3)
+        .and_then(|()| check_scalar_profile(&after_o3))
+        .map_err(|e| fail("o3-dyn-invariant", e))?;
 
     let mut reports = Vec::with_capacity(modes.len());
     for &mode in modes {
@@ -243,6 +306,9 @@ pub fn check_case(
                 ),
             )
         })?;
+        check_profile_totals(&after)
+            .and_then(|()| check_mem_traffic(&baseline, &after))
+            .map_err(|e| fail(&format!("{key}-dyn-invariant"), e))?;
         reports.push(report);
     }
     let baseline_trap = match baseline {
@@ -271,6 +337,49 @@ mod tests {
                 panic!("unexpected divergence: {d}\n{}", d.function);
             }
         }
+    }
+
+    #[test]
+    fn dyn_invariants_catch_broken_profiles() {
+        use snslp_interp::ExecResult;
+
+        let ran = |cycles, dyn_insts, profile| {
+            Outcome::Ran(Box::new(RunOutcome {
+                exec: ExecResult {
+                    ret: None,
+                    cycles,
+                    dyn_insts,
+                    profile,
+                },
+                arrays: Vec::new(),
+            }))
+        };
+
+        // An empty profile only matches an empty run.
+        let empty = ran(0, 0, Default::default());
+        assert!(check_profile_totals(&empty).is_ok());
+        assert!(check_scalar_profile(&empty).is_ok());
+        let hollow = ran(3, 1, Default::default());
+        assert!(check_profile_totals(&hollow).is_err());
+
+        // Vector activity flunks the scalar-pipeline check ...
+        let mut p = snslp_interp::DynProfile::new();
+        p.vector_ops = 2;
+        let vectorish = ran(0, 0, p.clone());
+        assert!(check_scalar_profile(&vectorish).is_err());
+
+        // ... and extra dynamic memory ops flunk the traffic check.
+        let mut more = snslp_interp::DynProfile::new();
+        more.loads = 4;
+        let mut fewer = snslp_interp::DynProfile::new();
+        fewer.loads = 2;
+        assert!(check_mem_traffic(&ran(0, 0, fewer.clone()), &ran(0, 0, more.clone())).is_err());
+        assert!(check_mem_traffic(&ran(0, 0, more), &ran(0, 0, fewer)).is_ok());
+
+        // Traps carry no profile: vacuously fine on either side.
+        let trap = Outcome::Trapped(Trap::DivisionByZero);
+        assert!(check_profile_totals(&trap).is_ok());
+        assert!(check_mem_traffic(&trap, &vectorish).is_ok());
     }
 
     #[test]

@@ -59,6 +59,55 @@ pub struct RunOutcome {
     pub arrays: Vec<ArrayData>,
 }
 
+/// Parses the `INPUTS:` dialect shared by the `.snir` filecheck fixtures
+/// and `snslpc --run`: whitespace-separated tokens, `ty[v,v,...]` for
+/// arrays and `ty:v` for scalars, where `ty` is one of `i64`, `i32`,
+/// `f64`, `f32` (e.g. `f64[1.5,2.5] i64:3`).
+///
+/// # Errors
+///
+/// Returns a description of the first malformed token.
+pub fn parse_inputs_line(spec: &str) -> Result<Vec<ArgSpec>, String> {
+    fn scalar<T: std::str::FromStr>(v: &str, tok: &str) -> Result<T, String> {
+        v.parse()
+            .map_err(|_| format!("bad number in input token `{tok}`"))
+    }
+    fn nums<T: std::str::FromStr>(items: &str, tok: &str) -> Result<Vec<T>, String> {
+        items
+            .split(',')
+            .map(|v| {
+                v.trim()
+                    .parse()
+                    .map_err(|_| format!("bad number `{v}` in input token `{tok}`"))
+            })
+            .collect()
+    }
+    spec.split_whitespace()
+        .map(|tok| {
+            if let Some((ty, rest)) = tok.split_once('[') {
+                let items = rest.trim_end_matches(']');
+                match ty {
+                    "i64" => Ok(ArgSpec::I64Array(nums(items, tok)?)),
+                    "i32" => Ok(ArgSpec::I32Array(nums(items, tok)?)),
+                    "f64" => Ok(ArgSpec::F64Array(nums(items, tok)?)),
+                    "f32" => Ok(ArgSpec::F32Array(nums(items, tok)?)),
+                    other => Err(format!("unknown input array type `{other}`")),
+                }
+            } else if let Some((ty, v)) = tok.split_once(':') {
+                match ty {
+                    "i64" => Ok(ArgSpec::I64(scalar(v, tok)?)),
+                    "i32" => Ok(ArgSpec::I32(scalar(v, tok)?)),
+                    "f64" => Ok(ArgSpec::F64(scalar(v, tok)?)),
+                    "f32" => Ok(ArgSpec::F32(scalar(v, tok)?)),
+                    other => Err(format!("unknown input scalar type `{other}`")),
+                }
+            } else {
+                Err(format!("bad input token `{tok}`"))
+            }
+        })
+        .collect()
+}
+
 /// Materializes `args` in a fresh memory, runs `f`, and reads the arrays
 /// back.
 ///
@@ -240,6 +289,27 @@ mod tests {
     }
 
     #[test]
+    fn inputs_line_round_trips() {
+        let args = parse_inputs_line("i64[0,0] f64[1.5,2.5] i64:3 f32:0.5 i32[7] i32:-2").unwrap();
+        assert_eq!(
+            args,
+            vec![
+                ArgSpec::I64Array(vec![0, 0]),
+                ArgSpec::F64Array(vec![1.5, 2.5]),
+                ArgSpec::I64(3),
+                ArgSpec::F32(0.5),
+                ArgSpec::I32Array(vec![7]),
+                ArgSpec::I32(-2),
+            ]
+        );
+        assert!(parse_inputs_line("u8[1]").is_err());
+        assert!(parse_inputs_line("i64:x").is_err());
+        assert!(parse_inputs_line("naked").is_err());
+        assert!(parse_inputs_line("i64[1,zap]").is_err());
+        assert!(parse_inputs_line("").unwrap().is_empty());
+    }
+
+    #[test]
     fn identical_functions_match() {
         let f = scale_fn(3.0);
         let g = scale_fn(3.0);
@@ -265,6 +335,7 @@ mod tests {
                 ret: Some(Value::F64(0.1 + 0.2)),
                 cycles: 0,
                 dyn_insts: 0,
+                profile: Default::default(),
             },
             arrays: vec![],
         };
@@ -273,6 +344,7 @@ mod tests {
                 ret: Some(Value::F64(0.3)),
                 cycles: 99,
                 dyn_insts: 5,
+                profile: Default::default(),
             },
             arrays: vec![],
         };
@@ -286,6 +358,7 @@ mod tests {
                 ret: None,
                 cycles: 0,
                 dyn_insts: 0,
+                profile: Default::default(),
             },
             arrays: vec![ArrayData::I64(vec![1, 2, 3])],
         };

@@ -8,6 +8,7 @@ use snslp_cost::CostModel;
 use snslp_ir::{Function, InstId, InstKind, Type};
 
 use crate::memory::Memory;
+use crate::profile::DynProfile;
 use crate::value::{apply_binop, apply_binop_lanewise, apply_cast, apply_cmp, apply_unop, Value};
 
 /// A well-defined runtime trap: a deterministic outcome of executing
@@ -113,6 +114,11 @@ pub struct ExecResult {
     pub cycles: u64,
     /// Number of dynamic instructions executed.
     pub dyn_insts: u64,
+    /// Dynamic execution profile: the same work broken down by opcode
+    /// class, scalar vs vector, lane usage, packing overhead, and memory
+    /// traffic. `profile.total_ops() == dyn_insts` and
+    /// `profile.total_cycles() == cycles` always hold.
+    pub profile: DynProfile,
 }
 
 /// Interprets `f` with the given arguments against `mem`.
@@ -156,6 +162,7 @@ pub fn run(
 
     let mut cycles: u64 = 0;
     let mut dyn_insts: u64 = 0;
+    let mut profile = DynProfile::new();
     let mut fuel = opts.fuel;
     let mut block = f.entry();
     let mut prev_block: Option<snslp_ir::BlockId> = None;
@@ -195,7 +202,9 @@ pub fn run(
             }
             fuel -= 1;
             dyn_insts += 1;
-            cycles += model.exec_cost(f, id);
+            let cost = model.exec_cost(f, id);
+            cycles += cost;
+            profile.record(f, id, cost);
 
             let get = |v: &InstId| -> Result<Value, ExecError> {
                 values[v.index()]
@@ -349,6 +358,7 @@ pub fn run(
                         ret,
                         cycles,
                         dyn_insts,
+                        profile,
                     });
                 }
             };
@@ -527,6 +537,77 @@ mod tests {
         .unwrap();
         // lane0: 10 + 3 = 13; lane1: 3 - 10 = -7
         assert_eq!(mem.read_slice_f64(base + 16, 2), vec![13.0, -7.0]);
+    }
+
+    #[test]
+    fn profile_buckets_sum_to_totals() {
+        // Same shape as `vector_instructions_execute`: one vector load,
+        // a shuffle, a lanewise op, address math, and a vector store.
+        let mut fb = FunctionBuilder::new("v", vec![Param::noalias_ptr("p")], Type::Void);
+        let p = fb.func().param(0);
+        let vt = snslp_ir::VectorType::new(ScalarType::F64, 2);
+        let v = fb.load_vector(vt, p);
+        let sh = fb.shuffle(v, v, vec![1, 0]);
+        let r = fb.binary_lanewise(vec![snslp_ir::BinOp::Add, snslp_ir::BinOp::Sub], v, sh);
+        let q = fb.ptradd_const(p, 16);
+        fb.store(q, r);
+        fb.ret(None);
+        let f = fb.finish();
+
+        let mut mem = Memory::new();
+        let base = mem.alloc_slice_f64(&[10.0, 3.0, 0.0, 0.0]);
+        let res = run(
+            &f,
+            &[Value::Ptr(base)],
+            &mut mem,
+            &model(),
+            &ExecOptions::default(),
+        )
+        .unwrap();
+        let prof = &res.profile;
+        assert_eq!(prof.total_ops(), res.dyn_insts);
+        assert_eq!(prof.total_cycles(), res.cycles);
+        assert_eq!(prof.loads, 1);
+        assert_eq!(prof.stores, 1);
+        // One f64x2 load + one f64x2 store = 16 bytes each way.
+        assert_eq!(prof.bytes_loaded, 16);
+        assert_eq!(prof.bytes_stored, 16);
+        assert_eq!(prof.shuffles, 1);
+        // Vector ops: load, shuffle, lanewise, store — all 2-lane.
+        assert_eq!(prof.vector_ops, 4);
+        assert_eq!(prof.lanes_hist[2], 4);
+        assert_eq!(prof.mean_lanes(), Some(2.0));
+        assert_eq!(prof.gathers, 0);
+    }
+
+    #[test]
+    fn scalar_function_profiles_zero_vector_ops() {
+        let mut fb = FunctionBuilder::new("d", vec![Param::noalias_ptr("p")], Type::Void);
+        let p = fb.func().param(0);
+        let x = fb.load(ScalarType::I64, p);
+        let c = fb.const_i64(3);
+        let q = fb.div(x, c);
+        fb.store(p, q);
+        fb.ret(None);
+        let f = fb.finish();
+        let mut mem = Memory::new();
+        let base = mem.alloc_slice_i64(&[9]);
+        let res = run(
+            &f,
+            &[Value::Ptr(base)],
+            &mut mem,
+            &model(),
+            &ExecOptions::default(),
+        )
+        .unwrap();
+        let prof = &res.profile;
+        assert_eq!(prof.vector_ops, 0);
+        assert_eq!(prof.scalar_ops, res.dyn_insts);
+        assert_eq!(prof.ops_of(crate::profile::OpClass::DivRem), 1);
+        assert_eq!(prof.cycles_of(crate::profile::OpClass::DivRem), 8);
+        assert_eq!(prof.mean_lanes(), None);
+        assert_eq!(prof.packing_ops(), 0);
+        assert_eq!(prof.mem_ops(), 2);
     }
 
     #[test]

@@ -37,9 +37,14 @@
 pub mod diff;
 pub mod exec;
 pub mod memory;
+pub mod profile;
 pub mod value;
 
-pub use diff::{check_equivalent, outcomes_match, run_with_args, ArgSpec, ArrayData, RunOutcome};
+pub use diff::{
+    check_equivalent, outcomes_match, parse_inputs_line, run_with_args, ArgSpec, ArrayData,
+    RunOutcome,
+};
 pub use exec::{run, ExecError, ExecOptions, ExecResult, Trap};
 pub use memory::Memory;
+pub use profile::{DynProfile, OpClass};
 pub use value::Value;

@@ -1,0 +1,358 @@
+//! Dynamic execution profiles: per-run observability for the code the
+//! vectorizer emits.
+//!
+//! While [`crate::exec::run`] already counts dynamic instructions and
+//! simulated cycles, a [`DynProfile`] breaks both down by opcode class,
+//! splits scalar from vector work, records how many lanes every vector
+//! operation actually used, and tallies the packing overhead (inserts,
+//! extracts, gathers, shuffles) plus the memory traffic in bytes. This is
+//! the data the calibration layer in `snslp-bench` joins against the
+//! static cost model's predicted savings.
+
+use snslp_ir::{BinOp, Function, InstId, InstKind};
+
+/// Widest vector the lane histogram resolves exactly; wider operations
+/// are clamped into the last bucket (none of the modelled targets go
+/// past 8 lanes).
+pub const MAX_LANES: usize = 8;
+
+/// Coarse dynamic opcode classes. Every executed instruction falls in
+/// exactly one class, so per-class op counts sum to the run's
+/// `dyn_insts` (an invariant the fuzz oracle checks on every case).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpClass {
+    /// Plain arithmetic/logic: binary ops, unaries, casts, compares,
+    /// selects, constant materialization, and address arithmetic.
+    Alu,
+    /// Integer or float division/remainder (the expensive ALU tail the
+    /// cost model prices separately).
+    DivRem,
+    /// Loads and stores.
+    Memory,
+    /// Vector packing/unpacking: splats, build-vectors (gathers),
+    /// element inserts/extracts, shuffles.
+    Packing,
+    /// Jumps, branches, returns.
+    Control,
+}
+
+impl OpClass {
+    /// All classes, in report order.
+    pub const ALL: [OpClass; 5] = [
+        OpClass::Alu,
+        OpClass::DivRem,
+        OpClass::Memory,
+        OpClass::Packing,
+        OpClass::Control,
+    ];
+
+    /// Stable snake_case name used in JSON reports and machine lines.
+    pub fn name(self) -> &'static str {
+        match self {
+            OpClass::Alu => "alu",
+            OpClass::DivRem => "div_rem",
+            OpClass::Memory => "memory",
+            OpClass::Packing => "packing",
+            OpClass::Control => "control",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            OpClass::Alu => 0,
+            OpClass::DivRem => 1,
+            OpClass::Memory => 2,
+            OpClass::Packing => 3,
+            OpClass::Control => 4,
+        }
+    }
+}
+
+/// Per-run dynamic execution profile, collected by the interpreter
+/// alongside `cycles`/`dyn_insts`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DynProfile {
+    /// Dynamic instruction count per [`OpClass`] (indexed by
+    /// [`OpClass::ALL`] order). Sums to the run's `dyn_insts`.
+    pub ops: [u64; 5],
+    /// Simulated cycles per [`OpClass`]. Sums to the run's `cycles`.
+    pub cycles: [u64; 5],
+    /// Instructions that produced or consumed only scalars.
+    pub scalar_ops: u64,
+    /// Instructions that produced or consumed a vector.
+    pub vector_ops: u64,
+    /// Total vector lane slots across all vector operations (a 4-lane op
+    /// contributes 4); `lane_slots / vector_ops` is the mean width.
+    pub lane_slots: u64,
+    /// Histogram of vector operation widths: `lanes_hist[w]` counts the
+    /// vector ops that used exactly `w` lanes (clamped to [`MAX_LANES`]).
+    pub lanes_hist: [u64; MAX_LANES + 1],
+    /// Dynamic loads.
+    pub loads: u64,
+    /// Dynamic stores.
+    pub stores: u64,
+    /// Bytes read by loads.
+    pub bytes_loaded: u64,
+    /// Bytes written by stores.
+    pub bytes_stored: u64,
+    /// Lane inserts (`insertelement`).
+    pub inserts: u64,
+    /// Lane extracts (`extractelement`).
+    pub extracts: u64,
+    /// Build-vector gathers (packing N scalars into a vector).
+    pub gathers: u64,
+    /// Shuffles.
+    pub shuffles: u64,
+    /// Splats.
+    pub splats: u64,
+}
+
+impl DynProfile {
+    /// A zeroed profile.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one executed instruction with its simulated cost. Called
+    /// by the interpreter once per dynamic instruction (phis and
+    /// parameters are free and never reach the execution loop).
+    pub fn record(&mut self, f: &Function, id: InstId, cost: u64) {
+        let kind = f.kind(id);
+        let class = classify(kind);
+        self.ops[class.index()] += 1;
+        self.cycles[class.index()] += cost;
+
+        match lanes_of(f, id, kind) {
+            Some(lanes) => {
+                self.vector_ops += 1;
+                self.lane_slots += u64::from(lanes);
+                self.lanes_hist[(lanes as usize).min(MAX_LANES)] += 1;
+            }
+            None => self.scalar_ops += 1,
+        }
+
+        match kind {
+            InstKind::Load { .. } => {
+                self.loads += 1;
+                self.bytes_loaded += u64::from(f.ty(id).size_bytes());
+            }
+            InstKind::Store { value, .. } => {
+                self.stores += 1;
+                self.bytes_stored += u64::from(f.ty(*value).size_bytes());
+            }
+            InstKind::InsertElement { .. } => self.inserts += 1,
+            InstKind::ExtractElement { .. } => self.extracts += 1,
+            InstKind::BuildVector { .. } => self.gathers += 1,
+            InstKind::Shuffle { .. } => self.shuffles += 1,
+            InstKind::Splat { .. } => self.splats += 1,
+            _ => {}
+        }
+    }
+
+    /// Dynamic instruction count for one class.
+    pub fn ops_of(&self, class: OpClass) -> u64 {
+        self.ops[class.index()]
+    }
+
+    /// Simulated cycles for one class.
+    pub fn cycles_of(&self, class: OpClass) -> u64 {
+        self.cycles[class.index()]
+    }
+
+    /// Sum of all per-class op counts; equals the run's `dyn_insts`.
+    pub fn total_ops(&self) -> u64 {
+        self.ops.iter().sum()
+    }
+
+    /// Sum of all per-class cycles; equals the run's `cycles`.
+    pub fn total_cycles(&self) -> u64 {
+        self.cycles.iter().sum()
+    }
+
+    /// Dynamic memory operations (loads + stores).
+    pub fn mem_ops(&self) -> u64 {
+        self.loads + self.stores
+    }
+
+    /// Total packing overhead (inserts + extracts + gathers + shuffles +
+    /// splats); equals the `packing` class count.
+    pub fn packing_ops(&self) -> u64 {
+        self.inserts + self.extracts + self.gathers + self.shuffles + self.splats
+    }
+
+    /// Mean lanes per vector operation, or `None` if nothing vectorized.
+    pub fn mean_lanes(&self) -> Option<f64> {
+        if self.vector_ops == 0 {
+            None
+        } else {
+            Some(self.lane_slots as f64 / self.vector_ops as f64)
+        }
+    }
+
+    /// Accumulates `other` into `self` (for aggregating runs).
+    pub fn merge(&mut self, other: &DynProfile) {
+        for i in 0..self.ops.len() {
+            self.ops[i] += other.ops[i];
+            self.cycles[i] += other.cycles[i];
+        }
+        for i in 0..self.lanes_hist.len() {
+            self.lanes_hist[i] += other.lanes_hist[i];
+        }
+        self.scalar_ops += other.scalar_ops;
+        self.vector_ops += other.vector_ops;
+        self.lane_slots += other.lane_slots;
+        self.loads += other.loads;
+        self.stores += other.stores;
+        self.bytes_loaded += other.bytes_loaded;
+        self.bytes_stored += other.bytes_stored;
+        self.inserts += other.inserts;
+        self.extracts += other.extracts;
+        self.gathers += other.gathers;
+        self.shuffles += other.shuffles;
+        self.splats += other.splats;
+    }
+
+    /// Multi-line human rendering (used by `snslpc --dyn-profile`).
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "dynamic ops: {} ({} scalar, {} vector)",
+            self.total_ops(),
+            self.scalar_ops,
+            self.vector_ops
+        );
+        for class in OpClass::ALL {
+            let _ = writeln!(
+                s,
+                "  {:<8} ops={:<8} cycles={}",
+                class.name(),
+                self.ops_of(class),
+                self.cycles_of(class)
+            );
+        }
+        let _ = writeln!(
+            s,
+            "memory: {} loads / {} stores, {} B read / {} B written",
+            self.loads, self.stores, self.bytes_loaded, self.bytes_stored
+        );
+        let _ = writeln!(
+            s,
+            "packing: {} inserts, {} extracts, {} gathers, {} shuffles, {} splats",
+            self.inserts, self.extracts, self.gathers, self.shuffles, self.splats
+        );
+        match self.mean_lanes() {
+            Some(mean) => {
+                let hist: Vec<String> = (1..=MAX_LANES)
+                    .filter(|&w| self.lanes_hist[w] > 0)
+                    .map(|w| format!("{w}x{}", self.lanes_hist[w]))
+                    .collect();
+                let _ = writeln!(
+                    s,
+                    "lanes: mean {:.2} per vector op [{}]",
+                    mean,
+                    hist.join(" ")
+                );
+            }
+            None => {
+                let _ = writeln!(s, "lanes: no vector ops");
+            }
+        }
+        s
+    }
+}
+
+/// Coarse class of one instruction kind.
+fn classify(kind: &InstKind) -> OpClass {
+    match kind {
+        // Never executed by the loop (parameters are bound up front, phis
+        // resolve in their own phase), but classified for completeness.
+        InstKind::Param(_) | InstKind::Phi { .. } => OpClass::Alu,
+        InstKind::Const(_) | InstKind::PtrAdd { .. } => OpClass::Alu,
+        InstKind::Binary { op, .. } => match op {
+            BinOp::Div | BinOp::Rem => OpClass::DivRem,
+            _ => OpClass::Alu,
+        },
+        InstKind::BinaryLanewise { ops, .. } => {
+            if ops.iter().any(|o| matches!(o, BinOp::Div | BinOp::Rem)) {
+                OpClass::DivRem
+            } else {
+                OpClass::Alu
+            }
+        }
+        InstKind::Unary { .. }
+        | InstKind::Cast { .. }
+        | InstKind::Cmp { .. }
+        | InstKind::Select { .. } => OpClass::Alu,
+        InstKind::Load { .. } | InstKind::Store { .. } => OpClass::Memory,
+        InstKind::Splat { .. }
+        | InstKind::BuildVector { .. }
+        | InstKind::ExtractElement { .. }
+        | InstKind::InsertElement { .. }
+        | InstKind::Shuffle { .. } => OpClass::Packing,
+        InstKind::Jump { .. } | InstKind::Branch { .. } | InstKind::Ret { .. } => OpClass::Control,
+    }
+}
+
+/// Vector width of one instruction, or `None` for purely scalar work.
+/// Judged by the widest vector the instruction touches: a store of a
+/// vector and an extract *from* a vector are vector operations even
+/// though their own result is `void`/scalar.
+fn lanes_of(f: &Function, id: InstId, kind: &InstKind) -> Option<u8> {
+    let own = f.ty(id).as_vector().map(|v| v.lanes);
+    let operand = match kind {
+        InstKind::Store { value, .. } => f.ty(*value).as_vector().map(|v| v.lanes),
+        InstKind::ExtractElement { vector, .. } => f.ty(*vector).as_vector().map(|v| v.lanes),
+        _ => None,
+    };
+    match (own, operand) {
+        (Some(a), Some(b)) => Some(a.max(b)),
+        (a, b) => a.or(b),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_names_are_unique_and_ordered() {
+        let mut seen = std::collections::HashSet::new();
+        for (i, class) in OpClass::ALL.into_iter().enumerate() {
+            assert_eq!(class.index(), i);
+            assert!(seen.insert(class.name()));
+        }
+    }
+
+    #[test]
+    fn merge_accumulates_everything() {
+        let mut a = DynProfile::new();
+        a.ops[0] = 3;
+        a.cycles[0] = 3;
+        a.scalar_ops = 3;
+        a.loads = 1;
+        a.bytes_loaded = 8;
+        let mut b = DynProfile::new();
+        b.ops[0] = 2;
+        b.cycles[0] = 4;
+        b.vector_ops = 2;
+        b.lane_slots = 8;
+        b.lanes_hist[4] = 2;
+        a.merge(&b);
+        assert_eq!(a.total_ops(), 5);
+        assert_eq!(a.total_cycles(), 7);
+        assert_eq!(a.vector_ops, 2);
+        assert_eq!(a.lanes_hist[4], 2);
+        assert_eq!(a.mean_lanes(), Some(4.0));
+    }
+
+    #[test]
+    fn render_mentions_all_classes() {
+        let text = DynProfile::new().render();
+        for class in OpClass::ALL {
+            assert!(text.contains(class.name()), "{text}");
+        }
+        assert!(text.contains("no vector ops"));
+    }
+}

@@ -30,10 +30,15 @@ pub enum ReasonCode {
     NonConsecutive,
     /// Rejected: the seed was too narrow to form a vector (width < 2).
     TooNarrow,
+    /// Calibration: the cost model's predicted saving for a committed
+    /// vectorized region disagrees with the dynamically achieved saving
+    /// beyond the calibration ratio threshold (emitted by the dynamic
+    /// profiling layer, not by the pass itself).
+    CostMisprediction,
 }
 
 impl ReasonCode {
-    pub const ALL: [ReasonCode; 7] = [
+    pub const ALL: [ReasonCode; 8] = [
         ReasonCode::Profitable,
         ReasonCode::Cost,
         ReasonCode::UnsupportedOpcode,
@@ -41,6 +46,7 @@ impl ReasonCode {
         ReasonCode::SchedulingFailure,
         ReasonCode::NonConsecutive,
         ReasonCode::TooNarrow,
+        ReasonCode::CostMisprediction,
     ];
 
     /// Stable kebab-case code used in machine remark lines.
@@ -53,6 +59,7 @@ impl ReasonCode {
             ReasonCode::SchedulingFailure => "scheduling-failure",
             ReasonCode::NonConsecutive => "non-consecutive",
             ReasonCode::TooNarrow => "too-narrow",
+            ReasonCode::CostMisprediction => "cost-misprediction",
         }
     }
 
@@ -66,6 +73,7 @@ impl ReasonCode {
             ReasonCode::SchedulingFailure => "vector schedule has a dependence cycle",
             ReasonCode::NonConsecutive => "non-consecutive memory accesses",
             ReasonCode::TooNarrow => "seed too narrow",
+            ReasonCode::CostMisprediction => "predicted and achieved savings disagree",
         }
     }
 }

@@ -17,6 +17,14 @@
 //!   --time-passes              print a per-span timing table to stderr
 //!   --no-reductions            disable horizontal-reduction seeds
 //!   --verify                   verify the IR after every rewrite
+//!   --run[=ENTRY]              interpret ENTRY (default: the module's
+//!                              only function) after compilation and
+//!                              print its dynamic execution profile;
+//!                              arguments come from the module's
+//!                              `; INPUTS:` comment line
+//!   --dyn-profile[=FILE]       with --run, also write the profile as a
+//!                              snslp-dynstats/v1 JSON document
+//!                              (default snslp-dyn.json)
 //! ```
 //!
 //! Functions are compiled by the parallel module driver (worker count
@@ -30,9 +38,11 @@
 use std::io::Read;
 use std::process::ExitCode;
 
+use snslp::bench::dynstats::{DynReport, KernelDyn, ModeDyn};
 use snslp::bench::stats::{mode_code, StatsReport};
-use snslp::core::{optimize_o3, run_slp_module, SlpConfig, SlpMode};
+use snslp::core::{optimize_o3, run_slp_module, FunctionReport, SlpConfig, SlpMode};
 use snslp::cost::{CostModel, TargetDesc};
+use snslp::interp::{parse_inputs_line, run_with_args, ExecOptions};
 use snslp::ir::parse_module;
 
 struct Options {
@@ -46,6 +56,8 @@ struct Options {
     time_passes: bool,
     reductions: bool,
     verify: bool,
+    run: Option<Option<String>>,
+    dyn_out: Option<String>,
     input: String,
 }
 
@@ -53,7 +65,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: snslpc [--mode o3|slp|lslp|snslp] [--target sse2|avx2|noaltop] \
          [--stats[=FILE]] [--report] [--profile[=FILE]] [--profile-folded=FILE] \
-         [--time-passes] [--no-reductions] [--verify] <file.snir | ->"
+         [--time-passes] [--no-reductions] [--verify] [--run[=ENTRY]] \
+         [--dyn-profile[=FILE]] <file.snir | ->"
     );
     ExitCode::from(2)
 }
@@ -70,6 +83,8 @@ fn parse_args() -> Result<Options, ExitCode> {
         time_passes: false,
         reductions: true,
         verify: false,
+        run: None,
+        dyn_out: None,
         input: String::new(),
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -101,6 +116,8 @@ fn parse_args() -> Result<Options, ExitCode> {
             "--time-passes" => opts.time_passes = true,
             "--no-reductions" => opts.reductions = false,
             "--verify" => opts.verify = true,
+            "--run" => opts.run = Some(None),
+            "--dyn-profile" => opts.dyn_out = Some("snslp-dyn.json".to_string()),
             "--help" | "-h" => return Err(usage()),
             arg => {
                 if let Some(path) = arg.strip_prefix("--stats=") {
@@ -109,6 +126,10 @@ fn parse_args() -> Result<Options, ExitCode> {
                     opts.profile_out = Some(path.to_string());
                 } else if let Some(path) = arg.strip_prefix("--profile-folded=") {
                     opts.folded_out = Some(path.to_string());
+                } else if let Some(entry) = arg.strip_prefix("--run=") {
+                    opts.run = Some(Some(entry.trim_start_matches('@').to_string()));
+                } else if let Some(path) = arg.strip_prefix("--dyn-profile=") {
+                    opts.dyn_out = Some(path.to_string());
                 } else if opts.input.is_empty() && !arg.starts_with("--") {
                     opts.input = arg.to_string();
                 } else {
@@ -122,6 +143,99 @@ fn parse_args() -> Result<Options, ExitCode> {
         return Err(usage());
     }
     Ok(opts)
+}
+
+/// `--run`: interprets the compiled entry function on the arguments of
+/// the module's `; INPUTS:` comment line and prints its dynamic profile
+/// to stderr (and, with `--dyn-profile`, a `snslp-dynstats/v1` document
+/// to a file).
+fn run_entry(
+    module: &snslp::ir::Module,
+    source: &str,
+    entry: Option<&str>,
+    opts: &Options,
+    reports: &[FunctionReport],
+) -> Result<(), String> {
+    let fns: Vec<_> = module.functions().iter().collect();
+    let f = match entry {
+        Some(name) => *fns.iter().find(|f| f.name() == name).ok_or_else(|| {
+            let have: Vec<String> = fns.iter().map(|f| format!("@{}", f.name())).collect();
+            format!(
+                "no function @{name} in the module (have: {})",
+                have.join(", ")
+            )
+        })?,
+        None => match fns.as_slice() {
+            [only] => *only,
+            _ => {
+                return Err(format!(
+                    "--run needs =ENTRY: the module has {} functions",
+                    fns.len()
+                ))
+            }
+        },
+    };
+
+    let inputs = source.lines().find_map(|l| {
+        l.trim()
+            .strip_prefix(';')
+            .map(str::trim)
+            .and_then(|c| c.strip_prefix("INPUTS:"))
+    });
+    let args = match inputs {
+        Some(spec) => parse_inputs_line(spec)?,
+        None if f.params().is_empty() => Vec::new(),
+        None => {
+            return Err(format!(
+                "@{} takes {} parameters but the module has no `; INPUTS:` line \
+                 describing them (e.g. `; INPUTS: f64[0,0] f64[1.5,2.0] i64:3`)",
+                f.name(),
+                f.params().len()
+            ))
+        }
+    };
+
+    let model = CostModel::new(opts.target.clone());
+    let out = run_with_args(f, &args, &model, &ExecOptions::default())
+        .map_err(|e| format!("@{}: execution failed: {e}", f.name()))?;
+
+    eprintln!(
+        "@{}: {} simulated cycles, {} dynamic instructions",
+        f.name(),
+        out.exec.cycles,
+        out.exec.dyn_insts
+    );
+    if let Some(ret) = &out.exec.ret {
+        eprintln!("@{}: returned {ret:?}", f.name());
+    }
+    eprint!("{}", out.exec.profile.render());
+
+    if let Some(path) = &opts.dyn_out {
+        let label = match opts.mode {
+            None => "o3",
+            Some(SlpMode::Slp) => "slp",
+            Some(SlpMode::Lslp) => "lslp",
+            Some(SlpMode::SnSlp) => "snslp",
+        };
+        let report = reports.iter().find(|r| r.function == f.name());
+        let doc = DynReport {
+            kernels: vec![KernelDyn {
+                name: f.name().to_string(),
+                iters: 1,
+                modes: vec![ModeDyn {
+                    label: label.to_string(),
+                    cycles: out.exec.cycles,
+                    dyn_insts: out.exec.dyn_insts,
+                    predicted_cost: report.map(|r| r.predicted_cost()).unwrap_or(0),
+                    vectorized_graphs: report.map(|r| r.vectorized_graphs() as u64).unwrap_or(0),
+                    profile: out.exec.profile.clone(),
+                }],
+            }],
+        };
+        std::fs::write(path, doc.to_json()).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        eprintln!("snslpc: dynamic profile written to {path}");
+    }
+    Ok(())
 }
 
 fn main() -> ExitCode {
@@ -169,6 +283,7 @@ fn main() -> ExitCode {
         }
     }
 
+    let mut slp_reports = Vec::new();
     match opts.mode {
         None => {
             for f in module.functions_mut() {
@@ -221,7 +336,18 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             }
+            slp_reports = reports;
         }
+    }
+
+    if let Some(entry) = &opts.run {
+        if let Err(e) = run_entry(&module, &source, entry.as_deref(), &opts, &slp_reports) {
+            eprintln!("snslpc: {e}");
+            return ExitCode::FAILURE;
+        }
+    } else if opts.dyn_out.is_some() {
+        eprintln!("snslpc: --dyn-profile needs --run");
+        return ExitCode::FAILURE;
     }
 
     if profiling {
