@@ -1,0 +1,1106 @@
+//! Cross-layer decision attribution: the `snslp-report/v1` document.
+//!
+//! The five observability layers (remarks, profiler spans, DOT dumps,
+//! stats, dynamic profiles) each carry the same [`DecisionId`] anchor
+//! since it is minted in the pass; this module performs the join. Per
+//! function it produces one row per decision: the remark outcome and
+//! reason code, the predicted cost delta, the compile time spent inside
+//! that decision's profiler span, and the decision-stamped graph
+//! snapshot — alongside the function's achieved dynamic cycles and lane
+//! utilization from the interpreter.
+//!
+//! Consumers:
+//! - [`render_html`]: a zero-dependency single-file HTML explorer
+//!   (`snslpc --report`, byte-stable under the virtual clock);
+//! - [`diff`]: root-causes a benchmark regression down to the specific
+//!   decisions whose outcomes changed, ranked by cycle impact
+//!   (`snslp-report diff A B`).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use snslp_core::{optimize_o3, run_slp, FunctionReport, SlpConfig};
+use snslp_cost::CostModel;
+use snslp_interp::{run_with_args, ExecOptions};
+use snslp_trace::{DecisionId, Facet, Profile, Stage};
+
+use crate::json::{check_schema, round3, Json};
+use crate::stats::mode_code;
+
+/// The schema tag every attribution report carries; bump on breaking
+/// format changes.
+pub const REPORT_SCHEMA: &str = "snslp-report/v1";
+
+/// One vectorization decision, fully attributed across layers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecisionRow {
+    /// Rendered [`DecisionId`] (`@fn/block/sN#iM`).
+    pub id: String,
+    /// Basic-block label of the seed.
+    pub block: String,
+    /// Printed name of the seed site (diagnostic only; `inst` is the
+    /// stable coordinate).
+    pub site: String,
+    /// Stable instruction index of the seed root.
+    pub inst: u64,
+    /// `store` or `reduction`.
+    pub seed_kind: String,
+    /// Lanes in the seed bundle.
+    pub width: u64,
+    /// Whether the bundle was vectorized.
+    pub vectorized: bool,
+    /// Remark reason code.
+    pub reason: String,
+    /// Predicted cost delta (negative = saving); `None` when no costable
+    /// graph was built.
+    pub cost: Option<i64>,
+    /// Free-form remark detail.
+    pub detail: String,
+    /// Nanoseconds spent inside this decision's profiler span (graph
+    /// build through codegen). Deterministic under the virtual clock.
+    pub compile_ns: u64,
+    /// Decision-stamped DOT source of the final graph; empty when the
+    /// decision produced no graph (e.g. too-narrow reductions).
+    pub dot: String,
+}
+
+/// One function's attributed decisions plus its dynamic outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunctionAttrib {
+    /// Compilation unit (kernel or module name) the function came from.
+    pub unit: String,
+    /// Function name, without the `@` sigil.
+    pub function: String,
+    /// One row per decision, pass consideration order.
+    pub decisions: Vec<DecisionRow>,
+    /// Sum of committed graph costs (negative = predicted saving).
+    pub predicted_cost: i64,
+    /// Achieved dynamic cycles of the vectorized build (0 = not run).
+    pub cycles: u64,
+    /// Dynamic cycles of the scalar `o3` baseline (0 = not run).
+    pub o3_cycles: u64,
+    /// Dynamic instructions of the vectorized build.
+    pub dyn_insts: u64,
+    /// Vector ops executed dynamically.
+    pub vector_ops: u64,
+    /// Scalar ops executed dynamically.
+    pub scalar_ops: u64,
+    /// Mean occupied lanes per vector op, when any vector op ran.
+    pub mean_lanes: Option<f64>,
+    /// Compile-time stage breakdown (microseconds), [`Stage::ALL`] order.
+    pub stages_us: Vec<(String, f64)>,
+}
+
+impl FunctionAttrib {
+    /// `unit/@function`, the join key used by [`diff`].
+    pub fn key(&self) -> String {
+        format!("{}/@{}", self.unit, self.function)
+    }
+
+    /// Achieved speedup over the scalar baseline, when both ran.
+    pub fn speedup(&self) -> Option<f64> {
+        if self.cycles > 0 && self.o3_cycles > 0 {
+            Some(self.o3_cycles as f64 / self.cycles as f64)
+        } else {
+            None
+        }
+    }
+}
+
+/// The whole attribution report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttribReport {
+    /// Pass code the run used (`slp`, `lslp`, `snslp`).
+    pub mode: String,
+    /// One entry per function, unit order.
+    pub functions: Vec<FunctionAttrib>,
+}
+
+/// Dynamic outcome of one function, keyed by the interpreter's
+/// per-function result (`ExecResult::function`).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DynSummary {
+    /// Cycles of the vectorized build.
+    pub cycles: u64,
+    /// Cycles of the scalar `o3` baseline.
+    pub o3_cycles: u64,
+    /// Dynamic instructions of the vectorized build.
+    pub dyn_insts: u64,
+    /// Vector ops executed.
+    pub vector_ops: u64,
+    /// Scalar ops executed.
+    pub scalar_ops: u64,
+    /// Mean occupied lanes per vector op.
+    pub mean_lanes: Option<f64>,
+}
+
+// ---------------------------------------------------------------------
+// The join pass.
+// ---------------------------------------------------------------------
+
+/// Joins one function's pass report against the profiler spans and an
+/// optional dynamic run. Every remark becomes one [`DecisionRow`]; the
+/// graph snapshot comes from the [`GraphStats`](snslp_core::GraphStats)
+/// entry carrying the same [`DecisionId`], the compile time from the
+/// `decision` profiler span labelled with it.
+pub fn attrib_function(
+    unit: &str,
+    report: &FunctionReport,
+    profile: &Profile,
+    dyn_run: Option<&DynSummary>,
+) -> FunctionAttrib {
+    // Per-decision compile time: sum over `decision` spans by label.
+    let mut span_ns: BTreeMap<&str, u64> = BTreeMap::new();
+    for track in &profile.tracks {
+        for ev in &track.events {
+            if ev.name == "decision" {
+                if let Some(label) = &ev.label {
+                    *span_ns.entry(label).or_default() += ev.dur_ns;
+                }
+            }
+        }
+    }
+    // Per-decision graph snapshot.
+    let dots: BTreeMap<String, &str> = report
+        .graphs
+        .iter()
+        .map(|g| (g.decision.render(), g.dot.as_str()))
+        .collect();
+    let decisions = report
+        .remarks
+        .iter()
+        .map(|r| {
+            let id = r.decision.render();
+            DecisionRow {
+                block: r.block.clone(),
+                site: r.site.clone(),
+                inst: u64::from(r.inst),
+                seed_kind: r.seed_kind.clone(),
+                width: r.width as u64,
+                vectorized: r.vectorized,
+                reason: r.reason.code().to_string(),
+                cost: r.cost,
+                detail: r.detail.clone(),
+                compile_ns: span_ns.get(id.as_str()).copied().unwrap_or(0),
+                dot: dots.get(&id).copied().unwrap_or("").to_string(),
+                id,
+            }
+        })
+        .collect();
+    let stages_us = Stage::ALL
+        .iter()
+        .map(|&s| {
+            (
+                s.name().to_string(),
+                round3(report.metrics.stage_nanos(s) as f64 / 1e3),
+            )
+        })
+        .collect();
+    let dyn_run = dyn_run.cloned().unwrap_or_default();
+    FunctionAttrib {
+        unit: unit.to_string(),
+        function: report.function.clone(),
+        decisions,
+        predicted_cost: report.predicted_cost(),
+        cycles: dyn_run.cycles,
+        o3_cycles: dyn_run.o3_cycles,
+        dyn_insts: dyn_run.dyn_insts,
+        vector_ops: dyn_run.vector_ops,
+        scalar_ops: dyn_run.scalar_ops,
+        mean_lanes: dyn_run.mean_lanes,
+        stages_us,
+    }
+}
+
+/// Runs the full attribution pipeline for one kernel under `cfg`: a
+/// profiled pass run with graph DOTs retained, plus interpreted dynamic
+/// runs of the vectorized build and the scalar `o3` baseline.
+///
+/// Temporarily enables the `Prof` facet on a clean profiler store and
+/// restores the previous mask; callers running concurrently with other
+/// facet users must serialize externally (tests take a lock).
+///
+/// # Panics
+///
+/// Panics if the kernel fails to compile or interpret — both indicate a
+/// bug in the reproduction, not in inputs.
+pub fn attrib_kernel(kernel: &snslp_kernels::Kernel, cfg: &SlpConfig) -> FunctionAttrib {
+    let prev = snslp_trace::set_facets(snslp_trace::facets() | Facet::Prof as u32);
+    snslp_trace::prof::clear();
+    let mut cfg = cfg.clone();
+    cfg.keep_graph_dots = true;
+    let mut f = kernel.build();
+    let report = run_slp(&mut f, &cfg);
+    let profile = snslp_trace::prof::take_profile();
+    snslp_trace::set_facets(prev);
+
+    let model = CostModel::default();
+    let args = kernel.args(kernel.default_iters);
+    let out = run_with_args(&f, &args, &model, &ExecOptions::default())
+        .unwrap_or_else(|e| panic!("kernel {} failed to run: {e:?}", kernel.name));
+    let mut o3f = kernel.build();
+    optimize_o3(&mut o3f);
+    let o3 = run_with_args(&o3f, &args, &model, &ExecOptions::default())
+        .unwrap_or_else(|e| panic!("kernel {} (o3) failed to run: {e:?}", kernel.name));
+    // The interpreter keys its result by function; the pass report must
+    // describe the same function or the join is meaningless.
+    assert_eq!(out.exec.function, report.function);
+    let dyn_run = DynSummary {
+        cycles: out.exec.cycles,
+        o3_cycles: o3.exec.cycles,
+        dyn_insts: out.exec.dyn_insts,
+        vector_ops: out.exec.profile.vector_ops,
+        scalar_ops: out.exec.profile.scalar_ops,
+        mean_lanes: out.exec.profile.mean_lanes(),
+    };
+    attrib_function(kernel.name, &report, &profile, Some(&dyn_run))
+}
+
+/// Builds the attribution report over the whole kernel registry under
+/// `cfg` via [`attrib_kernel`].
+pub fn collect_kernel_attrib(cfg: &SlpConfig) -> AttribReport {
+    AttribReport {
+        mode: mode_code(cfg.mode).to_string(),
+        functions: snslp_kernels::registry()
+            .iter()
+            .map(|kernel| attrib_kernel(kernel, cfg))
+            .collect(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// JSON emission and the strict reader.
+// ---------------------------------------------------------------------
+
+impl AttribReport {
+    /// Renders the report as pretty `snslp-report/v1` JSON.
+    pub fn to_json(&self) -> String {
+        let functions = self
+            .functions
+            .iter()
+            .map(|f| {
+                let decisions = f
+                    .decisions
+                    .iter()
+                    .map(|d| {
+                        Json::Obj(vec![
+                            ("id".to_string(), Json::Str(d.id.clone())),
+                            ("block".to_string(), Json::Str(d.block.clone())),
+                            ("site".to_string(), Json::Str(d.site.clone())),
+                            ("inst".to_string(), Json::Num(d.inst as f64)),
+                            ("seed".to_string(), Json::Str(d.seed_kind.clone())),
+                            ("width".to_string(), Json::Num(d.width as f64)),
+                            (
+                                "action".to_string(),
+                                Json::Str(action_str(d.vectorized).to_string()),
+                            ),
+                            ("reason".to_string(), Json::Str(d.reason.clone())),
+                            (
+                                "cost".to_string(),
+                                match d.cost {
+                                    Some(c) => Json::Num(c as f64),
+                                    None => Json::Null,
+                                },
+                            ),
+                            ("detail".to_string(), Json::Str(d.detail.clone())),
+                            ("compile_ns".to_string(), Json::Num(d.compile_ns as f64)),
+                            ("dot".to_string(), Json::Str(d.dot.clone())),
+                        ])
+                    })
+                    .collect();
+                Json::Obj(vec![
+                    ("unit".to_string(), Json::Str(f.unit.clone())),
+                    ("function".to_string(), Json::Str(f.function.clone())),
+                    (
+                        "predicted_cost".to_string(),
+                        Json::Num(f.predicted_cost as f64),
+                    ),
+                    ("cycles".to_string(), Json::Num(f.cycles as f64)),
+                    ("o3_cycles".to_string(), Json::Num(f.o3_cycles as f64)),
+                    ("dyn_insts".to_string(), Json::Num(f.dyn_insts as f64)),
+                    ("vector_ops".to_string(), Json::Num(f.vector_ops as f64)),
+                    ("scalar_ops".to_string(), Json::Num(f.scalar_ops as f64)),
+                    (
+                        "mean_lanes".to_string(),
+                        match f.mean_lanes {
+                            Some(l) => Json::Num(round3(l)),
+                            None => Json::Null,
+                        },
+                    ),
+                    (
+                        "stages_us".to_string(),
+                        Json::Obj(
+                            f.stages_us
+                                .iter()
+                                .map(|(k, v)| (k.clone(), Json::Num(*v)))
+                                .collect(),
+                        ),
+                    ),
+                    ("decisions".to_string(), Json::Arr(decisions)),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("schema".to_string(), Json::Str(REPORT_SCHEMA.to_string())),
+            ("mode".to_string(), Json::Str(self.mode.clone())),
+            ("functions".to_string(), Json::Arr(functions)),
+        ])
+        .render()
+    }
+
+    /// Parses and validates a report document: schema tag, required
+    /// fields, parseable and unique decision ids per function, plausible
+    /// numbers.
+    pub fn from_json(text: &str) -> Result<AttribReport, String> {
+        let doc = Json::parse(text)?;
+        check_schema(&doc, REPORT_SCHEMA)?;
+        let mode = str_field(&doc, "report", "mode")?;
+        let mut functions = Vec::new();
+        for row in doc
+            .get("functions")
+            .and_then(Json::as_arr)
+            .ok_or("missing functions array")?
+        {
+            let unit = str_field(row, "function row", "unit")?;
+            let function = str_field(row, "function row", "function")?;
+            let ctx = format!("{unit}/@{function}");
+            let predicted_cost = int_field(row, &ctx, "predicted_cost")?;
+            let cycles = count_field(row, &ctx, "cycles")?;
+            let o3_cycles = count_field(row, &ctx, "o3_cycles")?;
+            let dyn_insts = count_field(row, &ctx, "dyn_insts")?;
+            let vector_ops = count_field(row, &ctx, "vector_ops")?;
+            let scalar_ops = count_field(row, &ctx, "scalar_ops")?;
+            let mean_lanes = match row.get("mean_lanes") {
+                Some(Json::Null) | None => None,
+                Some(v) => {
+                    let l = v
+                        .as_num()
+                        .filter(|l| l.is_finite() && *l >= 1.0)
+                        .ok_or(format!("{ctx}: implausible mean_lanes"))?;
+                    Some(l)
+                }
+            };
+            let Some(Json::Obj(stage_members)) = row.get("stages_us") else {
+                return Err(format!("{ctx}: missing stages_us object"));
+            };
+            let mut stages_us = Vec::new();
+            for (name, v) in stage_members {
+                let us = v
+                    .as_num()
+                    .filter(|us| us.is_finite() && *us >= 0.0)
+                    .ok_or(format!("{ctx}: implausible stage time for `{name}`"))?;
+                stages_us.push((name.clone(), us));
+            }
+            let mut decisions = Vec::new();
+            let mut seen = std::collections::BTreeSet::new();
+            for d in row
+                .get("decisions")
+                .and_then(Json::as_arr)
+                .ok_or(format!("{ctx}: missing decisions array"))?
+            {
+                let id = str_field(d, &ctx, "id")?;
+                let parsed = DecisionId::parse(&id).map_err(|e| format!("{ctx}: {e}"))?;
+                if parsed.function != function {
+                    return Err(format!(
+                        "{ctx}: decision `{id}` belongs to another function"
+                    ));
+                }
+                if !seen.insert(id.clone()) {
+                    return Err(format!("{ctx}: duplicate decision id `{id}`"));
+                }
+                let action = str_field(d, &ctx, "action")?;
+                let vectorized = match action.as_str() {
+                    "vectorized" => true,
+                    "missed" => false,
+                    other => return Err(format!("{ctx}: unknown action `{other}`")),
+                };
+                let cost = match d.get("cost") {
+                    Some(Json::Null) | None => None,
+                    Some(v) => Some(
+                        v.as_num()
+                            .filter(|c| c.is_finite() && c.fract() == 0.0)
+                            .ok_or(format!("{ctx}: implausible cost on `{id}`"))?
+                            as i64,
+                    ),
+                };
+                decisions.push(DecisionRow {
+                    id,
+                    block: str_field(d, &ctx, "block")?,
+                    site: str_field(d, &ctx, "site")?,
+                    inst: count_field(d, &ctx, "inst")?,
+                    seed_kind: str_field(d, &ctx, "seed")?,
+                    width: count_field(d, &ctx, "width")?,
+                    vectorized,
+                    reason: str_field(d, &ctx, "reason")?,
+                    cost,
+                    detail: str_field(d, &ctx, "detail")?,
+                    compile_ns: count_field(d, &ctx, "compile_ns")?,
+                    dot: str_field(d, &ctx, "dot")?,
+                });
+            }
+            functions.push(FunctionAttrib {
+                unit,
+                function,
+                decisions,
+                predicted_cost,
+                cycles,
+                o3_cycles,
+                dyn_insts,
+                vector_ops,
+                scalar_ops,
+                mean_lanes,
+                stages_us,
+            });
+        }
+        if functions.is_empty() {
+            return Err("report has no functions".to_string());
+        }
+        Ok(AttribReport { mode, functions })
+    }
+
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        let decisions: usize = self.functions.iter().map(|f| f.decisions.len()).sum();
+        let vectorized: usize = self
+            .functions
+            .iter()
+            .flat_map(|f| &f.decisions)
+            .filter(|d| d.vectorized)
+            .count();
+        format!(
+            "snslp-report/v1 [{}]: {} functions, {decisions} decisions ({vectorized} vectorized)",
+            self.mode,
+            self.functions.len(),
+        )
+    }
+}
+
+fn action_str(vectorized: bool) -> &'static str {
+    if vectorized {
+        "vectorized"
+    } else {
+        "missed"
+    }
+}
+
+fn str_field(obj: &Json, ctx: &str, key: &str) -> Result<String, String> {
+    obj.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or(format!("{ctx}: missing string field `{key}`"))
+}
+
+fn count_field(obj: &Json, ctx: &str, key: &str) -> Result<u64, String> {
+    obj.get(key)
+        .and_then(Json::as_num)
+        .filter(|n| n.is_finite() && *n >= 0.0 && n.fract() == 0.0)
+        .map(|n| n as u64)
+        .ok_or(format!("{ctx}: missing or implausible count `{key}`"))
+}
+
+fn int_field(obj: &Json, ctx: &str, key: &str) -> Result<i64, String> {
+    obj.get(key)
+        .and_then(Json::as_num)
+        .filter(|n| n.is_finite() && n.fract() == 0.0)
+        .map(|n| n as i64)
+        .ok_or(format!("{ctx}: missing or implausible integer `{key}`"))
+}
+
+// ---------------------------------------------------------------------
+// Regression root-causing.
+// ---------------------------------------------------------------------
+
+/// One decision whose outcome differs between two runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecisionDelta {
+    /// Compilation unit (kernel) of the function.
+    pub unit: String,
+    /// Function name.
+    pub function: String,
+    /// The decision anchor, rendered.
+    pub id: String,
+    /// `vectorized` / `missed` in the base run (`absent` if new).
+    pub base_action: String,
+    /// `vectorized` / `missed` in the new run (`absent` if removed).
+    pub new_action: String,
+    /// Reason code in the base run.
+    pub base_reason: String,
+    /// Reason code in the new run.
+    pub new_reason: String,
+    /// Predicted cost in the base run.
+    pub base_cost: Option<i64>,
+    /// Predicted cost in the new run.
+    pub new_cost: Option<i64>,
+    /// Cycle delta of the enclosing function (`new - base`; positive =
+    /// the function got slower). All changed decisions of one function
+    /// share its delta — the interpreter cannot split cycles per
+    /// decision, so the function is the attribution granularity and the
+    /// cost delta breaks ties within it.
+    pub cycle_impact: i64,
+}
+
+impl DecisionDelta {
+    /// Magnitude of the predicted-cost change, the intra-function rank.
+    fn cost_shift(&self) -> i64 {
+        (self.new_cost.unwrap_or(0) - self.base_cost.unwrap_or(0)).abs()
+    }
+}
+
+/// The root-cause report of [`diff`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct AttribDiff {
+    /// Decisions whose outcome changed, ranked by cycle impact
+    /// (regressions first), then by predicted-cost shift.
+    pub changed: Vec<DecisionDelta>,
+    /// Function keys present only in the base run.
+    pub only_base: Vec<String>,
+    /// Function keys present only in the new run.
+    pub only_new: Vec<String>,
+}
+
+impl AttribDiff {
+    /// No differences at all (a self-diff must be clean).
+    pub fn is_clean(&self) -> bool {
+        self.changed.is_empty() && self.only_base.is_empty() && self.only_new.is_empty()
+    }
+
+    /// Renders the ranked root causes, most impactful first.
+    pub fn render(&self, top_n: usize) -> String {
+        let mut out = String::new();
+        if self.is_clean() {
+            out.push_str("no decision changes\n");
+            return out;
+        }
+        for key in &self.only_base {
+            let _ = writeln!(out, "function only in base run: {key}");
+        }
+        for key in &self.only_new {
+            let _ = writeln!(out, "function only in new run: {key}");
+        }
+        let _ = writeln!(
+            out,
+            "{} changed decision(s), ranked by cycle impact:",
+            self.changed.len()
+        );
+        for (i, d) in self.changed.iter().take(top_n).enumerate() {
+            let _ = writeln!(
+                out,
+                "  {}. {}/@{} {}: {} -> {} ({} -> {}), cost {} -> {}, \
+                 function cycles {:+}",
+                i + 1,
+                d.unit,
+                d.function,
+                d.id,
+                d.base_action,
+                d.new_action,
+                d.base_reason,
+                d.new_reason,
+                fmt_cost(d.base_cost),
+                fmt_cost(d.new_cost),
+                d.cycle_impact,
+            );
+        }
+        if self.changed.len() > top_n {
+            let _ = writeln!(out, "  ... and {} more", self.changed.len() - top_n);
+        }
+        out
+    }
+}
+
+fn fmt_cost(c: Option<i64>) -> String {
+    match c {
+        Some(c) => c.to_string(),
+        None => "-".to_string(),
+    }
+}
+
+/// Root-causes the difference between two attribution runs: for every
+/// function present in both, decisions whose `(action, reason, cost)`
+/// outcome changed (or that appear/disappear) become [`DecisionDelta`]s
+/// carrying the function's achieved cycle delta, ranked regressions
+/// first.
+pub fn diff(base: &AttribReport, new: &AttribReport) -> AttribDiff {
+    let base_fns: BTreeMap<String, &FunctionAttrib> =
+        base.functions.iter().map(|f| (f.key(), f)).collect();
+    let new_fns: BTreeMap<String, &FunctionAttrib> =
+        new.functions.iter().map(|f| (f.key(), f)).collect();
+    let mut out = AttribDiff::default();
+    for key in base_fns.keys() {
+        if !new_fns.contains_key(key) {
+            out.only_base.push(key.clone());
+        }
+    }
+    for key in new_fns.keys() {
+        if !base_fns.contains_key(key) {
+            out.only_new.push(key.clone());
+        }
+    }
+    for (key, bf) in &base_fns {
+        let Some(nf) = new_fns.get(key) else { continue };
+        let cycle_impact = nf.cycles as i64 - bf.cycles as i64;
+        let bd: BTreeMap<&str, &DecisionRow> =
+            bf.decisions.iter().map(|d| (d.id.as_str(), d)).collect();
+        let nd: BTreeMap<&str, &DecisionRow> =
+            nf.decisions.iter().map(|d| (d.id.as_str(), d)).collect();
+        let mut ids: Vec<&str> = bd.keys().chain(nd.keys()).copied().collect();
+        ids.sort_unstable();
+        ids.dedup();
+        for id in ids {
+            let (b, n) = (bd.get(id), nd.get(id));
+            let changed = match (b, n) {
+                (Some(b), Some(n)) => {
+                    b.vectorized != n.vectorized || b.reason != n.reason || b.cost != n.cost
+                }
+                _ => true,
+            };
+            if !changed {
+                continue;
+            }
+            out.changed.push(DecisionDelta {
+                unit: bf.unit.clone(),
+                function: bf.function.clone(),
+                id: id.to_string(),
+                base_action: b.map_or("absent", |d| action_str(d.vectorized)).to_string(),
+                new_action: n.map_or("absent", |d| action_str(d.vectorized)).to_string(),
+                base_reason: b.map_or(String::new(), |d| d.reason.clone()),
+                new_reason: n.map_or(String::new(), |d| d.reason.clone()),
+                base_cost: b.and_then(|d| d.cost),
+                new_cost: n.and_then(|d| d.cost),
+                cycle_impact,
+            });
+        }
+    }
+    // Regressions (positive cycle deltas) first, largest first; within a
+    // function the biggest predicted-cost shift leads; the id breaks the
+    // final tie so the order is total and deterministic.
+    out.changed.sort_by(|a, b| {
+        b.cycle_impact
+            .cmp(&a.cycle_impact)
+            .then(b.cost_shift().cmp(&a.cost_shift()))
+            .then(a.id.cmp(&b.id))
+    });
+    out
+}
+
+// ---------------------------------------------------------------------
+// DOT -> inline SVG.
+// ---------------------------------------------------------------------
+
+struct DotNode {
+    index: usize,
+    shape: String,
+    color: String,
+    lines: Vec<String>,
+}
+
+/// Renders one of our own DOT graph dumps as an inline SVG: a layered
+/// top-down layout (roots above their operands), boxes per node, edges
+/// labelled with the operand index. This is not a general DOT renderer —
+/// it parses exactly the line format [`snslp_core::graph_to_dot_tagged`]
+/// emits, which is all the report ever embeds.
+pub fn dot_to_svg(dot: &str) -> String {
+    let mut nodes: Vec<DotNode> = Vec::new();
+    let mut edges: Vec<(usize, usize, String)> = Vec::new();
+    for line in dot.lines() {
+        let line = line.trim();
+        if let Some((from, rest)) = line.strip_prefix('n').and_then(|l| l.split_once(" -> n")) {
+            // `n0 -> n1 [label="0"];`
+            let (Ok(from), Some((to, rest))) = (from.parse::<usize>(), rest.split_once(" ["))
+            else {
+                continue;
+            };
+            let Ok(to) = to.parse::<usize>() else {
+                continue;
+            };
+            let label = extract_label(rest).unwrap_or_default();
+            edges.push((from, to, label));
+        } else if let Some(rest) = line.strip_prefix('n') {
+            // `n3 [shape=box, color=blue, label="..."];`
+            let Some((index, rest)) = rest.split_once(" [") else {
+                continue;
+            };
+            let Ok(index) = index.parse::<usize>() else {
+                continue;
+            };
+            let attr = |key: &str| {
+                rest.split(", ")
+                    .find_map(|kv| kv.strip_prefix(key))
+                    .map(|v| v.trim_end_matches("];").to_string())
+            };
+            let Some(label) = extract_label(rest) else {
+                continue;
+            };
+            nodes.push(DotNode {
+                index,
+                shape: attr("shape=").unwrap_or_else(|| "box".to_string()),
+                color: attr("color=").unwrap_or_else(|| "black".to_string()),
+                lines: label.split('\n').map(str::to_string).collect(),
+            });
+        }
+    }
+    if nodes.is_empty() {
+        return String::new();
+    }
+    nodes.sort_by_key(|n| n.index);
+    let max_index = nodes.last().map(|n| n.index).unwrap_or(0);
+
+    // Layer = longest path from a root (a node nothing points at).
+    // Edges point node -> operand, so operands sit below their users.
+    let mut depth = vec![0usize; max_index + 1];
+    for _ in 0..=nodes.len() {
+        let mut settled = true;
+        for &(from, to, _) in &edges {
+            if from <= max_index && to <= max_index && depth[to] < depth[from] + 1 {
+                depth[to] = depth[from] + 1;
+                settled = false;
+            }
+        }
+        if settled {
+            break;
+        }
+    }
+
+    // Integer-only geometry keeps the output byte-stable.
+    const CHAR_W: usize = 8;
+    const LINE_H: usize = 16;
+    const PAD: usize = 8;
+    const GAP_X: usize = 28;
+    const GAP_Y: usize = 48;
+    let box_w = |n: &DotNode| n.lines.iter().map(String::len).max().unwrap_or(1) * CHAR_W + 2 * PAD;
+    let box_h = |n: &DotNode| n.lines.len() * LINE_H + 2 * PAD;
+
+    let max_depth = nodes.iter().map(|n| depth[n.index]).max().unwrap_or(0);
+    let mut row_h = vec![0usize; max_depth + 1];
+    for n in &nodes {
+        row_h[depth[n.index]] = row_h[depth[n.index]].max(box_h(n));
+    }
+    let mut row_y = vec![0usize; max_depth + 1];
+    let mut y = GAP_Y / 2;
+    for d in 0..=max_depth {
+        row_y[d] = y;
+        y += row_h[d] + GAP_Y;
+    }
+    let mut pos = vec![(0usize, 0usize); max_index + 1]; // top-left x, y
+    let mut row_x = vec![GAP_X / 2; max_depth + 1];
+    let mut total_w = 0usize;
+    for n in &nodes {
+        let d = depth[n.index];
+        pos[n.index] = (row_x[d], row_y[d]);
+        row_x[d] += box_w(n) + GAP_X;
+        total_w = total_w.max(row_x[d]);
+    }
+    let total_h = y - GAP_Y / 2;
+
+    let mut svg = String::new();
+    let _ = write!(
+        svg,
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{total_w}\" height=\"{total_h}\" \
+         viewBox=\"0 0 {total_w} {total_h}\" font-family=\"monospace\" font-size=\"12\">"
+    );
+    for &(from, to, ref label) in &edges {
+        if from > max_index || to > max_index {
+            continue;
+        }
+        let (fx, fy) = pos[from];
+        let (tx, ty) = pos[to];
+        let fn_ref = &nodes[nodes.binary_search_by_key(&from, |n| n.index).unwrap_or(0)];
+        let tn_ref = &nodes[nodes.binary_search_by_key(&to, |n| n.index).unwrap_or(0)];
+        let (x1, y1) = (fx + box_w(fn_ref) / 2, fy + box_h(fn_ref));
+        let (x2, y2) = (tx + box_w(tn_ref) / 2, ty);
+        let _ = write!(
+            svg,
+            "<line x1=\"{x1}\" y1=\"{y1}\" x2=\"{x2}\" y2=\"{y2}\" stroke=\"#888\"/>\
+             <text x=\"{}\" y=\"{}\" fill=\"#888\">{}</text>",
+            (x1 + x2) / 2 + 3,
+            (y1 + y2) / 2,
+            xml_escape(label),
+        );
+    }
+    for n in &nodes {
+        let (x, y) = pos[n.index];
+        let (w, h) = (box_w(n), box_h(n));
+        let rx = if n.shape == "oval" { h / 2 } else { 3 };
+        let _ = write!(
+            svg,
+            "<rect x=\"{x}\" y=\"{y}\" width=\"{w}\" height=\"{h}\" rx=\"{rx}\" \
+             fill=\"white\" stroke=\"{}\"/>",
+            xml_escape(&n.color),
+        );
+        for (i, line) in n.lines.iter().enumerate() {
+            let _ = write!(
+                svg,
+                "<text x=\"{}\" y=\"{}\" fill=\"{}\">{}</text>",
+                x + PAD,
+                y + PAD + (i + 1) * LINE_H - 4,
+                xml_escape(&n.color),
+                xml_escape(line),
+            );
+        }
+    }
+    svg.push_str("</svg>");
+    svg
+}
+
+/// Extracts and unescapes the `label="..."` attribute value from a DOT
+/// attribute list. DOT `\n` escapes become real newlines.
+fn extract_label(attrs: &str) -> Option<String> {
+    let rest = attrs.split_once("label=\"")?.1;
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                'n' => out.push('\n'),
+                other => out.push(other),
+            },
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+// ---------------------------------------------------------------------
+// The single-file HTML explorer.
+// ---------------------------------------------------------------------
+
+/// Renders the report as a self-contained HTML explorer: no external
+/// scripts, styles or fonts, so the file works offline and as a CI
+/// artifact. Collapsible per-function sections hold the decision table;
+/// each decision expands to its graph snapshot (inline SVG) and remark
+/// detail. Output is a pure function of the report, so it is byte-stable
+/// whenever the report is (virtual clock).
+pub fn render_html(report: &AttribReport) -> String {
+    let mut h = String::new();
+    h.push_str("<!doctype html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n");
+    let _ = writeln!(
+        h,
+        "<title>snslp vectorization report [{}]</title>",
+        report.mode
+    );
+    h.push_str(
+        "<style>\n\
+         body{font-family:monospace;margin:1.5em;background:#fafafa;color:#222}\n\
+         h1{font-size:1.3em}\n\
+         table{border-collapse:collapse;margin:.5em 0}\n\
+         th,td{border:1px solid #ccc;padding:2px 8px;text-align:left}\n\
+         th{background:#eee}\n\
+         details{margin:.6em 0}\n\
+         details.fn>summary{font-weight:bold;cursor:pointer}\n\
+         details.dec{margin:.2em 0 .2em 1em}\n\
+         .vec{color:#05691d}\n\
+         .miss{color:#a11}\n\
+         .num{text-align:right}\n\
+         svg{background:white;border:1px solid #ddd;margin:.4em 0}\n\
+         </style>\n</head>\n<body>\n",
+    );
+    let decisions: usize = report.functions.iter().map(|f| f.decisions.len()).sum();
+    let vectorized: usize = report
+        .functions
+        .iter()
+        .flat_map(|f| &f.decisions)
+        .filter(|d| d.vectorized)
+        .count();
+    let _ = write!(
+        h,
+        "<h1>snslp vectorization report</h1>\n\
+         <p>schema {REPORT_SCHEMA} &middot; mode <b>{}</b> &middot; {} functions &middot; \
+         {decisions} decisions ({vectorized} vectorized)</p>\n",
+        xml_escape(&report.mode),
+        report.functions.len(),
+    );
+    for f in &report.functions {
+        let _ = write!(
+            h,
+            "<details class=\"fn\" open>\n<summary>{} &middot; {}/{} vectorized",
+            xml_escape(&f.key()),
+            f.decisions.iter().filter(|d| d.vectorized).count(),
+            f.decisions.len(),
+        );
+        if let Some(s) = f.speedup() {
+            let _ = write!(h, " &middot; {:.2}x over O3", s);
+        }
+        h.push_str("</summary>\n");
+        let _ = write!(
+            h,
+            "<p>predicted cost {:+} &middot; cycles {} (O3 {}) &middot; dyn insts {} &middot; \
+             {} vector / {} scalar ops",
+            f.predicted_cost, f.cycles, f.o3_cycles, f.dyn_insts, f.vector_ops, f.scalar_ops,
+        );
+        if let Some(l) = f.mean_lanes {
+            let _ = write!(h, " &middot; mean lanes {:.2}", l);
+        }
+        h.push_str("</p>\n<p>compile stages (&micro;s):");
+        for (name, us) in &f.stages_us {
+            let _ = write!(h, " {}={us}", xml_escape(name));
+        }
+        h.push_str(
+            "</p>\n<table>\n<tr><th>decision</th><th>seed</th><th>site</th>\
+                    <th>inst</th><th>width</th><th>action</th><th>reason</th>\
+                    <th>cost</th><th>compile &micro;s</th></tr>\n",
+        );
+        for d in &f.decisions {
+            let _ = writeln!(
+                h,
+                "<tr><td>{}</td><td>{}</td><td>{}</td><td class=\"num\">{}</td>\
+                 <td class=\"num\">{}</td><td class=\"{}\">{}</td><td>{}</td>\
+                 <td class=\"num\">{}</td><td class=\"num\">{}</td></tr>",
+                xml_escape(&d.id),
+                xml_escape(&d.seed_kind),
+                xml_escape(&d.site),
+                d.inst,
+                d.width,
+                if d.vectorized { "vec" } else { "miss" },
+                action_str(d.vectorized),
+                xml_escape(&d.reason),
+                fmt_cost(d.cost),
+                d.compile_ns / 1_000,
+            );
+        }
+        h.push_str("</table>\n");
+        for d in &f.decisions {
+            let _ = write!(
+                h,
+                "<details class=\"dec\">\n<summary>graph for {}</summary>\n",
+                xml_escape(&d.id),
+            );
+            if !d.detail.is_empty() {
+                let _ = writeln!(h, "<p>detail: {}</p>", xml_escape(&d.detail));
+            }
+            let svg = dot_to_svg(&d.dot);
+            if svg.is_empty() {
+                h.push_str("<p>(no graph was built for this decision)</p>\n");
+            } else {
+                h.push_str(&svg);
+                h.push('\n');
+            }
+            h.push_str("</details>\n");
+        }
+        h.push_str("</details>\n");
+    }
+    h.push_str("</body>\n</html>\n");
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> AttribReport {
+        AttribReport {
+            mode: "snslp".to_string(),
+            functions: vec![FunctionAttrib {
+                unit: "motiv_leaf".to_string(),
+                function: "motiv_leaf".to_string(),
+                decisions: vec![DecisionRow {
+                    id: "@motiv_leaf/entry/s0#i12".to_string(),
+                    block: "entry".to_string(),
+                    site: "%t12".to_string(),
+                    inst: 12,
+                    seed_kind: "store".to_string(),
+                    width: 2,
+                    vectorized: true,
+                    reason: "profitable".to_string(),
+                    cost: Some(-6),
+                    detail: String::new(),
+                    compile_ns: 42_000,
+                    dot: "digraph \"g\" {\n  n0 [shape=box, color=blue, \
+                          label=\"#0 Store\\n[%t12, %t13]\"];\n  n1 [shape=box, color=black, \
+                          label=\"#1 Vector\\n[%t8, %t9]\"];\n  n0 -> n1 [label=\"0\"];\n}\n"
+                        .to_string(),
+                }],
+                predicted_cost: -6,
+                cycles: 900,
+                o3_cycles: 1200,
+                dyn_insts: 300,
+                vector_ops: 40,
+                scalar_ops: 200,
+                mean_lanes: Some(2.0),
+                stages_us: vec![("cleanup".to_string(), 12.5)],
+            }],
+        }
+    }
+
+    #[test]
+    fn report_round_trips() {
+        let r = sample();
+        let back = AttribReport::from_json(&r.to_json()).unwrap();
+        assert_eq!(r, back);
+    }
+
+    #[test]
+    fn strict_reader_rejects_malformed_documents() {
+        assert!(AttribReport::from_json("{").is_err());
+        assert!(AttribReport::from_json(r#"{"schema": "nope/v9"}"#).is_err());
+        let err = AttribReport::from_json(r#"{"schema": "nope/v9"}"#).unwrap_err();
+        assert!(err.contains("schema mismatch"), "{err}");
+        // A duplicate decision id is a join hazard and must be rejected.
+        let mut r = sample();
+        let d = r.functions[0].decisions[0].clone();
+        r.functions[0].decisions.push(d);
+        assert!(AttribReport::from_json(&r.to_json())
+            .unwrap_err()
+            .contains("duplicate decision id"));
+        // A decision anchored to a different function cannot be joined.
+        let mut r = sample();
+        r.functions[0].decisions[0].id = "@other/entry/s0#i12".to_string();
+        assert!(AttribReport::from_json(&r.to_json())
+            .unwrap_err()
+            .contains("belongs to another function"));
+    }
+
+    #[test]
+    fn svg_renders_nodes_and_edges() {
+        let svg = dot_to_svg(&sample().functions[0].decisions[0].dot);
+        assert!(svg.starts_with("<svg"), "{svg}");
+        assert!(svg.contains("#0 Store"), "{svg}");
+        assert!(svg.contains("[%t12, %t13]"), "{svg}");
+        assert!(svg.contains("<line"), "{svg}");
+        // The operand sits one layer below its user.
+        assert!(svg.ends_with("</svg>"));
+        assert!(dot_to_svg("").is_empty());
+    }
+
+    #[test]
+    fn html_contains_the_decision_table_and_svg() {
+        let html = render_html(&sample());
+        assert!(html.starts_with("<!doctype html>"));
+        assert!(html.contains("@motiv_leaf/entry/s0#i12"));
+        assert!(html.contains("profitable"));
+        assert!(html.contains("<svg"));
+        assert!(html.contains("1.33x over O3"));
+        // Zero external references: self-contained by construction.
+        assert!(!html.contains("http://") || html.contains("www.w3.org/2000/svg"));
+        assert!(!html.contains("<script src"));
+        assert!(!html.contains("<link"));
+    }
+
+    #[test]
+    fn self_diff_is_clean_and_changes_are_ranked() {
+        let base = sample();
+        assert!(diff(&base, &base).is_clean());
+
+        // Flip the decision to a cost rejection and slow the function.
+        let mut nerfed = base.clone();
+        nerfed.functions[0].decisions[0].vectorized = false;
+        nerfed.functions[0].decisions[0].reason = "cost".to_string();
+        nerfed.functions[0].decisions[0].cost = Some(4);
+        nerfed.functions[0].cycles = 1200;
+        let d = diff(&base, &nerfed);
+        assert_eq!(d.changed.len(), 1);
+        let top = &d.changed[0];
+        assert_eq!(top.id, "@motiv_leaf/entry/s0#i12");
+        assert_eq!(top.base_action, "vectorized");
+        assert_eq!(top.new_action, "missed");
+        assert_eq!(top.cycle_impact, 300);
+        let text = d.render(5);
+        assert!(text.contains("motiv_leaf/@motiv_leaf"), "{text}");
+        assert!(text.contains("vectorized -> missed"), "{text}");
+    }
+}

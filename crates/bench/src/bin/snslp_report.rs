@@ -1,0 +1,193 @@
+//! `snslp-report` — decision-attribution reports and regression
+//! root-causing.
+//!
+//! ```text
+//! usage: snslp-report <command> [args]
+//!   collect [--mode slp|lslp|snslp] [--out FILE]
+//!       Run the attribution pipeline over the kernel registry and write
+//!       a snslp-report/v1 JSON document to --out (stdout by default).
+//!   html REPORT.json [--out FILE]
+//!       Render a collected report as the single-file HTML explorer
+//!       (stdout by default).
+//!   validate REPORT.json
+//!       Parse a report with the strict reader; exit 1 if malformed.
+//!   diff BASE.json NEW.json [--top N]
+//!       Root-cause the difference between two runs down to the
+//!       decisions whose outcomes changed, ranked by cycle impact;
+//!       exit 1 when any difference is found.
+//! ```
+
+use std::process::ExitCode;
+
+use snslp_bench::attrib::{collect_kernel_attrib, diff, render_html, AttribReport};
+use snslp_core::{SlpConfig, SlpMode};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: snslp-report collect [--mode slp|lslp|snslp] [--out FILE]\n\
+         \x20      snslp-report html REPORT.json [--out FILE]\n\
+         \x20      snslp-report validate REPORT.json\n\
+         \x20      snslp-report diff BASE.json NEW.json [--top N]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    if let Err(e) = snslp_trace::init_from_env() {
+        eprintln!("snslp-report: {e}");
+        return ExitCode::from(2);
+    }
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("collect") => collect(&args[1..]),
+        Some("html") => html(&args[1..]),
+        Some("validate") => validate(&args[1..]),
+        Some("diff") => run_diff(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn load(path: &str) -> Result<AttribReport, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    AttribReport::from_json(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn write_or_print(out: Option<&String>, payload: &str, what: &str) -> ExitCode {
+    match out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, payload) {
+                eprintln!("snslp-report: cannot write `{path}`: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("snslp-report: {what} written to {path}");
+            ExitCode::SUCCESS
+        }
+        None => {
+            print!("{payload}");
+            ExitCode::SUCCESS
+        }
+    }
+}
+
+fn collect(args: &[String]) -> ExitCode {
+    let mut mode = SlpMode::SnSlp;
+    let mut out: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--mode" => {
+                i += 1;
+                mode = match args.get(i).map(String::as_str) {
+                    Some("slp") => SlpMode::Slp,
+                    Some("lslp") => SlpMode::Lslp,
+                    Some("snslp") => SlpMode::SnSlp,
+                    _ => return usage(),
+                };
+            }
+            "--out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(path) => out = Some(path.clone()),
+                    None => return usage(),
+                }
+            }
+            _ => return usage(),
+        }
+        i += 1;
+    }
+    let report = collect_kernel_attrib(&SlpConfig::new(mode));
+    eprintln!("snslp-report: {}", report.summary());
+    write_or_print(out.as_ref(), &report.to_json(), "report")
+}
+
+fn html(args: &[String]) -> ExitCode {
+    let mut out: Option<String> = None;
+    let mut input: Option<&String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(path) => out = Some(path.clone()),
+                    None => return usage(),
+                }
+            }
+            arg if arg.starts_with("--") => return usage(),
+            _ if input.is_none() => input = Some(&args[i]),
+            _ => return usage(),
+        }
+        i += 1;
+    }
+    let Some(path) = input else {
+        return usage();
+    };
+    let report = match load(path) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("snslp-report: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    write_or_print(out.as_ref(), &render_html(&report), "explorer")
+}
+
+fn validate(args: &[String]) -> ExitCode {
+    let [path] = args else {
+        return usage();
+    };
+    match load(path) {
+        Ok(report) => {
+            println!("{path}: OK — {}", report.summary());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("snslp-report: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_diff(args: &[String]) -> ExitCode {
+    let mut paths: Vec<&String> = Vec::new();
+    let mut top_n = 10usize;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--top" => {
+                i += 1;
+                top_n = match args.get(i).and_then(|v| v.parse().ok()) {
+                    Some(n) => n,
+                    None => return usage(),
+                };
+            }
+            arg if arg.starts_with("--") => return usage(),
+            _ => paths.push(&args[i]),
+        }
+        i += 1;
+    }
+    let [base_path, new_path] = paths[..] else {
+        return usage();
+    };
+    let (base, new) = match (load(base_path), load(new_path)) {
+        (Ok(b), Ok(n)) => (b, n),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("snslp-report: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if base.mode != new.mode {
+        eprintln!(
+            "snslp-report: mode mismatch: baseline is `{}`, new run is `{}`",
+            base.mode, new.mode
+        );
+        return ExitCode::FAILURE;
+    }
+    let d = diff(&base, &new);
+    print!("{}", d.render(top_n));
+    if d.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

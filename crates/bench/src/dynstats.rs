@@ -22,7 +22,7 @@ use std::fmt::Write as _;
 use snslp_interp::{DynProfile, OpClass};
 use snslp_trace::{ReasonCode, Remark};
 
-use crate::report::Json;
+use crate::json::{check_schema, Json};
 use crate::{measure_kernel_modes, DYN_MODES};
 
 /// The schema tag every dynstats report carries; bump on breaking format
@@ -214,6 +214,10 @@ pub fn misprediction_remarks(rows: &[Calibration]) -> Vec<Remark> {
                 function: format!("@{}", c.kernel),
                 block: "-".to_string(),
                 site: "-".to_string(),
+                inst: 0,
+                // Calibration covers the whole kernel, not one seed; the
+                // synthetic anchor keeps the field joinable by function.
+                decision: snslp_trace::DecisionId::new(&c.kernel, "-", 0, 0),
                 seed_kind: "calibration".to_string(),
                 width: 0,
                 vectorized: true,
@@ -394,15 +398,7 @@ impl DynReport {
     /// `dyn_insts`, per-class cycles to `cycles`).
     pub fn from_json(text: &str) -> Result<DynReport, String> {
         let doc = Json::parse(text)?;
-        let schema = doc
-            .get("schema")
-            .and_then(Json::as_str)
-            .ok_or("missing schema tag")?;
-        if schema != DYNSTATS_SCHEMA {
-            return Err(format!(
-                "schema mismatch: {schema:?} != {DYNSTATS_SCHEMA:?}"
-            ));
-        }
+        check_schema(&doc, DYNSTATS_SCHEMA)?;
         let mut kernels = Vec::new();
         for row in doc
             .get("kernels")

@@ -12,7 +12,9 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod attrib;
 pub mod dynstats;
+pub mod json;
 pub mod report;
 pub mod stats;
 pub mod tracecheck;

@@ -21,7 +21,7 @@ use snslp_core::{run_slp, SlpConfig, SlpMode};
 use snslp_ir::Module;
 use snslp_trace::{Counter, Stage};
 
-use crate::report::Json;
+use crate::json::{check_schema, round3, Json};
 
 /// Schema identifier embedded in every stats file.
 pub const STATS_SCHEMA: &str = "snslp-stats/v1";
@@ -200,15 +200,7 @@ impl StatsReport {
     /// Parses a `snslp-stats/v1` document.
     pub fn from_json(text: &str) -> Result<StatsReport, String> {
         let json = Json::parse(text)?;
-        match json.get("schema").and_then(Json::as_str) {
-            Some(STATS_SCHEMA) => {}
-            Some(other) => {
-                return Err(format!(
-                    "unsupported stats schema `{other}` (expected `{STATS_SCHEMA}`)"
-                ))
-            }
-            None => return Err("missing `schema` field".to_string()),
-        }
+        check_schema(&json, STATS_SCHEMA)?;
         let mode = json
             .get("mode")
             .and_then(Json::as_str)
@@ -252,10 +244,6 @@ impl StatsReport {
         }
         out
     }
-}
-
-fn round3(v: f64) -> f64 {
-    (v * 1e3).round() / 1e3
 }
 
 /// Stable lowercase mode code used in the stats schema (matches the

@@ -74,6 +74,12 @@ pub struct SlpConfig {
     pub min_reduction_leaves: usize,
     /// Run the IR verifier after every rewrite (slower; tests enable it).
     pub verify_after: bool,
+    /// Retain the final DOT source of every attempted graph on its
+    /// [`GraphStats`](crate::GraphStats) entry, decision-stamped. Off by
+    /// default (the pass allocates nothing for DOT then); the report
+    /// pipeline (`snslp-report`, `snslpc --report`) turns it on to embed
+    /// graph snapshots without going through the trace sink.
+    pub keep_graph_dots: bool,
 }
 
 impl SlpConfig {
@@ -91,6 +97,7 @@ impl SlpConfig {
             enable_reductions: true,
             min_reduction_leaves: 4,
             verify_after: false,
+            keep_graph_dots: false,
         }
     }
 

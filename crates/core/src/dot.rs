@@ -9,6 +9,7 @@ use std::fmt::Write as _;
 
 use snslp_ir::printer::value_name;
 use snslp_ir::Function;
+use snslp_trace::DecisionId;
 
 use crate::chain::Sign;
 use crate::graph::{GatherKind, NodeKind, SlpGraph};
@@ -17,6 +18,19 @@ use crate::graph::{GatherKind, NodeKind, SlpGraph};
 /// boxes; gathers are red ovals annotated with their cause; edges point
 /// from a node to its operand bundles, labelled with the operand index.
 pub fn graph_to_dot(f: &Function, graph: &SlpGraph, title: &str) -> String {
+    graph_to_dot_tagged(f, graph, title, None)
+}
+
+/// [`graph_to_dot`] with a decision anchor: every node label carries a
+/// trailing `d=<decision>#n<i>` line, so a DOT dump can be joined back to
+/// the remark, profiler span and report cost entry minted for the same
+/// seed bundle.
+pub fn graph_to_dot_tagged(
+    f: &Function,
+    graph: &SlpGraph,
+    title: &str,
+    decision: Option<&DecisionId>,
+) -> String {
     let mut out = String::with_capacity(1024);
     let _ = writeln!(out, "digraph \"{}\" {{", escape(title));
     let _ = writeln!(
@@ -29,9 +43,13 @@ pub fn graph_to_dot(f: &Function, graph: &SlpGraph, title: &str) -> String {
     for (i, node) in graph.nodes.iter().enumerate() {
         let lanes: Vec<String> = node.scalars.iter().map(|&s| value_name(f, s)).collect();
         let (shape, color, kind) = node_style(&node.kind);
+        let anchor = match decision {
+            Some(id) => format!("\\nd={}#n{i}", escape(&id.render())),
+            None => String::new(),
+        };
         let _ = writeln!(
             out,
-            "  n{i} [shape={shape}, color={color}, label=\"#{i} {}\\n[{}]\"];",
+            "  n{i} [shape={shape}, color={color}, label=\"#{i} {}\\n[{}]{anchor}\"];",
             escape(&kind),
             escape(&lanes.join(", ")),
         );
@@ -146,6 +164,24 @@ mod tests {
         assert!(dot.contains("Store"));
         // Edges reference declared nodes only.
         assert!(dot.contains("n0 -> n"));
+    }
+
+    #[test]
+    fn tagged_output_anchors_every_node_to_the_decision() {
+        let (f, seeds) = tiny();
+        let ctx = BlockCtx::compute(&f, f.entry());
+        let cfg = SlpConfig::new(SlpMode::Slp);
+        let g = build_graph(&f, &ctx, &cfg, &seeds);
+        let id = DecisionId::new("t", "entry", 0, seeds[0].index() as u32);
+        let dot = graph_to_dot_tagged(&f, &g, "tiny/slp", Some(&id));
+        for i in 0..g.nodes.len() {
+            assert!(
+                dot.contains(&format!("d={}#n{i}", id.render())),
+                "node {i} missing anchor in:\n{dot}"
+            );
+        }
+        // The untagged form stays anchor-free.
+        assert!(!graph_to_dot(&f, &g, "tiny/slp").contains("d=@"));
     }
 
     #[test]

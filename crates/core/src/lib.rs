@@ -66,7 +66,7 @@ pub use codegen::CodegenError;
 pub use config::{SlpConfig, SlpMode};
 pub use cost_eval::{evaluate, CostBreakdown};
 pub use ctx::BlockCtx;
-pub use dot::graph_to_dot;
+pub use dot::{graph_to_dot, graph_to_dot_tagged};
 pub use graph::{
     build_graph, build_graph_cached, build_reduction_graph, build_reduction_graph_cached,
     GatherKind, GatherWhy, Node, NodeKind, ReductionInfo, SlpGraph, SuperInfo,
@@ -76,6 +76,7 @@ pub use pass::{
 };
 pub use score_cache::LruScoreCache;
 pub use seeds::{collect_reduction_seeds, collect_store_seeds, ReductionSeed, SeedGroup};
+pub use snslp_trace::DecisionId;
 pub use supernode::{
     plan_supernode, plan_supernode_cached, plan_supernode_with, SlotChoice, SuperNodePlan,
 };

@@ -7,13 +7,15 @@ use std::time::{Duration, Instant};
 use snslp_ir::printer::{block_name, value_name};
 use snslp_ir::FxHashSet;
 use snslp_ir::{opt, Function, Module};
-use snslp_trace::{Counter, MetricsSnapshot, ProfSpan, ReasonCode, Remark, Stage, StageTimer};
+use snslp_trace::{
+    Counter, DecisionId, MetricsSnapshot, ProfSpan, ReasonCode, Remark, Stage, StageTimer,
+};
 
 use crate::codegen;
 use crate::config::{SlpConfig, SlpMode};
 use crate::cost_eval;
 use crate::ctx::BlockCtx;
-use crate::dot::graph_to_dot;
+use crate::dot::graph_to_dot_tagged;
 use crate::graph::{build_graph_cached, GatherWhy, SlpGraph};
 use crate::score_cache::LruScoreCache;
 use crate::seeds::collect_store_seeds;
@@ -54,6 +56,12 @@ fn missed_reason(graph: &SlpGraph) -> (ReasonCode, String) {
 /// Statistics for one SLP graph (one seed bundle attempt).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GraphStats {
+    /// Anchor of the decision this graph was built for — the same id is
+    /// on the matching remark, profiler span and DOT dump.
+    pub decision: DecisionId,
+    /// Final DOT source of the graph, decision-stamped. Empty unless
+    /// [`SlpConfig::keep_graph_dots`] is set.
+    pub dot: String,
     /// Vector width of the seed bundle.
     pub width: u8,
     /// Total graph cost (negative = saving).
@@ -286,6 +294,9 @@ pub fn run_slp(f: &mut Function, cfg: &SlpConfig) -> FunctionReport {
     // every committed rewrite (and block analyses recomputed) — paper
     // Fig. 1 loops back to step 2 after each vectorized seed group.
     let cache = LruScoreCache::default();
+    // Per-function seed ordinal: decisions are minted in consideration
+    // order, so the anchor is stable across unrelated value renumbering.
+    let mut decision_ord: u32 = 0;
     let blocks: Vec<_> = f.block_ids().collect();
     for block in blocks {
         let bname = block_name(f, block);
@@ -302,16 +313,35 @@ pub fn run_slp(f: &mut Function, cfg: &SlpConfig) -> FunctionReport {
                 break;
             };
             let site = value_name(f, group.stores[0]);
+            let decision = DecisionId::new(
+                f.name(),
+                &bname,
+                decision_ord,
+                group.stores[0].index() as u32,
+            );
+            decision_ord += 1;
+            // One profiler span per decision, labelled with its anchor:
+            // everything from graph build to codegen for this seed bundle
+            // nests inside it, giving per-decision compile time.
+            let _dspan = ProfSpan::enter_with("decision", || decision.render());
             // Pre-reorder DOT: the graph vanilla SLP would build for this
             // seed (no chain flattening, no Super-Node reordering).
             if snslp_trace::enabled(snslp_trace::Facet::Dot) && cfg.mode != SlpMode::Slp {
                 let mut sub = cfg.clone();
                 sub.mode = SlpMode::Slp;
                 let pre = build_graph_cached(f, &ctx, &sub, &group.stores, Some(&cache));
-                dot_hook(f, &pre, "pre_reorder", f.name(), &bname, &site);
+                dot_hook(f, &pre, "pre_reorder", f.name(), &bname, &site, &decision);
             }
             let (mut graph, mut cost) = best_graph(f, &ctx, cfg, &group.stores, &cache);
-            dot_hook(f, &graph, "post_reorder", f.name(), &bname, &site);
+            dot_hook(
+                f,
+                &graph,
+                "post_reorder",
+                f.name(),
+                &bname,
+                &site,
+                &decision,
+            );
             if cost.total >= cfg.threshold && group.width() > 2 {
                 // Retry at half width (like LLVM): a narrower bundle may
                 // be profitable where the wide one gathers too much. Mark
@@ -332,8 +362,10 @@ pub fn run_slp(f: &mut Function, cfg: &SlpConfig) -> FunctionReport {
                     processed.insert(s);
                 }
             }
-            dot_hook(f, &graph, "final", f.name(), &bname, &site);
+            dot_hook(f, &graph, "final", f.name(), &bname, &site, &decision);
             let mut stats = GraphStats {
+                decision: decision.clone(),
+                dot: keep_dot(f, &graph, cfg, f.name(), &bname, &site, &decision),
                 width: graph.width,
                 cost: cost.total,
                 vectorized: false,
@@ -398,6 +430,8 @@ pub fn run_slp(f: &mut Function, cfg: &SlpConfig) -> FunctionReport {
                     function: format!("@{}", f.name()),
                     block: bname.clone(),
                     site: site.clone(),
+                    inst: group.stores[0].index() as u32,
+                    decision: decision.clone(),
                     seed_kind: "store".to_string(),
                     width: graph.width as usize,
                     vectorized: stats.vectorized,
@@ -430,6 +464,10 @@ pub fn run_slp(f: &mut Function, cfg: &SlpConfig) -> FunctionReport {
                 };
                 processed_roots.insert(seed.root);
                 let site = value_name(f, seed.root);
+                let decision =
+                    DecisionId::new(f.name(), &bname, decision_ord, seed.root.index() as u32);
+                decision_ord += 1;
+                let _dspan = ProfSpan::enter_with("decision", || decision.render());
                 let Some(elem) = f.ty(seed.root).as_scalar() else {
                     continue;
                 };
@@ -442,6 +480,8 @@ pub fn run_slp(f: &mut Function, cfg: &SlpConfig) -> FunctionReport {
                             function: format!("@{}", f.name()),
                             block: bname.clone(),
                             site,
+                            inst: seed.root.index() as u32,
+                            decision,
                             seed_kind: "reduction".to_string(),
                             width: seed.leaves.len(),
                             vectorized: false,
@@ -469,8 +509,10 @@ pub fn run_slp(f: &mut Function, cfg: &SlpConfig) -> FunctionReport {
                     let _p = ProfSpan::enter("cost.evaluate");
                     cost_eval::evaluate(f, &ctx, &graph, &cfg.model)
                 };
-                dot_hook(f, &graph, "final", f.name(), &bname, &site);
+                dot_hook(f, &graph, "final", f.name(), &bname, &site, &decision);
                 let mut stats = GraphStats {
+                    decision: decision.clone(),
+                    dot: keep_dot(f, &graph, cfg, f.name(), &bname, &site, &decision),
                     width,
                     cost: cost.total,
                     vectorized: false,
@@ -518,6 +560,8 @@ pub fn run_slp(f: &mut Function, cfg: &SlpConfig) -> FunctionReport {
                         function: format!("@{}", f.name()),
                         block: bname.clone(),
                         site,
+                        inst: seed.root.index() as u32,
+                        decision: decision.clone(),
                         seed_kind: "reduction".to_string(),
                         width: width as usize,
                         vectorized: stats.vectorized,
@@ -568,13 +612,22 @@ fn push_remark(remarks: &mut Vec<Remark>, remark: Remark) {
 }
 
 /// Dumps `graph` as a DOT artifact for one pipeline stage, when the `dot`
-/// facet is enabled.
-fn dot_hook(f: &Function, graph: &SlpGraph, stage: &str, fn_name: &str, block: &str, site: &str) {
+/// facet is enabled. Every node label carries the decision anchor.
+#[allow(clippy::too_many_arguments)]
+fn dot_hook(
+    f: &Function,
+    graph: &SlpGraph,
+    stage: &str,
+    fn_name: &str,
+    block: &str,
+    site: &str,
+    decision: &DecisionId,
+) {
     if !snslp_trace::enabled(snslp_trace::Facet::Dot) {
         return;
     }
     let title = format!("@{fn_name}/{block}/{site} {stage}");
-    let dot = graph_to_dot(f, graph, &title);
+    let dot = graph_to_dot_tagged(f, graph, &title, Some(decision));
     let file = format!(
         "{}_{}_{}_{stage}.dot",
         sanitize(fn_name),
@@ -582,6 +635,25 @@ fn dot_hook(f: &Function, graph: &SlpGraph, stage: &str, fn_name: &str, block: &
         sanitize(site),
     );
     snslp_trace::artifact(&format!("dot.{stage}"), &file, &dot);
+}
+
+/// Final-stage DOT source retained on [`GraphStats`] when
+/// [`SlpConfig::keep_graph_dots`] asks for it; empty otherwise.
+#[allow(clippy::too_many_arguments)]
+fn keep_dot(
+    f: &Function,
+    graph: &SlpGraph,
+    cfg: &SlpConfig,
+    fn_name: &str,
+    block: &str,
+    site: &str,
+    decision: &DecisionId,
+) -> String {
+    if !cfg.keep_graph_dots {
+        return String::new();
+    }
+    let title = format!("@{fn_name}/{block}/{site} final");
+    graph_to_dot_tagged(f, graph, &title, Some(decision))
 }
 
 /// Filesystem-safe version of an IR name (`%t12` → `t12`).

@@ -173,6 +173,8 @@ fn scheduling_failure_remark_renders() {
         function: "@synthetic".to_string(),
         block: "entry".to_string(),
         site: "%t9".to_string(),
+        inst: 9,
+        decision: snslp_trace::DecisionId::new("synthetic", "entry", 0, 9),
         seed_kind: "store".to_string(),
         width: 2,
         vectorized: false,
@@ -196,6 +198,8 @@ fn cost_misprediction_remark_renders() {
         function: "@milc_su3".to_string(),
         block: "-".to_string(),
         site: "-".to_string(),
+        inst: 0,
+        decision: snslp_trace::DecisionId::new("milc_su3", "-", 0, 0),
         seed_kind: "calibration".to_string(),
         width: 2,
         vectorized: true,

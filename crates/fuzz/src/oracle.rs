@@ -9,13 +9,34 @@
 //! and must agree in kind. On top of execution equivalence, a set of
 //! structural invariants is cross-checked on every [`FunctionReport`].
 
+use std::sync::Mutex;
+
 use snslp_core::{optimize_o3, run_slp, FunctionReport, SlpConfig, SlpMode};
 use snslp_cost::CostModel;
 use snslp_interp::{outcomes_match, run_with_args, ExecOptions, RunOutcome, Trap};
 use snslp_ir::{verify, Function};
-use snslp_trace::Counter;
+use snslp_trace::{Counter, Facet, Profile};
 
 use crate::gen::Case;
+
+/// Serializes the profiled pass window: the profiler's facet mask and
+/// flushed-track store are process-global, so two concurrent cases must
+/// not interleave their clear/run/take sections or one would observe the
+/// other's decision spans.
+static PROF_GATE: Mutex<()> = Mutex::new(());
+
+/// Runs the pass with the profiler enabled on a clean store and returns
+/// the spans recorded for exactly this run, restoring the previous facet
+/// mask afterwards.
+fn run_slp_profiled(f: &mut Function, cfg: &SlpConfig) -> (FunctionReport, Profile) {
+    let _gate = PROF_GATE.lock().unwrap_or_else(|e| e.into_inner());
+    let prev = snslp_trace::set_facets(snslp_trace::facets() | Facet::Prof as u32);
+    snslp_trace::prof::clear();
+    let report = run_slp(f, cfg);
+    let profile = snslp_trace::prof::take_profile();
+    snslp_trace::set_facets(prev);
+    (report, profile)
+}
 
 /// The observable result of one execution: either it ran to completion
 /// or it trapped. Non-trap interpreter errors (type mismatches, undefined
@@ -159,6 +180,77 @@ fn check_invariants(report: &FunctionReport, threshold: i32) -> Result<(), Strin
     Ok(())
 }
 
+/// Decision-anchor integrity — the contract the `snslp-report` join
+/// depends on: every remark's [`DecisionId`](snslp_trace::DecisionId) is
+/// unique within the run and anchored to the function it was minted in;
+/// every remark that committed a cost resolves to exactly one graph
+/// snapshot carrying the same id; and every remark resolves to exactly
+/// one `decision` profiler span in the same run.
+fn check_decision_attribution(report: &FunctionReport, profile: &Profile) -> Result<(), String> {
+    let mut seen = std::collections::BTreeSet::new();
+    for r in &report.remarks {
+        let id = r.decision.render();
+        if r.decision.function != report.function {
+            return Err(format!(
+                "remark at {} anchored to foreign function: {id}",
+                r.site
+            ));
+        }
+        if r.decision.inst != r.inst {
+            return Err(format!(
+                "remark at {} has inst {} but its anchor says {}",
+                r.site, r.inst, r.decision.inst
+            ));
+        }
+        if !seen.insert(id.clone()) {
+            return Err(format!("duplicate decision id {id}"));
+        }
+    }
+    // Costed remarks and graph snapshots must be the same decisions 1:1
+    // (equal counts plus exactly-one per remark makes it a bijection,
+    // since remark ids are unique).
+    let costed = report.remarks.iter().filter(|r| r.cost.is_some());
+    for r in costed.clone() {
+        let n = report
+            .graphs
+            .iter()
+            .filter(|g| g.decision == r.decision)
+            .count();
+        if n != 1 {
+            return Err(format!(
+                "decision {} resolves to {n} graph snapshots, want exactly 1",
+                r.decision.render()
+            ));
+        }
+    }
+    let (costed, graphs) = (costed.count(), report.graphs.len());
+    if graphs != costed {
+        return Err(format!(
+            "{graphs} graph snapshots for {costed} costed remarks"
+        ));
+    }
+    let mut span_count: std::collections::BTreeMap<&str, usize> = std::collections::BTreeMap::new();
+    for track in &profile.tracks {
+        for ev in &track.events {
+            if ev.name == "decision" {
+                if let Some(label) = &ev.label {
+                    *span_count.entry(label).or_default() += 1;
+                }
+            }
+        }
+    }
+    for r in &report.remarks {
+        let id = r.decision.render();
+        let n = span_count.get(id.as_str()).copied().unwrap_or(0);
+        if n != 1 {
+            return Err(format!(
+                "decision {id} resolves to {n} profiler spans, want exactly 1"
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// Dynamic-profile self-consistency: every executed instruction lands in
 /// exactly one opcode class, so the profile's category totals must
 /// reproduce the interpreter's own `dyn_insts`/`cycles` counters exactly.
@@ -289,12 +381,15 @@ pub fn check_case(
         // verify_after stays off: the pass would panic on broken IR,
         // while the oracle wants to report it as a divergence instead.
         let cfg = SlpConfig::new(mode).with_model(model.clone());
-        let report = run_slp(&mut f, &cfg);
+        let (report, profile) = run_slp_profiled(&mut f, &cfg);
         if let Err(e) = verify(&f) {
             return Err(fail(&format!("{key}-verify"), format!("{e}\n{f}")));
         }
         if let Err(e) = check_invariants(&report, cfg.threshold) {
             return Err(fail(&format!("{key}-invariant"), e));
+        }
+        if let Err(e) = check_decision_attribution(&report, &profile) {
+            return Err(fail(&format!("{key}-decision-invariant"), e));
         }
         let after = execute(&f, &case.args, model).map_err(|e| fail(key, e))?;
         compare(&baseline, &after).map_err(|e| {
@@ -346,6 +441,7 @@ mod tests {
         let ran = |cycles, dyn_insts, profile| {
             Outcome::Ran(Box::new(RunOutcome {
                 exec: ExecResult {
+                    function: "t".to_string(),
                     ret: None,
                     cycles,
                     dyn_insts,
@@ -380,6 +476,44 @@ mod tests {
         let trap = Outcome::Trapped(Trap::DivisionByZero);
         assert!(check_profile_totals(&trap).is_ok());
         assert!(check_mem_traffic(&trap, &vectorish).is_ok());
+    }
+
+    #[test]
+    fn decision_attribution_is_cross_checked() {
+        // Find a generated case that actually makes decisions, so the
+        // invariant is exercised non-vacuously.
+        let cfg = SlpConfig::new(SlpMode::SnSlp);
+        let (case, report, profile) = (0..80)
+            .find_map(|i| {
+                let case = generate(0xDEC1, i);
+                let mut f = case.function.clone();
+                let (report, profile) = run_slp_profiled(&mut f, &cfg);
+                (!report.remarks.is_empty()).then_some((case, report, profile))
+            })
+            .expect("no case in the batch produced a remark");
+        drop(case);
+        check_decision_attribution(&report, &profile).unwrap();
+
+        // A duplicated remark re-uses an anchor: rejected.
+        let mut dup = report.clone();
+        let r = dup.remarks[0].clone();
+        dup.remarks.push(r);
+        assert!(check_decision_attribution(&dup, &profile)
+            .unwrap_err()
+            .contains("duplicate decision id"));
+
+        // A lost graph snapshot breaks the remark<->graph bijection.
+        if !report.graphs.is_empty() {
+            let mut lost = report.clone();
+            lost.graphs.pop();
+            assert!(check_decision_attribution(&lost, &profile).is_err());
+        }
+
+        // A run with no recorded spans cannot attribute compile time.
+        let empty = Profile { tracks: Vec::new() };
+        assert!(check_decision_attribution(&report, &empty)
+            .unwrap_err()
+            .contains("0 profiler spans"));
     }
 
     #[test]

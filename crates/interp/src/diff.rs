@@ -332,6 +332,7 @@ mod tests {
     fn tolerance_accepts_reassociation_noise() {
         let a = RunOutcome {
             exec: crate::exec::ExecResult {
+                function: "t".to_string(),
                 ret: Some(Value::F64(0.1 + 0.2)),
                 cycles: 0,
                 dyn_insts: 0,
@@ -341,6 +342,7 @@ mod tests {
         };
         let b = RunOutcome {
             exec: crate::exec::ExecResult {
+                function: "t".to_string(),
                 ret: Some(Value::F64(0.3)),
                 cycles: 99,
                 dyn_insts: 5,
@@ -355,6 +357,7 @@ mod tests {
     fn integer_arrays_compared_exactly() {
         let a = RunOutcome {
             exec: crate::exec::ExecResult {
+                function: "t".to_string(),
                 ret: None,
                 cycles: 0,
                 dyn_insts: 0,

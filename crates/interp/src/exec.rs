@@ -108,6 +108,10 @@ impl Default for ExecOptions {
 /// The result of interpreting a function.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ExecResult {
+    /// Name of the executed function. The interpreter runs one function
+    /// per call, so this keys dynamic profiles per function when results
+    /// from several functions are aggregated (e.g. by `snslp-report`).
+    pub function: String,
     /// The returned value, if the function returns one.
     pub ret: Option<Value>,
     /// Simulated cycles per the cost model's execution view.
@@ -355,6 +359,7 @@ pub fn run(
                         None => None,
                     };
                     return Ok(ExecResult {
+                        function: f.name().to_string(),
                         ret,
                         cycles,
                         dyn_insts,

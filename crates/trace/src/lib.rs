@@ -45,12 +45,14 @@ use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Mutex;
 
 pub mod clock;
+pub mod decision;
 mod event;
 pub mod metrics;
 pub mod prof;
 pub mod remark;
 pub mod sink;
 
+pub use decision::DecisionId;
 pub use event::{emit_event, Span};
 pub use metrics::{add, bump, Counter, MetricsSnapshot, Stage, StageTimer};
 pub use prof::{counter as prof_counter, ProfSpan, Profile};
@@ -380,6 +382,8 @@ mod tests {
             function: "@f".to_string(),
             block: "entry".to_string(),
             site: "%t1".to_string(),
+            inst: 1,
+            decision: DecisionId::new("f", "entry", 0, 1),
             seed_kind: "store".to_string(),
             width: 4,
             vectorized: false,

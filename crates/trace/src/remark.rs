@@ -9,6 +9,7 @@
 
 use std::fmt;
 
+use crate::decision::DecisionId;
 use crate::sink::{Record, RecordKind};
 
 /// Why a seed bundle was vectorized or rejected. `code()` strings are a
@@ -96,6 +97,12 @@ pub struct Remark {
     /// Site of the seed: the printed name of the first seed value
     /// (e.g. `%t12`), or a reduction root.
     pub site: String,
+    /// Stable instruction index of the seed root — unlike `site`, this
+    /// survives unrelated value renumbering.
+    pub inst: u32,
+    /// Anchor joining this remark to the graph dump, profiler span and
+    /// report cost entry for the same decision.
+    pub decision: DecisionId,
     /// Kind of seed: `store` or `reduction`.
     pub seed_kind: String,
     /// Lanes in the seed bundle.
@@ -116,11 +123,13 @@ impl Remark {
     /// one line, fixed field order, no timing.
     pub fn machine(&self) -> String {
         let mut out = format!(
-            "remark pass={} fn={} block={} site={} seed={} width={} action={} reason={}",
+            "remark pass={} fn={} block={} site={} inst={} seed={} width={} action={} \
+             reason={} decision={}",
             self.pass,
             self.function,
             self.block,
             self.site,
+            self.inst,
             self.seed_kind,
             self.width,
             if self.vectorized {
@@ -129,6 +138,7 @@ impl Remark {
                 "missed"
             },
             self.reason.code(),
+            self.decision.render(),
         );
         if let Some(cost) = self.cost {
             out.push_str(&format!(" cost={cost}"));
@@ -173,6 +183,7 @@ impl Remark {
             .with("fn", self.function.as_str())
             .with("block", self.block.as_str())
             .with("site", self.site.as_str())
+            .with("inst", u64::from(self.inst))
             .with("seed", self.seed_kind.as_str())
             .with("width", self.width)
             .with(
@@ -183,7 +194,8 @@ impl Remark {
                     "missed"
                 },
             )
-            .with("reason", self.reason.code());
+            .with("reason", self.reason.code())
+            .with("decision", self.decision.render());
         if let Some(cost) = self.cost {
             rec = rec.with("cost", cost);
         }
@@ -210,6 +222,8 @@ mod tests {
             function: "@fig3".to_string(),
             block: "entry".to_string(),
             site: "%t9".to_string(),
+            inst: 9,
+            decision: DecisionId::new("fig3", "entry", 0, 9),
             seed_kind: "store".to_string(),
             width: 2,
             vectorized: true,
@@ -223,8 +237,8 @@ mod tests {
     fn machine_format_is_stable() {
         assert_eq!(
             sample().machine(),
-            "remark pass=snslp fn=@fig3 block=entry site=%t9 seed=store \
-             width=2 action=vectorized reason=profitable cost=-6"
+            "remark pass=snslp fn=@fig3 block=entry site=%t9 inst=9 seed=store \
+             width=2 action=vectorized reason=profitable decision=@fig3/entry/s0#i9 cost=-6"
         );
     }
 

@@ -40,6 +40,8 @@ fn disabled_tracing_emits_nothing_and_allocates_nothing() {
         function: "@f".to_string(),
         block: "entry".to_string(),
         site: "%t1".to_string(),
+        inst: 1,
+        decision: snslp_trace::DecisionId::new("f", "entry", 0, 1),
         seed_kind: "store".to_string(),
         width: 4,
         vectorized: true,

@@ -9,7 +9,12 @@
 //!   --target sse2|avx2|noaltop target description (default sse2)
 //!   --stats[=FILE]             per-function pass statistics to stderr,
 //!                              or a snslp-stats/v1 JSON report to FILE
-//!   --report                   print the full per-graph report to stderr
+//!   --graphs                   print the full per-graph report to stderr
+//!   --report[=FILE]            write the single-file HTML vectorization
+//!                              explorer (default snslp-report.html):
+//!                              per-decision attribution joining remarks,
+//!                              graph snapshots, per-decision compile
+//!                              time, and (with --run) dynamic cycles
 //!   --profile[=FILE]           write a Chrome-trace/Perfetto profile
 //!                              (default snslp-prof.json); load it in
 //!                              chrome://tracing or ui.perfetto.dev
@@ -38,6 +43,7 @@
 use std::io::Read;
 use std::process::ExitCode;
 
+use snslp::bench::attrib::{attrib_function, render_html, AttribReport, DynSummary};
 use snslp::bench::dynstats::{DynReport, KernelDyn, ModeDyn};
 use snslp::bench::stats::{mode_code, StatsReport};
 use snslp::core::{optimize_o3, run_slp_module, FunctionReport, SlpConfig, SlpMode};
@@ -50,7 +56,8 @@ struct Options {
     target: TargetDesc,
     stats: bool,
     stats_out: Option<String>,
-    report: bool,
+    graphs: bool,
+    report_out: Option<String>,
     profile_out: Option<String>,
     folded_out: Option<String>,
     time_passes: bool,
@@ -64,7 +71,8 @@ struct Options {
 fn usage() -> ExitCode {
     eprintln!(
         "usage: snslpc [--mode o3|slp|lslp|snslp] [--target sse2|avx2|noaltop] \
-         [--stats[=FILE]] [--report] [--profile[=FILE]] [--profile-folded=FILE] \
+         [--stats[=FILE]] [--graphs] [--report[=FILE]] [--profile[=FILE]] \
+         [--profile-folded=FILE] \
          [--time-passes] [--no-reductions] [--verify] [--run[=ENTRY]] \
          [--dyn-profile[=FILE]] <file.snir | ->"
     );
@@ -77,7 +85,8 @@ fn parse_args() -> Result<Options, ExitCode> {
         target: TargetDesc::sse2_like(),
         stats: false,
         stats_out: None,
-        report: false,
+        graphs: false,
+        report_out: None,
         profile_out: None,
         folded_out: None,
         time_passes: false,
@@ -111,7 +120,8 @@ fn parse_args() -> Result<Options, ExitCode> {
                 };
             }
             "--stats" => opts.stats = true,
-            "--report" => opts.report = true,
+            "--graphs" => opts.graphs = true,
+            "--report" => opts.report_out = Some("snslp-report.html".to_string()),
             "--profile" => opts.profile_out = Some("snslp-prof.json".to_string()),
             "--time-passes" => opts.time_passes = true,
             "--no-reductions" => opts.reductions = false,
@@ -122,6 +132,8 @@ fn parse_args() -> Result<Options, ExitCode> {
             arg => {
                 if let Some(path) = arg.strip_prefix("--stats=") {
                     opts.stats_out = Some(path.to_string());
+                } else if let Some(path) = arg.strip_prefix("--report=") {
+                    opts.report_out = Some(path.to_string());
                 } else if let Some(path) = arg.strip_prefix("--profile=") {
                     opts.profile_out = Some(path.to_string());
                 } else if let Some(path) = arg.strip_prefix("--profile-folded=") {
@@ -145,17 +157,30 @@ fn parse_args() -> Result<Options, ExitCode> {
     Ok(opts)
 }
 
+/// The compilation-unit name `--stats=FILE` and `--report` documents
+/// carry: the input's file stem, or `stdin`.
+fn unit_name(input: &str) -> String {
+    if input == "-" {
+        return "stdin".to_string();
+    }
+    std::path::Path::new(input)
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| input.to_string())
+}
+
 /// `--run`: interprets the compiled entry function on the arguments of
 /// the module's `; INPUTS:` comment line and prints its dynamic profile
 /// to stderr (and, with `--dyn-profile`, a `snslp-dynstats/v1` document
-/// to a file).
+/// to a file). Returns the entry function's dynamic summary so
+/// `--report` can join it into the attribution table.
 fn run_entry(
     module: &snslp::ir::Module,
     source: &str,
     entry: Option<&str>,
     opts: &Options,
     reports: &[FunctionReport],
-) -> Result<(), String> {
+) -> Result<(String, DynSummary), String> {
     let fns: Vec<_> = module.functions().iter().collect();
     let f = match entry {
         Some(name) => *fns.iter().find(|f| f.name() == name).ok_or_else(|| {
@@ -235,7 +260,17 @@ fn run_entry(
         std::fs::write(path, doc.to_json()).map_err(|e| format!("cannot write `{path}`: {e}"))?;
         eprintln!("snslpc: dynamic profile written to {path}");
     }
-    Ok(())
+    Ok((
+        f.name().to_string(),
+        DynSummary {
+            cycles: out.exec.cycles,
+            o3_cycles: 0,
+            dyn_insts: out.exec.dyn_insts,
+            vector_ops: out.exec.profile.vector_ops,
+            scalar_ops: out.exec.profile.scalar_ops,
+            mean_lanes: out.exec.profile.mean_lanes(),
+        },
+    ))
 }
 
 fn main() -> ExitCode {
@@ -247,7 +282,12 @@ fn main() -> ExitCode {
         Ok(o) => o,
         Err(code) => return code,
     };
-    let profiling = opts.profile_out.is_some() || opts.folded_out.is_some() || opts.time_passes;
+    // The report joins per-decision profiler spans, so `--report` turns
+    // profiling on even without an explicit `--profile`.
+    let profiling = opts.profile_out.is_some()
+        || opts.folded_out.is_some()
+        || opts.time_passes
+        || opts.report_out.is_some();
     if profiling {
         snslp::trace::set_facets(snslp::trace::facets() | snslp::trace::Facet::Prof as u32);
     }
@@ -296,14 +336,20 @@ fn main() -> ExitCode {
                 eprintln!("snslpc: --stats=FILE needs a vectorizer mode (not o3)");
                 return ExitCode::FAILURE;
             }
+            if opts.report_out.is_some() {
+                eprintln!("snslpc: --report needs a vectorizer mode (not o3)");
+                return ExitCode::FAILURE;
+            }
         }
         Some(mode) => {
             let mut cfg = SlpConfig::new(mode).with_model(CostModel::new(opts.target.clone()));
             cfg.enable_reductions = opts.reductions;
             cfg.verify_after = opts.verify;
+            // The report embeds decision-stamped graph snapshots.
+            cfg.keep_graph_dots = opts.report_out.is_some();
             let reports = run_slp_module(&mut module, &cfg);
             for report in &reports {
-                if opts.report {
+                if opts.graphs {
                     eprint!("{report}");
                 }
                 if opts.stats {
@@ -319,14 +365,7 @@ fn main() -> ExitCode {
                 }
             }
             if let Some(path) = &opts.stats_out {
-                let unit = if opts.input == "-" {
-                    "stdin".to_string()
-                } else {
-                    std::path::Path::new(&opts.input)
-                        .file_stem()
-                        .map(|s| s.to_string_lossy().into_owned())
-                        .unwrap_or_else(|| opts.input.clone())
-                };
+                let unit = unit_name(&opts.input);
                 let stats = StatsReport::from_reports(
                     mode_code(mode),
                     reports.iter().map(|r| (unit.as_str(), r)),
@@ -340,10 +379,14 @@ fn main() -> ExitCode {
         }
     }
 
+    let mut dyn_info: Option<(String, DynSummary)> = None;
     if let Some(entry) = &opts.run {
-        if let Err(e) = run_entry(&module, &source, entry.as_deref(), &opts, &slp_reports) {
-            eprintln!("snslpc: {e}");
-            return ExitCode::FAILURE;
+        match run_entry(&module, &source, entry.as_deref(), &opts, &slp_reports) {
+            Ok(info) => dyn_info = Some(info),
+            Err(e) => {
+                eprintln!("snslpc: {e}");
+                return ExitCode::FAILURE;
+            }
         }
     } else if opts.dyn_out.is_some() {
         eprintln!("snslpc: --dyn-profile needs --run");
@@ -352,6 +395,28 @@ fn main() -> ExitCode {
 
     if profiling {
         let profile = snslp::trace::prof::take_profile();
+        if let Some(path) = &opts.report_out {
+            let unit = unit_name(&opts.input);
+            let report = AttribReport {
+                // `--report` was rejected above unless a vectorizer ran.
+                mode: mode_code(opts.mode.expect("mode checked earlier")).to_string(),
+                functions: slp_reports
+                    .iter()
+                    .map(|r| {
+                        let dyn_run = dyn_info
+                            .as_ref()
+                            .filter(|(name, _)| *name == r.function)
+                            .map(|(_, d)| d);
+                        attrib_function(&unit, r, &profile, dyn_run)
+                    })
+                    .collect(),
+            };
+            if let Err(e) = std::fs::write(path, render_html(&report)) {
+                eprintln!("snslpc: cannot write `{path}`: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("snslpc: vectorization report written to {path}");
+        }
         if let Some(path) = &opts.profile_out {
             if let Err(e) = std::fs::write(path, profile.to_chrome_json()) {
                 eprintln!("snslpc: cannot write `{path}`: {e}");
