@@ -29,13 +29,24 @@
 //! disagreement. Mispredictions beyond the calibration ratio band are
 //! printed as `cost-misprediction` remarks.
 //!
+//! The `serve` subcommand gates the compile-service trajectory: it
+//! validates the checked-in `BENCH_serve.json` (schema + plausibility)
+//! and applies the machine-independent shape invariants of
+//! [`snslp_bench::servebench::check_serve`] — warm cache hit rate above
+//! 90% and cold p50 at least 5× the warm p50. With `--fresh FILE` it
+//! additionally validates and gates a just-measured report (produced by
+//! `snslp-bench serve --out FILE`), which is how CI checks a live run
+//! rather than only the committed point.
+//!
 //! Usage:
 //!   `bench_check [baseline.json]`
 //!   `bench_check dyn [--bless] [--out FILE] [baseline.json]`
+//!   `bench_check serve [--fresh FILE] [baseline.json]`
 
 use snslp_bench::dynstats::{calibrate, collect_kernel_dyn, misprediction_remarks, DynReport};
 use snslp_bench::measure_compile_times;
 use snslp_bench::report::{CompileTimeReport, REGRESSION_FACTOR};
+use snslp_bench::servebench::{check_serve, ServeBenchReport};
 use snslp_trace::Facet;
 
 /// Fewer runs than the full bench: CI wants a smoke signal, and the 2×
@@ -165,10 +176,62 @@ fn dyn_main(args: &[String]) -> ! {
     }
 }
 
+/// `bench_check serve`: shape-invariant gate over serve-bench reports.
+fn serve_main(args: &[String]) -> ! {
+    let mut fresh_path: Option<String> = None;
+    let mut baseline_path = "BENCH_serve.json".to_string();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--fresh" {
+            fresh_path = Some(
+                it.next()
+                    .unwrap_or_else(|| {
+                        eprintln!("bench_check serve: --fresh needs a file argument");
+                        std::process::exit(2);
+                    })
+                    .clone(),
+            );
+        } else if let Some(v) = arg.strip_prefix("--fresh=") {
+            fresh_path = Some(v.to_string());
+        } else if arg.starts_with('-') {
+            eprintln!("bench_check serve: unknown flag {arg}");
+            std::process::exit(2);
+        } else {
+            baseline_path = arg.clone();
+        }
+    }
+
+    let mut failures = 0usize;
+    let mut gate = |path: &str, label: &str| match std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {path}: {e}"))
+        .and_then(|text| ServeBenchReport::from_json(&text))
+        .and_then(|report| check_serve(&report, label))
+    {
+        Ok(summary) => print!("{summary}"),
+        Err(e) => {
+            eprintln!("bench_check serve: {e}");
+            failures += 1;
+        }
+    };
+    gate(&baseline_path, "baseline");
+    if let Some(fresh) = &fresh_path {
+        gate(fresh, "fresh");
+    }
+    if failures > 0 {
+        eprintln!("bench_check serve: {failures} failure(s)");
+        std::process::exit(1);
+    }
+    println!("bench_check serve: all reports within the gate");
+    std::process::exit(0);
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.first().map(String::as_str) == Some("dyn") {
         dyn_main(&argv[1..]);
+    }
+    if argv.first().map(String::as_str) == Some("serve") {
+        serve_main(&argv[1..]);
     }
     let path = argv
         .first()

@@ -67,6 +67,44 @@ impl Json {
         out
     }
 
+    /// Renders on one line with no inter-token whitespace and no trailing
+    /// newline — the framing the compile service's newline-delimited JSON
+    /// protocol requires (one value per line; embedded newlines are
+    /// escaped by the string emitter).
+    pub fn render_compact(&self) -> String {
+        let mut out = String::new();
+        self.render_compact_into(&mut out);
+        out
+    }
+
+    fn render_compact_into(&self, out: &mut String) {
+        match self {
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_compact_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(members) => {
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    Json::Str(k.clone()).render_compact_into(out);
+                    out.push(':');
+                    v.render_compact_into(out);
+                }
+                out.push('}');
+            }
+            leaf => leaf.render_into(out, 0),
+        }
+    }
+
     fn render_into(&self, out: &mut String, indent: usize) {
         match self {
             Json::Null => out.push_str("null"),
@@ -349,6 +387,15 @@ mod tests {
         assert_eq!(v.get("b").and_then(Json::as_str), Some("x\"\né"));
         let again = Json::parse(&v.render()).unwrap();
         assert_eq!(v, again);
+    }
+
+    #[test]
+    fn compact_rendering_is_one_line_and_round_trips() {
+        let v = Json::parse(r#"{"a": [1, 2.5], "b": "x\ny", "c": null}"#).unwrap();
+        let line = v.render_compact();
+        assert!(!line.contains('\n'));
+        assert_eq!(line, r#"{"a":[1,2.5],"b":"x\ny","c":null}"#);
+        assert_eq!(Json::parse(&line).unwrap(), v);
     }
 
     #[test]

@@ -16,6 +16,7 @@ pub mod attrib;
 pub mod dynstats;
 pub mod json;
 pub mod report;
+pub mod servebench;
 pub mod stats;
 pub mod tracecheck;
 

@@ -112,6 +112,55 @@ impl SlpConfig {
         self.verify_after = true;
         self
     }
+
+    /// Stable 64-bit fingerprint of every field that can change the
+    /// pass's output: mode, thresholds and caps, feature toggles, and the
+    /// full cost model (target description + parameters).
+    ///
+    /// Two configs with equal fingerprints compile any function to the
+    /// same artifact, which is what lets the compile service fold the
+    /// config into its cache key ([`CacheKey`](crate::cache::CacheKey))
+    /// and batch same-config requests into one driver invocation. Built
+    /// on seedless [`FxHasher`](snslp_ir::fxhash::FxHasher), so it is
+    /// stable across processes and restarts.
+    pub fn fingerprint(&self) -> u64 {
+        use snslp_ir::fxhash::FxHasher;
+        use std::hash::Hasher;
+        let mut h = FxHasher::default();
+        // One flat field-order-defined record; bump a leading version tag
+        // if the meaning of any field ever changes.
+        h.write_u64(1); // fingerprint schema version
+        h.write(self.mode.label().as_bytes());
+        h.write_i64(i64::from(self.threshold));
+        h.write_u64(u64::from(self.max_depth));
+        h.write_u64(u64::from(self.lookahead_depth));
+        h.write_u64(self.max_supernode_leaves as u64);
+        h.write_u8(u8::from(self.enable_trunk_reordering));
+        h.write_u8(u8::from(self.enable_reductions));
+        h.write_u64(self.min_reduction_leaves as u64);
+        h.write_u8(u8::from(self.verify_after));
+        h.write_u8(u8::from(self.keep_graph_dots));
+        let t = self.model.target();
+        h.write(t.name().as_bytes());
+        h.write_u64(u64::from(t.register_bits()));
+        h.write_u8(u8::from(t.has_lanewise_altop()));
+        let p = self.model.params();
+        for v in [
+            p.binop,
+            p.div,
+            p.sqrt,
+            p.load,
+            p.store,
+            p.insert,
+            p.extract,
+            p.shuffle,
+            p.altop_penalty,
+            p.altop_emulation_penalty,
+        ] {
+            h.write_i64(i64::from(v));
+        }
+        h.finish()
+    }
 }
 
 #[cfg(test)]
@@ -132,5 +181,30 @@ mod tests {
     fn labels() {
         assert_eq!(SlpMode::SnSlp.label(), "SN-SLP");
         assert_eq!(SlpMode::Lslp.label(), "LSLP");
+    }
+
+    #[test]
+    fn fingerprint_tracks_output_relevant_fields() {
+        let base = SlpConfig::new(SlpMode::SnSlp);
+        assert_eq!(
+            base.fingerprint(),
+            SlpConfig::new(SlpMode::SnSlp).fingerprint()
+        );
+        assert_ne!(
+            base.fingerprint(),
+            SlpConfig::new(SlpMode::Lslp).fingerprint()
+        );
+
+        let mut c = SlpConfig::new(SlpMode::SnSlp);
+        c.threshold = -1;
+        assert_ne!(base.fingerprint(), c.fingerprint());
+
+        let mut c = SlpConfig::new(SlpMode::SnSlp);
+        c.keep_graph_dots = true;
+        assert_ne!(base.fingerprint(), c.fingerprint());
+
+        let c = SlpConfig::new(SlpMode::SnSlp)
+            .with_model(CostModel::new(snslp_cost::TargetDesc::avx2_like()));
+        assert_ne!(base.fingerprint(), c.fingerprint());
     }
 }

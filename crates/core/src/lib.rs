@@ -48,6 +48,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod cache;
 pub mod chain;
 pub mod codegen;
 pub mod config;
@@ -61,6 +62,7 @@ pub mod score_cache;
 pub mod seeds;
 pub mod supernode;
 
+pub use cache::{run_slp_module_cached, ArtifactCache, CacheKey, CacheStats, CachedCompile};
 pub use chain::{extract_chain, LaneChain, LaneLeaf, Sign};
 pub use codegen::CodegenError;
 pub use config::{SlpConfig, SlpMode};
@@ -72,7 +74,8 @@ pub use graph::{
     GatherKind, GatherWhy, Node, NodeKind, ReductionInfo, SlpGraph, SuperInfo,
 };
 pub use pass::{
-    optimize_o3, run_slp, run_slp_module, run_slp_module_with_threads, FunctionReport, GraphStats,
+    optimize_o3, resolve_threads_env, run_slp, run_slp_module, run_slp_module_with_threads,
+    FunctionReport, GraphStats,
 };
 pub use score_cache::LruScoreCache;
 pub use seeds::{collect_reduction_seeds, collect_store_seeds, ReductionSeed, SeedGroup};

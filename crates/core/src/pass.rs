@@ -684,16 +684,40 @@ fn sanitize(s: &str) -> String {
 /// take the plain serial path. Set `SNSLP_THREADS` to override the worker
 /// count, or call [`run_slp_module_with_threads`] directly.
 pub fn run_slp_module(m: &mut Module, cfg: &SlpConfig) -> Vec<FunctionReport> {
-    let threads = std::env::var("SNSLP_THREADS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&t| t > 0)
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|p| p.get())
-                .unwrap_or(1)
-        });
-    run_slp_module_with_threads(m, cfg, threads)
+    run_slp_module_with_threads(m, cfg, resolve_threads_env())
+}
+
+/// Resolves the worker-thread count: `SNSLP_THREADS` if set to a positive
+/// integer, else the host's available parallelism.
+///
+/// An *invalid* override (non-numeric, zero, negative) is not silently
+/// ignored: it produces a one-line warning on stderr plus an
+/// [`env.ignored`](snslp_trace::serve::EVENT_ENV_IGNORED) trace event,
+/// then falls back to the default.
+pub fn resolve_threads_env() -> usize {
+    let default = || {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+    };
+    match std::env::var("SNSLP_THREADS") {
+        Err(_) => default(),
+        Ok(raw) => match raw.trim().parse::<usize>() {
+            Ok(t) if t > 0 => t,
+            _ => {
+                eprintln!(
+                    "snslp: warning: ignoring invalid SNSLP_THREADS={raw:?} \
+                     (expected a positive integer); using default thread count"
+                );
+                snslp_trace::trace_event!(
+                    snslp_trace::serve::EVENT_ENV_IGNORED,
+                    "var" => "SNSLP_THREADS",
+                    "value" => raw,
+                );
+                default()
+            }
+        },
+    }
 }
 
 /// [`run_slp_module`] with an explicit worker-thread count (`threads = 1`

@@ -50,6 +50,7 @@
 
 pub mod analysis;
 pub mod builder;
+pub mod content_hash;
 pub mod function;
 pub mod fxhash;
 pub mod inst;
@@ -62,6 +63,7 @@ pub mod verifier;
 
 pub use analysis::{decompose_address, is_consecutive, may_alias, AddrExpr, MemLoc};
 pub use builder::FunctionBuilder;
+pub use content_hash::{stable_function_hash, stable_text_hash};
 pub use function::{BlockData, Function, InstData, Param};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use inst::{

@@ -39,6 +39,11 @@ impl Module {
         &mut self.functions
     }
 
+    /// Consumes the module and returns its functions in order.
+    pub fn into_functions(self) -> Vec<Function> {
+        self.functions
+    }
+
     /// Finds a function by name.
     pub fn function(&self, name: &str) -> Option<&Function> {
         self.functions.iter().find(|f| f.name() == name)

@@ -38,13 +38,24 @@ use crate::types::{ScalarType, Type};
 pub struct ParseError {
     /// 1-based line of the offending token.
     pub line: u32,
+    /// 1-based column of the offending token's first character (0 when
+    /// no position is known, e.g. for whole-input errors).
+    pub col: u32,
     /// Human-readable description.
     pub message: String,
 }
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at line {}: {}", self.line, self.message)
+        if self.col > 0 {
+            write!(
+                f,
+                "parse error at line {}, column {}: {}",
+                self.line, self.col, self.message
+            )
+        } else {
+            write!(f, "parse error at line {}: {}", self.line, self.message)
+        }
     }
 }
 
@@ -61,39 +72,64 @@ enum Tok {
 }
 
 struct Lexer {
-    toks: Vec<(Tok, u32)>,
+    toks: Vec<(Tok, u32, u32)>,
     pos: usize,
+}
+
+/// Character cursor tracking the 1-based line and column of the *next*
+/// character, so every token can carry the position of its first char.
+struct Cursor<'s> {
+    chars: std::iter::Peekable<std::str::Chars<'s>>,
+    line: u32,
+    col: u32,
+}
+
+impl Cursor<'_> {
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next()?;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
 }
 
 fn lex(src: &str) -> Result<Lexer, ParseError> {
     let mut toks = Vec::new();
-    let mut line: u32 = 1;
-    let mut chars = src.chars().peekable();
-    while let Some(&c) = chars.peek() {
+    let mut cur = Cursor {
+        chars: src.chars().peekable(),
+        line: 1,
+        col: 1,
+    };
+    while let Some(c) = cur.peek() {
+        // Position of the token that starts here.
+        let (line, col) = (cur.line, cur.col);
         match c {
-            '\n' => {
-                line += 1;
-                chars.next();
-            }
             c if c.is_whitespace() => {
-                chars.next();
+                cur.bump();
             }
             ';' | '#' => {
                 // Comment to end of line.
-                for c in chars.by_ref() {
+                while let Some(c) = cur.bump() {
                     if c == '\n' {
-                        line += 1;
                         break;
                     }
                 }
             }
             '%' | '@' => {
-                chars.next();
+                cur.bump();
                 let mut s = String::new();
-                while let Some(&c) = chars.peek() {
+                while let Some(c) = cur.peek() {
                     if c.is_alphanumeric() || c == '_' || c == '.' {
                         s.push(c);
-                        chars.next();
+                        cur.bump();
                     } else {
                         break;
                     }
@@ -101,38 +137,39 @@ fn lex(src: &str) -> Result<Lexer, ParseError> {
                 if s.is_empty() {
                     return Err(ParseError {
                         line,
+                        col,
                         message: format!("dangling `{c}`"),
                     });
                 }
                 toks.push(if c == '%' {
-                    (Tok::Value(s), line)
+                    (Tok::Value(s), line, col)
                 } else {
-                    (Tok::At(s), line)
+                    (Tok::At(s), line, col)
                 });
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let mut s = String::new();
-                while let Some(&c) = chars.peek() {
+                while let Some(c) = cur.peek() {
                     if c.is_alphanumeric() || c == '_' || c == '.' {
                         s.push(c);
-                        chars.next();
+                        cur.bump();
                     } else {
                         break;
                     }
                 }
-                toks.push((Tok::Ident(s), line));
+                toks.push((Tok::Ident(s), line, col));
             }
             c if c.is_ascii_digit() || c == '-' => {
                 let mut s = String::new();
                 s.push(c);
-                chars.next();
-                if c == '-' && chars.peek() == Some(&'>') {
-                    chars.next();
-                    toks.push((Tok::Arrow, line));
+                cur.bump();
+                if c == '-' && cur.peek() == Some('>') {
+                    cur.bump();
+                    toks.push((Tok::Arrow, line, col));
                     continue;
                 }
                 let mut last_e = false;
-                while let Some(&c) = chars.peek() {
+                while let Some(c) = cur.peek() {
                     if c.is_ascii_digit()
                         || c == '.'
                         || c == 'e'
@@ -145,20 +182,21 @@ fn lex(src: &str) -> Result<Lexer, ParseError> {
                     {
                         last_e = c == 'e' || c == 'E';
                         s.push(c);
-                        chars.next();
+                        cur.bump();
                     } else {
                         break;
                     }
                 }
-                toks.push((Tok::Num(s), line));
+                toks.push((Tok::Num(s), line, col));
             }
             '(' | ')' | '{' | '}' | '[' | ']' | ',' | ':' | '=' => {
-                chars.next();
-                toks.push((Tok::Punct(c), line));
+                cur.bump();
+                toks.push((Tok::Punct(c), line, col));
             }
             other => {
                 return Err(ParseError {
                     line,
+                    col,
                     message: format!("unexpected character `{other}`"),
                 })
             }
@@ -169,23 +207,44 @@ fn lex(src: &str) -> Result<Lexer, ParseError> {
 
 impl Lexer {
     fn peek(&self) -> Option<&Tok> {
-        self.toks.get(self.pos).map(|(t, _)| t)
+        self.toks.get(self.pos).map(|(t, ..)| t)
     }
 
     fn peek2(&self) -> Option<&Tok> {
-        self.toks.get(self.pos + 1).map(|(t, _)| t)
+        self.toks.get(self.pos + 1).map(|(t, ..)| t)
     }
 
-    fn line(&self) -> u32 {
+    /// Position of the current token (or the last one at end of input).
+    fn position(&self) -> (u32, u32) {
         self.toks
             .get(self.pos.min(self.toks.len().saturating_sub(1)))
-            .map(|(_, l)| *l)
-            .unwrap_or(0)
+            .map(|&(_, l, c)| (l, c))
+            .unwrap_or((0, 0))
     }
 
     fn err(&self, message: impl Into<String>) -> ParseError {
+        let (line, col) = self.position();
         ParseError {
-            line: self.line(),
+            line,
+            col,
+            message: message.into(),
+        }
+    }
+
+    /// Like [`err`](Self::err) but anchored at the token `next()` just
+    /// consumed — the right anchor for `expected X, found Y`
+    /// diagnostics, where the cursor has already stepped past the
+    /// offender.
+    fn err_at_prev(&self, message: impl Into<String>) -> ParseError {
+        let idx = self.pos.saturating_sub(1);
+        let (line, col) = self
+            .toks
+            .get(idx.min(self.toks.len().saturating_sub(1)))
+            .map(|&(_, l, c)| (l, c))
+            .unwrap_or((0, 0));
+        ParseError {
+            line,
+            col,
             message: message.into(),
         }
     }
@@ -194,7 +253,7 @@ impl Lexer {
         let t = self
             .toks
             .get(self.pos)
-            .map(|(t, _)| t.clone())
+            .map(|(t, ..)| t.clone())
             .ok_or_else(|| self.err("unexpected end of input"))?;
         self.pos += 1;
         Ok(t)
@@ -203,14 +262,14 @@ impl Lexer {
     fn expect_punct(&mut self, c: char) -> Result<(), ParseError> {
         match self.next()? {
             Tok::Punct(p) if p == c => Ok(()),
-            t => Err(self.err(format!("expected `{c}`, found {t:?}"))),
+            t => Err(self.err_at_prev(format!("expected `{c}`, found {t:?}"))),
         }
     }
 
     fn expect_ident(&mut self) -> Result<String, ParseError> {
         match self.next()? {
             Tok::Ident(s) => Ok(s),
-            t => Err(self.err(format!("expected identifier, found {t:?}"))),
+            t => Err(self.err_at_prev(format!("expected identifier, found {t:?}"))),
         }
     }
 
@@ -219,14 +278,14 @@ impl Lexer {
         if s == kw {
             Ok(())
         } else {
-            Err(self.err(format!("expected `{kw}`, found `{s}`")))
+            Err(self.err_at_prev(format!("expected `{kw}`, found `{s}`")))
         }
     }
 
     fn expect_value(&mut self) -> Result<String, ParseError> {
         match self.next()? {
             Tok::Value(s) => Ok(s),
-            t => Err(self.err(format!("expected %value, found {t:?}"))),
+            t => Err(self.err_at_prev(format!("expected %value, found {t:?}"))),
         }
     }
 
@@ -243,8 +302,8 @@ impl Lexer {
         match self.next()? {
             Tok::Num(s) => s
                 .parse::<u8>()
-                .map_err(|_| self.err(format!("invalid lane index `{s}`"))),
-            t => Err(self.err(format!("expected lane index, found {t:?}"))),
+                .map_err(|_| self.err_at_prev(format!("invalid lane index `{s}`"))),
+            t => Err(self.err_at_prev(format!("expected lane index, found {t:?}"))),
         }
     }
 }
@@ -830,6 +889,7 @@ pub fn parse_function_str(src: &str) -> Result<Function, ParseError> {
     if n != 1 {
         return Err(ParseError {
             line: 0,
+            col: 0,
             message: format!("expected exactly 1 function, found {n}"),
         });
     }

@@ -1,0 +1,114 @@
+//! `snslp-client` — one-shot CLI client for `snslpd`.
+//!
+//! Usage:
+//!   `snslp-client --socket PATH [--mode M] [--target T] [--artifact A]... FILE`
+//!   `snslp-client --socket PATH --stats`
+//!
+//! `FILE` is a `.snir` module (`-` for stdin). The raw reply line is
+//! printed to stdout; exit status is non-zero unless the reply status is
+//! `ok`. Busy replies are retried with a short backoff.
+
+use std::io::Read;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use snslp_serve::{Client, STATUS_OK};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: snslp-client --socket PATH [--mode slp|lslp|snslp] [--target sse2|avx2|noaltop] \
+         [--artifact codegen|html|dynstats]... (FILE|- | --stats)"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut socket: Option<PathBuf> = None;
+    let mut mode = "snslp".to_string();
+    let mut target = "avx2".to_string();
+    let mut artifacts: Vec<String> = Vec::new();
+    let mut stats = false;
+    let mut input: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--socket" => socket = args.next().map(PathBuf::from),
+            "--mode" => mode = args.next().unwrap_or_else(|| usage()),
+            "--target" => target = args.next().unwrap_or_else(|| usage()),
+            "--artifact" => artifacts.push(args.next().unwrap_or_else(|| usage())),
+            "--stats" => stats = true,
+            "--help" | "-h" => usage(),
+            other if other.starts_with("--") => {
+                eprintln!("snslp-client: unknown argument {other}");
+                usage();
+            }
+            other => {
+                if input.replace(other.to_string()).is_some() {
+                    eprintln!("snslp-client: more than one input file");
+                    usage();
+                }
+            }
+        }
+    }
+    let Some(socket) = socket else {
+        eprintln!("snslp-client: --socket is required");
+        usage();
+    };
+
+    let mut client = match Client::connect(&socket) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("snslp-client: cannot connect to {}: {e}", socket.display());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let reply = if stats {
+        client.stats()
+    } else {
+        let Some(input) = input else {
+            eprintln!("snslp-client: no input file (or pass --stats)");
+            usage();
+        };
+        let text = if input == "-" {
+            let mut buf = String::new();
+            if let Err(e) = std::io::stdin().read_to_string(&mut buf) {
+                eprintln!("snslp-client: cannot read stdin: {e}");
+                return ExitCode::FAILURE;
+            }
+            buf
+        } else {
+            match std::fs::read_to_string(&input) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("snslp-client: cannot read {input}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        };
+        let artifact_refs: Vec<&str> = artifacts.iter().map(String::as_str).collect();
+        client
+            .compile(&text, &mode, &target, &artifact_refs)
+            .map(|(reply, _busy)| reply)
+    };
+
+    match reply {
+        Ok(reply) => {
+            println!("{}", reply.raw);
+            if stats || reply.status == STATUS_OK {
+                ExitCode::SUCCESS
+            } else {
+                eprintln!(
+                    "snslp-client: server answered {}: {}",
+                    reply.status,
+                    reply.error.as_deref().unwrap_or("(no error message)")
+                );
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("snslp-client: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! `snslpd` — the long-running SN-SLP compile service.
+//!
+//! Speaks newline-delimited JSON (one request object per line, one reply
+//! per line, per-connection replies in request order). See
+//! `snslp_serve::proto` for the wire format.
+//!
+//! Usage:
+//!   `snslpd --socket PATH [flags]`   serve a Unix socket until killed
+//!   `snslpd --stdio [flags]`         serve stdin/stdout, exit at EOF
+//!
+//! Flags:
+//!   `--shards N`          scheduler shards (default 2)
+//!   `--queue-depth N`     per-shard queue bound (default 64)
+//!   `--max-inflight N`    admission limit before busy replies (default 256)
+//!   `--batch-max N`       jobs coalesced per driver invocation (default 16)
+//!   `--cache-entries N`   function-cache capacity (default 4096)
+//!   `--memo-entries N`    whole-request memo capacity (default 4096)
+//!   `--threads N`         driver threads per batch (default 1)
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use snslp_serve::{ServeConfig, Server};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: snslpd (--socket PATH | --stdio) [--shards N] [--queue-depth N] \
+         [--max-inflight N] [--batch-max N] [--cache-entries N] [--memo-entries N] [--threads N]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_num(flag: &str, value: Option<String>) -> usize {
+    let Some(v) = value else {
+        eprintln!("snslpd: {flag} needs a positive integer argument");
+        usage();
+    };
+    match v.parse::<usize>() {
+        Ok(n) if n > 0 => n,
+        _ => {
+            eprintln!("snslpd: invalid {flag} value {v:?} (expected a positive integer)");
+            usage();
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut cfg = ServeConfig::default();
+    let mut socket: Option<PathBuf> = None;
+    let mut stdio = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--socket" => match args.next() {
+                Some(p) => socket = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("snslpd: --socket needs a path argument");
+                    usage();
+                }
+            },
+            "--stdio" => stdio = true,
+            "--shards" => cfg.shards = parse_num("--shards", args.next()),
+            "--queue-depth" => cfg.queue_depth = parse_num("--queue-depth", args.next()),
+            "--max-inflight" => cfg.max_inflight = parse_num("--max-inflight", args.next()),
+            "--batch-max" => cfg.batch_max = parse_num("--batch-max", args.next()),
+            "--cache-entries" => cfg.cache_entries = parse_num("--cache-entries", args.next()),
+            "--memo-entries" => cfg.memo_entries = parse_num("--memo-entries", args.next()),
+            "--threads" => cfg.threads_per_batch = parse_num("--threads", args.next()),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("snslpd: unknown argument {other}");
+                usage();
+            }
+        }
+    }
+    if stdio == socket.is_some() {
+        eprintln!("snslpd: pass exactly one of --socket PATH or --stdio");
+        usage();
+    }
+
+    let mut server = Server::start(cfg);
+    if let Some(path) = socket {
+        if let Err(e) = server.bind_unix(&path) {
+            eprintln!("snslpd: cannot bind {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("snslpd: listening on {}", path.display());
+        // Serve until killed. The accept loop and shard workers own the
+        // process from here.
+        loop {
+            std::thread::park();
+        }
+    }
+    server.serve_stdio();
+    server.shutdown();
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,718 @@
+//! The `snslpd` server: sharded work-stealing scheduling, request
+//! batching, admission control, and the two-level artifact cache.
+//!
+//! # Architecture
+//!
+//! Each connection gets a *reader* (the connection's own thread) and a
+//! *writer* (a scoped helper thread). The reader classifies each request
+//! line and answers cheap cases inline — stats, malformed requests,
+//! whole-request memo hits, busy refusals — while compile jobs go to a
+//! shard queue with a per-request reply channel. The writer drains reply
+//! channels **in request order**, so replies are ordered per connection
+//! even though compiles from many connections finish out of order.
+//!
+//! Shards are worker threads with bounded queues. A worker drains up to
+//! [`ServeConfig::batch_max`] jobs at once — *batching*: jobs with the
+//! same config fingerprint are coalesced into one module and compiled by
+//! one driver invocation ([`run_slp_module_cached`]), so concurrent
+//! small requests amortize driver startup and share in-batch dedupe. An
+//! idle worker *steals* a batch from a sibling's queue before sleeping.
+//!
+//! Admission control is explicit: beyond
+//! [`ServeConfig::max_inflight`] queued-or-running compile requests (or
+//! when every shard queue is full) the server answers
+//! `{"status":"busy"}` instead of queueing unboundedly — the HTTP-429
+//! analogue. Clients retry; connections are never dropped.
+//!
+//! # Caching
+//!
+//! Two levels, both content-addressed:
+//!
+//! 1. a whole-request memo — stable hash of the raw module text ×
+//!    config fingerprint × artifact set → the rendered reply body, so an
+//!    exact resubmission skips even the parser;
+//! 2. the function-level [`ArtifactCache`] inside the driver, so a
+//!    module that shares *some* functions with earlier traffic
+//!    recompiles only the changed ones.
+//!
+//! Replies carry no wall-clock fields, so both levels return bytes
+//! identical to the cold compile that populated them.
+
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use snslp_bench::attrib::{attrib_function, render_html, AttribReport};
+use snslp_bench::json::Json;
+use snslp_bench::stats::mode_code;
+use snslp_core::{run_slp_module_cached, ArtifactCache, CacheStats, FunctionReport, SlpConfig};
+use snslp_interp::{parse_inputs_line, run_with_args, ExecOptions};
+use snslp_ir::{parse_module, stable_text_hash, Function, FxHashMap, Module};
+use snslp_trace::serve::{EVENT_BUSY, EVENT_MEMO_HIT, SPAN_BATCH, SPAN_CONNECTION};
+use snslp_trace::{trace_event, Span};
+
+use crate::proto::{
+    address, failure_body, ok_body, stats_body, CompileRequest, Request, STATUS_BUSY, STATUS_ERROR,
+};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker shards (each is one scheduler thread with its own queue).
+    pub shards: usize,
+    /// Pending jobs a shard queue holds before submits spill to the next
+    /// shard (and, with every queue full, requests go busy).
+    pub queue_depth: usize,
+    /// Compile requests queued-or-running before new ones go busy.
+    pub max_inflight: usize,
+    /// Jobs one worker drains into a single batch.
+    pub batch_max: usize,
+    /// Function-level artifact cache capacity (entries).
+    pub cache_entries: usize,
+    /// Whole-request memo capacity (entries).
+    pub memo_entries: usize,
+    /// Driver worker threads per batch compile. 1 by default: shards are
+    /// the parallelism; nesting thread pools multiplies threads.
+    pub threads_per_batch: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            shards: 2,
+            queue_depth: 64,
+            max_inflight: 256,
+            batch_max: 16,
+            cache_entries: 4096,
+            memo_entries: 4096,
+            threads_per_batch: 1,
+        }
+    }
+}
+
+/// One queued compile job: a parsed, verified request plus its reply
+/// channel.
+struct Job {
+    id: u64,
+    compile: CompileRequest,
+    functions: Vec<Function>,
+    cfg: SlpConfig,
+    fingerprint: u64,
+    memo_key: u128,
+    reply: mpsc::Sender<String>,
+}
+
+struct Shard {
+    queue: Mutex<VecDeque<Job>>,
+    cv: Condvar,
+}
+
+#[derive(Default)]
+struct Memo {
+    map: FxHashMap<u128, (u64, Arc<MemoEntry>)>,
+    tick: u64,
+}
+
+struct MemoEntry {
+    body: String,
+    num_functions: u64,
+}
+
+/// Shared server state: scheduler, caches, counters.
+pub struct ServerState {
+    cfg: ServeConfig,
+    shards: Vec<Shard>,
+    next_shard: AtomicUsize,
+    inflight: AtomicUsize,
+    stop: AtomicBool,
+    cache: ArtifactCache,
+    memo: Mutex<Memo>,
+    memo_hits: AtomicU64,
+    busy_replies: AtomicU64,
+}
+
+impl std::fmt::Debug for ServerState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerState")
+            .field("cfg", &self.cfg)
+            .field("inflight", &self.inflight.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl ServerState {
+    fn new(cfg: ServeConfig) -> ServerState {
+        let shards = (0..cfg.shards.max(1))
+            .map(|_| Shard {
+                queue: Mutex::new(VecDeque::new()),
+                cv: Condvar::new(),
+            })
+            .collect();
+        ServerState {
+            cache: ArtifactCache::new(cfg.cache_entries),
+            shards,
+            next_shard: AtomicUsize::new(0),
+            inflight: AtomicUsize::new(0),
+            stop: AtomicBool::new(false),
+            memo: Mutex::new(Memo::default()),
+            memo_hits: AtomicU64::new(0),
+            busy_replies: AtomicU64::new(0),
+            cfg,
+        }
+    }
+
+    /// Function-level cache statistics.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Whole-request memo hits so far.
+    pub fn memo_hits(&self) -> u64 {
+        self.memo_hits.load(Ordering::Relaxed)
+    }
+
+    /// Busy refusals so far.
+    pub fn busy_replies(&self) -> u64 {
+        self.busy_replies.load(Ordering::Relaxed)
+    }
+
+    // -- memo ---------------------------------------------------------
+
+    fn memo_key(text_hash: u128, fingerprint: u64, compile: &CompileRequest) -> u128 {
+        // keep_graph_dots is already inside the fingerprint; codegen and
+        // dynstats change only the reply body, so they need their own
+        // bits in the memo key.
+        let artifact_bits =
+            u128::from(compile.artifacts.codegen) | (u128::from(compile.artifacts.dynstats) << 1);
+        text_hash ^ (u128::from(fingerprint) << 64) ^ artifact_bits
+    }
+
+    fn memo_get(&self, key: u128) -> Option<Arc<MemoEntry>> {
+        let mut memo = self.memo.lock().unwrap_or_else(|e| e.into_inner());
+        memo.tick += 1;
+        let tick = memo.tick;
+        let (touched, entry) = memo.map.get_mut(&key)?;
+        *touched = tick;
+        Some(entry.clone())
+    }
+
+    fn memo_put(&self, key: u128, entry: MemoEntry) {
+        let mut memo = self.memo.lock().unwrap_or_else(|e| e.into_inner());
+        memo.tick += 1;
+        let tick = memo.tick;
+        memo.map.insert(key, (tick, Arc::new(entry)));
+        while memo.map.len() > self.cfg.memo_entries.max(1) {
+            let Some(oldest) = memo
+                .map
+                .iter()
+                .min_by_key(|(_, (touched, _))| *touched)
+                .map(|(k, _)| *k)
+            else {
+                break;
+            };
+            memo.map.remove(&oldest);
+        }
+    }
+
+    // -- request intake -----------------------------------------------
+
+    /// Classifies one request line. Cheap cases (stats, errors, memo
+    /// hits, busy) are answered through `reply` immediately; compile jobs
+    /// are queued and answered later by a shard worker. Either way
+    /// exactly one line is eventually sent on `reply`.
+    pub fn handle_line(self: &Arc<Self>, line: &str, reply: mpsc::Sender<String>) {
+        let request = match Request::parse(line) {
+            Err((id, msg)) => {
+                let _ = reply.send(address(id.unwrap_or(0), &failure_body(STATUS_ERROR, &msg)));
+                return;
+            }
+            Ok(r) => r,
+        };
+        match request {
+            Request::Stats { id } => {
+                let body = stats_body(&self.cache_stats(), self.memo_hits());
+                let _ = reply.send(address(id, &body));
+            }
+            Request::Compile { id, compile } => self.handle_compile(id, compile, reply),
+        }
+    }
+
+    fn handle_compile(
+        self: &Arc<Self>,
+        id: u64,
+        compile: CompileRequest,
+        reply: mpsc::Sender<String>,
+    ) {
+        let cfg = compile.config();
+        let fingerprint = cfg.fingerprint();
+        let memo_key = Self::memo_key(
+            stable_text_hash(&compile.module_text),
+            fingerprint,
+            &compile,
+        );
+        if let Some(entry) = self.memo_get(memo_key) {
+            self.memo_hits.fetch_add(1, Ordering::Relaxed);
+            // A memo hit answers num_functions function lookups without
+            // ever reaching the function cache; account for them so the
+            // hit rate means "lookups answered without compiling".
+            self.cache.note_upstream_hits(entry.num_functions);
+            trace_event!(EVENT_MEMO_HIT, "id" => id, "functions" => entry.num_functions);
+            let _ = reply.send(address(id, &entry.body));
+            return;
+        }
+
+        // Admission control *before* parsing: under overload the server
+        // must shed cheaply, not burn CPU parsing doomed requests.
+        let admitted = self
+            .inflight
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| {
+                (n < self.cfg.max_inflight).then_some(n + 1)
+            })
+            .is_ok();
+        if !admitted {
+            self.refuse_busy(id, "in-flight limit", &reply);
+            return;
+        }
+
+        let module = match parse_module(&compile.module_text) {
+            Ok(m) => m,
+            Err(e) => {
+                self.inflight.fetch_sub(1, Ordering::Relaxed);
+                let _ = reply.send(address(id, &failure_body(STATUS_ERROR, &e.to_string())));
+                return;
+            }
+        };
+        for f in module.functions() {
+            if let Err(e) = snslp_ir::verify(f) {
+                self.inflight.fetch_sub(1, Ordering::Relaxed);
+                let body = failure_body(
+                    STATUS_ERROR,
+                    &format!("function @{} is malformed: {e}", f.name()),
+                );
+                let _ = reply.send(address(id, &body));
+                return;
+            }
+        }
+
+        let job = Job {
+            id,
+            compile,
+            functions: module.into_functions(),
+            cfg,
+            fingerprint,
+            memo_key,
+            reply,
+        };
+        if let Some(job) = self.submit(job) {
+            self.inflight.fetch_sub(1, Ordering::Relaxed);
+            self.refuse_busy(job.id, "all shard queues full", &job.reply);
+        }
+    }
+
+    fn refuse_busy(&self, id: u64, why: &str, reply: &mpsc::Sender<String>) {
+        self.busy_replies.fetch_add(1, Ordering::Relaxed);
+        trace_event!(EVENT_BUSY, "id" => id, "why" => why);
+        let body = failure_body(
+            STATUS_BUSY,
+            &format!("server at capacity ({why}); retry later"),
+        );
+        let _ = reply.send(address(id, &body));
+    }
+
+    /// Round-robin submit with spill: try every shard once. Returns the
+    /// job back (for a busy reply) only when every queue is at depth.
+    fn submit(&self, job: Job) -> Option<Job> {
+        let start = self.next_shard.fetch_add(1, Ordering::Relaxed);
+        let n = self.shards.len();
+        let mut job = Some(job);
+        for i in 0..n {
+            let shard = &self.shards[(start + i) % n];
+            let mut q = shard.queue.lock().unwrap_or_else(|e| e.into_inner());
+            if q.len() < self.cfg.queue_depth {
+                q.push_back(job.take().expect("job not yet queued"));
+                drop(q);
+                shard.cv.notify_one();
+                return None;
+            }
+        }
+        job
+    }
+
+    // -- shard workers ------------------------------------------------
+
+    /// Drains a batch: own queue first, then steal from siblings, then
+    /// sleep briefly on the shard condvar. Empty result = check `stop`.
+    fn grab_batch(&self, idx: usize) -> Vec<Job> {
+        let n = self.shards.len();
+        let drain = |q: &mut VecDeque<Job>| -> Vec<Job> {
+            let take = q.len().min(self.cfg.batch_max.max(1));
+            q.drain(..take).collect()
+        };
+        {
+            let mut q = self.shards[idx]
+                .queue
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            if !q.is_empty() {
+                return drain(&mut q);
+            }
+        }
+        for i in 1..n {
+            let victim = &self.shards[(idx + i) % n];
+            let mut q = victim.queue.lock().unwrap_or_else(|e| e.into_inner());
+            if !q.is_empty() {
+                return drain(&mut q);
+            }
+        }
+        let q = self.shards[idx]
+            .queue
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        let (mut q, _) = self.shards[idx]
+            .cv
+            .wait_timeout(q, Duration::from_millis(20))
+            .unwrap_or_else(|e| e.into_inner());
+        drain(&mut q)
+    }
+
+    fn worker(self: Arc<Self>, idx: usize) {
+        loop {
+            let batch = self.grab_batch(idx);
+            if batch.is_empty() {
+                if self.stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                continue;
+            }
+            self.run_batch(batch);
+        }
+        snslp_trace::prof::flush_thread(&format!("serve-shard-{idx}"));
+    }
+
+    /// Compiles one batch: jobs grouped by config fingerprint, each group
+    /// coalesced into a single module and run through the cached driver
+    /// once; reports are split back per job by index range.
+    fn run_batch(&self, batch: Vec<Job>) {
+        let mut groups: Vec<(u64, Vec<Job>)> = Vec::new();
+        for job in batch {
+            match groups.iter_mut().find(|(fp, _)| *fp == job.fingerprint) {
+                Some((_, jobs)) => jobs.push(job),
+                None => groups.push((job.fingerprint, vec![job])),
+            }
+        }
+        for (_, jobs) in groups {
+            let span = Span::enter(SPAN_BATCH);
+            span.note("jobs", jobs.len() as u64);
+            let cfg = jobs[0].cfg.clone();
+            let mut module = Module::new("serve-batch");
+            let mut ranges = Vec::with_capacity(jobs.len());
+            for job in &jobs {
+                let start = module.functions().len();
+                for f in &job.functions {
+                    module.add_function(f.clone());
+                }
+                ranges.push((start, job.functions.len()));
+            }
+            let reports =
+                run_slp_module_cached(&mut module, &cfg, self.cfg.threads_per_batch, &self.cache);
+            for (job, (start, len)) in jobs.into_iter().zip(ranges) {
+                let job_reports = &reports[start..start + len];
+                let job_functions = &module.functions()[start..start + len];
+                let body = match build_ok_body(&job, job_reports, job_functions) {
+                    Ok(body) => {
+                        self.memo_put(
+                            job.memo_key,
+                            MemoEntry {
+                                body: body.clone(),
+                                num_functions: len as u64,
+                            },
+                        );
+                        body
+                    }
+                    Err(e) => failure_body(STATUS_ERROR, &e),
+                };
+                let _ = job.reply.send(address(job.id, &body));
+                self.inflight.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// Renders a job's `ok` reply body, including any requested artifacts.
+fn build_ok_body(
+    job: &Job,
+    reports: &[FunctionReport],
+    functions: &[Function],
+) -> Result<String, String> {
+    let mut artifacts: Vec<(String, String)> = Vec::new();
+    if job.compile.artifacts.codegen {
+        let mut text = String::new();
+        for (i, f) in functions.iter().enumerate() {
+            if i > 0 {
+                text.push('\n');
+            }
+            text.push_str(&f.to_string());
+        }
+        artifacts.push(("codegen".to_string(), text));
+    }
+    if job.compile.artifacts.html {
+        let report = AttribReport {
+            mode: mode_code(job.cfg.mode).to_string(),
+            functions: reports
+                .iter()
+                .map(|r| {
+                    attrib_function(
+                        "serve",
+                        r,
+                        &snslp_trace::Profile { tracks: Vec::new() },
+                        None,
+                    )
+                })
+                .collect(),
+        };
+        artifacts.push(("html".to_string(), render_html(&report)));
+    }
+    if job.compile.artifacts.dynstats {
+        artifacts.push((
+            "dynstats".to_string(),
+            dynstats_artifact(&job.compile.module_text, functions, &job.cfg)?,
+        ));
+    }
+    Ok(ok_body(reports, &artifacts))
+}
+
+/// The `dynstats` artifact: every function interpreted on the module's
+/// `; INPUTS:` line, rendered as one compact JSON object. Deterministic
+/// (simulated cycles, no wall clock).
+fn dynstats_artifact(
+    source: &str,
+    functions: &[Function],
+    cfg: &SlpConfig,
+) -> Result<String, String> {
+    let inputs = source.lines().find_map(|l| {
+        l.trim()
+            .strip_prefix(';')
+            .map(str::trim)
+            .and_then(|c| c.strip_prefix("INPUTS:"))
+    });
+    let mut rows = Vec::new();
+    for f in functions {
+        let args = match inputs {
+            Some(spec) => {
+                parse_inputs_line(spec).map_err(|e| format!("dynstats: bad INPUTS line: {e}"))?
+            }
+            None if f.params().is_empty() => Vec::new(),
+            None => {
+                return Err(format!(
+                    "dynstats: @{} takes {} parameters but the module has no `; INPUTS:` line",
+                    f.name(),
+                    f.params().len()
+                ))
+            }
+        };
+        let out = run_with_args(f, &args, &cfg.model, &ExecOptions::default())
+            .map_err(|e| format!("dynstats: @{}: execution failed: {e}", f.name()))?;
+        rows.push((
+            f.name().to_string(),
+            Json::Obj(vec![
+                ("cycles".to_string(), Json::Num(out.exec.cycles as f64)),
+                (
+                    "dyn_insts".to_string(),
+                    Json::Num(out.exec.dyn_insts as f64),
+                ),
+                (
+                    "vector_ops".to_string(),
+                    Json::Num(out.exec.profile.vector_ops as f64),
+                ),
+                (
+                    "scalar_ops".to_string(),
+                    Json::Num(out.exec.profile.scalar_ops as f64),
+                ),
+            ]),
+        ));
+    }
+    Ok(Json::Obj(rows).render_compact())
+}
+
+// ---------------------------------------------------------------------
+// Connections and the server handle.
+// ---------------------------------------------------------------------
+
+/// Serves one connection: reads request lines, answers in request order.
+///
+/// The reply pipeline is the heart of ordered pipelining: every request
+/// gets an `mpsc` channel whose receiver is pushed (in request order)
+/// onto the writer's queue; the writer blocks on the *oldest* pending
+/// reply, so out-of-order compile completions are reordered before
+/// hitting the wire.
+pub fn serve_connection(state: &Arc<ServerState>, reader: impl BufRead, writer: impl Write + Send) {
+    let span = Span::enter(SPAN_CONNECTION);
+    let writer = Mutex::new(writer);
+    // Replies handed to the writer thread but not yet written. While this
+    // is zero the writer is idle and its queue empty, so the reader may
+    // write an already-available reply itself — the warm fast path, which
+    // skips two thread handoffs per request (that is most of a memo hit's
+    // latency on a loaded box).
+    let pending_writes = AtomicUsize::new(0);
+    let write_line = |line: &str| {
+        let mut w = writer.lock().unwrap_or_else(|e| e.into_inner());
+        writeln!(w, "{line}").and_then(|()| w.flush()).is_ok()
+    };
+    let (tx_order, rx_order) = mpsc::channel::<mpsc::Receiver<String>>();
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            let mut broken = false;
+            for pending in rx_order {
+                // On any failure keep draining so compile workers never
+                // block on a dead connection's channels.
+                if let Ok(line) = pending.recv() {
+                    if !broken && !write_line(&line) {
+                        broken = true;
+                    }
+                }
+                pending_writes.fetch_sub(1, Ordering::Release);
+            }
+        });
+        for line in reader.lines() {
+            let Ok(line) = line else { break };
+            if line.trim().is_empty() {
+                continue;
+            }
+            let (tx, rx) = mpsc::channel();
+            state.handle_line(&line, tx);
+            // Already answered (stats, memo hit, busy, error) with
+            // nothing queued ahead? Write it in-line; ordering is safe
+            // because the writer has provably finished everything else.
+            if pending_writes.load(Ordering::Acquire) == 0 {
+                if let Ok(ready) = rx.try_recv() {
+                    if !write_line(&ready) {
+                        break;
+                    }
+                    continue;
+                }
+            }
+            pending_writes.fetch_add(1, Ordering::Release);
+            if tx_order.send(rx).is_err() {
+                break;
+            }
+        }
+        drop(tx_order);
+    });
+    drop(span);
+}
+
+/// A running server: shard workers plus (optionally) a Unix-socket
+/// accept loop. Dropping without [`Server::shutdown`] leaks the worker
+/// threads until process exit — fine for a daemon, rude in tests.
+#[derive(Debug)]
+pub struct Server {
+    state: Arc<ServerState>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    listener: Option<(std::thread::JoinHandle<()>, PathBuf)>,
+}
+
+impl Server {
+    /// Starts the shard workers. No I/O yet: combine with
+    /// [`Server::bind_unix`] or [`Server::serve_stdio`].
+    pub fn start(cfg: ServeConfig) -> Server {
+        let state = Arc::new(ServerState::new(cfg));
+        let workers = (0..state.cfg.shards.max(1))
+            .map(|i| {
+                let state = state.clone();
+                std::thread::Builder::new()
+                    .name(format!("snslpd-shard-{i}"))
+                    .spawn(move || state.worker(i))
+                    .expect("spawn shard worker")
+            })
+            .collect();
+        Server {
+            state,
+            workers,
+            listener: None,
+        }
+    }
+
+    /// Shared state (for stats and in-process request handling).
+    pub fn state(&self) -> &Arc<ServerState> {
+        &self.state
+    }
+
+    /// Binds a Unix socket and spawns the accept loop. A stale socket
+    /// file at `path` is removed first.
+    pub fn bind_unix(&mut self, path: &Path) -> std::io::Result<()> {
+        let _ = std::fs::remove_file(path);
+        let listener = UnixListener::bind(path)?;
+        listener.set_nonblocking(true)?;
+        let state = self.state.clone();
+        let handle = std::thread::Builder::new()
+            .name("snslpd-accept".to_string())
+            .spawn(move || loop {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let state = state.clone();
+                        let _ = std::thread::Builder::new()
+                            .name("snslpd-conn".to_string())
+                            .spawn(move || {
+                                stream.set_nonblocking(false).ok();
+                                let reader = match stream.try_clone() {
+                                    Ok(s) => BufReader::new(s),
+                                    Err(_) => return,
+                                };
+                                serve_connection(&state, reader, stream);
+                            });
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        if state.stop.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(_) => break,
+                }
+            })?;
+        self.listener = Some((handle, path.to_path_buf()));
+        Ok(())
+    }
+
+    /// Serves stdin/stdout as one connection; returns at EOF.
+    pub fn serve_stdio(&self) {
+        let stdin = std::io::stdin();
+        serve_connection(&self.state, stdin.lock(), std::io::stdout());
+    }
+
+    /// Connects to this server in-process over a `UnixStream` pair —
+    /// used by tests and the in-process load generator.
+    pub fn connect_in_process(&self) -> std::io::Result<UnixStream> {
+        let (client, server_side) = UnixStream::pair()?;
+        let state = self.state.clone();
+        std::thread::Builder::new()
+            .name("snslpd-conn".to_string())
+            .spawn(move || {
+                let reader = match server_side.try_clone() {
+                    Ok(s) => BufReader::new(s),
+                    Err(_) => return,
+                };
+                serve_connection(&state, reader, server_side);
+            })?;
+        Ok(client)
+    }
+
+    /// Stops workers and the accept loop, removes the socket file.
+    pub fn shutdown(self) {
+        self.state.stop.store(true, Ordering::Relaxed);
+        for shard in &self.state.shards {
+            shard.cv.notify_all();
+        }
+        for w in self.workers {
+            let _ = w.join();
+        }
+        if let Some((handle, path)) = self.listener {
+            let _ = handle.join();
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}

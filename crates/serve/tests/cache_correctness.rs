@@ -1,0 +1,157 @@
+//! The service's core correctness property: a cached compile is
+//! **byte-identical** to the cold compile that populated the cache — for
+//! every checked-in `.snir` fixture and for 500 fuzz-generated cases,
+//! through both cache levels, and under concurrent clients.
+//!
+//! Three replays per module, each exercising a different path:
+//!
+//! * exact resubmission → the whole-request memo (no parse at all);
+//! * the same text with a prepended comment → memo miss (different text
+//!   hash) but function-level cache hits for every function;
+//! * concurrent clients resubmitting everything at once → cache reads
+//!   and in-batch dedupe under contention.
+//!
+//! Replies carry no wall-clock fields by construction, so "identical"
+//! here really is `assert_eq!` on the raw reply line.
+
+use std::path::PathBuf;
+
+use snslp_serve::proto::Request;
+use snslp_serve::{Client, ServeConfig, Server, STATUS_OK};
+
+const MODE: &str = "snslp";
+const TARGET: &str = "avx2";
+const FUZZ_CASES: u64 = 500;
+const FUZZ_SEED: u64 = 0x5E12_5EED;
+
+fn fixture_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../core/tests/snir")
+}
+
+/// Every checked-in `.snir` module: the curated fixtures plus the frozen
+/// fuzz regressions in `snir/fuzz/`.
+fn fixture_modules() -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    for dir in [fixture_dir(), fixture_dir().join("fuzz")] {
+        let entries = std::fs::read_dir(&dir)
+            .unwrap_or_else(|e| panic!("cannot read {}: {e}", dir.display()));
+        for entry in entries {
+            let path = entry.expect("fixture dir entry").path();
+            if path.extension().is_some_and(|e| e == "snir") {
+                let text = std::fs::read_to_string(&path)
+                    .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+                out.push((path.display().to_string(), text));
+            }
+        }
+    }
+    assert!(
+        out.len() >= 10,
+        "fixture sweep found only {} modules — wrong directory?",
+        out.len()
+    );
+    out.sort();
+    out
+}
+
+/// 500 fuzz cases grouped into multi-function modules.
+fn fuzz_modules() -> Vec<(String, String)> {
+    const PER_MODULE: u64 = 5;
+    (0..FUZZ_CASES / PER_MODULE)
+        .map(|m| {
+            let mut text = String::new();
+            for k in 0..PER_MODULE {
+                let case = snslp_fuzz::generate(FUZZ_SEED, m * PER_MODULE + k);
+                text.push_str(&case.function.to_string());
+                text.push('\n');
+            }
+            (format!("fuzz module {m}"), text)
+        })
+        .collect()
+}
+
+/// Sends `module` with a fixed id and asserts an `ok` reply.
+fn compile_ok(
+    client: &mut Client,
+    id: u64,
+    module: &str,
+    artifacts: &[&str],
+    what: &str,
+) -> String {
+    let line = Request::render_compile(id, module, MODE, TARGET, artifacts);
+    let reply = client
+        .round_trip(&line)
+        .unwrap_or_else(|e| panic!("{what}: round trip failed: {e}"));
+    assert_eq!(
+        reply.status, STATUS_OK,
+        "{what}: expected ok, got {} ({:?})",
+        reply.status, reply.error
+    );
+    reply.raw
+}
+
+#[test]
+fn cached_compiles_are_byte_identical_across_fixtures_and_fuzz_cases() {
+    let mut modules = fixture_modules();
+    modules.extend(fuzz_modules());
+
+    let server = Server::start(ServeConfig::default());
+    let mut client = Client::from_stream(server.connect_in_process().expect("connect"));
+
+    // Requesting the codegen artifact makes the check cover the cached
+    // *optimized function bodies*, not just the reports.
+    let artifacts = &["codegen"];
+    let mut cold = Vec::with_capacity(modules.len());
+    for (i, (what, text)) in modules.iter().enumerate() {
+        cold.push(compile_ok(&mut client, i as u64, text, artifacts, what));
+    }
+
+    // Path 1: exact replay → whole-request memo.
+    for (i, (what, text)) in modules.iter().enumerate() {
+        let warm = compile_ok(&mut client, i as u64, text, artifacts, what);
+        assert_eq!(
+            cold[i], warm,
+            "{what}: memo replay differs from cold compile"
+        );
+    }
+    assert!(
+        server.state().memo_hits() >= modules.len() as u64,
+        "exact replays should all hit the whole-request memo"
+    );
+
+    // Path 2: perturbed text (a comment changes the text hash but not
+    // the parse) → function-level cache.
+    for (i, (what, text)) in modules.iter().enumerate() {
+        let perturbed = format!("; cache probe\n{text}");
+        let warm = compile_ok(&mut client, i as u64, &perturbed, artifacts, what);
+        assert_eq!(
+            cold[i], warm,
+            "{what}: function-cache replay differs from cold compile"
+        );
+    }
+
+    // Path 3: four concurrent clients replaying everything.
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            let server = &server;
+            let modules = &modules;
+            let cold = &cold;
+            s.spawn(move || {
+                let mut client = Client::from_stream(server.connect_in_process().expect("connect"));
+                for (i, (what, text)) in modules.iter().enumerate() {
+                    let warm = compile_ok(&mut client, i as u64, text, artifacts, what);
+                    assert_eq!(
+                        cold[i], warm,
+                        "{what}: concurrent replay differs from cold compile"
+                    );
+                }
+            });
+        }
+    });
+
+    let stats = server.state().cache_stats();
+    assert!(
+        stats.hits > 0,
+        "replays never hit the function cache: {stats:?}"
+    );
+    server.shutdown();
+}

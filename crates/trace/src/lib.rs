@@ -50,6 +50,7 @@ mod event;
 pub mod metrics;
 pub mod prof;
 pub mod remark;
+pub mod serve;
 pub mod sink;
 
 pub use decision::DecisionId;

@@ -40,12 +40,18 @@ pub enum Counter {
     CostModelQueries,
     /// SLP graphs actually vectorized by codegen.
     GraphsVectorized,
+    /// Compile-artifact cache lookups answered without recompiling.
+    ArtifactCacheHits,
+    /// Compile-artifact cache lookups that required a compile.
+    ArtifactCacheMisses,
+    /// Compile-artifact cache entries evicted to stay under capacity.
+    ArtifactCacheEvictions,
     /// Optimization remarks produced.
     RemarksEmitted,
 }
 
 impl Counter {
-    pub const ALL: [Counter; 11] = [
+    pub const ALL: [Counter; 14] = [
         Counter::SeedsCollected,
         Counter::BundlesAttempted,
         Counter::LookaheadScoreEvals,
@@ -56,6 +62,9 @@ impl Counter {
         Counter::GathersEmitted,
         Counter::CostModelQueries,
         Counter::GraphsVectorized,
+        Counter::ArtifactCacheHits,
+        Counter::ArtifactCacheMisses,
+        Counter::ArtifactCacheEvictions,
         Counter::RemarksEmitted,
     ];
 
@@ -71,6 +80,9 @@ impl Counter {
             Counter::GathersEmitted => "gathers_emitted",
             Counter::CostModelQueries => "cost_model_queries",
             Counter::GraphsVectorized => "graphs_vectorized",
+            Counter::ArtifactCacheHits => "artifact_cache_hits",
+            Counter::ArtifactCacheMisses => "artifact_cache_misses",
+            Counter::ArtifactCacheEvictions => "artifact_cache_evictions",
             Counter::RemarksEmitted => "remarks_emitted",
         }
     }

@@ -312,7 +312,22 @@ fn main() -> ExitCode {
     let mut module = match parse_module(&source) {
         Ok(m) => m,
         Err(e) => {
-            eprintln!("snslpc: {e}");
+            eprintln!("snslpc: {}: {e}", opts.input);
+            // Show the offending source line with a caret under the
+            // column, rustc-style, so the error is fixable without
+            // opening the file and counting characters.
+            if let Some(text) = source.lines().nth(e.line.saturating_sub(1) as usize) {
+                eprintln!("  {} | {text}", e.line);
+                if e.col > 0 {
+                    let gutter = e.line.to_string().len();
+                    let pad: String = text
+                        .chars()
+                        .take(e.col.saturating_sub(1) as usize)
+                        .map(|c| if c == '\t' { '\t' } else { ' ' })
+                        .collect();
+                    eprintln!("  {} | {pad}^", " ".repeat(gutter));
+                }
+            }
             return ExitCode::FAILURE;
         }
     };

@@ -37,4 +37,5 @@ pub use snslp_fuzz as fuzz;
 pub use snslp_interp as interp;
 pub use snslp_ir as ir;
 pub use snslp_kernels as kernels;
+pub use snslp_serve as serve;
 pub use snslp_trace as trace;
