@@ -27,7 +27,11 @@
 //! increase (the pipeline is deterministic, so any increase is a real
 //! regression, not jitter) or on a predicted-vs-achieved calibration sign
 //! disagreement. Mispredictions beyond the calibration ratio band are
-//! printed as `cost-misprediction` remarks.
+//! printed as `cost-misprediction` remarks. On x86-64 hosts the fresh
+//! report also carries measured native wall times from the JIT backend;
+//! the three-axis table (predicted cost / simulated cycles / wall ns) is
+//! printed and the measured SN-SLP-vs-O3 wall geomean must stay above
+//! 1.0 over the JIT-covered kernels (skipped elsewhere).
 //!
 //! The `serve` subcommand gates the compile-service trajectory: it
 //! validates the checked-in `BENCH_serve.json` (schema + plausibility)
@@ -42,6 +46,11 @@
 //!   `bench_check [baseline.json]`
 //!   `bench_check dyn [--bless] [--out FILE] [baseline.json]`
 //!   `bench_check serve [--fresh FILE] [baseline.json]`
+//!
+//! Exit codes are distinct so CI can tell a broken artifact from a real
+//! regression (see `bench_check --help`): `0` all gates passed, `1` a
+//! gate was violated, `2` usage error, `3` a report failed schema
+//! validation or could not be read or written.
 
 use snslp_bench::dynstats::{calibrate, collect_kernel_dyn, misprediction_remarks, DynReport};
 use snslp_bench::measure_compile_times;
@@ -53,6 +62,40 @@ use snslp_trace::Facet;
 /// gate leaves plenty of room for the extra variance.
 const WARMUP_RUNS: usize = 2;
 const TIMED_RUNS: usize = 10;
+
+/// Exit code: a measured gate was violated (a real regression).
+const EXIT_GATE: i32 = 1;
+/// Exit code: usage error (unknown flag, missing flag argument).
+const EXIT_USAGE: i32 = 2;
+/// Exit code: a report is structurally unusable — missing or malformed
+/// baseline, schema violation, or a file that cannot be read/written.
+/// Distinct from [`EXIT_GATE`] so CI can tell a broken artifact from a
+/// genuine performance regression.
+const EXIT_SCHEMA: i32 = 3;
+
+fn print_help() {
+    println!(
+        "usage:
+  bench_check [baseline.json]
+      compile-time gate over the registry kernels
+      (default baseline: BENCH_compile_time.json)
+  bench_check dyn [--bless] [--out FILE] [baseline.json]
+      deterministic simulated-cycle gate + cost-model and wall-clock
+      calibration (default baseline: BENCH_dyn.json);
+      --bless rewrites the baseline, --out also writes the fresh report
+  bench_check serve [--fresh FILE] [baseline.json]
+      compile-service shape invariants (default: BENCH_serve.json)
+
+exit codes:
+  0  all gates passed
+  1  a gate was violated: compile-time regression, simulated-cycle
+     increase, calibration sign flip, measured wall-clock geomean <= 1,
+     or a serve shape invariant
+  2  usage error (unknown flag, missing flag argument)
+  3  a report failed schema validation or could not be read or written
+     (missing baseline, malformed JSON, implausible values)"
+    );
+}
 
 /// One comparable kernel: baseline vs fresh SN-SLP minimum.
 struct DeltaRow {
@@ -85,7 +128,7 @@ fn dyn_main(args: &[String]) -> ! {
                 it.next()
                     .unwrap_or_else(|| {
                         eprintln!("bench_check dyn: --out needs a file argument");
-                        std::process::exit(2);
+                        std::process::exit(EXIT_USAGE);
                     })
                     .clone(),
             );
@@ -93,7 +136,7 @@ fn dyn_main(args: &[String]) -> ! {
             out = Some(v.to_string());
         } else if arg.starts_with('-') {
             eprintln!("bench_check dyn: unknown flag {arg}");
-            std::process::exit(2);
+            std::process::exit(EXIT_USAGE);
         } else {
             baseline_path = arg.clone();
         }
@@ -105,19 +148,19 @@ fn dyn_main(args: &[String]) -> ! {
     // render/parse asymmetry would silently rot the checked-in baseline.
     if let Err(e) = DynReport::from_json(&json) {
         eprintln!("bench_check dyn: fresh report fails validation: {e}");
-        std::process::exit(1);
+        std::process::exit(EXIT_SCHEMA);
     }
     if let Some(out) = &out {
         std::fs::write(out, &json).unwrap_or_else(|e| {
             eprintln!("bench_check dyn: cannot write {out}: {e}");
-            std::process::exit(1);
+            std::process::exit(EXIT_SCHEMA);
         });
         println!("bench_check dyn: wrote fresh report to {out}");
     }
     if bless {
         std::fs::write(&baseline_path, &json).unwrap_or_else(|e| {
             eprintln!("bench_check dyn: cannot write {baseline_path}: {e}");
-            std::process::exit(1);
+            std::process::exit(EXIT_SCHEMA);
         });
         println!("bench_check dyn: blessed baseline {baseline_path}");
         std::process::exit(0);
@@ -128,11 +171,11 @@ fn dyn_main(args: &[String]) -> ! {
             "bench_check dyn: cannot read baseline {baseline_path}: {e} \
              (run `bench_check dyn --bless` to create it)"
         );
-        std::process::exit(1);
+        std::process::exit(EXIT_SCHEMA);
     });
     let baseline = DynReport::from_json(&text).unwrap_or_else(|e| {
         eprintln!("bench_check dyn: baseline {baseline_path} is malformed: {e}");
-        std::process::exit(1);
+        std::process::exit(EXIT_SCHEMA);
     });
 
     println!(
@@ -140,6 +183,7 @@ fn dyn_main(args: &[String]) -> ! {
         baseline.kernels.len()
     );
     print!("{}", fresh.calibration_table());
+    print!("{}", fresh.wall_table());
     let rows = calibrate(&fresh);
     let lines = snslp_trace::capture(Facet::Remarks as u32, || {
         misprediction_remarks(&rows);
@@ -171,7 +215,7 @@ fn dyn_main(args: &[String]) -> ! {
         Err(failures) => {
             eprintln!("{failures}");
             eprintln!("bench_check dyn: gate failed");
-            std::process::exit(1);
+            std::process::exit(EXIT_GATE);
         }
     }
 }
@@ -187,7 +231,7 @@ fn serve_main(args: &[String]) -> ! {
                 it.next()
                     .unwrap_or_else(|| {
                         eprintln!("bench_check serve: --fresh needs a file argument");
-                        std::process::exit(2);
+                        std::process::exit(EXIT_USAGE);
                     })
                     .clone(),
             );
@@ -195,31 +239,50 @@ fn serve_main(args: &[String]) -> ! {
             fresh_path = Some(v.to_string());
         } else if arg.starts_with('-') {
             eprintln!("bench_check serve: unknown flag {arg}");
-            std::process::exit(2);
+            std::process::exit(EXIT_USAGE);
         } else {
             baseline_path = arg.clone();
         }
     }
 
-    let mut failures = 0usize;
-    let mut gate = |path: &str, label: &str| match std::fs::read_to_string(path)
-        .map_err(|e| format!("cannot read {path}: {e}"))
-        .and_then(|text| ServeBenchReport::from_json(&text))
-        .and_then(|report| check_serve(&report, label))
-    {
-        Ok(summary) => print!("{summary}"),
-        Err(e) => {
-            eprintln!("bench_check serve: {e}");
-            failures += 1;
+    // Schema/IO problems and violated gates exit differently (3 vs 1),
+    // so read+parse is separated from the shape-invariant check.
+    let mut schema_failures = 0usize;
+    let mut gate_failures = 0usize;
+    let mut gate = |path: &str, label: &str| {
+        let report = match std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {path}: {e}"))
+            .and_then(|text| ServeBenchReport::from_json(&text))
+        {
+            Ok(report) => report,
+            Err(e) => {
+                eprintln!("bench_check serve: {e}");
+                schema_failures += 1;
+                return;
+            }
+        };
+        match check_serve(&report, label) {
+            Ok(summary) => print!("{summary}"),
+            Err(e) => {
+                eprintln!("bench_check serve: {e}");
+                gate_failures += 1;
+            }
         }
     };
     gate(&baseline_path, "baseline");
     if let Some(fresh) = &fresh_path {
         gate(fresh, "fresh");
     }
-    if failures > 0 {
-        eprintln!("bench_check serve: {failures} failure(s)");
-        std::process::exit(1);
+    if schema_failures + gate_failures > 0 {
+        eprintln!(
+            "bench_check serve: {} failure(s)",
+            schema_failures + gate_failures
+        );
+        std::process::exit(if schema_failures > 0 {
+            EXIT_SCHEMA
+        } else {
+            EXIT_GATE
+        });
     }
     println!("bench_check serve: all reports within the gate");
     std::process::exit(0);
@@ -227,6 +290,10 @@ fn serve_main(args: &[String]) -> ! {
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.iter().any(|a| a == "--help" || a == "-h") {
+        print_help();
+        std::process::exit(0);
+    }
     if argv.first().map(String::as_str) == Some("dyn") {
         dyn_main(&argv[1..]);
     }
@@ -239,11 +306,11 @@ fn main() {
         .unwrap_or_else(|| "BENCH_compile_time.json".to_string());
     let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
         eprintln!("bench_check: cannot read baseline {path}: {e}");
-        std::process::exit(1);
+        std::process::exit(EXIT_SCHEMA);
     });
     let baseline = CompileTimeReport::from_json(&text).unwrap_or_else(|e| {
         eprintln!("bench_check: baseline {path} is malformed: {e}");
-        std::process::exit(1);
+        std::process::exit(EXIT_SCHEMA);
     });
 
     let fresh = measure_compile_times(WARMUP_RUNS, TIMED_RUNS);
@@ -315,7 +382,7 @@ fn main() {
             }
         }
         eprintln!("bench_check: {failures} failure(s)");
-        std::process::exit(1);
+        std::process::exit(EXIT_GATE);
     }
     println!("bench_check: all kernels within the gate");
 }

@@ -104,6 +104,8 @@ fn dyn_tables() {
     print!("{}", report.lane_table());
     header("Cost calibration: predicted (static model) vs achieved (dynamic) saving per iteration");
     print!("{}", report.calibration_table());
+    header("Wall-clock calibration: simulated cycles vs measured native time (x86-64 JIT)");
+    print!("{}", report.wall_table());
 }
 
 /// Ablation (beyond the paper): SN-SLP with trunk reordering disabled

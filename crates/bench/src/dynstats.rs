@@ -59,6 +59,12 @@ pub struct ModeDyn {
     pub vectorized_graphs: u64,
     /// The interpreter's dynamic profile for the run.
     pub profile: DynProfile,
+    /// Measured native wall-clock nanoseconds of one run under the
+    /// x86-64 JIT backend (minimum over [`crate::WALL_REPEATS`]
+    /// invocations), or `None` when the JIT declined the function or the
+    /// host has no native backend. The third calibration axis next to
+    /// `predicted_cost` and `cycles`.
+    pub wall_ns: Option<u64>,
 }
 
 /// All pipelines of one kernel.
@@ -128,6 +134,7 @@ pub fn collect_kernel_dyn() -> DynReport {
                             .map(|rep| rep.vectorized_graphs() as u64)
                             .unwrap_or(0),
                         profile: r.profile.clone(),
+                        wall_ns: r.wall_ns,
                     }
                 })
                 .collect();
@@ -232,6 +239,92 @@ pub fn misprediction_remarks(rows: &[Calibration]) -> Vec<Remark> {
             remark
         })
         .collect()
+}
+
+// ---------------------------------------------------------------------
+// Wall-clock calibration: simulated cycles vs measured native time.
+// ---------------------------------------------------------------------
+
+/// Ratio band for the wall-clock join: a row's ns-per-simulated-cycle may
+/// differ from the median row by up to this factor in either direction
+/// before it is flagged. The simulated model abstracts caches, ILP and
+/// branch prediction, so per-kernel spread is expected; an order of
+/// magnitude beyond the median means the model badly mis-weights that
+/// kernel's op mix.
+pub const WALL_BAND: f64 = 8.0;
+
+/// One kernel/mode row joining the simulated-cycle axis against the
+/// measured native wall time (only rows the JIT actually covered).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WallCalibration {
+    /// Kernel name.
+    pub kernel: String,
+    /// Pipeline label (`o3`, `slp`, `lslp`, `snslp`).
+    pub mode: String,
+    /// Simulated execution cycles.
+    pub cycles: u64,
+    /// Measured native wall time, nanoseconds.
+    pub wall_ns: u64,
+    /// Measured nanoseconds per simulated cycle.
+    pub ns_per_cycle: f64,
+    /// This row's `ns_per_cycle` relative to the median row.
+    pub vs_median: f64,
+    /// Outside the [`WALL_BAND`] ratio band around the median.
+    pub outlier: bool,
+}
+
+/// Joins every JIT-covered kernel/mode pair of the report against the
+/// measured native wall time and flags ns-per-cycle outliers relative to
+/// the median row. Empty on hosts without the native backend.
+pub fn calibrate_wall(report: &DynReport) -> Vec<WallCalibration> {
+    let mut rows: Vec<WallCalibration> = Vec::new();
+    for k in &report.kernels {
+        for m in &k.modes {
+            let Some(wall_ns) = m.wall_ns else { continue };
+            if m.cycles == 0 {
+                continue;
+            }
+            rows.push(WallCalibration {
+                kernel: k.name.clone(),
+                mode: m.label.clone(),
+                cycles: m.cycles,
+                wall_ns,
+                ns_per_cycle: wall_ns as f64 / m.cycles as f64,
+                vs_median: 1.0,
+                outlier: false,
+            });
+        }
+    }
+    if rows.is_empty() {
+        return rows;
+    }
+    let mut npc: Vec<f64> = rows.iter().map(|r| r.ns_per_cycle).collect();
+    npc.sort_by(f64::total_cmp);
+    let median = npc[npc.len() / 2];
+    for r in &mut rows {
+        r.vs_median = r.ns_per_cycle / median;
+        r.outlier = !(1.0 / WALL_BAND..=WALL_BAND).contains(&r.vs_median);
+    }
+    rows
+}
+
+/// Geometric-mean measured wall speedup of `label` over the scalar `o3`
+/// pipeline across kernels where the JIT covered **both**, with the
+/// kernel count. `None` when no kernel qualifies (non-x86-64 hosts).
+pub fn wall_geomean(report: &DynReport, label: &str) -> Option<(f64, usize)> {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for k in &report.kernels {
+        let base = k.mode("o3").and_then(|m| m.wall_ns);
+        let this = k.mode(label).and_then(|m| m.wall_ns);
+        if let (Some(b), Some(t)) = (base, this) {
+            if b > 0 && t > 0 {
+                sum += (b as f64 / t as f64).ln();
+                n += 1;
+            }
+        }
+    }
+    (n > 0).then(|| ((sum / n as f64).exp(), n))
 }
 
 // ---------------------------------------------------------------------
@@ -368,6 +461,69 @@ impl DynReport {
         s
     }
 
+    /// The three-axis calibration table: for every JIT-covered
+    /// kernel/mode row, the statically *predicted* cost, the *simulated*
+    /// cycles, and the *measured* native wall time, joined through
+    /// ns-per-simulated-cycle against the median row. Footer lines give
+    /// the median and the measured wall-clock geomean speedups.
+    pub fn wall_table(&self) -> String {
+        let rows = calibrate_wall(self);
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "{:<18} {:<6} {:>10} {:>12} {:>12} {:>8} {:>9}  verdict",
+            "kernel", "mode", "predicted", "sim cycles", "wall ns", "ns/cyc", "vs median"
+        );
+        if rows.is_empty() {
+            let _ = writeln!(
+                s,
+                "(no native backend on this host: wall axis not measured)"
+            );
+            return s;
+        }
+        for r in &rows {
+            let predicted = self
+                .kernels
+                .iter()
+                .find(|k| k.name == r.kernel)
+                .and_then(|k| k.mode(&r.mode))
+                .map(|m| m.predicted_cost)
+                .unwrap_or(0);
+            let _ = writeln!(
+                s,
+                "{:<18} {:<6} {:>10} {:>12} {:>12} {:>8.3} {:>9.2}  {}",
+                r.kernel,
+                r.mode,
+                predicted,
+                r.cycles,
+                r.wall_ns,
+                r.ns_per_cycle,
+                r.vs_median,
+                if r.outlier { "OUTLIER" } else { "ok" },
+            );
+        }
+        let mut npc: Vec<f64> = rows.iter().map(|r| r.ns_per_cycle).collect();
+        npc.sort_by(f64::total_cmp);
+        let outliers = rows.iter().filter(|r| r.outlier).count();
+        let _ = writeln!(
+            s,
+            "{} rows, {} outliers (band {:.1}x around median {:.3} ns/cyc)",
+            rows.len(),
+            outliers,
+            WALL_BAND,
+            npc[npc.len() / 2],
+        );
+        for label in ["slp", "lslp", "snslp"] {
+            if let Some((geo, n)) = wall_geomean(self, label) {
+                let _ = writeln!(
+                    s,
+                    "measured wall geomean {label} vs o3: {geo:.3}x over {n} kernels"
+                );
+            }
+        }
+        s
+    }
+
     /// Renders the report as `snslp-dynstats/v1` JSON.
     pub fn to_json(&self) -> String {
         let kernels = self
@@ -432,6 +588,9 @@ impl DynReport {
 
 fn mode_to_json(m: &ModeDyn) -> Json {
     let p = &m.profile;
+    let wall = m
+        .wall_ns
+        .map(|w| ("wall_ns".to_string(), Json::Num(w as f64)));
     let ops = OpClass::ALL
         .iter()
         .map(|&c| (c.name().to_string(), Json::Num(p.ops_of(c) as f64)))
@@ -444,7 +603,7 @@ fn mode_to_json(m: &ModeDyn) -> Json {
         .filter(|&w| p.lanes_hist[w] > 0)
         .map(|w| (w.to_string(), Json::Num(p.lanes_hist[w] as f64)))
         .collect();
-    Json::Obj(vec![
+    let mut members = vec![
         ("cycles".to_string(), Json::Num(m.cycles as f64)),
         ("dyn_insts".to_string(), Json::Num(m.dyn_insts as f64)),
         (
@@ -455,27 +614,31 @@ fn mode_to_json(m: &ModeDyn) -> Json {
             "vectorized_graphs".to_string(),
             Json::Num(m.vectorized_graphs as f64),
         ),
-        (
-            "profile".to_string(),
-            Json::Obj(vec![
-                ("ops".to_string(), Json::Obj(ops)),
-                ("class_cycles".to_string(), Json::Obj(cycles)),
-                ("scalar_ops".to_string(), Json::Num(p.scalar_ops as f64)),
-                ("vector_ops".to_string(), Json::Num(p.vector_ops as f64)),
-                ("lane_slots".to_string(), Json::Num(p.lane_slots as f64)),
-                ("lanes".to_string(), Json::Obj(lanes)),
-                ("loads".to_string(), Json::Num(p.loads as f64)),
-                ("stores".to_string(), Json::Num(p.stores as f64)),
-                ("bytes_loaded".to_string(), Json::Num(p.bytes_loaded as f64)),
-                ("bytes_stored".to_string(), Json::Num(p.bytes_stored as f64)),
-                ("inserts".to_string(), Json::Num(p.inserts as f64)),
-                ("extracts".to_string(), Json::Num(p.extracts as f64)),
-                ("gathers".to_string(), Json::Num(p.gathers as f64)),
-                ("shuffles".to_string(), Json::Num(p.shuffles as f64)),
-                ("splats".to_string(), Json::Num(p.splats as f64)),
-            ]),
-        ),
-    ])
+    ];
+    // Optional so baselines written on hosts without the native backend
+    // (or before the JIT existed) stay parseable.
+    members.extend(wall);
+    members.push((
+        "profile".to_string(),
+        Json::Obj(vec![
+            ("ops".to_string(), Json::Obj(ops)),
+            ("class_cycles".to_string(), Json::Obj(cycles)),
+            ("scalar_ops".to_string(), Json::Num(p.scalar_ops as f64)),
+            ("vector_ops".to_string(), Json::Num(p.vector_ops as f64)),
+            ("lane_slots".to_string(), Json::Num(p.lane_slots as f64)),
+            ("lanes".to_string(), Json::Obj(lanes)),
+            ("loads".to_string(), Json::Num(p.loads as f64)),
+            ("stores".to_string(), Json::Num(p.stores as f64)),
+            ("bytes_loaded".to_string(), Json::Num(p.bytes_loaded as f64)),
+            ("bytes_stored".to_string(), Json::Num(p.bytes_stored as f64)),
+            ("inserts".to_string(), Json::Num(p.inserts as f64)),
+            ("extracts".to_string(), Json::Num(p.extracts as f64)),
+            ("gathers".to_string(), Json::Num(p.gathers as f64)),
+            ("shuffles".to_string(), Json::Num(p.shuffles as f64)),
+            ("splats".to_string(), Json::Num(p.splats as f64)),
+        ]),
+    ));
+    Json::Obj(members)
 }
 
 fn num_field(obj: &Json, key: &str, ctx: &str) -> Result<u64, String> {
@@ -498,6 +661,11 @@ fn mode_from_json(label: &str, m: &Json, kernel: &str) -> Result<ModeDyn, String
         .and_then(Json::as_num)
         .ok_or_else(|| format!("{ctx}: missing predicted_cost"))? as i64;
     let vectorized_graphs = num_field(m, "vectorized_graphs", &ctx)?;
+    // Optional: absent in baselines from hosts without the native JIT.
+    let wall_ns = match m.get("wall_ns") {
+        None => None,
+        Some(_) => Some(num_field(m, "wall_ns", &ctx)?),
+    };
     let prof = m
         .get("profile")
         .ok_or_else(|| format!("{ctx}: missing profile"))?;
@@ -561,6 +729,7 @@ fn mode_from_json(label: &str, m: &Json, kernel: &str) -> Result<ModeDyn, String
         predicted_cost,
         vectorized_graphs,
         profile,
+        wall_ns,
     })
 }
 
@@ -621,6 +790,18 @@ pub fn check_dyn(baseline: &DynReport, fresh: &DynReport) -> Result<String, Stri
             ));
         }
     }
+    // Wall gate, fresh-only (the baseline may predate the JIT or come
+    // from another host): on kernels where the native backend covered
+    // both SN-SLP and scalar O3, the measured wall-clock geomean must
+    // show a real win, not just a simulated one. Skipped when no kernel
+    // is covered (non-x86-64 hosts).
+    if let Some((geo, n)) = wall_geomean(fresh, "snslp") {
+        if geo <= 1.0 {
+            failures.push(format!(
+                "measured wall geomean snslp vs o3 is {geo:.3}x <= 1.0 over {n} JIT-covered kernels"
+            ));
+        }
+    }
     if failures.is_empty() {
         Ok(table)
     } else {
@@ -667,6 +848,7 @@ mod tests {
                         .map(|rep| rep.vectorized_graphs() as u64)
                         .unwrap_or(0),
                     profile: r.profile.clone(),
+                    wall_ns: r.wall_ns,
                 }
             })
             .collect();
@@ -745,6 +927,65 @@ mod tests {
         // A missing kernel is also a failure.
         let empty = DynReport { kernels: vec![] };
         assert!(check_dyn(&base, &empty).is_err());
+    }
+
+    #[test]
+    fn wall_axis_round_trips_and_calibrates() {
+        let mut r = one_kernel_report("motiv_leaf");
+        // Force known wall numbers so the test is platform-independent:
+        // o3 slower than snslp in measured time, all rows near one
+        // ns-per-cycle scale.
+        for (m, wall) in r.kernels[0]
+            .modes
+            .iter_mut()
+            .zip([4000u64, 3500, 3600, 1500])
+        {
+            m.wall_ns = Some(wall);
+        }
+        let back = DynReport::from_json(&r.to_json()).unwrap();
+        assert_eq!(r, back, "wall_ns must survive the JSON round trip");
+
+        let rows = calibrate_wall(&r);
+        assert_eq!(rows.len(), 4);
+        assert!(rows.iter().all(|w| !w.outlier), "{rows:?}");
+        let (geo, n) = wall_geomean(&r, "snslp").unwrap();
+        assert_eq!(n, 1);
+        assert!(geo > 1.0, "geo {geo}");
+        let table = r.wall_table();
+        assert!(table.contains("ns/cyc"), "{table}");
+        assert!(table.contains("measured wall geomean snslp vs o3"));
+        assert!(check_dyn(&r, &r).is_ok());
+
+        // A measured slowdown under SN-SLP trips the fresh-only gate.
+        let mut slow = r.clone();
+        slow.kernels[0].modes[3].wall_ns = Some(9000);
+        let err = check_dyn(&r, &slow).unwrap_err();
+        assert!(err.contains("wall geomean"), "{err}");
+
+        // Hosts without the backend skip the wall gate entirely.
+        let mut bare = r.clone();
+        for m in &mut bare.kernels[0].modes {
+            m.wall_ns = None;
+        }
+        assert!(calibrate_wall(&bare).is_empty());
+        assert!(wall_geomean(&bare, "snslp").is_none());
+        assert!(bare.wall_table().contains("no native backend"));
+        assert!(check_dyn(&bare, &bare).is_ok());
+    }
+
+    #[test]
+    fn native_host_measures_wall_time() {
+        if !snslp_jit::native_supported() {
+            return;
+        }
+        let r = one_kernel_report("motiv_leaf");
+        for m in &r.kernels[0].modes {
+            assert!(
+                m.wall_ns.is_some_and(|w| w > 0),
+                "{} not JIT-covered on a native host",
+                m.label
+            );
+        }
     }
 
     #[test]

@@ -24,7 +24,7 @@ use std::time::{Duration, Instant};
 
 use snslp_core::{optimize_o3, run_slp, FunctionReport, SlpConfig, SlpMode};
 use snslp_cost::CostModel;
-use snslp_interp::{run_with_args, DynProfile, ExecOptions};
+use snslp_interp::{run_with_args, ArgSpec, DynProfile, ExecOptions};
 use snslp_ir::Function;
 use snslp_kernels::{Benchmark, Kernel};
 use snslp_trace::{Counter, MetricsSnapshot};
@@ -68,6 +68,12 @@ pub struct ModeResult {
     pub compile_time: Duration,
     /// Dynamic execution profile of the measured run.
     pub profile: DynProfile,
+    /// Measured native wall-clock time of one run under the x86-64 JIT
+    /// backend (minimum over [`WALL_REPEATS`] invocations), or `None`
+    /// when the JIT declined the function or the platform has no native
+    /// backend. The simulated `cycles` stay the headline number; this is
+    /// the third calibration axis.
+    pub wall_ns: Option<u64>,
 }
 
 /// All configurations of one kernel.
@@ -96,6 +102,34 @@ impl KernelRow {
     pub fn speedup(&self, mode: Option<SlpMode>) -> f64 {
         self.result(None).cycles as f64 / self.result(mode).cycles as f64
     }
+}
+
+/// Timed native invocations per function; the minimum is reported, which
+/// is the standard estimator for the noise-free wall time of a
+/// deterministic computation.
+pub const WALL_REPEATS: usize = 15;
+
+/// Measures the native wall-clock time of one run of `f` on `args` under
+/// the x86-64 JIT backend: compile once, then the minimum of
+/// [`WALL_REPEATS`] timed invocations, each on freshly materialized
+/// memory (identical layout to the interpreter run).
+///
+/// Returns `None` when the JIT declines the function, the platform has
+/// no native backend, or execution traps — in all of those cases the
+/// simulated-cycle axis remains the only number for this function.
+pub fn native_wall_ns(f: &Function, args: &[ArgSpec]) -> Option<u64> {
+    let native = snslp_jit::compile(f).ok()?.finalize().ok()?;
+    let opts = ExecOptions::default();
+    let mut best: Option<u64> = None;
+    for _ in 0..WALL_REPEATS {
+        let (mut mem, values) = snslp_jit::materialize_args(args);
+        let start = Instant::now();
+        let out = native.invoke(&values, &mut mem, &opts);
+        let ns = start.elapsed().as_nanos() as u64;
+        out.ok()?;
+        best = Some(best.map_or(ns, |b| b.min(ns)));
+    }
+    best
 }
 
 /// Compiles `f` under `mode` (in place) and returns the pass report and
@@ -140,6 +174,7 @@ pub fn measure_kernel_modes(kernel: &Kernel, iters: usize, modes: &[Option<SlpMo
             let (report, compile_time) = compile(&mut f, mode);
             let out = run_with_args(&f, &args, &model, &ExecOptions::default())
                 .unwrap_or_else(|e| panic!("{} [{}]: {e}", kernel.name, mode_label(mode)));
+            let wall_ns = native_wall_ns(&f, &args);
             ModeResult {
                 mode,
                 cycles: out.exec.cycles,
@@ -147,6 +182,7 @@ pub fn measure_kernel_modes(kernel: &Kernel, iters: usize, modes: &[Option<SlpMo
                 report,
                 compile_time,
                 profile: out.exec.profile,
+                wall_ns,
             }
         })
         .collect();
@@ -218,6 +254,10 @@ pub fn measure_benchmark(bench: &Benchmark) -> BenchRow {
             let mut compile_time = Duration::ZERO;
             let mut merged: Option<FunctionReport> = None;
             let mut profile = DynProfile::new();
+            // Composite wall time is the sum over member functions; any
+            // member the JIT declines voids the whole composite's wall
+            // number (a partial sum would not be comparable).
+            let mut wall_ns: Option<u64> = Some(0);
             for (mut f, args) in bench.functions() {
                 let (report, t) = compile(&mut f, mode);
                 compile_time += t;
@@ -234,6 +274,10 @@ pub fn measure_benchmark(bench: &Benchmark) -> BenchRow {
                 cycles += out.exec.cycles;
                 dyn_insts += out.exec.dyn_insts;
                 profile.merge(&out.exec.profile);
+                wall_ns = match (wall_ns, native_wall_ns(&f, &args)) {
+                    (Some(acc), Some(w)) => Some(acc + w),
+                    _ => None,
+                };
             }
             ModeResult {
                 mode,
@@ -242,6 +286,7 @@ pub fn measure_benchmark(bench: &Benchmark) -> BenchRow {
                 report: merged,
                 compile_time,
                 profile,
+                wall_ns,
             }
         })
         .collect();

@@ -212,6 +212,31 @@ fn cost_misprediction_remark_renders() {
 }
 
 #[test]
+fn jit_fallback_remark_renders() {
+    // JIT-fallback remarks are emitted by `snslp-jit::compile` when the
+    // native backend declines a function (unsupported opcode, oversized
+    // frame) and the interpreter result stands. The jit crate sits above
+    // this one, so the golden renders a remark with exactly the shape
+    // `snslp_jit::fallback_remark` constructs through the same sink.
+    let remark = snslp_trace::Remark {
+        pass: "jit".to_string(),
+        function: "@cast_heavy".to_string(),
+        block: "entry".to_string(),
+        site: "%0".to_string(),
+        inst: 0,
+        decision: snslp_trace::DecisionId::new("cast_heavy", "entry", 0, 0),
+        seed_kind: "function".to_string(),
+        width: 0,
+        vectorized: false,
+        reason: snslp_trace::ReasonCode::JitFallback,
+        cost: None,
+        detail: "cast fptosi is not lowered".to_string(),
+    };
+    let lines = snslp_trace::capture(Facet::Remarks as u32, || remark.emit());
+    compare_golden("jit_fallback_synthetic", &(lines.join("\n") + "\n"));
+}
+
+#[test]
 fn every_reason_code_appears_in_a_golden_stream() {
     // Exhaustiveness: each ReasonCode must be exercised by at least one
     // checked-in golden remark stream, so a renderer or classifier change

@@ -8,6 +8,14 @@
 //! [`snslp_interp::outcomes_match`]); traps count as comparable outcomes
 //! and must agree in kind. On top of execution equivalence, a set of
 //! structural invariants is cross-checked on every [`FunctionReport`].
+//!
+//! A second, stricter differential axis runs per function: the native
+//! x86-64 JIT backend executes the *same* function as the interpreter
+//! via [`snslp_jit::check_backends`], where every observable (return
+//! bits, trap kind, remaining fuel, the whole memory image) must match
+//! **bit-exactly** — there is no reassociation tolerance because both
+//! backends run identical IR. Functions the JIT declines are fallback,
+//! not divergence.
 
 use std::sync::Mutex;
 
@@ -68,7 +76,8 @@ pub struct Divergence {
     /// Case index within the batch.
     pub index: u64,
     /// Stage that failed: `o3`, a mode label (`slp`, `lslp`, `snslp`),
-    /// or `<stage>-verify` / `<stage>-invariant` variants.
+    /// `<stage>-verify` / `<stage>-invariant` variants, or `jit` /
+    /// `<mode>-jit` for interpreter-vs-native differential failures.
     pub stage: String,
     /// Human-readable description of the mismatch.
     pub detail: String,
@@ -362,6 +371,12 @@ pub fn check_case(
         .and_then(|()| check_scalar_profile(&baseline))
         .map_err(|e| fail("baseline-dyn-invariant", e))?;
 
+    // Interpreter vs native JIT on the untransformed function: every
+    // observable must match bit-exactly (a declined function is not a
+    // divergence).
+    snslp_jit::check_backends(&case.function, &case.args, model, &ExecOptions::default())
+        .map_err(|e| fail("jit", e))?;
+
     // Scalar O3 cleanup alone must already be semantics-preserving.
     let mut o3 = case.function.clone();
     optimize_o3(&mut o3);
@@ -404,6 +419,11 @@ pub fn check_case(
         check_profile_totals(&after)
             .and_then(|()| check_mem_traffic(&baseline, &after))
             .map_err(|e| fail(&format!("{key}-dyn-invariant"), e))?;
+        // The vectorized variant must also execute identically under the
+        // native backend — this is the path where a miscompiled SSE
+        // lowering of a committed SN-SLP graph would surface.
+        snslp_jit::check_backends(&f, &case.args, model, &ExecOptions::default())
+            .map_err(|e| fail(&format!("{key}-jit"), e))?;
         reports.push(report);
     }
     let baseline_trap = match baseline {
@@ -432,6 +452,28 @@ mod tests {
                 panic!("unexpected divergence: {d}\n{}", d.function);
             }
         }
+    }
+
+    #[test]
+    fn jit_axis_is_exercised_non_vacuously() {
+        // The `jit` / `<mode>-jit` stages must not be permanently
+        // NotCovered: on a native host, a healthy share of generated
+        // cases actually runs under both backends.
+        if !snslp_jit::native_supported() {
+            return;
+        }
+        let model = CostModel::default();
+        let opts = ExecOptions::default();
+        let covered = (0..40)
+            .filter(|&i| {
+                let case = generate(0xFA22, i);
+                matches!(
+                    snslp_jit::check_backends(&case.function, &case.args, &model, &opts),
+                    Ok(snslp_jit::BackendDiff::Agreed)
+                )
+            })
+            .count();
+        assert!(covered > 0, "no generated case was JIT-covered");
     }
 
     #[test]

@@ -259,6 +259,68 @@ mod tests {
     }
 
     #[test]
+    fn shrinks_a_jit_differential_reproducer() {
+        use snslp_cost::CostModel;
+        use snslp_interp::ExecOptions;
+        use snslp_ir::CastKind;
+
+        // The fuzz driver shrinks a `jit`-stage divergence with a
+        // predicate that re-runs the backend differential. Exercise the
+        // same plumbing against the JIT coverage boundary: one lane of a
+        // vectorizable function smuggles in `fptosi`, which the JIT
+        // declines, and the reducer must strip everything else while the
+        // differential keeps reporting that exact reason.
+        let mut fb = FunctionBuilder::new(
+            "jitred",
+            vec![Param::noalias_ptr("dst"), Param::noalias_ptr("s0")],
+            Type::Void,
+        );
+        let dst = fb.func().param(0);
+        let s0 = fb.func().param(1);
+        for lane in 0..4 {
+            let p = fb.ptradd_const(s0, lane * 8);
+            let x = fb.load(ScalarType::F64, p);
+            let c = fb.const_f64(2.5);
+            let m = fb.mul(x, c);
+            let q = fb.ptradd_const(dst, lane * 8);
+            fb.store(q, m);
+        }
+        let p = fb.ptradd_const(s0, 0);
+        let x = fb.load(ScalarType::F64, p);
+        let i = fb.cast(CastKind::Fptosi, ScalarType::I64, x);
+        let q = fb.ptradd_const(dst, 64);
+        fb.store(q, i);
+        fb.ret(None);
+        let case = Case {
+            function: fb.finish(),
+            args: vec![
+                ArgSpec::F64Array(vec![0.0; 16]),
+                ArgSpec::F64Array(vec![1.0; 8]),
+            ],
+            seed: 0,
+            index: 0,
+        };
+
+        let model = CostModel::default();
+        let opts = ExecOptions::default();
+        let still_uncovered = |c: &Case| {
+            matches!(
+                snslp_jit::check_backends(&c.function, &c.args, &model, &opts),
+                Ok(snslp_jit::BackendDiff::NotCovered { ref reason }) if reason.contains("fptosi")
+            )
+        };
+        let before = case.function.num_linked_insts();
+        let (min, stats) = reduce(&case, still_uncovered);
+        assert!(stats.insts_after < before, "reducer made no progress");
+        assert!(
+            min.function.to_string().contains("fptosi"),
+            "survivor lost the reproducer:\n{}",
+            min.function
+        );
+        verify(&min.function).unwrap();
+    }
+
+    #[test]
     fn unreproducible_case_is_returned_unchanged() {
         let case = sample_case();
         let (same, stats) = reduce(&case, |_| false);

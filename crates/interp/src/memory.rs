@@ -27,6 +27,13 @@ impl Memory {
         self.bytes.len() as u64
     }
 
+    /// Raw mutable access to the full backing store. Used by the native
+    /// JIT backend, which performs its own bounds checks against
+    /// [`Memory::size`] and honors the same reserved null page.
+    pub fn as_mut_slice(&mut self) -> &mut [u8] {
+        &mut self.bytes
+    }
+
     /// Allocates `size` zeroed bytes, returning the base address
     /// (64-byte aligned).
     pub fn alloc(&mut self, size: u64) -> u64 {

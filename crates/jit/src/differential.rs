@@ -1,0 +1,157 @@
+//! Backend differential checking: interpreter vs native JIT.
+//!
+//! Unlike the interpreter's own [`snslp_interp::check_equivalent`] — which
+//! compares an *original* against a *transformed* function and therefore
+//! tolerates fast-math reassociation noise — both backends here execute
+//! the **same** function, so every observable must agree **bit-exactly**:
+//! the returned value's bit pattern, the trap kind, the remaining fuel,
+//! and the entire final memory image.
+
+use snslp_cost::CostModel;
+use snslp_interp::{run, ArgSpec, ExecOptions, Memory, Value};
+use snslp_ir::Function;
+
+use crate::JitError;
+
+/// Outcome of a backend differential run that did not diverge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BackendDiff {
+    /// The JIT declined the function (unsupported construct or platform);
+    /// nothing was compared and the interpreter remains authoritative.
+    NotCovered {
+        /// Why the native backend was not exercised.
+        reason: String,
+    },
+    /// Both backends ran and every observable matched bit-exactly.
+    Agreed,
+}
+
+/// Materializes `args` exactly as [`snslp_interp::run_with_args`] does:
+/// fresh memory, arrays allocated in argument order. Doing it twice with
+/// the same specs yields byte-identical layouts, which is what makes the
+/// whole-image comparison meaningful. Public so the bench harness can
+/// rebuild identical inputs for repeated wall-clock invocations.
+pub fn materialize_args(args: &[ArgSpec]) -> (Memory, Vec<Value>) {
+    let mut mem = Memory::new();
+    let mut values = Vec::with_capacity(args.len());
+    for a in args {
+        match a {
+            ArgSpec::F64Array(d) => values.push(Value::Ptr(mem.alloc_slice_f64(d))),
+            ArgSpec::F32Array(d) => values.push(Value::Ptr(mem.alloc_slice_f32(d))),
+            ArgSpec::I32Array(d) => values.push(Value::Ptr(mem.alloc_slice_i32(d))),
+            ArgSpec::I64Array(d) => values.push(Value::Ptr(mem.alloc_slice_i64(d))),
+            ArgSpec::I64(v) => values.push(Value::I64(*v)),
+            ArgSpec::I32(v) => values.push(Value::I32(*v)),
+            ArgSpec::F64(v) => values.push(Value::F64(*v)),
+            ArgSpec::F32(v) => values.push(Value::F32(*v)),
+        }
+    }
+    (mem, values)
+}
+
+fn bits_eq(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::I32(x), Value::I32(y)) => x == y,
+        (Value::I64(x), Value::I64(y)) => x == y,
+        (Value::F32(x), Value::F32(y)) => x.to_bits() == y.to_bits(),
+        (Value::F64(x), Value::F64(y)) => x.to_bits() == y.to_bits(),
+        (Value::Ptr(x), Value::Ptr(y)) => x == y,
+        (Value::Vector(x), Value::Vector(y)) => {
+            x.len() == y.len() && x.iter().zip(y).all(|(u, v)| bits_eq(u, v))
+        }
+        _ => false,
+    }
+}
+
+fn memories_eq(a: &Memory, b: &Memory) -> Result<(), String> {
+    let (sa, sb) = (a.snapshot(), b.snapshot());
+    if sa.len() != sb.len() {
+        return Err(format!(
+            "memory sizes differ: interp {} vs jit {}",
+            sa.len(),
+            sb.len()
+        ));
+    }
+    if let Some(i) = (0..sa.len()).find(|&i| sa[i] != sb[i]) {
+        return Err(format!(
+            "memory differs at byte {i:#x}: interp {:#04x} vs jit {:#04x}",
+            sa[i], sb[i]
+        ));
+    }
+    Ok(())
+}
+
+/// Runs `f` under both backends on identical inputs and compares every
+/// observable bit-exactly.
+///
+/// # Errors
+///
+/// Returns a description of the first divergence between the two
+/// backends. A function the JIT declines is **not** a divergence — that
+/// is the documented fallback contract and reports as
+/// [`BackendDiff::NotCovered`].
+pub fn check_backends(
+    f: &Function,
+    args: &[ArgSpec],
+    model: &CostModel,
+    opts: &ExecOptions,
+) -> Result<BackendDiff, String> {
+    let compiled = match crate::compile(f) {
+        Ok(c) => c,
+        Err(JitError::Unsupported { reason }) => return Ok(BackendDiff::NotCovered { reason }),
+        Err(JitError::Platform(reason)) => return Ok(BackendDiff::NotCovered { reason }),
+    };
+    let native = match compiled.finalize() {
+        Ok(n) => n,
+        Err(e) => {
+            return Ok(BackendDiff::NotCovered {
+                reason: e.to_string(),
+            })
+        }
+    };
+
+    let (mut mem_interp, values) = materialize_args(args);
+    let (mut mem_jit, _) = materialize_args(args);
+
+    let interp = run(f, &values, &mut mem_interp, model, opts);
+    let jit = native.invoke(&values, &mut mem_jit, opts);
+
+    match (interp, jit) {
+        (Ok(ir), Ok(jr)) => {
+            match (&ir.ret, &jr.ret) {
+                (None, None) => {}
+                (Some(x), Some(y)) if bits_eq(x, y) => {}
+                (x, y) => {
+                    return Err(format!("return values differ: interp {x:?} vs jit {y:?}"));
+                }
+            }
+            let interp_fuel_left = opts.fuel - ir.dyn_insts;
+            if interp_fuel_left != jr.fuel_remaining {
+                return Err(format!(
+                    "fuel accounting differs: interp leaves {interp_fuel_left}, jit leaves {}",
+                    jr.fuel_remaining
+                ));
+            }
+            memories_eq(&mem_interp, &mem_jit)?;
+            Ok(BackendDiff::Agreed)
+        }
+        (Err(ei), Err(ej)) => match (ei.as_trap(), ej.as_trap()) {
+            (Some(ti), Some(tj)) if ti.kind() == tj.kind() => {
+                memories_eq(&mem_interp, &mem_jit)?;
+                Ok(BackendDiff::Agreed)
+            }
+            // Both rejected the inputs / IR before running (e.g. bad
+            // argument count): equally failing is agreement.
+            (None, None) => Ok(BackendDiff::Agreed),
+            _ => Err(format!("errors differ: interp `{ei}` vs jit `{ej}`")),
+        },
+        (Ok(ir), Err(ej)) => Err(format!(
+            "interp returned {:?} but jit failed with `{ej}`",
+            ir.ret
+        )),
+        (Err(ei), Ok(jr)) => Err(format!(
+            "interp failed with `{ei}` but jit returned {:?}",
+            jr.ret
+        )),
+    }
+}

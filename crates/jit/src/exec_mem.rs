@@ -1,0 +1,167 @@
+//! Executable code memory, with no dependency on libc.
+//!
+//! On `x86_64-linux` the three needed system calls (`mmap`, `mprotect`,
+//! `munmap`) are issued directly via inline assembly; everywhere else
+//! [`ExecMem::new`] reports the platform as unsupported and callers fall
+//! back to the interpreter. Pages are mapped writable, filled, then
+//! flipped to read+execute — the buffer is never writable and executable
+//! at the same time.
+
+use std::fmt;
+
+/// Why code memory could not be materialized.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MapError(pub String);
+
+impl fmt::Display for MapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "executable mapping failed: {}", self.0)
+    }
+}
+
+/// An owned read+execute mapping holding finalized machine code.
+pub struct ExecMem {
+    ptr: *mut u8,
+    len: usize,
+}
+
+impl fmt::Debug for ExecMem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ExecMem").field("len", &self.len).finish()
+    }
+}
+
+// The mapping is immutable (RX) after construction and freed exactly once
+// in `Drop`, so moving it across threads is sound.
+unsafe impl Send for ExecMem {}
+unsafe impl Sync for ExecMem {}
+
+#[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+mod sys {
+    const SYS_MMAP: usize = 9;
+    const SYS_MPROTECT: usize = 10;
+    const SYS_MUNMAP: usize = 11;
+
+    pub const PROT_READ: usize = 1;
+    pub const PROT_WRITE: usize = 2;
+    pub const PROT_EXEC: usize = 4;
+    const MAP_PRIVATE: usize = 2;
+    const MAP_ANONYMOUS: usize = 32;
+
+    /// Raw syscall; returns the kernel's result (negative errno on error).
+    unsafe fn syscall6(
+        n: usize,
+        a: usize,
+        b: usize,
+        c: usize,
+        d: usize,
+        e: usize,
+        f: usize,
+    ) -> isize {
+        let ret: isize;
+        core::arch::asm!(
+            "syscall",
+            inlateout("rax") n => ret,
+            in("rdi") a,
+            in("rsi") b,
+            in("rdx") c,
+            in("r10") d,
+            in("r8") e,
+            in("r9") f,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+        ret
+    }
+
+    pub unsafe fn mmap_anon_rw(len: usize) -> Result<*mut u8, isize> {
+        let r = syscall6(
+            SYS_MMAP,
+            0,
+            len,
+            PROT_READ | PROT_WRITE,
+            MAP_PRIVATE | MAP_ANONYMOUS,
+            usize::MAX, // fd = -1
+            0,
+        );
+        if r < 0 {
+            Err(r)
+        } else {
+            Ok(r as *mut u8)
+        }
+    }
+
+    pub unsafe fn mprotect(ptr: *mut u8, len: usize, prot: usize) -> Result<(), isize> {
+        let r = syscall6(SYS_MPROTECT, ptr as usize, len, prot, 0, 0, 0);
+        if r < 0 {
+            Err(r)
+        } else {
+            Ok(())
+        }
+    }
+
+    pub unsafe fn munmap(ptr: *mut u8, len: usize) {
+        let _ = syscall6(SYS_MUNMAP, ptr as usize, len, 0, 0, 0, 0);
+    }
+}
+
+impl ExecMem {
+    /// Maps `code` into fresh pages and flips them to read+execute.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`MapError`] when the platform is not `x86_64-linux` or
+    /// when the kernel rejects the mapping (e.g. `PROT_EXEC` forbidden).
+    #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+    pub fn new(code: &[u8]) -> Result<ExecMem, MapError> {
+        let len = code.len().max(1).next_multiple_of(4096);
+        unsafe {
+            let ptr = sys::mmap_anon_rw(len).map_err(|e| MapError(format!("mmap errno {}", -e)))?;
+            std::ptr::copy_nonoverlapping(code.as_ptr(), ptr, code.len());
+            if let Err(e) = sys::mprotect(ptr, len, sys::PROT_READ | sys::PROT_EXEC) {
+                sys::munmap(ptr, len);
+                return Err(MapError(format!("mprotect errno {}", -e)));
+            }
+            Ok(ExecMem { ptr, len })
+        }
+    }
+
+    /// Non-x86-64-linux stub: native execution is unavailable.
+    ///
+    /// # Errors
+    ///
+    /// Always fails; callers fall back to the interpreter.
+    #[cfg(not(all(target_arch = "x86_64", target_os = "linux")))]
+    pub fn new(_code: &[u8]) -> Result<ExecMem, MapError> {
+        Err(MapError("native execution requires x86_64-linux".into()))
+    }
+
+    /// Entry point of the mapped code.
+    pub fn entry(&self) -> *const u8 {
+        self.ptr
+    }
+}
+
+impl Drop for ExecMem {
+    fn drop(&mut self) {
+        #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+        unsafe {
+            sys::munmap(self.ptr, self.len);
+        }
+    }
+}
+
+#[cfg(all(test, target_arch = "x86_64", target_os = "linux"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_and_executes_a_return() {
+        // mov eax, 42; ret
+        let code = [0xB8, 42, 0, 0, 0, 0xC3];
+        let mem = ExecMem::new(&code).unwrap();
+        let f: extern "C" fn() -> i32 = unsafe { std::mem::transmute(mem.entry()) };
+        assert_eq!(f(), 42);
+    }
+}

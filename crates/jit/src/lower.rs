@@ -1,0 +1,1294 @@
+//! Lowering committed IR to x86-64 machine code.
+//!
+//! The register allocation scheme is deliberately the simplest one that
+//! is correct: *fixed-scratch + stack-slot*. Every SSA value gets one
+//! fixed-size stack slot addressed `[rsp + id * slot_bytes]`; every
+//! instruction loads its operands from slots into the scratch registers
+//! (`rax`/`rcx`/`rdx`, `xmm0`/`xmm1`), computes, and stores the result
+//! back. Four registers are pinned for the whole activation: `r12` =
+//! guest memory base, `r13` = guest memory size, `r14` = fuel, `r15` =
+//! context pointer. No values live across instruction boundaries in
+//! registers, so helper calls and trap exits need no spill logic.
+//!
+//! Slot layout equals the guest memory layout of each type (`i32`/`f32`
+//! 4 bytes, `i64`/`f64`/`ptr` 8 bytes, vectors packed lanes), which turns
+//! loads and stores into bounds-checked byte copies and makes
+//! extract/insert/shuffle plain slot arithmetic. Integer reads go through
+//! `movsxd` for `i32`, mirroring the interpreter's widen-to-`i64`,
+//! compute, truncate semantics (including shift counts masked `& 63`).
+//!
+//! The fallback contract: [`lower`] either emits code for *every*
+//! instruction of the function or returns a reason string and emits
+//! nothing — there is no partial compilation. `fptosi` (saturating,
+//! per Rust `as` semantics) is intentionally not lowered and exercises
+//! that path.
+//!
+//! Phi moves happen on the edge, as in the interpreter: each phi owns a
+//! staging slot; a terminator first copies every incoming value to the
+//! staging slots, then commits staging to the phi slots, so parallel
+//! copies can never observe each other's writes.
+
+use snslp_ir::{
+    BinOp, BlockId, CastKind, CmpPred, Constant, Function, InstId, InstKind, ScalarType, Type, UnOp,
+};
+
+use crate::asm::{
+    Asm, Cc, Gpr, Label, Xmm, R12, R13, R14, R15, RAX, RBP, RCX, RDI, RDX, RSI, RSP, XMM0, XMM1,
+    XMM2, XMM3, XMM4, XMM5, XMM7,
+};
+use crate::runtime::{helpers, CTX_FUEL, CTX_MEM_BASE, CTX_MEM_SIZE, CTX_RET, CTX_TRAP_ADDR};
+
+/// Guest address 0..64 is the interpreter's null page.
+const NULL_PAGE: i8 = 64;
+
+/// Refuse values wider than the context's return buffer.
+const MAX_VALUE_BYTES: usize = crate::runtime::RET_BUF_BYTES;
+
+/// Refuse frames past 1 MiB: test threads run on 2 MiB stacks.
+const MAX_FRAME_BYTES: usize = 1 << 20;
+
+/// Successful lowering: finalized code plus the jitdump text.
+#[derive(Debug, Clone)]
+pub struct Lowered {
+    /// Position-independent machine code (entry at byte 0).
+    pub code: Vec<u8>,
+    /// Deterministic disassembly-style dump (no absolute addresses).
+    pub dump: String,
+    /// Number of IR instructions lowered (phis excluded).
+    pub ops_lowered: usize,
+}
+
+struct Lower<'a> {
+    f: &'a Function,
+    a: Asm,
+    slot_bytes: usize,
+    /// phi inst -> staging slot index (>= num_inst_slots).
+    staging: Vec<(InstId, usize)>,
+    block_labels: Vec<Label>,
+    l_epilogue: Label,
+    l_trap_oob: Label,
+    l_trap_div: Label,
+    l_trap_fuel: Label,
+    frame: i32,
+    dump: String,
+    ops: usize,
+}
+
+/// Lowers `f` to machine code, or reports why the function must fall back
+/// to the interpreter.
+///
+/// # Errors
+///
+/// Returns the fallback reason (unsupported opcode, oversized value or
+/// frame, malformed shape). Nothing is emitted on error.
+pub fn lower(f: &Function) -> Result<Lowered, String> {
+    // Pre-flight: slot sizing and parameter shapes.
+    let mut slot_bytes = 8usize;
+    for p in f.params() {
+        match p.ty {
+            Type::Ptr | Type::Scalar(_) => {}
+            ty => return Err(format!("parameter of type {ty} is not callable natively")),
+        }
+    }
+    for i in 0..f.num_inst_slots() {
+        let ty = f.ty(InstId(i as u32));
+        if !ty.is_value() {
+            continue;
+        }
+        let sz = ty.size_bytes() as usize;
+        if sz > MAX_VALUE_BYTES {
+            return Err(format!(
+                "value of type {ty} is wider than {MAX_VALUE_BYTES} bytes"
+            ));
+        }
+        slot_bytes = slot_bytes.max(sz);
+    }
+    slot_bytes = slot_bytes.next_multiple_of(8);
+
+    let mut staging = Vec::new();
+    for b in f.block_ids() {
+        for &id in f.block(b).insts() {
+            if matches!(f.kind(id), InstKind::Phi { .. }) {
+                staging.push((id, f.num_inst_slots() + staging.len()));
+            } else {
+                break;
+            }
+        }
+    }
+
+    let total_slots = f.num_inst_slots() + staging.len();
+    let frame = (total_slots * slot_bytes).next_multiple_of(16);
+    if frame > MAX_FRAME_BYTES {
+        return Err(format!(
+            "frame of {frame} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"
+        ));
+    }
+
+    let mut a = Asm::new();
+    let block_labels: Vec<Label> = f.block_ids().map(|_| a.new_label()).collect();
+    let l_epilogue = a.new_label();
+    let l_trap_oob = a.new_label();
+    let l_trap_div = a.new_label();
+    let l_trap_fuel = a.new_label();
+
+    let mut lw = Lower {
+        f,
+        a,
+        slot_bytes,
+        staging,
+        block_labels,
+        l_epilogue,
+        l_trap_oob,
+        l_trap_div,
+        l_trap_fuel,
+        frame: frame as i32,
+        dump: String::new(),
+        ops: 0,
+    };
+    lw.header();
+    lw.prologue();
+    for (bi, b) in f.block_ids().enumerate() {
+        lw.block(bi, b)?;
+    }
+    lw.exits();
+    let ops = lw.ops;
+    let code = lw.a.finish();
+    lw.dump
+        .push_str(&format!("end: code={}B ops={}\n", code.len(), ops));
+    Ok(Lowered {
+        code,
+        dump: lw.dump,
+        ops_lowered: ops,
+    })
+}
+
+impl<'a> Lower<'a> {
+    fn slot(&self, id: InstId) -> i32 {
+        (id.index() * self.slot_bytes) as i32
+    }
+
+    fn staging_slot(&self, id: InstId) -> i32 {
+        let idx = self
+            .staging
+            .iter()
+            .find(|(p, _)| *p == id)
+            .map(|(_, s)| *s)
+            .expect("phi has a staging slot");
+        (idx * self.slot_bytes) as i32
+    }
+
+    fn note(&mut self, start: usize, text: &str) {
+        let len = self.a.here() - start;
+        self.dump
+            .push_str(&format!("  {text} @{start:#06x}+{len}\n"));
+    }
+
+    fn header(&mut self) {
+        let f = self.f;
+        let ret = f.ret_ty();
+        self.dump
+            .push_str(&format!("jit `{}` isa=sse2 ret={ret}\n", f.name()));
+        let params: Vec<String> = f
+            .params()
+            .iter()
+            .map(|p| format!("{}:{}", p.name, p.ty))
+            .collect();
+        self.dump.push_str(&format!(
+            "  params: [{}] slots={} staging={} slot_bytes={} frame_bytes={}\n",
+            params.join(", "),
+            f.num_inst_slots(),
+            self.staging.len(),
+            self.slot_bytes,
+            self.frame,
+        ));
+    }
+
+    fn prologue(&mut self) {
+        let start = self.a.here();
+        let a = &mut self.a;
+        a.push_r(RBP);
+        a.push_r(R12);
+        a.push_r(R13);
+        a.push_r(R14);
+        a.push_r(R15);
+        a.mov_rr(R15, RDI);
+        a.mov_load(R12, R15, CTX_MEM_BASE);
+        a.mov_load(R13, R15, CTX_MEM_SIZE);
+        a.mov_load(R14, R15, CTX_FUEL);
+        a.sub_rsp(self.frame);
+        for i in 0..self.f.params().len() {
+            let disp = self.slot(self.f.param(i));
+            let ty = self.f.params()[i].ty;
+            self.a.mov_load(RAX, RSI, (8 * i) as i32);
+            match ty {
+                Type::Scalar(ScalarType::I32) | Type::Scalar(ScalarType::F32) => {
+                    self.a.mov32_store(RSP, disp, RAX)
+                }
+                _ => self.a.mov_store(RSP, disp, RAX),
+            }
+        }
+        let entry = self.block_labels[0];
+        self.a.jmp(entry);
+        self.note(start, "prologue = pin r12/r13/r14/r15, spill params");
+    }
+
+    fn exits(&mut self) {
+        let start = self.a.here();
+        let a = &mut self.a;
+        a.bind(self.l_trap_oob);
+        a.mov_store(R15, CTX_TRAP_ADDR, RAX);
+        a.mov_ri(RAX, crate::runtime::status::OOB as u64);
+        a.jmp(self.l_epilogue);
+        a.bind(self.l_trap_div);
+        a.mov_ri(RAX, crate::runtime::status::DIV_ZERO as u64);
+        a.jmp(self.l_epilogue);
+        a.bind(self.l_trap_fuel);
+        a.mov_ri(RAX, crate::runtime::status::FUEL as u64);
+        a.bind(self.l_epilogue);
+        a.mov_store(R15, CTX_FUEL, R14);
+        a.add_rsp(self.frame);
+        a.pop_r(R15);
+        a.pop_r(R14);
+        a.pop_r(R13);
+        a.pop_r(R12);
+        a.pop_r(RBP);
+        a.ret();
+        self.note(start, "exits = oob/div0/fuel stubs, epilogue");
+    }
+
+    /// `test r14, r14; jz fuel; dec r14` — the same trap point as the
+    /// interpreter's check-then-decrement.
+    fn fuel_gate(&mut self) {
+        self.a.test_rr(R14, R14);
+        self.a.jcc(Cc::E, self.l_trap_fuel);
+        self.a.dec_r(R14);
+    }
+
+    /// Frame-to-frame byte copy: 16-byte chunks through `xmm7`, then 8-
+    /// and 4-byte tails through `rax`. Full-width vector copies matter:
+    /// a 16-byte load spanning two narrower stores defeats store-to-load
+    /// forwarding, so vector slots are always written in one piece.
+    fn copy_frame(&mut self, src: i32, dst: i32, bytes: usize) {
+        let mut off = 0i32;
+        let mut rem = bytes;
+        while rem >= 16 {
+            self.a.movups_load(XMM7, RSP, src + off);
+            self.a.movups_store(RSP, dst + off, XMM7);
+            off += 16;
+            rem -= 16;
+        }
+        while rem >= 8 {
+            self.a.mov_load(RAX, RSP, src + off);
+            self.a.mov_store(RSP, dst + off, RAX);
+            off += 8;
+            rem -= 8;
+        }
+        if rem >= 4 {
+            self.a.mov32_load(RAX, RSP, src + off);
+            self.a.mov32_store(RSP, dst + off, RAX);
+        }
+    }
+
+    /// Gathers scalar lanes from arbitrary frame offsets `srcs` (each
+    /// `esz` bytes) into a contiguous vector at `dst`, assembling whole
+    /// 16-byte chunks inside xmm registers whenever the lane count
+    /// allows, so the destination slot is never a patchwork of narrow
+    /// stores (which would stall later packed reads).
+    fn gather_lanes(&mut self, srcs: &[i32], esz: i32, dst: i32) -> Result<String, String> {
+        let lanes = srcs.len();
+        if esz == 8 && lanes.is_multiple_of(2) {
+            for (c, pair) in srcs.chunks_exact(2).enumerate() {
+                self.a.movsd_load(XMM7, RSP, pair[0]);
+                self.a.movhpd_load(XMM7, RSP, pair[1]);
+                self.a.movups_store(RSP, dst + c as i32 * 16, XMM7);
+            }
+            Ok("xmm gather".to_string())
+        } else if esz == 4 && lanes.is_multiple_of(4) {
+            for (c, quad) in srcs.chunks_exact(4).enumerate() {
+                self.a.movss_load(XMM2, RSP, quad[0]);
+                self.a.movss_load(XMM3, RSP, quad[1]);
+                self.a.unpcklps(XMM2, XMM3);
+                self.a.movss_load(XMM3, RSP, quad[2]);
+                self.a.movss_load(XMM4, RSP, quad[3]);
+                self.a.unpcklps(XMM3, XMM4);
+                self.a.movlhps(XMM2, XMM3);
+                self.a.movups_store(RSP, dst + c as i32 * 16, XMM2);
+            }
+            Ok("xmm gather".to_string())
+        } else {
+            for (j, &src) in srcs.iter().enumerate() {
+                self.copy_frame(src, dst + j as i32 * esz, esz as usize);
+            }
+            Ok("lane moves".to_string())
+        }
+    }
+
+    /// Integer operand load in canonical widened form.
+    fn load_int(&mut self, r: Gpr, disp: i32, st: ScalarType) {
+        match st {
+            ScalarType::I32 => self.a.movsxd_load(r, RSP, disp),
+            _ => self.a.mov_load(r, RSP, disp),
+        }
+    }
+
+    /// Integer result store (truncating for `i32`).
+    fn store_int(&mut self, disp: i32, st: ScalarType) {
+        match st {
+            ScalarType::I32 => self.a.mov32_store(RSP, disp, RAX),
+            _ => self.a.mov_store(RSP, disp, RAX),
+        }
+    }
+
+    fn load_float(&mut self, x: Xmm, disp: i32, st: ScalarType) {
+        match st {
+            ScalarType::F32 => self.a.movss_load(x, RSP, disp),
+            _ => self.a.movsd_load(x, RSP, disp),
+        }
+    }
+
+    fn store_float(&mut self, disp: i32, st: ScalarType, x: Xmm) {
+        match st {
+            ScalarType::F32 => self.a.movss_store(RSP, disp, x),
+            _ => self.a.movsd_store(RSP, disp, x),
+        }
+    }
+
+    /// Bounds-checks `[addr, addr + len)` against the null page and the
+    /// guest size, leaving the *host* address in `rax`. Traps with the
+    /// guest address still in `rax`.
+    fn check_and_host_addr(&mut self, ptr_disp: i32, len: u64) {
+        self.a.mov_load(RAX, RSP, ptr_disp);
+        self.a.cmp_ri8(RAX, NULL_PAGE);
+        self.a.jcc(Cc::B, self.l_trap_oob);
+        self.a.mov_rr(RCX, R13);
+        self.a.mov_ri(RDX, len);
+        self.a.sub_rr(RCX, RDX);
+        self.a.jcc(Cc::B, self.l_trap_oob); // len > mem_size
+        self.a.cmp_rr(RAX, RCX);
+        self.a.jcc(Cc::A, self.l_trap_oob); // addr > mem_size - len
+        self.a.add_rr(RAX, R12);
+    }
+
+    /// Guest-to-frame copy; host source address in `rax`. Vector-width
+    /// chunks go through `xmm7` so the slot is written in one 16-byte
+    /// store (see [`Self::copy_frame`] on why that matters).
+    fn copy_mem_to_frame(&mut self, dst: i32, bytes: usize) {
+        let mut off = 0i32;
+        let mut rem = bytes;
+        while rem >= 16 {
+            self.a.movups_load(XMM7, RAX, off);
+            self.a.movups_store(RSP, dst + off, XMM7);
+            off += 16;
+            rem -= 16;
+        }
+        while rem >= 8 {
+            self.a.mov_load(RCX, RAX, off);
+            self.a.mov_store(RSP, dst + off, RCX);
+            off += 8;
+            rem -= 8;
+        }
+        if rem >= 4 {
+            self.a.mov32_load(RCX, RAX, off);
+            self.a.mov32_store(RSP, dst + off, RCX);
+        }
+    }
+
+    /// Frame-to-guest copy; host destination address in `rax`.
+    fn copy_frame_to_mem(&mut self, src: i32, bytes: usize) {
+        let mut off = 0i32;
+        let mut rem = bytes;
+        while rem >= 16 {
+            self.a.movups_load(XMM7, RSP, src + off);
+            self.a.movups_store(RAX, off, XMM7);
+            off += 16;
+            rem -= 16;
+        }
+        while rem >= 8 {
+            self.a.mov_load(RCX, RSP, src + off);
+            self.a.mov_store(RAX, off, RCX);
+            off += 8;
+            rem -= 8;
+        }
+        if rem >= 4 {
+            self.a.mov32_load(RCX, RSP, src + off);
+            self.a.mov32_store(RAX, off, RCX);
+        }
+    }
+
+    fn int_binop(
+        &mut self,
+        op: BinOp,
+        st: ScalarType,
+        ad: i32,
+        bd: i32,
+        dst: i32,
+    ) -> Result<(), String> {
+        self.load_int(RAX, ad, st);
+        self.load_int(RCX, bd, st);
+        match op {
+            BinOp::Add => self.a.add_rr(RAX, RCX),
+            BinOp::Sub => self.a.sub_rr(RAX, RCX),
+            BinOp::Mul => self.a.imul_rr(RAX, RCX),
+            BinOp::And => self.a.and_rr(RAX, RCX),
+            BinOp::Or => self.a.or_rr(RAX, RCX),
+            BinOp::Xor => self.a.xor_rr(RAX, RCX),
+            BinOp::Shl => self.a.shl_cl(RAX),
+            BinOp::Shr => self.a.sar_cl(RAX),
+            BinOp::Min => {
+                self.a.cmp_rr(RAX, RCX);
+                self.a.cmov(Cc::G, RAX, RCX);
+            }
+            BinOp::Max => {
+                self.a.cmp_rr(RAX, RCX);
+                self.a.cmov(Cc::L, RAX, RCX);
+            }
+            BinOp::Div | BinOp::Rem => {
+                let rem = op == BinOp::Rem;
+                self.a.test_rr(RCX, RCX);
+                self.a.jcc(Cc::E, self.l_trap_div);
+                let special = self.a.new_label();
+                let done = self.a.new_label();
+                self.a.cmp_ri8(RCX, -1);
+                self.a.jcc(Cc::E, special);
+                self.a.cqo();
+                self.a.idiv_r(RCX);
+                if rem {
+                    self.a.mov_rr(RAX, RDX);
+                }
+                self.a.jmp(done);
+                self.a.bind(special);
+                // x / -1 wraps to -x; x % -1 is 0 (avoids the idiv #DE on
+                // MIN / -1, matching wrapping_div/wrapping_rem).
+                if rem {
+                    self.a.xor_rr(RAX, RAX);
+                } else {
+                    self.a.neg_r(RAX);
+                }
+                self.a.bind(done);
+            }
+        }
+        self.store_int(dst, st);
+        Ok(())
+    }
+
+    fn float_binop(
+        &mut self,
+        op: BinOp,
+        st: ScalarType,
+        ad: i32,
+        bd: i32,
+        dst: i32,
+    ) -> Result<(), String> {
+        let prefix: &[u8] = if st == ScalarType::F32 {
+            &[0xF3]
+        } else {
+            &[0xF2]
+        };
+        match op {
+            BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div => {
+                let opc = match op {
+                    BinOp::Add => 0x58,
+                    BinOp::Sub => 0x5C,
+                    BinOp::Mul => 0x59,
+                    _ => 0x5E,
+                };
+                self.load_float(XMM0, ad, st);
+                self.a.sse_rm(prefix, opc, XMM0, RSP, bd);
+                self.store_float(dst, st, XMM0);
+            }
+            BinOp::Min | BinOp::Max | BinOp::Rem => {
+                let addr = match (op, st) {
+                    (BinOp::Min, ScalarType::F32) => helpers::fmin32 as *const () as usize,
+                    (BinOp::Max, ScalarType::F32) => helpers::fmax32 as *const () as usize,
+                    (BinOp::Rem, ScalarType::F32) => helpers::frem32 as *const () as usize,
+                    (BinOp::Min, _) => helpers::fmin64 as *const () as usize,
+                    (BinOp::Max, _) => helpers::fmax64 as *const () as usize,
+                    (BinOp::Rem, _) => helpers::frem64 as *const () as usize,
+                    _ => unreachable!("outer match covers min/max/rem only"),
+                };
+                self.load_float(XMM0, ad, st);
+                self.load_float(XMM1, bd, st);
+                self.a.mov_ri(RAX, addr as u64);
+                self.a.call_r(RAX);
+                self.store_float(dst, st, XMM0);
+            }
+            op => return Err(format!("float operands for integer-only op {op}")),
+        }
+        Ok(())
+    }
+
+    fn scalar_binop(
+        &mut self,
+        op: BinOp,
+        st: ScalarType,
+        ad: i32,
+        bd: i32,
+        dst: i32,
+    ) -> Result<(), String> {
+        if st.is_float() {
+            self.float_binop(op, st, ad, bd, dst)
+        } else {
+            self.int_binop(op, st, ad, bd, dst)
+        }
+    }
+
+    /// Scalar compare producing a 4-byte 0/1 at `dst`.
+    fn scalar_cmp(
+        &mut self,
+        pred: CmpPred,
+        ty: Type,
+        ad: i32,
+        bd: i32,
+        dst: i32,
+    ) -> Result<(), String> {
+        match ty {
+            Type::Scalar(st) if st.is_float() => {
+                // `ucomi` + unsigned conditions; unordered (NaN) yields
+                // false for everything except `ne`.
+                self.load_float(XMM0, ad, st);
+                self.load_float(XMM1, bd, st);
+                let ucomi = |lw: &mut Self, x: Xmm, y: Xmm| match st {
+                    ScalarType::F32 => lw.a.ucomiss(x, y),
+                    _ => lw.a.ucomisd(x, y),
+                };
+                match pred {
+                    CmpPred::Eq | CmpPred::Ne => {
+                        ucomi(self, XMM0, XMM1);
+                        if pred == CmpPred::Eq {
+                            self.a.setcc(Cc::E, RAX);
+                            self.a.setcc(Cc::Np, RCX);
+                            self.a.movzx_rb(RAX, RAX);
+                            self.a.movzx_rb(RCX, RCX);
+                            self.a.and_rr(RAX, RCX);
+                        } else {
+                            self.a.setcc(Cc::Ne, RAX);
+                            self.a.setcc(Cc::P, RCX);
+                            self.a.movzx_rb(RAX, RAX);
+                            self.a.movzx_rb(RCX, RCX);
+                            self.a.or_rr(RAX, RCX);
+                        }
+                    }
+                    CmpPred::Lt | CmpPred::Le => {
+                        ucomi(self, XMM1, XMM0);
+                        self.a
+                            .setcc(if pred == CmpPred::Lt { Cc::A } else { Cc::Ae }, RAX);
+                        self.a.movzx_rb(RAX, RAX);
+                    }
+                    CmpPred::Gt | CmpPred::Ge => {
+                        ucomi(self, XMM0, XMM1);
+                        self.a
+                            .setcc(if pred == CmpPred::Gt { Cc::A } else { Cc::Ae }, RAX);
+                        self.a.movzx_rb(RAX, RAX);
+                    }
+                }
+            }
+            Type::Scalar(st) => {
+                self.load_int(RAX, ad, st);
+                self.load_int(RCX, bd, st);
+                self.a.cmp_rr(RAX, RCX);
+                let cc = match pred {
+                    CmpPred::Eq => Cc::E,
+                    CmpPred::Ne => Cc::Ne,
+                    CmpPred::Lt => Cc::L,
+                    CmpPred::Le => Cc::Le,
+                    CmpPred::Gt => Cc::G,
+                    CmpPred::Ge => Cc::Ge,
+                };
+                self.a.setcc(cc, RAX);
+                self.a.movzx_rb(RAX, RAX);
+            }
+            Type::Ptr => {
+                self.a.mov_load(RAX, RSP, ad);
+                self.a.mov_load(RCX, RSP, bd);
+                self.a.cmp_rr(RAX, RCX);
+                let cc = match pred {
+                    CmpPred::Eq => Cc::E,
+                    CmpPred::Ne => Cc::Ne,
+                    CmpPred::Lt => Cc::B,
+                    CmpPred::Le => Cc::Be,
+                    CmpPred::Gt => Cc::A,
+                    CmpPred::Ge => Cc::Ae,
+                };
+                self.a.setcc(cc, RAX);
+                self.a.movzx_rb(RAX, RAX);
+            }
+            ty => return Err(format!("cmp on operands of type {ty}")),
+        }
+        self.a.mov32_store(RSP, dst, RAX);
+        Ok(())
+    }
+
+    fn scalar_unop(&mut self, op: UnOp, st: ScalarType, src: i32, dst: i32) -> Result<(), String> {
+        if st.is_float() {
+            let logic_prefix: &[u8] = if st == ScalarType::F32 { &[] } else { &[0x66] };
+            match op {
+                UnOp::Neg | UnOp::Abs => {
+                    let (mask, opc) = match op {
+                        UnOp::Neg if st == ScalarType::F32 => (0x8000_0000u64, 0x57),
+                        UnOp::Neg => (0x8000_0000_0000_0000u64, 0x57),
+                        _ if st == ScalarType::F32 => (0x7FFF_FFFFu64, 0x54),
+                        _ => (0x7FFF_FFFF_FFFF_FFFFu64, 0x54),
+                    };
+                    self.load_float(XMM0, src, st);
+                    self.a.mov_ri(RAX, mask);
+                    if st == ScalarType::F32 {
+                        self.a.movd_xr(XMM1, RAX);
+                    } else {
+                        self.a.movq_xr(XMM1, RAX);
+                    }
+                    self.a.sse_rr(logic_prefix, opc, XMM0, XMM1);
+                    self.store_float(dst, st, XMM0);
+                }
+                UnOp::Sqrt => {
+                    let prefix: &[u8] = if st == ScalarType::F32 {
+                        &[0xF3]
+                    } else {
+                        &[0xF2]
+                    };
+                    self.load_float(XMM0, src, st);
+                    self.a.sse_rr(prefix, 0x51, XMM0, XMM0);
+                    self.store_float(dst, st, XMM0);
+                }
+                UnOp::Not => return Err("not on float".into()),
+            }
+        } else {
+            self.load_int(RAX, src, st);
+            match op {
+                UnOp::Neg => self.a.neg_r(RAX),
+                UnOp::Not => self.a.not_r(RAX),
+                UnOp::Abs => {
+                    self.a.mov_rr(RCX, RAX);
+                    self.a.neg_r(RCX);
+                    self.a.test_rr(RAX, RAX);
+                    self.a.cmov(Cc::S, RAX, RCX);
+                }
+                UnOp::Sqrt => return Err("sqrt on integer".into()),
+            }
+            self.store_int(dst, st);
+        }
+        Ok(())
+    }
+
+    fn scalar_cast(
+        &mut self,
+        kind: CastKind,
+        from: ScalarType,
+        to: ScalarType,
+        src: i32,
+        dst: i32,
+    ) -> Result<(), String> {
+        match kind {
+            CastKind::Sitofp => {
+                // Through f64 in both cases, mirroring the interpreter's
+                // `f64::from(i32)` / `i64 as f64` then optional narrow.
+                self.load_int(RAX, src, from);
+                self.a.cvtsi2sd(XMM0, RAX);
+                if to == ScalarType::F32 {
+                    self.a.cvtsd2ss(XMM0, XMM0);
+                }
+                self.store_float(dst, to, XMM0);
+            }
+            CastKind::Fpext => {
+                self.a.movss_load(XMM0, RSP, src);
+                self.a.cvtss2sd(XMM0, XMM0);
+                self.a.movsd_store(RSP, dst, XMM0);
+            }
+            CastKind::Fptrunc => {
+                self.a.movsd_load(XMM0, RSP, src);
+                self.a.cvtsd2ss(XMM0, XMM0);
+                self.a.movss_store(RSP, dst, XMM0);
+            }
+            CastKind::Sext => {
+                self.a.movsxd_load(RAX, RSP, src);
+                self.a.mov_store(RSP, dst, RAX);
+            }
+            CastKind::Trunc => {
+                self.a.mov32_load(RAX, RSP, src);
+                self.a.mov32_store(RSP, dst, RAX);
+            }
+            CastKind::Fptosi => {
+                return Err("fptosi saturates per Rust `as`; interpreter only".into());
+            }
+        }
+        Ok(())
+    }
+
+    /// Phi parallel-copy for the edge `from -> to`.
+    fn edge_moves(&mut self, from: BlockId, to: BlockId) -> Result<usize, String> {
+        let f = self.f;
+        let mut moves: Vec<(InstId, InstId)> = Vec::new();
+        for &id in f.block(to).insts() {
+            match f.kind(id) {
+                InstKind::Phi { incoming } => {
+                    let (_, src) = incoming
+                        .iter()
+                        .find(|(b, _)| *b == from)
+                        .ok_or_else(|| format!("phi {id} has no edge from {from}"))?;
+                    moves.push((id, *src));
+                }
+                _ => break,
+            }
+        }
+        for &(phi, src) in &moves {
+            let bytes = f.ty(phi).size_bytes() as usize;
+            let (s, d) = (self.slot(src), self.staging_slot(phi));
+            self.copy_frame(s, d, bytes);
+        }
+        for &(phi, _) in &moves {
+            let bytes = f.ty(phi).size_bytes() as usize;
+            let (s, d) = (self.staging_slot(phi), self.slot(phi));
+            self.copy_frame(s, d, bytes);
+        }
+        Ok(moves.len())
+    }
+
+    fn block(&mut self, bi: usize, b: BlockId) -> Result<(), String> {
+        let f = self.f;
+        self.a.bind(self.block_labels[bi]);
+        self.dump.push_str(&format!("{}:\n", f.block(b).name));
+        for &id in f.block(b).insts() {
+            let kind = f.kind(id);
+            if matches!(kind, InstKind::Phi { .. }) {
+                continue;
+            }
+            let start = self.a.here();
+            self.fuel_gate();
+            self.ops += 1;
+            let dst = self.slot(id);
+            let text = match kind {
+                InstKind::Param(_) | InstKind::Phi { .. } => unreachable!(),
+                InstKind::Const(c) => {
+                    match *c {
+                        Constant::I32(v) => {
+                            self.a.mov_ri(RAX, v as u32 as u64);
+                            self.a.mov32_store(RSP, dst, RAX);
+                        }
+                        Constant::I64(v) => {
+                            self.a.mov_ri(RAX, v as u64);
+                            self.a.mov_store(RSP, dst, RAX);
+                        }
+                        Constant::F32(v) => {
+                            self.a.mov_ri(RAX, u64::from(v.to_bits()));
+                            self.a.mov32_store(RSP, dst, RAX);
+                        }
+                        Constant::F64(v) => {
+                            self.a.mov_ri(RAX, v.to_bits());
+                            self.a.mov_store(RSP, dst, RAX);
+                        }
+                    }
+                    format!("%{} const {} = mov-imm", id.index(), f.ty(id))
+                }
+                InstKind::Binary { op, lhs, rhs } => {
+                    let (ad, bd) = (self.slot(*lhs), self.slot(*rhs));
+                    match f.ty(id) {
+                        Type::Scalar(st) => {
+                            self.scalar_binop(*op, st, ad, bd, dst)?;
+                            format!("%{} binary.{op} {} = scalar", id.index(), f.ty(id))
+                        }
+                        Type::Vector(vt) => {
+                            let strategy = self.vector_binop_uniform(*op, vt, ad, bd, dst)?;
+                            format!("%{} binary.{op} {} = {strategy}", id.index(), f.ty(id))
+                        }
+                        ty => return Err(format!("binary op on {ty}")),
+                    }
+                }
+                InstKind::BinaryLanewise { ops, lhs, rhs } => {
+                    let vt = f
+                        .ty(id)
+                        .as_vector()
+                        .ok_or_else(|| "lanewise op on non-vector".to_string())?;
+                    let (ad, bd) = (self.slot(*lhs), self.slot(*rhs));
+                    let text = self.vector_binop_lanewise(ops, vt, ad, bd, dst)?;
+                    format!(
+                        "%{} lanewise[{}] {} = {text}",
+                        id.index(),
+                        ops.len(),
+                        f.ty(id)
+                    )
+                }
+                InstKind::Unary { op, operand } => {
+                    let src = self.slot(*operand);
+                    match f.ty(id) {
+                        Type::Scalar(st) => {
+                            self.scalar_unop(*op, st, src, dst)?;
+                            format!("%{} unary.{op} {} = scalar", id.index(), f.ty(id))
+                        }
+                        Type::Vector(vt) => {
+                            let esz = vt.elem.size_bytes() as i32;
+                            for i in 0..i32::from(vt.lanes) {
+                                self.scalar_unop(*op, vt.elem, src + i * esz, dst + i * esz)?;
+                            }
+                            format!("%{} unary.{op} {} = per-lane", id.index(), f.ty(id))
+                        }
+                        ty => return Err(format!("unary op on {ty}")),
+                    }
+                }
+                InstKind::Cast { kind, operand } => {
+                    let src = self.slot(*operand);
+                    let from_ty = f.ty(*operand);
+                    let to_ty = f.ty(id);
+                    match (from_ty, to_ty) {
+                        (Type::Scalar(fs), Type::Scalar(ts)) => {
+                            self.scalar_cast(*kind, fs, ts, src, dst)?;
+                            format!("%{} cast.{kind} {from_ty}->{to_ty} = scalar", id.index())
+                        }
+                        (Type::Vector(fv), Type::Vector(tv)) => {
+                            let (fe, te) =
+                                (fv.elem.size_bytes() as i32, tv.elem.size_bytes() as i32);
+                            for i in 0..i32::from(fv.lanes) {
+                                self.scalar_cast(
+                                    *kind,
+                                    fv.elem,
+                                    tv.elem,
+                                    src + i * fe,
+                                    dst + i * te,
+                                )?;
+                            }
+                            format!("%{} cast.{kind} {from_ty}->{to_ty} = per-lane", id.index())
+                        }
+                        _ => return Err(format!("cast {kind} between {from_ty} and {to_ty}")),
+                    }
+                }
+                InstKind::Cmp { pred, lhs, rhs } => {
+                    let (ad, bd) = (self.slot(*lhs), self.slot(*rhs));
+                    let in_ty = f.ty(*lhs);
+                    match in_ty {
+                        Type::Vector(vt) => {
+                            let esz = vt.elem.size_bytes() as i32;
+                            for i in 0..i32::from(vt.lanes) {
+                                self.scalar_cmp(
+                                    *pred,
+                                    Type::Scalar(vt.elem),
+                                    ad + i * esz,
+                                    bd + i * esz,
+                                    dst + i * 4,
+                                )?;
+                            }
+                            format!("%{} cmp.{pred} {in_ty} = per-lane", id.index())
+                        }
+                        _ => {
+                            self.scalar_cmp(*pred, in_ty, ad, bd, dst)?;
+                            format!("%{} cmp.{pred} {in_ty} = scalar", id.index())
+                        }
+                    }
+                }
+                InstKind::Select {
+                    cond,
+                    on_true,
+                    on_false,
+                } => {
+                    let bytes = f.ty(id).size_bytes() as usize;
+                    let (td, ed) = (self.slot(*on_true), self.slot(*on_false));
+                    match f.ty(*cond) {
+                        Type::Vector(mv) => {
+                            let vt = f
+                                .ty(id)
+                                .as_vector()
+                                .ok_or_else(|| "vector-mask select of scalar".to_string())?;
+                            let (msz, esz) =
+                                (mv.elem.size_bytes() as i32, vt.elem.size_bytes() as i32);
+                            let md = self.slot(*cond);
+                            for i in 0..i32::from(vt.lanes) {
+                                match mv.elem {
+                                    ScalarType::I32 => self.a.mov32_load(RCX, RSP, md + i * msz),
+                                    ScalarType::I64 => self.a.mov_load(RCX, RSP, md + i * msz),
+                                    st => return Err(format!("select mask of {st} lanes")),
+                                }
+                                self.a.test_rr(RCX, RCX);
+                                let l_else = self.a.new_label();
+                                let l_end = self.a.new_label();
+                                self.a.jcc(Cc::E, l_else);
+                                self.copy_frame(td + i * esz, dst + i * esz, esz as usize);
+                                self.a.jmp(l_end);
+                                self.a.bind(l_else);
+                                self.copy_frame(ed + i * esz, dst + i * esz, esz as usize);
+                                self.a.bind(l_end);
+                            }
+                            format!("%{} select {} = per-lane mask", id.index(), f.ty(id))
+                        }
+                        Type::Scalar(ScalarType::I32) | Type::Scalar(ScalarType::I64) => {
+                            match f.ty(*cond) {
+                                Type::Scalar(ScalarType::I32) => {
+                                    self.a.mov32_load(RCX, RSP, self.slot(*cond))
+                                }
+                                _ => self.a.mov_load(RCX, RSP, self.slot(*cond)),
+                            }
+                            self.a.test_rr(RCX, RCX);
+                            let l_else = self.a.new_label();
+                            let l_end = self.a.new_label();
+                            self.a.jcc(Cc::E, l_else);
+                            self.copy_frame(td, dst, bytes);
+                            self.a.jmp(l_end);
+                            self.a.bind(l_else);
+                            self.copy_frame(ed, dst, bytes);
+                            self.a.bind(l_end);
+                            format!("%{} select {} = branchy", id.index(), f.ty(id))
+                        }
+                        ty => return Err(format!("select condition of type {ty}")),
+                    }
+                }
+                InstKind::Load { ptr } => {
+                    let bytes = f.ty(id).size_bytes() as usize;
+                    self.check_and_host_addr(self.slot(*ptr), bytes as u64);
+                    self.copy_mem_to_frame(dst, bytes);
+                    format!(
+                        "%{} load {} = checked copy {}B",
+                        id.index(),
+                        f.ty(id),
+                        bytes
+                    )
+                }
+                InstKind::Store { ptr, value } => {
+                    let bytes = f.ty(*value).size_bytes() as usize;
+                    self.check_and_host_addr(self.slot(*ptr), bytes as u64);
+                    self.copy_frame_to_mem(self.slot(*value), bytes);
+                    format!("store {} = checked copy {}B", f.ty(*value), bytes)
+                }
+                InstKind::PtrAdd { ptr, offset } => {
+                    self.a.mov_load(RAX, RSP, self.slot(*ptr));
+                    match f.ty(*offset) {
+                        Type::Scalar(ScalarType::I32) => {
+                            self.a.movsxd_load(RCX, RSP, self.slot(*offset))
+                        }
+                        _ => self.a.mov_load(RCX, RSP, self.slot(*offset)),
+                    }
+                    self.a.add_rr(RAX, RCX);
+                    self.a.mov_store(RSP, dst, RAX);
+                    format!("%{} ptradd = add64", id.index())
+                }
+                InstKind::Splat { value, lanes } => {
+                    let st = f
+                        .ty(*value)
+                        .as_scalar()
+                        .ok_or_else(|| "splat of non-scalar".to_string())?;
+                    let esz = st.size_bytes() as i32;
+                    let total = i32::from(*lanes) * esz;
+                    let src = self.slot(*value);
+                    if total % 16 == 0 {
+                        // Duplicate inside xmm7 and write whole 16-byte
+                        // chunks: downstream packed reads must not find
+                        // the slot assembled from narrow stores.
+                        if esz == 4 {
+                            self.a.movss_load(XMM7, RSP, src);
+                            self.a.pshufd(XMM7, XMM7, 0x00);
+                        } else {
+                            self.a.movsd_load(XMM7, RSP, src);
+                            self.a.unpcklpd(XMM7, XMM7);
+                        }
+                        let mut off = 0i32;
+                        while off < total {
+                            self.a.movups_store(RSP, dst + off, XMM7);
+                            off += 16;
+                        }
+                        format!("%{} splat x{lanes} = broadcast packed", id.index())
+                    } else {
+                        if esz == 4 {
+                            self.a.mov32_load(RAX, RSP, src);
+                        } else {
+                            self.a.mov_load(RAX, RSP, src);
+                        }
+                        for i in 0..i32::from(*lanes) {
+                            if esz == 4 {
+                                self.a.mov32_store(RSP, dst + i * esz, RAX);
+                            } else {
+                                self.a.mov_store(RSP, dst + i * esz, RAX);
+                            }
+                        }
+                        format!("%{} splat x{lanes} = broadcast", id.index())
+                    }
+                }
+                InstKind::BuildVector { elems } => {
+                    let mut esz = 0i32;
+                    for e in elems {
+                        let st = f
+                            .ty(*e)
+                            .as_scalar()
+                            .ok_or_else(|| "build-vector of non-scalar".to_string())?;
+                        esz = st.size_bytes() as i32;
+                    }
+                    let srcs: Vec<i32> = elems.iter().map(|e| self.slot(*e)).collect();
+                    let text = self.gather_lanes(&srcs, esz, dst)?;
+                    format!("%{} build-vector x{} = {text}", id.index(), elems.len())
+                }
+                InstKind::ExtractElement { vector, lane } => {
+                    let vt = f
+                        .ty(*vector)
+                        .as_vector()
+                        .ok_or_else(|| "extract from non-vector".to_string())?;
+                    if *lane >= vt.lanes {
+                        return Err("extract lane out of range".into());
+                    }
+                    let esz = vt.elem.size_bytes() as i32;
+                    self.copy_frame(
+                        self.slot(*vector) + i32::from(*lane) * esz,
+                        dst,
+                        esz as usize,
+                    );
+                    format!("%{} extract lane {lane} = slot copy", id.index())
+                }
+                InstKind::InsertElement {
+                    vector,
+                    value,
+                    lane,
+                } => {
+                    let vt = f
+                        .ty(*vector)
+                        .as_vector()
+                        .ok_or_else(|| "insert into non-vector".to_string())?;
+                    if *lane >= vt.lanes {
+                        return Err("insert lane out of range".into());
+                    }
+                    let esz = vt.elem.size_bytes() as i32;
+                    if esz == 8 && vt.lanes == 2 {
+                        // Patch inside xmm7 and store once, keeping the
+                        // destination a single 16-byte write.
+                        self.a.movups_load(XMM7, RSP, self.slot(*vector));
+                        if *lane == 0 {
+                            self.a.movlpd_load(XMM7, RSP, self.slot(*value));
+                        } else {
+                            self.a.movhpd_load(XMM7, RSP, self.slot(*value));
+                        }
+                        self.a.movups_store(RSP, dst, XMM7);
+                        format!("%{} insert lane {lane} = xmm patch", id.index())
+                    } else {
+                        self.copy_frame(self.slot(*vector), dst, vt.size_bytes() as usize);
+                        self.copy_frame(
+                            self.slot(*value),
+                            dst + i32::from(*lane) * esz,
+                            esz as usize,
+                        );
+                        format!("%{} insert lane {lane} = copy+patch", id.index())
+                    }
+                }
+                InstKind::Shuffle { a, b, mask } => {
+                    let va = f
+                        .ty(*a)
+                        .as_vector()
+                        .ok_or_else(|| "shuffle of non-vector".to_string())?;
+                    let vb = f
+                        .ty(*b)
+                        .as_vector()
+                        .ok_or_else(|| "shuffle of non-vector".to_string())?;
+                    let esz = va.elem.size_bytes() as i32;
+                    let n = i32::from(va.lanes);
+                    let mut srcs = Vec::with_capacity(mask.len());
+                    for &m in mask {
+                        let m = i32::from(m);
+                        srcs.push(if m < n {
+                            self.slot(*a) + m * esz
+                        } else if m - n < i32::from(vb.lanes) {
+                            self.slot(*b) + (m - n) * esz
+                        } else {
+                            return Err("shuffle index out of range".into());
+                        });
+                    }
+                    let text = self.gather_lanes(&srcs, esz, dst)?;
+                    format!("%{} shuffle x{} = {text}", id.index(), mask.len())
+                }
+                InstKind::Jump { target } => {
+                    let moves = self.edge_moves(b, *target)?;
+                    let ti = self.block_index(*target);
+                    self.a.jmp(self.block_labels[ti]);
+                    format!("jump {} [{moves} phi moves]", f.block(*target).name)
+                }
+                InstKind::Branch {
+                    cond,
+                    on_true,
+                    on_false,
+                } => {
+                    match f.ty(*cond) {
+                        Type::Scalar(ScalarType::I32) => {
+                            self.a.mov32_load(RCX, RSP, self.slot(*cond))
+                        }
+                        Type::Scalar(ScalarType::I64) => {
+                            self.a.mov_load(RCX, RSP, self.slot(*cond))
+                        }
+                        ty => return Err(format!("branch condition of type {ty}")),
+                    }
+                    self.a.test_rr(RCX, RCX);
+                    let l_false = self.a.new_label();
+                    self.a.jcc(Cc::E, l_false);
+                    let mt = self.edge_moves(b, *on_true)?;
+                    let ti = self.block_index(*on_true);
+                    self.a.jmp(self.block_labels[ti]);
+                    self.a.bind(l_false);
+                    let mf = self.edge_moves(b, *on_false)?;
+                    let fi = self.block_index(*on_false);
+                    self.a.jmp(self.block_labels[fi]);
+                    format!(
+                        "branch {}/{} [{mt}/{mf} phi moves]",
+                        f.block(*on_true).name,
+                        f.block(*on_false).name
+                    )
+                }
+                InstKind::Ret { value } => {
+                    if let Some(v) = value {
+                        let bytes = f.ty(*v).size_bytes() as usize;
+                        let src = self.slot(*v);
+                        let mut off = 0i32;
+                        let mut rem = bytes;
+                        while rem >= 8 {
+                            self.a.mov_load(RCX, RSP, src + off);
+                            self.a.mov_store(R15, CTX_RET + off, RCX);
+                            off += 8;
+                            rem -= 8;
+                        }
+                        if rem >= 4 {
+                            self.a.mov32_load(RCX, RSP, src + off);
+                            self.a.mov32_store(R15, CTX_RET + off, RCX);
+                        }
+                    }
+                    self.a.xor_rr(RAX, RAX);
+                    self.a.jmp(self.l_epilogue);
+                    "ret = status ok".to_string()
+                }
+            };
+            self.note(start, &text);
+        }
+        // A verifier-clean block ends in a terminator, so this is only
+        // reachable for malformed IR; the interpreter errors there too.
+        let last = f.block(b).insts().last().copied();
+        let terminated = last.is_some_and(|id| {
+            matches!(
+                f.kind(id),
+                InstKind::Jump { .. } | InstKind::Branch { .. } | InstKind::Ret { .. }
+            )
+        });
+        if !terminated {
+            return Err(format!(
+                "block {} falls through without a terminator",
+                f.block(b).name
+            ));
+        }
+        Ok(())
+    }
+
+    /// Per-lane mixed-operator vector op — the committed super-node
+    /// instruction SN-SLP exists for. Float add/sub/mul/div lanes are
+    /// computed with scalar SSE (bit-identical to the interpreter's
+    /// per-lane semantics) but accumulated in xmm registers and written
+    /// as whole 16-byte chunks, so a downstream packed consumer never
+    /// reloads a slot assembled from narrow stores. Uniform-operator
+    /// vectors delegate to the packed path; anything else (integer
+    /// lanes, min/max/rem lanes, odd widths) stays per-lane scalar.
+    fn vector_binop_lanewise(
+        &mut self,
+        ops: &[BinOp],
+        vt: snslp_ir::VectorType,
+        ad: i32,
+        bd: i32,
+        dst: i32,
+    ) -> Result<String, String> {
+        if let [first, rest @ ..] = ops {
+            if rest.iter().all(|o| o == first) {
+                let text = self.vector_binop_uniform(*first, vt, ad, bd, dst)?;
+                return Ok(format!("uniform {text}"));
+            }
+        }
+        let esz = vt.elem.size_bytes() as i32;
+        let sse_opc = |op: BinOp| match op {
+            BinOp::Add => Some(0x58u8),
+            BinOp::Sub => Some(0x5C),
+            BinOp::Mul => Some(0x59),
+            BinOp::Div => Some(0x5E),
+            _ => None,
+        };
+        let fast = vt.elem.is_float()
+            && ops.iter().all(|&o| sse_opc(o).is_some())
+            && ((esz == 8 && ops.len().is_multiple_of(2))
+                || (esz == 4 && ops.len().is_multiple_of(4)));
+        if !fast {
+            for (i, &op) in ops.iter().enumerate() {
+                let o = i as i32 * esz;
+                self.scalar_binop(op, vt.elem, ad + o, bd + o, dst + o)?;
+            }
+            return Ok("per-lane".to_string());
+        }
+        if esz == 8 {
+            for (c, pair) in ops.chunks_exact(2).enumerate() {
+                let o = c as i32 * 16;
+                self.a.movsd_load(XMM0, RSP, ad + o);
+                self.a
+                    .sse_rm(&[0xF2], sse_opc(pair[0]).unwrap(), XMM0, RSP, bd + o);
+                self.a.movsd_load(XMM1, RSP, ad + o + 8);
+                self.a
+                    .sse_rm(&[0xF2], sse_opc(pair[1]).unwrap(), XMM1, RSP, bd + o + 8);
+                self.a.unpcklpd(XMM0, XMM1);
+                self.a.movups_store(RSP, dst + o, XMM0);
+            }
+        } else {
+            let accs = [XMM2, XMM3, XMM4, XMM5];
+            for (c, quad) in ops.chunks_exact(4).enumerate() {
+                let o = c as i32 * 16;
+                for (i, &op) in quad.iter().enumerate() {
+                    let lo = o + i as i32 * 4;
+                    self.a.movss_load(accs[i], RSP, ad + lo);
+                    self.a
+                        .sse_rm(&[0xF3], sse_opc(op).unwrap(), accs[i], RSP, bd + lo);
+                }
+                self.a.unpcklps(XMM2, XMM3);
+                self.a.unpcklps(XMM4, XMM5);
+                self.a.movlhps(XMM2, XMM4);
+                self.a.movups_store(RSP, dst + o, XMM2);
+            }
+        }
+        Ok("mixed packed".to_string())
+    }
+
+    /// Uniform binary op over a vector: packed SSE for float
+    /// add/sub/mul/div in 16-byte chunks, per-lane scalar otherwise.
+    fn vector_binop_uniform(
+        &mut self,
+        op: BinOp,
+        vt: snslp_ir::VectorType,
+        ad: i32,
+        bd: i32,
+        dst: i32,
+    ) -> Result<String, String> {
+        let esz = vt.elem.size_bytes() as i32;
+        let total = i32::from(vt.lanes) * esz;
+        let packed_ok =
+            vt.elem.is_float() && matches!(op, BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div);
+        let mut off = 0i32;
+        let mut chunks = 0usize;
+        if packed_ok {
+            let prefix: &[u8] = if vt.elem == ScalarType::F32 {
+                &[]
+            } else {
+                &[0x66]
+            };
+            let opc = match op {
+                BinOp::Add => 0x58,
+                BinOp::Sub => 0x5C,
+                BinOp::Mul => 0x59,
+                _ => 0x5E,
+            };
+            while total - off >= 16 {
+                self.a.movups_load(XMM0, RSP, ad + off);
+                self.a.movups_load(XMM1, RSP, bd + off);
+                self.a.sse_rr(prefix, opc, XMM0, XMM1);
+                self.a.movups_store(RSP, dst + off, XMM0);
+                off += 16;
+                chunks += 1;
+            }
+        }
+        let mut tail = 0usize;
+        while off < total {
+            self.scalar_binop(op, vt.elem, ad + off, bd + off, dst + off)?;
+            off += esz;
+            tail += 1;
+        }
+        Ok(match (chunks, tail) {
+            (0, _) => format!("per-lane x{tail}"),
+            (_, 0) => format!("packed x{chunks}"),
+            _ => format!("packed x{chunks} + tail x{tail}"),
+        })
+    }
+
+    fn block_index(&self, b: BlockId) -> usize {
+        self.f
+            .block_ids()
+            .position(|x| x == b)
+            .expect("block id exists")
+    }
+}

@@ -1,0 +1,166 @@
+//! The runtime contract between generated code and the host.
+//!
+//! Generated functions have the C signature
+//! `fn(ctx: *mut JitCtx, args: *const u64) -> i64` and return one of the
+//! [`status`] codes. All state the code needs — guest memory bounds, the
+//! fuel counter, the trap address and the return-value buffer — lives in
+//! [`JitCtx`], whose address is pinned in `r15` for the whole activation.
+//!
+//! Float `min`/`max`/`rem` are not lowered to SSE sequences: SSE
+//! `minsd`/`maxsd` disagree with Rust's `f64::min`/`f64::max` on NaN
+//! operands, and there is no `frem` instruction at all. The lowering
+//! instead calls back into the [`helpers`], which execute *literally the
+//! interpreter's expression* for each op, so native results are bit-exact
+//! by construction.
+
+/// Status codes returned by generated code.
+pub mod status {
+    /// Normal completion; the return buffer is valid.
+    pub const OK: i64 = 0;
+    /// Out-of-bounds access; `JitCtx::trap_addr` holds the guest address.
+    pub const OOB: i64 = 1;
+    /// Integer division or remainder by zero.
+    pub const DIV_ZERO: i64 = 2;
+    /// Fuel exhausted before reaching `ret`.
+    pub const FUEL: i64 = 3;
+}
+
+/// Per-activation state shared with generated code. Field offsets are
+/// baked into the emitted instructions — keep layout changes in sync with
+/// the `CTX_*` constants.
+#[repr(C)]
+#[derive(Debug)]
+pub struct JitCtx {
+    /// Host address of guest byte 0.
+    pub mem_base: *mut u8,
+    /// Guest memory size in bytes.
+    pub mem_size: u64,
+    /// Remaining fuel; decremented once per executed instruction, written
+    /// back on every exit path.
+    pub fuel: u64,
+    /// Guest address of a faulting access (valid when status is `OOB`).
+    pub trap_addr: u64,
+    /// Return-value buffer (scalar or packed vector lanes, little-endian).
+    pub ret: [u8; RET_BUF_BYTES],
+}
+
+/// Size of the return-value buffer: covers the widest vector the verifier
+/// accepts (the lowering refuses anything larger).
+pub const RET_BUF_BYTES: usize = 128;
+
+/// Byte offset of `mem_base` in [`JitCtx`].
+pub const CTX_MEM_BASE: i32 = 0;
+/// Byte offset of `mem_size`.
+pub const CTX_MEM_SIZE: i32 = 8;
+/// Byte offset of `fuel`.
+pub const CTX_FUEL: i32 = 16;
+/// Byte offset of `trap_addr`.
+pub const CTX_TRAP_ADDR: i32 = 24;
+/// Byte offset of the return buffer.
+pub const CTX_RET: i32 = 32;
+
+/// Helper callbacks reproducing interpreter float semantics exactly.
+///
+/// The `f32` variants widen through `f64` and narrow the result, because
+/// that is what `apply_binop_scalar` does; `%`, `min` and `max` on the
+/// widened values round-trip exactly for `f32` inputs.
+pub mod helpers {
+    /// `f64::min` with Rust (not SSE) NaN semantics.
+    pub extern "C" fn fmin64(a: f64, b: f64) -> f64 {
+        a.min(b)
+    }
+
+    /// `f64::max` with Rust NaN semantics.
+    pub extern "C" fn fmax64(a: f64, b: f64) -> f64 {
+        a.max(b)
+    }
+
+    /// `f64 % f64` (Rust `Rem`, i.e. `fmod`).
+    pub extern "C" fn frem64(a: f64, b: f64) -> f64 {
+        a % b
+    }
+
+    /// `f32` min via the interpreter's widen-compute-narrow path.
+    pub extern "C" fn fmin32(a: f32, b: f32) -> f32 {
+        f64::from(a).min(f64::from(b)) as f32
+    }
+
+    /// `f32` max via the widen-compute-narrow path.
+    pub extern "C" fn fmax32(a: f32, b: f32) -> f32 {
+        f64::from(a).max(f64::from(b)) as f32
+    }
+
+    /// `f32` remainder via the widen-compute-narrow path.
+    pub extern "C" fn frem32(a: f32, b: f32) -> f32 {
+        (f64::from(a) % f64::from(b)) as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ctx_offsets_match_layout() {
+        // The emitted code addresses JitCtx by these constants; a layout
+        // drift would corrupt state at runtime, so pin it here.
+        assert_eq!(
+            std::mem::offset_of!(JitCtx, mem_base),
+            CTX_MEM_BASE as usize
+        );
+        assert_eq!(
+            std::mem::offset_of!(JitCtx, mem_size),
+            CTX_MEM_SIZE as usize
+        );
+        assert_eq!(std::mem::offset_of!(JitCtx, fuel), CTX_FUEL as usize);
+        assert_eq!(
+            std::mem::offset_of!(JitCtx, trap_addr),
+            CTX_TRAP_ADDR as usize
+        );
+        assert_eq!(std::mem::offset_of!(JitCtx, ret), CTX_RET as usize);
+    }
+
+    #[test]
+    fn helpers_match_interpreter_semantics() {
+        use snslp_interp::value::apply_binop_scalar;
+        use snslp_interp::Value;
+        use snslp_ir::BinOp;
+
+        let cases64 = [
+            (1.5f64, 2.5f64),
+            (f64::NAN, 1.0),
+            (1.0, f64::NAN),
+            (0.0, -0.0),
+            (-7.25, 3.5),
+        ];
+        for (a, b) in cases64 {
+            for (op, h) in [
+                (
+                    BinOp::Min,
+                    helpers::fmin64 as extern "C" fn(f64, f64) -> f64,
+                ),
+                (BinOp::Max, helpers::fmax64),
+                (BinOp::Rem, helpers::frem64),
+            ] {
+                let want = apply_binop_scalar(op, &Value::F64(a), &Value::F64(b)).unwrap();
+                let Value::F64(w) = want else { unreachable!() };
+                assert_eq!(h(a, b).to_bits(), w.to_bits(), "{op} {a} {b}");
+            }
+        }
+        let cases32 = [(1.5f32, 2.5f32), (f32::NAN, 1.0), (0.0, -0.0), (-7.25, 3.5)];
+        for (a, b) in cases32 {
+            for (op, h) in [
+                (
+                    BinOp::Min,
+                    helpers::fmin32 as extern "C" fn(f32, f32) -> f32,
+                ),
+                (BinOp::Max, helpers::fmax32),
+                (BinOp::Rem, helpers::frem32),
+            ] {
+                let want = apply_binop_scalar(op, &Value::F32(a), &Value::F32(b)).unwrap();
+                let Value::F32(w) = want else { unreachable!() };
+                assert_eq!(h(a, b).to_bits(), w.to_bits(), "{op} {a} {b}");
+            }
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Golden `jitdump` listings: the JIT's textual lowering dump for two
+//! representative kernels under plain SLP and SN-SLP must stay
+//! byte-identical to the checked-in files. The dump carries opcode
+//! mnemonics, stack-slot assignments and emitted byte counts but no
+//! addresses, so it is stable across runs, hosts and ASLR — any diff is
+//! a real change to instruction selection and belongs in review.
+//!
+//! Regenerate after an intentional codegen change with:
+//!
+//! ```text
+//! BLESS=1 cargo test -p snslp-jit --test jitdump_golden
+//! ```
+//!
+//! `compile` is pure lowering (no executable mapping), so these tests
+//! run on every platform, not just x86-64 Linux.
+
+use std::path::PathBuf;
+
+use snslp_core::{run_slp, SlpConfig, SlpMode};
+use snslp_jit::compile;
+use snslp_kernels::kernel_by_name;
+
+fn golden_path(file: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/goldens")
+        .join(file)
+}
+
+fn check(kernel: &str, mode: SlpMode, label: &str) {
+    let k = kernel_by_name(kernel).expect("registry kernel");
+    let mut f = k.build();
+    run_slp(&mut f, &SlpConfig::new(mode));
+    let dump = compile(&f)
+        .unwrap_or_else(|e| panic!("{kernel} [{label}] must lower: {e}"))
+        .dump()
+        .to_string();
+    let path = golden_path(&format!("{kernel}_{label}.jitdump"));
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(&path, &dump).expect("write golden");
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {}: {e}\nregenerate with BLESS=1 cargo test -p snslp-jit",
+            path.display()
+        )
+    });
+    assert_eq!(
+        dump,
+        want,
+        "jitdump for {kernel} [{label}] drifted from {}",
+        path.display()
+    );
+}
+
+#[test]
+fn motiv_leaf_slp_dump_is_stable() {
+    check("motiv_leaf", SlpMode::Slp, "slp");
+}
+
+#[test]
+fn motiv_leaf_snslp_dump_is_stable() {
+    check("motiv_leaf", SlpMode::SnSlp, "snslp");
+}
+
+#[test]
+fn povray_shade_slp_dump_is_stable() {
+    check("povray_shade", SlpMode::Slp, "slp");
+}
+
+#[test]
+fn povray_shade_snslp_dump_is_stable() {
+    check("povray_shade", SlpMode::SnSlp, "snslp");
+}

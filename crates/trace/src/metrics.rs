@@ -48,10 +48,16 @@ pub enum Counter {
     ArtifactCacheEvictions,
     /// Optimization remarks produced.
     RemarksEmitted,
+    /// Machine-code bytes emitted by the native JIT backend.
+    JitBytesEmitted,
+    /// IR instructions lowered to native code by the JIT backend.
+    JitOpsLowered,
+    /// Functions the JIT backend refused, falling back to the interpreter.
+    JitFallbacks,
 }
 
 impl Counter {
-    pub const ALL: [Counter; 14] = [
+    pub const ALL: [Counter; 17] = [
         Counter::SeedsCollected,
         Counter::BundlesAttempted,
         Counter::LookaheadScoreEvals,
@@ -66,6 +72,9 @@ impl Counter {
         Counter::ArtifactCacheMisses,
         Counter::ArtifactCacheEvictions,
         Counter::RemarksEmitted,
+        Counter::JitBytesEmitted,
+        Counter::JitOpsLowered,
+        Counter::JitFallbacks,
     ];
 
     pub fn name(self) -> &'static str {
@@ -84,6 +93,9 @@ impl Counter {
             Counter::ArtifactCacheMisses => "artifact_cache_misses",
             Counter::ArtifactCacheEvictions => "artifact_cache_evictions",
             Counter::RemarksEmitted => "remarks_emitted",
+            Counter::JitBytesEmitted => "jit_bytes_emitted",
+            Counter::JitOpsLowered => "jit_ops_lowered",
+            Counter::JitFallbacks => "jit_fallbacks",
         }
     }
 }
@@ -322,7 +334,8 @@ mod tests {
         let text = snap.machine();
         assert!(text.starts_with("seeds_collected=0"));
         assert!(text.contains("leaf_moves=0"));
-        assert!(text.ends_with("remarks_emitted=0"));
+        assert!(text.contains("remarks_emitted=0"));
+        assert!(text.ends_with("jit_fallbacks=0"));
     }
 
     #[test]

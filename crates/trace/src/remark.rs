@@ -36,10 +36,14 @@ pub enum ReasonCode {
     /// beyond the calibration ratio threshold (emitted by the dynamic
     /// profiling layer, not by the pass itself).
     CostMisprediction,
+    /// The native JIT backend refused to compile a committed function and
+    /// execution fell back to the interpreter (emitted by the execution
+    /// layer, not by the pass itself).
+    JitFallback,
 }
 
 impl ReasonCode {
-    pub const ALL: [ReasonCode; 8] = [
+    pub const ALL: [ReasonCode; 9] = [
         ReasonCode::Profitable,
         ReasonCode::Cost,
         ReasonCode::UnsupportedOpcode,
@@ -48,6 +52,7 @@ impl ReasonCode {
         ReasonCode::NonConsecutive,
         ReasonCode::TooNarrow,
         ReasonCode::CostMisprediction,
+        ReasonCode::JitFallback,
     ];
 
     /// Stable kebab-case code used in machine remark lines.
@@ -61,6 +66,7 @@ impl ReasonCode {
             ReasonCode::NonConsecutive => "non-consecutive",
             ReasonCode::TooNarrow => "too-narrow",
             ReasonCode::CostMisprediction => "cost-misprediction",
+            ReasonCode::JitFallback => "jit-fallback",
         }
     }
 
@@ -75,6 +81,7 @@ impl ReasonCode {
             ReasonCode::NonConsecutive => "non-consecutive memory accesses",
             ReasonCode::TooNarrow => "seed too narrow",
             ReasonCode::CostMisprediction => "predicted and achieved savings disagree",
+            ReasonCode::JitFallback => "native backend fell back to the interpreter",
         }
     }
 }

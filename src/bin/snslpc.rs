@@ -27,6 +27,13 @@
 //!                              print its dynamic execution profile;
 //!                              arguments come from the module's
 //!                              `; INPUTS:` comment line
+//!   --backend interp|jit       with --run, how to execute the entry
+//!                              (default interp). `jit` compiles the
+//!                              committed IR to native x86-64 SSE2 code,
+//!                              cross-checks it bit-exactly against the
+//!                              interpreter, and reports measured wall
+//!                              time; functions the JIT declines fall
+//!                              back to the interpreter with a remark
 //!   --dyn-profile[=FILE]       with --run, also write the profile as a
 //!                              snslp-dynstats/v1 JSON document
 //!                              (default snslp-dyn.json)
@@ -64,6 +71,7 @@ struct Options {
     reductions: bool,
     verify: bool,
     run: Option<Option<String>>,
+    backend: snslp::jit::Backend,
     dyn_out: Option<String>,
     input: String,
 }
@@ -74,7 +82,7 @@ fn usage() -> ExitCode {
          [--stats[=FILE]] [--graphs] [--report[=FILE]] [--profile[=FILE]] \
          [--profile-folded=FILE] \
          [--time-passes] [--no-reductions] [--verify] [--run[=ENTRY]] \
-         [--dyn-profile[=FILE]] <file.snir | ->"
+         [--backend interp|jit] [--dyn-profile[=FILE]] <file.snir | ->"
     );
     ExitCode::from(2)
 }
@@ -93,6 +101,7 @@ fn parse_args() -> Result<Options, ExitCode> {
         reductions: true,
         verify: false,
         run: None,
+        backend: snslp::jit::Backend::default(),
         dyn_out: None,
         input: String::new(),
     };
@@ -127,6 +136,13 @@ fn parse_args() -> Result<Options, ExitCode> {
             "--no-reductions" => opts.reductions = false,
             "--verify" => opts.verify = true,
             "--run" => opts.run = Some(None),
+            "--backend" => {
+                i += 1;
+                opts.backend = match args.get(i).map(|b| b.parse()) {
+                    Some(Ok(b)) => b,
+                    _ => return Err(usage()),
+                };
+            }
             "--dyn-profile" => opts.dyn_out = Some("snslp-dyn.json".to_string()),
             "--help" | "-h" => return Err(usage()),
             arg => {
@@ -140,6 +156,14 @@ fn parse_args() -> Result<Options, ExitCode> {
                     opts.folded_out = Some(path.to_string());
                 } else if let Some(entry) = arg.strip_prefix("--run=") {
                     opts.run = Some(Some(entry.trim_start_matches('@').to_string()));
+                } else if let Some(b) = arg.strip_prefix("--backend=") {
+                    opts.backend = match b.parse() {
+                        Ok(b) => b,
+                        Err(e) => {
+                            eprintln!("snslpc: {e}");
+                            return Err(usage());
+                        }
+                    };
                 } else if let Some(path) = arg.strip_prefix("--dyn-profile=") {
                     opts.dyn_out = Some(path.to_string());
                 } else if opts.input.is_empty() && !arg.starts_with("--") {
@@ -235,6 +259,38 @@ fn run_entry(
     }
     eprint!("{}", out.exec.profile.render());
 
+    // `--backend jit`: the interpreter pass above remains the profile
+    // source; the native pass adds measured wall time after a bit-exact
+    // cross-check of every observable.
+    let wall_ns = match opts.backend {
+        snslp::jit::Backend::Interp => None,
+        snslp::jit::Backend::Jit => {
+            match snslp::jit::check_backends(f, &args, &model, &ExecOptions::default())
+                .map_err(|d| format!("@{}: backend divergence: {d}", f.name()))?
+            {
+                snslp::jit::BackendDiff::NotCovered { reason } => {
+                    eprintln!(
+                        "@{}: native backend not used ({reason}); interpreter result stands",
+                        f.name()
+                    );
+                    None
+                }
+                snslp::jit::BackendDiff::Agreed => {
+                    let wall = snslp::bench::native_wall_ns(f, &args);
+                    if let Some(ns) = wall {
+                        eprintln!(
+                            "@{}: native x86-64 run matches the interpreter bit-exactly; \
+                             {ns} ns wall (min of {} runs)",
+                            f.name(),
+                            snslp::bench::WALL_REPEATS
+                        );
+                    }
+                    wall
+                }
+            }
+        }
+    };
+
     if let Some(path) = &opts.dyn_out {
         let label = match opts.mode {
             None => "o3",
@@ -254,6 +310,7 @@ fn run_entry(
                     predicted_cost: report.map(|r| r.predicted_cost()).unwrap_or(0),
                     vectorized_graphs: report.map(|r| r.vectorized_graphs() as u64).unwrap_or(0),
                     profile: out.exec.profile.clone(),
+                    wall_ns,
                 }],
             }],
         };

@@ -10,6 +10,8 @@
 //! * [`ir`] — the SSA intermediate representation (`snslp-ir`);
 //! * [`cost`] — target descriptions and the cost model (`snslp-cost`);
 //! * [`interp`] — the reference interpreter (`snslp-interp`);
+//! * [`jit`] — the native x86-64 JIT backend executing committed IR as
+//!   real SSE2 machine code, with interpreter fallback (`snslp-jit`);
 //! * [`core`] — the vectorizer passes (`snslp-core`);
 //! * [`kernels`] — the Table I kernel suite (`snslp-kernels`);
 //! * [`trace`] — structured tracing, remarks and metrics (`snslp-trace`);
@@ -36,6 +38,7 @@ pub use snslp_cost as cost;
 pub use snslp_fuzz as fuzz;
 pub use snslp_interp as interp;
 pub use snslp_ir as ir;
+pub use snslp_jit as jit;
 pub use snslp_kernels as kernels;
 pub use snslp_serve as serve;
 pub use snslp_trace as trace;
