@@ -37,7 +37,10 @@
 //! validates the checked-in `BENCH_serve.json` (schema + plausibility)
 //! and applies the machine-independent shape invariants of
 //! [`snslp_bench::servebench::check_serve`] — warm cache hit rate above
-//! 90% and cold p50 at least 5× the warm p50. With `--fresh FILE` it
+//! 90%, cold p50 at least 5× the warm p50, and the server's own warm
+//! `request_total` p50 (from its telemetry snapshot) within a generous
+//! band of the client-observed warm p50, so the two measurement paths
+//! cannot silently diverge. With `--fresh FILE` it
 //! additionally validates and gates a just-measured report (produced by
 //! `snslp-bench serve --out FILE`), which is how CI checks a live run
 //! rather than only the committed point.

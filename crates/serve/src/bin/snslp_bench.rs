@@ -12,7 +12,7 @@
 //!   `--clients N` `--requests N` `--functions N` `--seed N`
 //!   `--mode slp|lslp|snslp` `--target-isa sse2|avx2|noaltop`
 //!
-//! Output: the `snslp-serve-bench/v1` report JSON on stdout (and to
+//! Output: the `snslp-serve-bench/v2` report JSON on stdout (and to
 //! `--out FILE`). With `--check`, the report is additionally run through
 //! the same shape-invariant gate as `bench_check serve` and the exit
 //! status reflects it.

@@ -2,22 +2,27 @@
 //!
 //! Usage:
 //!   `snslp-client --socket PATH [--mode M] [--target T] [--artifact A]... FILE`
-//!   `snslp-client --socket PATH --stats`
+//!   `snslp-client --socket PATH --stats [--json]`
 //!
 //! `FILE` is a `.snir` module (`-` for stdin). The raw reply line is
 //! printed to stdout; exit status is non-zero unless the reply status is
 //! `ok`. Busy replies are retried with a short backoff.
+//!
+//! `--stats` renders the server's telemetry snapshot as an aligned
+//! human-readable table (strictly validated on the way in); add `--json`
+//! for the raw wire reply instead.
 
 use std::io::Read;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use snslp_serve::telemetry::{render_table, TelemetrySnapshot};
 use snslp_serve::{Client, STATUS_OK};
 
 fn usage() -> ! {
     eprintln!(
         "usage: snslp-client --socket PATH [--mode slp|lslp|snslp] [--target sse2|avx2|noaltop] \
-         [--artifact codegen|html|dynstats]... (FILE|- | --stats)"
+         [--artifact codegen|html|dynstats]... (FILE|- | --stats [--json])"
     );
     std::process::exit(2);
 }
@@ -28,6 +33,7 @@ fn main() -> ExitCode {
     let mut target = "avx2".to_string();
     let mut artifacts: Vec<String> = Vec::new();
     let mut stats = false;
+    let mut json = false;
     let mut input: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -37,6 +43,7 @@ fn main() -> ExitCode {
             "--target" => target = args.next().unwrap_or_else(|| usage()),
             "--artifact" => artifacts.push(args.next().unwrap_or_else(|| usage())),
             "--stats" => stats = true,
+            "--json" => json = true,
             "--help" | "-h" => usage(),
             other if other.starts_with("--") => {
                 eprintln!("snslp-client: unknown argument {other}");
@@ -62,6 +69,33 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+
+    if stats && !json {
+        // Human form: fetch, strictly validate, render the table.
+        return match client.stats() {
+            Ok(reply) => {
+                let snapshot = reply
+                    .json
+                    .get("telemetry")
+                    .ok_or_else(|| "stats reply lacks a `telemetry` member".to_string())
+                    .and_then(TelemetrySnapshot::from_json);
+                match snapshot {
+                    Ok(snapshot) => {
+                        print!("{}", render_table(&snapshot));
+                        ExitCode::SUCCESS
+                    }
+                    Err(e) => {
+                        eprintln!("snslp-client: invalid telemetry snapshot: {e}");
+                        ExitCode::FAILURE
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("snslp-client: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
 
     let reply = if stats {
         client.stats()

@@ -1,0 +1,158 @@
+//! `snslp-top` — live terminal dashboard for a running `snslpd`.
+//!
+//! Usage:
+//!   `snslp-top --socket PATH [--interval SECS] [--once] [--snapshot FILE]`
+//!
+//! Polls the server's `stats` op, strictly re-validates each
+//! `snslpd-telemetry/v1` snapshot with the shared reader, and redraws a
+//! terminal dashboard: counters, scheduler gauges, cache hit rate, and
+//! the per-stage latency histograms as p50/p90/p99 rows with log-bucket
+//! sparklines. Between polls it also shows interval rates (requests/s,
+//! memo hits/s) computed from snapshot deltas.
+//!
+//! `--once` prints a single plain-text frame and exits — the CI form.
+//! `--snapshot FILE` additionally writes the latest validated snapshot
+//! (pretty JSON, trailing newline) to `FILE` on every poll, so smoke
+//! jobs can both eyeball the dashboard and archive the raw document.
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use snslp_serve::telemetry::{fmt_ns, render_table, sparkline, TelemetrySnapshot};
+use snslp_serve::Client;
+
+const SPARK_COLS: usize = 24;
+
+fn usage() -> ! {
+    eprintln!("usage: snslp-top --socket PATH [--interval SECS] [--once] [--snapshot FILE]");
+    std::process::exit(2);
+}
+
+/// The distribution block appended to every frame: one sparkline per
+/// occupied histogram, labelled with its observed range.
+fn distributions(s: &TelemetrySnapshot) -> String {
+    let mut out = String::from("\ndistribution (log buckets, ≤6.25% wide)\n");
+    for (name, h) in &s.hists {
+        let line = sparkline(h, SPARK_COLS);
+        if line.is_empty() {
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "  {:<15} {:<SPARK_COLS$} [{} .. {}]",
+            name,
+            line,
+            fmt_ns(h.min),
+            fmt_ns(h.max)
+        );
+    }
+    out
+}
+
+/// Interval rates from two consecutive snapshots.
+fn rates(cur: &TelemetrySnapshot, prev: &TelemetrySnapshot, secs: f64) -> String {
+    let window = cur.delta(prev);
+    let c = &window.counters;
+    let per_s = |v: u64| v as f64 / secs.max(1e-9);
+    let lookups = window.cache.hits + window.cache.misses;
+    let hit_rate = if lookups == 0 {
+        0.0
+    } else {
+        100.0 * window.cache.hits as f64 / lookups as f64
+    };
+    format!(
+        "last {:.1}s: {:.1} req/s ({:.1} memo/s, {:.1} busy/s), cache hit rate {:.1}%\n",
+        secs,
+        per_s(c.requests_served),
+        per_s(c.memo_hits),
+        per_s(c.busy_replies),
+        hit_rate
+    )
+}
+
+fn main() -> ExitCode {
+    let mut socket: Option<PathBuf> = None;
+    let mut interval = 1.0f64;
+    let mut once = false;
+    let mut snapshot_path: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--socket" => socket = args.next().map(PathBuf::from),
+            "--interval" => {
+                interval = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|v: &f64| *v > 0.0)
+                    .unwrap_or_else(|| usage());
+            }
+            "--once" => once = true,
+            "--snapshot" => snapshot_path = args.next().map(PathBuf::from),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("snslp-top: unknown argument {other}");
+                usage();
+            }
+        }
+    }
+    let Some(socket) = socket else {
+        eprintln!("snslp-top: --socket is required");
+        usage();
+    };
+
+    let mut client = match Client::connect(&socket) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("snslp-top: cannot connect to {}: {e}", socket.display());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut prev: Option<TelemetrySnapshot> = None;
+    let mut polls = 0u64;
+    loop {
+        let snapshot = match client.telemetry() {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("snslp-top: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        polls += 1;
+        if let Some(path) = &snapshot_path {
+            if let Err(e) = std::fs::write(path, snapshot.render()) {
+                eprintln!("snslp-top: cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+
+        let mut frame = String::new();
+        if !once {
+            // Clear screen, home cursor.
+            frame.push_str("\x1b[2J\x1b[H");
+        }
+        let _ = writeln!(
+            frame,
+            "snslp-top — {} — poll #{polls}{}",
+            socket.display(),
+            if once { "" } else { "  (ctrl-c to quit)" }
+        );
+        if let Some(prev) = &prev {
+            frame.push_str(&rates(&snapshot, prev, interval));
+        }
+        frame.push('\n');
+        frame.push_str(&render_table(&snapshot));
+        frame.push_str(&distributions(&snapshot));
+        print!("{frame}");
+        let _ = std::io::stdout().flush();
+
+        if once {
+            return ExitCode::SUCCESS;
+        }
+        prev = Some(snapshot);
+        std::thread::sleep(Duration::from_secs_f64(interval));
+    }
+}

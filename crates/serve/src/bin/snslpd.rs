@@ -16,6 +16,10 @@
 //!   `--cache-entries N`   function-cache capacity (default 4096)
 //!   `--memo-entries N`    whole-request memo capacity (default 4096)
 //!   `--threads N`         driver threads per batch (default 1)
+//!
+//! `SNSLP_TRACE=events,json` turns the per-request `serve.access`
+//! records into an NDJSON access log on stderr (one line per request
+//! with the per-stage nanosecond breakdown).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -45,6 +49,10 @@ fn parse_num(flag: &str, value: Option<String>) -> usize {
 }
 
 fn main() -> ExitCode {
+    if let Err(e) = snslp_trace::init_from_env() {
+        eprintln!("snslpd: {e}");
+        return ExitCode::from(2);
+    }
     let mut cfg = ServeConfig::default();
     let mut socket: Option<PathBuf> = None;
     let mut stdio = false;

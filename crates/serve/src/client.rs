@@ -151,4 +151,20 @@ impl Client {
         let id = self.fresh_id();
         self.round_trip(&Request::render_stats(id))
     }
+
+    /// Fetches and strictly validates the server's `snslpd-telemetry/v1`
+    /// snapshot (the `telemetry` member of a `stats` reply).
+    ///
+    /// # Errors
+    ///
+    /// I/O failure, a malformed reply, or a snapshot the strict reader
+    /// rejects.
+    pub fn telemetry(&mut self) -> Result<crate::telemetry::TelemetrySnapshot, String> {
+        let reply = self.stats()?;
+        let doc = reply
+            .json
+            .get("telemetry")
+            .ok_or("stats reply lacks a `telemetry` member")?;
+        crate::telemetry::TelemetrySnapshot::from_json(doc)
+    }
 }

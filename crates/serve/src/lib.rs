@@ -17,8 +17,10 @@ pub mod client;
 pub mod loadgen;
 pub mod proto;
 pub mod server;
+pub mod telemetry;
 
 pub use client::{Client, Reply};
 pub use loadgen::{run_loadgen, LoadgenOptions};
 pub use proto::{Request, STATUS_BUSY, STATUS_ERROR, STATUS_OK};
-pub use server::{serve_connection, ServeConfig, Server, ServerState};
+pub use server::{serve_connection, ReplyMsg, ServeConfig, Server, ServerState};
+pub use telemetry::{TelemetrySnapshot, TELEMETRY_SCHEMA};

@@ -1,6 +1,6 @@
 //! The `snslp-bench serve` load generator: fixed-seed synthetic traffic
 //! replayed against a running `snslpd`, measured into the
-//! `snslp-serve-bench/v1` report.
+//! `snslp-serve-bench/v2` report.
 //!
 //! Traffic is fully deterministic given `(seed, clients,
 //! requests_per_client, functions_per_module)`: every request module is
@@ -14,10 +14,12 @@
 use std::path::Path;
 use std::time::Instant;
 
-use snslp_bench::json::Json;
-use snslp_bench::servebench::{percentile, CachePhase, Phase, PhaseStats, ServeBenchReport};
+use snslp_bench::servebench::{
+    percentile, CachePhase, Phase, PhaseStats, ServeBenchReport, ServerPhase,
+};
 
 use crate::client::Client;
+use crate::telemetry::TelemetrySnapshot;
 
 /// Load-generator parameters.
 #[derive(Debug, Clone)]
@@ -84,23 +86,25 @@ fn build_corpus(opts: &LoadgenOptions) -> Vec<Vec<String>> {
         .collect()
 }
 
-/// Cache counters scraped from a stats reply.
-fn scrape_cache(socket: &Path) -> Result<(u64, u64, u64), String> {
+/// One phase-boundary telemetry snapshot, strictly validated. Both the
+/// cache deltas and the server-side latency section come from these, so
+/// the report's server accounting is exactly what the `stats` op serves.
+fn scrape_telemetry(socket: &Path) -> Result<TelemetrySnapshot, String> {
     let mut client = Client::connect(socket).map_err(|e| format!("stats connect: {e}"))?;
-    let reply = client.stats()?;
-    let Json::Obj(fields) = &reply.json else {
-        return Err("stats reply is not an object".to_string());
-    };
-    let Some(Json::Obj(stats)) = fields.iter().find(|(k, _)| k == "stats").map(|(_, v)| v) else {
-        return Err("stats reply lacks a `stats` object".to_string());
-    };
-    let num = |key: &str| -> Result<u64, String> {
-        match stats.iter().find(|(k, _)| k == key).map(|(_, v)| v) {
-            Some(Json::Num(n)) if *n >= 0.0 => Ok(*n as u64),
-            _ => Err(format!("stats reply lacks numeric `{key}`")),
-        }
-    };
-    Ok((num("hits")?, num("misses")?, num("evictions")?))
+    client.telemetry()
+}
+
+/// The server's latency accounting between two snapshots: the
+/// `request_total` histogram delta, quantiles in microseconds.
+fn server_phase(after: &TelemetrySnapshot, before: &TelemetrySnapshot) -> ServerPhase {
+    let window = after.delta(before);
+    let total = window.hist("request_total").cloned().unwrap_or_default();
+    ServerPhase {
+        requests: window.counters.requests_served,
+        p50_us: total.quantile(50.0) as f64 / 1e3,
+        p90_us: total.quantile(90.0) as f64 / 1e3,
+        p99_us: total.quantile(99.0) as f64 / 1e3,
+    }
 }
 
 /// Runs one phase: every client replays its request list; returns
@@ -187,17 +191,17 @@ fn phase_stats(latencies: &mut [f64], busy: u64, wall: f64) -> PhaseStats {
 pub fn run_loadgen(socket: &Path, opts: &LoadgenOptions) -> Result<ServeBenchReport, String> {
     let corpus = build_corpus(opts);
 
-    let before_cold = scrape_cache(socket)?;
+    let before_cold = scrape_telemetry(socket)?;
     let (mut cold_lat, cold_busy, cold_wall) = run_phase(socket, &corpus, opts)?;
-    let after_cold = scrape_cache(socket)?;
+    let after_cold = scrape_telemetry(socket)?;
 
     let (mut warm_lat, warm_busy, warm_wall) = run_phase(socket, &corpus, opts)?;
-    let after_warm = scrape_cache(socket)?;
+    let after_warm = scrape_telemetry(socket)?;
 
-    let delta = |a: (u64, u64, u64), b: (u64, u64, u64)| CachePhase {
-        hits: b.0.saturating_sub(a.0),
-        misses: b.1.saturating_sub(a.1),
-        evictions: b.2.saturating_sub(a.2),
+    let delta = |a: &TelemetrySnapshot, b: &TelemetrySnapshot| CachePhase {
+        hits: b.cache.hits.saturating_sub(a.cache.hits),
+        misses: b.cache.misses.saturating_sub(a.cache.misses),
+        evictions: b.cache.evictions.saturating_sub(a.cache.evictions),
     };
     Ok(ServeBenchReport {
         clients: opts.clients,
@@ -206,11 +210,13 @@ pub fn run_loadgen(socket: &Path, opts: &LoadgenOptions) -> Result<ServeBenchRep
         seed: opts.seed,
         cold: Phase {
             stats: phase_stats(&mut cold_lat, cold_busy, cold_wall),
-            cache: delta(before_cold, after_cold),
+            cache: delta(&before_cold, &after_cold),
+            server: server_phase(&after_cold, &before_cold),
         },
         warm: Phase {
             stats: phase_stats(&mut warm_lat, warm_busy, warm_wall),
-            cache: delta(after_cold, after_warm),
+            cache: delta(&after_cold, &after_warm),
+            server: server_phase(&after_warm, &after_cold),
         },
     })
 }

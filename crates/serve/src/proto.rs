@@ -300,20 +300,36 @@ pub fn failure_body(status: &str, error: &str) -> String {
     ]))
 }
 
-/// Renders the status/payload half of a stats reply.
-pub fn stats_body(stats: &snslp_core::CacheStats, memo_hits: u64) -> String {
+/// Renders the status/payload half of a stats reply: the legacy flat
+/// `stats` counters (older clients and the load generator's scraper
+/// parse these) plus the full `snslpd-telemetry/v1` snapshot under
+/// `telemetry`, extractable and re-validatable on its own.
+pub fn stats_body(telemetry: &crate::telemetry::TelemetrySnapshot) -> String {
     body_of(Json::Obj(vec![
         ("status".to_string(), Json::Str(STATUS_OK.to_string())),
         (
             "stats".to_string(),
             Json::Obj(vec![
-                ("hits".to_string(), Json::Num(stats.hits as f64)),
-                ("misses".to_string(), Json::Num(stats.misses as f64)),
-                ("evictions".to_string(), Json::Num(stats.evictions as f64)),
-                ("entries".to_string(), Json::Num(stats.entries as f64)),
-                ("memo_hits".to_string(), Json::Num(memo_hits as f64)),
+                ("hits".to_string(), Json::Num(telemetry.cache.hits as f64)),
+                (
+                    "misses".to_string(),
+                    Json::Num(telemetry.cache.misses as f64),
+                ),
+                (
+                    "evictions".to_string(),
+                    Json::Num(telemetry.cache.evictions as f64),
+                ),
+                (
+                    "entries".to_string(),
+                    Json::Num(telemetry.cache.entries as f64),
+                ),
+                (
+                    "memo_hits".to_string(),
+                    Json::Num(telemetry.counters.memo_hits as f64),
+                ),
             ]),
         ),
+        ("telemetry".to_string(), telemetry.to_json()),
     ]))
 }
 

@@ -42,7 +42,7 @@ use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::time::Duration;
 
@@ -58,6 +58,7 @@ use snslp_trace::{trace_event, Span};
 use crate::proto::{
     address, failure_body, ok_body, stats_body, CompileRequest, Request, STATUS_BUSY, STATUS_ERROR,
 };
+use crate::telemetry::{ReplyClass, ReqKind, ReqTelem, Stage, Telemetry, TelemetrySnapshot};
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -94,6 +95,14 @@ impl Default for ServeConfig {
     }
 }
 
+/// One reply travelling to a connection writer: the rendered line plus
+/// the request's telemetry, which the writer seals (final `write` mark,
+/// byte counts, one registry record) just before the socket write.
+pub struct ReplyMsg {
+    pub(crate) line: String,
+    pub(crate) telem: ReqTelem,
+}
+
 /// One queued compile job: a parsed, verified request plus its reply
 /// channel.
 struct Job {
@@ -103,7 +112,8 @@ struct Job {
     cfg: SlpConfig,
     fingerprint: u64,
     memo_key: u128,
-    reply: mpsc::Sender<String>,
+    telem: ReqTelem,
+    reply: mpsc::Sender<ReplyMsg>,
 }
 
 struct Shard {
@@ -122,7 +132,7 @@ struct MemoEntry {
     num_functions: u64,
 }
 
-/// Shared server state: scheduler, caches, counters.
+/// Shared server state: scheduler, caches, telemetry.
 pub struct ServerState {
     cfg: ServeConfig,
     shards: Vec<Shard>,
@@ -131,8 +141,7 @@ pub struct ServerState {
     stop: AtomicBool,
     cache: ArtifactCache,
     memo: Mutex<Memo>,
-    memo_hits: AtomicU64,
-    busy_replies: AtomicU64,
+    telemetry: Telemetry,
 }
 
 impl std::fmt::Debug for ServerState {
@@ -159,8 +168,7 @@ impl ServerState {
             inflight: AtomicUsize::new(0),
             stop: AtomicBool::new(false),
             memo: Mutex::new(Memo::default()),
-            memo_hits: AtomicU64::new(0),
-            busy_replies: AtomicU64::new(0),
+            telemetry: Telemetry::new(),
             cfg,
         }
     }
@@ -170,14 +178,34 @@ impl ServerState {
         self.cache.stats()
     }
 
+    /// The telemetry registry (histograms, counters, gauges).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
     /// Whole-request memo hits so far.
     pub fn memo_hits(&self) -> u64 {
-        self.memo_hits.load(Ordering::Relaxed)
+        self.telemetry.memo_hits()
     }
 
     /// Busy refusals so far.
     pub fn busy_replies(&self) -> u64 {
-        self.busy_replies.load(Ordering::Relaxed)
+        self.telemetry.busy_replies()
+    }
+
+    /// A full `snslpd-telemetry/v1` snapshot: registry state plus the
+    /// scheduler gauges only the server can see.
+    pub fn telemetry_snapshot(&self) -> TelemetrySnapshot {
+        let queue_depths = self
+            .shards
+            .iter()
+            .map(|s| s.queue.lock().unwrap_or_else(|e| e.into_inner()).len() as u64)
+            .collect();
+        self.telemetry.snapshot(
+            self.inflight.load(Ordering::Relaxed) as u64,
+            queue_depths,
+            &self.cache.stats(),
+        )
     }
 
     // -- memo ---------------------------------------------------------
@@ -223,21 +251,41 @@ impl ServerState {
     /// Classifies one request line. Cheap cases (stats, errors, memo
     /// hits, busy) are answered through `reply` immediately; compile jobs
     /// are queued and answered later by a shard worker. Either way
-    /// exactly one line is eventually sent on `reply`.
-    pub fn handle_line(self: &Arc<Self>, line: &str, reply: mpsc::Sender<String>) {
+    /// exactly one [`ReplyMsg`] is eventually sent on `reply`, carrying
+    /// the request's stage telemetry for the writer to seal.
+    pub fn handle_line(
+        self: &Arc<Self>,
+        line: &str,
+        mut telem: ReqTelem,
+        reply: mpsc::Sender<ReplyMsg>,
+    ) {
         let request = match Request::parse(line) {
             Err((id, msg)) => {
-                let _ = reply.send(address(id.unwrap_or(0), &failure_body(STATUS_ERROR, &msg)));
+                telem.mark(Stage::Parse);
+                telem.set_id(id.unwrap_or(0));
+                let line = address(id.unwrap_or(0), &failure_body(STATUS_ERROR, &msg));
+                telem.mark(Stage::Render);
+                let _ = reply.send(ReplyMsg { line, telem });
                 return;
             }
-            Ok(r) => r,
+            Ok(r) => {
+                telem.mark(Stage::Parse);
+                r
+            }
         };
+        telem.set_id(request.id());
         match request {
             Request::Stats { id } => {
-                let body = stats_body(&self.cache_stats(), self.memo_hits());
-                let _ = reply.send(address(id, &body));
+                telem.kind = ReqKind::Stats;
+                telem.class = ReplyClass::Ok;
+                let line = address(id, &stats_body(&self.telemetry_snapshot()));
+                telem.mark(Stage::Render);
+                let _ = reply.send(ReplyMsg { line, telem });
             }
-            Request::Compile { id, compile } => self.handle_compile(id, compile, reply),
+            Request::Compile { id, compile } => {
+                telem.kind = ReqKind::Compile;
+                self.handle_compile(id, compile, telem, reply);
+            }
         }
     }
 
@@ -245,7 +293,8 @@ impl ServerState {
         self: &Arc<Self>,
         id: u64,
         compile: CompileRequest,
-        reply: mpsc::Sender<String>,
+        mut telem: ReqTelem,
+        reply: mpsc::Sender<ReplyMsg>,
     ) {
         let cfg = compile.config();
         let fingerprint = cfg.fingerprint();
@@ -255,15 +304,21 @@ impl ServerState {
             &compile,
         );
         if let Some(entry) = self.memo_get(memo_key) {
-            self.memo_hits.fetch_add(1, Ordering::Relaxed);
+            telem.memo = true;
+            telem.class = ReplyClass::Ok;
+            telem.mark(Stage::Compile);
             // A memo hit answers num_functions function lookups without
             // ever reaching the function cache; account for them so the
             // hit rate means "lookups answered without compiling".
             self.cache.note_upstream_hits(entry.num_functions);
             trace_event!(EVENT_MEMO_HIT, "id" => id, "functions" => entry.num_functions);
-            let _ = reply.send(address(id, &entry.body));
+            let line = address(id, &entry.body);
+            telem.mark(Stage::Render);
+            let _ = reply.send(ReplyMsg { line, telem });
             return;
         }
+        // The missed lookup is compile-path time.
+        telem.mark(Stage::Compile);
 
         // Admission control *before* parsing: under overload the server
         // must shed cheaply, not burn CPU parsing doomed requests.
@@ -271,32 +326,41 @@ impl ServerState {
             .inflight
             .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| {
                 (n < self.cfg.max_inflight).then_some(n + 1)
-            })
-            .is_ok();
-        if !admitted {
-            self.refuse_busy(id, "in-flight limit", &reply);
-            return;
+            });
+        match admitted {
+            Ok(prev) => self.telemetry.note_admitted(prev as u64 + 1),
+            Err(_) => {
+                self.refuse_busy("in-flight limit", telem, &reply);
+                return;
+            }
         }
 
         let module = match parse_module(&compile.module_text) {
             Ok(m) => m,
             Err(e) => {
                 self.inflight.fetch_sub(1, Ordering::Relaxed);
-                let _ = reply.send(address(id, &failure_body(STATUS_ERROR, &e.to_string())));
+                telem.mark(Stage::Parse);
+                let line = address(id, &failure_body(STATUS_ERROR, &e.to_string()));
+                telem.mark(Stage::Render);
+                let _ = reply.send(ReplyMsg { line, telem });
                 return;
             }
         };
         for f in module.functions() {
             if let Err(e) = snslp_ir::verify(f) {
                 self.inflight.fetch_sub(1, Ordering::Relaxed);
+                telem.mark(Stage::Parse);
                 let body = failure_body(
                     STATUS_ERROR,
                     &format!("function @{} is malformed: {e}", f.name()),
                 );
-                let _ = reply.send(address(id, &body));
+                let line = address(id, &body);
+                telem.mark(Stage::Render);
+                let _ = reply.send(ReplyMsg { line, telem });
                 return;
             }
         }
+        telem.mark(Stage::Parse);
 
         let job = Job {
             id,
@@ -305,22 +369,27 @@ impl ServerState {
             cfg,
             fingerprint,
             memo_key,
+            telem,
             reply,
         };
         if let Some(job) = self.submit(job) {
             self.inflight.fetch_sub(1, Ordering::Relaxed);
-            self.refuse_busy(job.id, "all shard queues full", &job.reply);
+            self.refuse_busy("all shard queues full", job.telem, &job.reply);
         }
     }
 
-    fn refuse_busy(&self, id: u64, why: &str, reply: &mpsc::Sender<String>) {
-        self.busy_replies.fetch_add(1, Ordering::Relaxed);
-        trace_event!(EVENT_BUSY, "id" => id, "why" => why);
+    fn refuse_busy(&self, why: &str, mut telem: ReqTelem, reply: &mpsc::Sender<ReplyMsg>) {
+        // The busy counter is bumped when the writer seals the reply, so
+        // a client that has read this refusal always sees it counted.
+        telem.class = ReplyClass::Busy;
+        trace_event!(EVENT_BUSY, "id" => telem.id(), "why" => why);
         let body = failure_body(
             STATUS_BUSY,
             &format!("server at capacity ({why}); retry later"),
         );
-        let _ = reply.send(address(id, &body));
+        let line = address(telem.id(), &body);
+        telem.mark(Stage::Render);
+        let _ = reply.send(ReplyMsg { line, telem });
     }
 
     /// Round-robin submit with spill: try every shard once. Returns the
@@ -334,6 +403,7 @@ impl ServerState {
             let mut q = shard.queue.lock().unwrap_or_else(|e| e.into_inner());
             if q.len() < self.cfg.queue_depth {
                 q.push_back(job.take().expect("job not yet queued"));
+                self.telemetry.note_queue_depth(q.len() as u64);
                 drop(q);
                 shard.cv.notify_one();
                 return None;
@@ -397,13 +467,17 @@ impl ServerState {
     /// coalesced into a single module and run through the cached driver
     /// once; reports are split back per job by index range.
     fn run_batch(&self, batch: Vec<Job>) {
+        self.telemetry.worker_busy_enter();
+        let n_jobs = batch.len();
         let mut groups: Vec<(u64, Vec<Job>)> = Vec::new();
-        for job in batch {
+        for mut job in batch {
+            job.telem.mark(Stage::Queue);
             match groups.iter_mut().find(|(fp, _)| *fp == job.fingerprint) {
                 Some((_, jobs)) => jobs.push(job),
                 None => groups.push((job.fingerprint, vec![job])),
             }
         }
+        let mut outgoing: Vec<(mpsc::Sender<ReplyMsg>, ReplyMsg)> = Vec::with_capacity(n_jobs);
         for (_, jobs) in groups {
             let span = Span::enter(SPAN_BATCH);
             span.note("jobs", jobs.len() as u64);
@@ -419,7 +493,8 @@ impl ServerState {
             }
             let reports =
                 run_slp_module_cached(&mut module, &cfg, self.cfg.threads_per_batch, &self.cache);
-            for (job, (start, len)) in jobs.into_iter().zip(ranges) {
+            for (mut job, (start, len)) in jobs.into_iter().zip(ranges) {
+                job.telem.mark(Stage::Compile);
                 let job_reports = &reports[start..start + len];
                 let job_functions = &module.functions()[start..start + len];
                 let body = match build_ok_body(&job, job_reports, job_functions) {
@@ -431,13 +506,28 @@ impl ServerState {
                                 num_functions: len as u64,
                             },
                         );
+                        job.telem.class = ReplyClass::Ok;
                         body
                     }
-                    Err(e) => failure_body(STATUS_ERROR, &e),
+                    Err(e) => {
+                        job.telem.class = ReplyClass::Error;
+                        failure_body(STATUS_ERROR, &e)
+                    }
                 };
-                let _ = job.reply.send(address(job.id, &body));
-                self.inflight.fetch_sub(1, Ordering::Relaxed);
+                let line = address(job.id, &body);
+                job.telem.mark(Stage::Render);
+                let Job { reply, telem, .. } = job;
+                outgoing.push((reply, ReplyMsg { line, telem }));
             }
+        }
+        // Free capacity and go idle *before* the replies travel to the
+        // writers: a client that has read its reply then observes the
+        // inflight and busy-worker gauges already settled, which is what
+        // keeps the virtual-clock telemetry golden byte-stable.
+        self.inflight.fetch_sub(n_jobs, Ordering::Relaxed);
+        self.telemetry.worker_busy_exit();
+        for (tx, msg) in outgoing {
+            let _ = tx.send(msg);
         }
     }
 }
@@ -562,14 +652,26 @@ pub fn serve_connection(state: &Arc<ServerState>, reader: impl BufRead, writer: 
         let mut w = writer.lock().unwrap_or_else(|e| e.into_inner());
         writeln!(w, "{line}").and_then(|()| w.flush()).is_ok()
     };
-    let (tx_order, rx_order) = mpsc::channel::<mpsc::Receiver<String>>();
+    // Seals a reply: final `write` mark, reply-byte accounting, one
+    // registry record plus the access-log line — all *before* the socket
+    // write syscall, so a sequential client's next request (possibly a
+    // `stats` probe) always observes this request's telemetry.
+    let complete = |msg: ReplyMsg| -> String {
+        let ReplyMsg { line, mut telem } = msg;
+        telem.set_bytes_out(line.len() as u64 + 1);
+        telem.mark(Stage::Write);
+        state.telemetry().record(&telem);
+        line
+    };
+    let (tx_order, rx_order) = mpsc::channel::<mpsc::Receiver<ReplyMsg>>();
     std::thread::scope(|s| {
         s.spawn(|| {
             let mut broken = false;
             for pending in rx_order {
                 // On any failure keep draining so compile workers never
                 // block on a dead connection's channels.
-                if let Ok(line) = pending.recv() {
+                if let Ok(msg) = pending.recv() {
+                    let line = complete(msg);
                     if !broken && !write_line(&line) {
                         broken = true;
                     }
@@ -582,13 +684,15 @@ pub fn serve_connection(state: &Arc<ServerState>, reader: impl BufRead, writer: 
             if line.trim().is_empty() {
                 continue;
             }
+            let telem = ReqTelem::start(line.len() as u64 + 1);
             let (tx, rx) = mpsc::channel();
-            state.handle_line(&line, tx);
+            state.handle_line(&line, telem, tx);
             // Already answered (stats, memo hit, busy, error) with
             // nothing queued ahead? Write it in-line; ordering is safe
             // because the writer has provably finished everything else.
             if pending_writes.load(Ordering::Acquire) == 0 {
                 if let Ok(ready) = rx.try_recv() {
+                    let ready = complete(ready);
                     if !write_line(&ready) {
                         break;
                     }

@@ -1,0 +1,205 @@
+//! End-to-end checks of `snslpd`'s runtime telemetry: the per-stage
+//! accounting behind every `serve.access` record, the recording policy
+//! (only successful compiles enter the latency histograms), and the
+//! strict `snslpd-telemetry/v1` snapshot round trip — all observed
+//! through a live in-process server driven with fuzz-generated traffic.
+
+use std::io::{BufRead, BufReader, Write};
+
+use snslp_bench::json::Json;
+use snslp_bench::tracecheck::validate_access_log;
+use snslp_serve::telemetry::TelemetrySnapshot;
+use snslp_serve::{
+    Client, Reply, Request, ServeConfig, Server, STATUS_BUSY, STATUS_ERROR, STATUS_OK,
+};
+use snslp_trace::Facet;
+
+const MODE: &str = "snslp";
+const TARGET: &str = "avx2";
+
+/// One shard, one worker: every request takes the same code path, which
+/// keeps the access-log assertions exact.
+fn one_shard() -> ServeConfig {
+    ServeConfig {
+        shards: 1,
+        ..ServeConfig::default()
+    }
+}
+
+/// A module of `n` fuzz functions at consecutive case indices.
+fn module(seed: u64, first: u64, n: u64) -> String {
+    let mut text = String::new();
+    for k in 0..n {
+        let case = snslp_fuzz::generate(seed, first + k);
+        text.push_str(&case.function.to_string());
+        text.push('\n');
+    }
+    text
+}
+
+/// Drives fuzz traffic through a live server while capturing the NDJSON
+/// trace stream, then cross-checks three independent accountings of the
+/// same run: the client's reply tally, the server's telemetry snapshot,
+/// and the validated access log.
+#[test]
+fn access_log_agrees_with_snapshot_and_client() {
+    const DISTINCT: u64 = 6;
+    const REPLAYED: u64 = 4;
+
+    let mut snap: Option<TelemetrySnapshot> = None;
+    let lines = snslp_trace::capture_json(Facet::Events as u32, || {
+        let server = Server::start(one_shard());
+        let mut client = Client::from_stream(server.connect_in_process().expect("connect"));
+
+        // Six distinct modules (cold compiles), then an exact replay of
+        // the first four (whole-request memo hits).
+        for i in 0..DISTINCT {
+            let text = module(0xACCE55, i * 8, 3);
+            let (reply, _) = client.compile(&text, MODE, TARGET, &[]).expect("compile");
+            assert_eq!(reply.status, STATUS_OK);
+        }
+        for i in 0..REPLAYED {
+            let text = module(0xACCE55, i * 8, 3);
+            let (reply, _) = client.compile(&text, MODE, TARGET, &[]).expect("replay");
+            assert_eq!(reply.status, STATUS_OK);
+        }
+        // One malformed request line: answered with an error reply, which
+        // must show up in the log as `invalid`/`error` and stay out of
+        // the latency histograms.
+        let reply = client
+            .round_trip("{\"op\":\"no-such-op\"}")
+            .expect("error round trip");
+        assert_eq!(reply.status, STATUS_ERROR);
+
+        snap = Some(client.telemetry().expect("validated snapshot"));
+        server.shutdown();
+    });
+    let snap = snap.expect("snapshot scraped inside the capture");
+
+    // Server-side accounting: only the ten successful compiles are
+    // histogram material; the memo replays split the compile stage.
+    let c = &snap.counters;
+    assert_eq!(c.requests_served, DISTINCT + REPLAYED);
+    assert_eq!(c.memo_hits, REPLAYED);
+    assert_eq!(c.invalid_requests, 1);
+    // `error_replies` tracks *compile* failures only; the malformed line
+    // is accounted once, under `invalid_requests`.
+    assert_eq!(c.error_replies, 0);
+    assert_eq!(c.busy_replies, 0);
+    let count = |name: &str| snap.hist(name).expect(name).count;
+    assert_eq!(count("request_total"), DISTINCT + REPLAYED);
+    assert_eq!(count("compile_miss"), DISTINCT);
+    assert_eq!(count("compile_hit"), REPLAYED);
+    for stage in ["parse", "queue", "render", "write"] {
+        assert_eq!(count(stage), DISTINCT + REPLAYED, "stage `{stage}`");
+    }
+
+    // The NDJSON stream must validate, and its tallies must match: one
+    // access record per request (the stage-sum invariant — parse + queue
+    // + compile + render + write == total — is checked per record by the
+    // validator). The stats request that scraped the snapshot is
+    // answered (and logged) before the reply reaches the client, so it
+    // is part of the capture; the snapshot itself was rendered before
+    // that record was sealed, hence `stats_requests == 0` above it.
+    assert_eq!(c.stats_requests, 0);
+    let log = lines.join("\n");
+    let access = validate_access_log(&log).expect("access log validates");
+    assert_eq!(access.requests as u64, DISTINCT + REPLAYED + 1 + 1);
+    assert_eq!(access.by_cache["compiled"] as u64, DISTINCT);
+    assert_eq!(access.by_cache["memo"] as u64, REPLAYED);
+    assert_eq!(access.by_cache["none"], 2, "stats + invalid");
+    assert_eq!(access.by_status["ok"] as u64, DISTINCT + REPLAYED + 1);
+    assert_eq!(access.by_status["error"], 1);
+}
+
+/// Floods a `max_inflight = 1` server and checks the recording policy:
+/// busy refusals land in their own counter and never contaminate the
+/// latency histograms, whose populations must equal the accepted count
+/// exactly.
+#[test]
+fn busy_refusals_stay_out_of_the_histograms() {
+    const FLOOD: usize = 24;
+    let server = Server::start(ServeConfig {
+        shards: 1,
+        queue_depth: 1,
+        max_inflight: 1,
+        batch_max: 1,
+        ..ServeConfig::default()
+    });
+    let stream = server.connect_in_process().expect("connect");
+    let mut writer = stream.try_clone().expect("clone stream");
+    let reader = BufReader::new(stream);
+
+    // Pipeline the flood without waiting for replies so admission
+    // control actually trips.
+    let replies: Vec<Reply> = std::thread::scope(|s| {
+        let collector = s.spawn(move || {
+            reader
+                .lines()
+                .take(FLOOD)
+                .map(|l| Reply::parse(&l.expect("reply line")).expect("parse reply"))
+                .collect::<Vec<_>>()
+        });
+        for i in 0..FLOOD {
+            let text = module(0xB057, i as u64 * 4, 2);
+            let line = Request::render_compile(i as u64, &text, MODE, TARGET, &[]);
+            writeln!(writer, "{line}").expect("pipelined send");
+        }
+        writer.flush().expect("flush flood");
+        collector.join().expect("collector")
+    });
+
+    let busy = replies.iter().filter(|r| r.status == STATUS_BUSY).count() as u64;
+    let ok = replies.iter().filter(|r| r.status == STATUS_OK).count() as u64;
+    assert_eq!(busy + ok, FLOOD as u64);
+    assert!(
+        busy > 0,
+        "a 24-deep pipeline against max_inflight=1 must refuse"
+    );
+
+    let snap = server.state().telemetry_snapshot();
+    assert_eq!(snap.counters.busy_replies, busy);
+    assert_eq!(snap.counters.requests_served, ok);
+    let count = |name: &str| snap.hist(name).expect(name).count;
+    assert_eq!(
+        count("request_total"),
+        ok,
+        "busy refusals must not enter the latency histograms"
+    );
+    assert_eq!(count("compile_hit") + count("compile_miss"), ok);
+    // Refused requests still have their bytes accounted.
+    assert!(snap.counters.bytes_out > 0);
+    assert_eq!(snap.gauges.peak_inflight, 1, "admission cap respected");
+    server.shutdown();
+}
+
+/// The `stats` wire document round-trips byte-for-byte through the
+/// strict reader, and tampered documents are rejected — checked against
+/// a live server rather than a hand-built snapshot.
+#[test]
+fn live_snapshot_round_trips_and_rejects_tampering() {
+    let server = Server::start(one_shard());
+    let mut client = Client::from_stream(server.connect_in_process().expect("connect"));
+    let text = module(0x57A75, 0, 3);
+    let (reply, _) = client.compile(&text, MODE, TARGET, &[]).expect("compile");
+    assert_eq!(reply.status, STATUS_OK);
+
+    let reply = client.stats().expect("stats");
+    let doc = reply.json.get("telemetry").expect("telemetry member");
+    let snap = TelemetrySnapshot::from_json(doc).expect("strict read");
+    assert_eq!(
+        snap.to_json().render_compact(),
+        doc.render_compact(),
+        "snapshot must re-serialize to the exact wire document"
+    );
+
+    // Any single-field tamper must be caught by the re-validating
+    // reader: cross-invariants tie the counters to the histograms.
+    let wire = doc.render_compact();
+    let tampered = wire.replace("\"requests_served\":1", "\"requests_served\":2");
+    assert_ne!(wire, tampered, "tamper target must exist in the document");
+    let parsed = Json::parse(&tampered).expect("still JSON");
+    let err = TelemetrySnapshot::from_json(&parsed).expect_err("tamper detected");
+    assert!(err.contains("requests_served"), "{err}");
+    server.shutdown();
+}

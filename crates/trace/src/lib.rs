@@ -47,6 +47,7 @@ use std::sync::Mutex;
 pub mod clock;
 pub mod decision;
 mod event;
+pub mod hist;
 pub mod metrics;
 pub mod prof;
 pub mod remark;
@@ -55,6 +56,7 @@ pub mod sink;
 
 pub use decision::DecisionId;
 pub use event::{emit_event, Span};
+pub use hist::{HistSnapshot, Histogram};
 pub use metrics::{add, bump, Counter, MetricsSnapshot, Stage, StageTimer};
 pub use prof::{counter as prof_counter, ProfSpan, Profile};
 pub use remark::{ReasonCode, Remark};
@@ -323,8 +325,22 @@ static TEST_LOCK: Mutex<()> = Mutex::new(());
 ///
 /// Takes a global lock so concurrent tests cannot interleave records.
 pub fn capture<F: FnOnce()>(facet_mask: u32, f: F) -> Vec<String> {
+    capture_rendered(facet_mask, false, f)
+}
+
+/// Like [`capture`], but renders each record as one JSON object per line
+/// — the NDJSON form consumers such as the access-log validator parse.
+pub fn capture_json<F: FnOnce()>(facet_mask: u32, f: F) -> Vec<String> {
+    capture_rendered(facet_mask, true, f)
+}
+
+fn capture_rendered<F: FnOnce()>(facet_mask: u32, json: bool, f: F) -> Vec<String> {
     let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
-    let buffer = BufferSink::new();
+    let buffer = if json {
+        BufferSink::new_json()
+    } else {
+        BufferSink::new()
+    };
     let lines = buffer.lines();
     let prev_sink = set_sink(Some(Box::new(buffer)));
     let prev_facets = set_facets(facet_mask);

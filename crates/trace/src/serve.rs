@@ -24,3 +24,11 @@ pub const EVENT_MEMO_HIT: &str = "serve.memo_hit";
 /// Event: an invalid environment override was ignored (e.g. a
 /// non-numeric `SNSLP_THREADS`); carries the variable and raw value.
 pub const EVENT_ENV_IGNORED: &str = "env.ignored";
+
+/// Access-log record: exactly one per request the server answered, with
+/// the per-stage nanosecond breakdown (`parse_ns`, `queue_ns`,
+/// `compile_ns`, `render_ns`, `write_ns`, `total_ns`), the request `id`,
+/// `op`, reply `status`, `cache` outcome, and `bytes_in`/`bytes_out`.
+/// With the JSON sink this is the NDJSON access log; the strict
+/// validator lives in `snslp_bench::tracecheck::validate_access_log`.
+pub const EVENT_ACCESS: &str = "serve.access";

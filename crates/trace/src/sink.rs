@@ -249,16 +249,27 @@ impl Sink for JsonSink {
     }
 }
 
-/// Accumulates rendered text lines in a shared buffer. Used by tests (via
-/// [`crate::capture`]) and by tools that post-process the stream.
+/// Accumulates rendered lines in a shared buffer. Used by tests (via
+/// [`crate::capture`] / [`crate::capture_json`]) and by tools that
+/// post-process the stream. Renders text by default; `new_json` renders
+/// one JSON object per line instead.
 #[derive(Debug, Clone, Default)]
 pub struct BufferSink {
     lines: Arc<Mutex<Vec<String>>>,
+    json: bool,
 }
 
 impl BufferSink {
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A buffer sink whose lines are JSON objects (NDJSON).
+    pub fn new_json() -> Self {
+        BufferSink {
+            json: true,
+            ..Self::default()
+        }
     }
 
     /// Handle to the shared line buffer; clone before installing the sink.
@@ -273,7 +284,12 @@ impl BufferSink {
 
 impl Sink for BufferSink {
     fn record(&mut self, rec: &Record) {
-        self.lines.lock().unwrap().push(rec.render_text());
+        let line = if self.json {
+            rec.render_json()
+        } else {
+            rec.render_text()
+        };
+        self.lines.lock().unwrap().push(line);
     }
 }
 
