@@ -59,6 +59,14 @@ pub struct DecisionRow {
     /// Nanoseconds spent inside this decision's profiler span (graph
     /// build through codegen). Deterministic under the virtual clock.
     pub compile_ns: u64,
+    /// Exact native execution count of the instructions this decision
+    /// emitted, from an instrumented JIT run; `None` when the decision
+    /// emitted no code or no native measurement ran.
+    pub native_count: Option<u64>,
+    /// Measured native nanoseconds attributed to this decision's
+    /// instructions (function wall time apportioned by executed code
+    /// bytes); `None` alongside `native_count`.
+    pub native_ns: Option<u64>,
     /// Decision-stamped DOT source of the final graph; empty when the
     /// decision produced no graph (e.g. too-narrow reductions).
     pub dot: String,
@@ -142,12 +150,15 @@ pub struct DynSummary {
 /// optional dynamic run. Every remark becomes one [`DecisionRow`]; the
 /// graph snapshot comes from the [`GraphStats`](snslp_core::GraphStats)
 /// entry carrying the same [`DecisionId`], the compile time from the
-/// `decision` profiler span labelled with it.
+/// `decision` profiler span labelled with it, and the native columns
+/// from an instrumented hotness run
+/// ([`decision_hot`](crate::hot::decision_hot)), when one ran.
 pub fn attrib_function(
     unit: &str,
     report: &FunctionReport,
     profile: &Profile,
     dyn_run: Option<&DynSummary>,
+    native: Option<&BTreeMap<String, (u64, u64)>>,
 ) -> FunctionAttrib {
     // Per-decision compile time: sum over `decision` spans by label.
     let mut span_ns: BTreeMap<&str, u64> = BTreeMap::new();
@@ -171,6 +182,7 @@ pub fn attrib_function(
         .iter()
         .map(|r| {
             let id = r.decision.render();
+            let hot = native.and_then(|m| m.get(&id));
             DecisionRow {
                 block: r.block.clone(),
                 site: r.site.clone(),
@@ -182,6 +194,8 @@ pub fn attrib_function(
                 cost: r.cost,
                 detail: r.detail.clone(),
                 compile_ns: span_ns.get(id.as_str()).copied().unwrap_or(0),
+                native_count: hot.map(|&(count, _)| count),
+                native_ns: hot.map(|&(_, ns)| ns),
                 dot: dots.get(&id).copied().unwrap_or("").to_string(),
                 id,
             }
@@ -236,6 +250,13 @@ pub fn attrib_kernel(kernel: &snslp_kernels::Kernel, cfg: &SlpConfig) -> Functio
 
     let model = CostModel::default();
     let args = kernel.args(kernel.default_iters);
+    // Native hotness join: an instrumented JIT run (when the host has
+    // one) attributes exact execution counts and measured nanoseconds
+    // to each decision's emitted instructions. The wall measurement
+    // uses the trace clock, so report goldens stay byte-stable under
+    // the virtual clock.
+    let native = crate::hot::native_hot_timed(&f, &args, crate::hot::decision_map(&report))
+        .map(|(prof, wall_ns)| crate::hot::decision_hot(&prof, wall_ns));
     let out = run_with_args(&f, &args, &model, &ExecOptions::default())
         .unwrap_or_else(|e| panic!("kernel {} failed to run: {e:?}", kernel.name));
     let mut o3f = kernel.build();
@@ -253,7 +274,13 @@ pub fn attrib_kernel(kernel: &snslp_kernels::Kernel, cfg: &SlpConfig) -> Functio
         scalar_ops: out.exec.profile.scalar_ops,
         mean_lanes: out.exec.profile.mean_lanes(),
     };
-    attrib_function(kernel.name, &report, &profile, Some(&dyn_run))
+    attrib_function(
+        kernel.name,
+        &report,
+        &profile,
+        Some(&dyn_run),
+        native.as_ref(),
+    )
 }
 
 /// Builds the attribution report over the whole kernel registry under
@@ -304,6 +331,20 @@ impl AttribReport {
                             ),
                             ("detail".to_string(), Json::Str(d.detail.clone())),
                             ("compile_ns".to_string(), Json::Num(d.compile_ns as f64)),
+                            (
+                                "native_count".to_string(),
+                                match d.native_count {
+                                    Some(c) => Json::Num(c as f64),
+                                    None => Json::Null,
+                                },
+                            ),
+                            (
+                                "native_ns".to_string(),
+                                match d.native_ns {
+                                    Some(ns) => Json::Num(ns as f64),
+                                    None => Json::Null,
+                                },
+                            ),
                             ("dot".to_string(), Json::Str(d.dot.clone())),
                         ])
                     })
@@ -423,6 +464,13 @@ impl AttribReport {
                             as i64,
                     ),
                 };
+                let native_count = opt_count_field(d, &ctx, "native_count", &id)?;
+                let native_ns = opt_count_field(d, &ctx, "native_ns", &id)?;
+                if native_count.is_some() != native_ns.is_some() {
+                    return Err(format!(
+                        "{ctx}: `{id}` has only one of native_count/native_ns"
+                    ));
+                }
                 decisions.push(DecisionRow {
                     id,
                     block: str_field(d, &ctx, "block")?,
@@ -435,6 +483,8 @@ impl AttribReport {
                     cost,
                     detail: str_field(d, &ctx, "detail")?,
                     compile_ns: count_field(d, &ctx, "compile_ns")?,
+                    native_count,
+                    native_ns,
                     dot: str_field(d, &ctx, "dot")?,
                 });
             }
@@ -496,6 +546,17 @@ fn count_field(obj: &Json, ctx: &str, key: &str) -> Result<u64, String> {
         .filter(|n| n.is_finite() && *n >= 0.0 && n.fract() == 0.0)
         .map(|n| n as u64)
         .ok_or(format!("{ctx}: missing or implausible count `{key}`"))
+}
+
+fn opt_count_field(obj: &Json, ctx: &str, key: &str, id: &str) -> Result<Option<u64>, String> {
+    match obj.get(key) {
+        Some(Json::Null) | None => Ok(None),
+        Some(v) => v
+            .as_num()
+            .filter(|n| n.is_finite() && *n >= 0.0 && n.fract() == 0.0)
+            .map(|n| Some(n as u64))
+            .ok_or(format!("{ctx}: implausible {key} on `{id}`")),
+    }
 }
 
 fn int_field(obj: &Json, ctx: &str, key: &str) -> Result<i64, String> {
@@ -610,6 +671,13 @@ impl AttribDiff {
 fn fmt_cost(c: Option<i64>) -> String {
     match c {
         Some(c) => c.to_string(),
+        None => "-".to_string(),
+    }
+}
+
+fn fmt_opt(v: Option<u64>) -> String {
+    match v {
+        Some(v) => v.to_string(),
         None => "-".to_string(),
     }
 }
@@ -943,13 +1011,15 @@ pub fn render_html(report: &AttribReport) -> String {
         h.push_str(
             "</p>\n<table>\n<tr><th>decision</th><th>seed</th><th>site</th>\
                     <th>inst</th><th>width</th><th>action</th><th>reason</th>\
-                    <th>cost</th><th>compile &micro;s</th></tr>\n",
+                    <th>cost</th><th>compile &micro;s</th><th>native ops</th>\
+                    <th>native ns</th></tr>\n",
         );
         for d in &f.decisions {
             let _ = writeln!(
                 h,
                 "<tr><td>{}</td><td>{}</td><td>{}</td><td class=\"num\">{}</td>\
                  <td class=\"num\">{}</td><td class=\"{}\">{}</td><td>{}</td>\
+                 <td class=\"num\">{}</td><td class=\"num\">{}</td>\
                  <td class=\"num\">{}</td><td class=\"num\">{}</td></tr>",
                 xml_escape(&d.id),
                 xml_escape(&d.seed_kind),
@@ -961,6 +1031,8 @@ pub fn render_html(report: &AttribReport) -> String {
                 xml_escape(&d.reason),
                 fmt_cost(d.cost),
                 d.compile_ns / 1_000,
+                fmt_opt(d.native_count),
+                fmt_opt(d.native_ns),
             );
         }
         h.push_str("</table>\n");
@@ -1010,6 +1082,8 @@ mod tests {
                     cost: Some(-6),
                     detail: String::new(),
                     compile_ns: 42_000,
+                    native_count: Some(16),
+                    native_ns: Some(750),
                     dot: "digraph \"g\" {\n  n0 [shape=box, color=blue, \
                           label=\"#0 Store\\n[%t12, %t13]\"];\n  n1 [shape=box, color=black, \
                           label=\"#1 Vector\\n[%t8, %t9]\"];\n  n0 -> n1 [label=\"0\"];\n}\n"
@@ -1053,6 +1127,13 @@ mod tests {
         assert!(AttribReport::from_json(&r.to_json())
             .unwrap_err()
             .contains("belongs to another function"));
+        // The native columns come as a pair: a count without its time
+        // (or vice versa) means a mangled join.
+        let mut r = sample();
+        r.functions[0].decisions[0].native_ns = None;
+        assert!(AttribReport::from_json(&r.to_json())
+            .unwrap_err()
+            .contains("only one of native_count/native_ns"));
     }
 
     #[test]
@@ -1075,6 +1156,10 @@ mod tests {
         assert!(html.contains("profitable"));
         assert!(html.contains("<svg"));
         assert!(html.contains("1.33x over O3"));
+        // The measured-native columns render (with values when a native
+        // hotness run joined).
+        assert!(html.contains("<th>native ns</th>"));
+        assert!(html.contains("<td class=\"num\">750</td>"));
         // Zero external references: self-contained by construction.
         assert!(!html.contains("http://") || html.contains("www.w3.org/2000/svg"));
         assert!(!html.contains("<script src"));

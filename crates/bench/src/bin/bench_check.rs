@@ -45,10 +45,20 @@
 //! `snslp-bench serve --out FILE`), which is how CI checks a live run
 //! rather than only the committed point.
 //!
+//! The `hot` subcommand smokes the native hotness pipeline: every
+//! registry kernel under o3/slp/lslp/snslp is compiled with
+//! instrumented-hotness lowering, run natively, and its exact per-class
+//! execution counts are reconciled against the interpreter's dynamic
+//! profile (a mismatch is a lowering bug and aborts). The resulting
+//! `snslp-hot/v1` artifact is round-tripped through its own strict
+//! reader before it is written. On hosts without the native backend the
+//! gate reports the skip and exits 0 — there is nothing to measure.
+//!
 //! Usage:
 //!   `bench_check [baseline.json]`
 //!   `bench_check dyn [--bless] [--out FILE] [baseline.json]`
 //!   `bench_check serve [--fresh FILE] [baseline.json]`
+//!   `bench_check hot [--out FILE]`
 //!
 //! Exit codes are distinct so CI can tell a broken artifact from a real
 //! regression (see `bench_check --help`): `0` all gates passed, `1` a
@@ -56,6 +66,7 @@
 //! validation or could not be read or written.
 
 use snslp_bench::dynstats::{calibrate, collect_kernel_dyn, misprediction_remarks, DynReport};
+use snslp_bench::hot::{collect_hot, HotDoc};
 use snslp_bench::measure_compile_times;
 use snslp_bench::report::{CompileTimeReport, REGRESSION_FACTOR};
 use snslp_bench::servebench::{check_serve, ServeBenchReport};
@@ -88,6 +99,11 @@ fn print_help() {
       --bless rewrites the baseline, --out also writes the fresh report
   bench_check serve [--fresh FILE] [baseline.json]
       compile-service shape invariants (default: BENCH_serve.json)
+  bench_check hot [--out FILE]
+      instrumented native-hotness smoke over the registry kernels:
+      exact per-class counts must reconcile with the interpreter's
+      dynamic profile; --out writes the snslp-hot/v1 artifact
+      (exits 0 with a notice on hosts without the native backend)
 
 exit codes:
   0  all gates passed
@@ -223,6 +239,64 @@ fn dyn_main(args: &[String]) -> ! {
     }
 }
 
+/// `bench_check hot`: instrumented native-hotness smoke + artifact.
+fn hot_main(args: &[String]) -> ! {
+    let mut out: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--out" {
+            out = Some(
+                it.next()
+                    .unwrap_or_else(|| {
+                        eprintln!("bench_check hot: --out needs a file argument");
+                        std::process::exit(EXIT_USAGE);
+                    })
+                    .clone(),
+            );
+        } else if let Some(v) = arg.strip_prefix("--out=") {
+            out = Some(v.to_string());
+        } else {
+            eprintln!("bench_check hot: unknown argument {arg}");
+            std::process::exit(EXIT_USAGE);
+        }
+    }
+
+    if !snslp_jit::native_supported() {
+        println!("bench_check hot: no native backend on this host; nothing to measure (skipped)");
+        std::process::exit(0);
+    }
+    // `collect_hot` asserts the exact reconciliation invariant on every
+    // covered row (native per-class counts == interpreter DynProfile) —
+    // a mismatch panics there, which is the gate.
+    let (doc, skipped) = collect_hot();
+    let json = doc.to_json();
+    let back = HotDoc::from_json(&json).unwrap_or_else(|e| {
+        eprintln!("bench_check hot: fresh artifact fails its own strict reader: {e}");
+        std::process::exit(EXIT_SCHEMA);
+    });
+    print!("{}", doc.summary_table());
+    for s in &skipped {
+        println!("bench_check hot: skipped {s} (jit fallback)");
+    }
+    if back.entries.is_empty() {
+        eprintln!("bench_check hot: native backend present but no row was measurable");
+        std::process::exit(EXIT_GATE);
+    }
+    if let Some(out) = &out {
+        std::fs::write(out, &json).unwrap_or_else(|e| {
+            eprintln!("bench_check hot: cannot write {out}: {e}");
+            std::process::exit(EXIT_SCHEMA);
+        });
+        println!("bench_check hot: wrote artifact to {out}");
+    }
+    println!(
+        "bench_check hot: {} rows reconciled exactly ({} skipped)",
+        back.entries.len(),
+        skipped.len()
+    );
+    std::process::exit(0);
+}
+
 /// `bench_check serve`: shape-invariant gate over serve-bench reports.
 fn serve_main(args: &[String]) -> ! {
     let mut fresh_path: Option<String> = None;
@@ -302,6 +376,9 @@ fn main() {
     }
     if argv.first().map(String::as_str) == Some("serve") {
         serve_main(&argv[1..]);
+    }
+    if argv.first().map(String::as_str) == Some("hot") {
+        hot_main(&argv[1..]);
     }
     let path = argv
         .first()

@@ -14,6 +14,7 @@
 
 pub mod attrib;
 pub mod dynstats;
+pub mod hot;
 pub mod json;
 pub mod report;
 pub mod servebench;
@@ -74,6 +75,11 @@ pub struct ModeResult {
     /// backend. The simulated `cycles` stay the headline number; this is
     /// the third calibration axis.
     pub wall_ns: Option<u64>,
+    /// Measured native wall time split per opcode class
+    /// ([`snslp_interp::OpClass::ALL`] order), apportioned by executed
+    /// native code bytes from an exact instrumented-hotness run. `None`
+    /// whenever `wall_ns` is — both need the native backend.
+    pub class_ns: Option<[u64; 5]>,
 }
 
 /// All configurations of one kernel.
@@ -175,6 +181,25 @@ pub fn measure_kernel_modes(kernel: &Kernel, iters: usize, modes: &[Option<SlpMo
             let out = run_with_args(&f, &args, &model, &ExecOptions::default())
                 .unwrap_or_else(|e| panic!("{} [{}]: {e}", kernel.name, mode_label(mode)));
             let wall_ns = native_wall_ns(&f, &args);
+            // Exact instrumented hotness: reconciles against the
+            // interpreter's profile on every measured row (a mismatch is
+            // a lowering bug) and apportions the measured wall time onto
+            // opcode classes by executed native bytes.
+            let decisions = report.as_ref().map(hot::decision_map).unwrap_or_default();
+            let native = hot::native_hot(&f, &args, decisions);
+            if let Some(h) = &native {
+                h.reconcile(&out.exec.profile).unwrap_or_else(|e| {
+                    panic!(
+                        "{} [{}]: native hotness does not reconcile: {e}",
+                        kernel.name,
+                        mode_label(mode)
+                    )
+                });
+            }
+            let class_ns = match (&native, wall_ns) {
+                (Some(h), Some(w)) => Some(hot::class_ns_split(h, w)),
+                _ => None,
+            };
             ModeResult {
                 mode,
                 cycles: out.exec.cycles,
@@ -183,6 +208,7 @@ pub fn measure_kernel_modes(kernel: &Kernel, iters: usize, modes: &[Option<SlpMo
                 compile_time,
                 profile: out.exec.profile,
                 wall_ns,
+                class_ns,
             }
         })
         .collect();
@@ -287,6 +313,9 @@ pub fn measure_benchmark(bench: &Benchmark) -> BenchRow {
                 compile_time,
                 profile,
                 wall_ns,
+                // Composite rows keep only the aggregate wall number; the
+                // per-class split is a per-function measurement.
+                class_ns: None,
             }
         })
         .collect();

@@ -39,14 +39,21 @@ impl fmt::Display for CodegenError {
 impl Error for CodegenError {}
 
 /// Applies `graph` to `f`, replacing the covered scalar instructions of
-/// `block` with vector code.
+/// `block` with vector code. Returns the instructions the emission
+/// created (stable arena ids; some may have been unlinked again by
+/// dead-code removal), so callers can attribute the surviving native
+/// code back to this decision.
 ///
 /// # Errors
 ///
 /// [`CodegenError::SchedulingCycle`] if no valid instruction order exists;
 /// the function is then left semantically unchanged (only unreferenced
 /// detached arena slots may remain).
-pub fn apply(f: &mut Function, block: BlockId, graph: &SlpGraph) -> Result<(), CodegenError> {
+pub fn apply(
+    f: &mut Function,
+    block: BlockId,
+    graph: &SlpGraph,
+) -> Result<Vec<InstId>, CodegenError> {
     let _p = snslp_trace::ProfSpan::enter("codegen.emit");
     let positions: FxHashMap<InstId, usize> = f
         .block(block)
@@ -100,7 +107,7 @@ pub fn apply(f: &mut Function, block: BlockId, graph: &SlpGraph) -> Result<(), C
     schedule(f, block, graph, &positions, &new_insts, &new_keys)?;
 
     f.remove_dead_code();
-    Ok(())
+    Ok(new_insts)
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -80,6 +80,11 @@ pub struct GraphStats {
     pub leaf_moves: usize,
     /// Trunk-assisted placements across the graph's Super-Nodes.
     pub trunk_assisted_moves: usize,
+    /// Arena indices of the instructions codegen emitted for this graph
+    /// (empty unless `vectorized`). The join key that lets native PC
+    /// maps and hotness profiles attribute machine code back to this
+    /// decision.
+    pub emitted: Vec<u32>,
 }
 
 /// Report for one function run through the pass.
@@ -389,6 +394,7 @@ pub fn run_slp(f: &mut Function, cfg: &SlpConfig) -> FunctionReport {
                         _ => None,
                     })
                     .sum(),
+                emitted: Vec::new(),
             };
             let mut sched_detail: Option<String> = None;
             if cost.total < cfg.threshold {
@@ -397,8 +403,9 @@ pub fn run_slp(f: &mut Function, cfg: &SlpConfig) -> FunctionReport {
                     codegen::apply(f, block, &graph)
                 };
                 match result {
-                    Ok(()) => {
+                    Ok(ids) => {
                         stats.vectorized = true;
+                        stats.emitted = ids.iter().map(|i| i.index() as u32).collect();
                         snslp_trace::bump(Counter::GraphsVectorized);
                         if cfg.verify_after {
                             if let Err(e) = snslp_ir::verify(f) {
@@ -522,6 +529,7 @@ pub fn run_slp(f: &mut Function, cfg: &SlpConfig) -> FunctionReport {
                     super_node_sizes: graph.super_node_sizes(),
                     leaf_moves: 0,
                     trunk_assisted_moves: 0,
+                    emitted: Vec::new(),
                 };
                 let mut sched_detail: Option<String> = None;
                 if cost.total < cfg.threshold {
@@ -530,8 +538,9 @@ pub fn run_slp(f: &mut Function, cfg: &SlpConfig) -> FunctionReport {
                         codegen::apply(f, block, &graph)
                     };
                     match result {
-                        Ok(()) => {
+                        Ok(ids) => {
                             stats.vectorized = true;
+                            stats.emitted = ids.iter().map(|i| i.index() as u32).collect();
                             snslp_trace::bump(Counter::GraphsVectorized);
                             if cfg.verify_after {
                                 if let Err(e) = snslp_ir::verify(f) {

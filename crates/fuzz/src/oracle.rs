@@ -376,6 +376,11 @@ pub fn check_case(
     // divergence).
     snslp_jit::check_backends(&case.function, &case.args, model, &ExecOptions::default())
         .map_err(|e| fail("jit", e))?;
+    // Instrumented hotness on the same inputs: per-class native
+    // execution counts must reconcile exactly with the interpreter's
+    // DynProfile (a declined function is not a divergence).
+    snslp_jit::check_hotness(&case.function, &case.args, model, &ExecOptions::default())
+        .map_err(|e| fail("jit-hot", e))?;
 
     // Scalar O3 cleanup alone must already be semantics-preserving.
     let mut o3 = case.function.clone();
@@ -424,6 +429,8 @@ pub fn check_case(
         // lowering of a committed SN-SLP graph would surface.
         snslp_jit::check_backends(&f, &case.args, model, &ExecOptions::default())
             .map_err(|e| fail(&format!("{key}-jit"), e))?;
+        snslp_jit::check_hotness(&f, &case.args, model, &ExecOptions::default())
+            .map_err(|e| fail(&format!("{key}-jit-hot"), e))?;
         reports.push(report);
     }
     let baseline_trap = match baseline {

@@ -46,5 +46,5 @@ pub use diff::{
 };
 pub use exec::{run, ExecError, ExecOptions, ExecResult, Trap};
 pub use memory::Memory;
-pub use profile::{DynProfile, OpClass};
+pub use profile::{classify, DynProfile, OpClass};
 pub use value::Value;

@@ -57,7 +57,9 @@ impl OpClass {
         }
     }
 
-    fn index(self) -> usize {
+    /// Position of this class in [`OpClass::ALL`] (and in the `ops` /
+    /// `cycles` arrays of a [`DynProfile`]).
+    pub fn index(self) -> usize {
         match self {
             OpClass::Alu => 0,
             OpClass::DivRem => 1,
@@ -264,7 +266,11 @@ impl DynProfile {
 }
 
 /// Coarse class of one instruction kind.
-fn classify(kind: &InstKind) -> OpClass {
+///
+/// Public so the native backend's hotness accounting buckets each lowered
+/// instruction with exactly the same rule the interpreter uses — the
+/// per-class reconciliation invariant depends on the two sides agreeing.
+pub fn classify(kind: &InstKind) -> OpClass {
     match kind {
         // Never executed by the loop (parameters are bound up front, phis
         // resolve in their own phase), but classified for completeness.

@@ -201,6 +201,12 @@ impl Asm {
         self.op_rm(&[], true, &[0x63], dst.0, base, disp);
     }
 
+    /// `inc qword [base + disp]` — the instrumented-hotness block
+    /// counter bump (FF /0).
+    pub fn inc_mem(&mut self, base: Gpr, disp: i32) {
+        self.op_rm(&[], true, &[0xFF], 0, base, disp);
+    }
+
     /// `movsxd dst, src32`.
     pub fn movsxd_rr(&mut self, dst: Gpr, src: Gpr) {
         self.op_rr(&[], true, &[0x63], dst.0, src.0);
@@ -507,6 +513,11 @@ mod tests {
         assert_eq!(enc(|a| a.push_r(R12)), vec![0x41, 0x54]);
         assert_eq!(enc(|a| a.setcc(Cc::E, RAX)), vec![0x0F, 0x94, 0xC0]);
         assert_eq!(enc(|a| a.dec_r(R14)), vec![0x49, 0xFF, 0xCE]);
+        // inc qword [rax + 8] — REX.W FF /0 with a disp32 ModRM.
+        assert_eq!(
+            enc(|a| a.inc_mem(RAX, 8)),
+            vec![0x48, 0xFF, 0x80, 0x08, 0, 0, 0]
+        );
     }
 
     #[test]

@@ -11,6 +11,8 @@ use snslp_cost::CostModel;
 use snslp_interp::{run, ArgSpec, ExecOptions, Memory, Value};
 use snslp_ir::Function;
 
+use crate::hot::HotProfile;
+use crate::lower::LowerOptions;
 use crate::JitError;
 
 /// Outcome of a backend differential run that did not diverge.
@@ -154,4 +156,65 @@ pub fn check_backends(
             jr.ret
         )),
     }
+}
+
+/// Runs `f` natively in instrumented-hotness mode and checks the exact
+/// reconciliation invariant: per-opcode-class native execution counts
+/// equal the interpreter's [`DynProfile`](snslp_interp::DynProfile)
+/// per-class op counts for the same inputs.
+///
+/// Returns `Ok(None)` when the invariant is vacuous: the JIT declines
+/// the function, the platform has no native execution, or the run traps
+/// (a trap aborts mid-block, so block-entry counters legitimately
+/// overcount the aborted block's tail; only status-OK activations
+/// reconcile exactly).
+///
+/// # Errors
+///
+/// Returns a description of the first class whose native and
+/// interpreted counts disagree — a lowering that duplicated, dropped,
+/// or misclassified an instruction.
+pub fn check_hotness(
+    f: &Function,
+    args: &[ArgSpec],
+    model: &CostModel,
+    opts: &ExecOptions,
+) -> Result<Option<HotProfile>, String> {
+    let lopts = LowerOptions {
+        instrument: true,
+        ..LowerOptions::default()
+    };
+    let compiled = match crate::compile_with(f, &lopts) {
+        Ok(c) => c,
+        Err(JitError::Unsupported { .. }) | Err(JitError::Platform(_)) => return Ok(None),
+    };
+    let native = match compiled.finalize() {
+        Ok(n) => n,
+        Err(_) => return Ok(None),
+    };
+
+    let (mut mem_jit, values) = materialize_args(args);
+    let jit = native.invoke(&values, &mut mem_jit, opts);
+    let Ok(jr) = jit else {
+        return Ok(None);
+    };
+    let counts = jr
+        .block_counts
+        .as_deref()
+        .ok_or("instrumented invoke returned no block counters")?;
+    let prof = HotProfile::from_counts(f.name(), native.pc_map(), counts);
+
+    let (mut mem_interp, values) = materialize_args(args);
+    let interp = run(f, &values, &mut mem_interp, model, opts)
+        .map_err(|e| format!("interpreter failed where instrumented jit succeeded: {e}"))?;
+    prof.reconcile(&interp.profile)
+        .map_err(|e| format!("hotness does not reconcile with DynProfile: {e}"))?;
+    if prof.total_ops() != interp.dyn_insts {
+        return Err(format!(
+            "native executed {} ops total, interpreter counted dyn_insts={}",
+            prof.total_ops(),
+            interp.dyn_insts
+        ));
+    }
+    Ok(Some(prof))
 }

@@ -59,20 +59,27 @@
 pub mod asm;
 pub mod differential;
 pub mod exec_mem;
+pub mod hot;
 pub mod lower;
+pub mod pcmap;
+pub mod perf;
 pub mod runtime;
+pub mod sampler;
 
 use std::fmt;
 use std::str::FromStr;
 
 use snslp_interp::{ExecError, ExecOptions, Memory, Trap, Value};
-use snslp_ir::{Function, ScalarType, Type};
+use snslp_ir::{Function, InstId, ScalarType, Type};
 use snslp_trace::{add, bump, Counter, DecisionId, ReasonCode, Remark, Span};
 
 use exec_mem::ExecMem;
 use runtime::{status, JitCtx, RET_BUF_BYTES};
 
-pub use differential::{check_backends, materialize_args, BackendDiff};
+pub use differential::{check_backends, check_hotness, materialize_args, BackendDiff};
+pub use hot::{HotMode, HotProfile, InstHot, StubHot};
+pub use lower::{LowerError, LowerOptions};
+pub use pcmap::{PcKind, PcMap, PcRange};
 
 /// Which engine executes committed IR.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -154,21 +161,38 @@ pub fn native_supported() -> bool {
 /// A remark explaining why `function` fell back to the interpreter.
 /// Emitted by [`compile`] on the remarks facet; exposed so drivers can
 /// also attach it to their own reports.
-pub fn fallback_remark(function: &Function, reason: &str) -> Remark {
+///
+/// Instruction-anchored failures carry the first unsupported opcode and
+/// its `InstId` in the site/inst/detail fields, so `NotCovered` causes
+/// are greppable from the remark stream alone; pre-flight shape
+/// rejections stay anchored to the entry block.
+pub fn fallback_remark(function: &Function, err: &LowerError) -> Remark {
     let entry = &function.block(function.entry()).name;
+    let (block, inst) = match err.inst {
+        Some(i) => {
+            let id = InstId(i);
+            let block = function
+                .block_ids()
+                .find(|&b| function.block(b).insts().contains(&id))
+                .map(|b| function.block(b).name.clone())
+                .unwrap_or_else(|| entry.clone());
+            (block, i)
+        }
+        None => (entry.clone(), 0),
+    };
     Remark {
         pass: "jit".to_string(),
         function: format!("@{}", function.name()),
-        block: entry.clone(),
-        site: "%0".to_string(),
-        inst: 0,
-        decision: DecisionId::new(function.name(), entry, 0, 0),
+        block: block.clone(),
+        site: format!("%{inst}"),
+        inst,
+        decision: DecisionId::new(function.name(), &block, 0, inst),
         seed_kind: "function".to_string(),
         width: 0,
         vectorized: false,
         reason: ReasonCode::JitFallback,
         cost: None,
-        detail: reason.to_string(),
+        detail: err.to_string(),
     }
 }
 
@@ -185,9 +209,19 @@ pub fn fallback_remark(function: &Function, reason: &str) -> Remark {
 /// [`JitError::Unsupported`] when any instruction fails to lower; in
 /// that case nothing was emitted and the caller should interpret.
 pub fn compile(f: &Function) -> Result<CompiledFunction, JitError> {
+    compile_with(f, &LowerOptions::default())
+}
+
+/// [`compile`] under explicit [`LowerOptions`]: hotness instrumentation
+/// and decision labels for the PC→IR map.
+///
+/// # Errors
+///
+/// Same contract as [`compile`].
+pub fn compile_with(f: &Function, opts: &LowerOptions) -> Result<CompiledFunction, JitError> {
     let span = Span::enter("jit.compile");
     span.note("function", f.name());
-    match lower::lower(f) {
+    match lower::lower_with(f, opts) {
         Ok(lowered) => {
             add(Counter::JitBytesEmitted, lowered.code.len() as u64);
             add(Counter::JitOpsLowered, lowered.ops_lowered as u64);
@@ -203,12 +237,16 @@ pub fn compile(f: &Function) -> Result<CompiledFunction, JitError> {
                 },
                 code: lowered.code,
                 dump: lowered.dump,
+                pc_map: lowered.pc_map,
+                num_blocks: lowered.num_blocks,
+                instrumented: lowered.instrumented,
             })
         }
-        Err(reason) => {
+        Err(err) => {
             bump(Counter::JitFallbacks);
+            let reason = err.to_string();
             span.note("fallback", reason.as_str());
-            fallback_remark(f, &reason).emit();
+            fallback_remark(f, &err).emit();
             Err(JitError::Unsupported { reason })
         }
     }
@@ -223,6 +261,9 @@ pub struct CompiledFunction {
     code: Vec<u8>,
     dump: String,
     stats: JitStats,
+    pc_map: PcMap,
+    num_blocks: usize,
+    instrumented: bool,
 }
 
 impl CompiledFunction {
@@ -247,6 +288,21 @@ impl CompiledFunction {
         self.stats
     }
 
+    /// The PC→IR map partitioning [`Self::code`] exactly.
+    pub fn pc_map(&self) -> &PcMap {
+        &self.pc_map
+    }
+
+    /// Number of basic blocks (and instrumented counter slots).
+    pub fn num_blocks(&self) -> usize {
+        self.num_blocks
+    }
+
+    /// Whether the code was lowered with hotness instrumentation.
+    pub fn instrumented(&self) -> bool {
+        self.instrumented
+    }
+
     /// Maps the code into executable memory.
     ///
     /// # Errors
@@ -260,6 +316,9 @@ impl CompiledFunction {
             param_tys: self.param_tys,
             ret_ty: self.ret_ty,
             stats: self.stats,
+            pc_map: self.pc_map,
+            num_blocks: self.num_blocks,
+            instrumented: self.instrumented,
             mem,
         })
     }
@@ -276,6 +335,9 @@ pub struct NativeRun {
     /// dynamic instruction count, matching the interpreter's
     /// `dyn_insts`.
     pub fuel_remaining: u64,
+    /// Per-block execution counters from an instrumented activation
+    /// (`None` when the function was not lowered with instrumentation).
+    pub block_counts: Option<Vec<u64>>,
 }
 
 /// An executable, mapped function. Create via
@@ -286,6 +348,9 @@ pub struct JitFunction {
     param_tys: Vec<Type>,
     ret_ty: Type,
     stats: JitStats,
+    pc_map: PcMap,
+    num_blocks: usize,
+    instrumented: bool,
     mem: ExecMem,
 }
 
@@ -298,6 +363,39 @@ impl JitFunction {
     /// Code-size statistics carried over from compilation.
     pub fn stats(&self) -> JitStats {
         self.stats
+    }
+
+    /// The PC→IR map carried over from compilation.
+    pub fn pc_map(&self) -> &PcMap {
+        &self.pc_map
+    }
+
+    /// Number of basic blocks (and instrumented counter slots).
+    pub fn num_blocks(&self) -> usize {
+        self.num_blocks
+    }
+
+    /// Whether the code bumps per-block hotness counters.
+    pub fn instrumented(&self) -> bool {
+        self.instrumented
+    }
+
+    /// Host address of the first code byte — the base sampled RIPs and
+    /// `perf` map entries are resolved against.
+    pub fn code_base(&self) -> u64 {
+        self.mem.entry() as u64
+    }
+
+    /// Mapped code size in bytes.
+    pub fn code_len(&self) -> usize {
+        self.stats.code_bytes
+    }
+
+    /// The mapped machine-code bytes — what the `perf` export records.
+    pub fn code(&self) -> &[u8] {
+        // The region is mapped readable+executable and lives as long as
+        // `self.mem`; reading it back is safe.
+        unsafe { std::slice::from_raw_parts(self.mem.entry(), self.stats.code_bytes) }
     }
 
     /// Packs `v` into the `u64` argument-array slot the prologue
@@ -353,6 +451,14 @@ impl JitFunction {
             packed.push(Self::pack_arg(v));
         }
 
+        // Instrumented code bumps `hot_counts[block]` on every block
+        // entry; give it one zeroed slot per block. The buffer outlives
+        // the call and is returned with the run.
+        let mut counters = if self.instrumented {
+            vec![0u64; self.num_blocks]
+        } else {
+            Vec::new()
+        };
         let bytes = mem.as_mut_slice();
         let mut ctx = JitCtx {
             mem_base: bytes.as_mut_ptr(),
@@ -360,12 +466,18 @@ impl JitFunction {
             fuel: opts.fuel,
             trap_addr: 0,
             ret: [0; RET_BUF_BYTES],
+            hot_counts: if self.instrumented {
+                counters.as_mut_ptr()
+            } else {
+                std::ptr::null_mut()
+            },
         };
         // SAFETY: `entry` points at code emitted by `lower::lower` for a
         // function whose params match `param_tys` (validated above). The
-        // code only dereferences `ctx`, the packed argument array, and
-        // `mem_base[0..mem_size)` after its own bounds checks; `bytes`
-        // stays borrowed for the whole call.
+        // code only dereferences `ctx`, the packed argument array,
+        // `mem_base[0..mem_size)` after its own bounds checks, and (when
+        // instrumented) the `num_blocks`-slot counter buffer; `bytes` and
+        // `counters` stay borrowed for the whole call.
         let status = unsafe {
             let entry: extern "C" fn(*mut JitCtx, *const u64) -> i64 =
                 std::mem::transmute(self.mem.entry());
@@ -375,6 +487,7 @@ impl JitFunction {
             status::OK => Ok(NativeRun {
                 ret: self.decode_ret(&ctx.ret),
                 fuel_remaining: ctx.fuel,
+                block_counts: self.instrumented.then_some(counters),
             }),
             status::OOB => Err(Trap::OutOfBounds(ctx.trap_addr).into()),
             status::DIV_ZERO => Err(Trap::DivisionByZero.into()),

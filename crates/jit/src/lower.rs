@@ -28,15 +28,22 @@
 //! staging slots, then commits staging to the phi slots, so parallel
 //! copies can never observe each other's writes.
 
+use std::collections::BTreeMap;
+
+use snslp_interp::classify;
 use snslp_ir::{
     BinOp, BlockId, CastKind, CmpPred, Constant, Function, InstId, InstKind, ScalarType, Type, UnOp,
 };
+use snslp_trace::DecisionId;
 
 use crate::asm::{
     Asm, Cc, Gpr, Label, Xmm, R12, R13, R14, R15, RAX, RBP, RCX, RDI, RDX, RSI, RSP, XMM0, XMM1,
     XMM2, XMM3, XMM4, XMM5, XMM7,
 };
-use crate::runtime::{helpers, CTX_FUEL, CTX_MEM_BASE, CTX_MEM_SIZE, CTX_RET, CTX_TRAP_ADDR};
+use crate::pcmap::{PcKind, PcMap};
+use crate::runtime::{
+    helpers, CTX_FUEL, CTX_HOT, CTX_MEM_BASE, CTX_MEM_SIZE, CTX_RET, CTX_TRAP_ADDR,
+};
 
 /// Guest address 0..64 is the interpreter's null page.
 const NULL_PAGE: i8 = 64;
@@ -47,6 +54,88 @@ const MAX_VALUE_BYTES: usize = crate::runtime::RET_BUF_BYTES;
 /// Refuse frames past 1 MiB: test threads run on 2 MiB stacks.
 const MAX_FRAME_BYTES: usize = 1 << 20;
 
+/// Options controlling one lowering.
+#[derive(Debug, Clone, Default)]
+pub struct LowerOptions {
+    /// Emit the instrumented-hotness counter bump at every block entry:
+    /// `inc qword [hot_counts + 8*block_index]` through the context's
+    /// `hot_counts` pointer. Callers must then provide a counter buffer
+    /// with one slot per block at invoke time.
+    pub instrument: bool,
+    /// Instruction arena index → the vectorization decision that emitted
+    /// it, for decision-labelled PC ranges.
+    pub decisions: BTreeMap<u32, DecisionId>,
+}
+
+/// A structured fallback reason: why a function cannot be lowered, and —
+/// when the failure is anchored to one instruction — which one, so a
+/// `jit-fallback` remark is greppable down to the offending opcode.
+#[derive(Debug, Clone)]
+pub struct LowerError {
+    /// Human-readable reason.
+    pub reason: String,
+    /// Arena index of the first unsupported instruction, when the
+    /// failure is instruction-anchored (pre-flight shape checks are
+    /// function-level and leave this empty).
+    pub inst: Option<u32>,
+    /// Mnemonic of the unsupported opcode (`cast.fptosi`, `binary.div`,
+    /// …), present exactly when `inst` is.
+    pub opcode: Option<String>,
+}
+
+impl LowerError {
+    fn function(reason: String) -> Self {
+        LowerError {
+            reason,
+            inst: None,
+            opcode: None,
+        }
+    }
+
+    fn at(id: InstId, kind: &InstKind, reason: String) -> Self {
+        LowerError {
+            reason,
+            inst: Some(id.index() as u32),
+            opcode: Some(mnemonic(kind)),
+        }
+    }
+}
+
+impl std::fmt::Display for LowerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match (&self.opcode, self.inst) {
+            (Some(op), Some(i)) => write!(f, "unsupported `{op}` at %{i}: {}", self.reason),
+            _ => write!(f, "{}", self.reason),
+        }
+    }
+}
+
+/// Short opcode mnemonic for fallback remarks and dump lines.
+fn mnemonic(kind: &InstKind) -> String {
+    match kind {
+        InstKind::Param(_) => "param".to_string(),
+        InstKind::Phi { .. } => "phi".to_string(),
+        InstKind::Const(_) => "const".to_string(),
+        InstKind::Binary { op, .. } => format!("binary.{op}"),
+        InstKind::BinaryLanewise { ops, .. } => format!("lanewise[{}]", ops.len()),
+        InstKind::Unary { op, .. } => format!("unary.{op}"),
+        InstKind::Cast { kind, .. } => format!("cast.{kind}"),
+        InstKind::Cmp { pred, .. } => format!("cmp.{pred}"),
+        InstKind::Select { .. } => "select".to_string(),
+        InstKind::Load { .. } => "load".to_string(),
+        InstKind::Store { .. } => "store".to_string(),
+        InstKind::PtrAdd { .. } => "ptradd".to_string(),
+        InstKind::Splat { .. } => "splat".to_string(),
+        InstKind::BuildVector { .. } => "build-vector".to_string(),
+        InstKind::ExtractElement { .. } => "extract".to_string(),
+        InstKind::InsertElement { .. } => "insert".to_string(),
+        InstKind::Shuffle { .. } => "shuffle".to_string(),
+        InstKind::Jump { .. } => "jump".to_string(),
+        InstKind::Branch { .. } => "branch".to_string(),
+        InstKind::Ret { .. } => "ret".to_string(),
+    }
+}
+
 /// Successful lowering: finalized code plus the jitdump text.
 #[derive(Debug, Clone)]
 pub struct Lowered {
@@ -56,6 +145,13 @@ pub struct Lowered {
     pub dump: String,
     /// Number of IR instructions lowered (phis excluded).
     pub ops_lowered: usize,
+    /// PC→IR map partitioning `code` exactly.
+    pub pc_map: PcMap,
+    /// Number of basic blocks (the instrumented counter buffer needs one
+    /// `u64` slot per block).
+    pub num_blocks: usize,
+    /// Whether the code bumps per-block hotness counters.
+    pub instrumented: bool,
 }
 
 struct Lower<'a> {
@@ -72,22 +168,37 @@ struct Lower<'a> {
     frame: i32,
     dump: String,
     ops: usize,
+    opts: &'a LowerOptions,
+    pc: PcMap,
 }
 
-/// Lowers `f` to machine code, or reports why the function must fall back
-/// to the interpreter.
+/// Lowers `f` to machine code with default options, or reports why the
+/// function must fall back to the interpreter.
 ///
 /// # Errors
 ///
 /// Returns the fallback reason (unsupported opcode, oversized value or
 /// frame, malformed shape). Nothing is emitted on error.
-pub fn lower(f: &Function) -> Result<Lowered, String> {
+pub fn lower(f: &Function) -> Result<Lowered, LowerError> {
+    lower_with(f, &LowerOptions::default())
+}
+
+/// Lowers `f` to machine code under explicit [`LowerOptions`].
+///
+/// # Errors
+///
+/// Returns the structured fallback reason. Nothing is emitted on error.
+pub fn lower_with(f: &Function, opts: &LowerOptions) -> Result<Lowered, LowerError> {
     // Pre-flight: slot sizing and parameter shapes.
     let mut slot_bytes = 8usize;
     for p in f.params() {
         match p.ty {
             Type::Ptr | Type::Scalar(_) => {}
-            ty => return Err(format!("parameter of type {ty} is not callable natively")),
+            ty => {
+                return Err(LowerError::function(format!(
+                    "parameter of type {ty} is not callable natively"
+                )))
+            }
         }
     }
     for i in 0..f.num_inst_slots() {
@@ -97,9 +208,9 @@ pub fn lower(f: &Function) -> Result<Lowered, String> {
         }
         let sz = ty.size_bytes() as usize;
         if sz > MAX_VALUE_BYTES {
-            return Err(format!(
+            return Err(LowerError::function(format!(
                 "value of type {ty} is wider than {MAX_VALUE_BYTES} bytes"
-            ));
+            )));
         }
         slot_bytes = slot_bytes.max(sz);
     }
@@ -119,9 +230,9 @@ pub fn lower(f: &Function) -> Result<Lowered, String> {
     let total_slots = f.num_inst_slots() + staging.len();
     let frame = (total_slots * slot_bytes).next_multiple_of(16);
     if frame > MAX_FRAME_BYTES {
-        return Err(format!(
+        return Err(LowerError::function(format!(
             "frame of {frame} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"
-        ));
+        )));
     }
 
     let mut a = Asm::new();
@@ -144,6 +255,8 @@ pub fn lower(f: &Function) -> Result<Lowered, String> {
         frame: frame as i32,
         dump: String::new(),
         ops: 0,
+        opts,
+        pc: PcMap::default(),
     };
     lw.header();
     lw.prologue();
@@ -152,13 +265,21 @@ pub fn lower(f: &Function) -> Result<Lowered, String> {
     }
     lw.exits();
     let ops = lw.ops;
+    // `finish()` patches rel32 fixups in place and never moves or adds
+    // bytes, so the offsets recorded during emission stay valid.
     let code = lw.a.finish();
+    lw.pc
+        .validate(code.len())
+        .map_err(|e| LowerError::function(format!("internal error: PcMap broken: {e}")))?;
     lw.dump
         .push_str(&format!("end: code={}B ops={}\n", code.len(), ops));
     Ok(Lowered {
         code,
         dump: lw.dump,
         ops_lowered: ops,
+        pc_map: lw.pc,
+        num_blocks: f.block_ids().count(),
+        instrumented: opts.instrument,
     })
 }
 
@@ -229,7 +350,15 @@ impl<'a> Lower<'a> {
         }
         let entry = self.block_labels[0];
         self.a.jmp(entry);
+        self.stub(start, "prologue");
         self.note(start, "prologue = pin r12/r13/r14/r15, spill params");
+    }
+
+    /// Records `[start, here)` as a function-level stub range.
+    fn stub(&mut self, start: usize, name: &'static str) {
+        let end = self.a.here();
+        self.pc
+            .push(start, end, PcKind::Stub { name, block: None }, None);
     }
 
     fn exits(&mut self) {
@@ -253,6 +382,7 @@ impl<'a> Lower<'a> {
         a.pop_r(R12);
         a.pop_r(RBP);
         a.ret();
+        self.stub(start, "exits");
         self.note(start, "exits = oob/div0/fuel stubs, epilogue");
     }
 
@@ -742,10 +872,29 @@ impl<'a> Lower<'a> {
         Ok(moves.len())
     }
 
-    fn block(&mut self, bi: usize, b: BlockId) -> Result<(), String> {
+    fn block(&mut self, bi: usize, b: BlockId) -> Result<(), LowerError> {
         let f = self.f;
         self.a.bind(self.block_labels[bi]);
         self.dump.push_str(&format!("{}:\n", f.block(b).name));
+        if self.opts.instrument {
+            // Bump the per-block execution counter through the context's
+            // `hot_counts` pointer. All values live in stack slots at
+            // block boundaries, so `rax` is dead here.
+            let start = self.a.here();
+            self.a.mov_load(RAX, R15, CTX_HOT);
+            self.a.inc_mem(RAX, (bi * 8) as i32);
+            let end = self.a.here();
+            self.pc.push(
+                start,
+                end,
+                PcKind::Stub {
+                    name: "hot-counter",
+                    block: Some(bi as u32),
+                },
+                None,
+            );
+            self.note(start, "hot = inc block counter");
+        }
         for &id in f.block(b).insts() {
             let kind = f.kind(id);
             if matches!(kind, InstKind::Phi { .. }) {
@@ -754,395 +903,20 @@ impl<'a> Lower<'a> {
             let start = self.a.here();
             self.fuel_gate();
             self.ops += 1;
-            let dst = self.slot(id);
-            let text = match kind {
-                InstKind::Param(_) | InstKind::Phi { .. } => unreachable!(),
-                InstKind::Const(c) => {
-                    match *c {
-                        Constant::I32(v) => {
-                            self.a.mov_ri(RAX, v as u32 as u64);
-                            self.a.mov32_store(RSP, dst, RAX);
-                        }
-                        Constant::I64(v) => {
-                            self.a.mov_ri(RAX, v as u64);
-                            self.a.mov_store(RSP, dst, RAX);
-                        }
-                        Constant::F32(v) => {
-                            self.a.mov_ri(RAX, u64::from(v.to_bits()));
-                            self.a.mov32_store(RSP, dst, RAX);
-                        }
-                        Constant::F64(v) => {
-                            self.a.mov_ri(RAX, v.to_bits());
-                            self.a.mov_store(RSP, dst, RAX);
-                        }
-                    }
-                    format!("%{} const {} = mov-imm", id.index(), f.ty(id))
-                }
-                InstKind::Binary { op, lhs, rhs } => {
-                    let (ad, bd) = (self.slot(*lhs), self.slot(*rhs));
-                    match f.ty(id) {
-                        Type::Scalar(st) => {
-                            self.scalar_binop(*op, st, ad, bd, dst)?;
-                            format!("%{} binary.{op} {} = scalar", id.index(), f.ty(id))
-                        }
-                        Type::Vector(vt) => {
-                            let strategy = self.vector_binop_uniform(*op, vt, ad, bd, dst)?;
-                            format!("%{} binary.{op} {} = {strategy}", id.index(), f.ty(id))
-                        }
-                        ty => return Err(format!("binary op on {ty}")),
-                    }
-                }
-                InstKind::BinaryLanewise { ops, lhs, rhs } => {
-                    let vt = f
-                        .ty(id)
-                        .as_vector()
-                        .ok_or_else(|| "lanewise op on non-vector".to_string())?;
-                    let (ad, bd) = (self.slot(*lhs), self.slot(*rhs));
-                    let text = self.vector_binop_lanewise(ops, vt, ad, bd, dst)?;
-                    format!(
-                        "%{} lanewise[{}] {} = {text}",
-                        id.index(),
-                        ops.len(),
-                        f.ty(id)
-                    )
-                }
-                InstKind::Unary { op, operand } => {
-                    let src = self.slot(*operand);
-                    match f.ty(id) {
-                        Type::Scalar(st) => {
-                            self.scalar_unop(*op, st, src, dst)?;
-                            format!("%{} unary.{op} {} = scalar", id.index(), f.ty(id))
-                        }
-                        Type::Vector(vt) => {
-                            let esz = vt.elem.size_bytes() as i32;
-                            for i in 0..i32::from(vt.lanes) {
-                                self.scalar_unop(*op, vt.elem, src + i * esz, dst + i * esz)?;
-                            }
-                            format!("%{} unary.{op} {} = per-lane", id.index(), f.ty(id))
-                        }
-                        ty => return Err(format!("unary op on {ty}")),
-                    }
-                }
-                InstKind::Cast { kind, operand } => {
-                    let src = self.slot(*operand);
-                    let from_ty = f.ty(*operand);
-                    let to_ty = f.ty(id);
-                    match (from_ty, to_ty) {
-                        (Type::Scalar(fs), Type::Scalar(ts)) => {
-                            self.scalar_cast(*kind, fs, ts, src, dst)?;
-                            format!("%{} cast.{kind} {from_ty}->{to_ty} = scalar", id.index())
-                        }
-                        (Type::Vector(fv), Type::Vector(tv)) => {
-                            let (fe, te) =
-                                (fv.elem.size_bytes() as i32, tv.elem.size_bytes() as i32);
-                            for i in 0..i32::from(fv.lanes) {
-                                self.scalar_cast(
-                                    *kind,
-                                    fv.elem,
-                                    tv.elem,
-                                    src + i * fe,
-                                    dst + i * te,
-                                )?;
-                            }
-                            format!("%{} cast.{kind} {from_ty}->{to_ty} = per-lane", id.index())
-                        }
-                        _ => return Err(format!("cast {kind} between {from_ty} and {to_ty}")),
-                    }
-                }
-                InstKind::Cmp { pred, lhs, rhs } => {
-                    let (ad, bd) = (self.slot(*lhs), self.slot(*rhs));
-                    let in_ty = f.ty(*lhs);
-                    match in_ty {
-                        Type::Vector(vt) => {
-                            let esz = vt.elem.size_bytes() as i32;
-                            for i in 0..i32::from(vt.lanes) {
-                                self.scalar_cmp(
-                                    *pred,
-                                    Type::Scalar(vt.elem),
-                                    ad + i * esz,
-                                    bd + i * esz,
-                                    dst + i * 4,
-                                )?;
-                            }
-                            format!("%{} cmp.{pred} {in_ty} = per-lane", id.index())
-                        }
-                        _ => {
-                            self.scalar_cmp(*pred, in_ty, ad, bd, dst)?;
-                            format!("%{} cmp.{pred} {in_ty} = scalar", id.index())
-                        }
-                    }
-                }
-                InstKind::Select {
-                    cond,
-                    on_true,
-                    on_false,
-                } => {
-                    let bytes = f.ty(id).size_bytes() as usize;
-                    let (td, ed) = (self.slot(*on_true), self.slot(*on_false));
-                    match f.ty(*cond) {
-                        Type::Vector(mv) => {
-                            let vt = f
-                                .ty(id)
-                                .as_vector()
-                                .ok_or_else(|| "vector-mask select of scalar".to_string())?;
-                            let (msz, esz) =
-                                (mv.elem.size_bytes() as i32, vt.elem.size_bytes() as i32);
-                            let md = self.slot(*cond);
-                            for i in 0..i32::from(vt.lanes) {
-                                match mv.elem {
-                                    ScalarType::I32 => self.a.mov32_load(RCX, RSP, md + i * msz),
-                                    ScalarType::I64 => self.a.mov_load(RCX, RSP, md + i * msz),
-                                    st => return Err(format!("select mask of {st} lanes")),
-                                }
-                                self.a.test_rr(RCX, RCX);
-                                let l_else = self.a.new_label();
-                                let l_end = self.a.new_label();
-                                self.a.jcc(Cc::E, l_else);
-                                self.copy_frame(td + i * esz, dst + i * esz, esz as usize);
-                                self.a.jmp(l_end);
-                                self.a.bind(l_else);
-                                self.copy_frame(ed + i * esz, dst + i * esz, esz as usize);
-                                self.a.bind(l_end);
-                            }
-                            format!("%{} select {} = per-lane mask", id.index(), f.ty(id))
-                        }
-                        Type::Scalar(ScalarType::I32) | Type::Scalar(ScalarType::I64) => {
-                            match f.ty(*cond) {
-                                Type::Scalar(ScalarType::I32) => {
-                                    self.a.mov32_load(RCX, RSP, self.slot(*cond))
-                                }
-                                _ => self.a.mov_load(RCX, RSP, self.slot(*cond)),
-                            }
-                            self.a.test_rr(RCX, RCX);
-                            let l_else = self.a.new_label();
-                            let l_end = self.a.new_label();
-                            self.a.jcc(Cc::E, l_else);
-                            self.copy_frame(td, dst, bytes);
-                            self.a.jmp(l_end);
-                            self.a.bind(l_else);
-                            self.copy_frame(ed, dst, bytes);
-                            self.a.bind(l_end);
-                            format!("%{} select {} = branchy", id.index(), f.ty(id))
-                        }
-                        ty => return Err(format!("select condition of type {ty}")),
-                    }
-                }
-                InstKind::Load { ptr } => {
-                    let bytes = f.ty(id).size_bytes() as usize;
-                    self.check_and_host_addr(self.slot(*ptr), bytes as u64);
-                    self.copy_mem_to_frame(dst, bytes);
-                    format!(
-                        "%{} load {} = checked copy {}B",
-                        id.index(),
-                        f.ty(id),
-                        bytes
-                    )
-                }
-                InstKind::Store { ptr, value } => {
-                    let bytes = f.ty(*value).size_bytes() as usize;
-                    self.check_and_host_addr(self.slot(*ptr), bytes as u64);
-                    self.copy_frame_to_mem(self.slot(*value), bytes);
-                    format!("store {} = checked copy {}B", f.ty(*value), bytes)
-                }
-                InstKind::PtrAdd { ptr, offset } => {
-                    self.a.mov_load(RAX, RSP, self.slot(*ptr));
-                    match f.ty(*offset) {
-                        Type::Scalar(ScalarType::I32) => {
-                            self.a.movsxd_load(RCX, RSP, self.slot(*offset))
-                        }
-                        _ => self.a.mov_load(RCX, RSP, self.slot(*offset)),
-                    }
-                    self.a.add_rr(RAX, RCX);
-                    self.a.mov_store(RSP, dst, RAX);
-                    format!("%{} ptradd = add64", id.index())
-                }
-                InstKind::Splat { value, lanes } => {
-                    let st = f
-                        .ty(*value)
-                        .as_scalar()
-                        .ok_or_else(|| "splat of non-scalar".to_string())?;
-                    let esz = st.size_bytes() as i32;
-                    let total = i32::from(*lanes) * esz;
-                    let src = self.slot(*value);
-                    if total % 16 == 0 {
-                        // Duplicate inside xmm7 and write whole 16-byte
-                        // chunks: downstream packed reads must not find
-                        // the slot assembled from narrow stores.
-                        if esz == 4 {
-                            self.a.movss_load(XMM7, RSP, src);
-                            self.a.pshufd(XMM7, XMM7, 0x00);
-                        } else {
-                            self.a.movsd_load(XMM7, RSP, src);
-                            self.a.unpcklpd(XMM7, XMM7);
-                        }
-                        let mut off = 0i32;
-                        while off < total {
-                            self.a.movups_store(RSP, dst + off, XMM7);
-                            off += 16;
-                        }
-                        format!("%{} splat x{lanes} = broadcast packed", id.index())
-                    } else {
-                        if esz == 4 {
-                            self.a.mov32_load(RAX, RSP, src);
-                        } else {
-                            self.a.mov_load(RAX, RSP, src);
-                        }
-                        for i in 0..i32::from(*lanes) {
-                            if esz == 4 {
-                                self.a.mov32_store(RSP, dst + i * esz, RAX);
-                            } else {
-                                self.a.mov_store(RSP, dst + i * esz, RAX);
-                            }
-                        }
-                        format!("%{} splat x{lanes} = broadcast", id.index())
-                    }
-                }
-                InstKind::BuildVector { elems } => {
-                    let mut esz = 0i32;
-                    for e in elems {
-                        let st = f
-                            .ty(*e)
-                            .as_scalar()
-                            .ok_or_else(|| "build-vector of non-scalar".to_string())?;
-                        esz = st.size_bytes() as i32;
-                    }
-                    let srcs: Vec<i32> = elems.iter().map(|e| self.slot(*e)).collect();
-                    let text = self.gather_lanes(&srcs, esz, dst)?;
-                    format!("%{} build-vector x{} = {text}", id.index(), elems.len())
-                }
-                InstKind::ExtractElement { vector, lane } => {
-                    let vt = f
-                        .ty(*vector)
-                        .as_vector()
-                        .ok_or_else(|| "extract from non-vector".to_string())?;
-                    if *lane >= vt.lanes {
-                        return Err("extract lane out of range".into());
-                    }
-                    let esz = vt.elem.size_bytes() as i32;
-                    self.copy_frame(
-                        self.slot(*vector) + i32::from(*lane) * esz,
-                        dst,
-                        esz as usize,
-                    );
-                    format!("%{} extract lane {lane} = slot copy", id.index())
-                }
-                InstKind::InsertElement {
-                    vector,
-                    value,
-                    lane,
-                } => {
-                    let vt = f
-                        .ty(*vector)
-                        .as_vector()
-                        .ok_or_else(|| "insert into non-vector".to_string())?;
-                    if *lane >= vt.lanes {
-                        return Err("insert lane out of range".into());
-                    }
-                    let esz = vt.elem.size_bytes() as i32;
-                    if esz == 8 && vt.lanes == 2 {
-                        // Patch inside xmm7 and store once, keeping the
-                        // destination a single 16-byte write.
-                        self.a.movups_load(XMM7, RSP, self.slot(*vector));
-                        if *lane == 0 {
-                            self.a.movlpd_load(XMM7, RSP, self.slot(*value));
-                        } else {
-                            self.a.movhpd_load(XMM7, RSP, self.slot(*value));
-                        }
-                        self.a.movups_store(RSP, dst, XMM7);
-                        format!("%{} insert lane {lane} = xmm patch", id.index())
-                    } else {
-                        self.copy_frame(self.slot(*vector), dst, vt.size_bytes() as usize);
-                        self.copy_frame(
-                            self.slot(*value),
-                            dst + i32::from(*lane) * esz,
-                            esz as usize,
-                        );
-                        format!("%{} insert lane {lane} = copy+patch", id.index())
-                    }
-                }
-                InstKind::Shuffle { a, b, mask } => {
-                    let va = f
-                        .ty(*a)
-                        .as_vector()
-                        .ok_or_else(|| "shuffle of non-vector".to_string())?;
-                    let vb = f
-                        .ty(*b)
-                        .as_vector()
-                        .ok_or_else(|| "shuffle of non-vector".to_string())?;
-                    let esz = va.elem.size_bytes() as i32;
-                    let n = i32::from(va.lanes);
-                    let mut srcs = Vec::with_capacity(mask.len());
-                    for &m in mask {
-                        let m = i32::from(m);
-                        srcs.push(if m < n {
-                            self.slot(*a) + m * esz
-                        } else if m - n < i32::from(vb.lanes) {
-                            self.slot(*b) + (m - n) * esz
-                        } else {
-                            return Err("shuffle index out of range".into());
-                        });
-                    }
-                    let text = self.gather_lanes(&srcs, esz, dst)?;
-                    format!("%{} shuffle x{} = {text}", id.index(), mask.len())
-                }
-                InstKind::Jump { target } => {
-                    let moves = self.edge_moves(b, *target)?;
-                    let ti = self.block_index(*target);
-                    self.a.jmp(self.block_labels[ti]);
-                    format!("jump {} [{moves} phi moves]", f.block(*target).name)
-                }
-                InstKind::Branch {
-                    cond,
-                    on_true,
-                    on_false,
-                } => {
-                    match f.ty(*cond) {
-                        Type::Scalar(ScalarType::I32) => {
-                            self.a.mov32_load(RCX, RSP, self.slot(*cond))
-                        }
-                        Type::Scalar(ScalarType::I64) => {
-                            self.a.mov_load(RCX, RSP, self.slot(*cond))
-                        }
-                        ty => return Err(format!("branch condition of type {ty}")),
-                    }
-                    self.a.test_rr(RCX, RCX);
-                    let l_false = self.a.new_label();
-                    self.a.jcc(Cc::E, l_false);
-                    let mt = self.edge_moves(b, *on_true)?;
-                    let ti = self.block_index(*on_true);
-                    self.a.jmp(self.block_labels[ti]);
-                    self.a.bind(l_false);
-                    let mf = self.edge_moves(b, *on_false)?;
-                    let fi = self.block_index(*on_false);
-                    self.a.jmp(self.block_labels[fi]);
-                    format!(
-                        "branch {}/{} [{mt}/{mf} phi moves]",
-                        f.block(*on_true).name,
-                        f.block(*on_false).name
-                    )
-                }
-                InstKind::Ret { value } => {
-                    if let Some(v) = value {
-                        let bytes = f.ty(*v).size_bytes() as usize;
-                        let src = self.slot(*v);
-                        let mut off = 0i32;
-                        let mut rem = bytes;
-                        while rem >= 8 {
-                            self.a.mov_load(RCX, RSP, src + off);
-                            self.a.mov_store(R15, CTX_RET + off, RCX);
-                            off += 8;
-                            rem -= 8;
-                        }
-                        if rem >= 4 {
-                            self.a.mov32_load(RCX, RSP, src + off);
-                            self.a.mov32_store(R15, CTX_RET + off, RCX);
-                        }
-                    }
-                    self.a.xor_rr(RAX, RAX);
-                    self.a.jmp(self.l_epilogue);
-                    "ret = status ok".to_string()
-                }
-            };
+            let text = self
+                .lower_inst(b, id)
+                .map_err(|e| LowerError::at(id, kind, e))?;
+            let end = self.a.here();
+            self.pc.push(
+                start,
+                end,
+                PcKind::Inst {
+                    inst: id.index() as u32,
+                    class: classify(kind),
+                    block: bi as u32,
+                },
+                self.opts.decisions.get(&(id.index() as u32)).cloned(),
+            );
             self.note(start, &text);
         }
         // A verifier-clean block ends in a terminator, so this is only
@@ -1155,12 +929,395 @@ impl<'a> Lower<'a> {
             )
         });
         if !terminated {
-            return Err(format!(
+            return Err(LowerError::function(format!(
                 "block {} falls through without a terminator",
                 f.block(b).name
-            ));
+            )));
         }
         Ok(())
+    }
+
+    fn lower_inst(&mut self, b: BlockId, id: InstId) -> Result<String, String> {
+        let f = self.f;
+        let kind = f.kind(id);
+        let dst = self.slot(id);
+        let text = match kind {
+            InstKind::Param(_) | InstKind::Phi { .. } => unreachable!(),
+            InstKind::Const(c) => {
+                match *c {
+                    Constant::I32(v) => {
+                        self.a.mov_ri(RAX, v as u32 as u64);
+                        self.a.mov32_store(RSP, dst, RAX);
+                    }
+                    Constant::I64(v) => {
+                        self.a.mov_ri(RAX, v as u64);
+                        self.a.mov_store(RSP, dst, RAX);
+                    }
+                    Constant::F32(v) => {
+                        self.a.mov_ri(RAX, u64::from(v.to_bits()));
+                        self.a.mov32_store(RSP, dst, RAX);
+                    }
+                    Constant::F64(v) => {
+                        self.a.mov_ri(RAX, v.to_bits());
+                        self.a.mov_store(RSP, dst, RAX);
+                    }
+                }
+                format!("%{} const {} = mov-imm", id.index(), f.ty(id))
+            }
+            InstKind::Binary { op, lhs, rhs } => {
+                let (ad, bd) = (self.slot(*lhs), self.slot(*rhs));
+                match f.ty(id) {
+                    Type::Scalar(st) => {
+                        self.scalar_binop(*op, st, ad, bd, dst)?;
+                        format!("%{} binary.{op} {} = scalar", id.index(), f.ty(id))
+                    }
+                    Type::Vector(vt) => {
+                        let strategy = self.vector_binop_uniform(*op, vt, ad, bd, dst)?;
+                        format!("%{} binary.{op} {} = {strategy}", id.index(), f.ty(id))
+                    }
+                    ty => return Err(format!("binary op on {ty}")),
+                }
+            }
+            InstKind::BinaryLanewise { ops, lhs, rhs } => {
+                let vt = f
+                    .ty(id)
+                    .as_vector()
+                    .ok_or_else(|| "lanewise op on non-vector".to_string())?;
+                let (ad, bd) = (self.slot(*lhs), self.slot(*rhs));
+                let text = self.vector_binop_lanewise(ops, vt, ad, bd, dst)?;
+                format!(
+                    "%{} lanewise[{}] {} = {text}",
+                    id.index(),
+                    ops.len(),
+                    f.ty(id)
+                )
+            }
+            InstKind::Unary { op, operand } => {
+                let src = self.slot(*operand);
+                match f.ty(id) {
+                    Type::Scalar(st) => {
+                        self.scalar_unop(*op, st, src, dst)?;
+                        format!("%{} unary.{op} {} = scalar", id.index(), f.ty(id))
+                    }
+                    Type::Vector(vt) => {
+                        let esz = vt.elem.size_bytes() as i32;
+                        for i in 0..i32::from(vt.lanes) {
+                            self.scalar_unop(*op, vt.elem, src + i * esz, dst + i * esz)?;
+                        }
+                        format!("%{} unary.{op} {} = per-lane", id.index(), f.ty(id))
+                    }
+                    ty => return Err(format!("unary op on {ty}")),
+                }
+            }
+            InstKind::Cast { kind, operand } => {
+                let src = self.slot(*operand);
+                let from_ty = f.ty(*operand);
+                let to_ty = f.ty(id);
+                match (from_ty, to_ty) {
+                    (Type::Scalar(fs), Type::Scalar(ts)) => {
+                        self.scalar_cast(*kind, fs, ts, src, dst)?;
+                        format!("%{} cast.{kind} {from_ty}->{to_ty} = scalar", id.index())
+                    }
+                    (Type::Vector(fv), Type::Vector(tv)) => {
+                        let (fe, te) = (fv.elem.size_bytes() as i32, tv.elem.size_bytes() as i32);
+                        for i in 0..i32::from(fv.lanes) {
+                            self.scalar_cast(*kind, fv.elem, tv.elem, src + i * fe, dst + i * te)?;
+                        }
+                        format!("%{} cast.{kind} {from_ty}->{to_ty} = per-lane", id.index())
+                    }
+                    _ => return Err(format!("cast {kind} between {from_ty} and {to_ty}")),
+                }
+            }
+            InstKind::Cmp { pred, lhs, rhs } => {
+                let (ad, bd) = (self.slot(*lhs), self.slot(*rhs));
+                let in_ty = f.ty(*lhs);
+                match in_ty {
+                    Type::Vector(vt) => {
+                        let esz = vt.elem.size_bytes() as i32;
+                        for i in 0..i32::from(vt.lanes) {
+                            self.scalar_cmp(
+                                *pred,
+                                Type::Scalar(vt.elem),
+                                ad + i * esz,
+                                bd + i * esz,
+                                dst + i * 4,
+                            )?;
+                        }
+                        format!("%{} cmp.{pred} {in_ty} = per-lane", id.index())
+                    }
+                    _ => {
+                        self.scalar_cmp(*pred, in_ty, ad, bd, dst)?;
+                        format!("%{} cmp.{pred} {in_ty} = scalar", id.index())
+                    }
+                }
+            }
+            InstKind::Select {
+                cond,
+                on_true,
+                on_false,
+            } => {
+                let bytes = f.ty(id).size_bytes() as usize;
+                let (td, ed) = (self.slot(*on_true), self.slot(*on_false));
+                match f.ty(*cond) {
+                    Type::Vector(mv) => {
+                        let vt = f
+                            .ty(id)
+                            .as_vector()
+                            .ok_or_else(|| "vector-mask select of scalar".to_string())?;
+                        let (msz, esz) = (mv.elem.size_bytes() as i32, vt.elem.size_bytes() as i32);
+                        let md = self.slot(*cond);
+                        for i in 0..i32::from(vt.lanes) {
+                            match mv.elem {
+                                ScalarType::I32 => self.a.mov32_load(RCX, RSP, md + i * msz),
+                                ScalarType::I64 => self.a.mov_load(RCX, RSP, md + i * msz),
+                                st => return Err(format!("select mask of {st} lanes")),
+                            }
+                            self.a.test_rr(RCX, RCX);
+                            let l_else = self.a.new_label();
+                            let l_end = self.a.new_label();
+                            self.a.jcc(Cc::E, l_else);
+                            self.copy_frame(td + i * esz, dst + i * esz, esz as usize);
+                            self.a.jmp(l_end);
+                            self.a.bind(l_else);
+                            self.copy_frame(ed + i * esz, dst + i * esz, esz as usize);
+                            self.a.bind(l_end);
+                        }
+                        format!("%{} select {} = per-lane mask", id.index(), f.ty(id))
+                    }
+                    Type::Scalar(ScalarType::I32) | Type::Scalar(ScalarType::I64) => {
+                        match f.ty(*cond) {
+                            Type::Scalar(ScalarType::I32) => {
+                                self.a.mov32_load(RCX, RSP, self.slot(*cond))
+                            }
+                            _ => self.a.mov_load(RCX, RSP, self.slot(*cond)),
+                        }
+                        self.a.test_rr(RCX, RCX);
+                        let l_else = self.a.new_label();
+                        let l_end = self.a.new_label();
+                        self.a.jcc(Cc::E, l_else);
+                        self.copy_frame(td, dst, bytes);
+                        self.a.jmp(l_end);
+                        self.a.bind(l_else);
+                        self.copy_frame(ed, dst, bytes);
+                        self.a.bind(l_end);
+                        format!("%{} select {} = branchy", id.index(), f.ty(id))
+                    }
+                    ty => return Err(format!("select condition of type {ty}")),
+                }
+            }
+            InstKind::Load { ptr } => {
+                let bytes = f.ty(id).size_bytes() as usize;
+                self.check_and_host_addr(self.slot(*ptr), bytes as u64);
+                self.copy_mem_to_frame(dst, bytes);
+                format!(
+                    "%{} load {} = checked copy {}B",
+                    id.index(),
+                    f.ty(id),
+                    bytes
+                )
+            }
+            InstKind::Store { ptr, value } => {
+                let bytes = f.ty(*value).size_bytes() as usize;
+                self.check_and_host_addr(self.slot(*ptr), bytes as u64);
+                self.copy_frame_to_mem(self.slot(*value), bytes);
+                format!("store {} = checked copy {}B", f.ty(*value), bytes)
+            }
+            InstKind::PtrAdd { ptr, offset } => {
+                self.a.mov_load(RAX, RSP, self.slot(*ptr));
+                match f.ty(*offset) {
+                    Type::Scalar(ScalarType::I32) => {
+                        self.a.movsxd_load(RCX, RSP, self.slot(*offset))
+                    }
+                    _ => self.a.mov_load(RCX, RSP, self.slot(*offset)),
+                }
+                self.a.add_rr(RAX, RCX);
+                self.a.mov_store(RSP, dst, RAX);
+                format!("%{} ptradd = add64", id.index())
+            }
+            InstKind::Splat { value, lanes } => {
+                let st = f
+                    .ty(*value)
+                    .as_scalar()
+                    .ok_or_else(|| "splat of non-scalar".to_string())?;
+                let esz = st.size_bytes() as i32;
+                let total = i32::from(*lanes) * esz;
+                let src = self.slot(*value);
+                if total % 16 == 0 {
+                    // Duplicate inside xmm7 and write whole 16-byte
+                    // chunks: downstream packed reads must not find
+                    // the slot assembled from narrow stores.
+                    if esz == 4 {
+                        self.a.movss_load(XMM7, RSP, src);
+                        self.a.pshufd(XMM7, XMM7, 0x00);
+                    } else {
+                        self.a.movsd_load(XMM7, RSP, src);
+                        self.a.unpcklpd(XMM7, XMM7);
+                    }
+                    let mut off = 0i32;
+                    while off < total {
+                        self.a.movups_store(RSP, dst + off, XMM7);
+                        off += 16;
+                    }
+                    format!("%{} splat x{lanes} = broadcast packed", id.index())
+                } else {
+                    if esz == 4 {
+                        self.a.mov32_load(RAX, RSP, src);
+                    } else {
+                        self.a.mov_load(RAX, RSP, src);
+                    }
+                    for i in 0..i32::from(*lanes) {
+                        if esz == 4 {
+                            self.a.mov32_store(RSP, dst + i * esz, RAX);
+                        } else {
+                            self.a.mov_store(RSP, dst + i * esz, RAX);
+                        }
+                    }
+                    format!("%{} splat x{lanes} = broadcast", id.index())
+                }
+            }
+            InstKind::BuildVector { elems } => {
+                let mut esz = 0i32;
+                for e in elems {
+                    let st = f
+                        .ty(*e)
+                        .as_scalar()
+                        .ok_or_else(|| "build-vector of non-scalar".to_string())?;
+                    esz = st.size_bytes() as i32;
+                }
+                let srcs: Vec<i32> = elems.iter().map(|e| self.slot(*e)).collect();
+                let text = self.gather_lanes(&srcs, esz, dst)?;
+                format!("%{} build-vector x{} = {text}", id.index(), elems.len())
+            }
+            InstKind::ExtractElement { vector, lane } => {
+                let vt = f
+                    .ty(*vector)
+                    .as_vector()
+                    .ok_or_else(|| "extract from non-vector".to_string())?;
+                if *lane >= vt.lanes {
+                    return Err("extract lane out of range".into());
+                }
+                let esz = vt.elem.size_bytes() as i32;
+                self.copy_frame(
+                    self.slot(*vector) + i32::from(*lane) * esz,
+                    dst,
+                    esz as usize,
+                );
+                format!("%{} extract lane {lane} = slot copy", id.index())
+            }
+            InstKind::InsertElement {
+                vector,
+                value,
+                lane,
+            } => {
+                let vt = f
+                    .ty(*vector)
+                    .as_vector()
+                    .ok_or_else(|| "insert into non-vector".to_string())?;
+                if *lane >= vt.lanes {
+                    return Err("insert lane out of range".into());
+                }
+                let esz = vt.elem.size_bytes() as i32;
+                if esz == 8 && vt.lanes == 2 {
+                    // Patch inside xmm7 and store once, keeping the
+                    // destination a single 16-byte write.
+                    self.a.movups_load(XMM7, RSP, self.slot(*vector));
+                    if *lane == 0 {
+                        self.a.movlpd_load(XMM7, RSP, self.slot(*value));
+                    } else {
+                        self.a.movhpd_load(XMM7, RSP, self.slot(*value));
+                    }
+                    self.a.movups_store(RSP, dst, XMM7);
+                    format!("%{} insert lane {lane} = xmm patch", id.index())
+                } else {
+                    self.copy_frame(self.slot(*vector), dst, vt.size_bytes() as usize);
+                    self.copy_frame(
+                        self.slot(*value),
+                        dst + i32::from(*lane) * esz,
+                        esz as usize,
+                    );
+                    format!("%{} insert lane {lane} = copy+patch", id.index())
+                }
+            }
+            InstKind::Shuffle { a, b, mask } => {
+                let va = f
+                    .ty(*a)
+                    .as_vector()
+                    .ok_or_else(|| "shuffle of non-vector".to_string())?;
+                let vb = f
+                    .ty(*b)
+                    .as_vector()
+                    .ok_or_else(|| "shuffle of non-vector".to_string())?;
+                let esz = va.elem.size_bytes() as i32;
+                let n = i32::from(va.lanes);
+                let mut srcs = Vec::with_capacity(mask.len());
+                for &m in mask {
+                    let m = i32::from(m);
+                    srcs.push(if m < n {
+                        self.slot(*a) + m * esz
+                    } else if m - n < i32::from(vb.lanes) {
+                        self.slot(*b) + (m - n) * esz
+                    } else {
+                        return Err("shuffle index out of range".into());
+                    });
+                }
+                let text = self.gather_lanes(&srcs, esz, dst)?;
+                format!("%{} shuffle x{} = {text}", id.index(), mask.len())
+            }
+            InstKind::Jump { target } => {
+                let moves = self.edge_moves(b, *target)?;
+                let ti = self.block_index(*target);
+                self.a.jmp(self.block_labels[ti]);
+                format!("jump {} [{moves} phi moves]", f.block(*target).name)
+            }
+            InstKind::Branch {
+                cond,
+                on_true,
+                on_false,
+            } => {
+                match f.ty(*cond) {
+                    Type::Scalar(ScalarType::I32) => self.a.mov32_load(RCX, RSP, self.slot(*cond)),
+                    Type::Scalar(ScalarType::I64) => self.a.mov_load(RCX, RSP, self.slot(*cond)),
+                    ty => return Err(format!("branch condition of type {ty}")),
+                }
+                self.a.test_rr(RCX, RCX);
+                let l_false = self.a.new_label();
+                self.a.jcc(Cc::E, l_false);
+                let mt = self.edge_moves(b, *on_true)?;
+                let ti = self.block_index(*on_true);
+                self.a.jmp(self.block_labels[ti]);
+                self.a.bind(l_false);
+                let mf = self.edge_moves(b, *on_false)?;
+                let fi = self.block_index(*on_false);
+                self.a.jmp(self.block_labels[fi]);
+                format!(
+                    "branch {}/{} [{mt}/{mf} phi moves]",
+                    f.block(*on_true).name,
+                    f.block(*on_false).name
+                )
+            }
+            InstKind::Ret { value } => {
+                if let Some(v) = value {
+                    let bytes = f.ty(*v).size_bytes() as usize;
+                    let src = self.slot(*v);
+                    let mut off = 0i32;
+                    let mut rem = bytes;
+                    while rem >= 8 {
+                        self.a.mov_load(RCX, RSP, src + off);
+                        self.a.mov_store(R15, CTX_RET + off, RCX);
+                        off += 8;
+                        rem -= 8;
+                    }
+                    if rem >= 4 {
+                        self.a.mov32_load(RCX, RSP, src + off);
+                        self.a.mov32_store(R15, CTX_RET + off, RCX);
+                    }
+                }
+                self.a.xor_rr(RAX, RAX);
+                self.a.jmp(self.l_epilogue);
+                "ret = status ok".to_string()
+            }
+        };
+        Ok(text)
     }
 
     /// Per-lane mixed-operator vector op — the committed super-node

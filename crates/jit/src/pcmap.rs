@@ -1,0 +1,240 @@
+//! PC→IR maps: which native byte range implements which IR instruction.
+//!
+//! The lowering emits a [`PcMap`] alongside the machine code. Its
+//! contract is a strict partition: the ranges cover `[0, code_len)`
+//! exactly once, in monotonically increasing order, with no gap and no
+//! overlap — every emitted byte is attributable. Instruction ranges
+//! carry the [`InstId`] index, the interpreter's opcode class for the
+//! instruction (the same [`classify`](snslp_interp::classify) the
+//! dynamic profile uses, so native and interpreted counts bucket
+//! identically), the owning block index, and the vectorization
+//! [`DecisionId`] that emitted the instruction where one exists. Backend
+//! plumbing that belongs to no instruction (prologue, trap stubs,
+//! epilogue, hotness counter bumps) is mapped as named stub ranges.
+//!
+//! The map is what turns a raw native PC — an instrumented block
+//! counter, a SIGPROF-sampled RIP, a `perf` address — back into IR
+//! terms.
+
+use snslp_interp::OpClass;
+use snslp_trace::DecisionId;
+
+/// What one native byte range implements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PcKind {
+    /// One IR instruction (its fuel gate plus its body).
+    Inst {
+        /// Arena index of the instruction.
+        inst: u32,
+        /// Opcode class, by the interpreter's `classify` rule.
+        class: OpClass,
+        /// Index of the owning block in `Function::block_ids()` order.
+        block: u32,
+    },
+    /// Backend plumbing: `prologue`, `exits`, `hot-counter`.
+    Stub {
+        /// Stable stub name.
+        name: &'static str,
+        /// Owning block index for in-block stubs (the hotness counter
+        /// bump); `None` for function-level plumbing.
+        block: Option<u32>,
+    },
+}
+
+/// One contiguous native byte range `[start, end)` and what it encodes.
+#[derive(Debug, Clone)]
+pub struct PcRange {
+    /// First byte offset of the range (inclusive).
+    pub start: u32,
+    /// One past the last byte offset (exclusive).
+    pub end: u32,
+    /// What the bytes implement.
+    pub kind: PcKind,
+    /// The vectorization decision that emitted the instruction, if the
+    /// pass recorded one for it.
+    pub decision: Option<DecisionId>,
+}
+
+/// The full per-function map, in emission order.
+#[derive(Debug, Clone, Default)]
+pub struct PcMap {
+    /// Ranges in ascending, gap-free order.
+    pub ranges: Vec<PcRange>,
+}
+
+impl PcMap {
+    /// Appends a range; `start`/`end` come straight from `Asm::here()`.
+    pub fn push(&mut self, start: usize, end: usize, kind: PcKind, decision: Option<DecisionId>) {
+        // Zero-length ranges would break the partition invariant without
+        // describing any byte; they legitimately occur (e.g. a phi-free
+        // jump edge is still never empty, but a defensive skip keeps the
+        // contract local).
+        if end > start {
+            self.ranges.push(PcRange {
+                start: start as u32,
+                end: end as u32,
+                kind,
+                decision,
+            });
+        }
+    }
+
+    /// Checks the partition contract against the final code length:
+    /// ranges start at 0, are monotonically increasing, chain without
+    /// gap or overlap, and end exactly at `code_len`.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first violated invariant.
+    pub fn validate(&self, code_len: usize) -> Result<(), String> {
+        if code_len == 0 {
+            return if self.ranges.is_empty() {
+                Ok(())
+            } else {
+                Err(format!("{} ranges map zero code bytes", self.ranges.len()))
+            };
+        }
+        let mut expect = 0u32;
+        for (i, r) in self.ranges.iter().enumerate() {
+            if r.end <= r.start {
+                return Err(format!(
+                    "range {i} is empty or inverted: [{:#x}, {:#x})",
+                    r.start, r.end
+                ));
+            }
+            match r.start.cmp(&expect) {
+                std::cmp::Ordering::Less => {
+                    return Err(format!(
+                        "range {i} [{:#x}, {:#x}) overlaps the previous range ending at {expect:#x}",
+                        r.start, r.end
+                    ));
+                }
+                std::cmp::Ordering::Greater => {
+                    return Err(format!(
+                        "gap before range {i}: previous ended at {expect:#x}, next starts at {:#x}",
+                        r.start
+                    ));
+                }
+                std::cmp::Ordering::Equal => {}
+            }
+            expect = r.end;
+        }
+        if expect as usize != code_len {
+            return Err(format!(
+                "map covers [0, {expect:#x}) but the function has {code_len:#x} code bytes"
+            ));
+        }
+        Ok(())
+    }
+
+    /// Resolves one byte offset to its range (binary search; the map is
+    /// sorted by construction).
+    pub fn resolve(&self, off: u32) -> Option<&PcRange> {
+        let i = self.ranges.partition_point(|r| r.end <= off);
+        self.ranges.get(i).filter(|r| r.start <= off && off < r.end)
+    }
+
+    /// Per-block opcode-class composition: `matrix[block][class.index()]`
+    /// counts the lowered instructions of that class in the block. With
+    /// the per-block execution counters of an instrumented run, the
+    /// per-class native execution totals are the matrix-vector product —
+    /// exact, because the fuel gate proves every non-phi instruction of
+    /// an entered block executes (a trapped activation stops mid-block
+    /// and is excluded from reconciliation).
+    pub fn class_matrix(&self, num_blocks: usize) -> Vec<[u64; OpClass::ALL.len()]> {
+        let mut m = vec![[0u64; OpClass::ALL.len()]; num_blocks];
+        for r in &self.ranges {
+            if let PcKind::Inst { class, block, .. } = r.kind {
+                m[block as usize][class.index()] += 1;
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inst(i: u32) -> PcKind {
+        PcKind::Inst {
+            inst: i,
+            class: OpClass::Alu,
+            block: 0,
+        }
+    }
+
+    #[test]
+    fn partition_invariants_are_enforced() {
+        let mut m = PcMap::default();
+        m.push(
+            0,
+            4,
+            PcKind::Stub {
+                name: "prologue",
+                block: None,
+            },
+            None,
+        );
+        m.push(4, 10, inst(0), None);
+        m.push(10, 12, inst(1), None);
+        assert!(m.validate(12).is_ok());
+        assert!(m.validate(13).unwrap_err().contains("code bytes"));
+
+        let mut gap = PcMap::default();
+        gap.push(0, 4, inst(0), None);
+        gap.push(6, 8, inst(1), None);
+        assert!(gap.validate(8).unwrap_err().contains("gap"));
+
+        let mut overlap = PcMap::default();
+        overlap.push(0, 4, inst(0), None);
+        overlap.push(3, 8, inst(1), None);
+        assert!(overlap.validate(8).unwrap_err().contains("overlap"));
+
+        let empty = PcMap::default();
+        assert!(empty.validate(0).is_ok());
+        assert!(empty.validate(1).is_err());
+    }
+
+    #[test]
+    fn resolve_finds_the_covering_range() {
+        let mut m = PcMap::default();
+        m.push(0, 4, inst(0), None);
+        m.push(4, 9, inst(1), None);
+        let hit = m.resolve(4).unwrap();
+        assert_eq!(hit.start, 4);
+        let hit = m.resolve(8).unwrap();
+        assert_eq!(hit.end, 9);
+        assert!(m.resolve(9).is_none());
+        assert!(m.resolve(100).is_none());
+    }
+
+    #[test]
+    fn class_matrix_counts_per_block() {
+        let mut m = PcMap::default();
+        m.push(
+            0,
+            4,
+            PcKind::Inst {
+                inst: 0,
+                class: OpClass::Memory,
+                block: 0,
+            },
+            None,
+        );
+        m.push(
+            4,
+            8,
+            PcKind::Inst {
+                inst: 1,
+                class: OpClass::Control,
+                block: 1,
+            },
+            None,
+        );
+        let mx = m.class_matrix(2);
+        assert_eq!(mx[0][OpClass::Memory.index()], 1);
+        assert_eq!(mx[1][OpClass::Control.index()], 1);
+        assert_eq!(mx[0][OpClass::Alu.index()], 0);
+    }
+}

@@ -1,0 +1,161 @@
+//! Linux `perf` export: jitdump files and `/tmp/perf-<pid>.map`.
+//!
+//! Both formats let external `perf report` symbolize JIT-compiled
+//! kernels. The perf-map format is one text line per symbol
+//! (`ADDR SIZE name`, hex); the jitdump format is the binary protocol
+//! `perf inject --jit` consumes, documented in the kernel tree under
+//! `tools/perf/Documentation/jitdump-specification.txt`. Only the
+//! `JIT_CODE_LOAD` record is emitted — enough for symbolization.
+//!
+//! [`jitdump_bytes`] takes the pid and timestamp explicitly so tests can
+//! pin them to zero and golden the file structurally: every other byte
+//! is a function of the compiled code alone.
+
+/// One function to export: name, entry address, and machine code.
+#[derive(Debug)]
+pub struct JitSym<'a> {
+    /// Symbol name as `perf` should display it.
+    pub name: &'a str,
+    /// Runtime entry address of the code.
+    pub addr: u64,
+    /// The machine code bytes.
+    pub code: &'a [u8],
+}
+
+const JITDUMP_MAGIC: u32 = 0x4A69_5444; // "JiTD"
+const JITDUMP_VERSION: u32 = 1;
+const ELF_MACH_X86_64: u32 = 62;
+const JIT_CODE_LOAD: u32 = 0;
+const HEADER_BYTES: u32 = 40;
+/// Fixed part of a JIT_CODE_LOAD record: the 16-byte common prefix plus
+/// pid/tid (2×u32) and vma/code_addr/code_size/code_index (4×u64).
+const LOAD_FIXED_BYTES: usize = 16 + 8 + 32;
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Renders a complete jitdump file for the given symbols.
+///
+/// Deterministic: identical inputs (including `pid`/`timestamp`, which
+/// goldens pin to zero) produce identical bytes.
+pub fn jitdump_bytes(syms: &[JitSym<'_>], pid: u32, timestamp: u64) -> Vec<u8> {
+    let mut out = Vec::new();
+    // File header.
+    put_u32(&mut out, JITDUMP_MAGIC);
+    put_u32(&mut out, JITDUMP_VERSION);
+    put_u32(&mut out, HEADER_BYTES);
+    put_u32(&mut out, ELF_MACH_X86_64);
+    put_u32(&mut out, 0); // pad1
+    put_u32(&mut out, pid);
+    put_u64(&mut out, timestamp);
+    put_u64(&mut out, 0); // flags
+    for (index, sym) in syms.iter().enumerate() {
+        let total = LOAD_FIXED_BYTES + sym.name.len() + 1 + sym.code.len();
+        put_u32(&mut out, JIT_CODE_LOAD);
+        put_u32(&mut out, total as u32);
+        put_u64(&mut out, timestamp);
+        put_u32(&mut out, pid);
+        put_u32(&mut out, pid); // tid: single-threaded process
+        put_u64(&mut out, sym.addr); // vma
+        put_u64(&mut out, sym.addr); // code_addr
+        put_u64(&mut out, sym.code.len() as u64);
+        put_u64(&mut out, index as u64);
+        out.extend_from_slice(sym.name.as_bytes());
+        out.push(0);
+        out.extend_from_slice(sym.code);
+    }
+    out
+}
+
+/// Renders `/tmp/perf-<pid>.map` lines: `ADDR SIZE name`, one per
+/// symbol, addresses and sizes in lower-case hex.
+pub fn perf_map_lines(syms: &[JitSym<'_>]) -> String {
+    let mut out = String::new();
+    for sym in syms {
+        out.push_str(&format!(
+            "{:x} {:x} {}\n",
+            sym.addr,
+            sym.code.len(),
+            sym.name
+        ));
+    }
+    out
+}
+
+/// Writes both export files for a live process: `perf-<pid>.map` and
+/// `jit-<pid>.dump` under `dir`, using the real pid and a wall-clock
+/// timestamp. Returns the two paths (map first).
+///
+/// # Errors
+///
+/// Propagates the underlying I/O error message.
+pub fn write_perf_files(
+    dir: &std::path::Path,
+    syms: &[JitSym<'_>],
+) -> Result<(std::path::PathBuf, std::path::PathBuf), String> {
+    let pid = std::process::id();
+    let timestamp = snslp_trace::clock::now_ns();
+    let map_path = dir.join(format!("perf-{pid}.map"));
+    let dump_path = dir.join(format!("jit-{pid}.dump"));
+    std::fs::write(&map_path, perf_map_lines(syms))
+        .map_err(|e| format!("write {}: {e}", map_path.display()))?;
+    std::fs::write(&dump_path, jitdump_bytes(syms, pid, timestamp))
+        .map_err(|e| format!("write {}: {e}", dump_path.display()))?;
+    Ok((map_path, dump_path))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jitdump_header_and_record_layout() {
+        let code = [0x90u8, 0xc3];
+        let syms = [JitSym {
+            name: "k",
+            addr: 0x1000,
+            code: &code,
+        }];
+        let bytes = jitdump_bytes(&syms, 0, 0);
+        assert_eq!(&bytes[0..4], &JITDUMP_MAGIC.to_le_bytes());
+        assert_eq!(&bytes[4..8], &1u32.to_le_bytes());
+        assert_eq!(&bytes[8..12], &40u32.to_le_bytes());
+        assert_eq!(&bytes[12..16], &62u32.to_le_bytes());
+        // Record starts at byte 40.
+        assert_eq!(&bytes[40..44], &JIT_CODE_LOAD.to_le_bytes());
+        let total = u32::from_le_bytes(bytes[44..48].try_into().unwrap());
+        assert_eq!(total as usize, LOAD_FIXED_BYTES + 2 + 2);
+        assert_eq!(bytes.len(), 40 + total as usize);
+        // code_size field.
+        assert_eq!(&bytes[80..88], &2u64.to_le_bytes());
+        // Name is NUL-terminated, code follows.
+        assert_eq!(&bytes[96..98], b"k\0");
+        assert_eq!(&bytes[98..100], &code);
+    }
+
+    #[test]
+    fn perf_map_is_hex_lines() {
+        let syms = [JitSym {
+            name: "snslp::axpy1",
+            addr: 0xdead_beef,
+            code: &[0; 255],
+        }];
+        assert_eq!(perf_map_lines(&syms), "deadbeef ff snslp::axpy1\n");
+    }
+
+    #[test]
+    fn deterministic_for_pinned_pid_and_timestamp() {
+        let code = [0xc3u8];
+        let syms = [JitSym {
+            name: "f",
+            addr: 0,
+            code: &code,
+        }];
+        assert_eq!(jitdump_bytes(&syms, 0, 0), jitdump_bytes(&syms, 0, 0));
+    }
+}

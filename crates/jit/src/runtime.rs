@@ -42,6 +42,11 @@ pub struct JitCtx {
     pub trap_addr: u64,
     /// Return-value buffer (scalar or packed vector lanes, little-endian).
     pub ret: [u8; RET_BUF_BYTES],
+    /// Instrumented-hotness block counters: one `u64` slot per basic
+    /// block, bumped at each block entry when the function was lowered
+    /// with hotness instrumentation. Null (and never dereferenced by the
+    /// generated code) otherwise.
+    pub hot_counts: *mut u64,
 }
 
 /// Size of the return-value buffer: covers the widest vector the verifier
@@ -58,6 +63,8 @@ pub const CTX_FUEL: i32 = 16;
 pub const CTX_TRAP_ADDR: i32 = 24;
 /// Byte offset of the return buffer.
 pub const CTX_RET: i32 = 32;
+/// Byte offset of the instrumented-hotness counter pointer.
+pub const CTX_HOT: i32 = 160;
 
 /// Helper callbacks reproducing interpreter float semantics exactly.
 ///
@@ -118,6 +125,7 @@ mod tests {
             CTX_TRAP_ADDR as usize
         );
         assert_eq!(std::mem::offset_of!(JitCtx, ret), CTX_RET as usize);
+        assert_eq!(std::mem::offset_of!(JitCtx, hot_counts), CTX_HOT as usize);
     }
 
     #[test]

@@ -1,0 +1,111 @@
+//! PC→IR map partition property over every checked-in `.snir` fixture:
+//! each function the JIT covers, lowered both plainly and with
+//! instrumented-hotness counters, must produce a [`PcMap`] whose
+//! instruction and stub ranges cover every emitted code byte exactly
+//! once — no gap, no overlap. Vectorized variants additionally carry
+//! decision stamps, which the map must keep attached to in-range PCs.
+//!
+//! This needs no native execution, so it runs on every host.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use snslp_core::{run_slp, SlpConfig, SlpMode};
+use snslp_ir::parse_module;
+use snslp_jit::{compile_with, JitError, LowerOptions};
+
+fn fixture_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../core/tests/snir")
+}
+
+fn fixture_modules() -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    for dir in [fixture_dir(), fixture_dir().join("fuzz")] {
+        for entry in std::fs::read_dir(&dir).expect("fixture dir") {
+            let path = entry.expect("entry").path();
+            if path.extension().is_some_and(|e| e == "snir") {
+                let text = std::fs::read_to_string(&path).expect("read fixture");
+                out.push((path.display().to_string(), text));
+            }
+        }
+    }
+    assert!(out.len() >= 10, "only {} fixtures found", out.len());
+    out.sort();
+    out
+}
+
+/// Lowers `f` in both modes and validates the partition invariant.
+/// Returns whether the JIT covered the function.
+fn check_partitions(
+    what: &str,
+    f: &snslp_ir::Function,
+    decisions: BTreeMap<u32, snslp_trace::DecisionId>,
+) -> bool {
+    let mut covered = false;
+    for instrument in [false, true] {
+        let opts = LowerOptions {
+            instrument,
+            decisions: decisions.clone(),
+        };
+        let compiled = match compile_with(f, &opts) {
+            Ok(c) => c,
+            Err(JitError::Unsupported { .. }) => return false,
+            Err(JitError::Platform(e)) => panic!("{what}: platform error: {e}"),
+        };
+        covered = true;
+        compiled
+            .pc_map()
+            .validate(compiled.code().len())
+            .unwrap_or_else(|e| {
+                panic!("{what}: pc map partition violated (instrument={instrument}): {e}")
+            });
+        // Instrumentation changes code size but never the set of IR
+        // instructions the map names.
+        if instrument {
+            assert!(
+                compiled.instrumented(),
+                "{what}: instrumented lowering lost its counters"
+            );
+        }
+    }
+    covered
+}
+
+#[test]
+fn pcmap_partitions_every_fixture_exactly() {
+    let mut covered = 0usize;
+    let mut declined = 0usize;
+    for (what, text) in fixture_modules() {
+        let module = match parse_module(&text) {
+            Ok(m) => m,
+            // A handful of fixtures exercise parser diagnostics.
+            Err(_) => continue,
+        };
+        for f in module.functions() {
+            // Plain (scalar) variant: no decisions to stamp.
+            if check_partitions(&format!("{what}/@{}", f.name()), f, BTreeMap::new()) {
+                covered += 1;
+            } else {
+                declined += 1;
+            }
+
+            // Vectorized variant: SN-SLP's emitted instructions carry
+            // decision stamps through the lowering.
+            let mut v = f.clone();
+            let report = run_slp(&mut v, &SlpConfig::new(SlpMode::SnSlp));
+            let mut decisions = BTreeMap::new();
+            for g in &report.graphs {
+                if g.vectorized {
+                    for &inst in &g.emitted {
+                        decisions.insert(inst, g.decision.clone());
+                    }
+                }
+            }
+            check_partitions(&format!("{what}/@{} (snslp)", v.name()), &v, decisions);
+        }
+    }
+    assert!(
+        covered > declined,
+        "JIT coverage regressed: {covered} covered vs {declined} declined"
+    );
+}

@@ -15,7 +15,10 @@
 //! * `target` — `sse2` | `avx2` | `noaltop` (default `sse2`).
 //! * `artifacts` — any of `codegen` (rewritten module text), `html`
 //!   (the single-file vectorization explorer), `dynstats` (interpreted
-//!   dynamic profile, requires an `; INPUTS:` line in the module).
+//!   dynamic profile, requires an `; INPUTS:` line in the module),
+//!   `hot` (instrumented native hotness, `snslp-hot/v1`; requires an
+//!   `; INPUTS:` line and the native x86-64 backend — hosts without one
+//!   answer with an empty artifact rather than an error).
 //! * `op: "stats"` — control request: answer with the server's cache
 //!   counters instead of compiling.
 //!
@@ -56,6 +59,9 @@ pub struct ArtifactSet {
     pub html: bool,
     /// Interpreted dynamic profile (needs an `; INPUTS:` line).
     pub dynstats: bool,
+    /// Instrumented native hotness (`snslp-hot/v1`; needs an `; INPUTS:`
+    /// line and the native backend — empty-string artifact elsewhere).
+    pub hot: bool,
 }
 
 /// A parsed compile request.
@@ -193,9 +199,10 @@ impl Request {
                     Some("codegen") => artifacts.codegen = true,
                     Some("html") => artifacts.html = true,
                     Some("dynstats") => artifacts.dynstats = true,
+                    Some("hot") => artifacts.hot = true,
                     other => {
                         return Err(fail(format!(
-                            "unknown artifact {other:?} (want codegen|html|dynstats)"
+                            "unknown artifact {other:?} (want codegen|html|dynstats|hot)"
                         )))
                     }
                 }
@@ -357,7 +364,7 @@ mod tests {
             "func @f() -> void {\nentry:\n  ret\n}\n",
             "lslp",
             "avx2",
-            &["codegen", "html"],
+            &["codegen", "html", "hot"],
         );
         assert!(!line.contains('\n'));
         match Request::parse(&line).unwrap() {
@@ -369,6 +376,7 @@ mod tests {
                 assert!(compile.artifacts.codegen);
                 assert!(compile.artifacts.html);
                 assert!(!compile.artifacts.dynstats);
+                assert!(compile.artifacts.hot);
             }
             other => panic!("wrong parse: {other:?}"),
         }

@@ -211,11 +211,12 @@ impl ServerState {
     // -- memo ---------------------------------------------------------
 
     fn memo_key(text_hash: u128, fingerprint: u64, compile: &CompileRequest) -> u128 {
-        // keep_graph_dots is already inside the fingerprint; codegen and
-        // dynstats change only the reply body, so they need their own
-        // bits in the memo key.
-        let artifact_bits =
-            u128::from(compile.artifacts.codegen) | (u128::from(compile.artifacts.dynstats) << 1);
+        // keep_graph_dots is already inside the fingerprint; codegen,
+        // dynstats and hot change only the reply body, so they need
+        // their own bits in the memo key.
+        let artifact_bits = u128::from(compile.artifacts.codegen)
+            | (u128::from(compile.artifacts.dynstats) << 1)
+            | (u128::from(compile.artifacts.hot) << 2);
         text_hash ^ (u128::from(fingerprint) << 64) ^ artifact_bits
     }
 
@@ -498,7 +499,8 @@ impl ServerState {
                 let job_reports = &reports[start..start + len];
                 let job_functions = &module.functions()[start..start + len];
                 let body = match build_ok_body(&job, job_reports, job_functions) {
-                    Ok(body) => {
+                    Ok((body, native)) => {
+                        job.telem.note_native(native.runs, native.ops);
                         self.memo_put(
                             job.memo_key,
                             MemoEntry {
@@ -532,12 +534,23 @@ impl ServerState {
     }
 }
 
-/// Renders a job's `ok` reply body, including any requested artifacts.
+/// Native-execution totals behind one `hot` artifact: how many
+/// instrumented activations ran and how many instruction executions
+/// they measured. Zero on hosts without the native backend.
+#[derive(Debug, Clone, Copy, Default)]
+struct NativeExec {
+    runs: u64,
+    ops: u64,
+}
+
+/// Renders a job's `ok` reply body, including any requested artifacts,
+/// plus the native-execution totals for the telemetry counters.
 fn build_ok_body(
     job: &Job,
     reports: &[FunctionReport],
     functions: &[Function],
-) -> Result<String, String> {
+) -> Result<(String, NativeExec), String> {
+    let mut native = NativeExec::default();
     let mut artifacts: Vec<(String, String)> = Vec::new();
     if job.compile.artifacts.codegen {
         let mut text = String::new();
@@ -560,6 +573,7 @@ fn build_ok_body(
                         r,
                         &snslp_trace::Profile { tracks: Vec::new() },
                         None,
+                        None,
                     )
                 })
                 .collect(),
@@ -572,7 +586,75 @@ fn build_ok_body(
             dynstats_artifact(&job.compile.module_text, functions, &job.cfg)?,
         ));
     }
-    Ok(ok_body(reports, &artifacts))
+    if job.compile.artifacts.hot {
+        let (text, exec) = hot_artifact(&job.compile.module_text, reports, functions, &job.cfg)?;
+        native = exec;
+        artifacts.push(("hot".to_string(), text));
+    }
+    Ok((ok_body(reports, &artifacts), native))
+}
+
+/// The `hot` artifact: every function compiled with instrumented-hotness
+/// lowering, run natively on the module's `; INPUTS:` line, and rendered
+/// as a `snslp-hot/v1` document. Exact counts only (no wall clock), so
+/// the reply stays deterministic and memoizable. Hosts without the
+/// native backend answer with an empty artifact — the absence of a
+/// measurement is not a compile error.
+fn hot_artifact(
+    source: &str,
+    reports: &[FunctionReport],
+    functions: &[Function],
+    cfg: &SlpConfig,
+) -> Result<(String, NativeExec), String> {
+    if !snslp_jit::native_supported() {
+        return Ok((String::new(), NativeExec::default()));
+    }
+    let inputs = source.lines().find_map(|l| {
+        l.trim()
+            .strip_prefix(';')
+            .map(str::trim)
+            .and_then(|c| c.strip_prefix("INPUTS:"))
+    });
+    let label = mode_code(cfg.mode).to_string();
+    let mut native = NativeExec::default();
+    let mut entries = Vec::new();
+    for f in functions {
+        let args = match inputs {
+            Some(spec) => {
+                parse_inputs_line(spec).map_err(|e| format!("hot: bad INPUTS line: {e}"))?
+            }
+            None if f.params().is_empty() => Vec::new(),
+            None => {
+                return Err(format!(
+                    "hot: @{} takes {} parameters but the module has no `; INPUTS:` line",
+                    f.name(),
+                    f.params().len()
+                ))
+            }
+        };
+        let decisions = reports
+            .iter()
+            .find(|r| r.function == f.name())
+            .map(snslp_bench::hot::decision_map)
+            .unwrap_or_default();
+        // A jit fallback or trap is a legitimate gap in coverage, not
+        // an error: the function simply has no row.
+        if let Some((profile, dyn_insts)) = snslp_bench::hot::measure_hot(f, &args, decisions)? {
+            native.runs += 1;
+            native.ops += dyn_insts;
+            entries.push(snslp_bench::hot::HotEntry {
+                kernel: f.name().to_string(),
+                label: label.clone(),
+                dyn_insts,
+                profile,
+            });
+        }
+    }
+    let doc = snslp_bench::hot::HotDoc {
+        mode: snslp_jit::HotMode::Instrumented,
+        entries,
+    };
+    Ok((doc.to_json(), native))
 }
 
 /// The `dynstats` artifact: every function interpreted on the module's

@@ -135,6 +135,12 @@ pub struct ReqTelem {
     pub class: ReplyClass,
     /// Was this compile answered from the whole-request memo?
     pub memo: bool,
+    /// Instrumented native activations this request executed while
+    /// rendering a `hot` artifact (0 when the artifact was not asked
+    /// for, memoized, or the host has no native backend).
+    pub native_runs: u64,
+    /// Native instruction executions those activations measured.
+    pub native_ops: u64,
     id: u64,
     bytes_in: u64,
     bytes_out: u64,
@@ -152,6 +158,8 @@ impl ReqTelem {
             kind: ReqKind::Invalid,
             class: ReplyClass::Error,
             memo: false,
+            native_runs: 0,
+            native_ops: 0,
             id: 0,
             bytes_in,
             bytes_out: 0,
@@ -181,6 +189,14 @@ impl ReqTelem {
     /// Reply line bytes, including the newline.
     pub fn set_bytes_out(&mut self, bytes: u64) {
         self.bytes_out = bytes;
+    }
+
+    /// Accounts a native-execution pass made for the `hot` artifact:
+    /// `runs` instrumented activations measuring `ops` instruction
+    /// executions in total.
+    pub fn note_native(&mut self, runs: u64, ops: u64) {
+        self.native_runs += runs;
+        self.native_ops += ops;
     }
 
     /// Nanoseconds accumulated in `stage` so far.
@@ -214,6 +230,9 @@ pub struct Telemetry {
     invalid_requests: AtomicU64,
     bytes_in: AtomicU64,
     bytes_out: AtomicU64,
+    hot_requests: AtomicU64,
+    native_runs: AtomicU64,
+    native_ops: AtomicU64,
     busy_workers: AtomicU64,
     peak_busy_workers: AtomicU64,
     peak_inflight: AtomicU64,
@@ -244,6 +263,9 @@ impl Telemetry {
             invalid_requests: AtomicU64::new(0),
             bytes_in: AtomicU64::new(0),
             bytes_out: AtomicU64::new(0),
+            hot_requests: AtomicU64::new(0),
+            native_runs: AtomicU64::new(0),
+            native_ops: AtomicU64::new(0),
             busy_workers: AtomicU64::new(0),
             peak_busy_workers: AtomicU64::new(0),
             peak_inflight: AtomicU64::new(0),
@@ -273,6 +295,11 @@ impl Telemetry {
                 }
                 ReplyClass::Ok => {
                     self.requests_served.fetch_add(1, Ordering::Relaxed);
+                    if t.native_runs > 0 {
+                        self.hot_requests.fetch_add(1, Ordering::Relaxed);
+                        self.native_runs.fetch_add(t.native_runs, Ordering::Relaxed);
+                        self.native_ops.fetch_add(t.native_ops, Ordering::Relaxed);
+                    }
                     self.request_total.record(t.total_ns());
                     self.parse.record(t.stage_ns(Stage::Parse));
                     self.queue.record(t.stage_ns(Stage::Queue));
@@ -368,6 +395,9 @@ impl Telemetry {
                 invalid_requests: load(&self.invalid_requests),
                 bytes_in: load(&self.bytes_in),
                 bytes_out: load(&self.bytes_out),
+                hot_requests: load(&self.hot_requests),
+                native_runs: load(&self.native_runs),
+                native_ops: load(&self.native_ops),
             },
             cache: CacheCounters {
                 hits: cache.hits,
@@ -408,6 +438,12 @@ pub struct TelemetryCounters {
     pub invalid_requests: u64,
     pub bytes_in: u64,
     pub bytes_out: u64,
+    /// Served compiles whose `hot` artifact ran native code.
+    pub hot_requests: u64,
+    /// Instrumented native activations across those requests.
+    pub native_runs: u64,
+    /// Native instruction executions those activations measured.
+    pub native_ops: u64,
 }
 
 /// Function-level artifact-cache counters (mirrors
@@ -485,6 +521,9 @@ impl TelemetrySnapshot {
                 invalid_requests: c.invalid_requests.saturating_sub(e.invalid_requests),
                 bytes_in: c.bytes_in.saturating_sub(e.bytes_in),
                 bytes_out: c.bytes_out.saturating_sub(e.bytes_out),
+                hot_requests: c.hot_requests.saturating_sub(e.hot_requests),
+                native_runs: c.native_runs.saturating_sub(e.native_runs),
+                native_ops: c.native_ops.saturating_sub(e.native_ops),
             },
             cache: CacheCounters {
                 hits: self.cache.hits.saturating_sub(earlier.cache.hits),
@@ -527,6 +566,9 @@ impl TelemetrySnapshot {
                     ("invalid_requests".to_string(), num(c.invalid_requests)),
                     ("bytes_in".to_string(), num(c.bytes_in)),
                     ("bytes_out".to_string(), num(c.bytes_out)),
+                    ("hot_requests".to_string(), num(c.hot_requests)),
+                    ("native_runs".to_string(), num(c.native_runs)),
+                    ("native_ops".to_string(), num(c.native_ops)),
                 ]),
             ),
             (
@@ -598,6 +640,9 @@ impl TelemetrySnapshot {
                 "invalid_requests",
                 "bytes_in",
                 "bytes_out",
+                "hot_requests",
+                "native_runs",
+                "native_ops",
             ],
             "counters",
         )?;
@@ -610,6 +655,9 @@ impl TelemetrySnapshot {
             invalid_requests: u64_field(counters, "invalid_requests")?,
             bytes_in: u64_field(counters, "bytes_in")?,
             bytes_out: u64_field(counters, "bytes_out")?,
+            hot_requests: u64_field(counters, "hot_requests")?,
+            native_runs: u64_field(counters, "native_runs")?,
+            native_ops: u64_field(counters, "native_ops")?,
         };
 
         let cache = doc.get("cache").expect("checked");
@@ -721,6 +769,27 @@ impl TelemetrySnapshot {
                 "stage sums {stage_sum} != request_total.sum {} \
                  (stages must partition every request's span)",
                 total.sum
+            ));
+        }
+        let c = &self.counters;
+        if c.hot_requests > served {
+            return Err(format!(
+                "hot_requests {} > requests_served {served} \
+                 (only served compiles can run native code)",
+                c.hot_requests
+            ));
+        }
+        if c.native_runs < c.hot_requests {
+            return Err(format!(
+                "native_runs {} < hot_requests {} \
+                 (every hot request executes at least one activation)",
+                c.native_runs, c.hot_requests
+            ));
+        }
+        if c.native_ops > 0 && c.native_runs == 0 {
+            return Err(format!(
+                "native_ops {} counted without any native_runs",
+                c.native_ops
             ));
         }
         Ok(())
@@ -882,6 +951,9 @@ pub fn render_table(s: &TelemetrySnapshot) -> String {
         ("invalid_requests", c.invalid_requests),
         ("bytes_in", c.bytes_in),
         ("bytes_out", c.bytes_out),
+        ("hot_requests", c.hot_requests),
+        ("native_runs", c.native_runs),
+        ("native_ops", c.native_ops),
     ];
     for (name, v) in rows {
         let _ = writeln!(out, "  {name:<18} {v:>12}");
@@ -1007,12 +1079,16 @@ mod tests {
 
     fn sample_snapshot() -> TelemetrySnapshot {
         let telem = Telemetry::new();
-        // Three served requests: two compiled, one memo hit.
+        // Three served requests: two compiled, one memo hit. The first
+        // compile also renders a `hot` artifact (native execution).
         for (memo, scale) in [(false, 7u64), (false, 3), (true, 1)] {
             let mut t = ReqTelem::start(100);
             t.kind = ReqKind::Compile;
             t.class = ReplyClass::Ok;
             t.memo = memo;
+            if scale == 7 {
+                t.note_native(4, 1_000);
+            }
             // Synthesize stage times directly (virtual-clock-free).
             t.stage_ns = [
                 50 * scale,
@@ -1050,6 +1126,9 @@ mod tests {
         assert_eq!(snap.counters.requests_served, 3);
         assert_eq!(snap.counters.memo_hits, 1);
         assert_eq!(snap.counters.busy_replies, 1);
+        assert_eq!(snap.counters.hot_requests, 1);
+        assert_eq!(snap.counters.native_runs, 4);
+        assert_eq!(snap.counters.native_ops, 1_000);
         let doc = Json::parse(&snap.render()).unwrap();
         let back = TelemetrySnapshot::from_json(&doc).unwrap();
         assert_eq!(back, snap);
@@ -1094,6 +1173,10 @@ mod tests {
         assert!(tamper(&|d| set(d, &["schema"], Json::Str("nope/v0".into()))).is_err());
         // Counter that disagrees with the histograms.
         assert!(tamper(&|d| set(d, &["counters", "requests_served"], Json::Num(99.0))).is_err());
+        // Native ops without any recorded activation.
+        assert!(tamper(&|d| set(d, &["counters", "native_runs"], Json::Num(0.0))).is_err());
+        // More hot requests than served compiles.
+        assert!(tamper(&|d| set(d, &["counters", "hot_requests"], Json::Num(9.0))).is_err());
         // Quantile that disagrees with the buckets.
         assert!(tamper(&|d| set(
             d,

@@ -1,0 +1,78 @@
+//! End-to-end coverage for the `hot` artifact: a compile that asks for
+//! it gets back a strict-reader-valid `snslp-hot/v1` document whose
+//! counts reconcile (the reader re-checks the partition and per-class
+//! sums), the reply stays memo-identical on replay, and the telemetry
+//! counters account the native executions. On hosts without the native
+//! backend the artifact is the empty string and the counters stay zero.
+
+use snslp_bench::hot::HotDoc;
+use snslp_serve::proto::Request;
+use snslp_serve::{Client, ServeConfig, Server, STATUS_OK};
+
+const MODULE: &str = "\
+; INPUTS: i64[10,20,30,40] i64[0,0,0,0]
+func @pairs(%a: ptr noalias, %o: ptr noalias) -> void {
+entry:
+  %k8 = const i64 8
+  %l0 = load i64, %a
+  %a1p = ptradd %a, %k8
+  %l1 = load i64, %a1p
+  %r0 = add i64 %l0, %l0
+  %r1 = add i64 %l1, %l1
+  store %o, %r0
+  %o1p = ptradd %o, %k8
+  store %o1p, %r1
+  ret
+}
+";
+
+fn hot_text(raw: &str) -> String {
+    let doc = snslp_bench::json::Json::parse(raw).expect("reply JSON");
+    doc.get("artifacts")
+        .and_then(|a| a.get("hot"))
+        .and_then(snslp_bench::json::Json::as_str)
+        .expect("reply carries a hot artifact")
+        .to_string()
+}
+
+#[test]
+fn hot_artifact_round_trips_and_is_counted() {
+    let server = Server::start(ServeConfig::default());
+    let mut client = Client::from_stream(server.connect_in_process().expect("connect"));
+
+    let line = Request::render_compile(1, MODULE, "snslp", "avx2", &["hot"]);
+    let reply = client.round_trip(&line).expect("round trip");
+    assert_eq!(reply.status, STATUS_OK, "compile failed: {:?}", reply.error);
+    let artifact = hot_text(&reply.raw);
+
+    if !snslp_jit::native_supported() {
+        assert!(
+            artifact.is_empty(),
+            "non-native hosts must answer with an empty hot artifact"
+        );
+        let telem = client.telemetry().expect("telemetry");
+        assert_eq!(telem.counters.hot_requests, 0);
+        server.shutdown();
+        return;
+    }
+
+    // The strict reader re-validates the partition, the per-class sums,
+    // and the dyn-inst totals — a parse here is the reconciliation.
+    let doc = HotDoc::from_json(&artifact).expect("strict snslp-hot/v1 reader");
+    assert_eq!(doc.entries.len(), 1, "one function, one row");
+    assert_eq!(doc.entries[0].kernel, "pairs");
+    assert_eq!(doc.entries[0].label, "snslp");
+    assert!(doc.entries[0].dyn_insts > 0);
+
+    // Replay hits the whole-request memo and answers byte-identically.
+    let warm = client.round_trip(&line).expect("memo replay");
+    assert_eq!(reply.raw, warm.raw, "memoized hot reply must be identical");
+
+    // The cold compile ran natively once; the memo replay ran nothing.
+    let telem = client.telemetry().expect("telemetry");
+    assert_eq!(telem.counters.hot_requests, 1);
+    assert_eq!(telem.counters.native_runs, 1);
+    assert_eq!(telem.counters.native_ops, doc.entries[0].dyn_insts);
+
+    server.shutdown();
+}

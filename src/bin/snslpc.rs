@@ -37,6 +37,25 @@
 //!   --dyn-profile[=FILE]       with --run, also write the profile as a
 //!                              snslp-dynstats/v1 JSON document
 //!                              (default snslp-dyn.json)
+//!   --jit-strict               with --backend jit, fail (exit non-zero)
+//!                              if the JIT declines the entry function
+//!                              instead of falling back to the
+//!                              interpreter
+//!   --hot-profile[=FILE]       with --run, compile the entry with
+//!                              instrumented-hotness lowering, run it
+//!                              natively, and write the exact
+//!                              snslp-hot/v1 profile (default
+//!                              snslp-hot.json); reconciled against the
+//!                              interpreter's DynProfile
+//!   --hot-sampled[=FILE]       with --run, profile the native entry
+//!                              with the SIGPROF wall-clock sampler and
+//!                              write the sampled snslp-hot/v1 profile
+//!                              (default snslp-hot-sampled.json);
+//!                              gracefully skipped off x86-64 Linux
+//!   --perf-map[=DIR]           write Linux perf export files for every
+//!                              JIT-covered function: perf-<pid>.map and
+//!                              jit-<pid>.dump under DIR (default /tmp);
+//!                              see `perf report` docs for usage
 //! ```
 //!
 //! Functions are compiled by the parallel module driver (worker count
@@ -73,6 +92,10 @@ struct Options {
     run: Option<Option<String>>,
     backend: snslp::jit::Backend,
     dyn_out: Option<String>,
+    jit_strict: bool,
+    hot_out: Option<String>,
+    hot_sampled_out: Option<String>,
+    perf_map_dir: Option<String>,
     input: String,
 }
 
@@ -82,7 +105,9 @@ fn usage() -> ExitCode {
          [--stats[=FILE]] [--graphs] [--report[=FILE]] [--profile[=FILE]] \
          [--profile-folded=FILE] \
          [--time-passes] [--no-reductions] [--verify] [--run[=ENTRY]] \
-         [--backend interp|jit] [--dyn-profile[=FILE]] <file.snir | ->"
+         [--backend interp|jit] [--dyn-profile[=FILE]] [--jit-strict] \
+         [--hot-profile[=FILE]] [--hot-sampled[=FILE]] [--perf-map[=DIR]] \
+         <file.snir | ->"
     );
     ExitCode::from(2)
 }
@@ -103,6 +128,10 @@ fn parse_args() -> Result<Options, ExitCode> {
         run: None,
         backend: snslp::jit::Backend::default(),
         dyn_out: None,
+        jit_strict: false,
+        hot_out: None,
+        hot_sampled_out: None,
+        perf_map_dir: None,
         input: String::new(),
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -144,6 +173,10 @@ fn parse_args() -> Result<Options, ExitCode> {
                 };
             }
             "--dyn-profile" => opts.dyn_out = Some("snslp-dyn.json".to_string()),
+            "--jit-strict" => opts.jit_strict = true,
+            "--hot-profile" => opts.hot_out = Some("snslp-hot.json".to_string()),
+            "--hot-sampled" => opts.hot_sampled_out = Some("snslp-hot-sampled.json".to_string()),
+            "--perf-map" => opts.perf_map_dir = Some("/tmp".to_string()),
             "--help" | "-h" => return Err(usage()),
             arg => {
                 if let Some(path) = arg.strip_prefix("--stats=") {
@@ -166,6 +199,12 @@ fn parse_args() -> Result<Options, ExitCode> {
                     };
                 } else if let Some(path) = arg.strip_prefix("--dyn-profile=") {
                     opts.dyn_out = Some(path.to_string());
+                } else if let Some(path) = arg.strip_prefix("--hot-profile=") {
+                    opts.hot_out = Some(path.to_string());
+                } else if let Some(path) = arg.strip_prefix("--hot-sampled=") {
+                    opts.hot_sampled_out = Some(path.to_string());
+                } else if let Some(dir) = arg.strip_prefix("--perf-map=") {
+                    opts.perf_map_dir = Some(dir.to_string());
                 } else if opts.input.is_empty() && !arg.starts_with("--") {
                     opts.input = arg.to_string();
                 } else {
@@ -259,6 +298,14 @@ fn run_entry(
     }
     eprint!("{}", out.exec.profile.render());
 
+    let report = reports.iter().find(|r| r.function == f.name());
+    let label = match opts.mode {
+        None => "o3",
+        Some(SlpMode::Slp) => "slp",
+        Some(SlpMode::Lslp) => "lslp",
+        Some(SlpMode::SnSlp) => "snslp",
+    };
+
     // `--backend jit`: the interpreter pass above remains the profile
     // source; the native pass adds measured wall time after a bit-exact
     // cross-check of every observable.
@@ -269,6 +316,12 @@ fn run_entry(
                 .map_err(|d| format!("@{}: backend divergence: {d}", f.name()))?
             {
                 snslp::jit::BackendDiff::NotCovered { reason } => {
+                    if opts.jit_strict {
+                        return Err(format!(
+                            "@{}: --jit-strict: native backend not used ({reason})",
+                            f.name()
+                        ));
+                    }
                     eprintln!(
                         "@{}: native backend not used ({reason}); interpreter result stands",
                         f.name()
@@ -292,13 +345,16 @@ fn run_entry(
     };
 
     if let Some(path) = &opts.dyn_out {
-        let label = match opts.mode {
-            None => "o3",
-            Some(SlpMode::Slp) => "slp",
-            Some(SlpMode::Lslp) => "lslp",
-            Some(SlpMode::SnSlp) => "snslp",
-        };
-        let report = reports.iter().find(|r| r.function == f.name());
+        // The per-class wall split rides along whenever the native
+        // backend measured this run: an instrumented hotness pass
+        // apportions the wall time by executed native bytes.
+        let class_ns = wall_ns.and_then(|w| {
+            let decisions = report
+                .map(snslp::bench::hot::decision_map)
+                .unwrap_or_default();
+            snslp::bench::hot::native_hot(f, &args, decisions)
+                .map(|h| snslp::bench::hot::class_ns_split(&h, w))
+        });
         let doc = DynReport {
             kernels: vec![KernelDyn {
                 name: f.name().to_string(),
@@ -311,11 +367,70 @@ fn run_entry(
                     vectorized_graphs: report.map(|r| r.vectorized_graphs() as u64).unwrap_or(0),
                     profile: out.exec.profile.clone(),
                     wall_ns,
+                    class_ns,
                 }],
             }],
         };
         std::fs::write(path, doc.to_json()).map_err(|e| format!("cannot write `{path}`: {e}"))?;
         eprintln!("snslpc: dynamic profile written to {path}");
+    }
+
+    // `--hot-profile`: the exact instrumented native hotness profile,
+    // reconciled against the interpreter's DynProfile before writing.
+    if let Some(path) = &opts.hot_out {
+        let decisions = report
+            .map(snslp::bench::hot::decision_map)
+            .unwrap_or_default();
+        match snslp::bench::hot::measure_hot(f, &args, decisions)? {
+            Some((profile, dyn_insts)) => {
+                let doc = snslp::bench::hot::HotDoc {
+                    mode: snslp::jit::HotMode::Instrumented,
+                    entries: vec![snslp::bench::hot::HotEntry {
+                        kernel: f.name().to_string(),
+                        label: label.to_string(),
+                        dyn_insts,
+                        profile,
+                    }],
+                };
+                std::fs::write(path, doc.to_json())
+                    .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+                eprintln!("snslpc: instrumented hot profile written to {path}");
+            }
+            None => eprintln!(
+                "snslpc: no hot profile: the JIT declined @{} or this host \
+                 has no native backend",
+                f.name()
+            ),
+        }
+    }
+
+    // `--hot-sampled`: SIGPROF wall-clock samples resolved through the
+    // PC→IR map. Nondeterministic by nature; skipped off x86-64 Linux.
+    if let Some(path) = &opts.hot_sampled_out {
+        let decisions = report
+            .map(snslp::bench::hot::decision_map)
+            .unwrap_or_default();
+        match snslp::bench::hot::sampled_hot(f, &args, decisions, 1_000, 200) {
+            Some(profile) => {
+                let doc = snslp::bench::hot::HotDoc {
+                    mode: snslp::jit::HotMode::Sampled,
+                    entries: vec![snslp::bench::hot::HotEntry {
+                        kernel: f.name().to_string(),
+                        label: label.to_string(),
+                        dyn_insts: 0,
+                        profile,
+                    }],
+                };
+                std::fs::write(path, doc.to_json())
+                    .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+                eprintln!("snslpc: sampled hot profile written to {path}");
+            }
+            None => eprintln!(
+                "snslpc: sampled profiling skipped: it needs x86-64 Linux, \
+                 JIT coverage of @{}, and no other active sampler",
+                f.name()
+            ),
+        }
     }
     Ok((
         f.name().to_string(),
@@ -451,6 +566,62 @@ fn main() -> ExitCode {
         }
     }
 
+    // `--perf-map`: export every JIT-covered function of the compiled
+    // module for external `perf report` symbolization.
+    if let Some(dir) = &opts.perf_map_dir {
+        if snslp::jit::native_supported() {
+            let natives: Vec<snslp::jit::JitFunction> = module
+                .functions()
+                .iter()
+                .filter_map(|f| snslp::jit::compile(f).ok()?.finalize().ok())
+                .collect();
+            {
+                let syms: Vec<snslp::jit::perf::JitSym> = natives
+                    .iter()
+                    .map(|n| snslp::jit::perf::JitSym {
+                        name: n.name(),
+                        addr: n.code_base(),
+                        code: n.code(),
+                    })
+                    .collect();
+                match snslp::jit::perf::write_perf_files(std::path::Path::new(dir), &syms) {
+                    Ok((map, dump)) => eprintln!(
+                        "snslpc: perf export: {} and {} ({} of {} functions JIT-covered)",
+                        map.display(),
+                        dump.display(),
+                        syms.len(),
+                        module.functions().len()
+                    ),
+                    Err(e) => {
+                        eprintln!("snslpc: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            // The map names live addresses: keep the exported mappings
+            // around for the rest of the process so a later compile
+            // cannot recycle an address and mis-symbolize samples.
+            std::mem::forget(natives);
+        } else {
+            eprintln!("snslpc: --perf-map skipped: this host has no native backend");
+        }
+    }
+
+    for (flag, set) in [
+        ("--dyn-profile", opts.dyn_out.is_some()),
+        ("--hot-profile", opts.hot_out.is_some()),
+        ("--hot-sampled", opts.hot_sampled_out.is_some()),
+    ] {
+        if set && opts.run.is_none() {
+            eprintln!("snslpc: {flag} needs --run");
+            return ExitCode::FAILURE;
+        }
+    }
+    if opts.jit_strict && (opts.run.is_none() || opts.backend != snslp::jit::Backend::Jit) {
+        eprintln!("snslpc: --jit-strict needs --run and --backend jit");
+        return ExitCode::FAILURE;
+    }
+
     let mut dyn_info: Option<(String, DynSummary)> = None;
     if let Some(entry) = &opts.run {
         match run_entry(&module, &source, entry.as_deref(), &opts, &slp_reports) {
@@ -460,9 +631,6 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
-    } else if opts.dyn_out.is_some() {
-        eprintln!("snslpc: --dyn-profile needs --run");
-        return ExitCode::FAILURE;
     }
 
     if profiling {
@@ -479,7 +647,10 @@ fn main() -> ExitCode {
                             .as_ref()
                             .filter(|(name, _)| *name == r.function)
                             .map(|(_, d)| d);
-                        attrib_function(&unit, r, &profile, dyn_run)
+                        // Module sources carry no kernel arg spec, so no
+                        // native hotness run joins here; the native
+                        // columns render as `-`.
+                        attrib_function(&unit, r, &profile, dyn_run, None)
                     })
                     .collect(),
             };
